@@ -1,0 +1,70 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "core/adaptive_engine.h"
+#include "gen/dataset_catalog.h"
+#include "graph/csr.h"
+#include "metrics/cuts.h"
+#include "partition/multilevel_partitioner.h"
+#include "partition/partitioner.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace xdgp::bench {
+
+/// Where every harness drops its CSV series (created on demand).
+inline std::string resultsDir() {
+  const std::filesystem::path dir = "bench_results";
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+/// Initial assignment by Table-style strategy code over a dynamic graph.
+inline metrics::Assignment initialAssignment(const graph::DynamicGraph& g,
+                                             const std::string& code, std::size_t k,
+                                             double capacityFactor,
+                                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  return partition::makePartitioner(code)->partition(graph::CsrGraph::fromGraph(g),
+                                                     k, capacityFactor, rng);
+}
+
+/// METIS-like reference cut ratio (the dashed line in Fig. 4).
+inline double multilevelCutRatio(const graph::DynamicGraph& g, std::size_t k,
+                                 double capacityFactor, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const graph::CsrGraph csr = graph::CsrGraph::fromGraph(g);
+  const auto assignment =
+      partition::MultilevelPartitioner{}.partition(csr, k, capacityFactor, rng);
+  return metrics::cutRatio(csr, assignment);
+}
+
+/// One adaptive run to convergence; returns {finalCutRatio, convergenceIteration}.
+struct AdaptiveRunResult {
+  double cutRatio = 0.0;
+  double initialCutRatio = 0.0;
+  std::size_t convergenceIteration = 0;
+  bool converged = false;
+};
+
+inline AdaptiveRunResult runAdaptive(graph::DynamicGraph g, const std::string& code,
+                                     core::AdaptiveOptions options,
+                                     std::size_t maxIterations = 20'000) {
+  metrics::Assignment assignment =
+      initialAssignment(g, code, options.k, options.capacityFactor, options.seed);
+  options.recordSeries = false;
+  core::AdaptiveEngine engine(std::move(g), std::move(assignment), options);
+  AdaptiveRunResult result;
+  result.initialCutRatio = engine.cutRatio();
+  const core::ConvergenceResult conv = engine.runToConvergence(maxIterations);
+  result.cutRatio = engine.cutRatio();
+  result.convergenceIteration = conv.convergenceIteration;
+  result.converged = conv.converged;
+  return result;
+}
+
+}  // namespace xdgp::bench

@@ -1,0 +1,64 @@
+// Figure 1 — "Effect of s into Convergence and Number of Cuts", panels
+// A: 64kcube and B: epinions, 9 partitions, hash initial partitioning.
+//
+// For each willingness-to-move s in {0.1 ... 0.9} the harness runs the
+// adaptive algorithm to convergence (30 quiet iterations, as in the paper)
+// and reports convergence time (iterations until migrations ceased) and the
+// final cut ratio, averaged over `--reps` repetitions with the estimated
+// error in the mean.
+//
+// Expected shape (paper): cut ratio flat in s; convergence time elevated at
+// the extremes (slow at low s, neighbour-chasing waste at high s).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/csv.h"
+
+using namespace xdgp;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto reps = static_cast<std::size_t>(flags.getInt("reps", 3));
+  const auto k = static_cast<std::size_t>(flags.getInt("k", 9));
+  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 42));
+  flags.finish();
+
+  util::CsvWriter csv(bench::resultsDir() + "/fig1_willingness.csv",
+                      {"graph", "s", "convergence_mean", "convergence_stderr",
+                       "cut_ratio_mean", "cut_ratio_stderr"});
+
+  for (const std::string panel : {"64kcube", "epinion"}) {
+    const gen::DatasetSpec& spec = gen::datasetByName(panel);
+    std::cout << "Figure 1 (" << (panel == "64kcube" ? "A" : "B") << "): " << panel
+              << ", k = " << k << ", hash initial partitioning, reps = " << reps
+              << "\n\n";
+    util::TablePrinter table(
+        {"s", "convergence time (iters)", "cut ratio (|Ec|/|E|)"});
+    for (int step = 1; step <= 9; ++step) {
+      const double s = 0.1 * step;
+      util::RunningStat convergence, cuts;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        util::Rng genRng(seed + rep);
+        core::AdaptiveOptions options;
+        options.k = k;
+        options.willingness = s;
+        options.seed = seed + rep * 1'000 + static_cast<std::uint64_t>(step);
+        const bench::AdaptiveRunResult run =
+            bench::runAdaptive(spec.make(genRng), "HSH", options);
+        convergence.add(static_cast<double>(run.convergenceIteration));
+        cuts.add(run.cutRatio);
+      }
+      table.addRow({util::fmt(s, 1),
+                    util::fmtPm(convergence.mean(), convergence.stderror(), 1),
+                    util::fmtPm(cuts.mean(), cuts.stderror(), 3)});
+      csv.addRow({panel, util::fmt(s, 1), util::fmt(convergence.mean(), 2),
+                  util::fmt(convergence.stderror(), 2), util::fmt(cuts.mean(), 4),
+                  util::fmt(cuts.stderror(), 4)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "CSV: " << bench::resultsDir() << "/fig1_willingness.csv\n";
+  return 0;
+}

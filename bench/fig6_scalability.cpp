@@ -1,0 +1,78 @@
+// Figure 6 — "Evolution of cut ratio and convergence time for a family of
+// meshes (red) and power law graphs (blue) ranging from 1000 vertices to
+// 300000. 9 partitions, with s = 0.5."
+//
+// Expected shape (paper): mesh convergence time grows ~O(log N) while its
+// cut ratio slightly improves with size; power-law convergence grows slower
+// and its cut ratio stays nearly constant (slightly degrading).
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "gen/mesh3d.h"
+#include "gen/powerlaw_cluster.h"
+#include "util/csv.h"
+
+using namespace xdgp;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto reps = static_cast<std::size_t>(flags.getInt("reps", 3));
+  const auto k = static_cast<std::size_t>(flags.getInt("k", 9));
+  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 42));
+  const auto maxVertices =
+      static_cast<std::size_t>(flags.getInt("max-vertices", 300'000));
+  flags.finish();
+
+  // The paper's x axis (its mesh sizes come from near-cubic boxes).
+  const std::vector<std::size_t> sizes{1'000, 3'000, 9'900, 29'700, 99'000, 300'000};
+
+  std::cout << "Figure 6: cut ratio and convergence time vs graph size\n"
+            << "(k = " << k << ", s = 0.5, hash initial partitioning, reps <= "
+            << reps << ")\n\n";
+  util::TablePrinter table({"family", "|V|", "cut ratio", "convergence time"});
+  util::CsvWriter csv(bench::resultsDir() + "/fig6_scalability.csv",
+                      {"family", "vertices", "cut_ratio_mean", "cut_ratio_stderr",
+                       "convergence_mean", "convergence_stderr"});
+
+  for (const std::string family : {"mesh", "plaw"}) {
+    for (const std::size_t n : sizes) {
+      if (n > maxVertices) continue;
+      // Repetitions shrink for the largest sizes to bound the default run.
+      const std::size_t repsHere =
+          n >= 100'000 ? std::max<std::size_t>(1, reps / 3) : reps;
+      util::RunningStat cuts, convergence;
+      for (std::size_t rep = 0; rep < repsHere; ++rep) {
+        util::Rng genRng(seed + rep);
+        graph::DynamicGraph g;
+        if (family == "mesh") {
+          g = gen::mesh3dApprox(n);
+        } else {
+          // Power-law family with the paper's parameters: intended average
+          // degree D = log2(|V|) => m = D/2, p = 0.1.
+          const auto m = static_cast<std::size_t>(
+              std::max(2.0, std::round(std::log2(static_cast<double>(n)) / 2.0)));
+          g = gen::powerlawCluster(n, m, 0.1, genRng);
+        }
+        core::AdaptiveOptions options;
+        options.k = k;
+        options.seed = seed + rep * 1'000 + n;
+        const bench::AdaptiveRunResult run =
+            bench::runAdaptive(std::move(g), "HSH", options);
+        cuts.add(run.cutRatio);
+        convergence.add(static_cast<double>(run.convergenceIteration));
+      }
+      table.addRow({family, std::to_string(n),
+                    util::fmtPm(cuts.mean(), cuts.stderror(), 3),
+                    util::fmtPm(convergence.mean(), convergence.stderror(), 1)});
+      csv.addRow({family, std::to_string(n), util::fmt(cuts.mean(), 4),
+                  util::fmt(cuts.stderror(), 4), util::fmt(convergence.mean(), 2),
+                  util::fmt(convergence.stderror(), 2)});
+      std::cerr << "[fig6] " << family << " n=" << n << " done\n";
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nCSV: " << bench::resultsDir() << "/fig6_scalability.csv\n";
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Figure 7 — the biomedical use case: a cardiac-tissue FEM processed by the
+// Pregel-like system with the adaptive partitioner running in the
+// background.
+//
+//  (a) re-arrangement of the initial hash partitioning: #cuts, #migrations
+//      and time per iteration (normalised to static hash partitioning);
+//  (b) absorption of a load peak: a forest-fire expansion injects +10%
+//      vertices (+~30% edges) at once, the paper's worst case.
+//
+// Paper scale: 100M vertices / 300M edges on 63 blades (3 TB RAM). Default
+// here: a 1M-vertex mesh on 63 logical workers — DESIGN.md §2 documents the
+// substitution; Fig. 6 shows the dynamics are scale-stable. Use
+// `--vertices=...` to change scale (up to memory).
+//
+// Expected shape (paper): cuts drop ~50%; migrations decay exponentially;
+// time per iteration spikes during the migration burst, then settles well
+// below the hash baseline (paper: ~0.5x). The +10% injection produces a
+// smaller spike that is quickly absorbed.
+
+#include <algorithm>
+#include <iostream>
+
+#include "apps/cardiac.h"
+#include "bench_common.h"
+#include "gen/forest_fire.h"
+#include "gen/mesh3d.h"
+#include "pregel/engine.h"
+#include "util/csv.h"
+#include "util/timer.h"
+
+using namespace xdgp;
+
+namespace {
+
+struct PhaseSummary {
+  std::size_t startCuts = 0;
+  std::size_t endCuts = 0;
+  double peakTime = 0.0;
+  double endTime = 0.0;
+  std::size_t totalMigrations = 0;
+  std::size_t iterations = 0;
+};
+
+PhaseSummary runPhase(pregel::Engine<apps::CardiacProgram>& engine, double t0,
+                      std::size_t maxSupersteps, std::size_t printEvery,
+                      util::CsvWriter& csv, const std::string& phase) {
+  PhaseSummary summary;
+  summary.startCuts = engine.state().cutEdges();
+  std::size_t step = 0;
+  while (!engine.partitionerConverged() && step < maxSupersteps) {
+    const pregel::SuperstepStats stats = engine.runSuperstep();
+    const double normTime = stats.modeledTime / t0;
+    summary.peakTime = std::max(summary.peakTime, normTime);
+    summary.endTime = normTime;
+    summary.totalMigrations += stats.migrationsExecuted;
+    csv.addRow({phase, std::to_string(stats.superstep),
+                std::to_string(stats.cutEdges),
+                std::to_string(stats.migrationsExecuted),
+                util::fmt(normTime, 4)});
+    if (step % printEvery == 0) {
+      std::cout << "  iter " << stats.superstep << ": cuts=" << stats.cutEdges
+                << " migrations=" << stats.migrationsExecuted
+                << " time/iter=" << util::fmt(normTime, 2) << "x\n";
+    }
+    ++step;
+  }
+  summary.endCuts = engine.state().cutEdges();
+  summary.iterations = step;
+  return summary;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto vertices = static_cast<std::size_t>(flags.getInt("vertices", 1'000'000));
+  const auto workers = static_cast<std::size_t>(flags.getInt("workers", 63));
+  const auto printEvery = static_cast<std::size_t>(flags.getInt("print-every", 25));
+  const auto maxSupersteps =
+      static_cast<std::size_t>(flags.getInt("max-supersteps", 1'000));
+  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 42));
+  flags.finish();
+
+  util::WallTimer wall;
+  graph::DynamicGraph mesh = gen::mesh3dApprox(vertices);
+  std::cout << "Figure 7: biomedical FEM, |V|=" << mesh.numVertices()
+            << " |E|=" << mesh.numEdges() << ", " << workers
+            << " workers (paper: 1e8 vertices, 63 blades; scaled per DESIGN.md)\n";
+
+  pregel::EngineOptions options;
+  options.numWorkers = workers;
+  options.adaptive = true;
+  options.partitioner.seed = seed;
+  pregel::Engine<apps::CardiacProgram> engine(
+      mesh, bench::initialAssignment(mesh, "HSH", workers, 1.1, seed), options);
+
+  util::CsvWriter csv(bench::resultsDir() + "/fig7_biomedical.csv",
+                      {"phase", "iteration", "cuts", "migrations",
+                       "time_per_iteration"});
+
+  // Static-hash baseline: the first superstep runs before any migration.
+  const pregel::SuperstepStats first = engine.runSuperstep();
+  const double t0 = first.modeledTime;
+  const double commShare = options.cost.commShare(first);
+  std::cout << "Static hash baseline: cuts=" << first.cutEdges << " ("
+            << util::fmt(100.0 * static_cast<double>(first.cutEdges) /
+                             static_cast<double>(mesh.numEdges()),
+                         1)
+            << "% of edges), message share of iteration time = "
+            << util::fmt(100.0 * commShare, 1) << "% (paper: >80%)\n";
+
+  std::cout << "\n(a) Re-arrangement of the hash partitioning\n";
+  csv.addRow({"a", "0", std::to_string(first.cutEdges), "0", "1.0000"});
+  const PhaseSummary a = runPhase(engine, t0, maxSupersteps, printEvery, csv, "a");
+
+  std::cout << "\n(b) Absorption of a +10% forest-fire load peak\n";
+  graph::DynamicGraph grown = engine.graph();
+  util::Rng fireRng(seed + 1);
+  const std::size_t newVertices = grown.numVertices() / 10;
+  const auto events = gen::forestFireExtension(grown, newVertices, {}, fireRng);
+  std::size_t newEdges = 0;
+  for (const auto& e : events) {
+    newEdges += e.kind == graph::UpdateEvent::Kind::kAddEdge;
+  }
+  std::cout << "  injected " << newVertices << " vertices / " << newEdges
+            << " edges in one batch\n";
+  engine.ingest(events);
+  engine.rescalePartitionerCapacity();
+  const PhaseSummary b = runPhase(engine, t0, maxSupersteps, printEvery, csv, "b");
+
+  std::cout << "\nSummary (paper expectations in parentheses)\n";
+  util::TablePrinter table({"metric", "phase a", "phase b"});
+  table.addRow({"cuts start", std::to_string(a.startCuts), std::to_string(b.startCuts)});
+  table.addRow({"cuts end", std::to_string(a.endCuts), std::to_string(b.endCuts)});
+  table.addRow({"cut reduction",
+                util::fmt(100.0 * (1.0 - static_cast<double>(a.endCuts) /
+                                             static_cast<double>(a.startCuts)),
+                          1) + "% (~50%)",
+                util::fmt(100.0 * (1.0 - static_cast<double>(b.endCuts) /
+                                             static_cast<double>(b.startCuts)),
+                          1) + "%"});
+  table.addRow({"peak time/iter", util::fmt(a.peakTime, 2) + "x (21x at 1e8)",
+                util::fmt(b.peakTime, 2) + "x (4.6x at 1e8)"});
+  table.addRow({"settled time/iter", util::fmt(a.endTime, 2) + "x (~0.5x)",
+                util::fmt(b.endTime, 2) + "x"});
+  table.addRow({"total migrations", std::to_string(a.totalMigrations),
+                std::to_string(b.totalMigrations)});
+  table.addRow({"iterations", std::to_string(a.iterations),
+                std::to_string(b.iterations)});
+  table.print(std::cout);
+  std::cout << "\nCSV: " << bench::resultsDir() << "/fig7_biomedical.csv\n"
+            << "wall time: " << util::fmt(wall.seconds(), 1) << "s\n";
+  return 0;
+}

@@ -1,0 +1,214 @@
+// Figure 8 — "Throughput and performance obtained by processing the incoming
+// stream of tweets from London. Each point represents the average of 10 min
+// of streaming data."
+//
+// Two systems consume the identical synthetic mention stream (DESIGN.md §2):
+// one with static hash partitioning, one with the adaptive algorithm,
+// running TunkRank continuously. Mentions older than a sliding window expire
+// (real-time influence tracks *recent* mentions, which keeps the live graph
+// following the diurnal load as in the paper's day-long plot). A worker
+// failure is injected mid-afternoon, reproducing the paper's sudden drop in
+// throughput and superstep time.
+//
+// Expected shape (paper): adaptive superstep time ~5x below hash (0.5s vs
+// 2.5s) with visibly lower variance. Times here are normalised to the
+// static system's day average.
+
+#include <algorithm>
+#include <deque>
+#include <iostream>
+#include <unordered_map>
+
+#include "apps/tunkrank.h"
+#include "bench_common.h"
+#include "gen/tweet_stream.h"
+#include "graph/update_stream.h"
+#include "pregel/engine.h"
+#include "util/csv.h"
+
+using namespace xdgp;
+
+namespace {
+
+/// Sliding-window maintainer for the mention graph: an edge expires when its
+/// most recent observation falls out of the window.
+class MentionWindow {
+ public:
+  explicit MentionWindow(double windowSec) : windowSec_(windowSec) {}
+
+  /// Folds a batch of AddEdge events in and returns it extended with the
+  /// RemoveEdge events that expired as of `now`.
+  std::vector<graph::UpdateEvent> advance(std::vector<graph::UpdateEvent> adds,
+                                          double now) {
+    for (const auto& e : adds) {
+      lastSeen_[key(e.u, e.v)] = e.timestamp;
+      fifo_.push_back(e);
+    }
+    std::vector<graph::UpdateEvent> batch = std::move(adds);
+    while (!fifo_.empty() && fifo_.front().timestamp < now - windowSec_) {
+      const graph::UpdateEvent e = fifo_.front();
+      fifo_.pop_front();
+      const auto it = lastSeen_.find(key(e.u, e.v));
+      // Only expire if the edge was not re-observed inside the window.
+      if (it != lastSeen_.end() && it->second == e.timestamp) {
+        batch.push_back(graph::UpdateEvent::removeEdge(e.u, e.v, now));
+        lastSeen_.erase(it);
+      }
+    }
+    return batch;
+  }
+
+ private:
+  static std::uint64_t key(graph::VertexId u, graph::VertexId v) {
+    const auto [a, b] = std::minmax(u, v);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+  double windowSec_;
+  std::deque<graph::UpdateEvent> fifo_;
+  std::unordered_map<std::uint64_t, double> lastSeen_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto users = static_cast<std::size_t>(flags.getInt("users", 20'000));
+  const double meanRate = flags.getDouble("rate", 8.0);
+  const double hours = flags.getDouble("hours", 24.0);
+  const double windowHours = flags.getDouble("window-hours", 6.0);
+  const auto workers = static_cast<std::size_t>(flags.getInt("workers", 9));
+  const auto stepsPerBucket = static_cast<std::size_t>(flags.getInt("steps", 3));
+  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 42));
+  flags.finish();
+
+  // The measured day plus a warm-up day: the paper's system had run
+  // continuously for 4 days, so the recurrent mention structure is in place.
+  gen::TweetStreamParams streamParams;
+  streamParams.users = users;
+  streamParams.meanRate = meanRate;
+  streamParams.hours = 24.0 + hours;
+  const auto allEvents =
+      gen::TweetStreamGenerator(streamParams, util::Rng(seed)).generate();
+
+  graph::DynamicGraph base;
+  for (graph::VertexId v = 0; v < users; ++v) base.ensureVertex(v);
+
+  pregel::EngineOptions staticOptions;
+  staticOptions.numWorkers = workers;
+  pregel::EngineOptions adaptiveOptions = staticOptions;
+  adaptiveOptions.adaptive = true;
+  adaptiveOptions.partitioner.seed = seed;
+
+  pregel::Engine<apps::TunkRankProgram> staticEngine(
+      base, bench::initialAssignment(base, "HSH", workers, 1.1, seed),
+      staticOptions);
+  pregel::Engine<apps::TunkRankProgram> adaptiveEngine(
+      base, bench::initialAssignment(base, "HSH", workers, 1.1, seed),
+      adaptiveOptions);
+
+  const double bucketSec = 600.0;
+  MentionWindow window(windowHours * 3600.0);
+  graph::UpdateStream feed(allEvents);
+
+  // --- Warm-up day: same pipeline, unmeasured; a couple of supersteps per
+  // bucket keep the adaptive partitioner tracking the graph.
+  std::cerr << "[fig8] warming up over one simulated day...\n";
+  for (double now = bucketSec; now <= 24.0 * 3600.0; now += bucketSec) {
+    const auto batch = window.advance(feed.drainUntil(now), now);
+    staticEngine.ingest(batch);
+    adaptiveEngine.ingest(batch);
+    staticEngine.runSupersteps(2);
+    adaptiveEngine.runSupersteps(2);
+  }
+
+  // --- The measured day, in 10-minute buckets.
+  const auto buckets = static_cast<std::size_t>(hours * 3600.0 / bucketSec);
+  const std::size_t failureBucket = buckets * 5 / 8;  // mid-afternoon failure
+  const double dayStart = 24.0 * 3600.0;
+
+  struct Bucket {
+    double hour;
+    double tweetsPerSec;
+    double staticTime;
+    double adaptiveTime;
+  };
+  std::vector<Bucket> series;
+  double staticSum = 0.0, adaptiveSum = 0.0;
+  util::RunningStat staticSpread, adaptiveSpread;
+
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const double now = dayStart + static_cast<double>(b + 1) * bucketSec;
+    auto incoming = feed.drainUntil(now);
+    double throughput = static_cast<double>(incoming.size()) / bucketSec;
+
+    double recoveryPenalty = 0.0;
+    if (b == failureBucket || b == failureBucket + 1) {
+      // Worker failure: ingestion stalls; the recovery superstep re-loads
+      // the failed worker's partition (one vertex transfer per hosted
+      // vertex, in cost-model terms).
+      incoming.clear();
+      throughput = 0.0;
+      if (b == failureBucket) {
+        recoveryPenalty =
+            staticOptions.cost.gamma *
+            static_cast<double>(staticEngine.graph().numVertices() / workers);
+      }
+    }
+    const auto batch = window.advance(std::move(incoming), now);
+    staticEngine.ingest(batch);
+    adaptiveEngine.ingest(batch);
+
+    double staticTime = 0.0, adaptiveTime = 0.0;
+    for (std::size_t s = 0; s < stepsPerBucket; ++s) {
+      staticTime += staticEngine.runSuperstep().modeledTime;
+      adaptiveTime += adaptiveEngine.runSuperstep().modeledTime;
+    }
+    staticTime = staticTime / static_cast<double>(stepsPerBucket) + recoveryPenalty;
+    adaptiveTime =
+        adaptiveTime / static_cast<double>(stepsPerBucket) + recoveryPenalty;
+
+    series.push_back({static_cast<double>(b) * bucketSec / 3600.0, throughput,
+                      staticTime, adaptiveTime});
+    staticSum += staticTime;
+    adaptiveSum += adaptiveTime;
+    staticSpread.add(staticTime);
+    adaptiveSpread.add(adaptiveTime);
+  }
+
+  // Normalise to the static system's day average, as the figure's scale.
+  const double norm = staticSum / static_cast<double>(buckets);
+  util::CsvWriter csv(bench::resultsDir() + "/fig8_twitter.csv",
+                      {"hour", "tweets_per_sec", "hash_superstep_time",
+                       "iter_superstep_time"});
+  std::cout << "Figure 8: tweet stream, " << users << " users, mean "
+            << util::fmt(meanRate, 1) << " tweets/s, " << workers
+            << " workers, " << util::fmt(windowHours, 0)
+            << "h mention window; times normalised to the static-hash day "
+               "average\n\n";
+  util::TablePrinter table(
+      {"hour", "tweets/s", "hash superstep time", "iter superstep time"});
+  for (std::size_t b = 0; b < series.size(); ++b) {
+    const Bucket& point = series[b];
+    csv.addRow({util::fmt(point.hour, 2), util::fmt(point.tweetsPerSec, 2),
+                util::fmt(point.staticTime / norm, 4),
+                util::fmt(point.adaptiveTime / norm, 4)});
+    if (b % 6 == 0) {  // print hourly, CSV has every bucket
+      table.addRow({util::fmt(point.hour, 0), util::fmt(point.tweetsPerSec, 1),
+                    util::fmt(point.staticTime / norm, 3),
+                    util::fmt(point.adaptiveTime / norm, 3)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nDay average (hash = 1.000): adaptive = "
+            << util::fmt(adaptiveSum / staticSum, 3)
+            << "  (paper: 0.5s vs 2.5s => 0.2)\n"
+            << "Std dev of superstep time: hash = "
+            << util::fmt(staticSpread.stddev() / norm, 3)
+            << ", adaptive = " << util::fmt(adaptiveSpread.stddev() / norm, 3)
+            << "  (adaptive visibly steadier)\n"
+            << "Final cut ratio: hash = " << util::fmt(staticEngine.cutRatio(), 3)
+            << ", adaptive = " << util::fmt(adaptiveEngine.cutRatio(), 3) << "\n"
+            << "CSV: " << bench::resultsDir() << "/fig8_twitter.csv\n";
+  return 0;
+}

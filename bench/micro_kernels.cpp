@@ -1,0 +1,146 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels of the library:
+// one adaptive iteration, the migration decision, incremental cut updates,
+// quota admission, CSR construction and the generators. These quantify the
+// "lightweight heuristic" claim (§2): a decision is O(deg), an iteration is
+// O(|V| + s·Σdeg).
+
+#include <benchmark/benchmark.h>
+
+#include "core/adaptive_engine.h"
+#include "core/migration_policy.h"
+#include "core/partition_state.h"
+#include "core/quota_ledger.h"
+#include "gen/mesh3d.h"
+#include "gen/powerlaw_cluster.h"
+#include "graph/csr.h"
+#include "partition/partitioner.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace xdgp;
+
+metrics::Assignment hashAssign(const graph::DynamicGraph& g, std::size_t k) {
+  util::Rng rng(1);
+  return partition::makePartitioner("HSH")->partition(graph::CsrGraph::fromGraph(g),
+                                                      k, 1.1, rng);
+}
+
+void BM_AdaptiveIterationMesh(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  graph::DynamicGraph g = gen::mesh3d(side, side, side);
+  const std::size_t vertices = g.numVertices();
+  core::AdaptiveOptions options;
+  options.k = 9;
+  options.recordSeries = false;
+  core::AdaptiveEngine engine(std::move(g), hashAssign(gen::mesh3d(side, side, side), 9),
+                              options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(vertices));
+}
+BENCHMARK(BM_AdaptiveIterationMesh)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_AdaptiveIterationPowerLaw(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  graph::DynamicGraph g = gen::powerlawCluster(n, 8, 0.1, rng);
+  const metrics::Assignment a = hashAssign(g, 9);
+  core::AdaptiveOptions options;
+  options.k = 9;
+  options.recordSeries = false;
+  core::AdaptiveEngine engine(std::move(g), a, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AdaptiveIterationPowerLaw)
+    ->Arg(10'000)
+    ->Arg(50'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MigrationDecision(benchmark::State& state) {
+  graph::DynamicGraph g = gen::mesh3d(20, 20, 20);
+  const metrics::Assignment a = hashAssign(g, 9);
+  core::MigrationPolicy policy(9);
+  graph::VertexId v = 0;
+  std::uint32_t tie = 0;
+  for (auto _ : state) {
+    v = (v + 1) % static_cast<graph::VertexId>(g.idBound());
+    benchmark::DoNotOptimize(policy.target(g.neighbors(v), a, a[v], tie++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MigrationDecision);
+
+void BM_IncrementalCutMove(benchmark::State& state) {
+  graph::DynamicGraph g = gen::mesh3d(20, 20, 20);
+  core::PartitionState ps(g, hashAssign(g, 9), 9);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    const auto v = static_cast<graph::VertexId>(rng.index(g.idBound()));
+    ps.moveVertex(g, v, static_cast<graph::PartitionId>(rng.below(9)));
+    benchmark::DoNotOptimize(ps.cutEdges());
+  }
+}
+BENCHMARK(BM_IncrementalCutMove);
+
+void BM_QuotaAdmit(benchmark::State& state) {
+  core::QuotaLedger ledger(64);
+  const core::CapacityModel capacity(1'000'000, 64, 1.1);
+  const std::vector<std::size_t> loads(64, 10'000);
+  ledger.beginIteration(capacity, loads);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ledger.tryAdmit(i % 64, (i + 7) % 64));
+    if (++i % 100'000 == 0) ledger.beginIteration(capacity, loads);
+  }
+}
+BENCHMARK(BM_QuotaAdmit);
+
+void BM_CsrFromGraph(benchmark::State& state) {
+  const graph::DynamicGraph g = gen::mesh3d(32, 32, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::CsrGraph::fromGraph(g));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.numEdges()));
+}
+BENCHMARK(BM_CsrFromGraph)->Unit(benchmark::kMillisecond);
+
+void BM_Mesh3dGenerate(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::mesh3d(side, side, side));
+  }
+}
+BENCHMARK(BM_Mesh3dGenerate)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_HolmeKimGenerate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::powerlawCluster(n, 8, 0.1, rng));
+  }
+}
+BENCHMARK(BM_HolmeKimGenerate)->Arg(10'000)->Unit(benchmark::kMillisecond);
+
+void BM_LdgStreamingPass(benchmark::State& state) {
+  const graph::CsrGraph csr = graph::CsrGraph::fromGraph(gen::mesh3d(24, 24, 24));
+  const auto ldg = partition::makePartitioner("DGR");
+  util::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ldg->partition(csr, 9, 1.1, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(csr.numVertices()));
+}
+BENCHMARK(BM_LdgStreamingPass)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

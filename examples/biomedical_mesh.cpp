@@ -1,0 +1,73 @@
+// Biomedical simulation (§4.3, Fig. 7 workload): excitable cardiac tissue on
+// a 3-D FEM, with the real reaction-diffusion kernel integrated per vertex.
+// Prints an ASCII rendering of the membrane potential on a mid-slab slice so
+// you can watch the excitation wave travel while the partitioner works.
+//
+//   build/examples/biomedical_mesh
+
+#include <iostream>
+
+#include "apps/cardiac.h"
+#include "gen/mesh3d.h"
+#include "graph/csr.h"
+#include "partition/partitioner.h"
+#include "pregel/engine.h"
+#include "util/table.h"
+
+int main() {
+  using namespace xdgp;
+  const std::size_t nx = 24, ny = 24, nz = 24;
+  graph::DynamicGraph mesh = gen::mesh3d(nx, ny, nz);
+  std::cout << "cardiac slab: " << nx << "x" << ny << "x" << nz << " = "
+            << mesh.numVertices() << " cells, " << mesh.numEdges()
+            << " gap junctions\n\n";
+
+  apps::CardiacProgram program;
+  program.stimulusWidth = static_cast<graph::VertexId>(nx * ny);  // pace z=0 face
+
+  pregel::EngineOptions options;
+  options.numWorkers = 9;
+  options.adaptive = true;
+  util::Rng rng(42);
+  pregel::Engine<apps::CardiacProgram> engine(
+      mesh,
+      partition::makePartitioner("HSH")->partition(graph::CsrGraph::fromGraph(mesh),
+                                                   9, 1.1, rng),
+      options, program);
+
+  const double t0 = engine.runSuperstep().modeledTime;  // hash baseline
+
+  // Render the y = ny/2 slice: x rightwards, z downwards.
+  const auto renderSlice = [&] {
+    const char* shades = " .:-=+*#%@";
+    for (std::size_t z = 0; z < nz; z += 2) {
+      std::cout << "    ";
+      for (std::size_t x = 0; x < nx; ++x) {
+        const auto id = gen::mesh3dId(nx, ny, x, ny / 2, z);
+        const double v = engine.value(id).voltage;          // FHN range ~[-2, 2]
+        const int level = std::clamp(static_cast<int>((v + 2.0) / 4.0 * 9.0), 0, 9);
+        std::cout << shades[level];
+      }
+      std::cout << '\n';
+    }
+  };
+
+  for (int frame = 1; frame <= 6; ++frame) {
+    engine.runSupersteps(40);
+    const auto& stats = engine.history().back();
+    std::cout << "superstep " << engine.superstepIndex()
+              << "  (cut ratio " << util::fmt(engine.cutRatio(), 2)
+              << ", time/iteration " << util::fmt(stats.modeledTime / t0, 2)
+              << "x of hash baseline"
+              << (engine.partitionerConverged() ? ", partitioning settled)" : ")")
+              << "\n";
+    renderSlice();
+    std::cout << '\n';
+  }
+
+  std::cout << "The wave propagates from the paced face while the background\n"
+               "partitioner cuts " << util::fmt(engine.cutRatio(), 2)
+            << " of edges (hash started at ~0.89), so most gap-junction\n"
+               "messages now stay worker-local.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Mobile network communications (§4.3, Fig. 9 workload): maximal cliques on
+// a dynamic call graph. The topology freezes during each clique computation
+// and the buffered stream changes apply in batches between rounds.
+//
+//   build/examples/call_graph_cliques
+
+#include <iostream>
+#include <map>
+
+#include "apps/max_clique.h"
+#include "gen/cdr_stream.h"
+#include "graph/csr.h"
+#include "partition/partitioner.h"
+#include "pregel/engine.h"
+#include "util/table.h"
+
+int main() {
+  using namespace xdgp;
+
+  gen::CdrStreamParams params;
+  params.initialSubscribers = 5'000;
+  gen::CdrStreamGenerator cdr(params, util::Rng(42));
+  const graph::DynamicGraph& base = cdr.initialGraph();
+  std::cout << "call graph: " << base.numVertices() << " subscribers, "
+            << base.numEdges() << " reciprocated ties (mean degree "
+            << util::fmt(base.averageDegree(), 1) << ")\n"
+            << "weekly churn: +" << 100 * params.weeklyAddRate << "% / -"
+            << 100 * params.weeklyRemoveRate << "% of subscribers (the paper's rates)\n\n";
+
+  pregel::EngineOptions options;
+  options.numWorkers = 5;
+  options.adaptive = true;
+  util::Rng rng(1);
+  pregel::Engine<apps::MaxCliqueProgram> engine(
+      base,
+      partition::makePartitioner("HSH")->partition(graph::CsrGraph::fromGraph(base),
+                                                   5, 1.1, rng),
+      options);
+
+  util::TablePrinter table({"week", "subscribers", "ties", "max clique",
+                            "clique-size histogram (size:count)", "cut ratio"});
+  for (std::size_t week = 1; week <= 4; ++week) {
+    const gen::CdrWeek batch = cdr.nextWeek();
+
+    // Freeze, compute cliques on the frozen snapshot, thaw to apply churn.
+    engine.freezeTopology();
+    engine.ingest(batch.events);  // buffered until the result is out
+    engine.runSupersteps(2);      // neighbour-list exchange + ego solve
+    std::size_t maxClique = 0;
+    std::map<std::size_t, std::size_t> histogram;
+    engine.graph().forEachVertex([&](graph::VertexId v) {
+      const std::size_t size = engine.value(v).cliqueSize;
+      maxClique = std::max(maxClique, size);
+      ++histogram[size];
+    });
+    engine.thawTopology();
+    engine.rescalePartitionerCapacity();
+    engine.runSupersteps(10);  // adaptation catches up with the batch
+
+    std::string histText;
+    for (const auto& [size, count] : histogram) {
+      if (size >= maxClique - 2) {
+        histText += std::to_string(size) + ":" + std::to_string(count) + " ";
+      }
+    }
+    table.addRow({"week " + std::to_string(week),
+                  std::to_string(engine.graph().numVertices()),
+                  std::to_string(engine.graph().numEdges()),
+                  std::to_string(maxClique), histText,
+                  util::fmt(engine.cutRatio(), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nCliques are found from neighbour-list exchange alone (two\n"
+               "supersteps per round) while vertices keep migrating underneath —\n"
+               "the deferred protocol guarantees no list ever goes missing.\n";
+  return 0;
+}

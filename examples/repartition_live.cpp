@@ -1,0 +1,81 @@
+// Live repartitioning side-by-side: the same growth stream feeds a static
+// hash-partitioned system and an adaptive one; the table shows cut ratio and
+// modelled iteration time diverging as the graph evolves — the paper's core
+// claim in one terminal screen.
+//
+//   build/examples/repartition_live
+
+#include <iostream>
+
+#include "apps/pagerank.h"
+#include "gen/forest_fire.h"
+#include "gen/mesh2d.h"
+#include "graph/csr.h"
+#include "graph/update_stream.h"
+#include "partition/partitioner.h"
+#include "pregel/engine.h"
+#include "util/table.h"
+
+int main() {
+  using namespace xdgp;
+
+  // Start with a 2-D FEM and grow it by one-third through forest-fire
+  // arrivals (new vertices attach locally, like most real growth).
+  graph::DynamicGraph base = gen::mesh2d(64, 64);
+  graph::DynamicGraph future = base;
+  util::Rng fire(7);
+  std::vector<graph::UpdateEvent> stream;
+  for (int i = 0; i < 8; ++i) {
+    // One burst per future batch, timestamped by batch index.
+    const auto burst =
+        gen::forestFireExtension(future, 170, {}, fire, static_cast<double>(i));
+    stream.insert(stream.end(), burst.begin(), burst.end());
+  }
+
+  const std::size_t k = 9;
+  util::Rng rng(1);
+  const metrics::Assignment initial = partition::makePartitioner("HSH")->partition(
+      graph::CsrGraph::fromGraph(base), k, 1.1, rng);
+
+  pregel::EngineOptions staticOptions;
+  staticOptions.numWorkers = k;
+  pregel::EngineOptions adaptiveOptions = staticOptions;
+  adaptiveOptions.adaptive = true;
+
+  apps::PageRankProgram app;
+  app.setNumVertices(base.numVertices());
+  pregel::Engine<apps::PageRankProgram> staticEngine(base, initial, staticOptions,
+                                                     app);
+  pregel::Engine<apps::PageRankProgram> adaptiveEngine(base, initial,
+                                                       adaptiveOptions, app);
+
+  std::cout << "PageRank over a growing FEM: static hash vs adaptive\n"
+            << "(the stream grows the mesh from " << base.numVertices()
+            << " vertices; 20 supersteps between batches)\n\n";
+  util::TablePrinter table({"batch", "|V|", "cuts static", "cuts adaptive",
+                            "time static", "time adaptive", "speedup"});
+
+  graph::UpdateStream staticFeed(stream), adaptiveFeed(stream);
+  for (int batchIndex = 0; batchIndex <= 8; ++batchIndex) {
+    const double until = batchIndex - 0.5;
+    staticEngine.ingest(staticFeed.drainUntil(until));
+    adaptiveEngine.ingest(adaptiveFeed.drainUntil(until));
+    adaptiveEngine.rescalePartitionerCapacity();  // graph grew: re-provision
+    double staticTime = 0.0, adaptiveTime = 0.0;
+    for (int s = 0; s < 20; ++s) {
+      staticTime += staticEngine.runSuperstep().modeledTime;
+      adaptiveTime += adaptiveEngine.runSuperstep().modeledTime;
+    }
+    table.addRow({std::to_string(batchIndex),
+                  std::to_string(staticEngine.graph().numVertices()),
+                  util::fmt(staticEngine.cutRatio(), 3),
+                  util::fmt(adaptiveEngine.cutRatio(), 3),
+                  util::fmt(staticTime, 0), util::fmt(adaptiveTime, 0),
+                  util::fmt(staticTime / adaptiveTime, 2) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe adaptive system keeps neighbours co-located as the graph\n"
+               "grows, so its PageRank supersteps stay cheap; the static system\n"
+               "stays at the hash-partitioned cut exactly as §1 predicts.\n";
+  return 0;
+}

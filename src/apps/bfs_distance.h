@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/types.h"
+
+namespace xdgp::apps {
+
+/// Single-source BFS distances (unweighted SSSP) as a vertex program:
+/// the source announces distance 0, every vertex adopts 1 + min(inbox) when
+/// it improves, and gossips onward. Converges in O(eccentricity) supersteps
+/// and keeps converging as edges stream in (distances can only improve on a
+/// growing graph) — a natural probe for dynamic-graph correctness.
+struct BfsDistanceProgram {
+  static constexpr std::uint32_t kUnreached = 0xffffffffu;
+
+  struct Distance {
+    std::uint32_t hops = kUnreached;
+  };
+
+  using VertexValue = Distance;
+  using MessageValue = std::uint32_t;  ///< sender's distance
+
+  graph::VertexId source = 0;
+
+  /// Soft-state refresh: reached vertices re-announce their distance every
+  /// this many supersteps, so edges streamed in *after* convergence still
+  /// pick the new shortcuts up (a push-only BFS would otherwise go silent).
+  std::size_t refreshInterval = 8;
+
+  template <typename Ctx>
+  void compute(Ctx& ctx, VertexValue& value, std::span<const MessageValue> inbox) {
+    std::uint32_t best = value.hops;
+    if (ctx.id() == source) best = 0;
+    for (const std::uint32_t heard : inbox) {
+      if (heard != kUnreached && heard + 1 < best) best = heard + 1;
+    }
+    const bool refresh = best != kUnreached && refreshInterval > 0 &&
+                         ctx.superstep() % refreshInterval == refreshInterval - 1;
+    if (best != value.hops || refresh) {
+      value.hops = best;
+      ctx.sendToNeighbors(best);
+    }
+    ctx.addComputeUnits(1.0 + 0.1 * static_cast<double>(inbox.size()));
+  }
+};
+
+}  // namespace xdgp::apps

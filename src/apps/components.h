@@ -1,0 +1,38 @@
+#pragma once
+
+#include <algorithm>
+#include <span>
+
+#include "graph/types.h"
+
+namespace xdgp::apps {
+
+/// HashMin connected components: every vertex repeatedly adopts the
+/// smallest vertex id heard so far and gossips it onward. Converges in
+/// O(diameter) supersteps; used by tests and examples as the simplest
+/// correctness oracle for the engine's messaging and migration machinery
+/// (labels must be identical with partitioning on and off).
+struct ComponentsProgram {
+  struct Label {
+    graph::VertexId component = graph::kInvalidVertex;
+    bool changed = false;
+  };
+
+  using VertexValue = Label;
+  using MessageValue = graph::VertexId;
+
+  template <typename Ctx>
+  void compute(Ctx& ctx, VertexValue& value, std::span<const MessageValue> inbox) {
+    graph::VertexId best =
+        value.component == graph::kInvalidVertex ? ctx.id() : value.component;
+    for (const graph::VertexId heard : inbox) best = std::min(best, heard);
+    value.changed = best != value.component;
+    if (value.changed) {
+      value.component = best;
+      ctx.sendToNeighbors(best);
+    }
+    ctx.addComputeUnits(1.0 + static_cast<double>(inbox.size()));
+  }
+};
+
+}  // namespace xdgp::apps

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "graph/types.h"
+
+namespace xdgp::apps {
+
+/// Minimal two-superstep program: superstep 0 pings every neighbour,
+/// superstep 1 counts the pings. The received count must equal the vertex's
+/// degree *even while vertices migrate* — the engine test suite's canary for
+/// the deferred-migration message-delivery guarantee (Fig. 3).
+struct DegreeCountProgram {
+  using VertexValue = std::size_t;  ///< pings received in the last odd superstep
+  using MessageValue = std::uint8_t;
+
+  template <typename Ctx>
+  void compute(Ctx& ctx, VertexValue& value, std::span<const MessageValue> inbox) {
+    if (ctx.superstep() % 2 == 0) {
+      ctx.sendToNeighbors(MessageValue{1});
+    } else {
+      value = inbox.size();
+    }
+    ctx.addComputeUnits(1.0);
+  }
+};
+
+}  // namespace xdgp::apps

@@ -1,0 +1,125 @@
+#include "apps/ego_clique.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <unordered_map>
+
+namespace xdgp::apps {
+
+namespace {
+
+using Mask = std::uint64_t;
+
+struct BkState {
+  const std::vector<Mask>& adjacency;
+  int bestSize = 0;
+  Mask bestSet = 0;
+};
+
+/// Bron–Kerbosch with pivoting over <=64 candidates packed into bitmasks.
+void bronKerbosch(BkState& st, Mask r, Mask p, Mask x) {
+  if (p == 0 && x == 0) {
+    const int size = std::popcount(r);
+    if (size > st.bestSize) {
+      st.bestSize = size;
+      st.bestSet = r;
+    }
+    return;
+  }
+  if (std::popcount(r) + std::popcount(p) <= st.bestSize) return;  // bound
+
+  // Pivot: the candidate covering most of P prunes the branching best.
+  Mask pux = p | x;
+  int pivot = -1, bestCover = -1;
+  for (Mask scan = pux; scan;) {
+    const int u = std::countr_zero(scan);
+    scan &= scan - 1;
+    const int cover = std::popcount(p & st.adjacency[u]);
+    if (cover > bestCover) {
+      bestCover = cover;
+      pivot = u;
+    }
+  }
+  Mask frontier = p & ~st.adjacency[pivot];
+  while (frontier) {
+    const int v = std::countr_zero(frontier);
+    const Mask bit = Mask{1} << v;
+    frontier &= frontier - 1;
+    bronKerbosch(st, r | bit, p & st.adjacency[v], x & st.adjacency[v]);
+    p &= ~bit;
+    x |= bit;
+  }
+}
+
+}  // namespace
+
+std::size_t maxCliqueInEgoNet(const EgoNet& ego, std::size_t exactThreshold,
+                              std::vector<graph::VertexId>* members) {
+  if (ego.center == graph::kInvalidVertex) return 0;
+  if (members) members->push_back(ego.center);
+  const std::size_t n = ego.neighbors.size();
+  if (n == 0) return 1;
+
+  // Index candidates and build adjacency among them from the received
+  // neighbour lists (symmetric ground truth on an undirected graph).
+  std::unordered_map<graph::VertexId, std::size_t> index;
+  index.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i) index.emplace(ego.neighbors[i], i);
+
+  const std::size_t cap = std::min<std::size_t>(exactThreshold, 64);
+  if (n <= cap && ego.neighborLists.size() == n) {
+    std::vector<Mask> adjacency(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const graph::VertexId w : ego.neighborLists[i]) {
+        const auto it = index.find(w);
+        if (it != index.end() && it->second != i) {
+          adjacency[i] |= Mask{1} << it->second;
+          adjacency[it->second] |= Mask{1} << i;
+        }
+      }
+    }
+    BkState st{adjacency, 0, 0};
+    const Mask all = n == 64 ? ~Mask{0} : (Mask{1} << n) - 1;
+    bronKerbosch(st, 0, all, 0);
+    if (members) {
+      for (Mask scan = st.bestSet; scan;) {
+        const int v = std::countr_zero(scan);
+        scan &= scan - 1;
+        members->push_back(ego.neighbors[static_cast<std::size_t>(v)]);
+      }
+    }
+    return 1 + static_cast<std::size_t>(st.bestSize);
+  }
+
+  // Greedy fallback for hub vertices: visit candidates by ego-degree and
+  // keep those adjacent to everything chosen so far.
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (std::size_t i = 0; i < n && i < ego.neighborLists.size(); ++i) {
+    for (const graph::VertexId w : ego.neighborLists[i]) {
+      const auto it = index.find(w);
+      if (it != index.end() && it->second != i) adj[i].push_back(it->second);
+    }
+  }
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return adj[a].size() > adj[b].size();
+  });
+  std::vector<std::size_t> clique;
+  std::vector<std::uint8_t> inClique(n, 0);
+  for (const std::size_t cand : order) {
+    std::size_t linked = 0;
+    for (const std::size_t nbr : adj[cand]) linked += inClique[nbr];
+    if (linked == clique.size()) {
+      clique.push_back(cand);
+      inClique[cand] = 1;
+    }
+  }
+  if (members) {
+    for (const std::size_t i : clique) members->push_back(ego.neighbors[i]);
+  }
+  return 1 + clique.size();
+}
+
+}  // namespace xdgp::apps

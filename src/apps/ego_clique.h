@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace xdgp::apps {
+
+/// Adjacency knowledge a vertex accumulates about its ego network: for each
+/// neighbour j, the list N(j) as received in a neighbour-list message.
+struct EgoNet {
+  graph::VertexId center = graph::kInvalidVertex;
+  std::vector<graph::VertexId> neighbors;                 ///< N(center)
+  std::vector<std::vector<graph::VertexId>> neighborLists;  ///< N(j) per j
+};
+
+/// Largest clique containing `ego.center`, computed from neighbour lists
+/// only — the §4.3 algorithm: "given a vertex i and each of its neighbours
+/// j, i creates lists containing the neighbours of j that are also
+/// neighbours with i; lists containing the same elements reveal a clique".
+///
+/// Exact (Bron–Kerbosch with pivoting) for ego networks up to
+/// `exactThreshold` vertices, greedy-by-connectivity beyond — call detail
+/// graphs keep degrees small, so the exact path dominates in practice.
+///
+/// Returns the clique size (>= 1 when the vertex exists) and appends the
+/// members (including the center) to `members` when non-null.
+std::size_t maxCliqueInEgoNet(const EgoNet& ego, std::size_t exactThreshold = 24,
+                              std::vector<graph::VertexId>* members = nullptr);
+
+}  // namespace xdgp::apps

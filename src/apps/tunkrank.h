@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "graph/types.h"
+
+namespace xdgp::apps {
+
+/// TunkRank — "a Twitter analog to PageRank" (Tunkelang 2009), the influence
+/// measure the paper runs continuously over the live mention graph in its
+/// online-social-network use case (§4.3, Fig. 8).
+///
+/// Influence(u) = Σ_{f ∈ followers(u)} (1 + p · Influence(f)) / |following(f)|
+///
+/// On the undirected mention graph each neighbour acts as a follower, the
+/// paper's construction ("edges are given by mentions of users"). The
+/// recursion runs as a continuous fixed-point iteration: every superstep a
+/// vertex re-emits its attention share, so new mention edges immediately
+/// perturb the ranking — the time-sensitivity argument of §1.
+struct TunkRankProgram {
+  using VertexValue = double;   ///< current influence estimate
+  using MessageValue = double;  ///< attention share (1 + p·I(f)) / |following(f)|
+
+  /// Retweet probability p: the chance a follower passes a tweet on.
+  double retweetProbability = 0.05;
+
+  template <typename Ctx>
+  void compute(Ctx& ctx, VertexValue& value, std::span<const MessageValue> inbox) {
+    if (ctx.superstep() > 0) {
+      double influence = 0.0;
+      for (const double share : inbox) influence += share;
+      value = influence;
+    }
+    const std::size_t degree = ctx.degree();
+    if (degree > 0) {
+      const double share =
+          (1.0 + retweetProbability * value) / static_cast<double>(degree);
+      ctx.sendToNeighbors(share);
+    }
+    // One add per message: CPU is an order of magnitude cheaper than the
+    // wire per message here, matching the paper's profile for this use case
+    // ("execution time is bound by the number of messages sent over the
+    // network ... over 80% of the iteration time").
+    ctx.addComputeUnits(1.0 + 0.1 * static_cast<double>(inbox.size()));
+  }
+};
+
+}  // namespace xdgp::apps

@@ -1,0 +1,157 @@
+#include "core/adaptive_engine.h"
+
+namespace xdgp::core {
+
+AdaptiveEngine::AdaptiveEngine(graph::DynamicGraph g, metrics::Assignment initial,
+                               AdaptiveOptions options)
+    : options_(options),
+      graph_(std::move(g)),
+      state_(graph_, std::move(initial), options.k),
+      capacity_(options.balanceMode == BalanceMode::kVertices
+                    ? graph_.numVertices()
+                    : 2 * graph_.numEdges(),
+                options.k, options.capacityFactor),
+      quota_(options.k),
+      policy_(options.k),
+      tracker_(options.convergenceWindow),
+      draws_(options.seed, options.willingness) {
+  const std::size_t k = options_.k;
+  placement_ = [k](graph::VertexId v) {
+    return static_cast<graph::PartitionId>(util::Rng::splitmix64(v) % k);
+  };
+}
+
+std::size_t AdaptiveEngine::step() {
+  ++iteration_;
+  const bool edgeBalance = options_.balanceMode == BalanceMode::kEdges;
+  quota_.beginIteration(capacity_,
+                        edgeBalance ? state_.degreeLoads() : state_.loads());
+  pendingMoves_.clear();
+
+  // Decision phase: a pure function of the iteration-start snapshot, so it
+  // parallelises without changing results (options_.threads).
+  evaluateDecisions();
+
+  // Admission phase: quota consumption is first-come in id order, mirroring
+  // the per-worker admission of the distributed implementation.
+  const std::size_t bound = graph_.idBound();
+  for (graph::VertexId v = 0; v < bound; ++v) {
+    const graph::PartitionId target = desires_[v];
+    if (target == graph::kNoPartition) continue;
+    const graph::PartitionId current = state_.partitionOf(v);
+    // In edge-balance mode a migrating vertex consumes its degree's worth
+    // of the destination quota.
+    const std::size_t units = edgeBalance ? graph_.degree(v) : 1;
+    if (options_.enforceQuota && !quota_.tryAdmit(current, target, units)) continue;
+    pendingMoves_.emplace_back(v, target);
+  }
+
+  // Synchronous application: every decision above saw the iteration-start
+  // assignment; the moves land together, as after the deferred hand-over in
+  // the distributed implementation.
+  for (const auto& [v, target] : pendingMoves_) state_.moveVertex(graph_, v, target);
+
+  const std::size_t migrations = pendingMoves_.size();
+  tracker_.record(migrations);
+  if (migrations > 0) lastActive_ = iteration_;
+  if (options_.recordSeries) {
+    series_.add({iteration_, state_.cutEdges(), migrations, 0.0});
+  }
+  return migrations;
+}
+
+void AdaptiveEngine::evaluateDecisions() {
+  const std::size_t bound = graph_.idBound();
+  desires_.assign(bound, graph::kNoPartition);
+  const auto evaluateRange = [this](std::size_t begin, std::size_t end,
+                                    MigrationPolicy& policy) {
+    for (graph::VertexId v = static_cast<graph::VertexId>(begin); v < end; ++v) {
+      if (!graph_.hasVertex(v)) continue;
+      // Willingness gate (§2.3): with probability 1−s the vertex sits out.
+      if (!draws_.willing(iteration_, v)) continue;
+      const graph::PartitionId current = state_.partitionOf(v);
+      desires_[v] = policy.target(graph_.neighbors(v), state_.assignment(), current,
+                                  draws_.tieBreak(iteration_, v));
+    }
+  };
+
+  if (options_.threads <= 1) {
+    evaluateRange(0, bound, policy_);
+    return;
+  }
+  if (!pool_) pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+  const std::size_t chunks = options_.threads * 4;
+  const std::size_t step = (bound + chunks - 1) / chunks;
+  for (std::size_t begin = 0; begin < bound; begin += step) {
+    const std::size_t end = std::min(bound, begin + step);
+    pool_->submit([this, begin, end, &evaluateRange] {
+      MigrationPolicy localPolicy(options_.k);  // per-task scratch
+      evaluateRange(begin, end, localPolicy);
+    });
+  }
+  pool_->wait();
+}
+
+ConvergenceResult AdaptiveEngine::runToConvergence(std::size_t maxIterations) {
+  ConvergenceResult result;
+  const std::size_t start = iteration_;
+  while (!tracker_.converged() && iteration_ - start < maxIterations) {
+    step();
+  }
+  result.iterationsRun = iteration_ - start;
+  result.convergenceIteration = lastActive_;
+  result.converged = tracker_.converged();
+  return result;
+}
+
+std::size_t AdaptiveEngine::applyUpdates(const std::vector<graph::UpdateEvent>& events) {
+  std::size_t applied = 0;
+  for (const graph::UpdateEvent& e : events) {
+    switch (e.kind) {
+      case graph::UpdateEvent::Kind::kAddVertex:
+        if (!graph_.hasVertex(e.u)) {
+          graph_.ensureVertex(e.u);
+          state_.onVertexAdded(e.u, placement_(e.u));
+          ++applied;
+        }
+        break;
+      case graph::UpdateEvent::Kind::kRemoveVertex:
+        if (graph_.hasVertex(e.u)) {
+          state_.onVertexRemoving(graph_, e.u);
+          graph_.removeVertex(e.u);
+          ++applied;
+        }
+        break;
+      case graph::UpdateEvent::Kind::kAddEdge: {
+        for (const graph::VertexId endpoint : {e.u, e.v}) {
+          if (!graph_.hasVertex(endpoint)) {
+            graph_.ensureVertex(endpoint);
+            state_.onVertexAdded(endpoint, placement_(endpoint));
+          }
+        }
+        if (graph_.addEdge(e.u, e.v)) {
+          state_.onEdgeAdded(e.u, e.v);
+          ++applied;
+        }
+        break;
+      }
+      case graph::UpdateEvent::Kind::kRemoveEdge:
+        if (graph_.removeEdge(e.u, e.v)) {
+          state_.onEdgeRemoved(e.u, e.v);
+          ++applied;
+        }
+        break;
+    }
+  }
+  if (applied > 0) tracker_.reset();  // topology changed: adaptation resumes
+  return applied;
+}
+
+void AdaptiveEngine::rescaleCapacity() {
+  const std::size_t totalUnits = options_.balanceMode == BalanceMode::kVertices
+                                     ? graph_.numVertices()
+                                     : 2 * graph_.numEdges();
+  capacity_.rescale(totalUnits, options_.capacityFactor);
+}
+
+}  // namespace xdgp::core

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/capacity.h"
+#include "core/convergence.h"
+#include "core/draws.h"
+#include "core/migration_policy.h"
+#include "core/partition_state.h"
+#include "core/quota_ledger.h"
+#include "graph/dynamic_graph.h"
+#include "graph/update_stream.h"
+#include "metrics/series.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace xdgp::core {
+
+/// Tunables of the adaptive iterative partitioning algorithm (§2).
+struct AdaptiveOptions {
+  std::size_t k = 9;              ///< partitions (the paper's lab default)
+  double capacityFactor = 1.1;    ///< C(i) = 110% of the balanced load
+  double willingness = 0.5;       ///< s, the §2.3 migration probability
+  std::size_t convergenceWindow = 30;  ///< quiet iterations to declare done
+  bool enforceQuota = true;       ///< ablation: disable §2.2 quotas
+  bool recordSeries = true;       ///< keep the per-iteration Fig. 7 series
+  /// Load measure: the paper's vertex counts, or the §6 edge-balanced
+  /// extension (capacities and quotas in degree units).
+  BalanceMode balanceMode = BalanceMode::kVertices;
+  /// Worker threads for the decision phase. Decisions are pure functions of
+  /// the iteration-start snapshot plus stateless draws (core/draws.h), so
+  /// any thread count produces the identical run for the same seed.
+  std::size_t threads = 1;
+  std::uint64_t seed = 42;
+};
+
+/// Result of a run-to-convergence call.
+struct ConvergenceResult {
+  std::size_t iterationsRun = 0;       ///< total iterations executed
+  std::size_t convergenceIteration = 0;  ///< last iteration that migrated
+  bool converged = false;
+};
+
+/// Single-process execution of the paper's adaptive iterative partitioning
+/// (§2): synchronous iterations in which every vertex, with probability s,
+/// greedily targets the partition holding most of its neighbours, subject to
+/// the worst-case capacity quotas Q_t(i,j) = C_t(j)/(k−1).
+///
+/// Iterations are synchronous (BSP): all decisions in iteration t observe
+/// the assignment as of the start of t and take effect together at its end —
+/// the logical equivalent of the distributed implementation's one-iteration
+/// migration deferral (§3). The distributed realisation with real message
+/// routing lives in pregel::Engine; this engine is the fast path for the
+/// algorithm-quality experiments (Figs. 1, 4, 5, 6).
+///
+/// Dynamic graphs: applyUpdates() injects/removes vertices and edges between
+/// iterations; new vertices enter via the placement function (hash
+/// partitioning by default, like the systems the paper targets), and the
+/// iterative process adapts from there.
+class AdaptiveEngine {
+ public:
+  using PlacementFn = std::function<graph::PartitionId(graph::VertexId)>;
+
+  /// Takes ownership of the graph; `initial` assigns every alive vertex.
+  AdaptiveEngine(graph::DynamicGraph g, metrics::Assignment initial,
+                 AdaptiveOptions options);
+
+  /// Runs one iteration; returns the number of executed migrations.
+  std::size_t step();
+
+  /// Steps until the convergence window closes or maxIterations elapse.
+  ConvergenceResult runToConvergence(std::size_t maxIterations = 20'000);
+
+  /// Applies a batch of structural updates and re-arms convergence tracking.
+  /// Returns the number of events that changed the graph.
+  std::size_t applyUpdates(const std::vector<graph::UpdateEvent>& events);
+
+  /// Replaces the default hash placement for stream-injected vertices.
+  void setPlacement(PlacementFn placement) { placement_ = std::move(placement); }
+
+  /// Grows capacities to 110% (options.capacityFactor) of the current
+  /// balanced load; call after large injections when the original
+  /// provisioning should be revised.
+  void rescaleCapacity();
+
+  [[nodiscard]] const graph::DynamicGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const PartitionState& state() const noexcept { return state_; }
+  [[nodiscard]] const CapacityModel& capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const metrics::IterationSeries& series() const noexcept {
+    return series_;
+  }
+  [[nodiscard]] std::size_t iteration() const noexcept { return iteration_; }
+  [[nodiscard]] bool converged() const noexcept { return tracker_.converged(); }
+  [[nodiscard]] double cutRatio() const noexcept { return state_.cutRatio(graph_); }
+  [[nodiscard]] const AdaptiveOptions& options() const noexcept { return options_; }
+
+  /// Last iteration index that executed at least one migration.
+  [[nodiscard]] std::size_t lastActiveIteration() const noexcept {
+    return lastActive_;
+  }
+
+ private:
+  /// Decision phase over [0, idBound): fills desires_ (kNoPartition = stay).
+  void evaluateDecisions();
+
+  AdaptiveOptions options_;
+  graph::DynamicGraph graph_;
+  PartitionState state_;
+  CapacityModel capacity_;
+  QuotaLedger quota_;
+  MigrationPolicy policy_;
+  ConvergenceTracker tracker_;
+  StatelessDraws draws_;
+  PlacementFn placement_;
+  metrics::IterationSeries series_;
+  std::vector<graph::PartitionId> desires_;
+  std::vector<std::pair<graph::VertexId, graph::PartitionId>> pendingMoves_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::size_t iteration_ = 0;
+  std::size_t lastActive_ = 0;
+};
+
+}  // namespace xdgp::core

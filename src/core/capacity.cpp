@@ -1,0 +1,37 @@
+#include "core/capacity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace xdgp::core {
+
+CapacityModel::CapacityModel(std::size_t n, std::size_t k, double capacityFactor) {
+  if (k == 0) throw std::invalid_argument("CapacityModel: k must be positive");
+  if (capacityFactor < 1.0) {
+    throw std::invalid_argument("CapacityModel: capacityFactor must be >= 1");
+  }
+  const double balanced = static_cast<double>(n) / static_cast<double>(k);
+  // The epsilon keeps exact products (e.g. 100 * 1.1) from ceiling up on
+  // floating-point dust.
+  const auto cap =
+      static_cast<std::size_t>(std::ceil(balanced * capacityFactor - 1e-9));
+  capacities_.assign(k, std::max<std::size_t>(cap, 1));
+}
+
+CapacityModel::CapacityModel(std::vector<std::size_t> capacities)
+    : capacities_(std::move(capacities)) {
+  if (capacities_.empty()) {
+    throw std::invalid_argument("CapacityModel: need at least one partition");
+  }
+}
+
+void CapacityModel::rescale(std::size_t n, double capacityFactor) {
+  const double balanced =
+      static_cast<double>(n) / static_cast<double>(capacities_.size());
+  const auto cap =
+      static_cast<std::size_t>(std::ceil(balanced * capacityFactor - 1e-9));
+  for (auto& c : capacities_) c = std::max({c, cap, std::size_t{1}});
+}
+
+}  // namespace xdgp::core

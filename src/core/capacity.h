@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xdgp::core {
+
+/// What a partition's "load" counts (§2.2 vs the §6 extension).
+///
+/// kVertices is the paper's main algorithm: C(i) caps |P_t(i)|.
+/// kEdges implements the paper's first future-work direction — "partitions
+/// that are balanced on the number of edges" — by counting each vertex as
+/// its degree, so capacities cap Σ_{v∈P(i)} deg(v). Algorithms whose cost is
+/// proportional to edges (PageRank et al.) are then load-balanced.
+enum class BalanceMode { kVertices, kEdges };
+
+/// Partition capacity bookkeeping (§2.2).
+///
+/// Definition (Partition Capacity): C(i) caps |P_t(i)| at all times t. The
+/// remaining capacity at iteration t is C_t(i) = C(i) − |P_t(i)|; it is the
+/// quantity workers gossip to each other (one iteration stale, §3).
+class CapacityModel {
+ public:
+  CapacityModel() = default;
+
+  /// Uniform capacities: ceil(capacityFactor · n / k) per partition — the
+  /// paper's "maximum capacity equal to 110% of the balanced load".
+  CapacityModel(std::size_t n, std::size_t k, double capacityFactor);
+
+  /// Explicit per-partition capacities (heterogeneous clusters).
+  explicit CapacityModel(std::vector<std::size_t> capacities);
+
+  [[nodiscard]] std::size_t k() const noexcept { return capacities_.size(); }
+
+  [[nodiscard]] std::size_t capacity(std::size_t i) const noexcept {
+    return capacities_[i];
+  }
+
+  /// Remaining capacity given the current load; clamped at zero when a
+  /// partition is over-full (possible after dynamic vertex injections).
+  [[nodiscard]] std::size_t remaining(std::size_t i, std::size_t load) const noexcept {
+    return load >= capacities_[i] ? 0 : capacities_[i] - load;
+  }
+
+  /// Grows every capacity to accommodate a larger graph (called when
+  /// dynamic updates push n above k·C; the paper's clusters would be
+  /// re-provisioned the same way).
+  void rescale(std::size_t n, double capacityFactor);
+
+  [[nodiscard]] const std::vector<std::size_t>& capacities() const noexcept {
+    return capacities_;
+  }
+
+ private:
+  std::vector<std::size_t> capacities_;
+};
+
+}  // namespace xdgp::core

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+
+namespace xdgp::core {
+
+/// Convergence criterion (§2.3/§4.2.1): "full convergence when the number of
+/// vertex migrations was zero for more than `window` consecutive iterations"
+/// — 30 in every experiment of the paper.
+class ConvergenceTracker {
+ public:
+  explicit ConvergenceTracker(std::size_t window = 30) noexcept : window_(window) {}
+
+  /// Records one iteration's migration count.
+  void record(std::size_t migrations) noexcept {
+    quiet_ = migrations == 0 ? quiet_ + 1 : 0;
+  }
+
+  [[nodiscard]] bool converged() const noexcept { return quiet_ >= window_; }
+
+  /// Consecutive zero-migration iterations so far.
+  [[nodiscard]] std::size_t quietIterations() const noexcept { return quiet_; }
+
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
+
+  void reset() noexcept { quiet_ = 0; }
+
+ private:
+  std::size_t window_;
+  std::size_t quiet_ = 0;
+};
+
+}  // namespace xdgp::core

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace xdgp::core {
+
+/// Stateless per-(iteration, vertex) random draws for the migration loop.
+///
+/// The willingness gate and tie-breaks are pure functions of
+/// (seed, iteration, vertex), not of a sequential generator, so
+///  - a run is reproducible from its seed at *any* thread count — the
+///    decision phase can be evaluated in parallel without changing results;
+///  - the distributed implementation needs no coordinated RNG: every worker
+///    derives the same decision its peers would predict, keeping the
+///    algorithm free of extra synchronisation (§2's design constraint).
+class StatelessDraws {
+ public:
+  StatelessDraws(std::uint64_t seed, double willingness) noexcept
+      : seed_(seed), threshold_(thresholdFor(willingness)) {}
+
+  /// Does vertex v attempt a migration at `iteration`? True with the
+  /// configured probability s; exactly never for s <= 0, always for s >= 1.
+  [[nodiscard]] bool willing(std::size_t iteration, graph::VertexId v) const noexcept {
+    if (threshold_ == 0) return false;
+    if (threshold_ == ~std::uint64_t{0}) return true;
+    return draw(iteration, v, 0x9e3779b97f4a7c15ULL) < threshold_;
+  }
+
+  /// Tie-break value for the candidate-argmax choice.
+  [[nodiscard]] std::uint32_t tieBreak(std::size_t iteration,
+                                       graph::VertexId v) const noexcept {
+    return static_cast<std::uint32_t>(draw(iteration, v, 0xc2b2ae3d27d4eb4fULL));
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t draw(std::size_t iteration, graph::VertexId v,
+                                   std::uint64_t salt) const noexcept {
+    std::uint64_t x = seed_ ^ salt;
+    x = util::Rng::splitmix64(x + 0x9e3779b97f4a7c15ULL * (iteration + 1));
+    x = util::Rng::splitmix64(x ^ (0xff51afd7ed558ccdULL * (v + 1)));
+    return x;
+  }
+
+  static std::uint64_t thresholdFor(double s) noexcept {
+    if (s <= 0.0) return 0;
+    if (s >= 1.0) return ~std::uint64_t{0};
+    return static_cast<std::uint64_t>(s * 18446744073709551616.0);  // s * 2^64
+  }
+
+  std::uint64_t seed_;
+  std::uint64_t threshold_;
+};
+
+}  // namespace xdgp::core

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "core/capacity.h"
+
+namespace xdgp::core {
+
+/// Runtime-statistics extension (the paper's §6 second future-work
+/// direction): "take into account runtime statistics, such as the hot spots
+/// (i.e. partitions that are more active than others), in order to achieve a
+/// better load balancing of the system".
+///
+/// The model keeps an exponential moving average of per-partition activity
+/// (compute units processed per iteration, fed by the engine) and shrinks
+/// the *effective* capacity of hotter-than-average partitions, so the quota
+/// mechanism steers migration away from them and they shed load — no change
+/// to the migration heuristic itself is needed.
+class HotspotModel {
+ public:
+  struct Options {
+    double ewmaAlpha = 0.2;   ///< smoothing of the activity signal
+    /// Maximum fraction of capacity withheld from the hottest partition.
+    /// Bounded so total effective capacity still exceeds the total load
+    /// (otherwise migration would gridlock).
+    double maxShrink = 0.3;
+  };
+
+  HotspotModel(std::size_t k, Options options)
+      : options_(options), heat_(k, 0.0) {}
+
+  /// Feeds one iteration's per-partition activity (size k).
+  void observe(const std::vector<double>& activity) noexcept {
+    for (std::size_t i = 0; i < heat_.size() && i < activity.size(); ++i) {
+      heat_[i] = primed_ ? options_.ewmaAlpha * activity[i] +
+                               (1.0 - options_.ewmaAlpha) * heat_[i]
+                         : activity[i];
+    }
+    primed_ = true;
+  }
+
+  [[nodiscard]] const std::vector<double>& heat() const noexcept { return heat_; }
+  [[nodiscard]] bool primed() const noexcept { return primed_; }
+
+  /// Capacities with hot partitions derated: partition i keeps
+  /// C(i)·(1 − maxShrink·excess_i), where excess_i ∈ [0, 1] is its heat above
+  /// the mean, normalised by the hottest partition's excess. Cooler-than-
+  /// average partitions keep full capacity.
+  [[nodiscard]] std::vector<std::size_t> effectiveCapacities(
+      const CapacityModel& base) const {
+    std::vector<std::size_t> capacities = base.capacities();
+    if (!primed_ || capacities.size() != heat_.size()) return capacities;
+    double mean = 0.0, peak = 0.0;
+    for (const double h : heat_) mean += h;
+    mean /= static_cast<double>(heat_.size());
+    for (const double h : heat_) peak = std::max(peak, h - mean);
+    if (peak <= 0.0) return capacities;
+    for (std::size_t i = 0; i < capacities.size(); ++i) {
+      const double excess = std::max(0.0, heat_[i] - mean) / peak;
+      const double scale = 1.0 - options_.maxShrink * excess;
+      capacities[i] =
+          static_cast<std::size_t>(static_cast<double>(capacities[i]) * scale);
+    }
+    return capacities;
+  }
+
+ private:
+  Options options_;
+  std::vector<double> heat_;
+  bool primed_ = false;
+};
+
+}  // namespace xdgp::core

@@ -1,0 +1,53 @@
+#include "core/migration_policy.h"
+
+#include <algorithm>
+
+namespace xdgp::core {
+
+MigrationPolicy::MigrationPolicy(std::size_t k) : counts_(k, 0) {
+  touched_.reserve(16);
+  best_.reserve(8);
+}
+
+graph::PartitionId MigrationPolicy::target(std::span<const graph::VertexId> neighbors,
+                                           const metrics::Assignment& assignment,
+                                           graph::PartitionId current,
+                                           std::uint32_t tieBreaker) {
+  touched_.clear();
+  std::uint32_t bestCount = 0;
+  for (const graph::VertexId nbr : neighbors) {
+    const graph::PartitionId p = assignment[nbr];
+    if (p == graph::kNoPartition) continue;  // neighbour mid-removal
+    if (counts_[p] == 0) touched_.push_back(p);
+    const std::uint32_t c = ++counts_[p];
+    if (c > bestCount) bestCount = c;
+  }
+  graph::PartitionId result = graph::kNoPartition;
+  if (bestCount > 0 && counts_[current] != bestCount) {
+    // Strictly better foreign partitions exist; pick among the argmax set.
+    best_.clear();
+    for (const graph::PartitionId p : touched_) {
+      if (counts_[p] == bestCount) best_.push_back(p);
+    }
+    result = best_.size() == 1 ? best_.front() : best_[tieBreaker % best_.size()];
+  }
+  for (const graph::PartitionId p : touched_) counts_[p] = 0;
+  return result;
+}
+
+std::vector<graph::PartitionId> MigrationPolicy::candidates(
+    std::span<const graph::VertexId> neighbors, const metrics::Assignment& assignment,
+    graph::PartitionId current) {
+  std::vector<graph::PartitionId> cand;
+  // Γ(v, t) includes v itself, so the current partition is always in.
+  cand.push_back(current);
+  for (const graph::VertexId nbr : neighbors) {
+    const graph::PartitionId p = assignment[nbr];
+    if (p == graph::kNoPartition) continue;
+    if (std::find(cand.begin(), cand.end(), p) == cand.end()) cand.push_back(p);
+  }
+  std::sort(cand.begin(), cand.end());
+  return cand;
+}
+
+}  // namespace xdgp::core

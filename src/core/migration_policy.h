@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "metrics/cuts.h"
+
+namespace xdgp::core {
+
+/// The paper's greedy vertex-migration heuristic (§2.1), evaluated with
+/// local information only: a vertex inspects the partitions of its
+/// neighbours and targets the one holding the most of them, preferring to
+/// stay whenever the current partition is among the best ("since migrating
+/// a vertex potentially introduces an overhead").
+class MigrationPolicy {
+ public:
+  /// Scratch buffers sized for k partitions; reuse one instance per thread.
+  explicit MigrationPolicy(std::size_t k);
+
+  /// Decision for vertex v with the given neighbourhood under `assignment`.
+  /// Returns kNoPartition to stay, otherwise the migration target.
+  ///
+  /// `tieBreaker` selects among equally-best foreign partitions (the paper
+  /// leaves ties unspecified; a caller-supplied draw keeps runs seedable).
+  [[nodiscard]] graph::PartitionId target(std::span<const graph::VertexId> neighbors,
+                                          const metrics::Assignment& assignment,
+                                          graph::PartitionId current,
+                                          std::uint32_t tieBreaker = 0);
+
+  /// Candidate partitions cand(v, t): every partition containing v or one of
+  /// its neighbours, i.e. the support of Γ(v, t) (exposed for tests and for
+  /// the paper's formal definition).
+  [[nodiscard]] std::vector<graph::PartitionId> candidates(
+      std::span<const graph::VertexId> neighbors,
+      const metrics::Assignment& assignment, graph::PartitionId current);
+
+ private:
+  /// Sparse per-partition neighbour counts: counts_ reset via touched_ so a
+  /// decision costs O(deg), not O(k).
+  std::vector<std::uint32_t> counts_;
+  std::vector<graph::PartitionId> touched_;
+  std::vector<graph::PartitionId> best_;
+};
+
+}  // namespace xdgp::core

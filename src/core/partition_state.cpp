@@ -1,0 +1,72 @@
+#include "core/partition_state.h"
+
+#include <stdexcept>
+
+namespace xdgp::core {
+
+PartitionState::PartitionState(const graph::DynamicGraph& g,
+                               metrics::Assignment initial, std::size_t k)
+    : assignment_(std::move(initial)), loads_(k, 0), degreeLoads_(k, 0) {
+  if (assignment_.size() < g.idBound()) assignment_.resize(g.idBound(), graph::kNoPartition);
+  g.forEachVertex([&](graph::VertexId v) {
+    const graph::PartitionId p = assignment_[v];
+    if (p >= k) {
+      throw std::invalid_argument("PartitionState: unassigned or out-of-range vertex");
+    }
+    ++loads_[p];
+    degreeLoads_[p] += g.degree(v);
+  });
+  g.forEachEdge([&](graph::VertexId u, graph::VertexId v) {
+    if (assignment_[u] != assignment_[v]) ++cuts_;
+  });
+}
+
+void PartitionState::moveVertex(const graph::DynamicGraph& g, graph::VertexId v,
+                                graph::PartitionId to) {
+  const graph::PartitionId from = assignment_[v];
+  if (from == to) return;
+  for (const graph::VertexId nbr : g.neighbors(v)) {
+    const graph::PartitionId np = assignment_[nbr];
+    if (np == from) ++cuts_;        // was internal, becomes cut
+    else if (np == to) --cuts_;     // was cut, becomes internal
+  }
+  --loads_[from];
+  ++loads_[to];
+  const std::size_t degree = g.degree(v);
+  degreeLoads_[from] -= degree;
+  degreeLoads_[to] += degree;
+  assignment_[v] = to;
+}
+
+void PartitionState::onVertexAdded(graph::VertexId v, graph::PartitionId p) {
+  if (v >= assignment_.size()) assignment_.resize(v + 1, graph::kNoPartition);
+  assignment_[v] = p;
+  ++loads_[p];
+  // A streamed-in vertex starts isolated; its edges arrive as edge events.
+}
+
+void PartitionState::onVertexRemoving(const graph::DynamicGraph& g, graph::VertexId v) {
+  const graph::PartitionId p = assignment_[v];
+  for (const graph::VertexId nbr : g.neighbors(v)) {
+    if (assignment_[nbr] != p) --cuts_;
+    // The neighbour loses one degree in its own partition.
+    --degreeLoads_[assignment_[nbr]];
+  }
+  --loads_[p];
+  degreeLoads_[p] -= g.degree(v);
+  assignment_[v] = graph::kNoPartition;
+}
+
+void PartitionState::onEdgeAdded(graph::VertexId u, graph::VertexId v) {
+  if (assignment_[u] != assignment_[v]) ++cuts_;
+  ++degreeLoads_[assignment_[u]];
+  ++degreeLoads_[assignment_[v]];
+}
+
+void PartitionState::onEdgeRemoved(graph::VertexId u, graph::VertexId v) {
+  if (assignment_[u] != assignment_[v]) --cuts_;
+  --degreeLoads_[assignment_[u]];
+  --degreeLoads_[assignment_[v]];
+}
+
+}  // namespace xdgp::core

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+#include "metrics/cuts.h"
+
+namespace xdgp::core {
+
+/// Mutable view of "which partition holds each vertex", with partition loads
+/// and the cut-edge count |Ec| maintained incrementally (O(deg) per change).
+/// The test suite cross-checks the incremental cut against the brute-force
+/// metrics::cutEdges after every kind of mutation.
+class PartitionState {
+ public:
+  PartitionState() = default;
+
+  /// Adopts `initial` (indexed by dense vertex id over g.idBound()).
+  /// Every alive vertex must be assigned to a partition in [0, k).
+  PartitionState(const graph::DynamicGraph& g, metrics::Assignment initial,
+                 std::size_t k);
+
+  [[nodiscard]] std::size_t k() const noexcept { return loads_.size(); }
+
+  [[nodiscard]] graph::PartitionId partitionOf(graph::VertexId v) const noexcept {
+    return v < assignment_.size() ? assignment_[v] : graph::kNoPartition;
+  }
+
+  [[nodiscard]] const metrics::Assignment& assignment() const noexcept {
+    return assignment_;
+  }
+
+  [[nodiscard]] std::size_t load(std::size_t i) const noexcept { return loads_[i]; }
+  [[nodiscard]] const std::vector<std::size_t>& loads() const noexcept {
+    return loads_;
+  }
+
+  /// Degree sum Σ_{v∈P(i)} deg(v) per partition — the load measure of the
+  /// paper's §6 edge-balanced extension (PageRank-style algorithms cost
+  /// O(edges), so balancing degree sums balances their compute).
+  [[nodiscard]] std::size_t degreeLoad(std::size_t i) const noexcept {
+    return degreeLoads_[i];
+  }
+  [[nodiscard]] const std::vector<std::size_t>& degreeLoads() const noexcept {
+    return degreeLoads_;
+  }
+
+  /// Incrementally-maintained |Ec|.
+  [[nodiscard]] std::size_t cutEdges() const noexcept { return cuts_; }
+
+  [[nodiscard]] double cutRatio(const graph::DynamicGraph& g) const noexcept {
+    return g.numEdges() ? static_cast<double>(cuts_) /
+                              static_cast<double>(g.numEdges())
+                        : 0.0;
+  }
+
+  /// Moves v to partition `to`, updating loads and the cut count against the
+  /// *current* assignment of its neighbours. Applying a batch of moves one
+  /// by one lands on the same state regardless of order.
+  void moveVertex(const graph::DynamicGraph& g, graph::VertexId v,
+                  graph::PartitionId to);
+
+  /// Registers a vertex that just joined the graph (no incident edges yet).
+  void onVertexAdded(graph::VertexId v, graph::PartitionId p);
+
+  /// Unregisters a vertex; call *before* g.removeVertex(v) so its incident
+  /// cut edges can be subtracted.
+  void onVertexRemoving(const graph::DynamicGraph& g, graph::VertexId v);
+
+  /// Registers an edge that was just inserted into the graph.
+  void onEdgeAdded(graph::VertexId u, graph::VertexId v);
+
+  /// Registers an edge removal; call after (or instead of) the graph change.
+  void onEdgeRemoved(graph::VertexId u, graph::VertexId v);
+
+ private:
+  metrics::Assignment assignment_;
+  std::vector<std::size_t> loads_;
+  std::vector<std::size_t> degreeLoads_;
+  std::size_t cuts_ = 0;
+};
+
+}  // namespace xdgp::core

@@ -1,0 +1,31 @@
+#include "core/quota_ledger.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xdgp::core {
+
+QuotaLedger::QuotaLedger(std::size_t k)
+    : k_(k), quotas_(k, 0), used_(k * k, 0) {
+  if (k == 0) throw std::invalid_argument("QuotaLedger: k must be positive");
+}
+
+void QuotaLedger::beginIteration(const CapacityModel& capacity,
+                                 const std::vector<std::size_t>& loads) {
+  std::fill(used_.begin(), used_.end(), 0);
+  const std::size_t sources = k_ > 1 ? k_ - 1 : 1;
+  for (std::size_t j = 0; j < k_; ++j) {
+    quotas_[j] = capacity.remaining(j, loads[j]) / sources;
+  }
+}
+
+bool QuotaLedger::tryAdmit(graph::PartitionId i, graph::PartitionId j,
+                           std::size_t units) {
+  if (i == j || j >= k_ || units == 0) return false;
+  std::size_t& used = used_[i * k_ + j];
+  if (used + units > quotas_[j]) return false;
+  used += units;
+  return true;
+}
+
+}  // namespace xdgp::core

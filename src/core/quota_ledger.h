@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/capacity.h"
+#include "graph/types.h"
+
+namespace xdgp::core {
+
+/// Worst-case migration quotas (§2.2).
+///
+/// Capacity information is one iteration stale and migration decisions are
+/// independent, so the only safe admission rule with local knowledge splits
+/// each destination's remaining capacity equally across all possible source
+/// partitions:
+///     Q_t(i, j) = C_t(j) / (|P_t| − 1),  j != i.
+/// Even if every source exhausts its quota simultaneously, partition j
+/// receives at most C_t(j) vertices — the capacity invariant the tests
+/// assert after every iteration.
+class QuotaLedger {
+ public:
+  explicit QuotaLedger(std::size_t k);
+
+  /// Recomputes quotas from the loads at the start of an iteration and
+  /// clears the per-pair usage counters.
+  void beginIteration(const CapacityModel& capacity,
+                      const std::vector<std::size_t>& loads);
+
+  /// Admits (and records) a migration from partition i to j when the pair
+  /// quota still has room for `units` more load (1 for vertex balancing,
+  /// deg(v) for the §6 edge-balanced extension). Self-moves are rejected.
+  [[nodiscard]] bool tryAdmit(graph::PartitionId i, graph::PartitionId j,
+                              std::size_t units = 1);
+
+  /// The per-pair quota Q_t(i, j) currently in force (same for every i).
+  [[nodiscard]] std::size_t quota(graph::PartitionId j) const noexcept {
+    return quotas_[j];
+  }
+
+  [[nodiscard]] std::size_t used(graph::PartitionId i,
+                                 graph::PartitionId j) const noexcept {
+    return used_[i * k_ + j];
+  }
+
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+
+ private:
+  std::size_t k_;
+  std::vector<std::size_t> quotas_;  // per destination
+  std::vector<std::size_t> used_;    // k x k, row = source
+};
+
+}  // namespace xdgp::core

@@ -1,0 +1,110 @@
+#include "gen/cdr_stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/powerlaw_cluster.h"
+
+namespace xdgp::gen {
+
+namespace {
+using graph::UpdateEvent;
+using graph::VertexId;
+}  // namespace
+
+CdrStreamGenerator::CdrStreamGenerator(CdrStreamParams params, util::Rng rng)
+    : params_(params), rng_(rng) {
+  // Warm-up month: the subscriber base with reciprocated social ties and
+  // the paper's average degree (10.1) and mild power-law skew.
+  const auto targetEdges = static_cast<std::size_t>(
+      static_cast<double>(params_.initialSubscribers) * params_.meanDegree / 2.0);
+  graph_ = powerlawClusterTarget(params_.initialSubscribers, targetEdges,
+                                 /*p=*/0.35, rng_);
+}
+
+VertexId CdrStreamGenerator::sampleSubscriber() {
+  // Rejection-sample an alive vertex; the id space stays compact because
+  // removals recycle ids, so a handful of draws suffice.
+  for (int attempts = 0; attempts < 64; ++attempts) {
+    const auto id = static_cast<VertexId>(rng_.index(graph_.idBound()));
+    if (graph_.hasVertex(id)) return id;
+  }
+  return graph_.vertices().front();  // degenerate fallback (near-empty graph)
+}
+
+void CdrStreamGenerator::addTie(VertexId u, CdrWeek& out, double timestamp) {
+  VertexId target = graph::kInvalidVertex;
+  if (rng_.bernoulli(params_.triadicBias) && graph_.degree(u) > 0) {
+    // Friend-of-friend call: pick a random neighbour, then one of theirs.
+    const auto nbrs = graph_.neighbors(u);
+    const VertexId via = nbrs[rng_.index(nbrs.size())];
+    const auto second = graph_.neighbors(via);
+    if (!second.empty()) {
+      const VertexId cand = second[rng_.index(second.size())];
+      if (cand != u && !graph_.hasEdge(u, cand)) target = cand;
+    }
+  }
+  if (target == graph::kInvalidVertex) {
+    const VertexId cand = sampleSubscriber();
+    if (cand == u || graph_.hasEdge(u, cand)) return;
+    target = cand;
+  }
+  if (graph_.addEdge(u, target)) {
+    out.events.push_back(UpdateEvent::addEdge(u, target, timestamp));
+    ++out.edgesAdded;
+  }
+}
+
+CdrWeek CdrStreamGenerator::nextWeek() {
+  CdrWeek out;
+  out.index = week_;
+  const double base = static_cast<double>(week_);
+  const std::size_t population = graph_.numVertices();
+  const std::size_t edgesBefore = graph_.numEdges();
+
+  // 1) Deletions: subscribers inactive for over a week leave the graph.
+  auto alive = graph_.vertices();
+  rng_.shuffle(alive);
+  const auto removeCount = static_cast<std::size_t>(
+      std::llround(static_cast<double>(population) * params_.weeklyRemoveRate));
+  for (std::size_t i = 0; i < removeCount && i < alive.size(); ++i) {
+    const VertexId victim = alive[i];
+    out.edgesRemoved += graph_.degree(victim);
+    graph_.removeVertex(victim);
+    out.events.push_back(
+        UpdateEvent::removeVertex(victim, base + 0.25 * rng_.uniform()));
+    ++out.verticesRemoved;
+  }
+
+  // 2) Additions: new subscribers join and place their first calls.
+  const auto addCount = static_cast<std::size_t>(
+      std::llround(static_cast<double>(population) * params_.weeklyAddRate));
+  for (std::size_t i = 0; i < addCount; ++i) {
+    const double t = base + 0.25 + 0.5 * rng_.uniform();
+    const VertexId fresh = graph_.addVertex();
+    out.events.push_back(UpdateEvent::addVertex(fresh, t));
+    ++out.verticesAdded;
+    // First call to an established subscriber, then friend-of-friend ties.
+    const std::size_t ties = 2 + rng_.below(4);  // 2..5 initial contacts
+    for (std::size_t k = 0; k < ties; ++k) addTie(fresh, out, t);
+  }
+
+  // 3) Ongoing call activity replaces ties lost to churn, keeping the mean
+  //    degree stable the way a steady call mix does.
+  const std::size_t edgesNow = graph_.numEdges();
+  if (edgesNow < edgesBefore) {
+    const std::size_t deficit = edgesBefore - edgesNow;
+    for (std::size_t k = 0; k < deficit; ++k) {
+      addTie(sampleSubscriber(), out, base + 0.75 + 0.25 * rng_.uniform());
+    }
+  }
+
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const UpdateEvent& a, const UpdateEvent& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  ++week_;
+  return out;
+}
+
+}  // namespace xdgp::gen

@@ -1,0 +1,72 @@
+#include "gen/dataset_catalog.h"
+
+#include <stdexcept>
+
+#include "gen/mesh2d.h"
+#include "gen/mesh3d.h"
+#include "gen/powerlaw_cluster.h"
+
+namespace xdgp::gen {
+
+namespace {
+
+std::vector<DatasetSpec> buildCatalog() {
+  std::vector<DatasetSpec> specs;
+
+  specs.push_back({"1e4", "FEM", "synth", 10'000, 27'900, 10'000, false,
+                   [](util::Rng&) { return mesh3d(10, 10, 100); }});
+  specs.push_back({"64kcube", "FEM", "synth", 64'000, 187'200, 64'000, false,
+                   [](util::Rng&) { return mesh3d(40, 40, 40); }});
+  specs.push_back({"1e6", "FEM", "synth", 1'000'000, 2'970'000, 1'000'000, false,
+                   [](util::Rng&) { return mesh3d(100, 100, 100); }});
+  // Paper scale: 10^8 vertices (3 TB in the authors' cluster RAM). Default
+  // generation is a 125^3 mesh; the generator itself scales to any size.
+  specs.push_back({"1e8", "FEM", "synth (scaled default)", 100'000'000,
+                   297'000'000, 1'953'125, false,
+                   [](util::Rng&) { return mesh3d(125, 125, 125); }});
+  specs.push_back({"3elt", "FEM", "synth substitute for Walshaw [34]", 4'720,
+                   13'722, 4'720, true,
+                   [](util::Rng&) { return mesh2dApprox(4'720); }});
+  specs.push_back({"4elt", "FEM", "synth substitute for Walshaw [34]", 15'606,
+                   45'878, 15'606, true,
+                   [](util::Rng&) { return mesh2dApprox(15'606); }});
+  specs.push_back({"plc1000", "pwlaw", "synth", 1'000, 9'879, 1'000, false,
+                   [](util::Rng& rng) { return powerlawCluster(1'000, 10, 0.1, rng); }});
+  specs.push_back(
+      {"plc10000", "pwlaw", "synth", 10'000, 129'774, 10'000, false,
+       [](util::Rng& rng) { return powerlawCluster(10'000, 13, 0.1, rng); }});
+  specs.push_back(
+      {"plc50000", "pwlaw", "synth", 50'000, 1'249'061, 50'000, false,
+       [](util::Rng& rng) { return powerlawCluster(50'000, 25, 0.1, rng); }});
+  specs.push_back({"wikivote", "pwlaw", "synth substitute for SNAP [19]", 7'115,
+                   103'689, 7'115, true, [](util::Rng& rng) {
+                     return powerlawClusterTarget(7'115, 103'689, 0.1, rng);
+                   }});
+  specs.push_back({"epinion", "pwlaw", "synth substitute for SNAP [30]", 75'879,
+                   508'837, 75'879, true, [](util::Rng& rng) {
+                     return powerlawClusterTarget(75'879, 508'837, 0.1, rng);
+                   }});
+  // Paper scale: 1 M vertices / 41.2 M edges. Default generation keeps the
+  // vertex count but a scaled edge budget fit for one machine.
+  specs.push_back({"uk-2007-05-u", "pwlaw", "synth substitute for LAW [2] (scaled default)",
+                   1'000'000, 41'247'159, 100'000, true, [](util::Rng& rng) {
+                     return powerlawClusterTarget(100'000, 4'124'715, 0.1, rng);
+                   }});
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& datasetCatalog() {
+  static const std::vector<DatasetSpec> catalog = buildCatalog();
+  return catalog;
+}
+
+const DatasetSpec& datasetByName(const std::string& name) {
+  for (const DatasetSpec& spec : datasetCatalog()) {
+    if (spec.name == name) return spec;
+  }
+  throw std::out_of_range("datasetByName: unknown dataset " + name);
+}
+
+}  // namespace xdgp::gen

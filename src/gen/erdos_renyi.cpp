@@ -1,0 +1,20 @@
+#include "gen/erdos_renyi.h"
+
+#include <algorithm>
+
+namespace xdgp::gen {
+
+graph::DynamicGraph erdosRenyi(std::size_t n, std::size_t edges, util::Rng& rng) {
+  graph::DynamicGraph g(n);
+  if (n < 2) return g;
+  const std::size_t maxEdges = n * (n - 1) / 2;
+  const std::size_t target = std::min(edges, maxEdges);
+  while (g.numEdges() < target) {
+    const auto u = static_cast<graph::VertexId>(rng.index(n));
+    const auto v = static_cast<graph::VertexId>(rng.index(n));
+    if (u != v) g.addEdge(u, v);
+  }
+  return g;
+}
+
+}  // namespace xdgp::gen

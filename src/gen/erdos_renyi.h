@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstddef>
+
+#include "graph/dynamic_graph.h"
+#include "util/rng.h"
+
+namespace xdgp::gen {
+
+/// G(n, M): exactly `edges` distinct uniform random edges over n vertices.
+/// Used by tests as the unstructured control case (no locality to exploit,
+/// so partitioning quality should stay near the random baseline).
+graph::DynamicGraph erdosRenyi(std::size_t n, std::size_t edges, util::Rng& rng);
+
+}  // namespace xdgp::gen

@@ -1,0 +1,54 @@
+#include "gen/forest_fire.h"
+
+#include <deque>
+#include <unordered_set>
+
+namespace xdgp::gen {
+
+namespace {
+using graph::UpdateEvent;
+using graph::VertexId;
+}  // namespace
+
+std::vector<UpdateEvent> forestFireExtension(graph::DynamicGraph& g,
+                                             std::size_t newVertices,
+                                             const ForestFireParams& params,
+                                             util::Rng& rng, double timestamp) {
+  std::vector<UpdateEvent> events;
+  events.reserve(newVertices * 4);
+  std::vector<VertexId> population = g.vertices();
+  if (population.empty()) return events;
+  population.reserve(population.size() + newVertices);
+
+  for (std::size_t i = 0; i < newVertices; ++i) {
+    const VertexId ambassador = population[rng.index(population.size())];
+    const VertexId fresh = g.addVertex();
+    events.push_back(UpdateEvent::addVertex(fresh, timestamp));
+
+    // Spread the fire breadth-first from the ambassador.
+    std::unordered_set<VertexId> burned{ambassador};
+    std::deque<VertexId> frontier{ambassador};
+    while (!frontier.empty() && burned.size() < params.maxBurn) {
+      const VertexId at = frontier.front();
+      frontier.pop_front();
+      const std::uint32_t toBurn = rng.geometric(params.forward);
+      std::uint32_t burnedHere = 0;
+      for (const VertexId nbr : g.neighbors(at)) {
+        if (burnedHere >= toBurn || burned.size() >= params.maxBurn) break;
+        if (nbr == fresh || burned.count(nbr)) continue;
+        burned.insert(nbr);
+        frontier.push_back(nbr);
+        ++burnedHere;
+      }
+    }
+    for (const VertexId victim : burned) {
+      if (g.addEdge(fresh, victim)) {
+        events.push_back(UpdateEvent::addEdge(fresh, victim, timestamp));
+      }
+    }
+    population.push_back(fresh);
+  }
+  return events;
+}
+
+}  // namespace xdgp::gen

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "graph/update_stream.h"
+#include "util/rng.h"
+
+namespace xdgp::gen {
+
+/// Parameters of the Leskovec forest-fire growth model used by the paper to
+/// "mimic dynamic changes" of its static graphs (§4.1) and to inject the
+/// Fig. 7b load peak (+10 % vertices, +30 % edges, all at once).
+struct ForestFireParams {
+  /// Forward burning probability; each burned vertex ignites
+  /// Geometric(forward) of its unburned neighbours, so the fire is a
+  /// branching process with mean offspring forward/(1−forward). The default
+  /// keeps it subcritical at ~0.67, giving a mean burned set of ~3 — the
+  /// Fig. 7b ratio of +30 % edges for +10 % vertices on a 3-connected mesh.
+  double forward = 0.40;
+  /// Hard cap on vertices burned per new arrival (keeps the heavy tail of
+  /// the fire from consuming the graph; Leskovec's implementation does the
+  /// same via burn-in limits).
+  std::size_t maxBurn = 16;
+};
+
+/// Grows `g` by `newVertices` arrivals following the forest-fire process:
+/// every new vertex picks a random ambassador, links to it, and links to
+/// every vertex reached by the fire spreading from the ambassador.
+///
+/// The graph is mutated in place; the returned events (AddVertex + AddEdge,
+/// all stamped with `timestamp`) are the stream form consumed by the
+/// engine's mutation ingestion — "simultaneous creation of all the new
+/// vertices", the paper's worst case.
+std::vector<graph::UpdateEvent> forestFireExtension(graph::DynamicGraph& g,
+                                                    std::size_t newVertices,
+                                                    const ForestFireParams& params,
+                                                    util::Rng& rng,
+                                                    double timestamp = 0.0);
+
+}  // namespace xdgp::gen

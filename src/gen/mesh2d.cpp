@@ -1,0 +1,29 @@
+#include "gen/mesh2d.h"
+
+#include <cmath>
+
+namespace xdgp::gen {
+
+graph::DynamicGraph mesh2d(std::size_t nx, std::size_t ny) {
+  graph::DynamicGraph g(nx * ny);
+  const auto id = [nx](std::size_t x, std::size_t y) {
+    return static_cast<graph::VertexId>(y * nx + x);
+  };
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      if (x + 1 < nx) g.addEdge(id(x, y), id(x + 1, y));
+      if (y + 1 < ny) g.addEdge(id(x, y), id(x, y + 1));
+      if (x + 1 < nx && y + 1 < ny) g.addEdge(id(x, y), id(x + 1, y + 1));
+    }
+  }
+  return g;
+}
+
+graph::DynamicGraph mesh2dApprox(std::size_t n) {
+  auto side = static_cast<std::size_t>(std::llround(std::sqrt(static_cast<double>(n))));
+  if (side == 0) side = 1;
+  const std::size_t ny = (n + side - 1) / side;
+  return mesh2d(side, ny);
+}
+
+}  // namespace xdgp::gen

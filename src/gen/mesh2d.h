@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstddef>
+
+#include "graph/dynamic_graph.h"
+
+namespace xdgp::gen {
+
+/// 2-D triangulated grid: nx × ny lattice with one diagonal per cell, giving
+/// the bounded-degree (<= 6) structure of 2-D finite-element meshes.
+///
+/// Edge count: (nx−1)·ny + nx·(ny−1) + (nx−1)·(ny−1).
+///
+/// This is the offline substitute for the Walshaw-archive meshes `3elt`
+/// (4 720 V / 13 722 E) and `4elt` (15 606 V / 45 878 E) used in Table 1 /
+/// Fig. 5: same graph family (planar triangulation, average degree ~5.8),
+/// sizes matched by mesh2dApprox(). See DESIGN.md §2.
+graph::DynamicGraph mesh2d(std::size_t nx, std::size_t ny);
+
+/// Triangulated grid with ~n vertices (near-square aspect).
+graph::DynamicGraph mesh2dApprox(std::size_t n);
+
+}  // namespace xdgp::gen

@@ -1,0 +1,30 @@
+#include "gen/mesh3d.h"
+
+#include <cmath>
+
+namespace xdgp::gen {
+
+graph::DynamicGraph mesh3d(std::size_t nx, std::size_t ny, std::size_t nz) {
+  graph::DynamicGraph g(nx * ny * nz);
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t x = 0; x < nx; ++x) {
+        const auto id = mesh3dId(nx, ny, x, y, z);
+        if (x + 1 < nx) g.addEdge(id, mesh3dId(nx, ny, x + 1, y, z));
+        if (y + 1 < ny) g.addEdge(id, mesh3dId(nx, ny, x, y + 1, z));
+        if (z + 1 < nz) g.addEdge(id, mesh3dId(nx, ny, x, y, z + 1));
+      }
+    }
+  }
+  return g;
+}
+
+graph::DynamicGraph mesh3dApprox(std::size_t n) {
+  auto side = static_cast<std::size_t>(std::llround(std::cbrt(static_cast<double>(n))));
+  if (side == 0) side = 1;
+  // Stretch the last axis to land as close to n as possible.
+  const std::size_t nz = (n + side * side - 1) / (side * side);
+  return mesh3d(side, side, nz);
+}
+
+}  // namespace xdgp::gen

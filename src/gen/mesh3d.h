@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+
+#include "graph/dynamic_graph.h"
+
+namespace xdgp::gen {
+
+/// 3-D regular cubic lattice: the paper's synthetic FEM family, "modelling
+/// the electric connections between heart cells" (§4.1, ten Tusscher model).
+///
+/// Vertices are lattice points of an nx × ny × nz box; each vertex connects
+/// to its 6-neighbourhood. Edge count is exactly
+///   (nx−1)·ny·nz + nx·(ny−1)·nz + nx·ny·(nz−1),
+/// which reproduces Table 1 exactly:
+///   1e4     = mesh3d(10, 10, 100)  -> 10 000 V, 27 900 E
+///   64kcube = mesh3d(40, 40, 40)   -> 64 000 V, 187 200 E
+///   1e6     = mesh3d(100, 100, 100)-> 1 000 000 V, 2 970 000 E
+graph::DynamicGraph mesh3d(std::size_t nx, std::size_t ny, std::size_t nz);
+
+/// Vertex id of lattice point (x, y, z) in the mesh3d id scheme.
+[[nodiscard]] constexpr graph::VertexId mesh3dId(std::size_t nx, std::size_t ny,
+                                                 std::size_t x, std::size_t y,
+                                                 std::size_t z) noexcept {
+  return static_cast<graph::VertexId>((z * ny + y) * nx + x);
+}
+
+/// Near-cubic box with ~n vertices: side = round(cbrt(n)); used by the
+/// Fig. 6 scalability sweep where the paper grows meshes 1 000 -> 300 000.
+graph::DynamicGraph mesh3dApprox(std::size_t n);
+
+}  // namespace xdgp::gen

@@ -1,0 +1,94 @@
+#include "gen/powerlaw_cluster.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+namespace xdgp::gen {
+
+namespace {
+
+using graph::VertexId;
+
+/// networkX _random_subset: sample `count` *distinct* elements from `pool`
+/// with degree-proportional repetition semantics (pool holds one entry per
+/// incident edge endpoint).
+std::vector<VertexId> randomSubset(const std::vector<VertexId>& pool,
+                                   std::size_t count, util::Rng& rng) {
+  std::unordered_set<VertexId> chosen;
+  chosen.reserve(count * 2);
+  while (chosen.size() < count) chosen.insert(pool[rng.index(pool.size())]);
+  return {chosen.begin(), chosen.end()};
+}
+
+graph::DynamicGraph holmeKim(std::size_t n, const std::vector<std::size_t>& mPerVertex,
+                             std::size_t mMax, double p, util::Rng& rng) {
+  graph::DynamicGraph g(n);
+  // repeated_nodes: one entry per edge endpoint => preferential attachment.
+  std::vector<VertexId> repeated;
+  repeated.reserve(2 * n * mMax);
+  for (std::size_t i = 0; i < mMax; ++i) repeated.push_back(static_cast<VertexId>(i));
+
+  for (std::size_t source = mMax; source < n; ++source) {
+    const std::size_t m = mPerVertex[source];
+    const auto src = static_cast<VertexId>(source);
+    auto possibleTargets = randomSubset(repeated, m, rng);
+    VertexId target = possibleTargets.back();
+    possibleTargets.pop_back();
+    g.addEdge(src, target);
+    repeated.push_back(target);
+    std::size_t count = 1;
+    while (count < m) {
+      bool didTriad = false;
+      if (rng.bernoulli(p)) {
+        // Triad formation: close a triangle through the previous target.
+        std::vector<VertexId> neighborhood;
+        for (const VertexId nbr : g.neighbors(target)) {
+          if (nbr != src && !g.hasEdge(src, nbr)) neighborhood.push_back(nbr);
+        }
+        if (!neighborhood.empty()) {
+          const VertexId nbr = neighborhood[rng.index(neighborhood.size())];
+          g.addEdge(src, nbr);
+          repeated.push_back(nbr);
+          ++count;
+          didTriad = true;
+        }
+      }
+      if (!didTriad) {
+        target = possibleTargets.back();
+        possibleTargets.pop_back();
+        g.addEdge(src, target);  // may be a duplicate: dropped, like networkX
+        repeated.push_back(target);
+        ++count;
+      }
+    }
+    for (std::size_t i = 0; i < m; ++i) repeated.push_back(src);
+  }
+  return g;
+}
+
+}  // namespace
+
+graph::DynamicGraph powerlawCluster(std::size_t n, std::size_t m, double p,
+                                    util::Rng& rng) {
+  if (m < 1 || m >= n) m = std::max<std::size_t>(1, std::min(m, n > 1 ? n - 1 : 1));
+  return holmeKim(n, std::vector<std::size_t>(n, m), m, p, rng);
+}
+
+graph::DynamicGraph powerlawClusterTarget(std::size_t n, std::size_t targetEdges,
+                                          double p, util::Rng& rng) {
+  const double mExact =
+      static_cast<double>(targetEdges) / static_cast<double>(n > 0 ? n : 1);
+  const auto mLo = static_cast<std::size_t>(mExact);
+  const std::size_t mHi = mLo + 1;
+  const double hiShare = mExact - static_cast<double>(mLo);
+  std::vector<std::size_t> mPerVertex(n, mLo);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (rng.bernoulli(hiShare)) mPerVertex[v] = mHi;
+  }
+  const std::size_t mMax = std::max<std::size_t>(1, mHi);
+  for (auto& m : mPerVertex) m = std::max<std::size_t>(1, m);
+  return holmeKim(n, mPerVertex, mMax, p, rng);
+}
+
+}  // namespace xdgp::gen

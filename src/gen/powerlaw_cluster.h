@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+
+#include "graph/dynamic_graph.h"
+#include "util/rng.h"
+
+namespace xdgp::gen {
+
+/// Holme–Kim power-law graph with tunable clustering — the generator behind
+/// the paper's `plc*` datasets ("generated with networkX, using its power law
+/// degree distribution and approximate average clustering", §4.1; Holme &
+/// Kim 2002). Faithful port of networkx.powerlaw_cluster_graph(n, m, p):
+///
+///  - start with m isolated vertices;
+///  - every new vertex attaches m edges: the first by preferential
+///    attachment, each subsequent one with probability p to a random
+///    neighbour of the previous target (triad formation, the clustering
+///    knob), otherwise again by preferential attachment;
+///  - duplicate edges are dropped, so |E| lands slightly under (n−m)·m,
+///    exactly as in Table 1 (plc1000: 9 879 < 990·10).
+///
+/// The paper sets the intended average degree D = log|V| (=> m ≈ D/2 in
+/// base-2: plc1000 m=10, plc10000 m=13, plc50000 m=25) and p = 0.1.
+graph::DynamicGraph powerlawCluster(std::size_t n, std::size_t m, double p,
+                                    util::Rng& rng);
+
+/// Variant that hits a target edge count by mixing per-vertex attachment
+/// counts floor(mExact)/ceil(mExact). Used to match the real-graph stand-ins
+/// (wikivote-like, epinion-like) whose |E|/|V| is fractional.
+graph::DynamicGraph powerlawClusterTarget(std::size_t n, std::size_t targetEdges,
+                                          double p, util::Rng& rng);
+
+}  // namespace xdgp::gen

@@ -1,0 +1,40 @@
+#include "gen/rmat.h"
+
+namespace xdgp::gen {
+
+graph::DynamicGraph rmat(const RmatParams& params, util::Rng& rng) {
+  const std::size_t n = std::size_t{1} << params.scale;
+  const std::size_t targetEdges = params.edgeFactor * n;
+  graph::DynamicGraph g(n);
+
+  const double ab = params.a + params.b;
+  const double abc = ab + params.c;
+  std::size_t attempts = 0;
+  const std::size_t maxAttempts = targetEdges * 64;  // duplicates re-drawn
+  while (g.numEdges() < targetEdges && attempts++ < maxAttempts) {
+    std::size_t rowLo = 0, rowHi = n, colLo = 0, colHi = n;
+    for (std::size_t level = 0; level < params.scale; ++level) {
+      const double u = rng.uniform();
+      const std::size_t rowMid = (rowLo + rowHi) / 2;
+      const std::size_t colMid = (colLo + colHi) / 2;
+      if (u < params.a) {            // top-left
+        rowHi = rowMid;
+        colHi = colMid;
+      } else if (u < ab) {           // top-right
+        rowHi = rowMid;
+        colLo = colMid;
+      } else if (u < abc) {          // bottom-left
+        rowLo = rowMid;
+        colHi = colMid;
+      } else {                       // bottom-right
+        rowLo = rowMid;
+        colLo = colMid;
+      }
+    }
+    g.addEdge(static_cast<graph::VertexId>(rowLo),
+              static_cast<graph::VertexId>(colLo));
+  }
+  return g;
+}
+
+}  // namespace xdgp::gen

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+
+#include "graph/dynamic_graph.h"
+#include "util/rng.h"
+
+namespace xdgp::gen {
+
+/// R-MAT / Kronecker-style recursive-matrix generator (Chakrabarti, Zhan &
+/// Faloutsos 2004) — the other standard synthetic family in partitioning
+/// evaluations (Graph500 uses it). Each edge recursively descends into one
+/// of four adjacency-matrix quadrants with probabilities (a, b, c, d).
+///
+/// The defaults (0.57, 0.19, 0.19, 0.05) are the Graph500 parameters and
+/// yield skewed degrees with community-like self-similarity. Self-loops and
+/// duplicates are re-drawn so the edge count is exact.
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  // d = 1 - a - b - c
+  std::size_t scale = 10;        ///< 2^scale vertices
+  std::size_t edgeFactor = 8;    ///< edges = edgeFactor * 2^scale
+};
+
+graph::DynamicGraph rmat(const RmatParams& params, util::Rng& rng);
+
+}  // namespace xdgp::gen

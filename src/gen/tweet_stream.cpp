@@ -1,0 +1,98 @@
+#include "gen/tweet_stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xdgp::gen {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+namespace {
+
+std::vector<double> zipfCdf(std::size_t n, double exponent) {
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+    cdf[r] = total;
+  }
+  for (auto& c : cdf) c /= total;
+  return cdf;
+}
+
+}  // namespace
+
+TweetStreamGenerator::TweetStreamGenerator(TweetStreamParams params, util::Rng rng)
+    : params_(params), rng_(rng) {
+  if (params_.communitySize == 0) params_.communitySize = 1;
+  // Rank 0 is the most-mentioned account, globally and within each circle.
+  cumulativePopularity_ = zipfCdf(params_.users, params_.zipfExponent);
+  communityPopularity_ =
+      zipfCdf(std::min(params_.communitySize, params_.users), params_.zipfExponent);
+}
+
+double TweetStreamGenerator::rateAt(double hourOfDay) const noexcept {
+  // Two-harmonic diurnal profile: trough near 04:00, main peak near 20:00
+  // with an afternoon shoulder — the shape of the paper's Fig. 8 red line.
+  const double h = std::fmod(hourOfDay, 24.0);
+  const double main = std::cos(2.0 * kPi * (h - 20.0) / 24.0);
+  const double shoulder = 0.35 * std::cos(4.0 * kPi * (h - 14.0) / 24.0);
+  const double shape = 1.0 + 0.75 * main + shoulder * 0.3;
+  return std::max(0.1, params_.meanRate * shape);
+}
+
+graph::VertexId TweetStreamGenerator::samplePopular() {
+  const double u = rng_.uniform();
+  const auto it = std::lower_bound(cumulativePopularity_.begin(),
+                                   cumulativePopularity_.end(), u);
+  return static_cast<graph::VertexId>(
+      std::distance(cumulativePopularity_.begin(), it));
+}
+
+graph::VertexId TweetStreamGenerator::sampleInCommunity(graph::VertexId author) {
+  const std::size_t community = author / params_.communitySize;
+  const std::size_t base = community * params_.communitySize;
+  const std::size_t size =
+      std::min(params_.communitySize, params_.users - base);
+  const double u = rng_.uniform();
+  const auto it = std::lower_bound(communityPopularity_.begin(),
+                                   communityPopularity_.begin() +
+                                       static_cast<std::ptrdiff_t>(size),
+                                   u);
+  const auto rank = static_cast<std::size_t>(
+      std::distance(communityPopularity_.begin(), it));
+  return static_cast<graph::VertexId>(base + std::min(rank, size - 1));
+}
+
+std::vector<graph::UpdateEvent> TweetStreamGenerator::generate() {
+  std::vector<graph::UpdateEvent> events;
+  events.reserve(expectedEvents());
+  const double durationSec = params_.hours * 3600.0;
+  double t = 0.0;
+  while (t < durationSec) {
+    const double hourOfDay = params_.startHour + t / 3600.0;
+    const double rate = rateAt(hourOfDay);
+    // Thinned Poisson process: exponential inter-arrival at the local rate.
+    const double gap = -std::log(1.0 - rng_.uniform()) / rate;
+    t += gap;
+    if (t >= durationSec) break;
+    // Authors are drawn uniformly (everyone tweets); the mention lands in
+    // the author's social circle most of the time, otherwise on a global
+    // celebrity — both with Zipf popularity.
+    const auto author = static_cast<graph::VertexId>(rng_.index(params_.users));
+    const graph::VertexId mentioned = rng_.bernoulli(params_.withinCommunityProb)
+                                          ? sampleInCommunity(author)
+                                          : samplePopular();
+    if (author == mentioned) continue;
+    events.push_back(graph::UpdateEvent::addEdge(author, mentioned, t));
+  }
+  return events;
+}
+
+std::size_t TweetStreamGenerator::expectedEvents() const noexcept {
+  return static_cast<std::size_t>(params_.meanRate * params_.hours * 3600.0);
+}
+
+}  // namespace xdgp::gen

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/update_stream.h"
+#include "util/rng.h"
+
+namespace xdgp::gen {
+
+/// Synthetic stand-in for the paper's Twitter Streaming API feed (§4.3,
+/// Fig. 8: London, Friday 5 Oct 2012). Produces a time-stamped stream of
+/// mention edges "author -> mentioned" with:
+///
+///  - a diurnal rate profile (trough ~04:00, evening peak ~20:00) spanning
+///    the paper's observed 10–45 tweets/s band, scaled by `meanRate`;
+///  - community structure: London users mostly mention people in their own
+///    social circle (`withinCommunityProb`), the locality that makes a
+///    real mention graph partitionable at all;
+///  - Zipf-like mention popularity both within communities and across them
+///    (a small set of celebrity accounts receives most global mentions),
+///    yielding the power-law degree distribution the paper describes.
+///
+/// The substitution preserves the Fig. 8 comparison because both systems
+/// (static hash vs adaptive) are driven by the *same* stream; see DESIGN.md.
+struct TweetStreamParams {
+  std::size_t users = 50'000;    ///< user universe (paper: London-area users)
+  double meanRate = 15.0;        ///< tweets/second averaged over the day
+  double hours = 24.0;           ///< stream duration
+  double zipfExponent = 1.0;     ///< popularity skew for mention targets
+  double startHour = 0.0;        ///< local time at stream start
+  std::size_t communitySize = 130;      ///< users per social circle
+  double withinCommunityProb = 0.85;    ///< share of in-circle mentions
+};
+
+class TweetStreamGenerator {
+ public:
+  TweetStreamGenerator(TweetStreamParams params, util::Rng rng);
+
+  /// Diurnal tweets-per-second rate at local hour-of-day h in [0, 24).
+  [[nodiscard]] double rateAt(double hourOfDay) const noexcept;
+
+  /// Generates the full stream: AddEdge events with timestamps in seconds
+  /// from stream start. Self-mentions are skipped.
+  [[nodiscard]] std::vector<graph::UpdateEvent> generate();
+
+  /// Expected event count (integral of the rate profile).
+  [[nodiscard]] std::size_t expectedEvents() const noexcept;
+
+ private:
+  graph::VertexId samplePopular();
+  graph::VertexId sampleInCommunity(graph::VertexId author);
+
+  TweetStreamParams params_;
+  util::Rng rng_;
+  std::vector<double> cumulativePopularity_;  ///< global celebrity CDF
+  std::vector<double> communityPopularity_;   ///< within-circle rank CDF
+};
+
+}  // namespace xdgp::gen

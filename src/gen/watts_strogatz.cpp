@@ -1,0 +1,31 @@
+#include "gen/watts_strogatz.h"
+
+namespace xdgp::gen {
+
+graph::DynamicGraph wattsStrogatz(std::size_t n, std::size_t k, double beta,
+                                  util::Rng& rng) {
+  graph::DynamicGraph g(n);
+  if (n < 2) return g;
+  const std::size_t half = std::max<std::size_t>(1, k / 2);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t j = 1; j <= half; ++j) {
+      const auto u = static_cast<graph::VertexId>(v);
+      auto w = static_cast<graph::VertexId>((v + j) % n);
+      if (rng.bernoulli(beta)) {
+        // Rewire the far endpoint uniformly; retry on collisions so the
+        // degree budget is preserved.
+        for (int attempt = 0; attempt < 32; ++attempt) {
+          const auto candidate = static_cast<graph::VertexId>(rng.index(n));
+          if (candidate != u && !g.hasEdge(u, candidate)) {
+            w = candidate;
+            break;
+          }
+        }
+      }
+      g.addEdge(u, w);
+    }
+  }
+  return g;
+}
+
+}  // namespace xdgp::gen

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstddef>
+
+#include "graph/dynamic_graph.h"
+#include "util/rng.h"
+
+namespace xdgp::gen {
+
+/// Watts–Strogatz small-world graph: a ring lattice where each vertex
+/// connects to its `k` nearest neighbours (k even), with every edge rewired
+/// to a random endpoint with probability `beta`.
+///
+/// beta = 0 is a pure ring (ideal for the partitioner: contiguous arcs cut
+/// only 2k edges); beta = 1 approaches a random graph (nothing to exploit).
+/// Sweeping beta exposes exactly how partition quality tracks the amount of
+/// locality in the graph — a useful test family beyond the paper's two.
+graph::DynamicGraph wattsStrogatz(std::size_t n, std::size_t k, double beta,
+                                  util::Rng& rng);
+
+}  // namespace xdgp::gen

@@ -1,0 +1,55 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+
+namespace xdgp::graph {
+
+CsrGraph CsrGraph::fromGraph(const DynamicGraph& g) {
+  CsrGraph csr;
+  const std::size_t bound = g.idBound();
+  csr.offsets_.assign(bound + 1, 0);
+  csr.alive_.assign(bound, 0);
+  for (VertexId v = 0; v < bound; ++v) {
+    if (g.hasVertex(v)) {
+      csr.alive_[v] = 1;
+      csr.offsets_[v + 1] = g.degree(v);
+      ++csr.numAlive_;
+    }
+  }
+  for (std::size_t v = 0; v < bound; ++v) csr.offsets_[v + 1] += csr.offsets_[v];
+  csr.targets_.resize(csr.offsets_[bound]);
+  for (VertexId v = 0; v < bound; ++v) {
+    if (!g.hasVertex(v)) continue;
+    const auto nbrs = g.neighbors(v);
+    std::copy(nbrs.begin(), nbrs.end(), csr.targets_.begin() +
+                                            static_cast<std::ptrdiff_t>(csr.offsets_[v]));
+  }
+  return csr;
+}
+
+CsrGraph CsrGraph::fromEdges(std::size_t n, const std::vector<Edge>& edges) {
+  CsrGraph csr;
+  csr.offsets_.assign(n + 1, 0);
+  csr.alive_.assign(n, 1);
+  csr.numAlive_ = n;
+  for (const Edge& e : edges) {
+    ++csr.offsets_[e.u + 1];
+    ++csr.offsets_[e.v + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) csr.offsets_[v + 1] += csr.offsets_[v];
+  csr.targets_.resize(csr.offsets_[n]);
+  std::vector<std::size_t> cursor(csr.offsets_.begin(), csr.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    csr.targets_[cursor[e.u]++] = e.v;
+    csr.targets_[cursor[e.v]++] = e.u;
+  }
+  return csr;
+}
+
+std::size_t CsrGraph::maxDegree() const noexcept {
+  std::size_t best = 0;
+  for (VertexId v = 0; v < idBound(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+}  // namespace xdgp::graph

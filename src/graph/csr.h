@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+
+namespace xdgp::graph {
+
+/// Immutable compressed-sparse-row snapshot of a graph.
+///
+/// The initial-partitioning algorithms (hash/RND/DGR/MNN and the multilevel
+/// METIS-like baseline) operate on CSR snapshots: they model the paper's
+/// "initial partitioning: the graph is loaded on the different partitions"
+/// step, which sees the graph as it exists at load time.
+///
+/// Ids are the dense ids of the source graph; dead ids (if any) are retained
+/// with empty neighbour ranges so per-vertex arrays stay index-compatible.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds a snapshot from a dynamic graph.
+  static CsrGraph fromGraph(const DynamicGraph& g);
+
+  /// Builds from an explicit edge list over ids [0, n). Duplicate edges and
+  /// self-loops must have been removed by the caller.
+  static CsrGraph fromEdges(std::size_t n, const std::vector<Edge>& edges);
+
+  [[nodiscard]] std::size_t numVertices() const noexcept { return numAlive_; }
+  [[nodiscard]] std::size_t idBound() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  [[nodiscard]] std::size_t numEdges() const noexcept { return targets_.size() / 2; }
+
+  [[nodiscard]] bool alive(VertexId v) const noexcept {
+    return v < alive_.size() && alive_[v];
+  }
+
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const noexcept {
+    if (v >= idBound()) return {};
+    return {targets_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  [[nodiscard]] std::size_t degree(VertexId v) const noexcept {
+    return v < idBound() ? offsets_[v + 1] - offsets_[v] : 0;
+  }
+
+  template <typename Fn>
+  void forEachVertex(Fn&& fn) const {
+    for (VertexId v = 0; v < idBound(); ++v) {
+      if (alive_[v]) fn(v);
+    }
+  }
+
+  template <typename Fn>
+  void forEachEdge(Fn&& fn) const {
+    for (VertexId u = 0; u < idBound(); ++u) {
+      for (const VertexId v : neighbors(u)) {
+        if (u < v) fn(u, v);
+      }
+    }
+  }
+
+  [[nodiscard]] double averageDegree() const noexcept {
+    return numAlive_ ? 2.0 * static_cast<double>(numEdges()) /
+                           static_cast<double>(numAlive_)
+                     : 0.0;
+  }
+
+  [[nodiscard]] std::size_t maxDegree() const noexcept;
+
+ private:
+  std::vector<std::size_t> offsets_;  // size idBound()+1
+  std::vector<VertexId> targets_;     // both directions of every edge
+  std::vector<std::uint8_t> alive_;
+  std::size_t numAlive_ = 0;
+};
+
+}  // namespace xdgp::graph

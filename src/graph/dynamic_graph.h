@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace xdgp::graph {
+
+/// Mutable, undirected, in-memory graph with dense vertex ids.
+///
+/// This is the substrate the paper's system keeps in RAM: "once the graph has
+/// been loaded into memory, computation is run continuously; vertices/edges
+/// can be injected/removed from the graph during the computation from a
+/// stream" (§3). Removed vertex ids go to a free list and are recycled by
+/// addVertex(), keeping the id space compact for array-indexed per-vertex
+/// state.
+///
+/// Invariants (checked by the test suite):
+///  - adjacency is symmetric: v in N(u) <=> u in N(v);
+///  - no self-loops, no parallel edges;
+///  - numEdges() equals (sum of degrees) / 2 over alive vertices.
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+
+  /// Pre-creates `n` alive vertices with ids [0, n).
+  explicit DynamicGraph(std::size_t n);
+
+  /// Adds a vertex, recycling a freed id when available; returns its id.
+  VertexId addVertex();
+
+  /// Ensures `id` exists and is alive (grows the id space as needed).
+  void ensureVertex(VertexId id);
+
+  /// Removes a vertex and all incident edges. No-op when not alive.
+  void removeVertex(VertexId id);
+
+  /// Adds the undirected edge {u, v}; creates endpoints if missing.
+  /// Self-loops and duplicates are ignored. Returns true when inserted.
+  bool addEdge(VertexId u, VertexId v);
+
+  /// Removes the undirected edge {u, v}; returns true when it existed.
+  bool removeEdge(VertexId u, VertexId v);
+
+  [[nodiscard]] bool hasVertex(VertexId id) const noexcept {
+    return id < alive_.size() && alive_[id];
+  }
+  [[nodiscard]] bool hasEdge(VertexId u, VertexId v) const noexcept;
+
+  /// Neighbour view; valid until the next mutation of vertex `id`.
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId id) const noexcept;
+
+  [[nodiscard]] std::size_t degree(VertexId id) const noexcept {
+    return hasVertex(id) ? adjacency_[id].size() : 0;
+  }
+
+  /// Number of alive vertices.
+  [[nodiscard]] std::size_t numVertices() const noexcept { return numVertices_; }
+
+  /// Number of undirected edges.
+  [[nodiscard]] std::size_t numEdges() const noexcept { return numEdges_; }
+
+  /// Upper bound (exclusive) of the id space, including dead ids; the right
+  /// size for per-vertex state arrays.
+  [[nodiscard]] std::size_t idBound() const noexcept { return alive_.size(); }
+
+  /// Calls fn(id) for every alive vertex in increasing id order.
+  template <typename Fn>
+  void forEachVertex(Fn&& fn) const {
+    for (VertexId id = 0; id < alive_.size(); ++id) {
+      if (alive_[id]) fn(id);
+    }
+  }
+
+  /// Calls fn(u, v) once per undirected edge, with u < v.
+  template <typename Fn>
+  void forEachEdge(Fn&& fn) const {
+    for (VertexId u = 0; u < alive_.size(); ++u) {
+      if (!alive_[u]) continue;
+      for (const VertexId v : adjacency_[u]) {
+        if (u < v) fn(u, v);
+      }
+    }
+  }
+
+  /// Snapshot of alive vertex ids, ascending.
+  [[nodiscard]] std::vector<VertexId> vertices() const;
+
+  /// Average degree over alive vertices (0 when empty).
+  [[nodiscard]] double averageDegree() const noexcept {
+    return numVertices_ ? 2.0 * static_cast<double>(numEdges_) /
+                              static_cast<double>(numVertices_)
+                        : 0.0;
+  }
+
+  void reserveVertices(std::size_t n);
+
+ private:
+  void eraseDirected(VertexId from, VertexId to) noexcept;
+
+  std::vector<std::vector<VertexId>> adjacency_;
+  std::vector<std::uint8_t> alive_;
+  std::vector<VertexId> freeIds_;
+  std::size_t numVertices_ = 0;
+  std::size_t numEdges_ = 0;
+};
+
+}  // namespace xdgp::graph

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace xdgp::graph {
+
+/// Densifies sparse external identifiers (Twitter user ids, phone numbers)
+/// into the contiguous VertexId space the engine indexes with arrays.
+class IdMapper {
+ public:
+  /// Returns the dense id for `external`, allocating one on first sight.
+  VertexId intern(std::uint64_t external) {
+    const auto [it, inserted] =
+        toDense_.try_emplace(external, static_cast<VertexId>(toExternal_.size()));
+    if (inserted) toExternal_.push_back(external);
+    return it->second;
+  }
+
+  /// Dense id if known, kInvalidVertex otherwise.
+  [[nodiscard]] VertexId lookup(std::uint64_t external) const noexcept {
+    const auto it = toDense_.find(external);
+    return it == toDense_.end() ? kInvalidVertex : it->second;
+  }
+
+  /// External id for a dense id; precondition: id < size().
+  [[nodiscard]] std::uint64_t external(VertexId dense) const noexcept {
+    return toExternal_[dense];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return toExternal_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, VertexId> toDense_;
+  std::vector<std::uint64_t> toExternal_;
+};
+
+}  // namespace xdgp::graph

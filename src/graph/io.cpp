@@ -1,0 +1,47 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace xdgp::graph {
+
+void writeEdgeList(const DynamicGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("writeEdgeList: cannot open " + path);
+  out << "# " << g.numVertices() << ' ' << g.numEdges() << '\n';
+  g.forEachEdge([&](VertexId u, VertexId v) { out << u << ' ' << v << '\n'; });
+  if (!out) throw std::runtime_error("writeEdgeList: write failed for " + path);
+}
+
+DynamicGraph readEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("readEdgeList: cannot open " + path);
+  DynamicGraph g;
+  std::string line;
+  bool headerSeen = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Optional "# vertices edges" header: pre-create isolated vertices.
+      if (!headerSeen) {
+        std::istringstream hs(line.substr(1));
+        std::size_t nv = 0, ne = 0;
+        if (hs >> nv >> ne) {
+          for (std::size_t i = 0; i < nv; ++i) g.ensureVertex(static_cast<VertexId>(i));
+          headerSeen = true;
+        }
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    VertexId u = 0, v = 0;
+    if (!(ls >> u >> v)) {
+      throw std::runtime_error("readEdgeList: malformed line in " + path + ": " + line);
+    }
+    g.addEdge(u, v);
+  }
+  return g;
+}
+
+}  // namespace xdgp::graph

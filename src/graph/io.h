@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+#include "graph/dynamic_graph.h"
+
+namespace xdgp::graph {
+
+/// Writes the graph as a whitespace-separated undirected edge list
+/// ("u v" per line, u < v), preceded by a "# vertices edges" header comment.
+/// Throws std::runtime_error on IO failure.
+void writeEdgeList(const DynamicGraph& g, const std::string& path);
+
+/// Reads an edge list in the format produced by writeEdgeList (also accepts
+/// SNAP-style files: '#' comment lines, one "u v" pair per line). Isolated
+/// vertices are preserved only when the header comment is present.
+/// Throws std::runtime_error on IO failure or malformed lines.
+[[nodiscard]] DynamicGraph readEdgeList(const std::string& path);
+
+}  // namespace xdgp::graph

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace xdgp::graph {
+
+/// Dense vertex identifier. Generators emit contiguous ids starting at 0;
+/// sparse external ids (e.g. Twitter user ids) are densified via IdMapper.
+using VertexId = std::uint32_t;
+
+/// Partition (= worker in the Pregel deployment) identifier.
+using PartitionId = std::uint32_t;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+inline constexpr PartitionId kNoPartition = std::numeric_limits<PartitionId>::max();
+
+/// Undirected edge with canonical ordering (u <= v) helpers.
+struct Edge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+
+  [[nodiscard]] Edge canonical() const noexcept {
+    return u <= v ? *this : Edge{v, u};
+  }
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+}  // namespace xdgp::graph

@@ -1,0 +1,61 @@
+#include "graph/update_stream.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xdgp::graph {
+
+std::size_t applyUpdates(DynamicGraph& g, const std::vector<UpdateEvent>& events) {
+  std::size_t applied = 0;
+  for (const UpdateEvent& e : events) {
+    switch (e.kind) {
+      case UpdateEvent::Kind::kAddVertex:
+        if (!g.hasVertex(e.u)) {
+          g.ensureVertex(e.u);
+          ++applied;
+        }
+        break;
+      case UpdateEvent::Kind::kRemoveVertex:
+        if (g.hasVertex(e.u)) {
+          g.removeVertex(e.u);
+          ++applied;
+        }
+        break;
+      case UpdateEvent::Kind::kAddEdge:
+        if (g.addEdge(e.u, e.v)) ++applied;
+        break;
+      case UpdateEvent::Kind::kRemoveEdge:
+        if (g.removeEdge(e.u, e.v)) ++applied;
+        break;
+    }
+  }
+  return applied;
+}
+
+UpdateStream::UpdateStream(std::vector<UpdateEvent> events)
+    : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const UpdateEvent& a, const UpdateEvent& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+}
+
+void UpdateStream::push(UpdateEvent event) {
+  if (!events_.empty() && event.timestamp < events_.back().timestamp) {
+    // Keep global order; late events are clamped to the tail timestamp, the
+    // behaviour of a real ingestion queue that stamps on arrival.
+    event.timestamp = events_.back().timestamp;
+  }
+  events_.push_back(event);
+}
+
+std::vector<UpdateEvent> UpdateStream::drainUntil(double t) {
+  std::vector<UpdateEvent> batch;
+  while (cursor_ < events_.size() && events_[cursor_].timestamp <= t) {
+    batch.push_back(events_[cursor_]);
+    ++cursor_;
+  }
+  return batch;
+}
+
+}  // namespace xdgp::graph

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+
+namespace xdgp::graph {
+
+/// One structural change to the graph, as delivered by an input stream
+/// (tweets, call records, forest-fire growth ...). Timestamps are in stream
+/// time (seconds for the real-time feeds, iteration index for synthetic
+/// injections); the consumer decides how to batch them.
+struct UpdateEvent {
+  enum class Kind : std::uint8_t { kAddVertex, kRemoveVertex, kAddEdge, kRemoveEdge };
+
+  Kind kind = Kind::kAddEdge;
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;  // unused for vertex events
+  double timestamp = 0.0;
+
+  static UpdateEvent addVertex(VertexId id, double t = 0.0) {
+    return {Kind::kAddVertex, id, kInvalidVertex, t};
+  }
+  static UpdateEvent removeVertex(VertexId id, double t = 0.0) {
+    return {Kind::kRemoveVertex, id, kInvalidVertex, t};
+  }
+  static UpdateEvent addEdge(VertexId u, VertexId v, double t = 0.0) {
+    return {Kind::kAddEdge, u, v, t};
+  }
+  static UpdateEvent removeEdge(VertexId u, VertexId v, double t = 0.0) {
+    return {Kind::kRemoveEdge, u, v, t};
+  }
+};
+
+/// Applies a batch of events to a graph, in order. Returns the number of
+/// events that changed the graph (duplicates / missing targets are no-ops,
+/// which mirrors how a real ingestion pipeline tolerates replays).
+std::size_t applyUpdates(DynamicGraph& g, const std::vector<UpdateEvent>& events);
+
+/// A time-ordered event queue with cursor-based batched consumption:
+/// `drainUntil(t)` returns all events with timestamp <= t, exactly once.
+class UpdateStream {
+ public:
+  UpdateStream() = default;
+  explicit UpdateStream(std::vector<UpdateEvent> events);
+
+  /// Appends events; they must not be older than already-drained time.
+  void push(UpdateEvent event);
+
+  /// Events with timestamp <= t that have not been drained yet.
+  [[nodiscard]] std::vector<UpdateEvent> drainUntil(double t);
+
+  [[nodiscard]] bool exhausted() const noexcept { return cursor_ >= events_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return events_.size() - cursor_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+ private:
+  std::vector<UpdateEvent> events_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace xdgp::graph

@@ -1,0 +1,40 @@
+#include "metrics/balance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xdgp::metrics {
+
+BalanceReport balanceReport(const Assignment& assignment, std::size_t k) {
+  BalanceReport report;
+  report.k = k;
+  const std::vector<std::size_t> loads = partitionLoads(assignment, k);
+  for (const std::size_t load : loads) report.totalVertices += load;
+  if (k == 0 || report.totalVertices == 0) return report;
+
+  report.minLoad = *std::min_element(loads.begin(), loads.end());
+  report.maxLoad = *std::max_element(loads.begin(), loads.end());
+  const double balanced =
+      static_cast<double>(report.totalVertices) / static_cast<double>(k);
+  report.imbalance = static_cast<double>(report.maxLoad) / balanced;
+
+  double sumSq = 0.0;
+  for (const std::size_t load : loads) {
+    const double d = static_cast<double>(load) - balanced;
+    sumSq += d * d;
+  }
+  report.densification = std::sqrt(sumSq / static_cast<double>(k)) / balanced;
+  return report;
+}
+
+bool respectsCapacities(const Assignment& assignment,
+                        const std::vector<std::size_t>& capacities) {
+  const std::vector<std::size_t> loads =
+      partitionLoads(assignment, capacities.size());
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    if (loads[i] > capacities[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace xdgp::metrics

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "metrics/cuts.h"
+
+namespace xdgp::metrics {
+
+/// Load-balance summary of a k-way assignment. The paper's balance goal is
+/// expressed through the capacity cap (110 % of the balanced load); these
+/// indices quantify how close an assignment is to that cap.
+struct BalanceReport {
+  std::size_t k = 0;
+  std::size_t totalVertices = 0;
+  std::size_t minLoad = 0;
+  std::size_t maxLoad = 0;
+  /// maxLoad / (totalVertices / k): 1.0 is perfectly balanced; the paper's
+  /// capacity constraint keeps this <= capacityFactor (1.1 by default).
+  double imbalance = 0.0;
+  /// Normalised densification: stddev of loads over the balanced load.
+  /// High values flag the "node densification" pathology of §2.2.
+  double densification = 0.0;
+};
+
+[[nodiscard]] BalanceReport balanceReport(const Assignment& assignment, std::size_t k);
+
+/// True when every partition load respects its capacity.
+[[nodiscard]] bool respectsCapacities(const Assignment& assignment,
+                                      const std::vector<std::size_t>& capacities);
+
+}  // namespace xdgp::metrics

@@ -1,0 +1,43 @@
+#include "metrics/cuts.h"
+
+namespace xdgp::metrics {
+
+std::size_t cutEdges(const graph::DynamicGraph& g, const Assignment& assignment) {
+  std::size_t cuts = 0;
+  g.forEachEdge([&](graph::VertexId u, graph::VertexId v) {
+    if (assignment[u] != assignment[v]) ++cuts;
+  });
+  return cuts;
+}
+
+std::size_t cutEdges(const graph::CsrGraph& g, const Assignment& assignment) {
+  std::size_t cuts = 0;
+  g.forEachEdge([&](graph::VertexId u, graph::VertexId v) {
+    if (assignment[u] != assignment[v]) ++cuts;
+  });
+  return cuts;
+}
+
+double cutRatio(const graph::DynamicGraph& g, const Assignment& assignment) {
+  const std::size_t edges = g.numEdges();
+  return edges ? static_cast<double>(cutEdges(g, assignment)) /
+                     static_cast<double>(edges)
+               : 0.0;
+}
+
+double cutRatio(const graph::CsrGraph& g, const Assignment& assignment) {
+  const std::size_t edges = g.numEdges();
+  return edges ? static_cast<double>(cutEdges(g, assignment)) /
+                     static_cast<double>(edges)
+               : 0.0;
+}
+
+std::vector<std::size_t> partitionLoads(const Assignment& assignment, std::size_t k) {
+  std::vector<std::size_t> loads(k, 0);
+  for (const graph::PartitionId p : assignment) {
+    if (p != graph::kNoPartition && p < k) ++loads[p];
+  }
+  return loads;
+}
+
+}  // namespace xdgp::metrics

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+
+namespace xdgp::metrics {
+
+/// Per-vertex partition assignment, indexed by dense vertex id. Dead ids
+/// carry kNoPartition.
+using Assignment = std::vector<graph::PartitionId>;
+
+/// Number of cut edges |Ec|: edges whose endpoints lie in different
+/// partitions (the paper's §2 definition). Brute-force scan; the adaptive
+/// engine maintains the same value incrementally and the tests cross-check
+/// the two.
+[[nodiscard]] std::size_t cutEdges(const graph::DynamicGraph& g,
+                                   const Assignment& assignment);
+[[nodiscard]] std::size_t cutEdges(const graph::CsrGraph& g,
+                                   const Assignment& assignment);
+
+/// Cut ratio: |Ec| / |E| — the paper's "gold standard for assessing the
+/// quality of the partitioning" (§4.2). Zero edges yields ratio 0.
+[[nodiscard]] double cutRatio(const graph::DynamicGraph& g,
+                              const Assignment& assignment);
+[[nodiscard]] double cutRatio(const graph::CsrGraph& g, const Assignment& assignment);
+
+/// Vertices per partition (size k). Ids beyond the assignment are ignored.
+[[nodiscard]] std::vector<std::size_t> partitionLoads(const Assignment& assignment,
+                                                      std::size_t k);
+
+}  // namespace xdgp::metrics

@@ -1,0 +1,16 @@
+#include "metrics/series.h"
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace xdgp::metrics {
+
+void IterationSeries::writeCsv(const std::string& path) const {
+  util::CsvWriter csv(path, {"iteration", "cuts", "migrations", "time_per_iteration"});
+  for (const IterationPoint& p : points_) {
+    csv.addRow({std::to_string(p.iteration), std::to_string(p.cuts),
+                std::to_string(p.migrations), util::fmt(p.timePerIteration, 4)});
+  }
+}
+
+}  // namespace xdgp::metrics

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xdgp::metrics {
+
+/// One point of the per-iteration evolution the paper plots in Fig. 7
+/// (cuts / migrations / normalised time per iteration).
+struct IterationPoint {
+  std::size_t iteration = 0;
+  std::size_t cuts = 0;
+  std::size_t migrations = 0;
+  double timePerIteration = 0.0;  ///< modelled, normalised to static hash
+};
+
+/// Append-only series with the reductions the figures need.
+class IterationSeries {
+ public:
+  void add(IterationPoint point) { points_.push_back(point); }
+
+  [[nodiscard]] const std::vector<IterationPoint>& points() const noexcept {
+    return points_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] const IterationPoint& front() const { return points_.front(); }
+  [[nodiscard]] const IterationPoint& back() const { return points_.back(); }
+
+  /// Largest time-per-iteration spike (Fig. 7 reports a 21x initial peak).
+  [[nodiscard]] double peakTime() const noexcept {
+    double peak = 0.0;
+    for (const auto& p : points_) peak = p.timePerIteration > peak ? p.timePerIteration : peak;
+    return peak;
+  }
+
+  [[nodiscard]] std::size_t totalMigrations() const noexcept {
+    std::size_t total = 0;
+    for (const auto& p : points_) total += p.migrations;
+    return total;
+  }
+
+  /// Writes "iteration,cuts,migrations,time" rows to `path`.
+  void writeCsv(const std::string& path) const;
+
+ private:
+  std::vector<IterationPoint> points_;
+};
+
+}  // namespace xdgp::metrics

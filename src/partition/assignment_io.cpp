@@ -1,0 +1,55 @@
+#include "partition/assignment_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace xdgp::partition {
+
+void writeAssignment(const metrics::Assignment& assignment, std::size_t k,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("writeAssignment: cannot open " + path);
+  out << "# " << k << '\n';
+  for (std::size_t v = 0; v < assignment.size(); ++v) {
+    if (assignment[v] != graph::kNoPartition) {
+      out << v << ' ' << assignment[v] << '\n';
+    }
+  }
+  if (!out) throw std::runtime_error("writeAssignment: write failed for " + path);
+}
+
+LoadedAssignment readAssignment(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("readAssignment: cannot open " + path);
+  LoadedAssignment loaded;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream hs(line.substr(1));
+      if (!(hs >> loaded.k)) {
+        throw std::runtime_error("readAssignment: bad header in " + path);
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    std::size_t v = 0;
+    graph::PartitionId p = 0;
+    if (!(ls >> v >> p)) {
+      throw std::runtime_error("readAssignment: malformed line in " + path + ": " +
+                               line);
+    }
+    if (loaded.k == 0 || p >= loaded.k) {
+      throw std::runtime_error("readAssignment: partition id out of range in " +
+                               path);
+    }
+    if (v >= loaded.assignment.size()) {
+      loaded.assignment.resize(v + 1, graph::kNoPartition);
+    }
+    loaded.assignment[v] = p;
+  }
+  return loaded;
+}
+
+}  // namespace xdgp::partition

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "metrics/cuts.h"
+
+namespace xdgp::partition {
+
+/// Persists an assignment as "vertex partition" lines under a "# k" header —
+/// the interchange format of the CLI tool, so a partitioning computed once
+/// (e.g. overnight by the multilevel baseline) can seed a later run.
+/// Unassigned ids (kNoPartition) are skipped and restored as unassigned.
+/// Throws std::runtime_error on IO failure.
+void writeAssignment(const metrics::Assignment& assignment, std::size_t k,
+                     const std::string& path);
+
+struct LoadedAssignment {
+  metrics::Assignment assignment;
+  std::size_t k = 0;
+};
+
+/// Reads the writeAssignment format. Throws std::runtime_error on IO
+/// failure, malformed lines, or partition ids >= the header's k.
+[[nodiscard]] LoadedAssignment readAssignment(const std::string& path);
+
+}  // namespace xdgp::partition

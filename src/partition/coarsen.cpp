@@ -1,0 +1,84 @@
+#include "partition/coarsen.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace xdgp::partition {
+
+std::vector<graph::VertexId> heavyEdgeMatching(const WeightedGraph& g,
+                                               util::Rng& rng) {
+  const std::size_t n = g.numVertices();
+  std::vector<graph::VertexId> match(n);
+  std::iota(match.begin(), match.end(), 0);
+  std::vector<graph::VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  std::vector<std::uint8_t> matched(n, 0);
+  for (const graph::VertexId v : order) {
+    if (matched[v]) continue;
+    std::int64_t bestWeight = -1;
+    graph::VertexId best = v;
+    for (const auto& [nbr, weight] : g.adjacency[v]) {
+      if (matched[nbr] || nbr == v) continue;
+      if (weight > bestWeight) {
+        bestWeight = weight;
+        best = nbr;
+      }
+    }
+    if (best != v) {
+      match[v] = best;
+      match[best] = v;
+      matched[best] = 1;
+    }
+    matched[v] = 1;
+  }
+  return match;
+}
+
+CoarseLevel contract(const WeightedGraph& g, const std::vector<graph::VertexId>& match) {
+  const std::size_t n = g.numVertices();
+  CoarseLevel level;
+  level.fineToCoarse.assign(n, graph::kInvalidVertex);
+
+  // Assign coarse ids: the lower endpoint of each pair owns the id.
+  graph::VertexId next = 0;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (level.fineToCoarse[v] != graph::kInvalidVertex) continue;
+    level.fineToCoarse[v] = next;
+    const graph::VertexId partner = match[v];
+    if (partner != v) level.fineToCoarse[partner] = next;
+    ++next;
+  }
+
+  WeightedGraph& coarse = level.graph;
+  coarse.vertexWeights.assign(next, 0);
+  coarse.adjacency.resize(next);
+  coarse.totalVertexWeight = g.totalVertexWeight;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    coarse.vertexWeights[level.fineToCoarse[v]] += g.vertexWeights[v];
+  }
+
+  // Accumulate coarse edges, merging parallels and dropping intra-pair ones.
+  std::unordered_map<graph::VertexId, std::int64_t> row;
+  for (graph::VertexId cv = 0; cv < next; ++cv) coarse.adjacency[cv].reserve(4);
+  std::vector<std::vector<graph::VertexId>> members(next);
+  for (graph::VertexId v = 0; v < n; ++v) members[level.fineToCoarse[v]].push_back(v);
+
+  for (graph::VertexId cv = 0; cv < next; ++cv) {
+    row.clear();
+    for (const graph::VertexId v : members[cv]) {
+      for (const auto& [nbr, weight] : g.adjacency[v]) {
+        const graph::VertexId cn = level.fineToCoarse[nbr];
+        if (cn != cv) row[cn] += weight;
+      }
+    }
+    auto& out = coarse.adjacency[cv];
+    out.assign(row.begin(), row.end());
+    std::sort(out.begin(), out.end());
+  }
+  return level;
+}
+
+}  // namespace xdgp::partition

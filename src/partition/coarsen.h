@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "partition/weighted_graph.h"
+#include "util/rng.h"
+
+namespace xdgp::partition {
+
+/// One coarsening step of the multilevel V-cycle.
+struct CoarseLevel {
+  WeightedGraph graph;
+  /// fineToCoarse[v] = coarse vertex that absorbed fine vertex v.
+  std::vector<graph::VertexId> fineToCoarse;
+};
+
+/// Heavy-edge matching (Karypis & Kumar): visits vertices in random order
+/// and pairs each unmatched vertex with the unmatched neighbour behind the
+/// heaviest incident edge. Returns match[v] (== v for unmatched singletons).
+[[nodiscard]] std::vector<graph::VertexId> heavyEdgeMatching(const WeightedGraph& g,
+                                                             util::Rng& rng);
+
+/// Contracts matched pairs into coarse vertices, summing vertex weights and
+/// accumulating parallel edges; self-edges (internal to a pair) disappear,
+/// which is what makes coarse cut == fine cut under projection.
+[[nodiscard]] CoarseLevel contract(const WeightedGraph& g,
+                                   const std::vector<graph::VertexId>& match);
+
+}  // namespace xdgp::partition

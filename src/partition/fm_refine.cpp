@@ -1,0 +1,119 @@
+#include "partition/fm_refine.h"
+
+#include <algorithm>
+
+namespace xdgp::partition {
+
+namespace {
+
+/// Connectivity of v to every partition (edge-weight sums).
+void connectivity(const WeightedGraph& g, const std::vector<graph::PartitionId>& a,
+                  graph::VertexId v, std::vector<std::int64_t>& out) {
+  std::fill(out.begin(), out.end(), 0);
+  for (const auto& [nbr, weight] : g.adjacency[v]) out[a[nbr]] += weight;
+}
+
+}  // namespace
+
+std::int64_t weightedCut(const WeightedGraph& g,
+                         const std::vector<graph::PartitionId>& assignment) {
+  std::int64_t cut = 0;
+  for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+    for (const auto& [nbr, weight] : g.adjacency[v]) {
+      if (v < nbr && assignment[v] != assignment[nbr]) cut += weight;
+    }
+  }
+  return cut;
+}
+
+std::size_t fmRefine(const WeightedGraph& g, std::vector<graph::PartitionId>& assignment,
+                     const RefineOptions& options) {
+  const std::size_t n = g.numVertices();
+  const std::size_t k = options.capacities.size();
+  std::vector<std::int64_t> loads(k, 0);
+  for (graph::VertexId v = 0; v < n; ++v) loads[assignment[v]] += g.vertexWeights[v];
+
+  std::vector<std::int64_t> conn(k, 0);
+  std::size_t totalMoved = 0;
+
+  // Phase 1: evacuate over-capacity partitions (region growing on weighted
+  // coarse graphs can overshoot). Pick the cheapest boundary departures.
+  for (std::size_t round = 0; round < n; ++round) {
+    std::size_t over = k;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (loads[i] > options.capacities[i]) {
+        over = i;
+        break;
+      }
+    }
+    if (over == k) break;
+    graph::VertexId bestVertex = graph::kInvalidVertex;
+    std::size_t bestTarget = k;
+    std::int64_t bestGain = std::numeric_limits<std::int64_t>::min();
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (assignment[v] != over) continue;
+      connectivity(g, assignment, v, conn);
+      for (std::size_t j = 0; j < k; ++j) {
+        if (j == over || loads[j] + g.vertexWeights[v] > options.capacities[j]) continue;
+        const std::int64_t gain = conn[j] - conn[over];
+        if (gain > bestGain) {
+          bestGain = gain;
+          bestVertex = v;
+          bestTarget = j;
+        }
+      }
+    }
+    if (bestVertex == graph::kInvalidVertex) break;  // no feasible move
+    loads[over] -= g.vertexWeights[bestVertex];
+    loads[bestTarget] += g.vertexWeights[bestVertex];
+    assignment[bestVertex] = static_cast<graph::PartitionId>(bestTarget);
+    ++totalMoved;
+  }
+
+  // Phase 2: greedy positive-gain passes over the boundary.
+  for (std::size_t pass = 0; pass < options.maxPasses; ++pass) {
+    std::size_t moved = 0;
+    for (graph::VertexId v = 0; v < n; ++v) {
+      const graph::PartitionId current = assignment[v];
+      bool boundary = false;
+      for (const auto& [nbr, weight] : g.adjacency[v]) {
+        (void)weight;
+        if (assignment[nbr] != current) {
+          boundary = true;
+          break;
+        }
+      }
+      if (!boundary) continue;
+      connectivity(g, assignment, v, conn);
+      const std::int64_t internal = conn[current];
+      std::size_t best = current;
+      std::int64_t bestGain = 0;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (j == current) continue;
+        if (loads[j] + g.vertexWeights[v] > options.capacities[j]) continue;
+        const std::int64_t gain = conn[j] - internal;
+        const bool better =
+            gain > bestGain ||
+            (gain == bestGain && gain > 0 && loads[j] < loads[best]) ||
+            // Zero-gain balance moves shrink the heaviest partition.
+            (gain == 0 && bestGain == 0 && best == current &&
+             loads[current] > loads[j] + g.vertexWeights[v]);
+        if (better) {
+          bestGain = gain;
+          best = j;
+        }
+      }
+      if (best != current) {
+        loads[current] -= g.vertexWeights[v];
+        loads[best] += g.vertexWeights[v];
+        assignment[v] = static_cast<graph::PartitionId>(best);
+        ++moved;
+      }
+    }
+    totalMoved += moved;
+    if (moved == 0) break;
+  }
+  return totalMoved;
+}
+
+}  // namespace xdgp::partition

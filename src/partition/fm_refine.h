@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/weighted_graph.h"
+
+namespace xdgp::partition {
+
+/// Options for the k-way boundary refinement pass.
+struct RefineOptions {
+  /// Maximum greedy passes over the boundary per level.
+  std::size_t maxPasses = 8;
+  /// Per-partition vertex-weight capacity (size k).
+  std::vector<std::int64_t> capacities;
+};
+
+/// Greedy k-way boundary refinement in the Fiduccia–Mattheyses style used by
+/// METIS at each uncoarsening level: every boundary vertex may move to the
+/// partition it is most connected to when the move has positive cut gain
+/// (or zero gain with a balance improvement) and the target has spare
+/// capacity. Also evacuates over-capacity partitions first, so the result
+/// respects `capacities` whenever the graph admits it.
+///
+/// Returns the number of vertices moved; `assignment` is updated in place.
+std::size_t fmRefine(const WeightedGraph& g, std::vector<graph::PartitionId>& assignment,
+                     const RefineOptions& options);
+
+/// Edge-weight cut of a weighted graph under an assignment (each undirected
+/// edge counted once).
+[[nodiscard]] std::int64_t weightedCut(const WeightedGraph& g,
+                                       const std::vector<graph::PartitionId>& assignment);
+
+}  // namespace xdgp::partition

@@ -1,0 +1,17 @@
+#include "partition/hash_partitioner.h"
+
+namespace xdgp::partition {
+
+graph::PartitionId HashPartitioner::assign(graph::VertexId v, std::size_t k) noexcept {
+  return static_cast<graph::PartitionId>(util::Rng::splitmix64(v) % k);
+}
+
+Assignment HashPartitioner::partition(const graph::CsrGraph& g, std::size_t k,
+                                      double /*capacityFactor*/,
+                                      util::Rng& /*rng*/) const {
+  Assignment assignment(g.idBound(), graph::kNoPartition);
+  g.forEachVertex([&](graph::VertexId v) { assignment[v] = assign(v, k); });
+  return assignment;
+}
+
+}  // namespace xdgp::partition

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "partition/partitioner.h"
+
+namespace xdgp::partition {
+
+/// HSH — hash partitioning, "the most commonly used strategy in large scale
+/// graph processing systems" (§2): vertex v goes to H(v) mod k. Lightweight,
+/// needs no lookup table, scatters uniformly... and cuts many edges.
+class HashPartitioner final : public InitialPartitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "HSH"; }
+
+  [[nodiscard]] Assignment partition(const graph::CsrGraph& g, std::size_t k,
+                                     double capacityFactor,
+                                     util::Rng& rng) const override;
+
+  /// The stateless per-vertex rule, reused by the Pregel loader.
+  [[nodiscard]] static graph::PartitionId assign(graph::VertexId v,
+                                                 std::size_t k) noexcept;
+};
+
+}  // namespace xdgp::partition

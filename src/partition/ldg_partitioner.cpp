@@ -1,0 +1,39 @@
+#include "partition/ldg_partitioner.h"
+
+namespace xdgp::partition {
+
+Assignment LdgPartitioner::partition(const graph::CsrGraph& g, std::size_t k,
+                                     double capacityFactor,
+                                     util::Rng& /*rng*/) const {
+  const std::vector<std::size_t> capacities =
+      makeCapacities(g.numVertices(), k, capacityFactor);
+  std::vector<std::size_t> loads(k, 0);
+  std::vector<std::size_t> neighborCount(k, 0);
+  Assignment assignment(g.idBound(), graph::kNoPartition);
+
+  g.forEachVertex([&](graph::VertexId v) {
+    std::fill(neighborCount.begin(), neighborCount.end(), 0);
+    for (const graph::VertexId nbr : g.neighbors(v)) {
+      const graph::PartitionId p = assignment[nbr];
+      if (p != graph::kNoPartition) ++neighborCount[p];
+    }
+    double bestScore = -1.0;
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (loads[i] >= capacities[i]) continue;
+      const double penalty =
+          1.0 - static_cast<double>(loads[i]) / static_cast<double>(capacities[i]);
+      const double score = static_cast<double>(neighborCount[i]) * penalty;
+      if (score > bestScore ||
+          (score == bestScore && loads[i] < loads[best])) {
+        bestScore = score;
+        best = i;
+      }
+    }
+    assignment[v] = static_cast<graph::PartitionId>(best);
+    ++loads[best];
+  });
+  return assignment;
+}
+
+}  // namespace xdgp::partition

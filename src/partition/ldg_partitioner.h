@@ -1,0 +1,26 @@
+#pragma once
+
+#include "partition/partitioner.h"
+
+namespace xdgp::partition {
+
+/// DGR — stream-based "linear deterministic greedy" of Stanton & Kliot
+/// (KDD 2012), the paper's strongest streaming baseline (§4.2.1).
+///
+/// Vertices arrive one at a time (id order, the streaming order of a loader)
+/// and each is placed in the partition maximising
+///     |N(v) ∩ P_i| · (1 − |P_i| / C_i)
+/// i.e. neighbour affinity damped by a linear load penalty. Ties break to
+/// the least-loaded partition. As the paper notes, this heuristic "depends
+/// on full graph knowledge (destinations of already allocated vertices)",
+/// which is what its adaptive algorithm avoids.
+class LdgPartitioner final : public InitialPartitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "DGR"; }
+
+  [[nodiscard]] Assignment partition(const graph::CsrGraph& g, std::size_t k,
+                                     double capacityFactor,
+                                     util::Rng& rng) const override;
+};
+
+}  // namespace xdgp::partition

@@ -1,0 +1,36 @@
+#include "partition/mnn_partitioner.h"
+
+namespace xdgp::partition {
+
+Assignment MnnPartitioner::partition(const graph::CsrGraph& g, std::size_t k,
+                                     double capacityFactor,
+                                     util::Rng& /*rng*/) const {
+  const std::vector<std::size_t> capacities =
+      makeCapacities(g.numVertices(), k, capacityFactor);
+  std::vector<std::size_t> loads(k, 0);
+  std::vector<std::size_t> neighborCount(k, 0);
+  Assignment assignment(g.idBound(), graph::kNoPartition);
+
+  g.forEachVertex([&](graph::VertexId v) {
+    std::fill(neighborCount.begin(), neighborCount.end(), 0);
+    for (const graph::VertexId nbr : g.neighbors(v)) {
+      const graph::PartitionId p = assignment[nbr];
+      if (p != graph::kNoPartition) ++neighborCount[p];
+    }
+    bool found = false;
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (loads[i] >= capacities[i]) continue;
+      if (!found || neighborCount[i] < neighborCount[best] ||
+          (neighborCount[i] == neighborCount[best] && loads[i] < loads[best])) {
+        best = i;
+        found = true;
+      }
+    }
+    assignment[v] = static_cast<graph::PartitionId>(best);
+    ++loads[best];
+  });
+  return assignment;
+}
+
+}  // namespace xdgp::partition

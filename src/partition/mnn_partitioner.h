@@ -1,0 +1,26 @@
+#pragma once
+
+#include "partition/partitioner.h"
+
+namespace xdgp::partition {
+
+/// MNN — the paper's fourth §4.2.1 strategy: the same streaming pass as DGR
+/// "applied to the 'minimum number of neighbours' heuristic presented in
+/// [28]" (Prabhakaran et al., Grace, USENIX ATC 2012).
+///
+/// Grace's heuristic targets multicore layout: an arriving vertex is placed
+/// in the *eligible* partition currently holding the fewest of its
+/// neighbours, spreading hub neighbourhoods to reduce per-part contention.
+/// Capacity-full partitions are ineligible; ties break to the least-loaded
+/// partition. As in the paper it produces many cut edges, which is exactly
+/// why it is a useful hard starting point for the adaptive algorithm.
+class MnnPartitioner final : public InitialPartitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "MNN"; }
+
+  [[nodiscard]] Assignment partition(const graph::CsrGraph& g, std::size_t k,
+                                     double capacityFactor,
+                                     util::Rng& rng) const override;
+};
+
+}  // namespace xdgp::partition

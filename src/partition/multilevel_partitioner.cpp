@@ -1,0 +1,73 @@
+#include "partition/multilevel_partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "partition/coarsen.h"
+#include "partition/fm_refine.h"
+#include "partition/region_growing.h"
+
+namespace xdgp::partition {
+
+Assignment MultilevelPartitioner::partition(const graph::CsrGraph& g, std::size_t k,
+                                            double capacityFactor,
+                                            util::Rng& rng) const {
+  Assignment result(g.idBound(), graph::kNoPartition);
+  if (k == 0 || g.numVertices() == 0) return result;
+
+  std::vector<graph::VertexId> aliveIds;
+  WeightedGraph base = WeightedGraph::fromCsr(g, aliveIds);
+
+  // Coarsening phase.
+  std::vector<WeightedGraph> levels;
+  std::vector<std::vector<graph::VertexId>> projections;  // fine -> coarse
+  levels.push_back(std::move(base));
+  const std::size_t coarsestTarget =
+      std::max(options_.coarsestFloor, options_.coarsestFactor * k);
+  while (levels.back().numVertices() > coarsestTarget) {
+    const WeightedGraph& fine = levels.back();
+    const auto match = heavyEdgeMatching(fine, rng);
+    CoarseLevel next = contract(fine, match);
+    const double shrink = 1.0 - static_cast<double>(next.graph.numVertices()) /
+                                    static_cast<double>(fine.numVertices());
+    if (shrink < options_.minShrink) break;  // matching stalled (star graphs)
+    projections.push_back(std::move(next.fineToCoarse));
+    levels.push_back(std::move(next.graph));
+  }
+
+  // Initial partition of the coarsest level.
+  std::vector<graph::PartitionId> assignment = growRegions(levels.back(), k, rng);
+
+  // Uncoarsening with refinement at every level. Capacity is on vertex
+  // weight, which equals fine-vertex count per partition.
+  const auto capacityOf = [&](const WeightedGraph& level) {
+    const double balanced = static_cast<double>(level.totalVertexWeight) /
+                            static_cast<double>(k);
+    // Epsilon: exact products (200 * 1.1) must not ceil one unit up, or this
+    // would disagree with partition::makeCapacities by one vertex.
+    return std::vector<std::int64_t>(
+        k, std::max<std::int64_t>(1, static_cast<std::int64_t>(std::ceil(
+                                         balanced * capacityFactor - 1e-9))));
+  };
+
+  RefineOptions refine;
+  refine.maxPasses = options_.refinePasses;
+  refine.capacities = capacityOf(levels.back());
+  fmRefine(levels.back(), assignment, refine);
+
+  for (std::size_t level = levels.size() - 1; level-- > 0;) {
+    const std::vector<graph::VertexId>& map = projections[level];
+    std::vector<graph::PartitionId> finer(levels[level].numVertices());
+    for (graph::VertexId v = 0; v < finer.size(); ++v) finer[v] = assignment[map[v]];
+    assignment = std::move(finer);
+    refine.capacities = capacityOf(levels[level]);
+    fmRefine(levels[level], assignment, refine);
+  }
+
+  for (std::size_t i = 0; i < aliveIds.size(); ++i) {
+    result[aliveIds[i]] = assignment[i];
+  }
+  return result;
+}
+
+}  // namespace xdgp::partition

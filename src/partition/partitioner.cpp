@@ -1,0 +1,38 @@
+#include "partition/partitioner.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "partition/hash_partitioner.h"
+#include "partition/ldg_partitioner.h"
+#include "partition/mnn_partitioner.h"
+#include "partition/random_partitioner.h"
+
+namespace xdgp::partition {
+
+std::vector<std::size_t> makeCapacities(std::size_t n, std::size_t k,
+                                        double capacityFactor) {
+  if (k == 0) throw std::invalid_argument("makeCapacities: k must be positive");
+  const double balanced = static_cast<double>(n) / static_cast<double>(k);
+  // ceil guards tiny graphs where 110% of the balanced load rounds below
+  // the load the balanced assignment itself needs; the epsilon keeps exact
+  // products (100 * 1.1) from ceiling up on floating-point dust.
+  const auto cap =
+      static_cast<std::size_t>(std::ceil(balanced * capacityFactor - 1e-9));
+  return std::vector<std::size_t>(k, std::max<std::size_t>(cap, 1));
+}
+
+std::unique_ptr<InitialPartitioner> makePartitioner(const std::string& code) {
+  if (code == "HSH") return std::make_unique<HashPartitioner>();
+  if (code == "RND") return std::make_unique<RandomPartitioner>();
+  if (code == "DGR") return std::make_unique<LdgPartitioner>();
+  if (code == "MNN") return std::make_unique<MnnPartitioner>();
+  throw std::invalid_argument("makePartitioner: unknown strategy " + code);
+}
+
+const std::vector<std::string>& initialStrategyCodes() {
+  static const std::vector<std::string> codes{"DGR", "HSH", "MNN", "RND"};
+  return codes;
+}
+
+}  // namespace xdgp::partition

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "metrics/cuts.h"
+#include "util/rng.h"
+
+namespace xdgp::partition {
+
+using metrics::Assignment;
+
+/// Per-partition vertex capacities C(i) for a graph of `n` vertices split
+/// k ways with headroom `capacityFactor` (the paper's experiments use 1.1 =
+/// "maximum capacity equal to 110% of the balanced load", Fig. 4).
+[[nodiscard]] std::vector<std::size_t> makeCapacities(std::size_t n, std::size_t k,
+                                                      double capacityFactor);
+
+/// Strategy interface for the paper's §4.2.1 initial partitioning step:
+/// assigns every alive vertex of a loaded graph to one of k partitions.
+///
+/// Implementations must return an assignment that (a) covers every alive
+/// vertex and (b) uses only partitions [0, k). All strategies except HSH
+/// also respect makeCapacities(n, k, capacityFactor); HSH is the paper's
+/// uncoordinated baseline whose balance is only statistical. The shared
+/// partitioner test suite enforces these properties.
+class InitialPartitioner {
+ public:
+  virtual ~InitialPartitioner() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] virtual Assignment partition(const graph::CsrGraph& g, std::size_t k,
+                                             double capacityFactor,
+                                             util::Rng& rng) const = 0;
+};
+
+/// Factory for the four §4.2.1 strategies by Table-style code:
+/// "HSH", "RND", "DGR", "MNN". Throws std::invalid_argument otherwise.
+[[nodiscard]] std::unique_ptr<InitialPartitioner> makePartitioner(
+    const std::string& code);
+
+/// The four codes in the paper's figure order.
+[[nodiscard]] const std::vector<std::string>& initialStrategyCodes();
+
+}  // namespace xdgp::partition

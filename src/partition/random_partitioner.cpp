@@ -1,0 +1,20 @@
+#include "partition/random_partitioner.h"
+
+namespace xdgp::partition {
+
+Assignment RandomPartitioner::partition(const graph::CsrGraph& g, std::size_t k,
+                                        double /*capacityFactor*/,
+                                        util::Rng& rng) const {
+  std::vector<graph::VertexId> order;
+  order.reserve(g.numVertices());
+  g.forEachVertex([&](graph::VertexId v) { order.push_back(v); });
+  rng.shuffle(order);
+
+  Assignment assignment(g.idBound(), graph::kNoPartition);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    assignment[order[i]] = static_cast<graph::PartitionId>(i % k);
+  }
+  return assignment;
+}
+
+}  // namespace xdgp::partition

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "partition/partitioner.h"
+
+namespace xdgp::partition {
+
+/// RND — pseudorandom partitioning "still ensuring balanced partitions"
+/// (§4.2.1): a random permutation of the vertices dealt round-robin into the
+/// k partitions, so loads differ by at most one vertex.
+class RandomPartitioner final : public InitialPartitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "RND"; }
+
+  [[nodiscard]] Assignment partition(const graph::CsrGraph& g, std::size_t k,
+                                     double capacityFactor,
+                                     util::Rng& rng) const override;
+};
+
+}  // namespace xdgp::partition

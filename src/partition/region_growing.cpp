@@ -1,0 +1,119 @@
+#include "partition/region_growing.h"
+
+#include <deque>
+#include <limits>
+
+namespace xdgp::partition {
+
+namespace {
+
+/// Farthest-point seed spreading: BFS from the current seed set and pick an
+/// eccentric vertex as the next seed; yields well-separated regions.
+std::vector<graph::VertexId> spreadSeeds(const WeightedGraph& g, std::size_t k,
+                                         util::Rng& rng) {
+  const std::size_t n = g.numVertices();
+  std::vector<graph::VertexId> seeds;
+  seeds.push_back(static_cast<graph::VertexId>(rng.index(n)));
+  std::vector<std::uint32_t> dist(n);
+  while (seeds.size() < k) {
+    std::fill(dist.begin(), dist.end(), std::numeric_limits<std::uint32_t>::max());
+    std::deque<graph::VertexId> queue;
+    for (const graph::VertexId s : seeds) {
+      dist[s] = 0;
+      queue.push_back(s);
+    }
+    while (!queue.empty()) {
+      const graph::VertexId at = queue.front();
+      queue.pop_front();
+      for (const auto& [nbr, weight] : g.adjacency[at]) {
+        (void)weight;
+        if (dist[nbr] == std::numeric_limits<std::uint32_t>::max()) {
+          dist[nbr] = dist[at] + 1;
+          queue.push_back(nbr);
+        }
+      }
+    }
+    graph::VertexId farthest = seeds.front();
+    std::uint32_t best = 0;
+    for (graph::VertexId v = 0; v < n; ++v) {
+      // Unreached vertices (other components) are ideal seeds.
+      if (dist[v] == std::numeric_limits<std::uint32_t>::max()) {
+        farthest = v;
+        break;
+      }
+      if (dist[v] > best) {
+        best = dist[v];
+        farthest = v;
+      }
+    }
+    seeds.push_back(farthest);
+  }
+  return seeds;
+}
+
+}  // namespace
+
+std::vector<graph::PartitionId> growRegions(const WeightedGraph& g, std::size_t k,
+                                            util::Rng& rng) {
+  const std::size_t n = g.numVertices();
+  std::vector<graph::PartitionId> assignment(n, graph::kNoPartition);
+  if (n == 0 || k == 0) return assignment;
+  if (k >= n) {
+    for (graph::VertexId v = 0; v < n; ++v) {
+      assignment[v] = static_cast<graph::PartitionId>(v % k);
+    }
+    return assignment;
+  }
+
+  const std::vector<graph::VertexId> seeds = spreadSeeds(g, k, rng);
+  std::vector<std::deque<graph::VertexId>> frontier(k);
+  std::vector<std::int64_t> loads(k, 0);
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const graph::VertexId s = seeds[i];
+    if (assignment[s] == graph::kNoPartition) {
+      assignment[s] = static_cast<graph::PartitionId>(i);
+      loads[i] += g.vertexWeights[s];
+      ++assigned;
+    }
+    frontier[i].push_back(s);
+  }
+
+  graph::VertexId sweep = 0;  // cursor for disconnected leftovers
+  while (assigned < n) {
+    // The lightest region with a non-empty frontier grows next.
+    std::size_t lightest = k;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (frontier[i].empty()) continue;
+      if (lightest == k || loads[i] < loads[lightest]) lightest = i;
+    }
+    if (lightest == k) {
+      // All frontiers exhausted: seed the lightest region in a new component.
+      while (sweep < n && assignment[sweep] != graph::kNoPartition) ++sweep;
+      if (sweep >= n) break;
+      std::size_t target = 0;
+      for (std::size_t i = 1; i < k; ++i) {
+        if (loads[i] < loads[target]) target = i;
+      }
+      assignment[sweep] = static_cast<graph::PartitionId>(target);
+      loads[target] += g.vertexWeights[sweep];
+      frontier[target].push_back(sweep);
+      ++assigned;
+      continue;
+    }
+    const graph::VertexId at = frontier[lightest].front();
+    frontier[lightest].pop_front();
+    for (const auto& [nbr, weight] : g.adjacency[at]) {
+      (void)weight;
+      if (assignment[nbr] == graph::kNoPartition) {
+        assignment[nbr] = static_cast<graph::PartitionId>(lightest);
+        loads[lightest] += g.vertexWeights[nbr];
+        frontier[lightest].push_back(nbr);
+        ++assigned;
+      }
+    }
+  }
+  return assignment;
+}
+
+}  // namespace xdgp::partition

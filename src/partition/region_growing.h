@@ -1,0 +1,21 @@
+#pragma once
+
+#include <vector>
+
+#include "partition/weighted_graph.h"
+#include "util/rng.h"
+
+namespace xdgp::partition {
+
+/// Initial k-way partition of the coarsest graph by balanced BFS region
+/// growing: k seeds spread by a farthest-point heuristic, then frontiers
+/// expand one vertex at a time with the lightest region always growing
+/// next. Disconnected leftovers are swept into the lightest region.
+///
+/// Returns a coarse assignment (size g.numVertices()). Loads approximate
+/// totalVertexWeight/k; the caller's refinement phase enforces capacities.
+[[nodiscard]] std::vector<graph::PartitionId> growRegions(const WeightedGraph& g,
+                                                          std::size_t k,
+                                                          util::Rng& rng);
+
+}  // namespace xdgp::partition

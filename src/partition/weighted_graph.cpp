@@ -1,0 +1,28 @@
+#include "partition/weighted_graph.h"
+
+namespace xdgp::partition {
+
+WeightedGraph WeightedGraph::fromCsr(const graph::CsrGraph& g,
+                                     std::vector<graph::VertexId>& aliveIds) {
+  aliveIds.clear();
+  aliveIds.reserve(g.numVertices());
+  std::vector<graph::VertexId> toCompact(g.idBound(), graph::kInvalidVertex);
+  g.forEachVertex([&](graph::VertexId v) {
+    toCompact[v] = static_cast<graph::VertexId>(aliveIds.size());
+    aliveIds.push_back(v);
+  });
+
+  WeightedGraph wg;
+  const std::size_t n = aliveIds.size();
+  wg.vertexWeights.assign(n, 1);
+  wg.totalVertexWeight = static_cast<std::int64_t>(n);
+  wg.adjacency.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const graph::VertexId nbr : g.neighbors(aliveIds[i])) {
+      wg.adjacency[i].emplace_back(toCompact[nbr], 1);
+    }
+  }
+  return wg;
+}
+
+}  // namespace xdgp::partition

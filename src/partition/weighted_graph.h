@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace xdgp::partition {
+
+/// Weighted graph used by the multilevel (METIS-like) baseline. Vertices
+/// carry the number of fine vertices they represent; edges carry the number
+/// of fine edges collapsed into them, so the coarse cut equals the fine cut.
+struct WeightedGraph {
+  using WeightedEdge = std::pair<graph::VertexId, std::int64_t>;
+
+  std::vector<std::int64_t> vertexWeights;
+  std::vector<std::vector<WeightedEdge>> adjacency;
+  std::int64_t totalVertexWeight = 0;
+
+  [[nodiscard]] std::size_t numVertices() const noexcept {
+    return vertexWeights.size();
+  }
+
+  /// Unit-weight lift of a CSR snapshot over the *alive* vertices; the
+  /// caller receives the dense-id list to map assignments back.
+  static WeightedGraph fromCsr(const graph::CsrGraph& g,
+                               std::vector<graph::VertexId>& aliveIds);
+};
+
+}  // namespace xdgp::partition

@@ -1,0 +1,44 @@
+#include "pregel/background_partitioner.h"
+
+namespace xdgp::pregel {
+
+BackgroundPartitioner::BackgroundPartitioner(std::size_t k, std::size_t totalUnits,
+                                             double capacityFactor, Options options)
+    : options_(options),
+      capacity_(totalUnits, k, capacityFactor),
+      quota_(k),
+      policy_(k),
+      tracker_(options.convergenceWindow),
+      rng_(options.seed) {
+  if (options_.hotspotAware) hotspot_.emplace(k, options_.hotspot);
+}
+
+std::vector<std::pair<graph::VertexId, graph::PartitionId>>
+BackgroundPartitioner::announce(const graph::DynamicGraph& g,
+                                const core::PartitionState& state) {
+  std::vector<std::pair<graph::VertexId, graph::PartitionId>> announcements;
+  const bool edgeBalance = options_.balanceMode == core::BalanceMode::kEdges;
+  const auto& loads = edgeBalance ? state.degreeLoads() : state.loads();
+  if (hotspot_ && hotspot_->primed()) {
+    // Hot partitions advertise derated capacity; quotas do the steering.
+    const core::CapacityModel effective(hotspot_->effectiveCapacities(capacity_));
+    quota_.beginIteration(effective, loads);
+  } else {
+    quota_.beginIteration(capacity_, loads);
+  }
+  const std::size_t bound = g.idBound();
+  for (graph::VertexId v = 0; v < bound; ++v) {
+    if (!g.hasVertex(v)) continue;
+    if (!rng_.bernoulli(options_.willingness)) continue;
+    const graph::PartitionId current = state.partitionOf(v);
+    const graph::PartitionId target =
+        policy_.target(g.neighbors(v), state.assignment(), current, rng_.next());
+    if (target == graph::kNoPartition) continue;
+    const std::size_t units = edgeBalance ? g.degree(v) : 1;
+    if (options_.enforceQuota && !quota_.tryAdmit(current, target, units)) continue;
+    announcements.emplace_back(v, target);
+  }
+  return announcements;
+}
+
+}  // namespace xdgp::pregel

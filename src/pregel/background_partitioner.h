@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/capacity.h"
+#include "core/convergence.h"
+#include "core/hotspot.h"
+#include "core/migration_policy.h"
+#include "core/partition_state.h"
+#include "core/quota_ledger.h"
+#include "graph/dynamic_graph.h"
+#include "util/rng.h"
+
+namespace xdgp::pregel {
+
+/// The graph-partitioning algorithm of Fig. 2, running "in the background of
+/// the system, while the user applications process the graph".
+///
+/// Once per superstep (after user compute), it walks the worker's vertices
+/// and produces migration *announcements* using the paper's greedy heuristic
+/// gated by willingness s and the worst-case quotas. The engine turns the
+/// announcements into deferred migrations (§3).
+///
+/// Capacity staleness: the paper's workers gossip predicted capacities
+/// C_{t+1}(i) = C_t(i) − V_out + V_in one superstep ahead. Because the
+/// engine executes announced moves before invoking this hook, the loads it
+/// reads here *are* those predicted values — prediction and actuality
+/// coincide in a synchronous simulation (DESIGN.md §1).
+class BackgroundPartitioner {
+ public:
+  struct Options {
+    double willingness = 0.5;
+    std::size_t convergenceWindow = 30;
+    bool enforceQuota = true;
+    /// Vertex-count balancing (the paper's §2) or the §6 edge-balanced
+    /// extension (capacities and quotas in degree units).
+    core::BalanceMode balanceMode = core::BalanceMode::kVertices;
+    /// §6 runtime-statistics extension: derate hot partitions' capacity so
+    /// migration steers load away from them (core::HotspotModel).
+    bool hotspotAware = false;
+    core::HotspotModel::Options hotspot;
+    std::uint64_t seed = 42;
+  };
+
+  /// `totalUnits` is the graph's total load in the selected balance mode:
+  /// |V| for kVertices, 2|E| for kEdges.
+  BackgroundPartitioner(std::size_t k, std::size_t totalUnits,
+                        double capacityFactor, Options options);
+
+  /// Computes this superstep's migration announcements. `state` carries the
+  /// current vertex locations and loads; announcements do not modify it.
+  [[nodiscard]] std::vector<std::pair<graph::VertexId, graph::PartitionId>> announce(
+      const graph::DynamicGraph& g, const core::PartitionState& state);
+
+  /// Feeds the convergence window; call with the executed-migration count.
+  void recordMigrations(std::size_t migrations) noexcept { tracker_.record(migrations); }
+
+  /// Re-arms adaptation after structural changes.
+  void notifyTopologyChanged() noexcept { tracker_.reset(); }
+
+  /// Feeds per-worker activity (compute units this superstep) into the
+  /// hotspot model; no-op unless Options.hotspotAware.
+  void observeActivity(const std::vector<double>& activity) {
+    if (hotspot_) hotspot_->observe(activity);
+  }
+
+  /// Current per-partition heat (empty when hotspot awareness is off).
+  [[nodiscard]] std::vector<double> heat() const {
+    return hotspot_ ? hotspot_->heat() : std::vector<double>{};
+  }
+
+  /// Re-provisions capacities to `capacityFactor` headroom over the balanced
+  /// load of a grown graph. Without this, a +10 % injection (Fig. 7b) leaves
+  /// total capacity equal to |V| and the quotas freeze all migration — the
+  /// operational step a real deployment performs when the workers are
+  /// re-provisioned for the larger graph.
+  void rescaleCapacity(std::size_t totalUnits, double capacityFactor) {
+    capacity_.rescale(totalUnits, capacityFactor);
+  }
+
+  [[nodiscard]] bool converged() const noexcept { return tracker_.converged(); }
+  [[nodiscard]] const core::CapacityModel& capacity() const noexcept {
+    return capacity_;
+  }
+
+ private:
+  Options options_;
+  core::CapacityModel capacity_;
+  core::QuotaLedger quota_;
+  core::MigrationPolicy policy_;
+  core::ConvergenceTracker tracker_;
+  std::optional<core::HotspotModel> hotspot_;
+  util::Rng rng_;
+};
+
+}  // namespace xdgp::pregel

@@ -1,0 +1,434 @@
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/partition_state.h"
+#include "graph/dynamic_graph.h"
+#include "graph/update_stream.h"
+#include "metrics/cuts.h"
+#include "pregel/background_partitioner.h"
+#include "pregel/cost_model.h"
+#include "pregel/types.h"
+#include "util/rng.h"
+
+namespace xdgp::pregel {
+
+/// Engine configuration (Fig. 2's layered system).
+struct EngineOptions {
+  std::size_t numWorkers = 9;       ///< k workers, one partition each
+  double capacityFactor = 1.1;      ///< partition capacity headroom
+  bool adaptive = false;            ///< run the background partitioner
+  BackgroundPartitioner::Options partitioner;
+  /// Deferred (one-superstep-delayed) vertex migration per §3. Turning this
+  /// off reproduces Fig. 3 (top): in-flight messages chase departed vertices
+  /// and are lost — the ablation quantifying why deferral is required.
+  bool deferredMigration = true;
+  CostParams cost;
+};
+
+/// Pregel-inspired BSP engine with continuous computation and streaming
+/// graph mutations (§3): compute runs superstep after superstep; vertices
+/// and edges are injected/removed between supersteps; the adaptive
+/// partitioning algorithm runs in the background through the same API.
+///
+/// `Program` is the user application:
+///
+///   struct MyApp {
+///     using VertexValue  = ...;   // default-constructible per-vertex state
+///     using MessageValue = ...;   // payload exchanged along edges
+///     template <typename Ctx>
+///     void compute(Ctx& ctx, VertexValue& value,
+///                  std::span<const MessageValue> inbox);
+///   };
+///
+/// Messages sent during superstep t are consumed at t+1. Migration follows
+/// the paper's deferred protocol: an announcement at the end of t redirects
+/// messages produced during t+1 to the new worker, and the vertex itself
+/// moves at the t+1 → t+2 boundary, so no message is ever lost (the
+/// `lostMessages` counter stays zero; the test suite asserts it).
+template <typename Program>
+class Engine {
+ public:
+  using VValue = typename Program::VertexValue;
+  using MValue = typename Program::MessageValue;
+
+  /// Per-vertex view handed to Program::compute.
+  class Context {
+   public:
+    Context(Engine& engine, graph::VertexId v) noexcept
+        : engine_(engine), v_(v) {}
+
+    [[nodiscard]] graph::VertexId id() const noexcept { return v_; }
+    [[nodiscard]] std::size_t superstep() const noexcept {
+      return engine_.superstep_;
+    }
+    [[nodiscard]] std::span<const graph::VertexId> neighbors() const noexcept {
+      return engine_.graph_.neighbors(v_);
+    }
+    [[nodiscard]] std::size_t degree() const noexcept {
+      return engine_.graph_.degree(v_);
+    }
+    [[nodiscard]] WorkerId worker() const noexcept {
+      return engine_.state_.partitionOf(v_);
+    }
+    [[nodiscard]] const graph::DynamicGraph& graph() const noexcept {
+      return engine_.graph_;
+    }
+
+    /// Queues a message for delivery at the next superstep.
+    void send(graph::VertexId target, MValue message) {
+      engine_.routeMessage(v_, target, std::move(message));
+    }
+
+    void sendToNeighbors(const MValue& message) {
+      for (const graph::VertexId nbr : neighbors()) {
+        engine_.routeMessage(v_, nbr, message);
+      }
+    }
+
+    /// Accounts app compute so the cost model sees the BSP barrier.
+    void addComputeUnits(double units) noexcept {
+      engine_.workerCompute_[worker()] += units;
+      engine_.currentStats_->computeUnits += units;
+    }
+
+    /// Pregel sum-aggregator: contributions from all vertices during
+    /// superstep t are summed and visible to every vertex at t+1 via
+    /// previousAggregate() — the standard global-signal channel (e.g. the
+    /// total rank delta that tells PageRank it has converged).
+    void aggregate(double value) noexcept {
+      engine_.aggregateAccumulator_ += value;
+    }
+
+    /// Last superstep's aggregated sum (0 at superstep 0).
+    [[nodiscard]] double previousAggregate() const noexcept {
+      return engine_.lastAggregate_;
+    }
+
+   private:
+    Engine& engine_;
+    graph::VertexId v_;
+  };
+
+  Engine(graph::DynamicGraph g, metrics::Assignment initial, EngineOptions options,
+         Program program = Program{})
+      : options_(options),
+        program_(std::move(program)),
+        graph_(std::move(g)),
+        state_(graph_, std::move(initial), options.numWorkers),
+        workerCompute_(options.numWorkers, 0.0) {
+    const std::size_t bound = graph_.idBound();
+    values_.resize(bound);
+    inbox_.resize(bound);
+    outbox_.resize(bound);
+    announced_.assign(bound, graph::kNoPartition);
+    if (options_.adaptive) {
+      partitioner_.emplace(options_.numWorkers, totalLoadUnits(),
+                           options_.capacityFactor, options_.partitioner);
+    }
+  }
+
+  /// Runs one BSP superstep; returns its statistics (also appended to
+  /// history()).
+  SuperstepStats runSuperstep() {
+    SuperstepStats stats;
+    stats.superstep = superstep_;
+    stats.mutationsApplied = std::exchange(pendingMutations_, 0);
+    std::fill(workerCompute_.begin(), workerCompute_.end(), 0.0);
+    aggregateAccumulator_ = 0.0;
+    currentStats_ = &stats;
+
+    // --- Compute phase: deliver inboxes and run the vertex program.
+    const std::size_t bound = graph_.idBound();
+    for (graph::VertexId v = 0; v < bound; ++v) {
+      if (!graph_.hasVertex(v)) continue;
+      messageScratch_.clear();
+      for (Envelope& env : inbox_[v]) {
+        if (env.addressedTo == state_.partitionOf(v)) {
+          messageScratch_.push_back(std::move(env.value));
+        } else {
+          ++stats.lostMessages;  // Fig. 3 top: the vertex has moved away
+        }
+      }
+      Context ctx(*this, v);
+      program_.compute(ctx, values_[v],
+                       std::span<const MValue>(messageScratch_));
+      ++stats.activeVertices;
+    }
+
+    // --- Message hand-over: this superstep's outboxes become next inboxes.
+    for (const graph::VertexId v : inboxTouched_) inbox_[v].clear();
+    inboxTouched_.clear();
+    std::swap(inbox_, outbox_);
+    std::swap(inboxTouched_, outboxTouched_);
+
+    // --- Migration phase 1: execute moves announced last superstep. The
+    // messages produced above were already routed to the new homes.
+    for (const graph::VertexId v : announcedVertices_) {
+      if (!graph_.hasVertex(v)) continue;  // removed while migrating
+      const graph::PartitionId target = announced_[v];
+      if (target == graph::kNoPartition) continue;
+      state_.moveVertex(graph_, v, target);
+      announced_[v] = graph::kNoPartition;
+      ++stats.migrationsExecuted;
+    }
+    announcedVertices_.clear();
+
+    // --- Migration phase 2: the background partitioning algorithm decides
+    // and announces the next wave (deferred), or applies it at once in the
+    // instant-migration ablation.
+    if (partitioner_) {
+      // Runtime statistics for the §6 hotspot extension: this superstep's
+      // per-worker compute units are the activity signal.
+      partitioner_->observeActivity(workerCompute_);
+      auto announcements = partitioner_->announce(graph_, state_);
+      stats.migrationsAnnounced = announcements.size();
+      partitioner_->recordMigrations(announcements.size());
+      if (options_.deferredMigration) {
+        for (const auto& [v, target] : announcements) {
+          announced_[v] = target;
+          announcedVertices_.push_back(v);
+        }
+      } else {
+        for (const auto& [v, target] : announcements) {
+          state_.moveVertex(graph_, v, target);
+          ++stats.migrationsExecuted;
+        }
+      }
+    }
+
+    stats.cutEdges = state_.cutEdges();
+    stats.maxWorkerComputeUnits =
+        *std::max_element(workerCompute_.begin(), workerCompute_.end());
+    lastAggregate_ = aggregateAccumulator_;
+    stats.aggregatedValue = lastAggregate_;
+    stats.modeledTime = options_.cost.timeFor(stats);
+    currentStats_ = nullptr;
+    history_.push_back(stats);
+    ++superstep_;
+    return stats;
+  }
+
+  /// Runs `n` supersteps; returns the last one's stats.
+  SuperstepStats runSupersteps(std::size_t n) {
+    SuperstepStats last;
+    for (std::size_t i = 0; i < n; ++i) last = runSuperstep();
+    return last;
+  }
+
+  /// Applies structural updates between supersteps, or buffers them while
+  /// the topology is frozen (the §4.3 clique workload "requires freezing the
+  /// graph topology until a result is obtained"). Returns events applied now.
+  std::size_t ingest(const std::vector<graph::UpdateEvent>& events) {
+    if (frozen_) {
+      frozenBuffer_.insert(frozenBuffer_.end(), events.begin(), events.end());
+      return 0;
+    }
+    return applyEvents(events);
+  }
+
+  void freezeTopology() noexcept { frozen_ = true; }
+
+  /// Thaws the topology and applies everything buffered while frozen —
+  /// "every iteration will trigger the adaptation to a batch set of
+  /// changes". Returns the number of events applied.
+  std::size_t thawTopology() {
+    frozen_ = false;
+    const std::size_t applied = applyEvents(frozenBuffer_);
+    frozenBuffer_.clear();
+    return applied;
+  }
+
+  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+  [[nodiscard]] std::size_t bufferedEvents() const noexcept {
+    return frozenBuffer_.size();
+  }
+
+  [[nodiscard]] const graph::DynamicGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const core::PartitionState& state() const noexcept { return state_; }
+  [[nodiscard]] std::size_t superstepIndex() const noexcept { return superstep_; }
+  [[nodiscard]] const std::vector<SuperstepStats>& history() const noexcept {
+    return history_;
+  }
+
+  [[nodiscard]] VValue& value(graph::VertexId v) { return values_[v]; }
+  [[nodiscard]] const VValue& value(graph::VertexId v) const { return values_[v]; }
+
+  /// Last completed superstep's aggregated sum.
+  [[nodiscard]] double lastAggregate() const noexcept { return lastAggregate_; }
+
+  [[nodiscard]] Program& program() noexcept { return program_; }
+  [[nodiscard]] const Program& program() const noexcept { return program_; }
+
+  [[nodiscard]] bool partitionerConverged() const noexcept {
+    return partitioner_ ? partitioner_->converged() : true;
+  }
+
+  /// Re-provisions partition capacities for the current graph size; call
+  /// after large injections (see BackgroundPartitioner::rescaleCapacity).
+  void rescalePartitionerCapacity() {
+    if (partitioner_) {
+      partitioner_->rescaleCapacity(totalLoadUnits(), options_.capacityFactor);
+    }
+  }
+
+  /// Total load in the configured balance mode (|V| or 2|E|).
+  [[nodiscard]] std::size_t totalLoadUnits() const noexcept {
+    return options_.partitioner.balanceMode == core::BalanceMode::kVertices
+               ? graph_.numVertices()
+               : 2 * graph_.numEdges();
+  }
+
+  [[nodiscard]] double cutRatio() const noexcept { return state_.cutRatio(graph_); }
+
+  /// Folds every alive vertex value: fn(acc, id, value) -> acc.
+  template <typename T, typename Fn>
+  [[nodiscard]] T reduceValues(T init, Fn&& fn) const {
+    graph_.forEachVertex(
+        [&](graph::VertexId v) { init = fn(std::move(init), v, values_[v]); });
+    return init;
+  }
+
+ private:
+  struct Envelope {
+    MValue value;
+    WorkerId addressedTo;
+  };
+
+  friend class Context;
+
+  /// Payload weight of one message: programs carrying variable-size
+  /// payloads (neighbour lists) expose `messageUnits`; scalar payloads
+  /// default to one unit.
+  static std::size_t unitsOf(const MValue& message) noexcept {
+    if constexpr (requires { Program::messageUnits(message); }) {
+      return Program::messageUnits(message);
+    } else {
+      return 1;
+    }
+  }
+
+  void routeMessage(graph::VertexId sender, graph::VertexId target, MValue message) {
+    if (!graph_.hasVertex(target)) {
+      // Receiver left the graph (stream removal): the message expires.
+      ++currentStats_->lostMessages;
+      return;
+    }
+    // Deferred protocol: senders were notified of upcoming migrations at the
+    // start of this superstep, so they address the vertex's *next* home.
+    const graph::PartitionId announcedTarget = announced_[target];
+    const WorkerId dest = announcedTarget != graph::kNoPartition
+                              ? announcedTarget
+                              : state_.partitionOf(target);
+    const WorkerId src = state_.partitionOf(sender);
+    const std::size_t units = unitsOf(message);
+    if (dest == src) {
+      ++currentStats_->localMessages;
+      currentStats_->localMessageUnits += units;
+    } else {
+      ++currentStats_->remoteMessages;
+      currentStats_->remoteMessageUnits += units;
+    }
+    if (outbox_[target].empty()) outboxTouched_.push_back(target);
+    outbox_[target].push_back(Envelope{std::move(message), dest});
+  }
+
+  std::size_t applyEvents(const std::vector<graph::UpdateEvent>& events) {
+    std::size_t applied = 0;
+    for (const graph::UpdateEvent& e : events) {
+      switch (e.kind) {
+        case graph::UpdateEvent::Kind::kAddVertex:
+          applied += ensureVertexLoaded(e.u) ? 1 : 0;
+          break;
+        case graph::UpdateEvent::Kind::kRemoveVertex:
+          if (graph_.hasVertex(e.u)) {
+            dropVertex(e.u);
+            ++applied;
+          }
+          break;
+        case graph::UpdateEvent::Kind::kAddEdge:
+          ensureVertexLoaded(e.u);
+          ensureVertexLoaded(e.v);
+          if (graph_.addEdge(e.u, e.v)) {
+            state_.onEdgeAdded(e.u, e.v);
+            ++applied;
+          }
+          break;
+        case graph::UpdateEvent::Kind::kRemoveEdge:
+          if (graph_.removeEdge(e.u, e.v)) {
+            state_.onEdgeRemoved(e.u, e.v);
+            ++applied;
+          }
+          break;
+      }
+    }
+    pendingMutations_ += applied;
+    if (applied > 0 && partitioner_) partitioner_->notifyTopologyChanged();
+    return applied;
+  }
+
+  /// Loads a streamed-in vertex: hash placement (the system default the
+  /// paper adapts away from) plus per-vertex engine state.
+  bool ensureVertexLoaded(graph::VertexId v) {
+    if (graph_.hasVertex(v)) return false;
+    graph_.ensureVertex(v);
+    const std::size_t bound = graph_.idBound();
+    if (bound > values_.size()) {
+      values_.resize(bound);
+      inbox_.resize(bound);
+      outbox_.resize(bound);
+      announced_.resize(bound, graph::kNoPartition);
+    }
+    const auto home = static_cast<graph::PartitionId>(
+        util::Rng::splitmix64(v) % options_.numWorkers);
+    state_.onVertexAdded(v, home);
+    values_[v] = VValue{};
+    inbox_[v].clear();
+    outbox_[v].clear();
+    announced_[v] = graph::kNoPartition;
+    return true;
+  }
+
+  void dropVertex(graph::VertexId v) {
+    state_.onVertexRemoving(graph_, v);
+    graph_.removeVertex(v);
+    announced_[v] = graph::kNoPartition;
+    inbox_[v].clear();
+    // A queued outbox_[v] entry would deliver to a recycled id; clear it and
+    // let routeMessage's liveness check expire racing senders.
+    outbox_[v].clear();
+  }
+
+  EngineOptions options_;
+  Program program_;
+  graph::DynamicGraph graph_;
+  core::PartitionState state_;
+  std::optional<BackgroundPartitioner> partitioner_;
+
+  std::vector<VValue> values_;
+  std::vector<std::vector<Envelope>> inbox_;
+  std::vector<std::vector<Envelope>> outbox_;
+  std::vector<graph::VertexId> inboxTouched_;
+  std::vector<graph::VertexId> outboxTouched_;
+  std::vector<MValue> messageScratch_;
+
+  std::vector<graph::PartitionId> announced_;
+  std::vector<graph::VertexId> announcedVertices_;
+
+  std::vector<double> workerCompute_;
+  double aggregateAccumulator_ = 0.0;
+  double lastAggregate_ = 0.0;
+  std::vector<SuperstepStats> history_;
+  SuperstepStats* currentStats_ = nullptr;
+
+  std::vector<graph::UpdateEvent> frozenBuffer_;
+  bool frozen_ = false;
+  std::size_t superstep_ = 0;
+  std::size_t pendingMutations_ = 0;
+};
+
+}  // namespace xdgp::pregel

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace xdgp::pregel {
+
+/// One worker hosts one partition, like the paper's deployment (k partitions
+/// spread over the cluster's workers), so the ids coincide.
+using WorkerId = graph::PartitionId;
+
+/// Everything the engine measures about one superstep; the raw material for
+/// Figs. 7, 8 and 9.
+struct SuperstepStats {
+  std::size_t superstep = 0;
+  std::size_t activeVertices = 0;
+
+  /// Messages whose sender and receiver live on the same worker.
+  std::size_t localMessages = 0;
+  /// Messages that crossed workers — the quantity the partitioning minimises.
+  std::size_t remoteMessages = 0;
+  /// Payload-weighted traffic: scalar messages count 1 unit, list-carrying
+  /// messages (the clique app's neighbour lists) count their length. Wire
+  /// time scales with units, not message count.
+  std::size_t localMessageUnits = 0;
+  std::size_t remoteMessageUnits = 0;
+  /// Messages dropped because the addressed worker no longer hosted the
+  /// vertex. Always zero with deferred migration (§3, Fig. 3 bottom); the
+  /// instant-migration ablation shows why.
+  std::size_t lostMessages = 0;
+
+  std::size_t migrationsAnnounced = 0;
+  std::size_t migrationsExecuted = 0;
+  std::size_t mutationsApplied = 0;
+
+  std::size_t cutEdges = 0;
+
+  /// Total application compute units this superstep (app-defined scale).
+  double computeUnits = 0.0;
+  /// Busiest worker's compute units: the BSP barrier waits for this one.
+  double maxWorkerComputeUnits = 0.0;
+
+  /// Sum of all Context::aggregate() contributions this superstep (the
+  /// Pregel aggregator mechanism; readable by vertices next superstep).
+  double aggregatedValue = 0.0;
+
+  /// Cost-model time for the superstep (arbitrary units; figures normalise
+  /// to the static-hash baseline as the paper does).
+  double modeledTime = 0.0;
+};
+
+}  // namespace xdgp::pregel

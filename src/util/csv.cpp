@@ -1,0 +1,49 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+namespace xdgp::util {
+
+namespace {
+
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : path_(path), out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  writeRow(header);
+}
+
+void CsvWriter::addRow(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) {
+    throw std::runtime_error("CsvWriter: row width mismatch in " + path_);
+  }
+  writeRow(cells);
+}
+
+void CsvWriter::writeRow(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+CsvWriter::~CsvWriter() { close(); }
+
+}  // namespace xdgp::util

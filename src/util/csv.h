@@ -1,0 +1,37 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace xdgp::util {
+
+/// Minimal CSV writer. Each bench binary dumps its series next to its stdout
+/// table so results can be re-plotted without re-running the experiment.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error when the file cannot be created.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row of preformatted cells; quotes cells containing commas.
+  void addRow(const std::vector<std::string>& cells);
+
+  /// Flush and close; also invoked by the destructor.
+  void close();
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  void writeRow(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace xdgp::util

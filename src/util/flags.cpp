@@ -1,0 +1,65 @@
+#include "util/flags.h"
+
+#include <stdexcept>
+
+namespace xdgp::util {
+
+Flags::Flags(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::runtime_error("Flags: expected --key=value, got '" + arg + "'");
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      entries_[arg] = Entry{"true", false};
+    } else {
+      entries_[arg.substr(0, eq)] = Entry{arg.substr(eq + 1), false};
+    }
+  }
+}
+
+std::int64_t Flags::getInt(const std::string& key, std::int64_t fallback) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  it->second.consumed = true;
+  return std::stoll(it->second.value);
+}
+
+double Flags::getDouble(const std::string& key, double fallback) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  it->second.consumed = true;
+  return std::stod(it->second.value);
+}
+
+std::string Flags::getString(const std::string& key, std::string fallback) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  it->second.consumed = true;
+  return it->second.value;
+}
+
+bool Flags::getBool(const std::string& key, bool fallback) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  it->second.consumed = true;
+  return it->second.value == "true" || it->second.value == "1" ||
+         it->second.value == "yes";
+}
+
+bool Flags::has(const std::string& key) const { return entries_.count(key) > 0; }
+
+void Flags::finish() const {
+  std::string unknown;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.consumed) unknown += (unknown.empty() ? "" : ", ") + key;
+  }
+  if (!unknown.empty()) {
+    throw std::runtime_error(program_ + ": unknown flag(s): " + unknown);
+  }
+}
+
+}  // namespace xdgp::util

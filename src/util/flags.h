@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace xdgp::util {
+
+/// Tiny `--key=value` command-line parser for the bench and example
+/// binaries. Unknown flags are an error so typos in sweep scripts fail loudly.
+///
+/// Usage:
+///   Flags flags(argc, argv);
+///   const int reps = flags.getInt("reps", 10);
+///   flags.finish();  // rejects unconsumed flags
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  [[nodiscard]] std::int64_t getInt(const std::string& key, std::int64_t fallback);
+  [[nodiscard]] double getDouble(const std::string& key, double fallback);
+  [[nodiscard]] std::string getString(const std::string& key, std::string fallback);
+  [[nodiscard]] bool getBool(const std::string& key, bool fallback);
+
+  /// True when `--key` or `--key=...` was supplied.
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Throws std::runtime_error listing any flag that was supplied but never
+  /// read — the guard against silently ignored experiment parameters.
+  void finish() const;
+
+ private:
+  struct Entry {
+    std::string value;
+    bool consumed = false;
+  };
+  std::map<std::string, Entry> entries_;
+  std::string program_;
+};
+
+}  // namespace xdgp::util

@@ -1,0 +1,17 @@
+#include "util/logging.h"
+
+#include <atomic>
+
+namespace xdgp::util {
+
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
+}  // namespace
+
+LogLevel logThreshold() noexcept { return g_threshold.load(std::memory_order_relaxed); }
+
+void setLogThreshold(LogLevel level) noexcept {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+}  // namespace xdgp::util

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace xdgp::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+/// Benches default to kInfo; tests raise it to kWarn to keep output clean.
+LogLevel logThreshold() noexcept;
+void setLogThreshold(LogLevel level) noexcept;
+
+namespace detail {
+
+/// Stream-style one-shot log line; flushes on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* tag) : level_(level) {
+    stream_ << '[' << tag << "] ";
+  }
+  ~LogLine() {
+    if (level_ >= logThreshold()) {
+      stream_ << '\n';
+      std::cerr << stream_.str();
+    }
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogLine logDebug() { return {LogLevel::kDebug, "debug"}; }
+inline detail::LogLine logInfo() { return {LogLevel::kInfo, "info "}; }
+inline detail::LogLine logWarn() { return {LogLevel::kWarn, "warn "}; }
+inline detail::LogLine logError() { return {LogLevel::kError, "error"}; }
+
+}  // namespace xdgp::util

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace xdgp::util {
+
+/// Deterministic, seedable pseudo-random generator.
+///
+/// A small PCG32-style generator with a SplitMix64 seeding stage. All
+/// stochastic behaviour in the library (willingness-to-move draws, graph
+/// generators, pseudorandom partitioning) flows through this class so that
+/// every experiment is reproducible from a single 64-bit seed, matching the
+/// paper's n = 10 repeated-experiment protocol.
+class Rng {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept { reseed(seed); }
+
+  /// Re-initialises the stream from `seed`; same seed => same sequence.
+  void reseed(std::uint64_t seed) noexcept {
+    state_ = splitmix64(seed);
+    inc_ = splitmix64(state_) | 1ULL;  // stream selector must be odd
+    (void)next();
+  }
+
+  /// UniformRandomBitGenerator interface (usable with <algorithm>).
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() noexcept { return next(); }
+
+  /// Uniform 32-bit draw.
+  std::uint32_t next() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted = static_cast<std::uint32_t>(((old >> 18U) ^ old) >> 27U);
+    const auto rot = static_cast<std::uint32_t>(old >> 59U);
+    return (xorshifted >> rot) | (xorshifted << ((32U - rot) & 31U));
+  }
+
+  /// Uniform 64-bit draw.
+  std::uint64_t next64() noexcept {
+    return (static_cast<std::uint64_t>(next()) << 32) | next();
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint32_t below(std::uint32_t bound) noexcept {
+    std::uint64_t m = static_cast<std::uint64_t>(next()) * bound;
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < bound) {
+      const std::uint32_t threshold = (0u - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<std::uint64_t>(next()) * bound;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  /// Uniform size_t in [0, bound). Precondition: bound > 0.
+  std::size_t index(std::size_t bound) noexcept {
+    if (bound <= std::numeric_limits<std::uint32_t>::max()) {
+      return below(static_cast<std::uint32_t>(bound));
+    }
+    // Rare large-bound path: rejection sampling on 64 bits.
+    const std::uint64_t limit =
+        std::numeric_limits<std::uint64_t>::max() -
+        std::numeric_limits<std::uint64_t>::max() % bound;
+    std::uint64_t draw = next64();
+    while (draw >= limit) draw = next64();
+    return static_cast<std::size_t>(draw % bound);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Geometric draw: number of successes before first failure, with
+  /// per-trial success probability p in [0,1). Used by the forest-fire model.
+  std::uint32_t geometric(double p) noexcept {
+    std::uint32_t n = 0;
+    while (p > 0.0 && bernoulli(p) && n < 1u << 20) ++n;
+    return n;
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// Picks a uniformly random element; precondition: !items.empty().
+  template <typename T>
+  const T& pick(const std::vector<T>& items) noexcept {
+    return items[index(items.size())];
+  }
+
+  /// Derives an independent child generator (for per-repetition seeding).
+  Rng fork() noexcept { return Rng(next64()); }
+
+  /// SplitMix64 mixing function, also used directly for hash partitioning.
+  static std::uint64_t splitmix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+ private:
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+};
+
+}  // namespace xdgp::util

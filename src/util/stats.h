@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace xdgp::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// The paper reports every quality number as the mean of n = 10 repetitions
+/// with the "estimated error in the mean" (standard error); this class is the
+/// single source of those summaries.
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+  /// Estimated error in the mean (standard error), the paper's error bar.
+  [[nodiscard]] double stderror() const noexcept {
+    return n_ > 1 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  void merge(const RunningStat& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(n_ + other.n_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) / total;
+    mean_ += delta * static_cast<double>(other.n_) / total;
+    n_ += other.n_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Convenience: summarise a vector of samples.
+[[nodiscard]] inline RunningStat summarize(const std::vector<double>& xs) noexcept {
+  RunningStat s;
+  for (const double x : xs) s.add(x);
+  return s;
+}
+
+/// Exponential moving average, used for smoothed per-superstep timing series.
+class Ema {
+ public:
+  explicit Ema(double alpha) noexcept : alpha_(alpha) {}
+
+  double update(double x) noexcept {
+    value_ = primed_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    primed_ = true;
+    return value_;
+  }
+
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] bool primed() const noexcept { return primed_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace xdgp::util

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xdgp::util {
+
+/// Aligned plain-text table printer used by every bench binary so that the
+/// harness output mirrors the rows of the paper's tables and figure series.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; the row is padded/truncated to the header width.
+  void addRow(std::vector<std::string> cells);
+
+  /// Renders the table with a header rule to `out`.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rowCount() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (default 3 digits).
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+
+/// Formats "mean ± stderr", the paper's error-in-the-mean notation.
+[[nodiscard]] std::string fmtPm(double mean, double err, int precision = 3);
+
+}  // namespace xdgp::util

@@ -1,0 +1,71 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace xdgp::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count = std::max<std::size_t>(1, threads);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  taskReady_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+    ++inFlight_;
+  }
+  taskReady_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void ThreadPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t chunks = std::min(n, threadCount() * 4);
+  const std::size_t step = (n + chunks - 1) / chunks;
+  for (std::size_t begin = 0; begin < n; begin += step) {
+    const std::size_t end = std::min(n, begin + step);
+    submit([&body, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    });
+  }
+  wait();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      taskReady_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --inFlight_;
+      if (inFlight_ == 0) allDone_.notify_all();
+    }
+  }
+}
+
+}  // namespace xdgp::util

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace xdgp::util {
+
+/// Fixed-size work-stealing-free thread pool with a blocking `parallelFor`.
+///
+/// The Pregel engine can execute its workers through this pool
+/// (ExecutionMode::Threaded); on single-core hosts the serial mode is the
+/// default and this pool is exercised by tests for correctness.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1).
+  explicit ThreadPool(std::size_t threads);
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t threadCount() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void wait();
+
+  /// Runs body(i) for i in [0, n), partitioned in contiguous chunks across
+  /// the pool, and blocks until all chunks are done. Exceptions thrown by
+  /// `body` terminate the process (tasks must be noexcept in spirit).
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable taskReady_;
+  std::condition_variable allDone_;
+  std::size_t inFlight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace xdgp::util

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <chrono>
+
+namespace xdgp::util {
+
+/// Monotonic wall-clock stopwatch for coarse phase timing in benches.
+/// Experiment *results* use the deterministic cost model, not this clock.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace xdgp::util

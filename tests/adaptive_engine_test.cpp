@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/adaptive_engine.h"
+#include "gen/erdos_renyi.h"
+#include "gen/forest_fire.h"
+#include "gen/mesh2d.h"
+#include "gen/mesh3d.h"
+#include "gen/powerlaw_cluster.h"
+#include "graph/csr.h"
+#include "metrics/balance.h"
+#include "metrics/cuts.h"
+#include "partition/partitioner.h"
+
+namespace xdgp::core {
+namespace {
+
+using graph::DynamicGraph;
+using graph::UpdateEvent;
+using graph::VertexId;
+
+metrics::Assignment initialAssignment(const DynamicGraph& g, const std::string& code,
+                                      std::size_t k, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return partition::makePartitioner(code)->partition(graph::CsrGraph::fromGraph(g),
+                                                     k, 1.1, rng);
+}
+
+AdaptiveEngine makeEngine(DynamicGraph g, const std::string& code,
+                          AdaptiveOptions options) {
+  metrics::Assignment a = initialAssignment(g, code, options.k, options.seed);
+  return AdaptiveEngine(std::move(g), std::move(a), options);
+}
+
+// ------------------------------------------------------------ basics
+
+TEST(AdaptiveEngine, ImprovesHashPartitioningOnMesh) {
+  AdaptiveOptions options;
+  options.k = 9;
+  AdaptiveEngine engine = makeEngine(gen::mesh3d(12, 12, 12), "HSH", options);
+  const double before = engine.cutRatio();
+  const ConvergenceResult result = engine.runToConvergence(3'000);
+  EXPECT_TRUE(result.converged);
+  // Fig. 4A: the iterative algorithm improves hash cuts by 0.2-0.4.
+  EXPECT_LT(engine.cutRatio(), before - 0.2);
+}
+
+TEST(AdaptiveEngine, ConvergesOnPowerLaw) {
+  util::Rng seed(3);
+  AdaptiveOptions options;
+  options.k = 9;
+  AdaptiveEngine engine =
+      makeEngine(gen::powerlawCluster(2'000, 8, 0.1, seed), "HSH", options);
+  const double before = engine.cutRatio();
+  const ConvergenceResult result = engine.runToConvergence(3'000);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(engine.cutRatio(), before);
+}
+
+TEST(AdaptiveEngine, IncrementalCutsMatchBruteForceAtEveryStage) {
+  AdaptiveOptions options;
+  options.k = 4;
+  AdaptiveEngine engine = makeEngine(gen::mesh2d(10, 10), "RND", options);
+  for (int i = 0; i < 30; ++i) {
+    engine.step();
+    ASSERT_EQ(engine.state().cutEdges(),
+              metrics::cutEdges(engine.graph(), engine.state().assignment()));
+  }
+}
+
+TEST(AdaptiveEngine, SeedsAreReproducible) {
+  AdaptiveOptions options;
+  options.k = 5;
+  options.seed = 99;
+  AdaptiveEngine a = makeEngine(gen::mesh2d(12, 12), "HSH", options);
+  AdaptiveEngine b = makeEngine(gen::mesh2d(12, 12), "HSH", options);
+  a.runToConvergence(500);
+  b.runToConvergence(500);
+  EXPECT_EQ(a.state().assignment(), b.state().assignment());
+  EXPECT_EQ(a.iteration(), b.iteration());
+}
+
+TEST(AdaptiveEngine, SeriesRecordsEveryIteration) {
+  AdaptiveOptions options;
+  options.k = 3;
+  AdaptiveEngine engine = makeEngine(gen::mesh2d(8, 8), "HSH", options);
+  for (int i = 0; i < 10; ++i) engine.step();
+  ASSERT_EQ(engine.series().size(), 10u);
+  EXPECT_EQ(engine.series().points().back().iteration, 10u);
+}
+
+TEST(AdaptiveEngine, SeriesCanBeDisabled) {
+  AdaptiveOptions options;
+  options.k = 3;
+  options.recordSeries = false;
+  AdaptiveEngine engine = makeEngine(gen::mesh2d(8, 8), "HSH", options);
+  engine.step();
+  EXPECT_TRUE(engine.series().empty());
+}
+
+// ------------------------------------------------------------ willingness s
+
+TEST(AdaptiveEngine, ZeroWillingnessNeverMigrates) {
+  AdaptiveOptions options;
+  options.k = 4;
+  options.willingness = 0.0;  // paper: "s = 0 causes no migration whatsoever"
+  AdaptiveEngine engine = makeEngine(gen::mesh2d(10, 10), "HSH", options);
+  const double before = engine.cutRatio();
+  const ConvergenceResult result = engine.runToConvergence(200);
+  EXPECT_TRUE(result.converged);  // trivially quiet
+  EXPECT_EQ(result.convergenceIteration, 0u);
+  EXPECT_DOUBLE_EQ(engine.cutRatio(), before);
+}
+
+TEST(AdaptiveEngine, FullWillingnessChasesNeighbours) {
+  // §2.3: two neighbouring vertices in different partitions both jump with
+  // s = 1 and swap forever — the chasing pathology the random factor fixes.
+  DynamicGraph pair(2);
+  pair.addEdge(0, 1);
+  metrics::Assignment a{0, 1};
+  AdaptiveOptions options;
+  options.k = 2;
+  options.willingness = 1.0;
+  options.capacityFactor = 2.0;  // capacity never the limiting factor
+  AdaptiveEngine engine(std::move(pair), std::move(a), options);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(engine.step(), 2u) << "both vertices chase at iteration " << i;
+  }
+  EXPECT_FALSE(engine.converged());
+  // The cut edge never heals: they always land apart.
+  EXPECT_EQ(engine.state().cutEdges(), 1u);
+}
+
+TEST(AdaptiveEngine, IntermediateWillingnessHealsTheChase) {
+  DynamicGraph pair(2);
+  pair.addEdge(0, 1);
+  metrics::Assignment a{0, 1};
+  AdaptiveOptions options;
+  options.k = 2;
+  options.willingness = 0.5;
+  options.capacityFactor = 2.0;
+  AdaptiveEngine engine(std::move(pair), std::move(a), options);
+  const ConvergenceResult result = engine.runToConvergence(500);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(engine.state().cutEdges(), 0u);  // neighbours finally together
+}
+
+// ------------------------------------------------------------ capacity
+
+class CapacityInvariantTest
+    : public testing::TestWithParam<std::tuple<std::string, std::size_t, double>> {};
+
+TEST_P(CapacityInvariantTest, LoadsNeverExceedCapacityNorWorsen) {
+  const auto& [code, k, s] = GetParam();
+  AdaptiveOptions options;
+  options.k = k;
+  options.willingness = s;
+  AdaptiveEngine engine = makeEngine(gen::mesh2d(14, 14), code, options);
+  std::vector<std::size_t> bound(engine.capacity().capacities());
+  // An over-capacity *initial* load (possible with HSH) may only shrink.
+  for (std::size_t i = 0; i < k; ++i) {
+    bound[i] = std::max(bound[i], engine.state().load(i));
+  }
+  for (int iter = 0; iter < 60; ++iter) {
+    engine.step();
+    for (std::size_t i = 0; i < k; ++i) {
+      ASSERT_LE(engine.state().load(i), bound[i])
+          << code << " k=" << k << " s=" << s << " iter=" << iter;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategiesAndShapes, CapacityInvariantTest,
+    testing::Combine(testing::Values("HSH", "RND", "DGR", "MNN"),
+                     testing::Values(std::size_t{2}, std::size_t{9}),
+                     testing::Values(0.3, 0.5, 0.9)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_k" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 10));
+    });
+
+TEST(AdaptiveEngine, QuotaDisabledDensifies) {
+  // Ablation: without §2.2 quotas the greedy heuristic concentrates
+  // vertices ("node densification").
+  AdaptiveOptions with;
+  with.k = 6;
+  AdaptiveOptions without = with;
+  without.enforceQuota = false;
+  AdaptiveEngine quotaOn = makeEngine(gen::mesh2d(12, 12), "RND", with);
+  AdaptiveEngine quotaOff = makeEngine(gen::mesh2d(12, 12), "RND", without);
+  quotaOn.runToConvergence(400);
+  quotaOff.runToConvergence(400);
+  const auto onBalance =
+      metrics::balanceReport(quotaOn.state().assignment(), 6);
+  const auto offBalance =
+      metrics::balanceReport(quotaOff.state().assignment(), 6);
+  EXPECT_GT(offBalance.imbalance, onBalance.imbalance);
+  EXPECT_GT(offBalance.imbalance, 1.15);  // clearly beyond the 110% cap
+}
+
+// ------------------------------------------------------------ dynamics
+
+TEST(AdaptiveEngine, AbsorbsForestFireInjection) {
+  AdaptiveOptions options;
+  options.k = 9;
+  AdaptiveEngine engine = makeEngine(gen::mesh3d(10, 10, 10), "HSH", options);
+  engine.runToConvergence(2'000);
+  ASSERT_TRUE(engine.converged());
+  const double settled = engine.cutRatio();
+
+  // Fig. 7b: inject +10% vertices at once via forest fire, then re-provision
+  // capacity for the grown graph (otherwise quotas freeze all migration).
+  DynamicGraph grown = engine.graph();
+  util::Rng rng(4);
+  const auto events = gen::forestFireExtension(grown, 100, {}, rng);
+  engine.applyUpdates(events);
+  engine.rescaleCapacity();
+  EXPECT_FALSE(engine.converged());  // adaptation re-armed
+  ASSERT_EQ(engine.state().cutEdges(),
+            metrics::cutEdges(engine.graph(), engine.state().assignment()));
+
+  const ConvergenceResult result = engine.runToConvergence(2'000);
+  EXPECT_TRUE(result.converged);
+  // The peak is absorbed: quality returns to (in fact below) the settled
+  // level even though the graph is 10% larger.
+  EXPECT_LT(engine.cutRatio(), settled + 0.05);
+}
+
+TEST(AdaptiveEngine, HandlesVertexAndEdgeRemovals) {
+  AdaptiveOptions options;
+  options.k = 4;
+  AdaptiveEngine engine = makeEngine(gen::mesh2d(10, 10), "RND", options);
+  engine.runToConvergence(500);
+  const std::vector<UpdateEvent> removals{
+      UpdateEvent::removeVertex(0), UpdateEvent::removeVertex(11),
+      UpdateEvent::removeEdge(22, 23), UpdateEvent::removeEdge(5, 6)};
+  engine.applyUpdates(removals);
+  EXPECT_EQ(engine.state().cutEdges(),
+            metrics::cutEdges(engine.graph(), engine.state().assignment()));
+  const ConvergenceResult result = engine.runToConvergence(500);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(AdaptiveEngine, StreamedVerticesUseHashPlacementByDefault) {
+  AdaptiveOptions options;
+  options.k = 5;
+  AdaptiveEngine engine = makeEngine(gen::mesh2d(6, 6), "RND", options);
+  const VertexId fresh = 1'000;
+  engine.applyUpdates({UpdateEvent::addVertex(fresh)});
+  EXPECT_EQ(engine.state().partitionOf(fresh),
+            static_cast<graph::PartitionId>(util::Rng::splitmix64(fresh) % 5));
+}
+
+TEST(AdaptiveEngine, CustomPlacementHonoured) {
+  AdaptiveOptions options;
+  options.k = 5;
+  AdaptiveEngine engine = makeEngine(gen::mesh2d(6, 6), "RND", options);
+  engine.setPlacement([](VertexId) { return graph::PartitionId{3}; });
+  engine.applyUpdates({UpdateEvent::addEdge(500, 501)});
+  EXPECT_EQ(engine.state().partitionOf(500), 3u);
+  EXPECT_EQ(engine.state().partitionOf(501), 3u);
+}
+
+TEST(AdaptiveEngine, UpdatesReturnAppliedCountAndIgnoreReplays) {
+  AdaptiveOptions options;
+  options.k = 2;
+  AdaptiveEngine engine = makeEngine(gen::mesh2d(4, 4), "RND", options);
+  const std::vector<UpdateEvent> batch{UpdateEvent::addEdge(0, 1),   // exists
+                                       UpdateEvent::addEdge(0, 100),  // new
+                                       UpdateEvent::removeVertex(999)};
+  EXPECT_EQ(engine.applyUpdates(batch), 1u);
+}
+
+// ------------------------------------------------------------ quality sweep
+
+class ConvergenceQualityTest
+    : public testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+TEST_P(ConvergenceQualityTest, ConvergesAndNeverWorsensCuts) {
+  const auto& [family, code] = GetParam();
+  DynamicGraph g;
+  if (family == "mesh") {
+    g = gen::mesh3d(8, 8, 8);
+  } else {
+    util::Rng rng(5);
+    g = gen::powerlawCluster(1'000, 7, 0.1, rng);
+  }
+  AdaptiveOptions options;
+  options.k = 9;
+  AdaptiveEngine engine = makeEngine(std::move(g), code, options);
+  const double before = engine.cutRatio();
+  const ConvergenceResult result = engine.runToConvergence(4'000);
+  EXPECT_TRUE(result.converged) << family << "/" << code;
+  // Fig. 4: the iterative phase ends at or below the initial quality; a
+  // small tolerance absorbs stochastic wobble on already-good starts (DGR).
+  EXPECT_LE(engine.cutRatio(), before + 0.03) << family << "/" << code;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesTimesStrategies, ConvergenceQualityTest,
+    testing::Combine(testing::Values("mesh", "plaw"),
+                     testing::Values("HSH", "RND", "DGR", "MNN")),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+}  // namespace
+}  // namespace xdgp::core

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/cardiac.h"
+#include "apps/ego_clique.h"
+#include "apps/max_clique.h"
+#include "apps/tunkrank.h"
+#include "gen/mesh3d.h"
+#include "graph/csr.h"
+#include "graph/dynamic_graph.h"
+#include "partition/partitioner.h"
+#include "pregel/engine.h"
+
+namespace xdgp::apps {
+namespace {
+
+using graph::DynamicGraph;
+using graph::VertexId;
+
+metrics::Assignment hashAssign(const DynamicGraph& g, std::size_t k) {
+  util::Rng rng(1);
+  return partition::makePartitioner("HSH")->partition(graph::CsrGraph::fromGraph(g),
+                                                      k, 1.1, rng);
+}
+
+pregel::EngineOptions plainOptions(std::size_t k) {
+  pregel::EngineOptions options;
+  options.numWorkers = k;
+  return options;
+}
+
+/// EgoNet for `center` with full neighbour-list knowledge of `g`.
+EgoNet egoOf(const DynamicGraph& g, VertexId center) {
+  EgoNet ego;
+  ego.center = center;
+  for (const VertexId nbr : g.neighbors(center)) {
+    ego.neighbors.push_back(nbr);
+    const auto list = g.neighbors(nbr);
+    ego.neighborLists.emplace_back(list.begin(), list.end());
+  }
+  return ego;
+}
+
+DynamicGraph completeGraph(std::size_t n) {
+  DynamicGraph g(n);
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = i + 1; j < n; ++j) g.addEdge(i, j);
+  }
+  return g;
+}
+
+// ------------------------------------------------------------ ego clique
+
+TEST(EgoClique, SingletonAndPair) {
+  DynamicGraph g(2);
+  EXPECT_EQ(maxCliqueInEgoNet(egoOf(g, 0)), 1u);
+  g.addEdge(0, 1);
+  EXPECT_EQ(maxCliqueInEgoNet(egoOf(g, 0)), 2u);
+}
+
+TEST(EgoClique, Triangle) {
+  DynamicGraph g(3);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(0, 2);
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(maxCliqueInEgoNet(egoOf(g, v)), 3u);
+}
+
+TEST(EgoClique, CompleteGraphK6) {
+  const DynamicGraph g = completeGraph(6);
+  EXPECT_EQ(maxCliqueInEgoNet(egoOf(g, 0)), 6u);
+}
+
+TEST(EgoClique, K4MinusOneEdge) {
+  DynamicGraph g = completeGraph(4);
+  g.removeEdge(2, 3);
+  EXPECT_EQ(maxCliqueInEgoNet(egoOf(g, 0)), 3u);  // {0,1,2} or {0,1,3}
+  EXPECT_EQ(maxCliqueInEgoNet(egoOf(g, 2)), 3u);
+}
+
+TEST(EgoClique, StarHasNoTriangles) {
+  DynamicGraph g(5);
+  for (VertexId leaf = 1; leaf < 5; ++leaf) g.addEdge(0, leaf);
+  EXPECT_EQ(maxCliqueInEgoNet(egoOf(g, 0)), 2u);  // hub + any leaf
+  EXPECT_EQ(maxCliqueInEgoNet(egoOf(g, 1)), 2u);
+}
+
+TEST(EgoClique, CliquePlusPendantVertices) {
+  DynamicGraph g = completeGraph(5);
+  g.addEdge(0, 10);
+  g.addEdge(0, 11);
+  EXPECT_EQ(maxCliqueInEgoNet(egoOf(g, 0)), 5u);
+}
+
+TEST(EgoClique, MembersContainCenterAndFormClique) {
+  DynamicGraph g = completeGraph(4);
+  g.addEdge(0, 9);
+  std::vector<VertexId> members;
+  const std::size_t size = maxCliqueInEgoNet(egoOf(g, 0), 24, &members);
+  EXPECT_EQ(size, 4u);
+  ASSERT_EQ(members.size(), 4u);
+  EXPECT_NE(std::find(members.begin(), members.end(), 0u), members.end());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      EXPECT_TRUE(g.hasEdge(members[i], members[j]));
+    }
+  }
+}
+
+TEST(EgoClique, GreedyFallbackOnHubStillFindsClique) {
+  // Hub with 40 neighbours (> exactThreshold) containing a K5.
+  DynamicGraph g = completeGraph(5);  // vertices 0..4, hub will be 0
+  for (VertexId extra = 5; extra < 41; ++extra) g.addEdge(0, extra);
+  const std::size_t size = maxCliqueInEgoNet(egoOf(g, 0), /*exactThreshold=*/8);
+  EXPECT_GE(size, 4u);  // greedy may miss by one, never collapses
+  EXPECT_LE(size, 5u);
+}
+
+TEST(EgoClique, InvalidCenter) {
+  EgoNet ego;
+  EXPECT_EQ(maxCliqueInEgoNet(ego), 0u);
+}
+
+// ------------------------------------------------------------ max clique app
+
+TEST(MaxCliqueProgram, FindsK5ThroughMessageExchange) {
+  const DynamicGraph g = completeGraph(5);
+  pregel::Engine<MaxCliqueProgram> engine(g, hashAssign(g, 2), plainOptions(2));
+  engine.runSupersteps(2);  // list exchange + ego solve
+  g.forEachVertex([&](VertexId v) {
+    EXPECT_EQ(engine.value(v).cliqueSize, 5u);
+    EXPECT_EQ(engine.value(v).round, 1u);
+  });
+}
+
+TEST(MaxCliqueProgram, CycleHasCliqueSizeTwo) {
+  DynamicGraph g(6);
+  for (VertexId v = 0; v < 6; ++v) g.addEdge(v, (v + 1) % 6);
+  pregel::Engine<MaxCliqueProgram> engine(g, hashAssign(g, 3), plainOptions(3));
+  engine.runSupersteps(2);
+  g.forEachVertex([&](VertexId v) { EXPECT_EQ(engine.value(v).cliqueSize, 2u); });
+}
+
+TEST(MaxCliqueProgram, GlobalMaxViaReduce) {
+  DynamicGraph g = completeGraph(4);  // K4 among 0..3
+  g.addEdge(3, 7);
+  g.addEdge(7, 8);
+  pregel::Engine<MaxCliqueProgram> engine(g, hashAssign(g, 2), plainOptions(2));
+  engine.runSupersteps(2);
+  const std::size_t globalMax = engine.reduceValues(
+      std::size_t{0}, [](std::size_t acc, VertexId, const MaxCliqueProgram::State& s) {
+        return std::max(acc, s.cliqueSize);
+      });
+  EXPECT_EQ(globalMax, 4u);
+}
+
+TEST(MaxCliqueProgram, RepeatedRoundsTrackTopologyChanges) {
+  DynamicGraph g = completeGraph(3);
+  pregel::Engine<MaxCliqueProgram> engine(g, hashAssign(g, 2), plainOptions(2));
+  engine.runSupersteps(2);
+  EXPECT_EQ(engine.value(0).cliqueSize, 3u);
+  // Grow the triangle into K4 and run another round.
+  engine.ingest({graph::UpdateEvent::addEdge(0, 3), graph::UpdateEvent::addEdge(1, 3),
+                 graph::UpdateEvent::addEdge(2, 3)});
+  engine.runSupersteps(2);
+  EXPECT_EQ(engine.value(0).cliqueSize, 4u);
+  EXPECT_EQ(engine.value(0).round, 2u);
+}
+
+// ------------------------------------------------------------ cardiac
+
+TEST(Cardiac, RestingTissueStaysAtRest) {
+  CardiacProgram program;
+  program.stimulusWidth = 0;  // no pacing at all
+  const DynamicGraph g = gen::mesh3d(4, 4, 4);
+  pregel::Engine<CardiacProgram> engine(g, hashAssign(g, 2), plainOptions(2),
+                                        program);
+  engine.runSupersteps(100);
+  g.forEachVertex([&](VertexId v) {
+    // FHN resting state is near (-1.2, -0.6); unstimulated tissue stays put.
+    EXPECT_NEAR(engine.value(v).voltage, -1.2, 0.25);
+  });
+}
+
+TEST(Cardiac, StimulusExcitesAndPropagates) {
+  CardiacProgram program;
+  program.stimulusWidth = 16;  // pace one face of the slab
+  const DynamicGraph g = gen::mesh3d(4, 4, 12);
+  pregel::Engine<CardiacProgram> engine(g, hashAssign(g, 3), plainOptions(3),
+                                        program);
+  const VertexId farVertex = gen::mesh3dId(4, 4, 2, 2, 11);
+  double farPeak = -10.0;
+  for (int step = 0; step < 700; ++step) {
+    engine.runSuperstep();
+    farPeak = std::max(farPeak, engine.value(farVertex).voltage);
+  }
+  // The excitation wave must reach the far end of the slab (upstroke > 0).
+  EXPECT_GT(farPeak, 0.0);
+}
+
+TEST(Cardiac, NumericallyStableOverLongRuns) {
+  CardiacProgram program;
+  const DynamicGraph g = gen::mesh3d(5, 5, 5);
+  pregel::Engine<CardiacProgram> engine(g, hashAssign(g, 2), plainOptions(2),
+                                        program);
+  engine.runSupersteps(1'000);
+  g.forEachVertex([&](VertexId v) {
+    const auto& cell = engine.value(v);
+    ASSERT_TRUE(std::isfinite(cell.voltage));
+    ASSERT_TRUE(std::isfinite(cell.recovery));
+    ASSERT_LT(std::abs(cell.voltage), 5.0);  // FHN orbit is bounded
+  });
+}
+
+TEST(Cardiac, ComputeUnitsMatchConfiguredEquations) {
+  CardiacProgram program;
+  program.odeSubsteps = 4;
+  program.unitsPerSubstep = 8.0;  // 32 equations, as in the paper
+  const DynamicGraph g = gen::mesh3d(3, 3, 3);
+  pregel::Engine<CardiacProgram> engine(g, hashAssign(g, 2), plainOptions(2),
+                                        program);
+  const auto stats = engine.runSuperstep();
+  EXPECT_DOUBLE_EQ(stats.computeUnits, 32.0 * static_cast<double>(g.numVertices()));
+}
+
+// ------------------------------------------------------------ tunkrank
+
+TEST(TunkRank, CelebrityOutranksLurkers) {
+  // Star: vertex 0 mentioned by everyone.
+  DynamicGraph g(1);
+  for (VertexId fan = 1; fan <= 30; ++fan) g.addEdge(0, fan);
+  pregel::Engine<TunkRankProgram> engine(g, hashAssign(g, 3), plainOptions(3));
+  engine.runSupersteps(20);
+  const double celebrity = engine.value(0);
+  for (VertexId fan = 1; fan <= 30; ++fan) EXPECT_GT(celebrity, engine.value(fan));
+  EXPECT_NEAR(celebrity, 30.0 * (1.0 + 0.05 * engine.value(1)), 0.5);
+}
+
+TEST(TunkRank, InfluenceRespondsToNewMentions) {
+  DynamicGraph g(3);
+  g.addEdge(0, 1);
+  g.addEdge(0, 2);
+  pregel::Engine<TunkRankProgram> engine(g, hashAssign(g, 2), plainOptions(2));
+  engine.runSupersteps(15);
+  const double before = engine.value(0);
+  for (VertexId fan = 10; fan < 20; ++fan) {
+    engine.ingest({graph::UpdateEvent::addEdge(0, fan)});
+  }
+  engine.runSupersteps(15);
+  EXPECT_GT(engine.value(0), before * 2.0);  // near-real-time adaptation (§1)
+}
+
+TEST(TunkRank, BoundedOnRegularGraphs) {
+  const DynamicGraph g = gen::mesh3d(5, 5, 5);
+  pregel::Engine<TunkRankProgram> engine(g, hashAssign(g, 3), plainOptions(3));
+  engine.runSupersteps(50);
+  g.forEachVertex([&](VertexId v) {
+    ASSERT_TRUE(std::isfinite(engine.value(v)));
+    ASSERT_LT(engine.value(v), 10.0);
+  });
+}
+
+}  // namespace
+}  // namespace xdgp::apps

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/capacity.h"
+#include "core/convergence.h"
+#include "core/migration_policy.h"
+#include "core/partition_state.h"
+#include "core/quota_ledger.h"
+#include "gen/mesh2d.h"
+#include "metrics/cuts.h"
+#include "util/rng.h"
+
+namespace xdgp::core {
+namespace {
+
+using graph::DynamicGraph;
+using graph::kNoPartition;
+using graph::PartitionId;
+using graph::VertexId;
+
+// ------------------------------------------------------------ capacity
+
+TEST(CapacityModel, PaperDefault) {
+  const CapacityModel cap(9'000, 9, 1.1);
+  EXPECT_EQ(cap.k(), 9u);
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_EQ(cap.capacity(i), 1'100u);
+}
+
+TEST(CapacityModel, RemainingClampsAtZero) {
+  const CapacityModel cap(100, 4, 1.0);  // capacity 25 each
+  EXPECT_EQ(cap.remaining(0, 10), 15u);
+  EXPECT_EQ(cap.remaining(0, 25), 0u);
+  EXPECT_EQ(cap.remaining(0, 40), 0u);  // over-full partition
+}
+
+TEST(CapacityModel, ExplicitHeterogeneous) {
+  const CapacityModel cap(std::vector<std::size_t>{10, 20, 30});
+  EXPECT_EQ(cap.k(), 3u);
+  EXPECT_EQ(cap.capacity(2), 30u);
+}
+
+TEST(CapacityModel, RescaleOnlyGrows) {
+  CapacityModel cap(100, 4, 1.1);  // 28 each
+  cap.rescale(50, 1.1);            // smaller graph: capacities keep their size
+  EXPECT_EQ(cap.capacity(0), 28u);
+  cap.rescale(400, 1.1);  // larger graph: 110 each
+  EXPECT_EQ(cap.capacity(0), 110u);
+}
+
+TEST(CapacityModel, RejectsBadArguments) {
+  EXPECT_THROW(CapacityModel(10, 0, 1.1), std::invalid_argument);
+  EXPECT_THROW(CapacityModel(10, 2, 0.5), std::invalid_argument);
+  EXPECT_THROW(CapacityModel(std::vector<std::size_t>{}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ partition state
+
+PartitionState stripeState(const DynamicGraph& g, std::size_t k) {
+  metrics::Assignment a(g.idBound(), kNoPartition);
+  g.forEachVertex([&](VertexId v) { a[v] = static_cast<PartitionId>(v % k); });
+  return PartitionState(g, std::move(a), k);
+}
+
+TEST(PartitionState, InitialLoadsAndCuts) {
+  const DynamicGraph g = gen::mesh2d(4, 4);
+  const PartitionState state = stripeState(g, 2);
+  EXPECT_EQ(state.load(0) + state.load(1), 16u);
+  EXPECT_EQ(state.cutEdges(), metrics::cutEdges(g, state.assignment()));
+}
+
+TEST(PartitionState, MoveUpdatesLoadsAndCuts) {
+  const DynamicGraph g = gen::mesh2d(6, 6);
+  PartitionState state = stripeState(g, 3);
+  state.moveVertex(g, 7, 0);
+  EXPECT_EQ(state.partitionOf(7), 0u);
+  EXPECT_EQ(state.cutEdges(), metrics::cutEdges(g, state.assignment()));
+}
+
+TEST(PartitionState, SelfMoveIsNoop) {
+  const DynamicGraph g = gen::mesh2d(4, 4);
+  PartitionState state = stripeState(g, 2);
+  const std::size_t cuts = state.cutEdges();
+  state.moveVertex(g, 5, state.partitionOf(5));
+  EXPECT_EQ(state.cutEdges(), cuts);
+}
+
+TEST(PartitionState, RandomMoveFuzzMatchesBruteForce) {
+  const DynamicGraph g = gen::mesh2d(8, 8);
+  PartitionState state = stripeState(g, 4);
+  util::Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = static_cast<VertexId>(rng.index(g.idBound()));
+    state.moveVertex(g, v, static_cast<PartitionId>(rng.below(4)));
+    ASSERT_EQ(state.cutEdges(), metrics::cutEdges(g, state.assignment()));
+  }
+}
+
+TEST(PartitionState, VertexLifecycle) {
+  DynamicGraph g = gen::mesh2d(4, 4);
+  PartitionState state = stripeState(g, 2);
+
+  // Add an isolated vertex, wire it up, then remove it again.
+  const VertexId fresh = g.addVertex();
+  state.onVertexAdded(fresh, 1);
+  EXPECT_EQ(state.partitionOf(fresh), 1u);
+  g.addEdge(fresh, 0);
+  state.onEdgeAdded(fresh, 0);
+  g.addEdge(fresh, 1);
+  state.onEdgeAdded(fresh, 1);
+  EXPECT_EQ(state.cutEdges(), metrics::cutEdges(g, state.assignment()));
+
+  state.onVertexRemoving(g, fresh);
+  g.removeVertex(fresh);
+  EXPECT_EQ(state.partitionOf(fresh), kNoPartition);
+  EXPECT_EQ(state.cutEdges(), metrics::cutEdges(g, state.assignment()));
+}
+
+TEST(PartitionState, EdgeRemoval) {
+  DynamicGraph g = gen::mesh2d(4, 4);
+  PartitionState state = stripeState(g, 2);
+  ASSERT_TRUE(g.hasEdge(0, 1));
+  g.removeEdge(0, 1);
+  state.onEdgeRemoved(0, 1);
+  EXPECT_EQ(state.cutEdges(), metrics::cutEdges(g, state.assignment()));
+}
+
+TEST(PartitionState, RejectsUnassignedVertices) {
+  const DynamicGraph g = gen::mesh2d(3, 3);
+  metrics::Assignment a(g.idBound(), kNoPartition);  // nobody assigned
+  EXPECT_THROW(PartitionState(g, std::move(a), 2), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ quota ledger
+
+TEST(QuotaLedger, PaperFormula) {
+  // C_t(j)/(k-1): remaining 60 split across 3 possible sources = 20 each.
+  QuotaLedger ledger(4);
+  const CapacityModel cap(400, 4, 1.0);  // 100 each
+  ledger.beginIteration(cap, {40, 100, 100, 100});
+  EXPECT_EQ(ledger.quota(0), 20u);
+  EXPECT_EQ(ledger.quota(1), 0u);
+}
+
+TEST(QuotaLedger, AdmitsUpToQuotaPerPair) {
+  QuotaLedger ledger(3);
+  const CapacityModel cap(30, 3, 1.0);  // 10 each
+  ledger.beginIteration(cap, {10, 10, 6});  // partition 2 has room 4 -> Q=2
+  EXPECT_TRUE(ledger.tryAdmit(0, 2));
+  EXPECT_TRUE(ledger.tryAdmit(0, 2));
+  EXPECT_FALSE(ledger.tryAdmit(0, 2));  // pair quota exhausted
+  EXPECT_TRUE(ledger.tryAdmit(1, 2));   // distinct source, own quota
+  EXPECT_EQ(ledger.used(0, 2), 2u);
+}
+
+TEST(QuotaLedger, RejectsSelfMoves) {
+  QuotaLedger ledger(3);
+  const CapacityModel cap(30, 3, 2.0);
+  ledger.beginIteration(cap, {10, 10, 10});
+  EXPECT_FALSE(ledger.tryAdmit(1, 1));
+}
+
+TEST(QuotaLedger, WorstCaseNeverExceedsCapacity) {
+  // Even if every source exhausts its quota to every destination, no
+  // destination can overflow — the §2.2 safety argument.
+  const std::size_t k = 5;
+  QuotaLedger ledger(k);
+  const CapacityModel cap(500, k, 1.1);  // 110 each
+  util::Rng rng(2);
+  std::vector<std::size_t> loads{110, 90, 70, 50, 10};
+  ledger.beginIteration(cap, loads);
+  std::vector<std::size_t> incoming(k, 0);
+  for (PartitionId i = 0; i < k; ++i) {
+    for (PartitionId j = 0; j < k; ++j) {
+      while (ledger.tryAdmit(i, j)) ++incoming[j];
+    }
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    EXPECT_LE(loads[j] + incoming[j], cap.capacity(j)) << "partition " << j;
+  }
+}
+
+TEST(QuotaLedger, BeginIterationResetsUsage) {
+  QuotaLedger ledger(2);
+  const CapacityModel cap(20, 2, 1.5);
+  ledger.beginIteration(cap, {10, 10});
+  while (ledger.tryAdmit(0, 1)) {
+  }
+  ledger.beginIteration(cap, {10, 10});
+  EXPECT_TRUE(ledger.tryAdmit(0, 1));
+}
+
+// ------------------------------------------------------------ migration policy
+
+TEST(MigrationPolicy, MovesToMajorityPartition) {
+  MigrationPolicy policy(3);
+  // v in partition 0; neighbours: two in 1, one in 2.
+  metrics::Assignment a{0, 1, 1, 2};
+  const std::vector<VertexId> nbrs{1, 2, 3};
+  EXPECT_EQ(policy.target(nbrs, a, 0), 1u);
+}
+
+TEST(MigrationPolicy, PrefersToStayOnTies) {
+  MigrationPolicy policy(3);
+  // Current partition holds as many neighbours as the best foreign one.
+  metrics::Assignment a{0, 0, 1, 1, 2};
+  const std::vector<VertexId> nbrs{1, 2, 3};  // one in 0, two in 1... adjust:
+  // counts: P0 = {1}, P1 = {2,3} -> majority 1, must move.
+  EXPECT_EQ(policy.target(nbrs, a, 0), 1u);
+  // counts equal: P0 = {1}, P2 = {4}: stay.
+  const std::vector<VertexId> tied{1, 4};
+  EXPECT_EQ(policy.target(tied, a, 0), graph::kNoPartition);
+}
+
+TEST(MigrationPolicy, StaysWithNoNeighbors) {
+  MigrationPolicy policy(4);
+  metrics::Assignment a{0};
+  EXPECT_EQ(policy.target({}, a, 0), graph::kNoPartition);
+}
+
+TEST(MigrationPolicy, TieBreakerSelectsAmongArgmax) {
+  MigrationPolicy policy(3);
+  metrics::Assignment a{0, 1, 2};
+  const std::vector<VertexId> nbrs{1, 2};  // one each in P1 and P2
+  const PartitionId t0 = policy.target(nbrs, a, 0, 0);
+  const PartitionId t1 = policy.target(nbrs, a, 0, 1);
+  EXPECT_NE(t0, graph::kNoPartition);
+  EXPECT_NE(t1, graph::kNoPartition);
+  EXPECT_NE(t0, t1);  // both argmax partitions reachable via the tiebreaker
+}
+
+TEST(MigrationPolicy, IgnoresUnassignedNeighbors) {
+  MigrationPolicy policy(2);
+  metrics::Assignment a{0, kNoPartition, 1};
+  const std::vector<VertexId> nbrs{1, 2};  // one mid-removal, one in P1
+  EXPECT_EQ(policy.target(nbrs, a, 0), 1u);
+}
+
+TEST(MigrationPolicy, CandidatesIncludeSelfPartition) {
+  MigrationPolicy policy(4);
+  metrics::Assignment a{3, 1, 1, 2};
+  const std::vector<VertexId> nbrs{1, 2, 3};
+  const auto cand = policy.candidates(nbrs, a, 3);
+  // cand(v,t) over Γ(v,t) = {v} ∪ N(v): partitions 1, 2 and v's own 3.
+  EXPECT_EQ(cand, (std::vector<PartitionId>{1, 2, 3}));
+}
+
+TEST(MigrationPolicy, ScratchStateDoesNotLeakBetweenCalls) {
+  MigrationPolicy policy(3);
+  metrics::Assignment a{0, 1, 1, 2, 2};
+  const std::vector<VertexId> first{1, 2};
+  EXPECT_EQ(policy.target(first, a, 0), 1u);
+  // If counts leaked, partition 1 would still look loaded here.
+  const std::vector<VertexId> second{3, 4};
+  EXPECT_EQ(policy.target(second, a, 0), 2u);
+}
+
+// ------------------------------------------------------------ convergence
+
+TEST(ConvergenceTracker, PaperWindowOf30) {
+  ConvergenceTracker tracker;  // default window 30
+  for (int i = 0; i < 29; ++i) tracker.record(0);
+  EXPECT_FALSE(tracker.converged());
+  tracker.record(0);
+  EXPECT_TRUE(tracker.converged());
+}
+
+TEST(ConvergenceTracker, MigrationResetsQuietRun) {
+  ConvergenceTracker tracker(5);
+  for (int i = 0; i < 4; ++i) tracker.record(0);
+  tracker.record(3);
+  EXPECT_EQ(tracker.quietIterations(), 0u);
+  for (int i = 0; i < 5; ++i) tracker.record(0);
+  EXPECT_TRUE(tracker.converged());
+}
+
+TEST(ConvergenceTracker, ManualReset) {
+  ConvergenceTracker tracker(2);
+  tracker.record(0);
+  tracker.record(0);
+  EXPECT_TRUE(tracker.converged());
+  tracker.reset();
+  EXPECT_FALSE(tracker.converged());
+}
+
+}  // namespace
+}  // namespace xdgp::core

@@ -1,0 +1,354 @@
+// Randomised long-run property tests: the invariants the paper's §2-§3
+// arguments rest on, exercised under adversarial churn and across graph
+// families, partition counts and willingness values.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "apps/degree_count.h"
+#include "apps/pagerank.h"
+#include "core/adaptive_engine.h"
+#include "core/migration_policy.h"
+#include "gen/erdos_renyi.h"
+#include "gen/mesh2d.h"
+#include "gen/mesh3d.h"
+#include "gen/powerlaw_cluster.h"
+#include "gen/rmat.h"
+#include "gen/watts_strogatz.h"
+#include "graph/csr.h"
+#include "metrics/balance.h"
+#include "partition/multilevel_partitioner.h"
+#include "partition/partitioner.h"
+#include "pregel/engine.h"
+
+namespace xdgp {
+namespace {
+
+using core::AdaptiveEngine;
+using core::AdaptiveOptions;
+using graph::DynamicGraph;
+using graph::UpdateEvent;
+using graph::VertexId;
+
+DynamicGraph makeFamily(const std::string& family, std::uint64_t seed) {
+  util::Rng rng(seed);
+  if (family == "mesh2d") return gen::mesh2d(18, 18);
+  if (family == "mesh3d") return gen::mesh3d(7, 7, 7);
+  if (family == "plaw") return gen::powerlawCluster(400, 5, 0.2, rng);
+  if (family == "rmat") {
+    gen::RmatParams params;
+    params.scale = 9;
+    params.edgeFactor = 5;
+    return gen::rmat(params, rng);
+  }
+  if (family == "smallworld") return gen::wattsStrogatz(400, 6, 0.1, rng);
+  return gen::erdosRenyi(400, 1'200, rng);
+}
+
+metrics::Assignment initialAssignment(const DynamicGraph& g, std::size_t k,
+                                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  return partition::makePartitioner("RND")->partition(graph::CsrGraph::fromGraph(g),
+                                                      k, 1.1, rng);
+}
+
+// ------------------------------------------------------------ adaptive fuzz
+
+struct FuzzCase {
+  std::string family;
+  std::size_t k;
+  double s;
+};
+
+class AdaptiveChurnFuzz : public testing::TestWithParam<FuzzCase> {};
+
+TEST_P(AdaptiveChurnFuzz, InvariantsSurviveArbitraryChurn) {
+  const auto& [family, k, s] = GetParam();
+  DynamicGraph g = makeFamily(family, 17);
+  AdaptiveOptions options;
+  options.k = k;
+  options.willingness = s;
+  options.seed = 23;
+  AdaptiveEngine engine(std::move(g), initialAssignment(makeFamily(family, 17), k, 5),
+                        options);
+
+  util::Rng churn(31);
+  std::vector<std::size_t> bound(k);
+  const auto refreshBound = [&] {
+    for (std::size_t i = 0; i < k; ++i) {
+      bound[i] = std::max(engine.capacity().capacity(i), engine.state().load(i));
+    }
+  };
+  refreshBound();
+
+  for (int round = 0; round < 25; ++round) {
+    // A burst of random structural changes...
+    std::vector<UpdateEvent> events;
+    const std::size_t idSpace = engine.graph().idBound() + 8;
+    for (int e = 0; e < 20; ++e) {
+      const auto u = static_cast<VertexId>(churn.index(idSpace));
+      const auto v = static_cast<VertexId>(churn.index(idSpace));
+      switch (churn.below(6)) {
+        case 0:
+          events.push_back(UpdateEvent::addVertex(u));
+          break;
+        case 1:
+          if (engine.graph().numVertices() > k * 4) {
+            events.push_back(UpdateEvent::removeVertex(u));
+          }
+          break;
+        case 2:
+        case 3:
+          events.push_back(UpdateEvent::addEdge(u, v));
+          break;
+        default:
+          events.push_back(UpdateEvent::removeEdge(u, v));
+          break;
+      }
+    }
+    engine.applyUpdates(events);
+    engine.rescaleCapacity();
+    refreshBound();  // churn moves both loads and capacities
+
+    // ... then a few adaptation iterations, with every invariant checked.
+    for (int iter = 0; iter < 4; ++iter) {
+      engine.step();
+      ASSERT_EQ(engine.state().cutEdges(),
+                metrics::cutEdges(engine.graph(), engine.state().assignment()))
+          << family << " round " << round;
+      std::size_t vertexCount = 0;
+      for (std::size_t i = 0; i < k; ++i) {
+        ASSERT_LE(engine.state().load(i), bound[i]) << family << " round " << round;
+        vertexCount += engine.state().load(i);
+      }
+      ASSERT_EQ(vertexCount, engine.graph().numVertices());
+      // Every alive vertex is assigned; every dead id is unassigned.
+      const auto& assignment = engine.state().assignment();
+      for (VertexId v = 0; v < engine.graph().idBound(); ++v) {
+        if (engine.graph().hasVertex(v)) {
+          ASSERT_LT(assignment[v], k);
+        } else {
+          ASSERT_EQ(assignment[v], graph::kNoPartition);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesKsWillingness, AdaptiveChurnFuzz,
+    testing::Values(FuzzCase{"mesh2d", 4, 0.5}, FuzzCase{"mesh3d", 9, 0.5},
+                    FuzzCase{"plaw", 6, 0.3}, FuzzCase{"rmat", 5, 0.7},
+                    FuzzCase{"smallworld", 8, 0.5}, FuzzCase{"er", 3, 0.9}),
+    [](const auto& info) {
+      return info.param.family + "_k" + std::to_string(info.param.k);
+    });
+
+// ------------------------------------------------------------ pregel fuzz
+
+TEST(PregelChurnFuzz, DeliveryOracleSurvivesChurnPlusMigration) {
+  // The strongest end-to-end property: under random churn *and* background
+  // migration, every odd superstep's received-ping count equals the current
+  // degree of every vertex, and no message is ever lost.
+  DynamicGraph g = gen::mesh3d(7, 7, 7);
+  pregel::EngineOptions options;
+  options.numWorkers = 7;
+  options.adaptive = true;
+  pregel::Engine<apps::DegreeCountProgram> engine(
+      g, initialAssignment(g, 7, 3), options);
+
+  util::Rng churn(37);
+  for (int round = 0; round < 60; ++round) {
+    // Mutations land between rounds (even superstep boundaries), so the
+    // ping->count pair always runs on a stable topology.
+    std::vector<UpdateEvent> events;
+    const std::size_t idSpace = engine.graph().idBound() + 4;
+    for (int e = 0; e < 6; ++e) {
+      const auto u = static_cast<VertexId>(churn.index(idSpace));
+      const auto v = static_cast<VertexId>(churn.index(idSpace));
+      switch (churn.below(4)) {
+        case 0:
+          events.push_back(UpdateEvent::addEdge(u, v));
+          break;
+        case 1:
+          events.push_back(UpdateEvent::removeEdge(u, v));
+          break;
+        case 2:
+          events.push_back(UpdateEvent::addVertex(u));
+          break;
+        default:
+          if (engine.graph().numVertices() > 50) {
+            events.push_back(UpdateEvent::removeVertex(u));
+          }
+          break;
+      }
+    }
+    engine.ingest(events);
+
+    const auto even = engine.runSuperstep();
+    const auto odd = engine.runSuperstep();
+    ASSERT_EQ(even.lostMessages, 0u) << "round " << round;
+    ASSERT_EQ(odd.lostMessages, 0u) << "round " << round;
+    engine.graph().forEachVertex([&](VertexId v) {
+      ASSERT_EQ(engine.value(v), engine.graph().degree(v))
+          << "round " << round << " vertex " << v;
+    });
+  }
+}
+
+TEST(PregelChurnFuzz, FreezeThawUnderRandomBatches) {
+  DynamicGraph g = gen::mesh2d(12, 12);
+  pregel::EngineOptions options;
+  options.numWorkers = 4;
+  options.adaptive = true;
+  pregel::Engine<apps::DegreeCountProgram> engine(
+      g, initialAssignment(g, 4, 7), options);
+  util::Rng churn(41);
+  for (int round = 0; round < 20; ++round) {
+    engine.freezeTopology();
+    const auto before = engine.graph().numEdges();
+    std::vector<UpdateEvent> events;
+    for (int e = 0; e < 10; ++e) {
+      events.push_back(UpdateEvent::addEdge(
+          static_cast<VertexId>(churn.index(200)),
+          static_cast<VertexId>(churn.index(200))));
+    }
+    engine.ingest(events);
+    ASSERT_EQ(engine.graph().numEdges(), before) << "frozen topology mutated";
+    engine.runSupersteps(2);
+    engine.thawTopology();
+    ASSERT_EQ(engine.state().cutEdges(),
+              metrics::cutEdges(engine.graph(), engine.state().assignment()));
+  }
+}
+
+// ------------------------------------------------------------ policy oracle
+
+TEST(MigrationPolicyFuzz, MatchesBruteForceReference) {
+  util::Rng rng(43);
+  const std::size_t k = 7;
+  core::MigrationPolicy policy(k);
+  for (int trial = 0; trial < 3'000; ++trial) {
+    // Random neighbourhood over a random assignment.
+    const std::size_t n = 1 + rng.below(20);
+    metrics::Assignment assignment(n + 1);
+    for (auto& p : assignment) p = rng.below(k);
+    std::vector<VertexId> neighbors;
+    for (VertexId v = 1; v <= n; ++v) {
+      if (rng.bernoulli(0.7)) neighbors.push_back(v);
+    }
+    const graph::PartitionId current = assignment[0];
+
+    // Reference: histogram + strict-majority + prefer-stay.
+    std::vector<std::size_t> counts(k, 0);
+    for (const VertexId v : neighbors) ++counts[assignment[v]];
+    const std::size_t best = *std::max_element(counts.begin(), counts.end());
+
+    const graph::PartitionId target =
+        policy.target(neighbors, assignment, current, rng.next());
+    if (best == 0 || counts[current] == best) {
+      ASSERT_EQ(target, graph::kNoPartition) << "trial " << trial;
+    } else {
+      ASSERT_NE(target, graph::kNoPartition) << "trial " << trial;
+      ASSERT_EQ(counts[target], best) << "trial " << trial;
+      ASSERT_NE(target, current) << "trial " << trial;
+    }
+  }
+}
+
+// ------------------------------------------------------------ multilevel sweep
+
+class MultilevelSweep
+    : public testing::TestWithParam<std::tuple<std::string, std::size_t>> {};
+
+TEST_P(MultilevelSweep, ValidBalancedAndBeatsRandom) {
+  const auto& [family, k] = GetParam();
+  const graph::CsrGraph csr = graph::CsrGraph::fromGraph(makeFamily(family, 51));
+  util::Rng rng(53);
+  const auto assignment =
+      partition::MultilevelPartitioner{}.partition(csr, k, 1.1, rng);
+  csr.forEachVertex([&](VertexId v) { ASSERT_LT(assignment[v], k); });
+  const auto caps = partition::makeCapacities(csr.numVertices(), k, 1.1);
+  EXPECT_TRUE(metrics::respectsCapacities(assignment, caps)) << family;
+  const auto random =
+      partition::makePartitioner("RND")->partition(csr, k, 1.1, rng);
+  EXPECT_LE(metrics::cutRatio(csr, assignment), metrics::cutRatio(csr, random))
+      << family;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesTimesK, MultilevelSweep,
+    testing::Combine(testing::Values("mesh2d", "mesh3d", "plaw", "rmat",
+                                     "smallworld"),
+                     testing::Values(std::size_t{2}, std::size_t{5},
+                                     std::size_t{12})),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_k" + std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------------------------------ aggregator
+
+/// Every vertex contributes 1.0; values adopt last superstep's global sum.
+struct CountingProgram {
+  using VertexValue = double;
+  using MessageValue = std::uint8_t;
+  template <typename Ctx>
+  void compute(Ctx& ctx, VertexValue& value, std::span<const MessageValue>) {
+    value = ctx.previousAggregate();  // what everyone reported last time
+    ctx.aggregate(1.0);
+    ctx.addComputeUnits(1.0);
+  }
+};
+
+TEST(Aggregator, SumVisibleNextSuperstep) {
+  const DynamicGraph g = gen::mesh2d(5, 5);
+  pregel::EngineOptions options;
+  options.numWorkers = 3;
+  pregel::Engine<CountingProgram> engine(g, initialAssignment(g, 3, 9), options);
+  const auto first = engine.runSuperstep();
+  EXPECT_DOUBLE_EQ(first.aggregatedValue, 25.0);
+  engine.runSuperstep();
+  g.forEachVertex([&](VertexId v) { EXPECT_DOUBLE_EQ(engine.value(v), 25.0); });
+  EXPECT_DOUBLE_EQ(engine.lastAggregate(), 25.0);
+}
+
+/// PageRank variant aggregating the total |Δrank| per superstep.
+struct DeltaRank {
+  using VertexValue = std::pair<double, double>;  // rank, previous
+  using MessageValue = double;
+  double n = 1.0;
+  template <typename Ctx>
+  void compute(Ctx& ctx, VertexValue& value, std::span<const MessageValue> inbox) {
+    double sum = 0.0;
+    for (const double share : inbox) sum += share;
+    const double next = ctx.superstep() == 0 ? 1.0 / n : 0.15 / n + 0.85 * sum;
+    ctx.aggregate(std::abs(next - value.first));
+    value = {next, value.first};
+    if (ctx.degree() > 0) {
+      ctx.sendToNeighbors(next / static_cast<double>(ctx.degree()));
+    }
+    ctx.addComputeUnits(1.0);
+  }
+};
+
+TEST(Aggregator, PageRankConvergenceSignal) {
+  // The canonical aggregator use: total |Δrank| per superstep shrinks, so an
+  // operator can watch engine.lastAggregate() to decide the ranking settled.
+  const DynamicGraph g = gen::mesh3d(5, 5, 5);
+  DeltaRank program;
+  program.n = static_cast<double>(g.numVertices());
+  pregel::EngineOptions options;
+  options.numWorkers = 4;
+  pregel::Engine<DeltaRank> engine(g, initialAssignment(g, 4, 11), options,
+                                   program);
+  engine.runSupersteps(5);
+  const double early = engine.lastAggregate();
+  engine.runSupersteps(40);
+  const double late = engine.lastAggregate();
+  EXPECT_LT(late, early / 10.0);
+}
+
+}  // namespace
+}  // namespace xdgp

@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/cdr_stream.h"
+#include "gen/dataset_catalog.h"
+#include "gen/erdos_renyi.h"
+#include "gen/forest_fire.h"
+#include "gen/mesh2d.h"
+#include "gen/mesh3d.h"
+#include "gen/powerlaw_cluster.h"
+#include "gen/tweet_stream.h"
+#include "graph/update_stream.h"
+
+namespace xdgp::gen {
+namespace {
+
+using graph::DynamicGraph;
+using graph::UpdateEvent;
+using graph::VertexId;
+
+/// Global clustering coefficient (3 * triangles / wedges), brute force.
+double clusteringCoefficient(const DynamicGraph& g) {
+  std::size_t triangles = 0, wedges = 0;
+  g.forEachVertex([&](VertexId v) {
+    const auto nbrs = g.neighbors(v);
+    const std::size_t d = nbrs.size();
+    if (d < 2) return;
+    wedges += d * (d - 1) / 2;
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = i + 1; j < d; ++j) {
+        if (g.hasEdge(nbrs[i], nbrs[j])) ++triangles;
+      }
+    }
+  });
+  return wedges ? static_cast<double>(triangles) / static_cast<double>(wedges) : 0.0;
+}
+
+// ------------------------------------------------------------ mesh3d
+
+TEST(Mesh3d, Table1RowsExact) {
+  // The three synthetic FEMs of Table 1 reproduce to the edge.
+  const DynamicGraph m1 = mesh3d(10, 10, 100);
+  EXPECT_EQ(m1.numVertices(), 10'000u);
+  EXPECT_EQ(m1.numEdges(), 27'900u);
+  const DynamicGraph m2 = mesh3d(40, 40, 40);
+  EXPECT_EQ(m2.numVertices(), 64'000u);
+  EXPECT_EQ(m2.numEdges(), 187'200u);
+}
+
+TEST(Mesh3d, EdgeCountFormula) {
+  const DynamicGraph g = mesh3d(3, 4, 5);
+  EXPECT_EQ(g.numVertices(), 60u);
+  EXPECT_EQ(g.numEdges(), 2u * 4 * 5 + 3 * 3 * 5 + 3 * 4 * 4);
+}
+
+TEST(Mesh3d, InteriorDegreeIsSix) {
+  const DynamicGraph g = mesh3d(5, 5, 5);
+  EXPECT_EQ(g.degree(mesh3dId(5, 5, 2, 2, 2)), 6u);  // interior
+  EXPECT_EQ(g.degree(mesh3dId(5, 5, 0, 0, 0)), 3u);  // corner
+}
+
+TEST(Mesh3d, LatticeNeighborsAreAdjacent) {
+  const DynamicGraph g = mesh3d(4, 4, 4);
+  EXPECT_TRUE(g.hasEdge(mesh3dId(4, 4, 1, 1, 1), mesh3dId(4, 4, 2, 1, 1)));
+  EXPECT_FALSE(g.hasEdge(mesh3dId(4, 4, 1, 1, 1), mesh3dId(4, 4, 2, 2, 1)));
+}
+
+TEST(Mesh3d, ApproxHitsTargetWithin5Percent) {
+  for (const std::size_t n : {1'000u, 9'900u, 29'700u}) {
+    const DynamicGraph g = mesh3dApprox(n);
+    EXPECT_NEAR(static_cast<double>(g.numVertices()), static_cast<double>(n),
+                0.05 * static_cast<double>(n));
+  }
+}
+
+TEST(Mesh3d, DegenerateSizes) {
+  EXPECT_EQ(mesh3d(1, 1, 1).numEdges(), 0u);
+  EXPECT_EQ(mesh3d(2, 1, 1).numEdges(), 1u);
+}
+
+// ------------------------------------------------------------ mesh2d
+
+TEST(Mesh2d, EdgeCountFormula) {
+  const DynamicGraph g = mesh2d(4, 6);
+  EXPECT_EQ(g.numVertices(), 24u);
+  EXPECT_EQ(g.numEdges(), 3u * 6 + 4 * 5 + 3 * 5);
+}
+
+TEST(Mesh2d, TriangulatedDegreeBound) {
+  const DynamicGraph g = mesh2d(10, 10);
+  std::size_t maxDeg = 0;
+  g.forEachVertex([&](VertexId v) { maxDeg = std::max(maxDeg, g.degree(v)); });
+  EXPECT_LE(maxDeg, 6u);  // FEM family: bounded degree
+  EXPECT_GT(clusteringCoefficient(g), 0.2);  // triangulated, not a grid
+}
+
+TEST(Mesh2d, WalshawSubstituteSizes) {
+  const DynamicGraph g3elt = mesh2dApprox(4'720);
+  EXPECT_NEAR(static_cast<double>(g3elt.numVertices()), 4'720.0, 120.0);
+  // Average degree ~5.8, matching the 3elt mesh family (|E|=13722).
+  EXPECT_NEAR(g3elt.averageDegree(), 5.8, 0.4);
+}
+
+// ------------------------------------------------------------ power law
+
+TEST(PowerlawCluster, VertexAndEdgeCounts) {
+  util::Rng rng(1);
+  const DynamicGraph g = powerlawCluster(1'000, 10, 0.1, rng);
+  EXPECT_EQ(g.numVertices(), 1'000u);
+  // Exactly (n-m)*m attachments, a handful lost to duplicates (Table 1:
+  // plc1000 has 9 879 < 9 900).
+  EXPECT_LE(g.numEdges(), 9'900u);
+  EXPECT_GE(g.numEdges(), 9'700u);
+}
+
+TEST(PowerlawCluster, DegreeDistributionIsSkewed) {
+  util::Rng rng(2);
+  const DynamicGraph g = powerlawCluster(3'000, 5, 0.1, rng);
+  std::size_t maxDeg = 0;
+  g.forEachVertex([&](VertexId v) { maxDeg = std::max(maxDeg, g.degree(v)); });
+  // Hubs: max degree far above the mean (~10) — no homogeneous graph does this.
+  EXPECT_GT(maxDeg, 60u);
+}
+
+TEST(PowerlawCluster, TriadStepRaisesClustering) {
+  util::Rng rng(3);
+  const DynamicGraph clustered = powerlawCluster(1'500, 5, 0.9, rng);
+  const DynamicGraph plain = powerlawCluster(1'500, 5, 0.0, rng);
+  EXPECT_GT(clusteringCoefficient(clustered), clusteringCoefficient(plain) * 1.5);
+}
+
+TEST(PowerlawCluster, MinimumDegreeIsM) {
+  util::Rng rng(4);
+  const DynamicGraph g = powerlawCluster(500, 4, 0.1, rng);
+  // Every post-seed vertex attaches m edges (some may collapse as dupes,
+  // but never below 1); seed vertices gain edges via attachment.
+  g.forEachVertex([&](VertexId v) { EXPECT_GE(g.degree(v), 1u); });
+}
+
+TEST(PowerlawCluster, TargetVariantHitsEdgeBudget) {
+  util::Rng rng(5);
+  const std::size_t target = 103'689;  // wikivote-like
+  const DynamicGraph g = powerlawClusterTarget(7'115, target, 0.1, rng);
+  EXPECT_EQ(g.numVertices(), 7'115u);
+  EXPECT_NEAR(static_cast<double>(g.numEdges()), static_cast<double>(target),
+              0.03 * static_cast<double>(target));
+}
+
+TEST(PowerlawCluster, DeterministicBySeed) {
+  util::Rng a(77), b(77);
+  const DynamicGraph g1 = powerlawCluster(400, 6, 0.1, a);
+  const DynamicGraph g2 = powerlawCluster(400, 6, 0.1, b);
+  EXPECT_EQ(g1.numEdges(), g2.numEdges());
+  g1.forEachEdge([&](VertexId u, VertexId v) { EXPECT_TRUE(g2.hasEdge(u, v)); });
+}
+
+// ------------------------------------------------------------ forest fire
+
+TEST(ForestFire, AddsExactVertexCount) {
+  util::Rng rng(6);
+  DynamicGraph g = mesh3d(8, 8, 8);
+  const std::size_t before = g.numVertices();
+  const auto events = forestFireExtension(g, 51, ForestFireParams{}, rng);
+  EXPECT_EQ(g.numVertices(), before + 51);
+  std::size_t addVertexEvents = 0;
+  for (const auto& e : events) {
+    addVertexEvents += e.kind == UpdateEvent::Kind::kAddVertex;
+  }
+  EXPECT_EQ(addVertexEvents, 51u);
+}
+
+TEST(ForestFire, EdgeGrowthNearPaperRatio) {
+  // Fig. 7b: +10 % vertices bring ~+30 % edges => ~3 edges per new vertex.
+  util::Rng rng(7);
+  DynamicGraph g = mesh3d(10, 10, 10);
+  const std::size_t edgesBefore = g.numEdges();
+  const std::size_t newV = 100;
+  forestFireExtension(g, newV, ForestFireParams{}, rng);
+  const double perVertex =
+      static_cast<double>(g.numEdges() - edgesBefore) / static_cast<double>(newV);
+  EXPECT_GE(perVertex, 1.5);
+  EXPECT_LE(perVertex, 6.0);
+}
+
+TEST(ForestFire, EventsReplayToSameGraph) {
+  util::Rng rng(8);
+  DynamicGraph original = mesh2d(6, 6);
+  DynamicGraph replayed = original;  // copy before growth
+  const auto events = forestFireExtension(original, 20, ForestFireParams{}, rng);
+  graph::applyUpdates(replayed, events);
+  EXPECT_EQ(replayed.numVertices(), original.numVertices());
+  EXPECT_EQ(replayed.numEdges(), original.numEdges());
+  original.forEachEdge(
+      [&](VertexId u, VertexId v) { EXPECT_TRUE(replayed.hasEdge(u, v)); });
+}
+
+TEST(ForestFire, EmptyGraphYieldsNothing) {
+  util::Rng rng(9);
+  DynamicGraph g;
+  EXPECT_TRUE(forestFireExtension(g, 5, ForestFireParams{}, rng).empty());
+}
+
+TEST(ForestFire, BurnCapBoundsEdgesPerArrival) {
+  util::Rng rng(10);
+  DynamicGraph g = mesh3d(6, 6, 6);
+  ForestFireParams params;
+  params.forward = 0.99;  // aggressive fire
+  params.maxBurn = 8;
+  const auto events = forestFireExtension(g, 30, params, rng);
+  // Each arrival links to at most maxBurn burned vertices. (Its final
+  // degree may grow later when subsequent fires reach it.)
+  std::size_t edgesOfCurrent = 0;
+  for (const auto& e : events) {
+    if (e.kind == UpdateEvent::Kind::kAddVertex) {
+      edgesOfCurrent = 0;
+    } else {
+      ++edgesOfCurrent;
+      ASSERT_LE(edgesOfCurrent, 8u);
+    }
+  }
+}
+
+// ------------------------------------------------------------ erdos renyi
+
+TEST(ErdosRenyi, ExactEdgeCount) {
+  util::Rng rng(11);
+  const DynamicGraph g = erdosRenyi(100, 250, rng);
+  EXPECT_EQ(g.numVertices(), 100u);
+  EXPECT_EQ(g.numEdges(), 250u);
+}
+
+TEST(ErdosRenyi, ClampsToCompleteGraph) {
+  util::Rng rng(12);
+  const DynamicGraph g = erdosRenyi(5, 1'000, rng);
+  EXPECT_EQ(g.numEdges(), 10u);
+}
+
+// ------------------------------------------------------------ tweet stream
+
+TEST(TweetStream, DiurnalShape) {
+  TweetStreamParams params;
+  const TweetStreamGenerator gen(params, util::Rng(13));
+  // Evening peak well above the pre-dawn trough, as in Fig. 8's red line.
+  EXPECT_GT(gen.rateAt(20.0), 2.0 * gen.rateAt(4.0));
+  EXPECT_GT(gen.rateAt(4.0), 0.0);
+}
+
+TEST(TweetStream, EventCountTracksMeanRate) {
+  TweetStreamParams params;
+  params.users = 1'000;
+  params.meanRate = 5.0;
+  params.hours = 2.0;
+  TweetStreamGenerator gen(params, util::Rng(14));
+  const auto events = gen.generate();
+  const double expected = 5.0 * 2.0 * 3600.0;
+  EXPECT_NEAR(static_cast<double>(events.size()), expected, 0.35 * expected);
+}
+
+TEST(TweetStream, EventsAreOrderedAndValid) {
+  TweetStreamParams params;
+  params.users = 500;
+  params.meanRate = 3.0;
+  params.hours = 1.0;
+  TweetStreamGenerator gen(params, util::Rng(15));
+  const auto events = gen.generate();
+  ASSERT_FALSE(events.empty());
+  double last = 0.0;
+  for (const auto& e : events) {
+    EXPECT_EQ(e.kind, UpdateEvent::Kind::kAddEdge);
+    EXPECT_GE(e.timestamp, last);
+    EXPECT_LT(e.u, 500u);
+    EXPECT_LT(e.v, 500u);
+    EXPECT_NE(e.u, e.v);
+    last = e.timestamp;
+  }
+}
+
+TEST(TweetStream, PopularAccountsDominateMentions) {
+  TweetStreamParams params;
+  params.users = 2'000;
+  params.meanRate = 10.0;
+  params.hours = 1.0;
+  params.withinCommunityProb = 0.0;  // isolate the global celebrity channel
+  TweetStreamGenerator gen(params, util::Rng(16));
+  const auto events = gen.generate();
+  std::size_t topMentions = 0;
+  for (const auto& e : events) topMentions += e.v < 20;  // top-20 accounts
+  // Zipf: the top 1% of accounts receive a large share of all mentions.
+  EXPECT_GT(static_cast<double>(topMentions) / static_cast<double>(events.size()),
+            0.15);
+}
+
+TEST(TweetStream, MentionsAreMostlyWithinCommunities) {
+  TweetStreamParams params;
+  params.users = 2'000;
+  params.meanRate = 10.0;
+  params.hours = 1.0;
+  params.communitySize = 100;
+  params.withinCommunityProb = 0.85;
+  TweetStreamGenerator gen(params, util::Rng(17));
+  const auto events = gen.generate();
+  std::size_t within = 0;
+  for (const auto& e : events) within += e.u / 100 == e.v / 100;
+  // 85% targeted in-circle plus the occasional celebrity that happens to
+  // share the author's circle.
+  EXPECT_GT(static_cast<double>(within) / static_cast<double>(events.size()), 0.8);
+}
+
+// ------------------------------------------------------------ CDR stream
+
+TEST(CdrStream, InitialGraphMatchesParams) {
+  CdrStreamParams params;
+  params.initialSubscribers = 2'000;
+  CdrStreamGenerator gen(params, util::Rng(17));
+  EXPECT_EQ(gen.initialGraph().numVertices(), 2'000u);
+  EXPECT_NEAR(gen.initialGraph().averageDegree(), params.meanDegree, 1.5);
+}
+
+TEST(CdrStream, WeeklyChurnMatchesPaperRates) {
+  CdrStreamParams params;
+  params.initialSubscribers = 5'000;
+  CdrStreamGenerator gen(params, util::Rng(18));
+  const CdrWeek week = gen.nextWeek();
+  // Paper: 8 % additions, 4 % deletions per week.
+  EXPECT_NEAR(static_cast<double>(week.verticesAdded), 0.08 * 5'000, 25.0);
+  EXPECT_NEAR(static_cast<double>(week.verticesRemoved), 0.04 * 5'000, 25.0);
+}
+
+TEST(CdrStream, EventsReplayConsistently) {
+  CdrStreamParams params;
+  params.initialSubscribers = 1'000;
+  CdrStreamGenerator gen(params, util::Rng(19));
+  DynamicGraph replica = gen.initialGraph();
+  for (int w = 0; w < 3; ++w) {
+    const CdrWeek week = gen.nextWeek();
+    graph::applyUpdates(replica, week.events);
+  }
+  // The generator's internal graph is reachable through one more week's
+  // initial population: compare via counts after replay.
+  const CdrWeek probe = gen.nextWeek();
+  graph::applyUpdates(replica, probe.events);
+  EXPECT_GT(replica.numVertices(), 1'000u);  // net growth at +8/-4 %
+  EXPECT_EQ(gen.weeksGenerated(), 4u);
+}
+
+TEST(CdrStream, TimestampsLieInsideWeek) {
+  CdrStreamParams params;
+  params.initialSubscribers = 800;
+  CdrStreamGenerator gen(params, util::Rng(20));
+  (void)gen.nextWeek();
+  const CdrWeek second = gen.nextWeek();
+  for (const auto& e : second.events) {
+    EXPECT_GE(e.timestamp, 1.0);
+    EXPECT_LT(e.timestamp, 2.0);
+  }
+}
+
+// ------------------------------------------------------------ catalog
+
+TEST(DatasetCatalog, HasAllTwelveTable1Rows) {
+  EXPECT_EQ(datasetCatalog().size(), 12u);
+  EXPECT_NO_THROW(datasetByName("64kcube"));
+  EXPECT_NO_THROW(datasetByName("epinion"));
+  EXPECT_THROW(datasetByName("nonsense"), std::out_of_range);
+}
+
+TEST(DatasetCatalog, UnscaledEntriesMatchPaperSizes) {
+  util::Rng rng(21);
+  for (const auto& spec : datasetCatalog()) {
+    if (spec.generatedVertices != spec.paperVertices) continue;  // scaled rows
+    if (spec.paperVertices > 200'000) continue;                  // keep test fast
+    const DynamicGraph g = spec.make(rng);
+    EXPECT_NEAR(static_cast<double>(g.numVertices()),
+                static_cast<double>(spec.paperVertices),
+                0.03 * static_cast<double>(spec.paperVertices))
+        << spec.name;
+    EXPECT_NEAR(static_cast<double>(g.numEdges()),
+                static_cast<double>(spec.paperEdges),
+                0.05 * static_cast<double>(spec.paperEdges))
+        << spec.name;
+  }
+}
+
+TEST(DatasetCatalog, TypesAreLabelled) {
+  for (const auto& spec : datasetCatalog()) {
+    EXPECT_TRUE(spec.type == "FEM" || spec.type == "pwlaw") << spec.name;
+    EXPECT_FALSE(spec.source.empty());
+  }
+}
+
+}  // namespace
+}  // namespace xdgp::gen

@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "graph/csr.h"
+#include "graph/dynamic_graph.h"
+#include "graph/id_mapper.h"
+#include "graph/io.h"
+#include "graph/update_stream.h"
+#include "util/rng.h"
+
+namespace xdgp::graph {
+namespace {
+
+/// Checks the documented invariants: symmetry, no self-loops/duplicates,
+/// edge count == sum of degrees / 2.
+void expectInvariants(const DynamicGraph& g) {
+  std::size_t degreeSum = 0;
+  g.forEachVertex([&](VertexId u) {
+    const auto nbrs = g.neighbors(u);
+    degreeSum += nbrs.size();
+    std::set<VertexId> seen;
+    for (const VertexId v : nbrs) {
+      EXPECT_NE(u, v) << "self-loop at " << u;
+      EXPECT_TRUE(seen.insert(v).second) << "duplicate edge " << u << "-" << v;
+      EXPECT_TRUE(g.hasVertex(v));
+      const auto back = g.neighbors(v);
+      EXPECT_NE(std::find(back.begin(), back.end(), u), back.end())
+          << "asymmetric edge " << u << "-" << v;
+    }
+  });
+  EXPECT_EQ(degreeSum, 2 * g.numEdges());
+}
+
+// ------------------------------------------------------------ DynamicGraph
+
+TEST(DynamicGraph, StartsEmpty) {
+  DynamicGraph g;
+  EXPECT_EQ(g.numVertices(), 0u);
+  EXPECT_EQ(g.numEdges(), 0u);
+  EXPECT_EQ(g.idBound(), 0u);
+}
+
+TEST(DynamicGraph, PreSizedConstructor) {
+  DynamicGraph g(5);
+  EXPECT_EQ(g.numVertices(), 5u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_TRUE(g.hasVertex(v));
+  EXPECT_FALSE(g.hasVertex(5));
+}
+
+TEST(DynamicGraph, AddEdgeCreatesEndpoints) {
+  DynamicGraph g;
+  EXPECT_TRUE(g.addEdge(3, 7));
+  EXPECT_TRUE(g.hasVertex(3));
+  EXPECT_TRUE(g.hasVertex(7));
+  EXPECT_TRUE(g.hasEdge(3, 7));
+  EXPECT_TRUE(g.hasEdge(7, 3));
+  EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(DynamicGraph, RejectsSelfLoopsAndDuplicates) {
+  DynamicGraph g(2);
+  EXPECT_FALSE(g.addEdge(0, 0));
+  EXPECT_TRUE(g.addEdge(0, 1));
+  EXPECT_FALSE(g.addEdge(0, 1));
+  EXPECT_FALSE(g.addEdge(1, 0));
+  EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(DynamicGraph, RemoveEdge) {
+  DynamicGraph g(3);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  EXPECT_TRUE(g.removeEdge(0, 1));
+  EXPECT_FALSE(g.removeEdge(0, 1));
+  EXPECT_FALSE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(1, 2));
+  EXPECT_EQ(g.numEdges(), 1u);
+  expectInvariants(g);
+}
+
+TEST(DynamicGraph, RemoveVertexCascadesEdges) {
+  DynamicGraph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(0, 2);
+  g.addEdge(0, 3);
+  g.addEdge(1, 2);
+  g.removeVertex(0);
+  EXPECT_FALSE(g.hasVertex(0));
+  EXPECT_EQ(g.numVertices(), 3u);
+  EXPECT_EQ(g.numEdges(), 1u);
+  EXPECT_TRUE(g.hasEdge(1, 2));
+  expectInvariants(g);
+}
+
+TEST(DynamicGraph, RemovedIdIsRecycled) {
+  DynamicGraph g(3);
+  g.removeVertex(1);
+  const VertexId recycled = g.addVertex();
+  EXPECT_EQ(recycled, 1u);
+  EXPECT_TRUE(g.hasVertex(1));
+  EXPECT_EQ(g.degree(1), 0u);  // fresh vertex, no stale adjacency
+}
+
+TEST(DynamicGraph, EnsureVertexGrowsIdSpace) {
+  DynamicGraph g;
+  g.ensureVertex(10);
+  EXPECT_TRUE(g.hasVertex(10));
+  EXPECT_FALSE(g.hasVertex(9));
+  EXPECT_EQ(g.numVertices(), 1u);
+  EXPECT_EQ(g.idBound(), 11u);
+}
+
+TEST(DynamicGraph, EnsureVertexReclaimsFreedId) {
+  DynamicGraph g(3);
+  g.removeVertex(1);
+  g.ensureVertex(1);
+  EXPECT_TRUE(g.hasVertex(1));
+  // Freed id must not be handed out twice.
+  const VertexId next = g.addVertex();
+  EXPECT_EQ(next, 3u);
+}
+
+TEST(DynamicGraph, DegreeAndAverage) {
+  DynamicGraph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(0, 2);
+  g.addEdge(0, 3);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(99), 0u);
+  EXPECT_DOUBLE_EQ(g.averageDegree(), 1.5);
+}
+
+TEST(DynamicGraph, ForEachEdgeVisitsOncePerEdge) {
+  DynamicGraph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(2, 3);
+  std::size_t count = 0;
+  g.forEachEdge([&](VertexId u, VertexId v) {
+    EXPECT_LT(u, v);
+    ++count;
+  });
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(DynamicGraph, VerticesSnapshotAscending) {
+  DynamicGraph g(5);
+  g.removeVertex(2);
+  const auto ids = g.vertices();
+  EXPECT_EQ(ids, (std::vector<VertexId>{0, 1, 3, 4}));
+}
+
+TEST(DynamicGraph, RandomMutationFuzzKeepsInvariants) {
+  util::Rng rng(99);
+  DynamicGraph g(20);
+  for (int step = 0; step < 2000; ++step) {
+    const auto u = static_cast<VertexId>(rng.index(25));
+    const auto v = static_cast<VertexId>(rng.index(25));
+    switch (rng.below(5)) {
+      case 0:
+        g.ensureVertex(u);
+        break;
+      case 1:
+        if (g.hasVertex(u)) g.removeVertex(u);
+        break;
+      case 2:
+      case 3:
+        g.addEdge(u, v);
+        break;
+      case 4:
+        g.removeEdge(u, v);
+        break;
+    }
+  }
+  expectInvariants(g);
+}
+
+// ------------------------------------------------------------ CSR
+
+TEST(CsrGraph, MirrorsDynamicGraph) {
+  DynamicGraph g(5);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(3, 4);
+  const CsrGraph csr = CsrGraph::fromGraph(g);
+  EXPECT_EQ(csr.numVertices(), 5u);
+  EXPECT_EQ(csr.numEdges(), 3u);
+  EXPECT_EQ(csr.degree(1), 2u);
+  const auto nbrs = csr.neighbors(1);
+  std::set<VertexId> s(nbrs.begin(), nbrs.end());
+  EXPECT_EQ(s, (std::set<VertexId>{0, 2}));
+}
+
+TEST(CsrGraph, PreservesDeadIdsAsEmpty) {
+  DynamicGraph g(4);
+  g.addEdge(0, 1);
+  g.removeVertex(2);
+  const CsrGraph csr = CsrGraph::fromGraph(g);
+  EXPECT_EQ(csr.idBound(), 4u);
+  EXPECT_EQ(csr.numVertices(), 3u);
+  EXPECT_FALSE(csr.alive(2));
+  EXPECT_TRUE(csr.neighbors(2).empty());
+}
+
+TEST(CsrGraph, FromEdgesMatchesFromGraph) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {0, 2}};
+  const CsrGraph csr = CsrGraph::fromEdges(3, edges);
+  EXPECT_EQ(csr.numEdges(), 3u);
+  EXPECT_EQ(csr.degree(0), 2u);
+  EXPECT_EQ(csr.maxDegree(), 2u);
+  EXPECT_DOUBLE_EQ(csr.averageDegree(), 2.0);
+}
+
+TEST(CsrGraph, ForEachEdgeOncePerEdge) {
+  DynamicGraph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(2, 3);
+  const CsrGraph csr = CsrGraph::fromGraph(g);
+  std::size_t count = 0;
+  csr.forEachEdge([&](VertexId u, VertexId v) {
+    EXPECT_LT(u, v);
+    ++count;
+  });
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  const CsrGraph csr = CsrGraph::fromGraph(DynamicGraph{});
+  EXPECT_EQ(csr.numVertices(), 0u);
+  EXPECT_EQ(csr.numEdges(), 0u);
+  EXPECT_TRUE(csr.neighbors(0).empty());
+}
+
+// ------------------------------------------------------------ IO
+
+TEST(GraphIo, RoundTrips) {
+  DynamicGraph g(6);
+  g.addEdge(0, 1);
+  g.addEdge(2, 3);
+  g.addEdge(4, 5);
+  g.addEdge(0, 5);
+  const std::string path = testing::TempDir() + "/xdgp_graph.txt";
+  writeEdgeList(g, path);
+  const DynamicGraph back = readEdgeList(path);
+  EXPECT_EQ(back.numVertices(), g.numVertices());
+  EXPECT_EQ(back.numEdges(), g.numEdges());
+  g.forEachEdge([&](VertexId u, VertexId v) { EXPECT_TRUE(back.hasEdge(u, v)); });
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, HeaderPreservesIsolatedVertices) {
+  DynamicGraph g(4);
+  g.addEdge(0, 1);  // vertices 2, 3 isolated
+  const std::string path = testing::TempDir() + "/xdgp_graph_iso.txt";
+  writeEdgeList(g, path);
+  const DynamicGraph back = readEdgeList(path);
+  EXPECT_EQ(back.numVertices(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(readEdgeList("/nonexistent/missing.txt"), std::runtime_error);
+}
+
+// ------------------------------------------------------------ updates
+
+TEST(UpdateStream, DrainRespectsTimestamps) {
+  UpdateStream stream({UpdateEvent::addEdge(0, 1, 1.0),
+                       UpdateEvent::addEdge(1, 2, 2.0),
+                       UpdateEvent::addEdge(2, 3, 3.0)});
+  EXPECT_EQ(stream.drainUntil(0.5).size(), 0u);
+  EXPECT_EQ(stream.drainUntil(2.0).size(), 2u);
+  EXPECT_EQ(stream.remaining(), 1u);
+  EXPECT_EQ(stream.drainUntil(10.0).size(), 1u);
+  EXPECT_TRUE(stream.exhausted());
+  EXPECT_EQ(stream.drainUntil(99.0).size(), 0u);  // exactly-once
+}
+
+TEST(UpdateStream, ConstructorSortsByTime) {
+  UpdateStream stream({UpdateEvent::addEdge(2, 3, 3.0),
+                       UpdateEvent::addEdge(0, 1, 1.0)});
+  const auto batch = stream.drainUntil(5.0);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_DOUBLE_EQ(batch[0].timestamp, 1.0);
+}
+
+TEST(UpdateStream, PushClampsLateEvents) {
+  UpdateStream stream({UpdateEvent::addEdge(0, 1, 5.0)});
+  stream.push(UpdateEvent::addEdge(1, 2, 1.0));  // arrives late
+  const auto batch = stream.drainUntil(5.0);
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(ApplyUpdates, AppliesAllKinds) {
+  DynamicGraph g(3);
+  g.addEdge(0, 1);
+  const std::size_t applied = applyUpdates(
+      g, {UpdateEvent::addVertex(5), UpdateEvent::addEdge(1, 2),
+          UpdateEvent::removeEdge(0, 1), UpdateEvent::removeVertex(0)});
+  EXPECT_EQ(applied, 4u);
+  EXPECT_TRUE(g.hasVertex(5));
+  EXPECT_TRUE(g.hasEdge(1, 2));
+  EXPECT_FALSE(g.hasVertex(0));
+}
+
+TEST(ApplyUpdates, ReplaysAreNoops) {
+  DynamicGraph g(3);
+  g.addEdge(0, 1);
+  const std::vector<UpdateEvent> events{UpdateEvent::addEdge(0, 1),
+                                        UpdateEvent::removeVertex(9)};
+  EXPECT_EQ(applyUpdates(g, events), 0u);
+  EXPECT_EQ(g.numEdges(), 1u);
+}
+
+// ------------------------------------------------------------ IdMapper
+
+TEST(IdMapper, InternsDensely) {
+  IdMapper mapper;
+  EXPECT_EQ(mapper.intern(1'000'000'007ULL), 0u);
+  EXPECT_EQ(mapper.intern(42ULL), 1u);
+  EXPECT_EQ(mapper.intern(1'000'000'007ULL), 0u);  // idempotent
+  EXPECT_EQ(mapper.size(), 2u);
+  EXPECT_EQ(mapper.external(1), 42ULL);
+  EXPECT_EQ(mapper.lookup(42ULL), 1u);
+  EXPECT_EQ(mapper.lookup(7ULL), kInvalidVertex);
+}
+
+}  // namespace
+}  // namespace xdgp::graph

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/cardiac.h"
+#include "apps/max_clique.h"
+#include "apps/tunkrank.h"
+#include "gen/cdr_stream.h"
+#include "gen/forest_fire.h"
+#include "gen/mesh3d.h"
+#include "gen/tweet_stream.h"
+#include "graph/csr.h"
+#include "metrics/cuts.h"
+#include "partition/partitioner.h"
+#include "pregel/engine.h"
+
+namespace xdgp {
+namespace {
+
+using graph::DynamicGraph;
+using graph::VertexId;
+using pregel::EngineOptions;
+using pregel::SuperstepStats;
+
+metrics::Assignment hashAssign(const DynamicGraph& g, std::size_t k) {
+  util::Rng rng(1);
+  return partition::makePartitioner("HSH")->partition(graph::CsrGraph::fromGraph(g),
+                                                      k, 1.1, rng);
+}
+
+EngineOptions adaptiveOptions(std::size_t k) {
+  EngineOptions options;
+  options.numWorkers = k;
+  options.adaptive = true;
+  return options;
+}
+
+/// Mini Fig. 7: the whole biomedical story on a laptop-size mesh — initial
+/// hash re-arrangement, then absorption of a forest-fire load peak.
+TEST(Integration, BiomedicalRearrangementAndPeakAbsorption) {
+  DynamicGraph mesh = gen::mesh3d(10, 10, 10);
+  pregel::Engine<apps::CardiacProgram> engine(mesh, hashAssign(mesh, 9),
+                                              adaptiveOptions(9));
+
+  // Phase 1: rearrange the poor hash partitioning.
+  const double initialTime = engine.runSuperstep().modeledTime;
+  const std::size_t initialCuts = engine.state().cutEdges();
+  double peakTime = initialTime;
+  std::size_t steps = 1;
+  while (!engine.partitionerConverged() && steps < 800) {
+    const SuperstepStats stats = engine.runSuperstep();
+    peakTime = std::max(peakTime, stats.modeledTime);
+    ++steps;
+  }
+  ASSERT_TRUE(engine.partitionerConverged());
+  const SuperstepStats settled = engine.runSuperstep();
+
+  // Fig. 7a shape: cuts roughly halve; the migration burst makes some early
+  // iteration far more expensive than steady state; the converged iteration
+  // is cheaper than the initial hash-partitioned one.
+  EXPECT_LT(engine.state().cutEdges(), (initialCuts * 6) / 10);
+  EXPECT_GT(peakTime, 1.2 * initialTime);
+  EXPECT_LT(settled.modeledTime, initialTime);
+  EXPECT_EQ(settled.migrationsExecuted, 0u);
+  EXPECT_EQ(settled.lostMessages, 0u);
+
+  // Phase 2: inject ~10% new vertices as one forest fire (the worst case).
+  DynamicGraph grown = engine.graph();
+  util::Rng fireRng(2);
+  const auto events = gen::forestFireExtension(grown, 100, {}, fireRng);
+  engine.ingest(events);
+  engine.rescalePartitionerCapacity();  // re-provision for the grown graph
+  const std::size_t cutsAtPeak = engine.runSuperstep().cutEdges;
+  // The injection immediately worsens the cut (Fig. 7b's spike).
+  EXPECT_GT(cutsAtPeak, settled.cutEdges);
+
+  std::size_t recoverySteps = 0;
+  while (!engine.partitionerConverged() && recoverySteps < 800) {
+    engine.runSuperstep();
+    ++recoverySteps;
+  }
+  ASSERT_TRUE(engine.partitionerConverged());
+  // Absorbed: the cut ratio returns close to the settled level even though
+  // the graph is 10% bigger.
+  const double settledRatio =
+      static_cast<double>(settled.cutEdges) /
+      static_cast<double>(mesh.numEdges());
+  EXPECT_LT(engine.cutRatio(), settledRatio + 0.1);
+}
+
+/// Mini Fig. 8: the same tweet stream drives a static-hash system and an
+/// adaptive one; the adaptive system must finish the day with cheaper and
+/// steadier supersteps.
+TEST(Integration, TwitterStreamAdaptiveBeatsStaticHash) {
+  gen::TweetStreamParams params;
+  params.users = 2'000;
+  params.meanRate = 4.0;
+  params.hours = 2.0;
+  gen::TweetStreamGenerator streamGen(params, util::Rng(3));
+  const auto events = streamGen.generate();
+  ASSERT_GT(events.size(), 1'000u);
+
+  // Warm-up graph so both systems start from the same loaded state.
+  DynamicGraph seed;
+  for (std::size_t i = 0; i < events.size() / 4; ++i) {
+    seed.addEdge(events[i].u, events[i].v);
+  }
+  for (VertexId v = 0; v < params.users; ++v) seed.ensureVertex(v);
+
+  EngineOptions staticOptions;
+  staticOptions.numWorkers = 9;
+  pregel::Engine<apps::TunkRankProgram> staticEngine(seed, hashAssign(seed, 9),
+                                                     staticOptions);
+  pregel::Engine<apps::TunkRankProgram> adaptiveEngine(seed, hashAssign(seed, 9),
+                                                       adaptiveOptions(9));
+
+  graph::UpdateStream staticStream(
+      {events.begin() + static_cast<std::ptrdiff_t>(events.size() / 4), events.end()});
+  graph::UpdateStream adaptiveStream(
+      {events.begin() + static_cast<std::ptrdiff_t>(events.size() / 4), events.end()});
+
+  const double bucket = 600.0;  // 10 minutes, as in Fig. 8
+  double staticTail = 0.0, adaptiveTail = 0.0;
+  const std::size_t buckets =
+      static_cast<std::size_t>(params.hours * 3600.0 / bucket);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const double now = static_cast<double>(b + 1) * bucket;
+    staticEngine.ingest(staticStream.drainUntil(now));
+    adaptiveEngine.ingest(adaptiveStream.drainUntil(now));
+    double staticTime = 0.0, adaptiveTime = 0.0;
+    for (int s = 0; s < 3; ++s) {
+      staticTime += staticEngine.runSuperstep().modeledTime;
+      adaptiveTime += adaptiveEngine.runSuperstep().modeledTime;
+    }
+    if (b + 3 >= buckets) {  // the settled tail of the day
+      staticTail += staticTime;
+      adaptiveTail += adaptiveTime;
+    }
+  }
+  EXPECT_LT(adaptiveTail, staticTail);
+  EXPECT_LT(adaptiveEngine.cutRatio(), staticEngine.cutRatio());
+}
+
+/// Mini Fig. 9: four weeks of CDR churn; the adaptive system holds the cut
+/// ratio flat while the static one degrades.
+TEST(Integration, MobileCdrDynamicStaysAheadOfStatic) {
+  gen::CdrStreamParams params;
+  params.initialSubscribers = 3'000;
+  gen::CdrStreamGenerator gen(params, util::Rng(4));
+  const DynamicGraph& base = gen.initialGraph();
+
+  EngineOptions staticOptions;
+  staticOptions.numWorkers = 5;  // the paper's 5-worker cluster
+  pregel::Engine<apps::MaxCliqueProgram> staticEngine(base, hashAssign(base, 5),
+                                                      staticOptions);
+  pregel::Engine<apps::MaxCliqueProgram> adaptiveEngine(base, hashAssign(base, 5),
+                                                        adaptiveOptions(5));
+
+  double staticLastWeekTime = 0.0, adaptiveLastWeekTime = 0.0;
+  for (std::size_t week = 0; week < 4; ++week) {
+    const gen::CdrWeek batch = gen.nextWeek();
+    for (auto* engine : {&staticEngine, &adaptiveEngine}) {
+      // Freeze during the clique rounds, as the workload requires.
+      engine->freezeTopology();
+      engine->ingest(batch.events);  // buffered
+    }
+    // A week of continuous clique rounds; the steady-state tail is what the
+    // paper's per-iteration averages are dominated by (its weeks hold far
+    // more iterations than the adaptation burst).
+    double staticTime = 0.0, adaptiveTime = 0.0;
+    for (int step = 0; step < 30; ++step) {
+      const double st = staticEngine.runSuperstep().modeledTime;
+      const double at = adaptiveEngine.runSuperstep().modeledTime;
+      if (step >= 20) {
+        staticTime += st;
+        adaptiveTime += at;
+      }
+    }
+    staticEngine.thawTopology();
+    adaptiveEngine.thawTopology();
+    adaptiveEngine.rescalePartitionerCapacity();  // +4% net subscribers/week
+    if (week == 3) {
+      staticLastWeekTime = staticTime;
+      adaptiveLastWeekTime = adaptiveTime;
+    }
+  }
+  EXPECT_LT(adaptiveEngine.cutRatio(), staticEngine.cutRatio());
+  EXPECT_LT(adaptiveLastWeekTime, staticLastWeekTime);
+  // Cliques computed on both systems agree (correctness under migration).
+  const std::size_t staticMax = staticEngine.reduceValues(
+      std::size_t{0},
+      [](std::size_t acc, VertexId, const apps::MaxCliqueProgram::State& s) {
+        return std::max(acc, s.cliqueSize);
+      });
+  const std::size_t adaptiveMax = adaptiveEngine.reduceValues(
+      std::size_t{0},
+      [](std::size_t acc, VertexId, const apps::MaxCliqueProgram::State& s) {
+        return std::max(acc, s.cliqueSize);
+      });
+  EXPECT_EQ(staticMax, adaptiveMax);
+}
+
+/// The quota rule must keep the biomedical peak within capacity even while
+/// 10% of the graph lands at once.
+TEST(Integration, CapacityHeldThroughLoadPeak) {
+  DynamicGraph mesh = gen::mesh3d(9, 9, 9);
+  pregel::Engine<apps::CardiacProgram> engine(mesh, hashAssign(mesh, 9),
+                                              adaptiveOptions(9));
+  for (int i = 0; i < 120; ++i) engine.runSuperstep();
+
+  DynamicGraph grown = engine.graph();
+  util::Rng rng(5);
+  engine.ingest(gen::forestFireExtension(grown, 73, {}, rng));
+
+  std::vector<std::size_t> bound(9);
+  const auto balanced = static_cast<std::size_t>(std::ceil(
+      static_cast<double>(engine.graph().numVertices()) / 9.0 * 1.1));
+  for (std::size_t i = 0; i < 9; ++i) {
+    bound[i] = std::max(balanced, engine.state().load(i));
+  }
+  for (int step = 0; step < 150; ++step) {
+    engine.runSuperstep();
+    for (std::size_t i = 0; i < 9; ++i) {
+      ASSERT_LE(engine.state().load(i), bound[i]) << "step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xdgp

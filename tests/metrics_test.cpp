@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "metrics/series.h"
+#include "util/logging.h"
+
+namespace xdgp {
+namespace {
+
+// ------------------------------------------------------------ series
+
+metrics::IterationSeries sampleSeries() {
+  metrics::IterationSeries series;
+  series.add({1, 1'000, 50, 2.0});
+  series.add({2, 800, 120, 3.5});
+  series.add({3, 600, 10, 1.2});
+  return series;
+}
+
+TEST(IterationSeries, AccessorsAndReductions) {
+  const metrics::IterationSeries series = sampleSeries();
+  EXPECT_EQ(series.size(), 3u);
+  EXPECT_FALSE(series.empty());
+  EXPECT_EQ(series.front().cuts, 1'000u);
+  EXPECT_EQ(series.back().iteration, 3u);
+  EXPECT_DOUBLE_EQ(series.peakTime(), 3.5);
+  EXPECT_EQ(series.totalMigrations(), 180u);
+}
+
+TEST(IterationSeries, EmptySeries) {
+  const metrics::IterationSeries series;
+  EXPECT_TRUE(series.empty());
+  EXPECT_DOUBLE_EQ(series.peakTime(), 0.0);
+  EXPECT_EQ(series.totalMigrations(), 0u);
+}
+
+TEST(IterationSeries, CsvRoundTrip) {
+  const std::string path = testing::TempDir() + "/xdgp_series.csv";
+  sampleSeries().writeCsv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "iteration,cuts,migrations,time_per_iteration");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,1000,50,2.0000");
+  int rows = 1;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 3);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ logging
+
+TEST(Logging, ThresholdFiltersMessages) {
+  const util::LogLevel before = util::logThreshold();
+  util::setLogThreshold(util::LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  util::logInfo() << "should be filtered";
+  util::logWarn() << "should appear " << 42;
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("filtered"), std::string::npos);
+  EXPECT_NE(out.find("should appear 42"), std::string::npos);
+  util::setLogThreshold(before);
+}
+
+TEST(Logging, OffSilencesEverything) {
+  const util::LogLevel before = util::logThreshold();
+  util::setLogThreshold(util::LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  util::logError() << "even errors";
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+  util::setLogThreshold(before);
+}
+
+}  // namespace
+}  // namespace xdgp

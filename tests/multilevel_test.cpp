@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/erdos_renyi.h"
+#include "gen/mesh2d.h"
+#include "gen/mesh3d.h"
+#include "gen/powerlaw_cluster.h"
+#include "metrics/balance.h"
+#include "metrics/cuts.h"
+#include "partition/coarsen.h"
+#include "partition/fm_refine.h"
+#include "partition/multilevel_partitioner.h"
+#include "partition/partitioner.h"
+#include "partition/region_growing.h"
+#include "partition/weighted_graph.h"
+
+namespace xdgp::partition {
+namespace {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+WeightedGraph meshWeighted(std::vector<VertexId>& ids) {
+  const CsrGraph csr = CsrGraph::fromGraph(gen::mesh2d(16, 16));
+  return WeightedGraph::fromCsr(csr, ids);
+}
+
+// ------------------------------------------------------------ lift
+
+TEST(WeightedGraph, UnitLiftFromCsr) {
+  std::vector<VertexId> ids;
+  const WeightedGraph wg = meshWeighted(ids);
+  EXPECT_EQ(wg.numVertices(), 256u);
+  EXPECT_EQ(wg.totalVertexWeight, 256);
+  EXPECT_EQ(ids.size(), 256u);
+  std::size_t dirEdges = 0;
+  for (const auto& row : wg.adjacency) dirEdges += row.size();
+  EXPECT_EQ(dirEdges, 2 * gen::mesh2d(16, 16).numEdges());
+}
+
+TEST(WeightedGraph, SkipsDeadIds) {
+  graph::DynamicGraph dyn = gen::mesh2d(6, 6);
+  dyn.removeVertex(7);
+  std::vector<VertexId> ids;
+  const WeightedGraph wg =
+      WeightedGraph::fromCsr(CsrGraph::fromGraph(dyn), ids);
+  EXPECT_EQ(wg.numVertices(), 35u);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), 7u), 0);
+}
+
+// ------------------------------------------------------------ matching
+
+TEST(HeavyEdgeMatching, ProducesValidMatching) {
+  std::vector<VertexId> ids;
+  const WeightedGraph wg = meshWeighted(ids);
+  util::Rng rng(1);
+  const auto match = heavyEdgeMatching(wg, rng);
+  for (VertexId v = 0; v < wg.numVertices(); ++v) {
+    EXPECT_EQ(match[match[v]], v) << "matching must be an involution";
+  }
+}
+
+TEST(HeavyEdgeMatching, PrefersHeavyEdges) {
+  // Triangle with one heavy edge. The random visit order can occasionally
+  // start at the light vertex and steal an endpoint, so the heavy pair must
+  // match in a clear majority of seeds (it matches whenever either heavy
+  // endpoint is visited first: probability 2/3 at minimum).
+  WeightedGraph wg;
+  wg.vertexWeights = {1, 1, 1};
+  wg.totalVertexWeight = 3;
+  wg.adjacency = {{{1, 100}, {2, 1}}, {{0, 100}, {2, 1}}, {{0, 1}, {1, 1}}};
+  int heavyMatched = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    util::Rng rng(seed);
+    const auto match = heavyEdgeMatching(wg, rng);
+    heavyMatched += match[0] == 1u;
+  }
+  EXPECT_GE(heavyMatched, 15);
+}
+
+TEST(HeavyEdgeMatching, MatchesMostOfAMesh) {
+  std::vector<VertexId> ids;
+  const WeightedGraph wg = meshWeighted(ids);
+  util::Rng rng(3);
+  const auto match = heavyEdgeMatching(wg, rng);
+  std::size_t matched = 0;
+  for (VertexId v = 0; v < wg.numVertices(); ++v) matched += match[v] != v;
+  EXPECT_GT(matched, wg.numVertices() / 2);  // meshes match densely
+}
+
+// ------------------------------------------------------------ contraction
+
+TEST(Contract, PreservesTotalVertexWeight) {
+  std::vector<VertexId> ids;
+  const WeightedGraph wg = meshWeighted(ids);
+  util::Rng rng(4);
+  const CoarseLevel level = contract(wg, heavyEdgeMatching(wg, rng));
+  std::int64_t total = 0;
+  for (const auto w : level.graph.vertexWeights) total += w;
+  EXPECT_EQ(total, wg.totalVertexWeight);
+  EXPECT_LT(level.graph.numVertices(), wg.numVertices());
+}
+
+TEST(Contract, ProjectionCoversAllFineVertices) {
+  std::vector<VertexId> ids;
+  const WeightedGraph wg = meshWeighted(ids);
+  util::Rng rng(5);
+  const CoarseLevel level = contract(wg, heavyEdgeMatching(wg, rng));
+  for (const VertexId coarse : level.fineToCoarse) {
+    ASSERT_LT(coarse, level.graph.numVertices());
+  }
+}
+
+TEST(Contract, CutIsInvariantUnderProjection) {
+  std::vector<VertexId> ids;
+  const WeightedGraph wg = meshWeighted(ids);
+  util::Rng rng(6);
+  const CoarseLevel level = contract(wg, heavyEdgeMatching(wg, rng));
+  // Random 3-way coarse assignment projected to fine must give equal cuts.
+  std::vector<graph::PartitionId> coarse(level.graph.numVertices());
+  for (auto& p : coarse) p = static_cast<graph::PartitionId>(rng.below(3));
+  std::vector<graph::PartitionId> fine(wg.numVertices());
+  for (VertexId v = 0; v < wg.numVertices(); ++v) {
+    fine[v] = coarse[level.fineToCoarse[v]];
+  }
+  EXPECT_EQ(weightedCut(level.graph, coarse), weightedCut(wg, fine));
+}
+
+// ------------------------------------------------------------ region growing
+
+TEST(RegionGrowing, CoversAndBalances) {
+  std::vector<VertexId> ids;
+  const WeightedGraph wg = meshWeighted(ids);
+  util::Rng rng(7);
+  const auto assignment = growRegions(wg, 4, rng);
+  std::vector<std::int64_t> loads(4, 0);
+  for (VertexId v = 0; v < wg.numVertices(); ++v) {
+    ASSERT_LT(assignment[v], 4u);
+    loads[assignment[v]] += wg.vertexWeights[v];
+  }
+  const auto [lo, hi] = std::minmax_element(loads.begin(), loads.end());
+  EXPECT_LT(static_cast<double>(*hi), 1.6 * static_cast<double>(*lo));
+}
+
+TEST(RegionGrowing, HandlesDisconnectedComponents) {
+  WeightedGraph wg;
+  wg.vertexWeights.assign(6, 1);
+  wg.totalVertexWeight = 6;
+  wg.adjacency.resize(6);
+  // Two triangles, no bridge.
+  const auto link = [&](VertexId a, VertexId b) {
+    wg.adjacency[a].emplace_back(b, 1);
+    wg.adjacency[b].emplace_back(a, 1);
+  };
+  link(0, 1);
+  link(1, 2);
+  link(0, 2);
+  link(3, 4);
+  link(4, 5);
+  link(3, 5);
+  util::Rng rng(8);
+  const auto assignment = growRegions(wg, 2, rng);
+  for (const auto p : assignment) ASSERT_LT(p, 2u);
+}
+
+TEST(RegionGrowing, MorePartitionsThanVertices) {
+  WeightedGraph wg;
+  wg.vertexWeights.assign(3, 1);
+  wg.totalVertexWeight = 3;
+  wg.adjacency.resize(3);
+  util::Rng rng(9);
+  const auto assignment = growRegions(wg, 8, rng);
+  for (const auto p : assignment) ASSERT_LT(p, 8u);
+}
+
+// ------------------------------------------------------------ FM refinement
+
+TEST(FmRefine, NeverIncreasesCut) {
+  std::vector<VertexId> ids;
+  const WeightedGraph wg = meshWeighted(ids);
+  util::Rng rng(10);
+  std::vector<graph::PartitionId> assignment(wg.numVertices());
+  for (auto& p : assignment) p = static_cast<graph::PartitionId>(rng.below(4));
+  const std::int64_t before = weightedCut(wg, assignment);
+  RefineOptions options;
+  options.capacities.assign(4, 80);  // 256/4 = 64, some headroom
+  fmRefine(wg, assignment, options);
+  EXPECT_LE(weightedCut(wg, assignment), before);
+}
+
+TEST(FmRefine, RepairsCapacityViolation) {
+  std::vector<VertexId> ids;
+  const WeightedGraph wg = meshWeighted(ids);
+  std::vector<graph::PartitionId> assignment(wg.numVertices(), 0);  // all in 0
+  RefineOptions options;
+  options.capacities.assign(4, 80);
+  fmRefine(wg, assignment, options);
+  std::vector<std::int64_t> loads(4, 0);
+  for (VertexId v = 0; v < wg.numVertices(); ++v) {
+    loads[assignment[v]] += wg.vertexWeights[v];
+  }
+  for (const auto load : loads) EXPECT_LE(load, 80);
+}
+
+TEST(FmRefine, FindsObviousImprovement) {
+  // Two cliques joined by one edge, split across the cliques: optimal.
+  // Start with the split straddling both cliques instead.
+  WeightedGraph wg;
+  const std::size_t half = 6;
+  wg.vertexWeights.assign(2 * half, 1);
+  wg.totalVertexWeight = 2 * half;
+  wg.adjacency.resize(2 * half);
+  const auto link = [&](VertexId a, VertexId b) {
+    wg.adjacency[a].emplace_back(b, 1);
+    wg.adjacency[b].emplace_back(a, 1);
+  };
+  for (VertexId i = 0; i < half; ++i) {
+    for (VertexId j = i + 1; j < half; ++j) {
+      link(i, j);
+      link(half + i, half + j);
+    }
+  }
+  link(0, half);
+  std::vector<graph::PartitionId> assignment(2 * half);
+  for (VertexId v = 0; v < 2 * half; ++v) assignment[v] = v % 2;  // awful split
+  RefineOptions options;
+  options.capacities.assign(2, half + 1);
+  fmRefine(wg, assignment, options);
+  EXPECT_EQ(weightedCut(wg, assignment), 1);  // only the bridge remains cut
+}
+
+// ------------------------------------------------------------ full V-cycle
+
+TEST(Multilevel, ValidCoveringAssignment) {
+  const CsrGraph g = CsrGraph::fromGraph(gen::mesh3d(12, 12, 12));
+  util::Rng rng(11);
+  const auto assignment = MultilevelPartitioner{}.partition(g, 9, 1.1, rng);
+  g.forEachVertex([&](VertexId v) {
+    ASSERT_NE(assignment[v], graph::kNoPartition);
+    ASSERT_LT(assignment[v], 9u);
+  });
+  const auto caps = makeCapacities(g.numVertices(), 9, 1.1);
+  EXPECT_TRUE(metrics::respectsCapacities(assignment, caps));
+}
+
+TEST(Multilevel, BeatsRandomByALotOnMeshes) {
+  const CsrGraph g = CsrGraph::fromGraph(gen::mesh3d(12, 12, 12));
+  util::Rng rng(12);
+  const double ml =
+      metrics::cutRatio(g, MultilevelPartitioner{}.partition(g, 9, 1.1, rng));
+  const double rnd =
+      metrics::cutRatio(g, makePartitioner("RND")->partition(g, 9, 1.1, rng));
+  EXPECT_LT(ml, 0.35 * rnd);
+  EXPECT_LT(ml, 0.25);  // mesh 9-way cuts are a small fraction of edges
+}
+
+TEST(Multilevel, CompetitiveOnPowerLaw) {
+  util::Rng seedRng(13);
+  const CsrGraph g =
+      CsrGraph::fromGraph(gen::powerlawCluster(3'000, 8, 0.1, seedRng));
+  util::Rng rng(14);
+  const double ml =
+      metrics::cutRatio(g, MultilevelPartitioner{}.partition(g, 9, 1.1, rng));
+  const double rnd =
+      metrics::cutRatio(g, makePartitioner("RND")->partition(g, 9, 1.1, rng));
+  // Power-law graphs are "very difficult to partition" (§4.2.2); still the
+  // centralised baseline must clearly beat random.
+  EXPECT_LT(ml, 0.9 * rnd);
+}
+
+TEST(Multilevel, SmallGraphsAndEdgeCases) {
+  util::Rng rng(15);
+  // Tiny graph: fewer vertices than the coarsest target.
+  const CsrGraph tiny = CsrGraph::fromGraph(gen::mesh2d(3, 3));
+  const auto a1 = MultilevelPartitioner{}.partition(tiny, 3, 1.2, rng);
+  tiny.forEachVertex([&](VertexId v) { ASSERT_LT(a1[v], 3u); });
+  // k = 1 collapses to the trivial partition.
+  const auto a2 = MultilevelPartitioner{}.partition(tiny, 1, 1.1, rng);
+  EXPECT_EQ(metrics::cutRatio(tiny, a2), 0.0);
+  // Empty graph.
+  const CsrGraph empty;
+  const auto a3 = MultilevelPartitioner{}.partition(empty, 4, 1.1, rng);
+  EXPECT_TRUE(a3.empty());
+}
+
+TEST(Multilevel, DisconnectedGraph) {
+  graph::DynamicGraph dyn(0);
+  // Three disjoint 4x4 meshes.
+  for (int block = 0; block < 3; ++block) {
+    const auto base = static_cast<VertexId>(block * 16);
+    for (VertexId x = 0; x < 4; ++x) {
+      for (VertexId y = 0; y < 4; ++y) {
+        const VertexId id = base + y * 4 + x;
+        dyn.ensureVertex(id);
+        if (x + 1 < 4) dyn.addEdge(id, id + 1);
+        if (y + 1 < 4) dyn.addEdge(id, id + 4);
+      }
+    }
+  }
+  const CsrGraph g = CsrGraph::fromGraph(dyn);
+  util::Rng rng(16);
+  const auto assignment = MultilevelPartitioner{}.partition(g, 3, 1.1, rng);
+  // A perfect partitioner puts one component per partition: zero cut.
+  EXPECT_LE(metrics::cutEdges(g, assignment), 6u);
+}
+
+}  // namespace
+}  // namespace xdgp::partition

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/erdos_renyi.h"
+#include "gen/mesh2d.h"
+#include "gen/mesh3d.h"
+#include "gen/powerlaw_cluster.h"
+#include "metrics/balance.h"
+#include "metrics/cuts.h"
+#include "partition/hash_partitioner.h"
+#include "partition/partitioner.h"
+
+namespace xdgp::partition {
+namespace {
+
+using graph::CsrGraph;
+using graph::VertexId;
+using metrics::balanceReport;
+using metrics::cutRatio;
+using metrics::partitionLoads;
+using metrics::respectsCapacities;
+
+CsrGraph meshCsr() { return CsrGraph::fromGraph(gen::mesh3d(12, 12, 12)); }
+
+CsrGraph plawCsr() {
+  util::Rng rng(1);
+  return CsrGraph::fromGraph(gen::powerlawCluster(2'000, 8, 0.1, rng));
+}
+
+// ------------------------------------------------------------ capacities
+
+TEST(MakeCapacities, PaperDefault110Percent) {
+  const auto caps = makeCapacities(9'000, 9, 1.1);
+  ASSERT_EQ(caps.size(), 9u);
+  for (const auto c : caps) EXPECT_EQ(c, 1'100u);
+}
+
+TEST(MakeCapacities, CeilGuardsSmallGraphs) {
+  const auto caps = makeCapacities(10, 3, 1.0);
+  // Balanced load is 3.33; capacity must round *up* or the graph can't fit.
+  for (const auto c : caps) EXPECT_EQ(c, 4u);
+}
+
+TEST(MakeCapacities, RejectsZeroK) {
+  EXPECT_THROW(makeCapacities(10, 0, 1.1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ factory
+
+TEST(Factory, MakesAllFourPaperStrategies) {
+  for (const std::string& code : initialStrategyCodes()) {
+    const auto p = makePartitioner(code);
+    EXPECT_EQ(p->name(), code);
+  }
+  EXPECT_THROW(makePartitioner("XYZ"), std::invalid_argument);
+}
+
+TEST(Factory, PaperFigureOrder) {
+  EXPECT_EQ(initialStrategyCodes(),
+            (std::vector<std::string>{"DGR", "HSH", "MNN", "RND"}));
+}
+
+// ------------------------------------------------------------ shared contract
+
+struct StrategyCase {
+  std::string code;
+  bool capacityGuaranteed;
+};
+
+class InitialStrategyTest : public testing::TestWithParam<StrategyCase> {};
+
+TEST_P(InitialStrategyTest, CoversEveryVertexWithValidPartition) {
+  const CsrGraph g = meshCsr();
+  util::Rng rng(7);
+  const auto assignment = makePartitioner(GetParam().code)->partition(g, 9, 1.1, rng);
+  g.forEachVertex([&](VertexId v) {
+    ASSERT_NE(assignment[v], graph::kNoPartition);
+    ASSERT_LT(assignment[v], 9u);
+  });
+}
+
+TEST_P(InitialStrategyTest, RespectsCapacityWhenGuaranteed) {
+  const CsrGraph g = plawCsr();
+  util::Rng rng(8);
+  const auto assignment = makePartitioner(GetParam().code)->partition(g, 9, 1.1, rng);
+  const auto caps = makeCapacities(g.numVertices(), 9, 1.1);
+  if (GetParam().capacityGuaranteed) {
+    EXPECT_TRUE(respectsCapacities(assignment, caps));
+  } else {
+    // HSH only balances statistically; still, nothing should be pathological.
+    EXPECT_LT(balanceReport(assignment, 9).imbalance, 1.5);
+  }
+}
+
+TEST_P(InitialStrategyTest, UsesAllPartitions) {
+  const CsrGraph g = meshCsr();
+  util::Rng rng(9);
+  const auto assignment = makePartitioner(GetParam().code)->partition(g, 9, 1.1, rng);
+  const auto loads = partitionLoads(assignment, 9);
+  for (const auto load : loads) EXPECT_GT(load, 0u);
+}
+
+TEST_P(InitialStrategyTest, SameSeedSameResult) {
+  const CsrGraph g = plawCsr();
+  util::Rng rngA(42), rngB(42);
+  const auto p = makePartitioner(GetParam().code);
+  EXPECT_EQ(p->partition(g, 9, 1.1, rngA), p->partition(g, 9, 1.1, rngB));
+}
+
+TEST_P(InitialStrategyTest, WorksForKEqualOne) {
+  const CsrGraph g = meshCsr();
+  util::Rng rng(10);
+  const auto assignment = makePartitioner(GetParam().code)->partition(g, 1, 1.1, rng);
+  EXPECT_EQ(cutRatio(g, assignment), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, InitialStrategyTest,
+                         testing::Values(StrategyCase{"HSH", false},
+                                         StrategyCase{"RND", true},
+                                         StrategyCase{"DGR", true},
+                                         StrategyCase{"MNN", true}),
+                         [](const auto& info) { return info.param.code; });
+
+// ------------------------------------------------------------ behaviour
+
+TEST(HashPartitioner, StatelessRuleMatchesAssignment) {
+  const CsrGraph g = meshCsr();
+  util::Rng rng(3);
+  const auto assignment = HashPartitioner{}.partition(g, 9, 1.1, rng);
+  g.forEachVertex([&](VertexId v) {
+    EXPECT_EQ(assignment[v], HashPartitioner::assign(v, 9));
+  });
+}
+
+TEST(HashPartitioner, ScattersUniformly) {
+  const CsrGraph g = CsrGraph::fromGraph(graph::DynamicGraph(90'000));
+  util::Rng rng(4);
+  const auto assignment = HashPartitioner{}.partition(g, 9, 1.1, rng);
+  const auto loads = partitionLoads(assignment, 9);
+  for (const auto load : loads) EXPECT_NEAR(static_cast<double>(load), 10'000.0, 400.0);
+}
+
+TEST(RandomPartitioner, LoadsDifferByAtMostOne) {
+  const CsrGraph g = meshCsr();  // 1728 vertices over 9 partitions = 192 each
+  util::Rng rng(5);
+  const auto assignment = makePartitioner("RND")->partition(g, 9, 1.1, rng);
+  const auto loads = partitionLoads(assignment, 9);
+  const auto [lo, hi] = std::minmax_element(loads.begin(), loads.end());
+  EXPECT_LE(*hi - *lo, 1u);
+}
+
+TEST(LdgPartitioner, ExploitsMeshLocality) {
+  // Stanton & Kliot: LDG cuts far fewer edges than random on meshes.
+  const CsrGraph g = meshCsr();
+  util::Rng rng(6);
+  const double ldg = cutRatio(g, makePartitioner("DGR")->partition(g, 9, 1.1, rng));
+  const double rnd = cutRatio(g, makePartitioner("RND")->partition(g, 9, 1.1, rng));
+  EXPECT_LT(ldg, 0.6 * rnd);
+}
+
+TEST(MnnPartitioner, ScattersNeighboursByDesign) {
+  // MNN avoids partitions already holding neighbours, so its cut should be
+  // at least as bad as random's on a mesh — it is a *hard* starting point.
+  const CsrGraph g = meshCsr();
+  util::Rng rng(7);
+  const double mnn = cutRatio(g, makePartitioner("MNN")->partition(g, 9, 1.1, rng));
+  const double rnd = cutRatio(g, makePartitioner("RND")->partition(g, 9, 1.1, rng));
+  EXPECT_GE(mnn, 0.9 * rnd);
+}
+
+TEST(Partitioners, HandleGraphWithDeadIds) {
+  graph::DynamicGraph dyn = gen::mesh2d(8, 8);
+  dyn.removeVertex(10);
+  dyn.removeVertex(20);
+  const CsrGraph g = CsrGraph::fromGraph(dyn);
+  util::Rng rng(8);
+  for (const std::string& code : initialStrategyCodes()) {
+    const auto assignment = makePartitioner(code)->partition(g, 4, 1.1, rng);
+    EXPECT_EQ(assignment[10], graph::kNoPartition) << code;
+    std::size_t assigned = 0;
+    for (const auto p : assignment) assigned += p != graph::kNoPartition;
+    EXPECT_EQ(assigned, g.numVertices()) << code;
+  }
+}
+
+// ------------------------------------------------------------ balance metrics
+
+TEST(BalanceReport, PerfectBalance) {
+  metrics::Assignment a{0, 1, 2, 0, 1, 2};
+  const auto report = balanceReport(a, 3);
+  EXPECT_DOUBLE_EQ(report.imbalance, 1.0);
+  EXPECT_DOUBLE_EQ(report.densification, 0.0);
+  EXPECT_EQ(report.minLoad, 2u);
+  EXPECT_EQ(report.maxLoad, 2u);
+}
+
+TEST(BalanceReport, DetectsDensification) {
+  metrics::Assignment a{0, 0, 0, 0, 0, 1};
+  const auto report = balanceReport(a, 2);
+  EXPECT_NEAR(report.imbalance, 5.0 / 3.0, 1e-9);
+  EXPECT_GT(report.densification, 0.5);
+}
+
+TEST(BalanceReport, IgnoresUnassigned) {
+  metrics::Assignment a{0, graph::kNoPartition, 1};
+  const auto report = balanceReport(a, 2);
+  EXPECT_EQ(report.totalVertices, 2u);
+}
+
+TEST(RespectsCapacities, Boundary) {
+  metrics::Assignment a{0, 0, 1};
+  EXPECT_TRUE(respectsCapacities(a, {2, 1}));
+  EXPECT_FALSE(respectsCapacities(a, {1, 1}));
+}
+
+// ------------------------------------------------------------ cut metrics
+
+TEST(CutMetrics, BruteForceAgreesAcrossRepresentations) {
+  const graph::DynamicGraph dyn = gen::mesh2d(10, 10);
+  const CsrGraph csr = CsrGraph::fromGraph(dyn);
+  util::Rng rng(9);
+  const auto assignment = makePartitioner("RND")->partition(csr, 4, 1.1, rng);
+  EXPECT_EQ(metrics::cutEdges(dyn, assignment), metrics::cutEdges(csr, assignment));
+  EXPECT_DOUBLE_EQ(metrics::cutRatio(dyn, assignment),
+                   metrics::cutRatio(csr, assignment));
+}
+
+TEST(CutMetrics, AllSamePartitionIsZero) {
+  const graph::DynamicGraph dyn = gen::mesh2d(5, 5);
+  metrics::Assignment a(dyn.idBound(), 0);
+  EXPECT_EQ(metrics::cutEdges(dyn, a), 0u);
+}
+
+TEST(CutMetrics, AlternatingPartitionsCutEverything) {
+  graph::DynamicGraph path(4);
+  path.addEdge(0, 1);
+  path.addEdge(1, 2);
+  path.addEdge(2, 3);
+  metrics::Assignment a{0, 1, 0, 1};
+  EXPECT_EQ(metrics::cutEdges(path, a), 3u);
+  EXPECT_DOUBLE_EQ(metrics::cutRatio(path, a), 1.0);
+}
+
+}  // namespace
+}  // namespace xdgp::partition

@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "apps/cardiac.h"
+#include "apps/components.h"
+#include "apps/degree_count.h"
+#include "apps/pagerank.h"
+#include "gen/mesh2d.h"
+#include "gen/mesh3d.h"
+#include "gen/powerlaw_cluster.h"
+#include "graph/csr.h"
+#include "metrics/cuts.h"
+#include "partition/partitioner.h"
+#include "pregel/engine.h"
+
+namespace xdgp::pregel {
+namespace {
+
+using apps::ComponentsProgram;
+using apps::DegreeCountProgram;
+using apps::PageRankProgram;
+using graph::DynamicGraph;
+using graph::UpdateEvent;
+using graph::VertexId;
+
+metrics::Assignment hashAssign(const DynamicGraph& g, std::size_t k) {
+  util::Rng rng(1);
+  return partition::makePartitioner("HSH")->partition(graph::CsrGraph::fromGraph(g),
+                                                      k, 1.1, rng);
+}
+
+EngineOptions plainOptions(std::size_t k) {
+  EngineOptions options;
+  options.numWorkers = k;
+  return options;
+}
+
+// ------------------------------------------------------------ messaging
+
+TEST(Engine, DegreeCountDeliversExactlyOncePerEdgeDirection) {
+  DynamicGraph g = gen::mesh2d(8, 8);
+  Engine<DegreeCountProgram> engine(g, hashAssign(g, 4), plainOptions(4));
+  engine.runSupersteps(2);  // ping, then count
+  g.forEachVertex([&](VertexId v) { EXPECT_EQ(engine.value(v), g.degree(v)); });
+}
+
+TEST(Engine, RemoteMessagesEqualTwiceTheCut) {
+  // Every vertex pings every neighbour: each cut edge carries exactly two
+  // remote messages, each internal edge two local ones.
+  DynamicGraph g = gen::mesh2d(10, 10);
+  const auto assignment = hashAssign(g, 4);
+  const std::size_t cuts = metrics::cutEdges(g, assignment);
+  Engine<DegreeCountProgram> engine(g, assignment, plainOptions(4));
+  const SuperstepStats stats = engine.runSuperstep();
+  EXPECT_EQ(stats.remoteMessages, 2 * cuts);
+  EXPECT_EQ(stats.localMessages, 2 * (g.numEdges() - cuts));
+  // Scalar payloads weigh one unit each.
+  EXPECT_EQ(stats.remoteMessageUnits, stats.remoteMessages);
+  EXPECT_EQ(stats.localMessageUnits, stats.localMessages);
+  EXPECT_EQ(stats.lostMessages, 0u);
+}
+
+TEST(Engine, OddSuperstepsSendNothing) {
+  DynamicGraph g = gen::mesh2d(4, 4);
+  Engine<DegreeCountProgram> engine(g, hashAssign(g, 2), plainOptions(2));
+  engine.runSuperstep();
+  const SuperstepStats odd = engine.runSuperstep();
+  EXPECT_EQ(odd.localMessages + odd.remoteMessages, 0u);
+}
+
+TEST(Engine, StatsHistoryAccumulates) {
+  DynamicGraph g = gen::mesh2d(4, 4);
+  Engine<DegreeCountProgram> engine(g, hashAssign(g, 2), plainOptions(2));
+  engine.runSupersteps(5);
+  EXPECT_EQ(engine.history().size(), 5u);
+  EXPECT_EQ(engine.history()[3].superstep, 3u);
+  EXPECT_EQ(engine.superstepIndex(), 5u);
+}
+
+// ------------------------------------------------------------ deferred migration
+
+EngineOptions adaptiveOptions(std::size_t k, bool deferred) {
+  EngineOptions options;
+  options.numWorkers = k;
+  options.adaptive = true;
+  options.deferredMigration = deferred;
+  options.partitioner.willingness = 0.5;
+  return options;
+}
+
+TEST(Engine, DeferredMigrationNeverLosesMessages) {
+  // THE §3 guarantee (Fig. 3 bottom): while the adaptive partitioner moves
+  // thousands of vertices, every ping still arrives — counts equal degrees
+  // at every odd superstep, and lostMessages stays zero.
+  DynamicGraph g = gen::mesh3d(8, 8, 8);
+  Engine<DegreeCountProgram> engine(g, hashAssign(g, 9), adaptiveOptions(9, true));
+  std::size_t executed = 0;
+  for (int round = 0; round < 15; ++round) {
+    const SuperstepStats even = engine.runSuperstep();
+    const SuperstepStats odd = engine.runSuperstep();
+    executed += even.migrationsExecuted + odd.migrationsExecuted;
+    ASSERT_EQ(even.lostMessages, 0u) << "round " << round;
+    ASSERT_EQ(odd.lostMessages, 0u) << "round " << round;
+    g.forEachVertex([&](VertexId v) {
+      ASSERT_EQ(engine.value(v), g.degree(v)) << "vertex " << v;
+    });
+  }
+  EXPECT_GT(executed, 50u) << "the partitioner must actually migrate";
+}
+
+TEST(Engine, InstantMigrationLosesMessages) {
+  // Ablation (Fig. 3 top): moving vertices without the one-iteration wait
+  // drops the messages already in flight towards the old worker.
+  DynamicGraph g = gen::mesh3d(8, 8, 8);
+  Engine<DegreeCountProgram> engine(g, hashAssign(g, 9), adaptiveOptions(9, false));
+  std::size_t lost = 0, executed = 0;
+  for (int step = 0; step < 30; ++step) {
+    const SuperstepStats stats = engine.runSuperstep();
+    lost += stats.lostMessages;
+    executed += stats.migrationsExecuted;
+  }
+  EXPECT_GT(executed, 50u);
+  EXPECT_GT(lost, 0u);
+}
+
+TEST(Engine, MigrationExecutesOneSuperstepAfterAnnouncement) {
+  DynamicGraph g = gen::mesh3d(6, 6, 6);
+  Engine<DegreeCountProgram> engine(g, hashAssign(g, 9), adaptiveOptions(9, true));
+  const SuperstepStats first = engine.runSuperstep();
+  EXPECT_EQ(first.migrationsExecuted, 0u);  // nothing announced before t=0
+  const SuperstepStats second = engine.runSuperstep();
+  EXPECT_EQ(second.migrationsExecuted, first.migrationsAnnounced);
+}
+
+TEST(Engine, AdaptivePartitioningReducesCutsAndRemoteTraffic) {
+  // 12^3 keeps the per-partition headroom above k-1, the quota regime the
+  // paper's experiments (>=1000 vertices, k=9) always operate in.
+  DynamicGraph g = gen::mesh3d(12, 12, 12);
+  const auto assignment = hashAssign(g, 9);
+  Engine<DegreeCountProgram> engine(g, assignment, adaptiveOptions(9, true));
+  const std::size_t cutsBefore = metrics::cutEdges(g, assignment);
+  const std::size_t remoteBefore = engine.runSuperstep().remoteMessages;
+  SuperstepStats last;
+  for (int i = 0; i < 400 && !engine.partitionerConverged(); ++i) {
+    last = engine.runSuperstep();
+  }
+  EXPECT_TRUE(engine.partitionerConverged());
+  EXPECT_LT(engine.state().cutEdges(), cutsBefore / 2);
+  // Even supersteps ping all neighbours; compare one post-convergence.
+  if (engine.superstepIndex() % 2 != 0) engine.runSuperstep();
+  const SuperstepStats after = engine.runSuperstep();
+  EXPECT_LT(after.remoteMessages, remoteBefore / 2);
+}
+
+TEST(Engine, CapacityInvariantHoldsUnderAdaptivePartitioning) {
+  DynamicGraph g = gen::mesh3d(8, 8, 8);
+  Engine<DegreeCountProgram> engine(g, hashAssign(g, 9), adaptiveOptions(9, true));
+  std::vector<std::size_t> bound(9);
+  const auto balanced = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(g.numVertices()) / 9.0 * 1.1));
+  for (std::size_t i = 0; i < 9; ++i) {
+    bound[i] = std::max(balanced, engine.state().load(i));
+  }
+  for (int step = 0; step < 80; ++step) {
+    engine.runSuperstep();
+    for (std::size_t i = 0; i < 9; ++i) {
+      ASSERT_LE(engine.state().load(i), bound[i]) << "superstep " << step;
+    }
+  }
+}
+
+// ------------------------------------------------------------ cost model
+
+TEST(CostModel, DefaultsReproducePaperProfile) {
+  // The Fig. 7 configuration (cardiac FEM, 63 workers, hash partitioning)
+  // must show the paper's profile: message exchange >80 % of iteration
+  // time, CPU noticeable but minor (~17 %).
+  DynamicGraph g = gen::mesh3d(20, 20, 20);
+  EngineOptions options;
+  options.numWorkers = 63;
+  Engine<apps::CardiacProgram> engine(g, hashAssign(g, 63), options);
+  engine.runSuperstep();
+  const SuperstepStats stats = engine.runSuperstep();  // messages now flowing
+  const double comm = options.cost.commShare(stats);
+  EXPECT_GT(comm, 0.75);
+  EXPECT_LT(comm, 0.92);
+  const double cpu = options.cost.alpha * stats.maxWorkerComputeUnits /
+                     options.cost.timeFor(stats);
+  EXPECT_GT(cpu, 0.05);
+  EXPECT_LT(cpu, 0.25);
+}
+
+TEST(CostModel, TimeFormulaIsExact) {
+  CostParams params;
+  params.alpha = 2.0;
+  params.betaRemote = 3.0;
+  params.betaLocal = 0.5;
+  params.gamma = 7.0;
+  SuperstepStats stats;
+  stats.maxWorkerComputeUnits = 10.0;
+  stats.remoteMessageUnits = 4;
+  stats.localMessageUnits = 6;
+  stats.migrationsExecuted = 2;
+  EXPECT_DOUBLE_EQ(params.timeFor(stats), 2.0 * 10 + 3.0 * 4 + 0.5 * 6 + 7.0 * 2);
+}
+
+TEST(CostModel, ComputeUnitsTrackBusiestWorker) {
+  DynamicGraph g = gen::mesh2d(6, 6);
+  Engine<DegreeCountProgram> engine(g, hashAssign(g, 4), plainOptions(4));
+  const SuperstepStats stats = engine.runSuperstep();
+  EXPECT_GT(stats.maxWorkerComputeUnits, 0.0);
+  EXPECT_LE(stats.maxWorkerComputeUnits, stats.computeUnits);
+  EXPECT_GE(stats.maxWorkerComputeUnits, stats.computeUnits / 4.0);
+}
+
+// ------------------------------------------------------------ mutations
+
+TEST(Engine, IngestAddsVerticesAndEdgesBetweenSupersteps) {
+  DynamicGraph g = gen::mesh2d(4, 4);
+  Engine<DegreeCountProgram> engine(g, hashAssign(g, 2), plainOptions(2));
+  engine.runSupersteps(2);
+  const std::size_t applied = engine.ingest(
+      {UpdateEvent::addEdge(0, 100), UpdateEvent::addEdge(100, 101)});
+  EXPECT_EQ(applied, 2u);
+  engine.runSupersteps(2);
+  EXPECT_EQ(engine.value(100), 2u);  // degree of the streamed-in vertex
+  EXPECT_EQ(engine.value(0), engine.graph().degree(0));
+}
+
+TEST(Engine, IngestRemovalKeepsStateConsistent) {
+  DynamicGraph g = gen::mesh2d(6, 6);
+  Engine<DegreeCountProgram> engine(g, hashAssign(g, 3), plainOptions(3));
+  engine.runSupersteps(2);
+  engine.ingest({UpdateEvent::removeVertex(7), UpdateEvent::removeEdge(0, 1)});
+  EXPECT_EQ(engine.state().cutEdges(),
+            metrics::cutEdges(engine.graph(), engine.state().assignment()));
+  engine.runSupersteps(2);
+  engine.graph().forEachVertex(
+      [&](VertexId v) { EXPECT_EQ(engine.value(v), engine.graph().degree(v)); });
+}
+
+TEST(Engine, MessagesToRemovedVerticesExpire) {
+  DynamicGraph g = gen::mesh2d(4, 4);
+  Engine<DegreeCountProgram> engine(g, hashAssign(g, 2), plainOptions(2));
+  engine.runSuperstep();  // pings queued for delivery at t+1
+  engine.ingest({UpdateEvent::removeVertex(5)});
+  const SuperstepStats stats = engine.runSuperstep();
+  EXPECT_EQ(stats.lostMessages, 0u);  // queued inbox was cleared, not lost
+  // Next even superstep: neighbours of the removed vertex send fewer pings.
+  engine.runSupersteps(2);
+  EXPECT_EQ(engine.value(4), engine.graph().degree(4));
+}
+
+TEST(Engine, FreezeBuffersUntilThaw) {
+  // Fig. 9 semantics: the clique computation freezes topology; changes
+  // buffer and apply in one batch when the result is out.
+  DynamicGraph g = gen::mesh2d(5, 5);
+  Engine<DegreeCountProgram> engine(g, hashAssign(g, 2), plainOptions(2));
+  engine.freezeTopology();
+  EXPECT_EQ(engine.ingest({UpdateEvent::addEdge(0, 200)}), 0u);
+  EXPECT_EQ(engine.bufferedEvents(), 1u);
+  EXPECT_FALSE(engine.graph().hasVertex(200));
+  engine.runSupersteps(2);
+  EXPECT_EQ(engine.thawTopology(), 1u);
+  EXPECT_TRUE(engine.graph().hasEdge(0, 200));
+  EXPECT_EQ(engine.bufferedEvents(), 0u);
+}
+
+TEST(Engine, MutationCountAppearsInNextSuperstepStats) {
+  DynamicGraph g = gen::mesh2d(4, 4);
+  Engine<DegreeCountProgram> engine(g, hashAssign(g, 2), plainOptions(2));
+  engine.ingest({UpdateEvent::addEdge(0, 50)});
+  const SuperstepStats stats = engine.runSuperstep();
+  EXPECT_EQ(stats.mutationsApplied, 1u);
+}
+
+// ------------------------------------------------------------ applications
+
+TEST(Engine, PageRankMatchesSerialReference) {
+  DynamicGraph g = gen::mesh2d(6, 6);
+  PageRankProgram program;
+  program.setNumVertices(g.numVertices());
+  Engine<PageRankProgram> engine(g, hashAssign(g, 4), plainOptions(4), program);
+  engine.runSupersteps(60);
+
+  // Serial reference of the same synchronous iteration.
+  const std::size_t n = g.idBound();
+  std::vector<double> rank(n, 1.0 / static_cast<double>(g.numVertices()));
+  for (int iter = 0; iter < 59; ++iter) {
+    std::vector<double> next(n, 0.0);
+    g.forEachVertex([&](VertexId u) {
+      const double share = rank[u] / static_cast<double>(g.degree(u));
+      for (const VertexId v : g.neighbors(u)) next[v] += share;
+    });
+    g.forEachVertex([&](VertexId v) {
+      next[v] = 0.15 / static_cast<double>(g.numVertices()) + 0.85 * next[v];
+    });
+    rank = std::move(next);
+  }
+  g.forEachVertex([&](VertexId v) { EXPECT_NEAR(engine.value(v), rank[v], 1e-9); });
+}
+
+TEST(Engine, PageRankMassIsConservedUnderMigration) {
+  DynamicGraph g = gen::mesh3d(6, 6, 6);
+  PageRankProgram program;
+  program.setNumVertices(g.numVertices());
+  Engine<PageRankProgram> engine(g, hashAssign(g, 9), adaptiveOptions(9, true),
+                                 program);
+  engine.runSupersteps(40);
+  const double mass = engine.reduceValues(
+      0.0, [](double acc, VertexId, double rank) { return acc + rank; });
+  EXPECT_NEAR(mass, 1.0, 0.05);  // mesh is regular: mass stays ~1
+}
+
+TEST(Engine, ComponentsAgreeWithAndWithoutMigration) {
+  util::Rng rng(7);
+  DynamicGraph g = gen::powerlawCluster(400, 3, 0.2, rng);
+  g.ensureVertex(450);          // isolated vertex: its own component
+  g.addEdge(460, 461);          // tiny extra component
+
+  Engine<ComponentsProgram> plain(g, hashAssign(g, 4), plainOptions(4));
+  Engine<ComponentsProgram> adaptive(g, hashAssign(g, 4), adaptiveOptions(4, true));
+  plain.runSupersteps(40);
+  adaptive.runSupersteps(40);
+  g.forEachVertex([&](VertexId v) {
+    ASSERT_EQ(plain.value(v).component, adaptive.value(v).component)
+        << "vertex " << v;
+  });
+  EXPECT_EQ(plain.value(450).component, 450u);
+  EXPECT_EQ(plain.value(460).component, plain.value(461).component);
+}
+
+}  // namespace
+}  // namespace xdgp::pregel

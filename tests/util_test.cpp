@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace xdgp::util {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng(7);
+  const auto first = rng.next();
+  rng.next();
+  rng.reseed(7);
+  EXPECT_EQ(rng.next(), first);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto x = rng.below(13);
+    ASSERT_LT(x, 13u);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(5);
+  std::vector<int> seen(7, 0);
+  for (int i = 0; i < 7'000; ++i) ++seen[rng.below(7)];
+  for (const int count : seen) EXPECT_GT(count, 700);  // ~1000 expected
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 20'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20'000, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    ASSERT_GE(u, -2.0);
+    ASSERT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 50'000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 50'000.0, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += rng.geometric(0.5);
+  // Mean of successes-before-failure with p = 0.5 is p/(1-p) = 1.
+  EXPECT_NEAR(sum / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  rng.shuffle(items);
+  auto sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng rng(31);
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  rng.shuffle(items);
+  int inPlace = 0;
+  for (int i = 0; i < 100; ++i) inPlace += items[i] == i;
+  EXPECT_LT(inPlace, 15);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(37);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += parent.next() == child.next();
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, IndexHandlesLargeBounds) {
+  Rng rng(41);
+  const std::size_t bound = std::size_t{1} << 40;
+  for (int i = 0; i < 100; ++i) ASSERT_LT(rng.index(bound), bound);
+}
+
+TEST(Rng, SplitMix64IsDeterministic) {
+  EXPECT_EQ(Rng::splitmix64(42), Rng::splitmix64(42));
+  EXPECT_NE(Rng::splitmix64(42), Rng::splitmix64(43));
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(RunningStat, KnownValues) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, StdErrorShrinksWithSamples) {
+  RunningStat small, large;
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) small.add(rng.uniform());
+  for (int i = 0; i < 1000; ++i) large.add(rng.uniform());
+  EXPECT_GT(small.stderror(), large.stderror());
+}
+
+TEST(RunningStat, EmptyAndSingle) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderror(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined) {
+  Rng rng(2);
+  RunningStat a, b, combined;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0, 10);
+    combined.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(Summarize, VectorHelper) {
+  const RunningStat s = summarize({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(Ema, ConvergesToConstant) {
+  Ema ema(0.2);
+  for (int i = 0; i < 100; ++i) ema.update(5.0);
+  EXPECT_NEAR(ema.value(), 5.0, 1e-6);
+}
+
+TEST(Ema, FirstSamplePrimes) {
+  Ema ema(0.1);
+  EXPECT_FALSE(ema.primed());
+  ema.update(42.0);
+  EXPECT_TRUE(ema.primed());
+  EXPECT_DOUBLE_EQ(ema.value(), 42.0);
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(TablePrinter, AlignsAndCounts) {
+  TablePrinter table({"name", "value"});
+  table.addRow({"alpha", "1"});
+  table.addRow({"b", "22"});
+  EXPECT_EQ(table.rowCount(), 2u);
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(TablePrinter, PadsShortRows) {
+  TablePrinter table({"a", "b", "c"});
+  table.addRow({"x"});
+  std::ostringstream out;
+  EXPECT_NO_THROW(table.print(out));
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmtPm(1.0, 0.25, 2), "1.00 +/- 0.25");
+}
+
+// ---------------------------------------------------------------- csv
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = testing::TempDir() + "/xdgp_csv_test.csv";
+  {
+    CsvWriter csv(path, {"x", "y"});
+    csv.addRow({"1", "2"});
+    csv.addRow({"with,comma", "with\"quote"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with,comma\",\"with\"\"quote\"");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsWidthMismatch) {
+  const std::string path = testing::TempDir() + "/xdgp_csv_test2.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.addRow({"only-one"}), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- flags
+
+TEST(Flags, ParsesTypedValues) {
+  const char* argv[] = {"prog", "--reps=5", "--scale=2.5", "--name=mesh",
+                        "--verbose"};
+  Flags flags(5, const_cast<char**>(argv));
+  EXPECT_EQ(flags.getInt("reps", 0), 5);
+  EXPECT_DOUBLE_EQ(flags.getDouble("scale", 0.0), 2.5);
+  EXPECT_EQ(flags.getString("name", ""), "mesh");
+  EXPECT_TRUE(flags.getBool("verbose", false));
+  EXPECT_NO_THROW(flags.finish());
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags flags(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.getInt("missing", 7), 7);
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+TEST(Flags, RejectsUnconsumed) {
+  const char* argv[] = {"prog", "--typo=1"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_THROW(flags.finish(), std::runtime_error);
+}
+
+TEST(Flags, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(Flags(2, const_cast<char**>(argv)), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- thread pool
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallelFor(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitAndWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ZeroItemsIsNoop) {
+  ThreadPool pool(2);
+  pool.parallelFor(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, AtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.threadCount(), 1u);
+}
+
+// ---------------------------------------------------------------- timer
+
+TEST(WallTimer, MeasuresForwardTime) {
+  WallTimer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 100'000; ++i) sink = sink + 1.0;
+  EXPECT_GE(timer.seconds(), 0.0);
+  EXPECT_GE(timer.millis(), timer.seconds());
+}
+
+}  // namespace
+}  // namespace xdgp::util

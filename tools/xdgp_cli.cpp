@@ -1,0 +1,160 @@
+// xdgp command-line tool: generate Table-1 datasets, partition edge-list
+// files with any of the library's strategies, and run the adaptive algorithm
+// to convergence — the downstream-user entry point that needs no C++.
+//
+// Usage:
+//   xdgp_cli --cmd=generate --dataset=64kcube --out=mesh.txt
+//   xdgp_cli --cmd=partition --graph=mesh.txt --strategy=DGR --k=9
+//            --out=initial.part
+//   xdgp_cli --cmd=adapt --graph=mesh.txt --assignment=initial.part
+//            --out=final.part --s=0.5
+//   xdgp_cli --cmd=adapt --graph=mesh.txt --strategy=HSH --k=9 --out=final.part
+
+#include <iostream>
+
+#include "core/adaptive_engine.h"
+#include "gen/dataset_catalog.h"
+#include "graph/csr.h"
+#include "graph/io.h"
+#include "metrics/balance.h"
+#include "partition/assignment_io.h"
+#include "partition/multilevel_partitioner.h"
+#include "partition/partitioner.h"
+#include "util/flags.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace xdgp;
+
+namespace {
+
+metrics::Assignment makeInitial(const graph::DynamicGraph& g,
+                                const std::string& strategy, std::size_t k,
+                                double capacity, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const graph::CsrGraph csr = graph::CsrGraph::fromGraph(g);
+  if (strategy == "METIS") {
+    return partition::MultilevelPartitioner{}.partition(csr, k, capacity, rng);
+  }
+  return partition::makePartitioner(strategy)->partition(csr, k, capacity, rng);
+}
+
+void report(const graph::DynamicGraph& g, const metrics::Assignment& assignment,
+            std::size_t k) {
+  const auto balance = metrics::balanceReport(assignment, k);
+  std::cout << "  cut ratio: " << util::fmt(metrics::cutRatio(g, assignment), 4)
+            << "  (" << metrics::cutEdges(g, assignment) << " of " << g.numEdges()
+            << " edges)\n"
+            << "  imbalance: " << util::fmt(balance.imbalance, 3)
+            << "  (max load " << balance.maxLoad << ", min " << balance.minLoad
+            << ")\n";
+}
+
+int generateCmd(util::Flags& flags) {
+  const std::string dataset = flags.getString("dataset", "64kcube");
+  const std::string out = flags.getString("out", dataset + ".txt");
+  util::Rng rng(static_cast<std::uint64_t>(flags.getInt("seed", 42)));
+  flags.finish();
+  const gen::DatasetSpec& spec = gen::datasetByName(dataset);
+  util::WallTimer timer;
+  const graph::DynamicGraph g = spec.make(rng);
+  graph::writeEdgeList(g, out);
+  std::cout << dataset << ": |V|=" << g.numVertices() << " |E|=" << g.numEdges()
+            << " -> " << out << " (" << util::fmt(timer.seconds(), 1) << "s)\n";
+  return 0;
+}
+
+int partitionCmd(util::Flags& flags) {
+  const std::string graphPath = flags.getString("graph", "");
+  const std::string strategy = flags.getString("strategy", "DGR");
+  const auto k = static_cast<std::size_t>(flags.getInt("k", 9));
+  const double capacity = flags.getDouble("capacity", 1.1);
+  const std::string out = flags.getString("out", "assignment.part");
+  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 42));
+  flags.finish();
+  if (graphPath.empty()) throw std::runtime_error("partition: --graph required");
+
+  const graph::DynamicGraph g = graph::readEdgeList(graphPath);
+  util::WallTimer timer;
+  const metrics::Assignment assignment = makeInitial(g, strategy, k, capacity, seed);
+  std::cout << strategy << " over " << g.numVertices() << " vertices ("
+            << util::fmt(timer.seconds(), 2) << "s)\n";
+  report(g, assignment, k);
+  partition::writeAssignment(assignment, k, out);
+  std::cout << "  written to " << out << "\n";
+  return 0;
+}
+
+int adaptCmd(util::Flags& flags) {
+  const std::string graphPath = flags.getString("graph", "");
+  const std::string assignmentPath = flags.getString("assignment", "");
+  const std::string strategy = flags.getString("strategy", "HSH");
+  const std::string out = flags.getString("out", "adapted.part");
+  const std::string balance = flags.getString("balance", "vertices");
+  auto k = static_cast<std::size_t>(flags.getInt("k", 9));
+  const double capacity = flags.getDouble("capacity", 1.1);
+  core::AdaptiveOptions options;
+  options.willingness = flags.getDouble("s", 0.5);
+  options.capacityFactor = capacity;
+  options.convergenceWindow =
+      static_cast<std::size_t>(flags.getInt("window", 30));
+  options.threads = static_cast<std::size_t>(flags.getInt("threads", 1));
+  options.seed = static_cast<std::uint64_t>(flags.getInt("seed", 42));
+  const auto maxIterations =
+      static_cast<std::size_t>(flags.getInt("max-iterations", 20'000));
+  flags.finish();
+  if (graphPath.empty()) throw std::runtime_error("adapt: --graph required");
+  if (balance == "edges") options.balanceMode = core::BalanceMode::kEdges;
+  else if (balance != "vertices") throw std::runtime_error("adapt: bad --balance");
+
+  graph::DynamicGraph g = graph::readEdgeList(graphPath);
+  metrics::Assignment initial;
+  if (!assignmentPath.empty()) {
+    auto loaded = partition::readAssignment(assignmentPath);
+    k = loaded.k;
+    initial = std::move(loaded.assignment);
+    initial.resize(g.idBound(), graph::kNoPartition);
+  } else {
+    initial = makeInitial(g, strategy, k, capacity, options.seed);
+  }
+  options.k = k;
+
+  std::cout << "initial (" << (assignmentPath.empty() ? strategy : assignmentPath)
+            << ", k=" << k << "):\n";
+  report(g, initial, k);
+
+  util::WallTimer timer;
+  core::AdaptiveEngine engine(std::move(g), std::move(initial), options);
+  const core::ConvergenceResult result = engine.runToConvergence(maxIterations);
+  std::cout << "adapted (" << result.iterationsRun << " iterations, converged at "
+            << result.convergenceIteration << ", "
+            << util::fmt(timer.seconds(), 2) << "s"
+            << (result.converged ? "" : ", NOT converged") << "):\n";
+  report(engine.graph(), engine.state().assignment(), k);
+  partition::writeAssignment(engine.state().assignment(), k, out);
+  std::cout << "  written to " << out << "\n";
+  return result.converged ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::Flags flags(argc, argv);
+    const std::string cmd = flags.getString("cmd", "");
+    if (cmd == "generate") return generateCmd(flags);
+    if (cmd == "partition") return partitionCmd(flags);
+    if (cmd == "adapt") return adaptCmd(flags);
+    std::cerr << "usage: xdgp_cli --cmd=generate|partition|adapt [options]\n"
+                 "  generate:  --dataset=<table1 name> --out=<edge list>\n"
+                 "  partition: --graph=<edge list> --strategy=HSH|RND|DGR|MNN|METIS"
+                 " --k=9 --out=<part file>\n"
+                 "  adapt:     --graph=<edge list> [--assignment=<part file> |"
+                 " --strategy=... --k=9] --s=0.5 [--balance=edges] --out=<part"
+                 " file>\n";
+    return 1;
+  } catch (const std::exception& error) {
+    std::cerr << "xdgp_cli: " << error.what() << "\n";
+    return 1;
+  }
+}
