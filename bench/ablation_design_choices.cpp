@@ -1,4 +1,4 @@
-// Ablations — not a paper figure: quantifies the design choices DESIGN.md §5
+// Ablations — not a paper figure: quantifies the design choices docs/DESIGN.md §5
 // calls out, each against the configuration the paper chose.
 //
 //  1. capacity quotas Q_t(i,j) = C_t(j)/(k-1) on/off  -> densification
@@ -238,7 +238,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 42));
   flags.finish();
 
-  std::cout << "Design-choice ablations (DESIGN.md #5)\n\n";
+  std::cout << "Design-choice ablations (docs/DESIGN.md §5)\n\n";
   util::CsvWriter csv(bench::resultsDir() + "/ablation_design_choices.csv",
                       {"ablation", "setting", "metric1", "metric2"});
   quotaAblation(seed, csv);

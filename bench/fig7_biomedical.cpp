@@ -8,7 +8,7 @@
 //      vertices (+~30% edges) at once, the paper's worst case.
 //
 // Paper scale: 100M vertices / 300M edges on 63 blades (3 TB RAM). Default
-// here: a 1M-vertex mesh on 63 logical workers — DESIGN.md §2 documents the
+// here: a 1M-vertex mesh on 63 logical workers — docs/DESIGN.md §2 documents the
 // substitution; Fig. 6 shows the dynamics are scale-stable. Use
 // `--vertices=...` to change scale (up to memory).
 //
@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
   graph::DynamicGraph mesh = gen::mesh3dApprox(vertices);
   std::cout << "Figure 7: biomedical FEM, |V|=" << mesh.numVertices()
             << " |E|=" << mesh.numEdges() << ", " << workers
-            << " workers (paper: 1e8 vertices, 63 blades; scaled per DESIGN.md)\n";
+            << " workers (paper: 1e8 vertices, 63 blades; scaled per docs/DESIGN.md)\n";
 
   pregel::EngineOptions options;
   options.numWorkers = workers;

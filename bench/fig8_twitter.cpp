@@ -2,7 +2,7 @@
 // stream of tweets from London. Each point represents the average of 10 min
 // of streaming data."
 //
-// Two systems consume the identical synthetic mention stream (DESIGN.md §2):
+// Two systems consume the identical synthetic mention stream (docs/DESIGN.md §2):
 // one with static hash partitioning, one with the adaptive algorithm,
 // running TunkRank continuously. Mentions older than a sliding window expire
 // (real-time influence tracks *recent* mentions, which keeps the live graph

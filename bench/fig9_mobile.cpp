@@ -6,7 +6,7 @@
 // The CDR stream reproduces the paper's churn exactly (8% weekly additions,
 // 4% deletions); the clique workload freezes the topology during each
 // computation and the buffered changes land in batches, as §4.3 requires.
-// Subscribers are scaled from the paper's 21M (DESIGN.md §2).
+// Subscribers are scaled from the paper's 21M (docs/DESIGN.md §2).
 //
 // Expected shape (paper): the dynamic system holds the cut ratio flat and
 // runs at <50% of the static time per iteration; the static system degrades

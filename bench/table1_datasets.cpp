@@ -2,7 +2,7 @@
 //
 // Regenerates every dataset from the catalog and prints the paper's columns
 // next to the generated sizes, flagging substitutions and scaled defaults
-// (see DESIGN.md §2). `--full=true` also generates the two paper-scale rows
+// (see docs/DESIGN.md §2). `--full=true` also generates the two paper-scale rows
 // at their default scaled size; they are listed either way.
 
 #include <iostream>
@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
 
   std::cout << "Table 1: Summary of the datasets employed in this work\n"
             << "(generated sizes from this repository's generators; 'substitute'\n"
-            << " marks offline stand-ins for real downloads, DESIGN.md #2)\n\n";
+            << " marks offline stand-ins for real downloads, docs/DESIGN.md §2)\n\n";
 
   util::TablePrinter table({"Name", "|V| paper", "|E| paper", "|V| generated",
                             "|E| generated", "Type", "Source"});

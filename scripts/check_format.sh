@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Checks (default) or fixes (--fix) clang-format conformance for the C++
+# tree. Intended as a pre-commit hook and as the CI format gate:
+#   scripts/check_format.sh          # exit 1 if any file needs reformatting
+#   scripts/check_format.sh --fix    # rewrite files in place
+# When clang-format is not installed the check is skipped with exit 0, so
+# local workflows on minimal machines are not hard-blocked.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-}"
+if [[ -z "$CLANG_FORMAT" ]]; then
+  for candidate in clang-format clang-format-18 clang-format-17 clang-format-16 clang-format-15; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      CLANG_FORMAT="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$CLANG_FORMAT" ]]; then
+  echo "check_format: clang-format not found; skipping (set CLANG_FORMAT to override)" >&2
+  exit 0
+fi
+
+mapfile -t files < <(find src tests bench examples tools -name '*.h' -o -name '*.cpp' | sort)
+
+if [[ "${1:-}" == "--fix" ]]; then
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "check_format: reformatted ${#files[@]} files"
+  exit 0
+fi
+
+failed=0
+for f in "${files[@]}"; do
+  if ! "$CLANG_FORMAT" --dry-run --Werror "$f" > /dev/null 2>&1; then
+    echo "needs formatting: $f"
+    failed=1
+  fi
+done
+if [[ "$failed" -ne 0 ]]; then
+  echo "check_format: run scripts/check_format.sh --fix" >&2
+  exit 1
+fi
+echo "check_format: ${#files[@]} files clean"

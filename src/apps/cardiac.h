@@ -18,7 +18,7 @@ namespace xdgp::apps {
 /// mesh neighbours (the messaging that dominates >80 % of iteration time)
 /// and integrates `odeSubsteps` explicit-Euler substeps (the ~17 % CPU). The
 /// `unitsPerSubstep` knob scales accounted compute to the paper's 32-eq/100-
-/// var model without having to burn the flops on a laptop (DESIGN.md §2).
+/// var model without having to burn the flops on a laptop (docs/DESIGN.md §2).
 struct CardiacProgram {
   struct Cell {
     double voltage = -1.2;   ///< membrane potential v (dimensionless FHN)

@@ -82,8 +82,9 @@ class AdaptiveEngine {
   /// Replaces the default hash placement for stream-injected vertices.
   void setPlacement(PlacementFn placement) { placement_ = std::move(placement); }
 
-  /// Grows capacities to 110% (options.capacityFactor) of the current
-  /// balanced load; call after large injections when the original
+  /// Grows capacities to options.capacityFactor headroom over the current
+  /// balanced load (in the configured balance mode); never shrinks an
+  /// existing capacity. Call after large injections when the original
   /// provisioning should be revised.
   void rescaleCapacity();
 

@@ -9,10 +9,23 @@ namespace xdgp::core {
 /// What a partition's "load" counts (§2.2 vs the §6 extension).
 ///
 /// kVertices is the paper's main algorithm: C(i) caps |P_t(i)|.
+///
 /// kEdges implements the paper's first future-work direction — "partitions
-/// that are balanced on the number of edges" — by counting each vertex as
-/// its degree, so capacities cap Σ_{v∈P(i)} deg(v). Algorithms whose cost is
-/// proportional to edges (PageRank et al.) are then load-balanced.
+/// that are balanced on the number of edges" — by switching every quantity
+/// in the capacity/quota machinery from vertex counts to degree units:
+///  - a partition's load is its degree sum Σ_{v∈P(i)} deg(v)
+///    (PartitionState::degreeLoad), which capacities then cap;
+///  - total provisioned load is 2|E| (each edge counted from both ends),
+///    so CapacityModel is constructed/rescaled with n = 2|E|;
+///  - a migrating vertex consumes deg(v) units of the destination's quota
+///    (QuotaLedger::tryAdmit's `units`), so the worst-case admission bound
+///    holds in degree units;
+///  - zero-degree vertices never migrate (no neighbours attract them, and
+///    QuotaLedger::tryAdmit rejects zero-unit requests).
+/// Algorithms whose cost is proportional to edges (PageRank et al.) are
+/// then load-balanced. Selected via AdaptiveOptions::balanceMode,
+/// BackgroundPartitioner::Options::balanceMode, or `xdgp_cli
+/// --balance=edges`.
 enum class BalanceMode { kVertices, kEdges };
 
 /// Partition capacity bookkeeping (§2.2).

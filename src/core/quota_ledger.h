@@ -29,7 +29,8 @@ class QuotaLedger {
 
   /// Admits (and records) a migration from partition i to j when the pair
   /// quota still has room for `units` more load (1 for vertex balancing,
-  /// deg(v) for the §6 edge-balanced extension). Self-moves are rejected.
+  /// deg(v) for the §6 edge-balanced extension). Self-moves and zero-unit
+  /// requests are rejected.
   [[nodiscard]] bool tryAdmit(graph::PartitionId i, graph::PartitionId j,
                               std::size_t units = 1);
 

@@ -22,7 +22,7 @@ namespace xdgp::gen {
 ///
 /// Scaled from the paper's 21 M subscribers to a laptop-size universe; the
 /// Fig. 9 metrics (weekly cut ratio, relative iteration time) depend on the
-/// churn *rates*, which are preserved. See DESIGN.md §2.
+/// churn *rates*, which are preserved. See docs/DESIGN.md §2.
 struct CdrStreamParams {
   std::size_t initialSubscribers = 20'000;
   double meanDegree = 10.1;       ///< paper: average of 10.1 network neighbours

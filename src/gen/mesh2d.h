@@ -14,7 +14,7 @@ namespace xdgp::gen {
 /// This is the offline substitute for the Walshaw-archive meshes `3elt`
 /// (4 720 V / 13 722 E) and `4elt` (15 606 V / 45 878 E) used in Table 1 /
 /// Fig. 5: same graph family (planar triangulation, average degree ~5.8),
-/// sizes matched by mesh2dApprox(). See DESIGN.md §2.
+/// sizes matched by mesh2dApprox(). See docs/DESIGN.md §2.
 graph::DynamicGraph mesh2d(std::size_t nx, std::size_t ny);
 
 /// Triangulated grid with ~n vertices (near-square aspect).

@@ -22,7 +22,7 @@ namespace xdgp::gen {
 ///    yielding the power-law degree distribution the paper describes.
 ///
 /// The substitution preserves the Fig. 8 comparison because both systems
-/// (static hash vs adaptive) are driven by the *same* stream; see DESIGN.md.
+/// (static hash vs adaptive) are driven by the *same* stream; see docs/DESIGN.md.
 struct TweetStreamParams {
   std::size_t users = 50'000;    ///< user universe (paper: London-area users)
   double meanRate = 15.0;        ///< tweets/second averaged over the day

@@ -28,7 +28,7 @@ namespace xdgp::pregel {
 /// C_{t+1}(i) = C_t(i) − V_out + V_in one superstep ahead. Because the
 /// engine executes announced moves before invoking this hook, the loads it
 /// reads here *are* those predicted values — prediction and actuality
-/// coincide in a synchronous simulation (DESIGN.md §1).
+/// coincide in a synchronous simulation (docs/DESIGN.md §1).
 class BackgroundPartitioner {
  public:
   struct Options {

@@ -5,7 +5,7 @@
 namespace xdgp::pregel {
 
 /// Deterministic iteration-time model — the substitution for the paper's
-/// cluster wall-clock (DESIGN.md §1).
+/// cluster wall-clock (docs/DESIGN.md §1).
 ///
 /// T(superstep) = alpha · maxWorkerComputeUnits        (BSP compute barrier)
 ///              + betaRemote · remoteMessageUnits      (network serialisation)
@@ -22,8 +22,8 @@ namespace xdgp::pregel {
 /// *ratios* of these constants matter.
 struct CostParams {
   double alpha = 1.0;        ///< per compute unit on the busiest worker
-  double betaRemote = 0.4;   ///< per cross-worker message
-  double betaLocal = 0.02;   ///< per same-worker message
+  double betaRemote = 0.4;   ///< per cross-worker message *unit* (payload-weighted)
+  double betaLocal = 0.02;   ///< per same-worker message *unit*
   /// Per migrated vertex: transferring ~100 state variables (the paper's
   /// cardiac cells) costs about 100 remote messages' worth of wire time.
   double gamma = 40.0;
