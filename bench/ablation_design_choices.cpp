@@ -101,7 +101,7 @@ void windowAblation(std::uint64_t seed, util::CsvWriter& csv) {
       const auto run = bench::runAdaptive(
           gen::powerlawCluster(10'000, 13, 0.1, genRng), "HSH", options);
       when.add(static_cast<double>(run.convergenceIteration));
-      cuts.add(run.cutRatio);
+      cuts.add(run.finalCutRatio);
     }
     table.addRow({std::to_string(window) + (window == 30 ? " (paper)" : ""),
                   util::fmtPm(when.mean(), when.stderror(), 1),
@@ -235,7 +235,7 @@ void localityAblation(std::uint64_t seed, util::CsvWriter& csv) {
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 42));
+  const std::uint64_t seed = flags.getUint64("seed", 42);
   flags.finish();
 
   std::cout << "Design-choice ablations (docs/DESIGN.md §5)\n\n";

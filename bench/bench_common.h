@@ -1,14 +1,14 @@
 #pragma once
 
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 
+#include "api/partitioner_registry.h"
+#include "api/pipeline.h"
 #include "core/adaptive_engine.h"
 #include "gen/dataset_catalog.h"
-#include "graph/csr.h"
 #include "metrics/cuts.h"
-#include "partition/multilevel_partitioner.h"
-#include "partition/partitioner.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -16,55 +16,45 @@
 
 namespace xdgp::bench {
 
-/// Where every harness drops its CSV series (created on demand).
+/// Where every harness drops its CSV series (created on demand). Override
+/// with the XDGP_BENCH_DIR environment variable to redirect CI or sweep
+/// output; defaults to bench_results/ in the working directory.
 inline std::string resultsDir() {
-  const std::filesystem::path dir = "bench_results";
+  const char* override = std::getenv("XDGP_BENCH_DIR");
+  const std::filesystem::path dir =
+      (override != nullptr && *override != '\0') ? override : "bench_results";
   std::filesystem::create_directories(dir);
   return dir.string();
 }
 
-/// Initial assignment by Table-style strategy code over a dynamic graph.
+/// Initial assignment by registry strategy code over a dynamic graph.
 inline metrics::Assignment initialAssignment(const graph::DynamicGraph& g,
                                              const std::string& code, std::size_t k,
                                              double capacityFactor,
                                              std::uint64_t seed) {
-  util::Rng rng(seed);
-  return partition::makePartitioner(code)->partition(graph::CsrGraph::fromGraph(g),
-                                                     k, capacityFactor, rng);
+  return api::initialAssignment(g, code, k, capacityFactor, seed);
 }
 
 /// METIS-like reference cut ratio (the dashed line in Fig. 4).
 inline double multilevelCutRatio(const graph::DynamicGraph& g, std::size_t k,
                                  double capacityFactor, std::uint64_t seed) {
-  util::Rng rng(seed);
-  const graph::CsrGraph csr = graph::CsrGraph::fromGraph(g);
-  const auto assignment =
-      partition::MultilevelPartitioner{}.partition(csr, k, capacityFactor, rng);
-  return metrics::cutRatio(csr, assignment);
+  return metrics::cutRatio(g, initialAssignment(g, "METIS", k, capacityFactor, seed));
 }
 
-/// One adaptive run to convergence; returns {finalCutRatio, convergenceIteration}.
-struct AdaptiveRunResult {
-  double cutRatio = 0.0;
-  double initialCutRatio = 0.0;
-  std::size_t convergenceIteration = 0;
-  bool converged = false;
-};
-
-inline AdaptiveRunResult runAdaptive(graph::DynamicGraph g, const std::string& code,
-                                     core::AdaptiveOptions options,
-                                     std::size_t maxIterations = 20'000) {
-  metrics::Assignment assignment =
-      initialAssignment(g, code, options.k, options.capacityFactor, options.seed);
-  options.recordSeries = false;
-  core::AdaptiveEngine engine(std::move(g), std::move(assignment), options);
-  AdaptiveRunResult result;
-  result.initialCutRatio = engine.cutRatio();
-  const core::ConvergenceResult conv = engine.runToConvergence(maxIterations);
-  result.cutRatio = engine.cutRatio();
-  result.convergenceIteration = conv.convergenceIteration;
-  result.converged = conv.converged;
-  return result;
+/// One adaptive run to convergence through the api::Pipeline front door.
+/// options.k / capacityFactor / seed configure the whole pipeline (initial
+/// partitioning included), exactly as they configured the hand-wired runs.
+inline api::RunReport runAdaptive(graph::DynamicGraph g, const std::string& code,
+                                  core::AdaptiveOptions options,
+                                  std::size_t maxIterations = 20'000) {
+  return api::Pipeline::fromGraph(std::move(g))
+      .initial(code)
+      .k(options.k)
+      .capacityFactor(options.capacityFactor)
+      .seed(options.seed)
+      .adaptive(options)
+      .maxIterations(maxIterations)
+      .run();
 }
 
 }  // namespace xdgp::bench

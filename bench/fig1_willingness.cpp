@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   const auto reps = static_cast<std::size_t>(flags.getInt("reps", 3));
   const auto k = static_cast<std::size_t>(flags.getInt("k", 9));
-  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 42));
+  const std::uint64_t seed = flags.getUint64("seed", 42);
   flags.finish();
 
   util::CsvWriter csv(bench::resultsDir() + "/fig1_willingness.csv",
@@ -44,10 +44,10 @@ int main(int argc, char** argv) {
         options.k = k;
         options.willingness = s;
         options.seed = seed + rep * 1'000 + static_cast<std::uint64_t>(step);
-        const bench::AdaptiveRunResult run =
+        const api::RunReport run =
             bench::runAdaptive(spec.make(genRng), "HSH", options);
         convergence.add(static_cast<double>(run.convergenceIteration));
-        cuts.add(run.cutRatio);
+        cuts.add(run.finalCutRatio);
       }
       table.addRow({util::fmt(s, 1),
                     util::fmtPm(convergence.mean(), convergence.stderror(), 1),

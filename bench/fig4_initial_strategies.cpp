@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   const auto reps = static_cast<std::size_t>(flags.getInt("reps", 3));
   const auto k = static_cast<std::size_t>(flags.getInt("k", 9));
-  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 42));
+  const std::uint64_t seed = flags.getUint64("seed", 42);
   flags.finish();
 
   util::CsvWriter csv(bench::resultsDir() + "/fig4_initial_strategies.csv",
@@ -49,10 +49,10 @@ int main(int argc, char** argv) {
         core::AdaptiveOptions options;
         options.k = k;
         options.seed = seed + rep * 1'000;
-        const bench::AdaptiveRunResult run =
+        const api::RunReport run =
             bench::runAdaptive(spec.make(genRng), code, options);
         initial.add(run.initialCutRatio);
-        iterative.add(run.cutRatio);
+        iterative.add(run.finalCutRatio);
       }
       table.addRow({code, util::fmtPm(initial.mean(), initial.stderror(), 3),
                     util::fmtPm(iterative.mean(), iterative.stderror(), 3)});

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   const auto reps = static_cast<std::size_t>(flags.getInt("reps", 3));
   const auto k = static_cast<std::size_t>(flags.getInt("k", 9));
-  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 42));
+  const std::uint64_t seed = flags.getUint64("seed", 42);
   flags.finish();
 
   const std::vector<std::string> graphs{"1e4",     "3elt",     "4elt",
@@ -43,7 +43,8 @@ int main(int argc, char** argv) {
         core::AdaptiveOptions options;
         options.k = k;
         options.seed = seed + rep * 1'000;
-        cuts.add(bench::runAdaptive(spec.make(genRng), code, options).cutRatio);
+        cuts.add(
+            bench::runAdaptive(spec.make(genRng), code, options).finalCutRatio);
       }
       row.push_back(util::fmtPm(cuts.mean(), cuts.stderror(), 3));
       csv.addRow({name, code, util::fmt(cuts.mean(), 4),

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   const auto reps = static_cast<std::size_t>(flags.getInt("reps", 3));
   const auto k = static_cast<std::size_t>(flags.getInt("k", 9));
-  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 42));
+  const std::uint64_t seed = flags.getUint64("seed", 42);
   const auto maxVertices =
       static_cast<std::size_t>(flags.getInt("max-vertices", 300'000));
   flags.finish();
@@ -58,9 +58,9 @@ int main(int argc, char** argv) {
         core::AdaptiveOptions options;
         options.k = k;
         options.seed = seed + rep * 1'000 + n;
-        const bench::AdaptiveRunResult run =
+        const api::RunReport run =
             bench::runAdaptive(std::move(g), "HSH", options);
-        cuts.add(run.cutRatio);
+        cuts.add(run.finalCutRatio);
         convergence.add(static_cast<double>(run.convergenceIteration));
       }
       table.addRow({family, std::to_string(n),

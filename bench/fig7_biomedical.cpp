@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
   const auto printEvery = static_cast<std::size_t>(flags.getInt("print-every", 25));
   const auto maxSupersteps =
       static_cast<std::size_t>(flags.getInt("max-supersteps", 1'000));
-  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 42));
+  const std::uint64_t seed = flags.getUint64("seed", 42);
   flags.finish();
 
   util::WallTimer wall;

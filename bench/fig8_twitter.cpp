@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
   const double windowHours = flags.getDouble("window-hours", 6.0);
   const auto workers = static_cast<std::size_t>(flags.getInt("workers", 9));
   const auto stepsPerBucket = static_cast<std::size_t>(flags.getInt("steps", 3));
-  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 42));
+  const std::uint64_t seed = flags.getUint64("seed", 42);
   flags.finish();
 
   // The measured day plus a warm-up day: the paper's system had run

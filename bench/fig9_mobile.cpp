@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   const auto batchesPerWeek =
       static_cast<std::size_t>(flags.getInt("batches", 5));
   const auto roundsPerBatch = static_cast<std::size_t>(flags.getInt("rounds", 3));
-  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 42));
+  const std::uint64_t seed = flags.getUint64("seed", 42);
   flags.finish();
 
   gen::CdrStreamParams params;

@@ -12,8 +12,8 @@
 #include "core/quota_ledger.h"
 #include "gen/mesh3d.h"
 #include "gen/powerlaw_cluster.h"
+#include "api/partitioner_registry.h"
 #include "graph/csr.h"
-#include "partition/partitioner.h"
 #include "util/rng.h"
 
 namespace {
@@ -21,9 +21,7 @@ namespace {
 using namespace xdgp;
 
 metrics::Assignment hashAssign(const graph::DynamicGraph& g, std::size_t k) {
-  util::Rng rng(1);
-  return partition::makePartitioner("HSH")->partition(graph::CsrGraph::fromGraph(g),
-                                                      k, 1.1, rng);
+  return api::initialAssignment(g, "HSH", k, 1.1, 1);
 }
 
 void BM_AdaptiveIterationMesh(benchmark::State& state) {
@@ -131,7 +129,7 @@ BENCHMARK(BM_HolmeKimGenerate)->Arg(10'000)->Unit(benchmark::kMillisecond);
 
 void BM_LdgStreamingPass(benchmark::State& state) {
   const graph::CsrGraph csr = graph::CsrGraph::fromGraph(gen::mesh3d(24, 24, 24));
-  const auto ldg = partition::makePartitioner("DGR");
+  const auto ldg = api::PartitionerRegistry::instance().create("DGR");
   util::Rng rng(5);
   for (auto _ : state) {
     benchmark::DoNotOptimize(ldg->partition(csr, 9, 1.1, rng));

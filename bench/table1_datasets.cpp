@@ -16,7 +16,7 @@ using namespace xdgp;
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   const bool full = flags.getBool("full", false);
-  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 42));
+  const std::uint64_t seed = flags.getUint64("seed", 42);
   flags.finish();
 
   std::cout << "Table 1: Summary of the datasets employed in this work\n"

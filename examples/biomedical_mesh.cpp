@@ -7,10 +7,9 @@
 
 #include <iostream>
 
+#include "api/partitioner_registry.h"
 #include "apps/cardiac.h"
 #include "gen/mesh3d.h"
-#include "graph/csr.h"
-#include "partition/partitioner.h"
 #include "pregel/engine.h"
 #include "util/table.h"
 
@@ -28,12 +27,9 @@ int main() {
   pregel::EngineOptions options;
   options.numWorkers = 9;
   options.adaptive = true;
-  util::Rng rng(42);
   pregel::Engine<apps::CardiacProgram> engine(
-      mesh,
-      partition::makePartitioner("HSH")->partition(graph::CsrGraph::fromGraph(mesh),
-                                                   9, 1.1, rng),
-      options, program);
+      mesh, api::initialAssignment(mesh, "HSH", 9, 1.1, /*seed=*/42), options,
+      program);
 
   const double t0 = engine.runSuperstep().modeledTime;  // hash baseline
 

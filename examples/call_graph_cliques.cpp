@@ -7,10 +7,9 @@
 #include <iostream>
 #include <map>
 
+#include "api/partitioner_registry.h"
 #include "apps/max_clique.h"
 #include "gen/cdr_stream.h"
-#include "graph/csr.h"
-#include "partition/partitioner.h"
 #include "pregel/engine.h"
 #include "util/table.h"
 
@@ -30,12 +29,8 @@ int main() {
   pregel::EngineOptions options;
   options.numWorkers = 5;
   options.adaptive = true;
-  util::Rng rng(1);
   pregel::Engine<apps::MaxCliqueProgram> engine(
-      base,
-      partition::makePartitioner("HSH")->partition(graph::CsrGraph::fromGraph(base),
-                                                   5, 1.1, rng),
-      options);
+      base, api::initialAssignment(base, "HSH", 5, 1.1, /*seed=*/1), options);
 
   util::TablePrinter table({"week", "subscribers", "ties", "max clique",
                             "clique-size histogram (size:count)", "cut ratio"});

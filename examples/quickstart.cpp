@@ -1,63 +1,65 @@
 // Quickstart: partition a graph, let the adaptive algorithm improve it, and
-// watch it absorb a topology change — the library's core loop in ~60 lines.
+// watch it absorb a topology change — the library's core loop in ~50 lines,
+// driven entirely through the api::Pipeline front door.
 //
 //   build/examples/quickstart
 
 #include <iostream>
 
-#include "core/adaptive_engine.h"
+#include "api/pipeline.h"
 #include "gen/forest_fire.h"
 #include "gen/mesh3d.h"
-#include "graph/csr.h"
-#include "partition/partitioner.h"
 #include "util/table.h"
 
 int main() {
   using namespace xdgp;
 
-  // 1) A graph: a 3-D finite-element mesh (any DynamicGraph works).
+  // 1) A graph: a 3-D finite-element mesh (any DynamicGraph works; edge-list
+  //    files and Table-1 datasets come in via Pipeline::fromEdgeList /
+  //    ::fromDataset).
   graph::DynamicGraph mesh = gen::mesh3d(20, 20, 20);
   std::cout << "graph: " << mesh.numVertices() << " vertices, " << mesh.numEdges()
             << " edges\n";
 
-  // 2) An initial partitioning: hash, the cheap default every large-scale
-  //    system starts with (and the one with the worst cut).
+  // 2) The pipeline: hash initial partitioning (the cheap default every
+  //    large-scale system starts with — and the one with the worst cut),
+  //    then the paper's §2 adaptive algorithm. start() hands back a live
+  //    Session instead of running to completion, because step 4 will keep
+  //    mutating the graph.
   const std::size_t k = 9;
-  util::Rng rng(42);
-  metrics::Assignment initial = partition::makePartitioner("HSH")->partition(
-      graph::CsrGraph::fromGraph(mesh), k, /*capacityFactor=*/1.1, rng);
+  api::Session session = api::Pipeline::fromGraph(std::move(mesh))
+                             .initial("HSH")
+                             .k(k)
+                             .seed(42)
+                             .adaptive()
+                             .start();
 
-  // 3) The adaptive engine: iterative greedy vertex migration with capacity
-  //    quotas and willingness s = 0.5 (the paper's §2 algorithm).
-  core::AdaptiveOptions options;
-  options.k = k;
-  core::AdaptiveEngine engine(std::move(mesh), std::move(initial), options);
-
-  std::cout << "initial cut ratio:   " << util::fmt(engine.cutRatio(), 3)
+  std::cout << "initial cut ratio:   " << util::fmt(session.cutRatio(), 3)
             << "  (fraction of edges crossing partitions)\n";
 
-  const core::ConvergenceResult result = engine.runToConvergence();
-  std::cout << "converged cut ratio: " << util::fmt(engine.cutRatio(), 3)
+  const core::ConvergenceResult result = session.runToConvergence();
+  std::cout << "converged cut ratio: " << util::fmt(session.cutRatio(), 3)
             << "  after " << result.convergenceIteration << " iterations\n";
 
-  // 4) Dynamic graphs are the point: inject +10% vertices in one burst (a
+  // 3) Dynamic graphs are the point: inject +10% vertices in one burst (a
   //    forest-fire growth) and let the partitioning adapt.
-  graph::DynamicGraph grown = engine.graph();
+  graph::DynamicGraph grown = session.engine().graph();
   util::Rng fire(7);
   const auto events =
       gen::forestFireExtension(grown, grown.numVertices() / 10, {}, fire);
-  engine.applyUpdates(events);
-  engine.rescaleCapacity();
-  std::cout << "after +10% injection: " << util::fmt(engine.cutRatio(), 3) << "\n";
+  session.applyUpdates(events);
+  session.rescaleCapacity();
+  std::cout << "after +10% injection: " << util::fmt(session.cutRatio(), 3) << "\n";
 
-  engine.runToConvergence();
-  std::cout << "re-converged:         " << util::fmt(engine.cutRatio(), 3)
+  session.runToConvergence();
+  std::cout << "re-converged:         " << util::fmt(session.cutRatio(), 3)
             << "  (peak absorbed)\n";
 
-  // 5) Balance is maintained throughout: the capacity cap is 110% of the
-  //    balanced load.
-  std::cout << "partition loads:      ";
-  for (std::size_t i = 0; i < k; ++i) std::cout << engine.state().load(i) << ' ';
-  std::cout << "\n";
+  // 4) The structured report collects what the run did: cut before/after,
+  //    balance, convergence, wall time — the same object the CLI renders.
+  const api::RunReport report = session.report();
+  std::cout << "balance: imbalance " << util::fmt(report.finalBalance.imbalance, 3)
+            << " (capacity cap 110% of the balanced load), converged="
+            << (report.converged ? "yes" : "no") << "\n";
   return 0;
 }

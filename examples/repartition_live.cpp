@@ -7,12 +7,11 @@
 
 #include <iostream>
 
+#include "api/partitioner_registry.h"
 #include "apps/pagerank.h"
 #include "gen/forest_fire.h"
 #include "gen/mesh2d.h"
-#include "graph/csr.h"
 #include "graph/update_stream.h"
-#include "partition/partitioner.h"
 #include "pregel/engine.h"
 #include "util/table.h"
 
@@ -33,9 +32,8 @@ int main() {
   }
 
   const std::size_t k = 9;
-  util::Rng rng(1);
-  const metrics::Assignment initial = partition::makePartitioner("HSH")->partition(
-      graph::CsrGraph::fromGraph(base), k, 1.1, rng);
+  const metrics::Assignment initial =
+      api::initialAssignment(base, "HSH", k, 1.1, /*seed=*/1);
 
   pregel::EngineOptions staticOptions;
   staticOptions.numWorkers = k;

@@ -8,11 +8,10 @@
 #include <iostream>
 #include <vector>
 
+#include "api/partitioner_registry.h"
 #include "apps/tunkrank.h"
 #include "gen/tweet_stream.h"
-#include "graph/csr.h"
 #include "graph/update_stream.h"
-#include "partition/partitioner.h"
 #include "pregel/engine.h"
 #include "util/table.h"
 
@@ -35,12 +34,8 @@ int main() {
   pregel::EngineOptions options;
   options.numWorkers = 9;
   options.adaptive = true;
-  util::Rng rng(1);
   pregel::Engine<apps::TunkRankProgram> engine(
-      base,
-      partition::makePartitioner("HSH")->partition(graph::CsrGraph::fromGraph(base),
-                                                   9, 1.1, rng),
-      options);
+      base, api::initialAssignment(base, "HSH", 9, 1.1, /*seed=*/1), options);
 
   // Consume the stream in 30-minute buckets, a few supersteps per bucket —
   // the influence ranking follows the graph as it grows.

@@ -1,0 +1,47 @@
+# CTest smoke script: drive the xdgp_cli generate → partition → adapt
+# pipeline end-to-end, so the api::Pipeline facade behind every subcommand is
+# exercised on each CI run. Invoked by the example_cli_roundtrip test:
+#   cmake -DXDGP_CLI=<path> -DWORK_DIR=<scratch dir> -P cli_roundtrip.cmake
+
+if(NOT DEFINED XDGP_CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "cli_roundtrip.cmake needs -DXDGP_CLI=... and -DWORK_DIR=...")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_cli step)
+  execute_process(
+    COMMAND ${XDGP_CLI} ${ARGN}
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE status
+    OUTPUT_VARIABLE output
+    ERROR_VARIABLE output)
+  message(STATUS "${step}:\n${output}")
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "${step} failed with exit code ${status}")
+  endif()
+endfunction()
+
+run_cli("generate" --cmd=generate --dataset=3elt --out=graph.el)
+run_cli("partition" --cmd=partition --graph=graph.el --strategy=DGR --k=9
+        --out=initial.part)
+run_cli("adapt" --cmd=adapt --graph=graph.el --assignment=initial.part --s=0.5
+        --out=final.part)
+
+foreach(artifact graph.el initial.part final.part)
+  if(NOT EXISTS "${WORK_DIR}/${artifact}")
+    message(FATAL_ERROR "round trip left no ${artifact}")
+  endif()
+endforeach()
+
+# Regression guard for the k-mismatch satellite: a --k that disagrees with
+# the assignment file must fail loudly, not be silently overwritten.
+execute_process(
+  COMMAND ${XDGP_CLI} --cmd=adapt --graph=graph.el --assignment=initial.part
+          --k=5 --out=should_not_exist.part
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE status
+  OUTPUT_QUIET ERROR_QUIET)
+if(status EQUAL 0)
+  message(FATAL_ERROR "k mismatch against the assignment file was not rejected")
+endif()

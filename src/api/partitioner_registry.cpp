@@ -1,0 +1,125 @@
+#include "api/partitioner_registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "partition/hash_partitioner.h"
+#include "partition/ldg_partitioner.h"
+#include "partition/mnn_partitioner.h"
+#include "partition/multilevel_partitioner.h"
+#include "partition/random_partitioner.h"
+#include "partition/region_growing_partitioner.h"
+
+namespace xdgp::api {
+
+namespace {
+
+template <typename Strategy>
+std::function<std::unique_ptr<partition::InitialPartitioner>()> factoryOf() {
+  return [] { return std::make_unique<Strategy>(); };
+}
+
+}  // namespace
+
+PartitionerRegistry::PartitionerRegistry() {
+  add({.code = "HSH",
+       .summary = "hash H(v) mod k — the uncoordinated industry default, "
+                  "statistically balanced, worst cut",
+       .respectsCapacity = false,
+       .deterministicGivenSeed = true,
+       .make = factoryOf<partition::HashPartitioner>()});
+  add({.code = "RND",
+       .summary = "random permutation dealt round-robin — balanced to one "
+                  "vertex, locality-blind",
+       .respectsCapacity = true,
+       .deterministicGivenSeed = true,
+       .make = factoryOf<partition::RandomPartitioner>()});
+  add({.code = "DGR",
+       .summary = "linear deterministic greedy stream (Stanton & Kliot) — "
+                  "neighbour affinity damped by load",
+       .respectsCapacity = true,
+       .deterministicGivenSeed = true,
+       .make = factoryOf<partition::LdgPartitioner>()});
+  add({.code = "MNN",
+       .summary = "minimum-number-of-neighbours stream (Grace) — scatters "
+                  "neighbourhoods, a hard starting point",
+       .respectsCapacity = true,
+       .deterministicGivenSeed = true,
+       .make = factoryOf<partition::MnnPartitioner>()});
+  add({.code = "METIS",
+       .summary = "multilevel coarsen + region-grow + FM refine — the "
+                  "centralised METIS-family reference",
+       .respectsCapacity = true,
+       .deterministicGivenSeed = true,
+       .make = factoryOf<partition::MultilevelPartitioner>()});
+  add({.code = "RGR",
+       .summary = "balanced BFS region growing — cheap locality, "
+                  "statistical balance only",
+       .respectsCapacity = false,
+       .deterministicGivenSeed = true,
+       .make = factoryOf<partition::RegionGrowingPartitioner>()});
+}
+
+PartitionerRegistry& PartitionerRegistry::instance() {
+  static PartitionerRegistry registry;
+  return registry;
+}
+
+void PartitionerRegistry::add(StrategyInfo info) {
+  if (info.code.empty() || !info.make) {
+    throw std::invalid_argument(
+        "PartitionerRegistry: a strategy needs a code and a factory");
+  }
+  const auto [it, inserted] = strategies_.emplace(info.code, std::move(info));
+  if (!inserted) {
+    throw std::invalid_argument("PartitionerRegistry: duplicate strategy code " +
+                                it->first);
+  }
+}
+
+bool PartitionerRegistry::has(const std::string& code) const {
+  return strategies_.count(code) > 0;
+}
+
+const StrategyInfo& PartitionerRegistry::info(const std::string& code) const {
+  const auto it = strategies_.find(code);
+  if (it == strategies_.end()) {
+    std::string known;
+    for (const auto& [key, entry] : strategies_) {
+      known += (known.empty() ? "" : ", ") + key;
+    }
+    throw std::invalid_argument("unknown partitioning strategy '" + code +
+                                "' (known: " + known + ")");
+  }
+  return it->second;
+}
+
+std::unique_ptr<partition::InitialPartitioner> PartitionerRegistry::create(
+    const std::string& code) const {
+  return info(code).make();
+}
+
+std::vector<std::string> PartitionerRegistry::codes() const {
+  std::vector<std::string> result;
+  result.reserve(strategies_.size());
+  for (const auto& [code, entry] : strategies_) result.push_back(code);
+  return result;
+}
+
+std::vector<const StrategyInfo*> PartitionerRegistry::infos() const {
+  std::vector<const StrategyInfo*> result;
+  result.reserve(strategies_.size());
+  for (const auto& [code, entry] : strategies_) result.push_back(&entry);
+  return result;
+}
+
+metrics::Assignment initialAssignment(const graph::DynamicGraph& g,
+                                      const std::string& code, std::size_t k,
+                                      double capacityFactor, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const graph::CsrGraph csr = graph::CsrGraph::fromGraph(g);
+  return PartitionerRegistry::instance().create(code)->partition(
+      partition::PartitionRequest{csr, k, capacityFactor, rng});
+}
+
+}  // namespace xdgp::api

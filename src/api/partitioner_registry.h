@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "partition/partitioner.h"
+
+namespace xdgp::api {
+
+/// Catalog entry for one initial-partitioning strategy: the metadata every
+/// front end (CLI help, bench sweeps, the registry-driven property tests)
+/// reads, plus the factory that instantiates it.
+struct StrategyInfo {
+  std::string code;     ///< stable lookup key, e.g. "DGR", "METIS"
+  std::string summary;  ///< one-line human description for --help output
+  /// True when the strategy guarantees makeCapacities(n, k, capacityFactor)
+  /// is respected; false for statistically-balanced strategies (HSH, RGR).
+  /// The api_test property suite enforces whichever is promised.
+  bool respectsCapacity = false;
+  /// True when the same seed yields the identical assignment (all current
+  /// strategies; a future truly-external partitioner may opt out, which
+  /// exempts it from the determinism property test).
+  bool deterministicGivenSeed = true;
+  std::function<std::unique_ptr<partition::InitialPartitioner>()> make;
+};
+
+/// The process-wide catalog of initial-partitioning strategies.
+///
+/// Built-ins (HSH, RND, DGR, MNN, METIS, RGR) register on first access.
+/// Extensions self-register at static-initialisation time through
+/// StrategyRegistration below — no switch statement anywhere learns the new
+/// code, and the registry-driven test suite picks the newcomer up for free.
+/// (Built-ins live in the registry's own translation unit rather than in
+/// each partitioner's: a static library drops unreferenced TUs, which would
+/// silently drop their registrations too.)
+class PartitionerRegistry {
+ public:
+  static PartitionerRegistry& instance();
+
+  /// Adds a strategy; throws std::invalid_argument on duplicate codes or a
+  /// missing factory.
+  void add(StrategyInfo info);
+
+  [[nodiscard]] bool has(const std::string& code) const;
+
+  /// Metadata lookup; throws std::invalid_argument naming the known codes
+  /// when `code` is not registered (typos fail with the menu in hand).
+  [[nodiscard]] const StrategyInfo& info(const std::string& code) const;
+
+  /// Instantiates the strategy behind `code` (throws like info()).
+  [[nodiscard]] std::unique_ptr<partition::InitialPartitioner> create(
+      const std::string& code) const;
+
+  /// All registered codes, sorted.
+  [[nodiscard]] std::vector<std::string> codes() const;
+
+  /// All entries, sorted by code (stable pointers into the registry).
+  [[nodiscard]] std::vector<const StrategyInfo*> infos() const;
+
+ private:
+  PartitionerRegistry();
+
+  std::map<std::string, StrategyInfo> strategies_;
+};
+
+/// Static-initialisation hook for self-registering strategies:
+///   namespace { const api::StrategyRegistration reg{{.code = "XYZ", ...}}; }
+struct StrategyRegistration {
+  explicit StrategyRegistration(StrategyInfo info) {
+    PartitionerRegistry::instance().add(std::move(info));
+  }
+};
+
+/// One-call initial assignment over a dynamic graph, registry-routed — the
+/// shared replacement for the makePartitioner wiring the examples and bench
+/// harnesses used to duplicate.
+[[nodiscard]] metrics::Assignment initialAssignment(const graph::DynamicGraph& g,
+                                                    const std::string& code,
+                                                    std::size_t k,
+                                                    double capacityFactor,
+                                                    std::uint64_t seed);
+
+}  // namespace xdgp::api

@@ -1,0 +1,284 @@
+#include "api/pipeline.h"
+
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "api/partitioner_registry.h"
+#include "gen/dataset_catalog.h"
+#include "graph/csr.h"
+#include "graph/io.h"
+#include "partition/assignment_io.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace xdgp::api {
+
+// ------------------------------------------------------------- RunReport
+
+void RunReport::renderText(std::ostream& out) const {
+  const auto balanceLine = [&](const metrics::BalanceReport& balance) {
+    out << "  imbalance: " << util::fmt(balance.imbalance, 3) << "  (max load "
+        << balance.maxLoad << ", min " << balance.minLoad << ")\n";
+  };
+  out << source << ": " << vertices << " vertices, " << edges << " edges, k=" << k
+      << "\n";
+  out << "initial (" << strategy << ", " << util::fmt(partitionSeconds, 2)
+      << "s):\n"
+      << "  cut ratio: " << util::fmt(initialCutRatio, 4) << "  ("
+      << initialCutEdges << " of " << edges << " edges)\n";
+  balanceLine(initialBalance);
+  if (!adapted) return;
+  out << "adapted (" << iterationsRun << " iterations, converged at "
+      << convergenceIteration << ", " << util::fmt(adaptSeconds, 2) << "s"
+      << (converged ? "" : ", NOT converged") << "):\n"
+      << "  cut ratio: " << util::fmt(finalCutRatio, 4) << "  (" << finalCutEdges
+      << " of " << edges << " edges)\n";
+  balanceLine(finalBalance);
+}
+
+const std::vector<std::string>& RunReport::csvHeader() {
+  static const std::vector<std::string> header{
+      "source",         "strategy",        "k",
+      "vertices",       "edges",           "initial_cut_ratio",
+      "final_cut_ratio", "initial_imbalance", "final_imbalance",
+      "iterations",     "convergence_iteration", "converged",
+      "load_s",         "partition_s",     "adapt_s"};
+  return header;
+}
+
+std::vector<std::string> RunReport::csvRow() const {
+  return {source,
+          strategy,
+          std::to_string(k),
+          std::to_string(vertices),
+          std::to_string(edges),
+          util::fmt(initialCutRatio, 4),
+          util::fmt(finalCutRatio, 4),
+          util::fmt(initialBalance.imbalance, 4),
+          util::fmt(finalBalance.imbalance, 4),
+          std::to_string(iterationsRun),
+          std::to_string(convergenceIteration),
+          converged ? "1" : "0",
+          util::fmt(loadSeconds, 4),
+          util::fmt(partitionSeconds, 4),
+          util::fmt(adaptSeconds, 4)};
+}
+
+// -------------------------------------------------------------- Pipeline
+
+Pipeline Pipeline::fromEdgeList(std::string path) {
+  Pipeline pipeline;
+  pipeline.source_ = Source::kEdgeList;
+  pipeline.sourcePath_ = std::move(path);
+  return pipeline;
+}
+
+Pipeline Pipeline::fromDataset(std::string name) {
+  Pipeline pipeline;
+  pipeline.source_ = Source::kDataset;
+  pipeline.sourcePath_ = std::move(name);
+  return pipeline;
+}
+
+Pipeline Pipeline::fromGraph(graph::DynamicGraph g) {
+  Pipeline pipeline;
+  pipeline.source_ = Source::kGraph;
+  pipeline.graph_ = std::move(g);
+  return pipeline;
+}
+
+Pipeline& Pipeline::initial(std::string strategyCode) {
+  strategy_ = std::move(strategyCode);
+  strategySet_ = true;
+  return *this;
+}
+
+Pipeline& Pipeline::initialFromFile(std::string path) {
+  assignmentPath_ = std::move(path);
+  return *this;
+}
+
+Pipeline& Pipeline::k(std::size_t partitions) {
+  k_ = partitions;
+  kSet_ = true;
+  return *this;
+}
+
+Pipeline& Pipeline::capacityFactor(double factor) {
+  capacityFactor_ = factor;
+  return *this;
+}
+
+Pipeline& Pipeline::seed(std::uint64_t value) {
+  seed_ = value;
+  return *this;
+}
+
+Pipeline& Pipeline::adaptive(core::AdaptiveOptions options) {
+  adaptive_ = options;
+  return *this;
+}
+
+Pipeline& Pipeline::maxIterations(std::size_t iterations) {
+  maxIterations_ = iterations;
+  return *this;
+}
+
+graph::DynamicGraph Pipeline::buildGraph() {
+  switch (source_) {
+    case Source::kEdgeList:
+      return graph::readEdgeList(sourcePath_);
+    case Source::kDataset: {
+      util::Rng rng(seed_);
+      return gen::datasetByName(sourcePath_).make(rng);
+    }
+    case Source::kGraph:
+      return std::move(graph_);
+  }
+  throw std::logic_error("Pipeline: unreachable source");
+}
+
+Pipeline::Prepared Pipeline::prepare() {
+  if (strategySet_ && !assignmentPath_.empty()) {
+    throw std::invalid_argument(
+        "Pipeline: initial(strategy) and initialFromFile(path) are mutually "
+        "exclusive");
+  }
+
+  Prepared prepared;
+  RunReport& report = prepared.report;
+  report.source = source_ == Source::kGraph ? "<in-memory>" : sourcePath_;
+
+  util::WallTimer loadTimer;
+  prepared.graph = buildGraph();
+  const graph::CsrGraph csr = graph::CsrGraph::fromGraph(prepared.graph);
+  report.vertices = prepared.graph.numVertices();
+  report.edges = prepared.graph.numEdges();
+  report.loadSeconds = loadTimer.seconds();
+
+  if (k_ == 0) throw std::invalid_argument("Pipeline: k must be positive");
+
+  util::WallTimer partitionTimer;
+  if (!assignmentPath_.empty()) {
+    partition::LoadedAssignment loaded = partition::readAssignment(assignmentPath_);
+    if (kSet_ && k_ != loaded.k) {
+      throw std::invalid_argument(
+          "Pipeline: requested k=" + std::to_string(k_) + " but assignment '" +
+          assignmentPath_ + "' was written with k=" + std::to_string(loaded.k) +
+          " — drop the explicit k or re-partition with the requested one");
+    }
+    if (loaded.k == 0) {
+      throw std::invalid_argument("Pipeline: assignment '" + assignmentPath_ +
+                                  "' declares k=0");
+    }
+    k_ = loaded.k;
+    prepared.initial = std::move(loaded.assignment);
+    prepared.initial.resize(prepared.graph.idBound(), graph::kNoPartition);
+    report.strategy = assignmentPath_;
+  } else {
+    util::Rng rng(seed_);
+    prepared.initial = PartitionerRegistry::instance().create(strategy_)->partition(
+        partition::PartitionRequest{csr, k_, capacityFactor_, rng});
+    report.strategy = strategy_;
+  }
+  report.k = k_;
+  report.partitionSeconds = partitionTimer.seconds();
+
+  report.initialCutEdges = metrics::cutEdges(csr, prepared.initial);
+  report.initialCutRatio = metrics::cutRatio(csr, prepared.initial);
+  report.initialBalance = metrics::balanceReport(prepared.initial, k_);
+  report.finalCutEdges = report.initialCutEdges;
+  report.finalCutRatio = report.initialCutRatio;
+  report.finalBalance = report.initialBalance;
+  return prepared;
+}
+
+core::AdaptiveOptions Pipeline::engineOptions() const {
+  core::AdaptiveOptions options = adaptive_.value_or(core::AdaptiveOptions{});
+  options.k = k_;
+  options.capacityFactor = capacityFactor_;
+  options.seed = seed_;
+  return options;
+}
+
+RunReport Pipeline::run() {
+  Prepared prepared = prepare();
+  RunReport report = std::move(prepared.report);
+  if (!adaptive_) {
+    report.assignment = std::move(prepared.initial);
+    return report;
+  }
+
+  core::AdaptiveOptions options = engineOptions();
+  options.recordSeries = false;  // run() reports aggregates, not the series
+  util::WallTimer adaptTimer;
+  core::AdaptiveEngine engine(std::move(prepared.graph), std::move(prepared.initial),
+                              options);
+  const core::ConvergenceResult result = engine.runToConvergence(maxIterations_);
+  report.adaptSeconds = adaptTimer.seconds();
+
+  report.adapted = true;
+  report.iterationsRun = result.iterationsRun;
+  report.convergenceIteration = result.convergenceIteration;
+  report.converged = result.converged;
+  report.assignment = engine.state().assignment();
+  report.finalCutEdges = engine.state().cutEdges();
+  report.finalCutRatio = engine.cutRatio();
+  report.finalBalance = metrics::balanceReport(report.assignment, k_);
+  return report;
+}
+
+Session Pipeline::start() {
+  Prepared prepared = prepare();
+  auto engine = std::make_unique<core::AdaptiveEngine>(
+      std::move(prepared.graph), std::move(prepared.initial), engineOptions());
+  return Session(std::move(engine), std::move(prepared.report), maxIterations_);
+}
+
+// --------------------------------------------------------------- Session
+
+Session::Session(std::unique_ptr<core::AdaptiveEngine> engine, RunReport base,
+                 std::size_t maxIterations)
+    : engine_(std::move(engine)), base_(std::move(base)),
+      maxIterations_(maxIterations) {}
+
+core::ConvergenceResult Session::runToConvergence() {
+  util::WallTimer timer;
+  const core::ConvergenceResult result = engine_->runToConvergence(maxIterations_);
+  adaptSeconds_ += timer.seconds();
+  iterationsRun_ += result.iterationsRun;
+  ranToConvergence_ = true;
+  converged_ = result.converged;
+  return result;
+}
+
+std::size_t Session::applyUpdates(const std::vector<graph::UpdateEvent>& events) {
+  // Structural churn re-arms the engine's convergence tracking; drop our
+  // cached verdict so report() reflects the engine again.
+  ranToConvergence_ = false;
+  converged_ = false;
+  return engine_->applyUpdates(events);
+}
+
+void Session::rescaleCapacity() { engine_->rescaleCapacity(); }
+
+double Session::cutRatio() const { return engine_->cutRatio(); }
+
+RunReport Session::report() const {
+  RunReport report = base_;
+  report.vertices = engine_->graph().numVertices();
+  report.edges = engine_->graph().numEdges();
+  report.adapted = ranToConvergence_ || engine_->iteration() > 0;
+  report.iterationsRun = iterationsRun_ > 0 ? iterationsRun_ : engine_->iteration();
+  report.convergenceIteration = engine_->lastActiveIteration();
+  report.converged = ranToConvergence_ ? converged_ : engine_->converged();
+  report.adaptSeconds = adaptSeconds_;
+  report.assignment = engine_->state().assignment();
+  report.finalCutEdges = engine_->state().cutEdges();
+  report.finalCutRatio = engine_->cutRatio();
+  report.finalBalance = metrics::balanceReport(report.assignment, report.k);
+  return report;
+}
+
+}  // namespace xdgp::api

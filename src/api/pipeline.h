@@ -1,0 +1,168 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/adaptive_engine.h"
+#include "graph/dynamic_graph.h"
+#include "metrics/balance.h"
+#include "metrics/cuts.h"
+
+namespace xdgp::api {
+
+/// Structured outcome of one Pipeline run: everything the CLI prints, the
+/// bench harnesses aggregate, and the tests assert, in one value.
+struct RunReport {
+  std::string source;    ///< edge-list path, dataset name, or "<in-memory>"
+  std::string strategy;  ///< registry code, or the loaded assignment path
+  std::size_t k = 0;
+  std::size_t vertices = 0;
+  std::size_t edges = 0;
+
+  double initialCutRatio = 0.0;
+  std::size_t initialCutEdges = 0;
+  metrics::BalanceReport initialBalance;
+
+  double finalCutRatio = 0.0;
+  std::size_t finalCutEdges = 0;
+  metrics::BalanceReport finalBalance;
+
+  bool adapted = false;  ///< false for partition-only runs
+  std::size_t iterationsRun = 0;
+  std::size_t convergenceIteration = 0;
+  bool converged = true;  ///< partition-only runs count as converged
+
+  double loadSeconds = 0.0;       ///< graph read/generate + CSR snapshot
+  double partitionSeconds = 0.0;  ///< initial strategy (or assignment load)
+  double adaptSeconds = 0.0;
+
+  metrics::Assignment assignment;  ///< final per-vertex assignment
+
+  /// Human rendering (the CLI's output format).
+  void renderText(std::ostream& out) const;
+
+  /// CSV rendering, aligned with csvHeader().
+  [[nodiscard]] static const std::vector<std::string>& csvHeader();
+  [[nodiscard]] std::vector<std::string> csvRow() const;
+};
+
+class Session;
+
+/// Fluent front door to the graph → initial partition → adaptive → metrics
+/// pipeline every entry point used to hand-wire:
+///
+///   RunReport report = Pipeline::fromEdgeList("web.el")
+///                          .initial("DGR").k(9).seed(7)
+///                          .adaptive().run();
+///
+/// run() executes once and returns the report; start() instead hands back a
+/// live Session wrapping the adaptive engine, for callers that stream
+/// updates. A Pipeline is single-use: run()/start() consume it.
+class Pipeline {
+ public:
+  /// Graph sources (exactly one per pipeline).
+  [[nodiscard]] static Pipeline fromEdgeList(std::string path);
+  [[nodiscard]] static Pipeline fromDataset(std::string name);  ///< Table-1 name
+  [[nodiscard]] static Pipeline fromGraph(graph::DynamicGraph g);
+
+  /// Initial partitioning by registry strategy code (default "HSH").
+  Pipeline& initial(std::string strategyCode);
+
+  /// Initial partitioning from a saved assignment file; k comes from the
+  /// file's header. Combining this with an explicit k() that disagrees with
+  /// the file is a hard error at run time — never silently overridden.
+  Pipeline& initialFromFile(std::string path);
+
+  Pipeline& k(std::size_t partitions);
+  Pipeline& capacityFactor(double factor);
+  Pipeline& seed(std::uint64_t value);
+
+  /// Enables the adaptive stage. The options' k / capacityFactor / seed
+  /// fields are overwritten from the pipeline (single source of truth);
+  /// everything else (willingness, window, threads, balance mode, ...) is
+  /// taken as given.
+  Pipeline& adaptive(core::AdaptiveOptions options = {});
+  Pipeline& maxIterations(std::size_t iterations);
+
+  /// Executes the configured stages and returns the report.
+  [[nodiscard]] RunReport run();
+
+  /// Builds the graph, initial partition, and adaptive engine, but runs no
+  /// iterations: the caller drives the Session (streaming workloads).
+  [[nodiscard]] Session start();
+
+ private:
+  Pipeline() = default;
+
+  struct Prepared {
+    graph::DynamicGraph graph;
+    metrics::Assignment initial;
+    RunReport report;
+  };
+
+  [[nodiscard]] graph::DynamicGraph buildGraph();
+  [[nodiscard]] Prepared prepare();
+  [[nodiscard]] core::AdaptiveOptions engineOptions() const;
+
+  enum class Source { kEdgeList, kDataset, kGraph };
+  Source source_ = Source::kGraph;
+  std::string sourcePath_;
+  graph::DynamicGraph graph_;
+
+  std::string strategy_ = "HSH";
+  bool strategySet_ = false;
+  std::string assignmentPath_;
+
+  std::size_t k_ = 9;
+  bool kSet_ = false;
+  double capacityFactor_ = 1.1;
+  std::uint64_t seed_ = 42;
+
+  std::optional<core::AdaptiveOptions> adaptive_;
+  std::size_t maxIterations_ = 20'000;
+
+  friend class Session;
+};
+
+/// Live handle over a started pipeline: the adaptive engine plus the report
+/// bookkeeping, for callers that interleave convergence runs with updates.
+class Session {
+ public:
+  /// Runs until convergence (or the pipeline's maxIterations).
+  core::ConvergenceResult runToConvergence();
+
+  /// Forwards to the engine, re-arming convergence tracking.
+  std::size_t applyUpdates(const std::vector<graph::UpdateEvent>& events);
+
+  /// Re-provisions capacities after growth (see AdaptiveEngine).
+  void rescaleCapacity();
+
+  [[nodiscard]] double cutRatio() const;
+  [[nodiscard]] core::AdaptiveEngine& engine() noexcept { return *engine_; }
+  [[nodiscard]] const core::AdaptiveEngine& engine() const noexcept {
+    return *engine_;
+  }
+
+  /// Report snapshot: initial-stage fields are frozen from start() time,
+  /// final-stage fields reflect the engine's current state.
+  [[nodiscard]] RunReport report() const;
+
+ private:
+  friend class Pipeline;
+  Session(std::unique_ptr<core::AdaptiveEngine> engine, RunReport base,
+          std::size_t maxIterations);
+
+  std::unique_ptr<core::AdaptiveEngine> engine_;
+  RunReport base_;
+  std::size_t maxIterations_;
+  double adaptSeconds_ = 0.0;
+  std::size_t iterationsRun_ = 0;
+  bool ranToConvergence_ = false;
+  bool converged_ = false;
+};
+
+}  // namespace xdgp::api

@@ -6,11 +6,11 @@ graph::PartitionId HashPartitioner::assign(graph::VertexId v, std::size_t k) noe
   return static_cast<graph::PartitionId>(util::Rng::splitmix64(v) % k);
 }
 
-Assignment HashPartitioner::partition(const graph::CsrGraph& g, std::size_t k,
-                                      double /*capacityFactor*/,
-                                      util::Rng& /*rng*/) const {
+Assignment HashPartitioner::partition(const PartitionRequest& request) const {
+  const graph::CsrGraph& g = request.csr;
   Assignment assignment(g.idBound(), graph::kNoPartition);
-  g.forEachVertex([&](graph::VertexId v) { assignment[v] = assign(v, k); });
+  g.forEachVertex(
+      [&](graph::VertexId v) { assignment[v] = assign(v, request.k); });
   return assignment;
 }
 

@@ -9,11 +9,11 @@ namespace xdgp::partition {
 /// needs no lookup table, scatters uniformly... and cuts many edges.
 class HashPartitioner final : public InitialPartitioner {
  public:
+  using InitialPartitioner::partition;
+
   [[nodiscard]] std::string name() const override { return "HSH"; }
 
-  [[nodiscard]] Assignment partition(const graph::CsrGraph& g, std::size_t k,
-                                     double capacityFactor,
-                                     util::Rng& rng) const override;
+  [[nodiscard]] Assignment partition(const PartitionRequest& request) const override;
 
   /// The stateless per-vertex rule, reused by the Pregel loader.
   [[nodiscard]] static graph::PartitionId assign(graph::VertexId v,

@@ -16,11 +16,11 @@ namespace xdgp::partition {
 /// which is what its adaptive algorithm avoids.
 class LdgPartitioner final : public InitialPartitioner {
  public:
+  using InitialPartitioner::partition;
+
   [[nodiscard]] std::string name() const override { return "DGR"; }
 
-  [[nodiscard]] Assignment partition(const graph::CsrGraph& g, std::size_t k,
-                                     double capacityFactor,
-                                     util::Rng& rng) const override;
+  [[nodiscard]] Assignment partition(const PartitionRequest& request) const override;
 };
 
 }  // namespace xdgp::partition

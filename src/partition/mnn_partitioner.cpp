@@ -2,11 +2,11 @@
 
 namespace xdgp::partition {
 
-Assignment MnnPartitioner::partition(const graph::CsrGraph& g, std::size_t k,
-                                     double capacityFactor,
-                                     util::Rng& /*rng*/) const {
+Assignment MnnPartitioner::partition(const PartitionRequest& request) const {
+  const graph::CsrGraph& g = request.csr;
+  const std::size_t k = request.k;
   const std::vector<std::size_t> capacities =
-      makeCapacities(g.numVertices(), k, capacityFactor);
+      makeCapacities(g.numVertices(), k, request.capacityFactor);
   std::vector<std::size_t> loads(k, 0);
   std::vector<std::size_t> neighborCount(k, 0);
   Assignment assignment(g.idBound(), graph::kNoPartition);

@@ -16,11 +16,11 @@ namespace xdgp::partition {
 /// why it is a useful hard starting point for the adaptive algorithm.
 class MnnPartitioner final : public InitialPartitioner {
  public:
+  using InitialPartitioner::partition;
+
   [[nodiscard]] std::string name() const override { return "MNN"; }
 
-  [[nodiscard]] Assignment partition(const graph::CsrGraph& g, std::size_t k,
-                                     double capacityFactor,
-                                     util::Rng& rng) const override;
+  [[nodiscard]] Assignment partition(const PartitionRequest& request) const override;
 };
 
 }  // namespace xdgp::partition

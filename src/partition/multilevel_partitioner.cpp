@@ -9,9 +9,11 @@
 
 namespace xdgp::partition {
 
-Assignment MultilevelPartitioner::partition(const graph::CsrGraph& g, std::size_t k,
-                                            double capacityFactor,
-                                            util::Rng& rng) const {
+Assignment MultilevelPartitioner::partition(const PartitionRequest& request) const {
+  const graph::CsrGraph& g = request.csr;
+  const std::size_t k = request.k;
+  const double capacityFactor = request.capacityFactor;
+  util::Rng& rng = request.rng;
   Assignment result(g.idBound(), graph::kNoPartition);
   if (k == 0 || g.numVertices() == 0) return result;
 

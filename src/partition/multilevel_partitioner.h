@@ -28,11 +28,11 @@ class MultilevelPartitioner final : public InitialPartitioner {
   MultilevelPartitioner() = default;
   explicit MultilevelPartitioner(Options options) : options_(options) {}
 
-  [[nodiscard]] std::string name() const override { return "METIS-like"; }
+  using InitialPartitioner::partition;
 
-  [[nodiscard]] Assignment partition(const graph::CsrGraph& g, std::size_t k,
-                                     double capacityFactor,
-                                     util::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "METIS"; }
+
+  [[nodiscard]] Assignment partition(const PartitionRequest& request) const override;
 
  private:
   Options options_;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,27 +20,47 @@ using metrics::Assignment;
 [[nodiscard]] std::vector<std::size_t> makeCapacities(std::size_t n, std::size_t k,
                                                       double capacityFactor);
 
+/// Everything an initial-partitioning strategy needs for one run, bundled so
+/// future knobs (balance mode, locality hints, weight vectors) extend this
+/// struct instead of rippling through every implementation's signature.
+/// The references stay borrowed: a request is a call context, not a value.
+struct PartitionRequest {
+  const graph::CsrGraph& csr;  ///< load-time snapshot being partitioned
+  std::size_t k = 9;           ///< number of partitions
+  double capacityFactor = 1.1; ///< C(i) headroom over the balanced load
+  util::Rng& rng;              ///< seeded stream for stochastic strategies
+};
+
 /// Strategy interface for the paper's §4.2.1 initial partitioning step:
 /// assigns every alive vertex of a loaded graph to one of k partitions.
 ///
 /// Implementations must return an assignment that (a) covers every alive
-/// vertex and (b) uses only partitions [0, k). All strategies except HSH
-/// also respect makeCapacities(n, k, capacityFactor); HSH is the paper's
-/// uncoordinated baseline whose balance is only statistical. The shared
-/// partitioner test suite enforces these properties.
+/// vertex and (b) uses only partitions [0, k). Strategies whose registry
+/// metadata promises `respectsCapacity` must also respect
+/// makeCapacities(n, k, capacityFactor); HSH (the paper's uncoordinated
+/// baseline) and RGR only balance statistically. The registry-driven
+/// api_test suite enforces these properties for every registered strategy.
 class InitialPartitioner {
  public:
   virtual ~InitialPartitioner() = default;
 
   [[nodiscard]] virtual std::string name() const = 0;
 
-  [[nodiscard]] virtual Assignment partition(const graph::CsrGraph& g, std::size_t k,
-                                             double capacityFactor,
-                                             util::Rng& rng) const = 0;
+  [[nodiscard]] virtual Assignment partition(const PartitionRequest& request) const = 0;
+
+  /// Convenience wrapper building the request in place. Derived classes
+  /// re-expose it with `using InitialPartitioner::partition;`.
+  [[nodiscard]] Assignment partition(const graph::CsrGraph& g, std::size_t k,
+                                     double capacityFactor, util::Rng& rng) const {
+    return partition(PartitionRequest{g, k, capacityFactor, rng});
+  }
 };
 
 /// Factory for the four §4.2.1 strategies by Table-style code:
 /// "HSH", "RND", "DGR", "MNN". Throws std::invalid_argument otherwise.
+/// The full catalog (including METIS and RGR) lives in
+/// api::PartitionerRegistry; this low-level factory only knows the paper's
+/// figure strategies.
 [[nodiscard]] std::unique_ptr<InitialPartitioner> makePartitioner(
     const std::string& code);
 

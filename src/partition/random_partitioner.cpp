@@ -2,17 +2,16 @@
 
 namespace xdgp::partition {
 
-Assignment RandomPartitioner::partition(const graph::CsrGraph& g, std::size_t k,
-                                        double /*capacityFactor*/,
-                                        util::Rng& rng) const {
+Assignment RandomPartitioner::partition(const PartitionRequest& request) const {
+  const graph::CsrGraph& g = request.csr;
   std::vector<graph::VertexId> order;
   order.reserve(g.numVertices());
   g.forEachVertex([&](graph::VertexId v) { order.push_back(v); });
-  rng.shuffle(order);
+  request.rng.shuffle(order);
 
   Assignment assignment(g.idBound(), graph::kNoPartition);
   for (std::size_t i = 0; i < order.size(); ++i) {
-    assignment[order[i]] = static_cast<graph::PartitionId>(i % k);
+    assignment[order[i]] = static_cast<graph::PartitionId>(i % request.k);
   }
   return assignment;
 }

@@ -9,11 +9,11 @@ namespace xdgp::partition {
 /// k partitions, so loads differ by at most one vertex.
 class RandomPartitioner final : public InitialPartitioner {
  public:
+  using InitialPartitioner::partition;
+
   [[nodiscard]] std::string name() const override { return "RND"; }
 
-  [[nodiscard]] Assignment partition(const graph::CsrGraph& g, std::size_t k,
-                                     double capacityFactor,
-                                     util::Rng& rng) const override;
+  [[nodiscard]] Assignment partition(const PartitionRequest& request) const override;
 };
 
 }  // namespace xdgp::partition

@@ -1,0 +1,23 @@
+#include "partition/region_growing_partitioner.h"
+
+#include "partition/region_growing.h"
+#include "partition/weighted_graph.h"
+
+namespace xdgp::partition {
+
+Assignment RegionGrowingPartitioner::partition(const PartitionRequest& request) const {
+  const graph::CsrGraph& g = request.csr;
+  Assignment result(g.idBound(), graph::kNoPartition);
+  if (request.k == 0 || g.numVertices() == 0) return result;
+
+  std::vector<graph::VertexId> aliveIds;
+  const WeightedGraph lifted = WeightedGraph::fromCsr(g, aliveIds);
+  const std::vector<graph::PartitionId> dense =
+      growRegions(lifted, request.k, request.rng);
+  for (std::size_t i = 0; i < aliveIds.size(); ++i) {
+    result[aliveIds[i]] = dense[i];
+  }
+  return result;
+}
+
+}  // namespace xdgp::partition

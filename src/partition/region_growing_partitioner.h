@@ -1,0 +1,26 @@
+#pragma once
+
+#include "partition/partitioner.h"
+
+namespace xdgp::partition {
+
+/// RGR — balanced BFS region growing promoted to a standalone initial
+/// strategy: the same growRegions() kernel that seeds the coarsest level of
+/// the multilevel partitioner, applied directly to the load-time snapshot.
+///
+/// Cheap (one BFS sweep), locality-aware on meshes, and a useful middle
+/// ground between the streaming heuristics and the full multilevel stack.
+/// Loads track the balanced load approximately (the lightest region always
+/// grows next) but frontiers adopt whole neighbourhoods at a time, so the
+/// capacity bound is statistical, not guaranteed — the registry advertises
+/// it accordingly.
+class RegionGrowingPartitioner final : public InitialPartitioner {
+ public:
+  using InitialPartitioner::partition;
+
+  [[nodiscard]] std::string name() const override { return "RGR"; }
+
+  [[nodiscard]] Assignment partition(const PartitionRequest& request) const override;
+};
+
+}  // namespace xdgp::partition

@@ -28,6 +28,13 @@ std::int64_t Flags::getInt(const std::string& key, std::int64_t fallback) {
   return std::stoll(it->second.value);
 }
 
+std::uint64_t Flags::getUint64(const std::string& key, std::uint64_t fallback) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  it->second.consumed = true;
+  return std::stoull(it->second.value);
+}
+
 double Flags::getDouble(const std::string& key, double fallback) {
   const auto it = entries_.find(key);
   if (it == entries_.end()) return fallback;

@@ -18,6 +18,10 @@ class Flags {
   Flags(int argc, char** argv);
 
   [[nodiscard]] std::int64_t getInt(const std::string& key, std::int64_t fallback);
+  /// Full-range 64-bit accessor for seeds and other values that getInt's
+  /// signed parse would truncate or reject.
+  [[nodiscard]] std::uint64_t getUint64(const std::string& key,
+                                        std::uint64_t fallback);
   [[nodiscard]] double getDouble(const std::string& key, double fallback);
   [[nodiscard]] std::string getString(const std::string& key, std::string fallback);
   [[nodiscard]] bool getBool(const std::string& key, bool fallback);

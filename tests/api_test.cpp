@@ -1,0 +1,319 @@
+// The api layer: PartitionerRegistry metadata + the registry-driven shared
+// property suite (every registered strategy is tested for free), and the
+// Pipeline/Session builder with its RunReport.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+
+#include "api/partitioner_registry.h"
+#include "api/pipeline.h"
+#include "gen/mesh2d.h"
+#include "gen/mesh3d.h"
+#include "gen/powerlaw_cluster.h"
+#include "graph/io.h"
+#include "metrics/balance.h"
+#include "partition/assignment_io.h"
+#include "partition/partitioner.h"
+
+namespace xdgp::api {
+namespace {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+CsrGraph meshCsr() { return CsrGraph::fromGraph(gen::mesh3d(12, 12, 12)); }
+
+CsrGraph plawCsr() {
+  util::Rng rng(1);
+  return CsrGraph::fromGraph(gen::powerlawCluster(2'000, 8, 0.1, rng));
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(Registry, CatalogListsAllBuiltins) {
+  const auto codes = PartitionerRegistry::instance().codes();
+  EXPECT_GE(codes.size(), 6u);
+  for (const std::string expected : {"HSH", "RND", "DGR", "MNN", "METIS", "RGR"}) {
+    EXPECT_TRUE(PartitionerRegistry::instance().has(expected)) << expected;
+  }
+  EXPECT_TRUE(std::is_sorted(codes.begin(), codes.end()));
+}
+
+TEST(Registry, PaperFactoryCodesAreASubset) {
+  // The low-level makePartitioner factory and the registry must agree on the
+  // paper's four figure strategies.
+  for (const std::string& code : partition::initialStrategyCodes()) {
+    EXPECT_TRUE(PartitionerRegistry::instance().has(code)) << code;
+  }
+}
+
+TEST(Registry, StrategyNameMatchesCode) {
+  for (const StrategyInfo* info : PartitionerRegistry::instance().infos()) {
+    EXPECT_EQ(info->make()->name(), info->code);
+    EXPECT_FALSE(info->summary.empty()) << info->code;
+  }
+}
+
+TEST(Registry, UnknownCodeFailsWithTheMenu) {
+  try {
+    (void)PartitionerRegistry::instance().create("XYZ");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("XYZ"), std::string::npos);
+    EXPECT_NE(what.find("DGR"), std::string::npos);  // menu is in the message
+  }
+}
+
+TEST(Registry, RejectsDuplicatesAndIncompleteEntries) {
+  EXPECT_THROW(PartitionerRegistry::instance().add(
+                   {.code = "HSH",
+                    .summary = "dup",
+                    .make = [] { return PartitionerRegistry::instance().create("HSH"); }}),
+               std::invalid_argument);
+  EXPECT_THROW(PartitionerRegistry::instance().add(
+                   {.code = "NOFACTORY", .summary = "no factory", .make = {}}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------- registry-driven property suite
+//
+// Every registered strategy — present and future — must uphold the
+// InitialPartitioner contract. New registrations get these tests for free;
+// the promises (capacity, determinism) come from the strategy's metadata.
+
+class RegisteredStrategyTest : public testing::TestWithParam<std::string> {
+ protected:
+  [[nodiscard]] static const StrategyInfo& info() {
+    return PartitionerRegistry::instance().info(GetParam());
+  }
+};
+
+TEST_P(RegisteredStrategyTest, CoversEveryVertexWithValidPartition) {
+  const CsrGraph g = meshCsr();
+  util::Rng rng(7);
+  const auto assignment = info().make()->partition(
+      partition::PartitionRequest{g, 9, 1.1, rng});
+  ASSERT_EQ(assignment.size(), g.idBound());
+  g.forEachVertex([&](VertexId v) {
+    ASSERT_NE(assignment[v], graph::kNoPartition);
+    ASSERT_LT(assignment[v], 9u);
+  });
+}
+
+TEST_P(RegisteredStrategyTest, RespectsCapacityWherePromised) {
+  const CsrGraph g = plawCsr();
+  util::Rng rng(8);
+  const auto assignment = info().make()->partition(
+      partition::PartitionRequest{g, 9, 1.1, rng});
+  const auto caps = partition::makeCapacities(g.numVertices(), 9, 1.1);
+  if (info().respectsCapacity) {
+    EXPECT_TRUE(metrics::respectsCapacities(assignment, caps));
+  } else {
+    // Statistical balance only; still nothing pathological.
+    EXPECT_LT(metrics::balanceReport(assignment, 9).imbalance, 1.5);
+  }
+}
+
+TEST_P(RegisteredStrategyTest, UsesAllPartitions) {
+  const CsrGraph g = meshCsr();
+  util::Rng rng(9);
+  const auto assignment = info().make()->partition(
+      partition::PartitionRequest{g, 9, 1.1, rng});
+  for (const auto load : metrics::partitionLoads(assignment, 9)) {
+    EXPECT_GT(load, 0u);
+  }
+}
+
+TEST_P(RegisteredStrategyTest, SameSeedSameResultWhenPromised) {
+  if (!info().deterministicGivenSeed) GTEST_SKIP();
+  const CsrGraph g = plawCsr();
+  util::Rng rngA(42), rngB(42);
+  const auto p = info().make();
+  EXPECT_EQ(p->partition(partition::PartitionRequest{g, 9, 1.1, rngA}),
+            p->partition(partition::PartitionRequest{g, 9, 1.1, rngB}));
+}
+
+TEST_P(RegisteredStrategyTest, WorksForKEqualOne) {
+  const CsrGraph g = meshCsr();
+  util::Rng rng(10);
+  const auto assignment = info().make()->partition(
+      partition::PartitionRequest{g, 1, 1.1, rng});
+  EXPECT_EQ(metrics::cutRatio(g, assignment), 0.0);
+}
+
+TEST_P(RegisteredStrategyTest, HandlesGraphWithDeadIds) {
+  graph::DynamicGraph dyn = gen::mesh2d(8, 8);
+  dyn.removeVertex(10);
+  dyn.removeVertex(20);
+  const CsrGraph g = CsrGraph::fromGraph(dyn);
+  util::Rng rng(11);
+  const auto assignment = info().make()->partition(
+      partition::PartitionRequest{g, 4, 1.1, rng});
+  EXPECT_EQ(assignment[10], graph::kNoPartition);
+  std::size_t assigned = 0;
+  for (const auto p : assignment) assigned += p != graph::kNoPartition;
+  EXPECT_EQ(assigned, g.numVertices());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegistered, RegisteredStrategyTest,
+                         testing::ValuesIn(PartitionerRegistry::instance().codes()),
+                         [](const auto& param_info) { return param_info.param; });
+
+// ------------------------------------------------------------- pipeline
+
+TEST(Pipeline, PartitionOnlyRunReportsCoherently) {
+  RunReport report = Pipeline::fromGraph(gen::mesh2d(20, 20))
+                         .initial("DGR")
+                         .k(4)
+                         .seed(5)
+                         .run();
+  EXPECT_EQ(report.strategy, "DGR");
+  EXPECT_EQ(report.k, 4u);
+  EXPECT_EQ(report.vertices, 400u);
+  EXPECT_FALSE(report.adapted);
+  EXPECT_TRUE(report.converged);
+  EXPECT_DOUBLE_EQ(report.initialCutRatio, report.finalCutRatio);
+  EXPECT_EQ(report.assignment.size(), 400u);
+  const auto loads = metrics::partitionLoads(report.assignment, 4);
+  std::size_t total = 0;
+  for (const auto load : loads) total += load;
+  EXPECT_EQ(total, 400u);
+}
+
+TEST(Pipeline, AdaptiveRunImprovesHashCut) {
+  const RunReport report = Pipeline::fromGraph(gen::mesh2d(30, 30))
+                               .initial("HSH")
+                               .k(4)
+                               .seed(3)
+                               .adaptive()
+                               .run();
+  EXPECT_TRUE(report.adapted);
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(report.finalCutRatio, 0.6 * report.initialCutRatio);
+  EXPECT_GT(report.iterationsRun, 0u);
+  EXPECT_LE(report.finalBalance.imbalance, 1.1 + 1e-9);
+}
+
+TEST(Pipeline, CsvRowMatchesHeader) {
+  const RunReport report =
+      Pipeline::fromGraph(gen::mesh2d(10, 10)).initial("RND").k(3).run();
+  EXPECT_EQ(report.csvRow().size(), RunReport::csvHeader().size());
+}
+
+TEST(Pipeline, FromDatasetResolvesTable1Names) {
+  const RunReport report =
+      Pipeline::fromDataset("3elt").initial("RND").k(9).seed(1).run();
+  EXPECT_EQ(report.source, "3elt");
+  EXPECT_GT(report.vertices, 4'000u);
+  EXPECT_THROW((void)Pipeline::fromDataset("no-such-dataset").run(),
+               std::out_of_range);
+}
+
+TEST(Pipeline, RejectsZeroKBeforeRunningTheStrategy) {
+  // The check must fire before the strategy does arithmetic with k.
+  EXPECT_THROW(
+      (void)Pipeline::fromGraph(gen::mesh2d(5, 5)).initial("HSH").k(0).run(),
+      std::invalid_argument);
+}
+
+TEST(Pipeline, StrategyAndAssignmentFileAreMutuallyExclusive) {
+  EXPECT_THROW((void)Pipeline::fromGraph(gen::mesh2d(5, 5))
+                   .initial("HSH")
+                   .initialFromFile("whatever.part")
+                   .run(),
+               std::invalid_argument);
+}
+
+class PipelineAssignmentFile : public testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "api_test_seed.part";
+    const metrics::Assignment seedAssignment =
+        initialAssignment(graph(), "RND", 3, 1.1, 7);
+    partition::writeAssignment(seedAssignment, 3, path_);
+  }
+
+  [[nodiscard]] static graph::DynamicGraph graph() { return gen::mesh2d(12, 12); }
+
+  std::string path_;
+};
+
+TEST_F(PipelineAssignmentFile, AdoptsTheFilesK) {
+  const RunReport report =
+      Pipeline::fromGraph(graph()).initialFromFile(path_).run();
+  EXPECT_EQ(report.k, 3u);
+  EXPECT_EQ(report.strategy, path_);
+}
+
+TEST_F(PipelineAssignmentFile, ExplicitMatchingKIsAccepted) {
+  const RunReport report =
+      Pipeline::fromGraph(graph()).initialFromFile(path_).k(3).run();
+  EXPECT_EQ(report.k, 3u);
+}
+
+TEST_F(PipelineAssignmentFile, ExplicitMismatchedKIsAHardError) {
+  // The old CLI silently overwrote a user-supplied k with the file's value.
+  try {
+    (void)Pipeline::fromGraph(graph()).initialFromFile(path_).k(5).run();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("k=5"), std::string::npos);
+    EXPECT_NE(what.find("k=3"), std::string::npos);
+  }
+}
+
+// -------------------------------------------------------------- session
+
+TEST(Session, LiveRunMatchesReport) {
+  Session session = Pipeline::fromGraph(gen::mesh2d(20, 20))
+                        .initial("HSH")
+                        .k(4)
+                        .seed(2)
+                        .adaptive()
+                        .start();
+  const double before = session.cutRatio();
+  const core::ConvergenceResult result = session.runToConvergence();
+  EXPECT_TRUE(result.converged);
+  const RunReport report = session.report();
+  EXPECT_TRUE(report.adapted);
+  EXPECT_TRUE(report.converged);
+  EXPECT_DOUBLE_EQ(report.initialCutRatio, before);
+  EXPECT_DOUBLE_EQ(report.finalCutRatio, session.cutRatio());
+  EXPECT_LE(report.finalCutRatio, before);
+  EXPECT_EQ(report.iterationsRun, result.iterationsRun);
+}
+
+TEST(Session, ApplyUpdatesDropsTheCachedConvergenceVerdict) {
+  Session session = Pipeline::fromGraph(gen::mesh2d(15, 15))
+                        .initial("HSH")
+                        .k(3)
+                        .seed(4)
+                        .adaptive()
+                        .start();
+  (void)session.runToConvergence();
+  ASSERT_TRUE(session.report().converged);
+  // Structural churn re-arms the engine; the report must not keep claiming
+  // convergence from before the change.
+  const std::vector<graph::UpdateEvent> events{
+      graph::UpdateEvent::addVertex(225), graph::UpdateEvent::addEdge(225, 0)};
+  EXPECT_GT(session.applyUpdates(events), 0u);
+  EXPECT_FALSE(session.report().converged);
+}
+
+TEST(Session, ReportBeforeAnyIterationIsInitialOnly) {
+  Session session = Pipeline::fromGraph(gen::mesh2d(10, 10))
+                        .initial("RND")
+                        .k(3)
+                        .adaptive()
+                        .start();
+  const RunReport report = session.report();
+  EXPECT_FALSE(report.adapted);
+  EXPECT_DOUBLE_EQ(report.finalCutRatio, report.initialCutRatio);
+}
+
+}  // namespace
+}  // namespace xdgp::api

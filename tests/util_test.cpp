@@ -285,6 +285,20 @@ TEST(Flags, ParsesTypedValues) {
   EXPECT_NO_THROW(flags.finish());
 }
 
+TEST(Flags, GetUint64CarriesFullSeedRange) {
+  // 0xDEADBEEFCAFEBABE > INT64_MAX: the old getInt path threw or truncated.
+  const char* argv[] = {"prog", "--seed=16045690984833335998"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_EQ(flags.getUint64("seed", 0), 16045690984833335998ULL);
+  EXPECT_NO_THROW(flags.finish());
+}
+
+TEST(Flags, GetUint64DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags flags(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.getUint64("seed", 99), 99u);
+}
+
 TEST(Flags, DefaultsWhenAbsent) {
   const char* argv[] = {"prog"};
   Flags flags(1, const_cast<char**>(argv));

@@ -1,6 +1,10 @@
 // xdgp command-line tool: generate Table-1 datasets, partition edge-list
-// files with any of the library's strategies, and run the adaptive algorithm
-// to convergence — the downstream-user entry point that needs no C++.
+// files with any registered strategy, and run the adaptive algorithm to
+// convergence — the downstream-user entry point that needs no C++.
+//
+// The partition/adapt subcommands are thin shells over api::Pipeline, and
+// the strategy menu is printed straight from api::PartitionerRegistry — the
+// CLI learns new strategies the moment they are registered.
 //
 // Usage:
 //   xdgp_cli --cmd=generate --dataset=64kcube --out=mesh.txt
@@ -12,14 +16,11 @@
 
 #include <iostream>
 
-#include "core/adaptive_engine.h"
+#include "api/partitioner_registry.h"
+#include "api/pipeline.h"
 #include "gen/dataset_catalog.h"
-#include "graph/csr.h"
 #include "graph/io.h"
-#include "metrics/balance.h"
 #include "partition/assignment_io.h"
-#include "partition/multilevel_partitioner.h"
-#include "partition/partitioner.h"
 #include "util/flags.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -28,32 +29,10 @@ using namespace xdgp;
 
 namespace {
 
-metrics::Assignment makeInitial(const graph::DynamicGraph& g,
-                                const std::string& strategy, std::size_t k,
-                                double capacity, std::uint64_t seed) {
-  util::Rng rng(seed);
-  const graph::CsrGraph csr = graph::CsrGraph::fromGraph(g);
-  if (strategy == "METIS") {
-    return partition::MultilevelPartitioner{}.partition(csr, k, capacity, rng);
-  }
-  return partition::makePartitioner(strategy)->partition(csr, k, capacity, rng);
-}
-
-void report(const graph::DynamicGraph& g, const metrics::Assignment& assignment,
-            std::size_t k) {
-  const auto balance = metrics::balanceReport(assignment, k);
-  std::cout << "  cut ratio: " << util::fmt(metrics::cutRatio(g, assignment), 4)
-            << "  (" << metrics::cutEdges(g, assignment) << " of " << g.numEdges()
-            << " edges)\n"
-            << "  imbalance: " << util::fmt(balance.imbalance, 3)
-            << "  (max load " << balance.maxLoad << ", min " << balance.minLoad
-            << ")\n";
-}
-
 int generateCmd(util::Flags& flags) {
   const std::string dataset = flags.getString("dataset", "64kcube");
   const std::string out = flags.getString("out", dataset + ".txt");
-  util::Rng rng(static_cast<std::uint64_t>(flags.getInt("seed", 42)));
+  util::Rng rng(flags.getUint64("seed", 42));
   flags.finish();
   const gen::DatasetSpec& spec = gen::datasetByName(dataset);
   util::WallTimer timer;
@@ -70,17 +49,18 @@ int partitionCmd(util::Flags& flags) {
   const auto k = static_cast<std::size_t>(flags.getInt("k", 9));
   const double capacity = flags.getDouble("capacity", 1.1);
   const std::string out = flags.getString("out", "assignment.part");
-  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 42));
+  const std::uint64_t seed = flags.getUint64("seed", 42);
   flags.finish();
   if (graphPath.empty()) throw std::runtime_error("partition: --graph required");
 
-  const graph::DynamicGraph g = graph::readEdgeList(graphPath);
-  util::WallTimer timer;
-  const metrics::Assignment assignment = makeInitial(g, strategy, k, capacity, seed);
-  std::cout << strategy << " over " << g.numVertices() << " vertices ("
-            << util::fmt(timer.seconds(), 2) << "s)\n";
-  report(g, assignment, k);
-  partition::writeAssignment(assignment, k, out);
+  const api::RunReport report = api::Pipeline::fromEdgeList(graphPath)
+                                    .initial(strategy)
+                                    .k(k)
+                                    .capacityFactor(capacity)
+                                    .seed(seed)
+                                    .run();
+  report.renderText(std::cout);
+  partition::writeAssignment(report.assignment, report.k, out);
   std::cout << "  written to " << out << "\n";
   return 0;
 }
@@ -88,18 +68,19 @@ int partitionCmd(util::Flags& flags) {
 int adaptCmd(util::Flags& flags) {
   const std::string graphPath = flags.getString("graph", "");
   const std::string assignmentPath = flags.getString("assignment", "");
+  const bool strategySupplied = flags.has("strategy");
   const std::string strategy = flags.getString("strategy", "HSH");
   const std::string out = flags.getString("out", "adapted.part");
   const std::string balance = flags.getString("balance", "vertices");
-  auto k = static_cast<std::size_t>(flags.getInt("k", 9));
+  const bool kSupplied = flags.has("k");
+  const auto k = static_cast<std::size_t>(flags.getInt("k", 9));
   const double capacity = flags.getDouble("capacity", 1.1);
   core::AdaptiveOptions options;
   options.willingness = flags.getDouble("s", 0.5);
-  options.capacityFactor = capacity;
   options.convergenceWindow =
       static_cast<std::size_t>(flags.getInt("window", 30));
   options.threads = static_cast<std::size_t>(flags.getInt("threads", 1));
-  options.seed = static_cast<std::uint64_t>(flags.getInt("seed", 42));
+  const std::uint64_t seed = flags.getUint64("seed", 42);
   const auto maxIterations =
       static_cast<std::size_t>(flags.getInt("max-iterations", 20'000));
   flags.finish();
@@ -107,33 +88,45 @@ int adaptCmd(util::Flags& flags) {
   if (balance == "edges") options.balanceMode = core::BalanceMode::kEdges;
   else if (balance != "vertices") throw std::runtime_error("adapt: bad --balance");
 
-  graph::DynamicGraph g = graph::readEdgeList(graphPath);
-  metrics::Assignment initial;
+  api::Pipeline pipeline = api::Pipeline::fromEdgeList(graphPath);
   if (!assignmentPath.empty()) {
-    auto loaded = partition::readAssignment(assignmentPath);
-    k = loaded.k;
-    initial = std::move(loaded.assignment);
-    initial.resize(g.idBound(), graph::kNoPartition);
+    if (strategySupplied) {
+      throw std::runtime_error(
+          "adapt: --assignment and --strategy are mutually exclusive");
+    }
+    pipeline.initialFromFile(assignmentPath);
+    // An explicit --k that disagrees with the file's k is a hard error in
+    // the pipeline; only forward the flag when the user actually set it.
+    if (kSupplied) pipeline.k(k);
   } else {
-    initial = makeInitial(g, strategy, k, capacity, options.seed);
+    pipeline.initial(strategy).k(k);
   }
-  options.k = k;
-
-  std::cout << "initial (" << (assignmentPath.empty() ? strategy : assignmentPath)
-            << ", k=" << k << "):\n";
-  report(g, initial, k);
-
-  util::WallTimer timer;
-  core::AdaptiveEngine engine(std::move(g), std::move(initial), options);
-  const core::ConvergenceResult result = engine.runToConvergence(maxIterations);
-  std::cout << "adapted (" << result.iterationsRun << " iterations, converged at "
-            << result.convergenceIteration << ", "
-            << util::fmt(timer.seconds(), 2) << "s"
-            << (result.converged ? "" : ", NOT converged") << "):\n";
-  report(engine.graph(), engine.state().assignment(), k);
-  partition::writeAssignment(engine.state().assignment(), k, out);
+  const api::RunReport report = pipeline.capacityFactor(capacity)
+                                    .seed(seed)
+                                    .adaptive(options)
+                                    .maxIterations(maxIterations)
+                                    .run();
+  report.renderText(std::cout);
+  partition::writeAssignment(report.assignment, report.k, out);
   std::cout << "  written to " << out << "\n";
-  return result.converged ? 0 : 2;
+  return report.converged ? 0 : 2;
+}
+
+void printUsage() {
+  std::cerr << "usage: xdgp_cli --cmd=generate|partition|adapt [options]\n"
+               "  generate:  --dataset=<table1 name> --out=<edge list>\n"
+               "  partition: --graph=<edge list> --strategy=<code> --k=9"
+               " --out=<part file>\n"
+               "  adapt:     --graph=<edge list> [--assignment=<part file> |"
+               " --strategy=<code> --k=9] --s=0.5 [--balance=edges] --out=<part"
+               " file>\n"
+               "strategies:\n";
+  for (const api::StrategyInfo* info :
+       api::PartitionerRegistry::instance().infos()) {
+    std::cerr << "  " << info->code << (info->respectsCapacity ? "  " : " ~")
+              << " " << info->summary << "\n";
+  }
+  std::cerr << "  (~ = balance is statistical, not capacity-guaranteed)\n";
 }
 
 }  // namespace
@@ -145,13 +138,7 @@ int main(int argc, char** argv) {
     if (cmd == "generate") return generateCmd(flags);
     if (cmd == "partition") return partitionCmd(flags);
     if (cmd == "adapt") return adaptCmd(flags);
-    std::cerr << "usage: xdgp_cli --cmd=generate|partition|adapt [options]\n"
-                 "  generate:  --dataset=<table1 name> --out=<edge list>\n"
-                 "  partition: --graph=<edge list> --strategy=HSH|RND|DGR|MNN|METIS"
-                 " --k=9 --out=<part file>\n"
-                 "  adapt:     --graph=<edge list> [--assignment=<part file> |"
-                 " --strategy=... --k=9] --s=0.5 [--balance=edges] --out=<part"
-                 " file>\n";
+    printUsage();
     return 1;
   } catch (const std::exception& error) {
     std::cerr << "xdgp_cli: " << error.what() << "\n";
