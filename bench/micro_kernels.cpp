@@ -31,6 +31,10 @@ void BM_AdaptiveIterationMesh(benchmark::State& state) {
   core::AdaptiveOptions options;
   options.k = 9;
   options.recordSeries = false;
+  // Full active sweep: with the frontier on, repeated step() converges and
+  // the loop would measure near-empty iterations (see the Converged and
+  // LowChurn benchmarks for that regime).
+  options.frontier = false;
   core::AdaptiveEngine engine(std::move(g), hashAssign(gen::mesh3d(side, side, side), 9),
                               options);
   for (auto _ : state) {
@@ -49,6 +53,7 @@ void BM_AdaptiveIterationPowerLaw(benchmark::State& state) {
   core::AdaptiveOptions options;
   options.k = 9;
   options.recordSeries = false;
+  options.frontier = false;  // full active sweep, as above
   core::AdaptiveEngine engine(std::move(g), a, options);
   for (auto _ : state) {
     benchmark::DoNotOptimize(engine.step());
@@ -60,6 +65,111 @@ BENCHMARK(BM_AdaptiveIterationPowerLaw)
     ->Arg(10'000)
     ->Arg(50'000)
     ->Unit(benchmark::kMillisecond);
+
+// Converged-phase iteration cost: the long tail every dynamic deployment
+// lives in. Arg 1 toggles AdaptiveOptions::frontier; identical trajectories
+// (the equivalence suite proves it), wildly different cost — the frontier
+// variant touches only the quota-starved residue instead of every vertex.
+void BM_AdaptiveIterationMeshConverged(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  graph::DynamicGraph g = gen::mesh3d(side, side, side);
+  const std::size_t vertices = g.numVertices();
+  const metrics::Assignment a = hashAssign(g, 9);
+  core::AdaptiveOptions options;
+  options.k = 9;
+  options.recordSeries = false;
+  options.frontier = state.range(1) != 0;
+  core::AdaptiveEngine engine(std::move(g), a, options);
+  engine.runToConvergence(20'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(vertices));
+  state.counters["evaluated"] =
+      static_cast<double>(engine.lastEvaluatedCount());
+}
+BENCHMARK(BM_AdaptiveIterationMeshConverged)
+    ->ArgsProduct({{16, 32}, {0, 1}})
+    ->ArgNames({"side", "frontier"})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_AdaptiveIterationPowerLawConverged(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  graph::DynamicGraph g = gen::powerlawCluster(n, 8, 0.1, rng);
+  const metrics::Assignment a = hashAssign(g, 9);
+  core::AdaptiveOptions options;
+  options.k = 9;
+  options.recordSeries = false;
+  options.frontier = state.range(1) != 0;
+  core::AdaptiveEngine engine(std::move(g), a, options);
+  engine.runToConvergence(20'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["evaluated"] =
+      static_cast<double>(engine.lastEvaluatedCount());
+}
+BENCHMARK(BM_AdaptiveIterationPowerLawConverged)
+    ->ArgsProduct({{10'000, 50'000}, {0, 1}})
+    ->ArgNames({"n", "frontier"})
+    ->Unit(benchmark::kMicrosecond);
+
+// Low-churn steady state (fig7/fig8/fig9 shape): a trickle of updates
+// between steps re-arms a small neighbourhood; cost should track the churn,
+// not the graph.
+void BM_AdaptiveIterationLowChurn(benchmark::State& state) {
+  graph::DynamicGraph g = gen::mesh3d(24, 24, 24);
+  const std::size_t vertices = g.numVertices();
+  const metrics::Assignment a = hashAssign(g, 9);
+  core::AdaptiveOptions options;
+  options.k = 9;
+  options.recordSeries = false;
+  options.frontier = state.range(0) != 0;
+  core::AdaptiveEngine engine(std::move(g), a, options);
+  engine.runToConvergence(20'000);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    const auto u = static_cast<graph::VertexId>(rng.index(vertices));
+    const auto v = static_cast<graph::VertexId>(rng.index(vertices));
+    // Net no-op perturbation either way, so the graph being timed does not
+    // drift over the benchmark's millions of iterations.
+    if (engine.graph().hasEdge(u, v)) {
+      engine.applyUpdates({graph::UpdateEvent::removeEdge(u, v),
+                           graph::UpdateEvent::addEdge(u, v)});
+    } else {
+      engine.applyUpdates({graph::UpdateEvent::addEdge(u, v),
+                           graph::UpdateEvent::removeEdge(u, v)});
+    }
+    benchmark::DoNotOptimize(engine.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AdaptiveIterationLowChurn)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"frontier"})
+    ->Unit(benchmark::kMicrosecond);
+
+// Streaming sum over every neighbourhood: the access pattern of the
+// decision scan, isolating the AdjacencyPool arena layout.
+void BM_AdjacencyScan(benchmark::State& state) {
+  util::Rng rng(6);
+  const graph::DynamicGraph g = gen::powerlawCluster(50'000, 8, 0.1, rng);
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    g.forEachVertex([&](graph::VertexId v) {
+      for (const graph::VertexId nbr : g.neighbors(v)) sum += nbr;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * g.numEdges()));
+}
+BENCHMARK(BM_AdjacencyScan)->Unit(benchmark::kMillisecond);
 
 void BM_MigrationDecision(benchmark::State& state) {
   graph::DynamicGraph g = gen::mesh3d(20, 20, 20);

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Builds Release and runs the micro-kernel suite, writing google-benchmark
+# JSON to BENCH_<label>.json so perf trajectories accumulate across commits.
+#
+# Usage: scripts/run_bench.sh [label] [extra benchmark args...]
+#   label        tag for the output file (default: current git short SHA)
+#   XDGP_BENCH_DIR  output directory (default: bench_results, like the fig
+#                   drivers)
+#   BUILD_DIR    build directory (default: build-bench)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo local)}"
+shift || true
+build_dir="${BUILD_DIR:-build-bench}"
+out_dir="${XDGP_BENCH_DIR:-bench_results}"
+
+cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+# Absent target (Google Benchmark not installed) is a graceful no-op; an
+# actual build failure must fail the job, not masquerade as "unavailable".
+# find_package(benchmark) is config-mode, so the cache records whether it
+# was found — generator-agnostic, unlike probing the Makefiles-only `help`
+# target.
+if grep -E '^benchmark_DIR:PATH=.*-NOTFOUND$' "$build_dir/CMakeCache.txt" >/dev/null; then
+  echo "run_bench: micro_kernels target not configured (Google Benchmark" \
+       "not found) — nothing to run." >&2
+  exit 0
+fi
+cmake --build "$build_dir" -j --target micro_kernels
+
+mkdir -p "$out_dir"
+out_file="$out_dir/BENCH_${label}.json"
+"$build_dir/bench/micro_kernels" \
+  --benchmark_format=json \
+  --benchmark_out="$out_file" \
+  --benchmark_out_format=json \
+  "$@"
+echo "run_bench: wrote $out_file"

@@ -1,5 +1,11 @@
 #include "core/adaptive_engine.h"
 
+#include <algorithm>
+#include <atomic>
+#include <bit>
+
+#include "util/timer.h"
+
 namespace xdgp::core {
 
 AdaptiveEngine::AdaptiveEngine(graph::DynamicGraph g, metrics::Assignment initial,
@@ -19,14 +25,102 @@ AdaptiveEngine::AdaptiveEngine(graph::DynamicGraph g, metrics::Assignment initia
   placement_ = [k](graph::VertexId v) {
     return static_cast<graph::PartitionId>(util::Rng::splitmix64(v) % k);
   };
+  if (options_.frontier) {
+    // Every vertex is unexamined at the start: the first iteration is a full
+    // sweep, after which the frontier tracks change.
+    inNextFrontier_.assign(graph_.idBound(), 0);
+    nextFrontier_.reserve(graph_.numVertices());
+    graph_.forEachVertex([this](graph::VertexId v) { markDirty(v); });
+  }
+}
+
+void AdaptiveEngine::markDirty(graph::VertexId v) {
+  if (!options_.frontier) return;
+  if (v >= inNextFrontier_.size()) inNextFrontier_.resize(v + 1, 0);
+  if (inNextFrontier_[v]) return;
+  inNextFrontier_[v] = 1;
+  nextFrontier_.push_back(v);
+}
+
+void AdaptiveEngine::park(graph::VertexId v) {
+  if (!options_.frontier) return;
+  if (v >= isParked_.size()) isParked_.resize(v + 1, 0);
+  if (isParked_[v]) return;
+  isParked_[v] = 1;
+  parked_.push_back(v);
+}
+
+void AdaptiveEngine::unparkAll() {
+  for (const graph::VertexId v : parked_) {
+    isParked_[v] = 0;
+    markDirty(v);
+  }
+  parked_.clear();
+}
+
+void AdaptiveEngine::admit(graph::VertexId v, bool edgeBalance) {
+  const graph::PartitionId target = desires_[v];
+  if (target == graph::kNoPartition) return;
+  // Willingness gate (§2.3): with probability 1−s the vertex sits out this
+  // iteration. The desire itself is independent of the draw, so a gated
+  // vertex keeps its place in the frontier and retries next iteration.
+  if (!draws_.willing(iteration_, v)) {
+    markDirty(v);
+    return;
+  }
+  const graph::PartitionId current = state_.partitionOf(v);
+  // In edge-balance mode a migrating vertex consumes its degree's worth of
+  // the destination quota.
+  const std::size_t units = edgeBalance ? graph_.degree(v) : 1;
+  if (options_.enforceQuota && !quota_.tryAdmit(current, target, units)) {
+    // Quota-starved. Parking is sound only if no future draw could be
+    // admitted while loads stay frozen: in a zero-migration iteration
+    // nothing consumes quota, so denial is exactly `units > Q_t(j)` — test
+    // it for every partition the desire could rotate to (the tie mask; an
+    // untied desire always re-targets the same j). Any load or capacity
+    // shift re-queues the parked via unparkAll().
+    const std::uint64_t mask = desireTiedMask_[v];
+    bool anyAdmissible = false;
+    if (mask == MigrationPolicy::kTiedOverflow) {
+      anyAdmissible = true;  // unrepresentable set: never park
+    } else if (mask == 0) {
+      anyAdmissible = units <= quota_.quota(target);
+    } else {
+      for (std::uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+        const auto j = static_cast<graph::PartitionId>(std::countr_zero(rest));
+        if (units <= quota_.quota(j)) {
+          anyAdmissible = true;
+          break;
+        }
+      }
+    }
+    if (anyAdmissible) {
+      markDirty(v);  // starved only by this iteration's consumption or draw
+    } else {
+      park(v);
+    }
+    return;
+  }
+  pendingMoves_.emplace_back(v, target);
 }
 
 std::size_t AdaptiveEngine::step() {
+  const util::WallTimer timer;
   ++iteration_;
   const bool edgeBalance = options_.balanceMode == BalanceMode::kEdges;
   quota_.beginIteration(capacity_,
                         edgeBalance ? state_.degreeLoads() : state_.loads());
   pendingMoves_.clear();
+
+  if (options_.frontier) {
+    // Adopt the accumulated dirty set. Sorting restores the id order the
+    // full scan admits in, keeping quota consumption — and therefore the
+    // whole trajectory — identical to frontier-off.
+    frontier_.swap(nextFrontier_);
+    nextFrontier_.clear();
+    std::sort(frontier_.begin(), frontier_.end());
+    for (const graph::VertexId v : frontier_) inNextFrontier_[v] = 0;
+  }
 
   // Decision phase: a pure function of the iteration-start snapshot, so it
   // parallelises without changing results (options_.threads).
@@ -34,47 +128,98 @@ std::size_t AdaptiveEngine::step() {
 
   // Admission phase: quota consumption is first-come in id order, mirroring
   // the per-worker admission of the distributed implementation.
-  const std::size_t bound = graph_.idBound();
-  for (graph::VertexId v = 0; v < bound; ++v) {
-    const graph::PartitionId target = desires_[v];
-    if (target == graph::kNoPartition) continue;
-    const graph::PartitionId current = state_.partitionOf(v);
-    // In edge-balance mode a migrating vertex consumes its degree's worth
-    // of the destination quota.
-    const std::size_t units = edgeBalance ? graph_.degree(v) : 1;
-    if (options_.enforceQuota && !quota_.tryAdmit(current, target, units)) continue;
-    pendingMoves_.emplace_back(v, target);
+  if (options_.frontier) {
+    for (const graph::VertexId v : frontier_) admit(v, edgeBalance);
+  } else {
+    const std::size_t bound = graph_.idBound();
+    for (graph::VertexId v = 0; v < bound; ++v) admit(v, edgeBalance);
   }
 
   // Synchronous application: every decision above saw the iteration-start
   // assignment; the moves land together, as after the deferred hand-over in
-  // the distributed implementation.
-  for (const auto& [v, target] : pendingMoves_) state_.moveVertex(graph_, v, target);
+  // the distributed implementation. Each executed move invalidates the
+  // cached "stay" of its whole neighbourhood.
+  for (const auto& [v, target] : pendingMoves_) {
+    if (state_.moveVertex(graph_, v, target)) {
+      markDirty(v);
+      for (const graph::VertexId nbr : graph_.neighbors(v)) markDirty(nbr);
+    }
+  }
 
   const std::size_t migrations = pendingMoves_.size();
+  // Any executed move shifts loads, hence next iteration's quotas: every
+  // parked denial must be retried. (A quiet iteration consumed nothing, so
+  // parked outcomes are provably unchanged and stay parked.)
+  if (migrations > 0) unparkAll();
   tracker_.record(migrations);
   if (migrations > 0) lastActive_ = iteration_;
   if (options_.recordSeries) {
-    series_.add({iteration_, state_.cutEdges(), migrations, 0.0});
+    series_.add({iteration_, state_.cutEdges(), migrations, timer.seconds()});
   }
   return migrations;
 }
 
 void AdaptiveEngine::evaluateDecisions() {
   const std::size_t bound = graph_.idBound();
-  desires_.assign(bound, graph::kNoPartition);
-  const auto evaluateRange = [this](std::size_t begin, std::size_t end,
-                                    MigrationPolicy& policy) {
-    for (graph::VertexId v = static_cast<graph::VertexId>(begin); v < end; ++v) {
-      if (!graph_.hasVertex(v)) continue;
-      // Willingness gate (§2.3): with probability 1−s the vertex sits out.
-      if (!draws_.willing(iteration_, v)) continue;
-      const graph::PartitionId current = state_.partitionOf(v);
-      desires_[v] = policy.target(graph_.neighbors(v), state_.assignment(), current,
-                                  draws_.tieBreak(iteration_, v));
-    }
+  const auto evaluateOne = [this](graph::VertexId v, MigrationPolicy& policy) {
+    const graph::PartitionId current = state_.partitionOf(v);
+    desires_[v] = policy.target(graph_.neighbors(v), state_.assignment(), current,
+                                draws_.tieBreak(iteration_, v), &desireTiedMask_[v]);
   };
 
+  if (options_.frontier) {
+    // Only the frontier's desires are (re)written; stale entries elsewhere
+    // are never read because admission also walks the frontier.
+    if (desires_.size() < bound) {
+      desires_.resize(bound, graph::kNoPartition);
+      desireTiedMask_.resize(bound, 0);
+    }
+    std::atomic<std::size_t> evaluated{0};
+    const auto evaluateSlice = [this, &evaluateOne, &evaluated](
+                                   std::size_t begin, std::size_t end,
+                                   MigrationPolicy& policy) {
+      std::size_t alive = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        const graph::VertexId v = frontier_[i];
+        if (!graph_.hasVertex(v)) {
+          desires_[v] = graph::kNoPartition;  // died since it was marked
+          continue;
+        }
+        evaluateOne(v, policy);
+        ++alive;
+      }
+      evaluated.fetch_add(alive, std::memory_order_relaxed);
+    };
+    if (options_.threads <= 1) {
+      evaluateSlice(0, frontier_.size(), policy_);
+      lastEvaluated_ = evaluated.load(std::memory_order_relaxed);
+      return;
+    }
+    if (!pool_) pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+    const std::size_t chunks = options_.threads * 4;
+    const std::size_t step = (frontier_.size() + chunks - 1) / chunks;
+    for (std::size_t begin = 0; begin < frontier_.size(); begin += step) {
+      const std::size_t end = std::min(frontier_.size(), begin + step);
+      pool_->submit([this, begin, end, &evaluateSlice] {
+        MigrationPolicy localPolicy(options_.k);  // per-task scratch
+        evaluateSlice(begin, end, localPolicy);
+      });
+    }
+    pool_->wait();
+    lastEvaluated_ = evaluated.load(std::memory_order_relaxed);
+    return;
+  }
+
+  desires_.assign(bound, graph::kNoPartition);
+  desireTiedMask_.assign(bound, 0);
+  lastEvaluated_ = graph_.numVertices();
+  const auto evaluateRange = [this, &evaluateOne](std::size_t begin, std::size_t end,
+                                                  MigrationPolicy& policy) {
+    for (auto v = static_cast<graph::VertexId>(begin); v < end; ++v) {
+      if (!graph_.hasVertex(v)) continue;
+      evaluateOne(v, policy);
+    }
+  };
   if (options_.threads <= 1) {
     evaluateRange(0, bound, policy_);
     return;
@@ -112,38 +257,52 @@ std::size_t AdaptiveEngine::applyUpdates(const std::vector<graph::UpdateEvent>& 
         if (!graph_.hasVertex(e.u)) {
           graph_.ensureVertex(e.u);
           state_.onVertexAdded(e.u, placement_(e.u));
+          markDirty(e.u);
           ++applied;
         }
         break;
       case graph::UpdateEvent::Kind::kRemoveVertex:
         if (graph_.hasVertex(e.u)) {
+          // The survivors lose a neighbour; their cached decisions expire.
+          for (const graph::VertexId nbr : graph_.neighbors(e.u)) markDirty(nbr);
           state_.onVertexRemoving(graph_, e.u);
           graph_.removeVertex(e.u);
           ++applied;
         }
         break;
       case graph::UpdateEvent::Kind::kAddEdge: {
+        bool changed = false;
         for (const graph::VertexId endpoint : {e.u, e.v}) {
           if (!graph_.hasVertex(endpoint)) {
             graph_.ensureVertex(endpoint);
             state_.onVertexAdded(endpoint, placement_(endpoint));
+            markDirty(endpoint);
+            changed = true;  // loads shifted even if the edge is rejected
           }
         }
         if (graph_.addEdge(e.u, e.v)) {
           state_.onEdgeAdded(e.u, e.v);
-          ++applied;
+          markDirty(e.u);
+          markDirty(e.v);
+          changed = true;
         }
+        if (changed) ++applied;
         break;
       }
       case graph::UpdateEvent::Kind::kRemoveEdge:
         if (graph_.removeEdge(e.u, e.v)) {
           state_.onEdgeRemoved(e.u, e.v);
+          markDirty(e.u);
+          markDirty(e.v);
           ++applied;
         }
         break;
     }
   }
-  if (applied > 0) tracker_.reset();  // topology changed: adaptation resumes
+  if (applied > 0) {
+    tracker_.reset();  // topology changed: adaptation resumes
+    unparkAll();       // loads (and degree loads) may have shifted
+  }
   return applied;
 }
 
@@ -152,6 +311,7 @@ void AdaptiveEngine::rescaleCapacity() {
                                      ? graph_.numVertices()
                                      : 2 * graph_.numEdges();
   capacity_.rescale(totalUnits, options_.capacityFactor);
+  unparkAll();  // grown capacities can admit previously starved desires
 }
 
 }  // namespace xdgp::core

@@ -28,6 +28,14 @@ struct AdaptiveOptions {
   std::size_t convergenceWindow = 30;  ///< quiet iterations to declare done
   bool enforceQuota = true;       ///< ablation: disable §2.2 quotas
   bool recordSeries = true;       ///< keep the per-iteration Fig. 7 series
+  /// Frontier-driven iteration: evaluate only vertices whose decision could
+  /// have changed — last iteration's movers and their neighbours, vertices
+  /// whose desired move was gated (unwilling or quota-denied), and the
+  /// endpoints of structural updates. Produces the identical trajectory as
+  /// the full scan (the equivalence test suite asserts it) but the cost of
+  /// step() scales with the amount of change, not with |V|. Fixed at
+  /// construction; false restores the full O(idBound) scan.
+  bool frontier = true;
   /// Load measure: the paper's vertex counts, or the §6 edge-balanced
   /// extension (capacities and quotas in degree units).
   BalanceMode balanceMode = BalanceMode::kVertices;
@@ -56,6 +64,12 @@ struct ConvergenceResult {
 /// migration deferral (§3). The distributed realisation with real message
 /// routing lives in pregel::Engine; this engine is the fast path for the
 /// algorithm-quality experiments (Figs. 1, 4, 5, 6).
+///
+/// The greedy desire is a pure function of a vertex's neighbourhood
+/// snapshot (willingness gates *migration*, not evaluation), which is what
+/// makes the frontier sound: a vertex that last evaluated to "stay" cannot
+/// change its mind until something in its neighbourhood moves, so it is
+/// skipped until then. See AdaptiveOptions::frontier.
 ///
 /// Dynamic graphs: applyUpdates() injects/removes vertices and edges between
 /// iterations; new vertices enter via the placement function (hash
@@ -104,9 +118,36 @@ class AdaptiveEngine {
     return lastActive_;
   }
 
+  /// Vertices whose decision was (re)computed by the last step() — the
+  /// alive frontier in frontier mode, every alive vertex otherwise. The §2
+  /// lightweight-heuristic claim in numbers: this drops towards 0 as the
+  /// partitioning converges.
+  [[nodiscard]] std::size_t lastEvaluatedCount() const noexcept {
+    return lastEvaluated_;
+  }
+
+  /// Vertices whose desire is quota-starved and parked off the frontier
+  /// until any load or capacity shifts (0 in full-scan mode).
+  [[nodiscard]] std::size_t parkedCount() const noexcept { return parked_.size(); }
+
  private:
-  /// Decision phase over [0, idBound): fills desires_ (kNoPartition = stay).
+  /// Decision phase: fills desires_ (kNoPartition = stay) for the frontier
+  /// (or all of [0, idBound) in full-scan mode).
   void evaluateDecisions();
+
+  /// Admission for one evaluated vertex: willingness gate, then quota;
+  /// gated desires re-enter the frontier.
+  void admit(graph::VertexId v, bool edgeBalance);
+
+  /// Queues v for re-evaluation next iteration (no-op in full-scan mode).
+  void markDirty(graph::VertexId v);
+
+  /// Parks a quota-starved desire off the frontier (no-op in full-scan
+  /// mode). Its denial is `units > Q_t(i, j)`, and in a zero-migration
+  /// iteration no quota is consumed, so the outcome cannot change until
+  /// loads or capacities do — which is when unparkAll() re-queues everyone.
+  void park(graph::VertexId v);
+  void unparkAll();
 
   AdaptiveOptions options_;
   graph::DynamicGraph graph_;
@@ -119,10 +160,22 @@ class AdaptiveEngine {
   PlacementFn placement_;
   metrics::IterationSeries series_;
   std::vector<graph::PartitionId> desires_;
+  /// MigrationPolicy tie masks per desire: a tied target rotates with the
+  /// per-iteration draw, so a starved tied desire may only park when every
+  /// partition in its argmax set is starved too (see admit()).
+  std::vector<std::uint64_t> desireTiedMask_;
   std::vector<std::pair<graph::VertexId, graph::PartitionId>> pendingMoves_;
+  /// Frontier double-buffer: frontier_ is evaluated this iteration;
+  /// nextFrontier_/inNextFrontier_ accumulate who must be re-examined.
+  std::vector<graph::VertexId> frontier_;
+  std::vector<graph::VertexId> nextFrontier_;
+  std::vector<std::uint8_t> inNextFrontier_;
+  std::vector<graph::VertexId> parked_;
+  std::vector<std::uint8_t> isParked_;
   std::unique_ptr<util::ThreadPool> pool_;
   std::size_t iteration_ = 0;
   std::size_t lastActive_ = 0;
+  std::size_t lastEvaluated_ = 0;
 };
 
 }  // namespace xdgp::core

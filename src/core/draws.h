@@ -15,7 +15,14 @@ namespace xdgp::core {
 ///    decision phase can be evaluated in parallel without changing results;
 ///  - the distributed implementation needs no coordinated RNG: every worker
 ///    derives the same decision its peers would predict, keeping the
-///    algorithm free of extra synchronisation (§2's design constraint).
+///    algorithm free of extra synchronisation (§2's design constraint);
+///  - willingness can gate *admission* (did the vertex move?) rather than
+///    evaluation (was its desire computed?) without changing any outcome:
+///    skipping an unwilling vertex's evaluation and discarding its computed
+///    desire are indistinguishable, because the draw never feeds back into
+///    the desire. The adaptive engine relies on this to keep a vertex's
+///    desire a pure function of its neighbourhood snapshot — the invariant
+///    behind its frontier (AdaptiveOptions::frontier).
 class StatelessDraws {
  public:
   StatelessDraws(std::uint64_t seed, double willingness) noexcept

@@ -12,7 +12,8 @@ MigrationPolicy::MigrationPolicy(std::size_t k) : counts_(k, 0) {
 graph::PartitionId MigrationPolicy::target(std::span<const graph::VertexId> neighbors,
                                            const metrics::Assignment& assignment,
                                            graph::PartitionId current,
-                                           std::uint32_t tieBreaker) {
+                                           std::uint32_t tieBreaker,
+                                           std::uint64_t* tiedMask) {
   touched_.clear();
   std::uint32_t bestCount = 0;
   for (const graph::VertexId nbr : neighbors) {
@@ -23,6 +24,7 @@ graph::PartitionId MigrationPolicy::target(std::span<const graph::VertexId> neig
     if (c > bestCount) bestCount = c;
   }
   graph::PartitionId result = graph::kNoPartition;
+  if (tiedMask != nullptr) *tiedMask = 0;
   if (bestCount > 0 && counts_[current] != bestCount) {
     // Strictly better foreign partitions exist; pick among the argmax set.
     best_.clear();
@@ -30,6 +32,17 @@ graph::PartitionId MigrationPolicy::target(std::span<const graph::VertexId> neig
       if (counts_[p] == bestCount) best_.push_back(p);
     }
     result = best_.size() == 1 ? best_.front() : best_[tieBreaker % best_.size()];
+    if (tiedMask != nullptr && best_.size() > 1) {
+      std::uint64_t mask = 0;
+      for (const graph::PartitionId p : best_) {
+        if (p >= 64) {
+          mask = kTiedOverflow;
+          break;
+        }
+        mask |= std::uint64_t{1} << p;
+      }
+      *tiedMask = mask;
+    }
   }
   for (const graph::PartitionId p : touched_) counts_[p] = 0;
   return result;
@@ -38,14 +51,20 @@ graph::PartitionId MigrationPolicy::target(std::span<const graph::VertexId> neig
 std::vector<graph::PartitionId> MigrationPolicy::candidates(
     std::span<const graph::VertexId> neighbors, const metrics::Assignment& assignment,
     graph::PartitionId current) {
-  std::vector<graph::PartitionId> cand;
+  // Dedup via the same counts_/touched_ scratch marking target() uses, so a
+  // call costs O(deg + |cand| log |cand|) instead of O(deg · |cand|).
+  touched_.clear();
   // Γ(v, t) includes v itself, so the current partition is always in.
-  cand.push_back(current);
+  counts_[current] = 1;
+  touched_.push_back(current);
   for (const graph::VertexId nbr : neighbors) {
     const graph::PartitionId p = assignment[nbr];
     if (p == graph::kNoPartition) continue;
-    if (std::find(cand.begin(), cand.end(), p) == cand.end()) cand.push_back(p);
+    if (counts_[p] == 0) touched_.push_back(p);
+    ++counts_[p];
   }
+  std::vector<graph::PartitionId> cand(touched_.begin(), touched_.end());
+  for (const graph::PartitionId p : touched_) counts_[p] = 0;
   std::sort(cand.begin(), cand.end());
   return cand;
 }

@@ -24,10 +24,22 @@ class MigrationPolicy {
   ///
   /// `tieBreaker` selects among equally-best foreign partitions (the paper
   /// leaves ties unspecified; a caller-supplied draw keeps runs seedable).
+  ///
+  /// `tiedMask` (optional) reports the argmax *set* behind the choice, for
+  /// the adaptive engine's frontier: a quota-starved desire may only be
+  /// parked when no partition its target could rotate to on a future draw
+  /// has quota. Encoding: 0 when the target was unique (or the decision was
+  /// "stay"); otherwise a bitmask of the tied partitions when they all fit
+  /// in 64 bits, or kTiedOverflow when any tied partition id is >= 64
+  /// (caller must then assume every partition is a possible target).
   [[nodiscard]] graph::PartitionId target(std::span<const graph::VertexId> neighbors,
                                           const metrics::Assignment& assignment,
                                           graph::PartitionId current,
-                                          std::uint32_t tieBreaker = 0);
+                                          std::uint32_t tieBreaker = 0,
+                                          std::uint64_t* tiedMask = nullptr);
+
+  /// tiedMask sentinel: tied, but the set is not representable in 64 bits.
+  static constexpr std::uint64_t kTiedOverflow = ~std::uint64_t{0};
 
   /// Candidate partitions cand(v, t): every partition containing v or one of
   /// its neighbours, i.e. the support of Γ(v, t) (exposed for tests and for

@@ -21,10 +21,10 @@ PartitionState::PartitionState(const graph::DynamicGraph& g,
   });
 }
 
-void PartitionState::moveVertex(const graph::DynamicGraph& g, graph::VertexId v,
+bool PartitionState::moveVertex(const graph::DynamicGraph& g, graph::VertexId v,
                                 graph::PartitionId to) {
   const graph::PartitionId from = assignment_[v];
-  if (from == to) return;
+  if (from == to) return false;
   for (const graph::VertexId nbr : g.neighbors(v)) {
     const graph::PartitionId np = assignment_[nbr];
     if (np == from) ++cuts_;        // was internal, becomes cut
@@ -36,6 +36,7 @@ void PartitionState::moveVertex(const graph::DynamicGraph& g, graph::VertexId v,
   degreeLoads_[from] -= degree;
   degreeLoads_[to] += degree;
   assignment_[v] = to;
+  return true;
 }
 
 void PartitionState::onVertexAdded(graph::VertexId v, graph::PartitionId p) {

@@ -58,8 +58,11 @@ class PartitionState {
 
   /// Moves v to partition `to`, updating loads and the cut count against the
   /// *current* assignment of its neighbours. Applying a batch of moves one
-  /// by one lands on the same state regardless of order.
-  void moveVertex(const graph::DynamicGraph& g, graph::VertexId v,
+  /// by one lands on the same state regardless of order. Returns true when
+  /// the assignment actually changed (false for a self-move) — the signal
+  /// the adaptive engine's frontier uses to mark v and its neighbourhood
+  /// for re-evaluation.
+  bool moveVertex(const graph::DynamicGraph& g, graph::VertexId v,
                   graph::PartitionId to);
 
   /// Registers a vertex that just joined the graph (no incident edges yet).

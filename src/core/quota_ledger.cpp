@@ -12,7 +12,8 @@ QuotaLedger::QuotaLedger(std::size_t k)
 
 void QuotaLedger::beginIteration(const CapacityModel& capacity,
                                  const std::vector<std::size_t>& loads) {
-  std::fill(used_.begin(), used_.end(), 0);
+  for (const std::size_t index : touched_) used_[index] = 0;
+  touched_.clear();
   const std::size_t sources = k_ > 1 ? k_ - 1 : 1;
   for (std::size_t j = 0; j < k_; ++j) {
     quotas_[j] = capacity.remaining(j, loads[j]) / sources;
@@ -24,6 +25,7 @@ bool QuotaLedger::tryAdmit(graph::PartitionId i, graph::PartitionId j,
   if (i == j || j >= k_ || units == 0) return false;
   std::size_t& used = used_[i * k_ + j];
   if (used + units > quotas_[j]) return false;
+  if (used == 0) touched_.push_back(i * k_ + j);
   used += units;
   return true;
 }

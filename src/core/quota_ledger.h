@@ -23,7 +23,10 @@ class QuotaLedger {
   explicit QuotaLedger(std::size_t k);
 
   /// Recomputes quotas from the loads at the start of an iteration and
-  /// clears the per-pair usage counters.
+  /// clears the per-pair usage counters. Only counters touched since the
+  /// previous call are reset, so the cost is O(k + admitted pairs) rather
+  /// than O(k²) — in converged phases (no admissions) the whole ledger
+  /// restarts in O(k).
   void beginIteration(const CapacityModel& capacity,
                       const std::vector<std::size_t>& loads);
 
@@ -48,8 +51,9 @@ class QuotaLedger {
 
  private:
   std::size_t k_;
-  std::vector<std::size_t> quotas_;  // per destination
-  std::vector<std::size_t> used_;    // k x k, row = source
+  std::vector<std::size_t> quotas_;   // per destination
+  std::vector<std::size_t> used_;     // k x k, row = source
+  std::vector<std::size_t> touched_;  // used_ indices dirtied this iteration
 };
 
 }  // namespace xdgp::core

@@ -1,0 +1,67 @@
+#include "graph/adjacency_pool.h"
+
+#include <algorithm>
+
+namespace xdgp::graph {
+
+std::size_t AdjacencyPool::allocate(std::uint8_t log) {
+  if (log < freeLists_.size() && !freeLists_[log].empty()) {
+    const std::size_t offset = freeLists_[log].back();
+    freeLists_[log].pop_back();
+    return offset;
+  }
+  const std::size_t offset = arena_.size();
+  arena_.resize(offset + (std::size_t{1} << log));
+  return offset;
+}
+
+void AdjacencyPool::release(std::size_t offset, std::uint8_t log) {
+  if (freeLists_.size() <= log) freeLists_.resize(log + 1);
+  freeLists_[log].push_back(offset);
+}
+
+void AdjacencyPool::push(std::size_t list, VertexId value) {
+  Meta& m = meta_[list];
+  if (m.capLog == kNoBlock) {
+    m.offset = allocate(kMinLog);
+    m.capLog = kMinLog;
+  } else if (m.size == (std::uint32_t{1} << m.capLog)) {
+    const auto newLog = static_cast<std::uint8_t>(m.capLog + 1);
+    const std::size_t newOffset = allocate(newLog);  // may grow the arena
+    std::copy_n(arena_.begin() + static_cast<std::ptrdiff_t>(m.offset), m.size,
+                arena_.begin() + static_cast<std::ptrdiff_t>(newOffset));
+    release(m.offset, m.capLog);
+    m.offset = newOffset;
+    m.capLog = newLog;
+  }
+  arena_[m.offset + m.size++] = value;
+}
+
+bool AdjacencyPool::eraseUnordered(std::size_t list, VertexId value) noexcept {
+  Meta& m = meta_[list];
+  VertexId* data = arena_.data() + m.offset;
+  for (std::uint32_t i = 0; i < m.size; ++i) {
+    if (data[i] == value) {
+      data[i] = data[m.size - 1];
+      --m.size;
+      return true;
+    }
+  }
+  return false;
+}
+
+void AdjacencyPool::clear(std::size_t list) noexcept {
+  Meta& m = meta_[list];
+  if (m.capLog != kNoBlock) release(m.offset, m.capLog);
+  m = Meta{};
+}
+
+std::size_t AdjacencyPool::freeSlots() const noexcept {
+  std::size_t slots = 0;
+  for (std::size_t log = 0; log < freeLists_.size(); ++log) {
+    slots += freeLists_[log].size() << log;
+  }
+  return slots;
+}
+
+}  // namespace xdgp::graph

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace xdgp::graph {
+
+/// Slab-allocated storage for per-vertex neighbour lists.
+///
+/// All lists live in one contiguous arena as power-of-two capacity blocks
+/// (minimum 1 << kMinLog slots). A list that outgrows its block moves to a
+/// block of the next size class; vacated blocks go to a per-size-class free
+/// list and are recycled before the arena grows. Compared with
+/// vector<vector<VertexId>>, iteration over many neighbourhoods streams
+/// through one allocation instead of pointer-chasing scattered heap blocks —
+/// the access pattern of the adaptive engine's decision scan.
+///
+/// Pointer stability: spans returned by view() stay valid until a push()
+/// into *any* list (growth may reallocate the arena or relocate the pushed
+/// list). eraseUnordered() and clear() never reallocate, so the
+/// DynamicGraph remove paths can hold a span across them.
+class AdjacencyPool {
+ public:
+  /// log2 of the smallest block: 4 slots covers meshes' typical degree
+  /// without a relocation while keeping isolated vertices cheap.
+  static constexpr std::uint8_t kMinLog = 2;
+
+  AdjacencyPool() = default;
+
+  /// Pre-creates `lists` empty lists (no blocks are allocated until the
+  /// first push into each).
+  explicit AdjacencyPool(std::size_t lists) : meta_(lists) {}
+
+  [[nodiscard]] std::size_t numLists() const noexcept { return meta_.size(); }
+
+  /// Grows the list table to at least `lists` entries (never shrinks).
+  void growLists(std::size_t lists) {
+    if (lists > meta_.size()) meta_.resize(lists);
+  }
+
+  void reserveLists(std::size_t lists) { meta_.reserve(lists); }
+
+  [[nodiscard]] std::span<const VertexId> view(std::size_t list) const noexcept {
+    const Meta& m = meta_[list];
+    return {arena_.data() + m.offset, m.size};
+  }
+
+  [[nodiscard]] std::size_t size(std::size_t list) const noexcept {
+    return meta_[list].size;
+  }
+
+  /// Slots the list can hold before its next relocation.
+  [[nodiscard]] std::size_t capacity(std::size_t list) const noexcept {
+    const Meta& m = meta_[list];
+    return m.capLog == kNoBlock ? 0 : std::size_t{1} << m.capLog;
+  }
+
+  /// Appends `value` to `list`. The caller is responsible for dedup; the
+  /// pool is storage only.
+  void push(std::size_t list, VertexId value);
+
+  /// Removes one occurrence of `value` by swapping with the last element
+  /// (order is not preserved). Returns false when absent.
+  bool eraseUnordered(std::size_t list, VertexId value) noexcept;
+
+  /// Empties the list and parks its block on the free list.
+  void clear(std::size_t list) noexcept;
+
+  // --- introspection (tests, memory accounting) ---
+
+  /// Total slots ever carved out of the arena.
+  [[nodiscard]] std::size_t arenaSlots() const noexcept { return arena_.size(); }
+
+  /// Slots currently parked on free lists awaiting reuse.
+  [[nodiscard]] std::size_t freeSlots() const noexcept;
+
+ private:
+  struct Meta {
+    std::size_t offset = 0;     ///< first slot in the arena
+    std::uint32_t size = 0;     ///< occupied slots
+    std::uint8_t capLog = kNoBlock;  ///< log2 capacity; kNoBlock = no block yet
+  };
+  static constexpr std::uint8_t kNoBlock = 0xff;
+
+  /// Returns the offset of a free block of 1 << log slots, recycling before
+  /// growing the arena.
+  std::size_t allocate(std::uint8_t log);
+
+  void release(std::size_t offset, std::uint8_t log);
+
+  std::vector<VertexId> arena_;
+  std::vector<Meta> meta_;
+  /// freeLists_[log] holds offsets of vacated blocks of 1 << log slots.
+  std::vector<std::vector<std::size_t>> freeLists_;
+};
+
+}  // namespace xdgp::graph

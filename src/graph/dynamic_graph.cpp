@@ -4,19 +4,21 @@
 
 namespace xdgp::graph {
 
-DynamicGraph::DynamicGraph(std::size_t n)
-    : adjacency_(n), alive_(n, 1), numVertices_(n) {}
+DynamicGraph::DynamicGraph(std::size_t n) : adj_(n), alive_(n, 1), numVertices_(n) {}
 
 VertexId DynamicGraph::addVertex() {
-  if (!freeIds_.empty()) {
+  // Entries revived by ensureVertex() are left in the list as stale (alive)
+  // ids; filter them here so neither operation pays a scan.
+  while (!freeIds_.empty()) {
     const VertexId id = freeIds_.back();
     freeIds_.pop_back();
+    if (alive_[id]) continue;  // stale: revived since it was freed
     alive_[id] = 1;
     ++numVertices_;
     return id;
   }
   const auto id = static_cast<VertexId>(alive_.size());
-  adjacency_.emplace_back();
+  adj_.growLists(id + 1);
   alive_.push_back(1);
   ++numVertices_;
   return id;
@@ -24,14 +26,11 @@ VertexId DynamicGraph::addVertex() {
 
 void DynamicGraph::ensureVertex(VertexId id) {
   if (id >= alive_.size()) {
-    adjacency_.resize(id + 1);
+    adj_.growLists(id + 1);
     alive_.resize(id + 1, 0);
   }
   if (!alive_[id]) {
-    // The id may sit in the free list; lazily drop it there to keep addVertex
-    // O(1): filter on pop instead. Simplicity wins at this scale.
-    freeIds_.erase(std::remove(freeIds_.begin(), freeIds_.end(), id),
-                   freeIds_.end());
+    // The id may sit in the free list; addVertex() filters it lazily.
     alive_[id] = 1;
     ++numVertices_;
   }
@@ -39,12 +38,13 @@ void DynamicGraph::ensureVertex(VertexId id) {
 
 void DynamicGraph::removeVertex(VertexId id) {
   if (!hasVertex(id)) return;
-  for (const VertexId nb : adjacency_[id]) {
-    eraseDirected(nb, id);
+  // eraseUnordered never reallocates the arena, so the view stays valid
+  // while the reverse edges are unlinked.
+  for (const VertexId nb : adj_.view(id)) {
+    adj_.eraseUnordered(nb, id);
     --numEdges_;
   }
-  adjacency_[id].clear();
-  adjacency_[id].shrink_to_fit();
+  adj_.clear(id);
   alive_[id] = 0;
   freeIds_.push_back(id);
   --numVertices_;
@@ -54,22 +54,18 @@ bool DynamicGraph::addEdge(VertexId u, VertexId v) {
   if (u == v) return false;
   ensureVertex(u);
   ensureVertex(v);
-  auto& nu = adjacency_[u];
+  const auto nu = adj_.view(u);
   if (std::find(nu.begin(), nu.end(), v) != nu.end()) return false;
-  nu.push_back(v);
-  adjacency_[v].push_back(u);
+  adj_.push(u, v);  // may relocate blocks; nu is dead past this point
+  adj_.push(v, u);
   ++numEdges_;
   return true;
 }
 
 bool DynamicGraph::removeEdge(VertexId u, VertexId v) {
   if (!hasVertex(u) || !hasVertex(v) || u == v) return false;
-  auto& nu = adjacency_[u];
-  const auto it = std::find(nu.begin(), nu.end(), v);
-  if (it == nu.end()) return false;
-  *it = nu.back();
-  nu.pop_back();
-  eraseDirected(v, u);
+  if (!adj_.eraseUnordered(u, v)) return false;
+  adj_.eraseUnordered(v, u);
   --numEdges_;
   return true;
 }
@@ -77,16 +73,16 @@ bool DynamicGraph::removeEdge(VertexId u, VertexId v) {
 bool DynamicGraph::hasEdge(VertexId u, VertexId v) const noexcept {
   if (!hasVertex(u) || !hasVertex(v)) return false;
   // Scan the smaller adjacency list.
-  const auto& nu = adjacency_[u];
-  const auto& nv = adjacency_[v];
-  const auto& shorter = nu.size() <= nv.size() ? nu : nv;
+  const auto nu = adj_.view(u);
+  const auto nv = adj_.view(v);
+  const auto shorter = nu.size() <= nv.size() ? nu : nv;
   const VertexId target = nu.size() <= nv.size() ? v : u;
   return std::find(shorter.begin(), shorter.end(), target) != shorter.end();
 }
 
 std::span<const VertexId> DynamicGraph::neighbors(VertexId id) const noexcept {
   if (!hasVertex(id)) return {};
-  return {adjacency_[id].data(), adjacency_[id].size()};
+  return adj_.view(id);
 }
 
 std::vector<VertexId> DynamicGraph::vertices() const {
@@ -97,17 +93,8 @@ std::vector<VertexId> DynamicGraph::vertices() const {
 }
 
 void DynamicGraph::reserveVertices(std::size_t n) {
-  adjacency_.reserve(n);
+  adj_.reserveLists(n);
   alive_.reserve(n);
-}
-
-void DynamicGraph::eraseDirected(VertexId from, VertexId to) noexcept {
-  auto& list = adjacency_[from];
-  const auto it = std::find(list.begin(), list.end(), to);
-  if (it != list.end()) {
-    *it = list.back();
-    list.pop_back();
-  }
 }
 
 }  // namespace xdgp::graph

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "graph/adjacency_pool.h"
 #include "graph/types.h"
 
 namespace xdgp::graph {
@@ -16,6 +17,11 @@ namespace xdgp::graph {
 /// stream" (§3). Removed vertex ids go to a free list and are recycled by
 /// addVertex(), keeping the id space compact for array-indexed per-vertex
 /// state.
+///
+/// Adjacency lives in an AdjacencyPool — one arena of power-of-two blocks —
+/// so scans over many neighbourhoods (the adaptive engine's decision phase)
+/// stream through contiguous memory instead of chasing per-vertex heap
+/// allocations.
 ///
 /// Invariants (checked by the test suite):
 ///  - adjacency is symmetric: v in N(u) <=> u in N(v);
@@ -49,11 +55,13 @@ class DynamicGraph {
   }
   [[nodiscard]] bool hasEdge(VertexId u, VertexId v) const noexcept;
 
-  /// Neighbour view; valid until the next mutation of vertex `id`.
+  /// Neighbour view; valid until the next mutation of the graph (edge
+  /// insertion anywhere may relocate blocks within the shared arena;
+  /// removals never do).
   [[nodiscard]] std::span<const VertexId> neighbors(VertexId id) const noexcept;
 
   [[nodiscard]] std::size_t degree(VertexId id) const noexcept {
-    return hasVertex(id) ? adjacency_[id].size() : 0;
+    return hasVertex(id) ? adj_.size(id) : 0;
   }
 
   /// Number of alive vertices.
@@ -79,7 +87,7 @@ class DynamicGraph {
   void forEachEdge(Fn&& fn) const {
     for (VertexId u = 0; u < alive_.size(); ++u) {
       if (!alive_[u]) continue;
-      for (const VertexId v : adjacency_[u]) {
+      for (const VertexId v : adj_.view(u)) {
         if (u < v) fn(u, v);
       }
     }
@@ -97,11 +105,15 @@ class DynamicGraph {
 
   void reserveVertices(std::size_t n);
 
- private:
-  void eraseDirected(VertexId from, VertexId to) noexcept;
+  /// The adjacency arena (memory accounting, pool-layout tests).
+  [[nodiscard]] const AdjacencyPool& adjacencyPool() const noexcept { return adj_; }
 
-  std::vector<std::vector<VertexId>> adjacency_;
+ private:
+  AdjacencyPool adj_;
   std::vector<std::uint8_t> alive_;
+  /// Freed ids, possibly stale: ensureVertex() revives an id in place
+  /// without scanning this list; addVertex() filters stale (alive) entries
+  /// lazily on pop, keeping both operations amortised O(1).
   std::vector<VertexId> freeIds_;
   std::size_t numVertices_ = 0;
   std::size_t numEdges_ = 0;

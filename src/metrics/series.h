@@ -12,7 +12,10 @@ struct IterationPoint {
   std::size_t iteration = 0;
   std::size_t cuts = 0;
   std::size_t migrations = 0;
-  double timePerIteration = 0.0;  ///< modelled, normalised to static hash
+  /// Measured wall seconds of the iteration (core::AdaptiveEngine records
+  /// util::WallTimer readings; the pregel path reports modelled time in
+  /// SuperstepStats instead).
+  double timePerIteration = 0.0;
 };
 
 /// Append-only series with the reductions the figures need.

@@ -9,13 +9,14 @@ BackgroundPartitioner::BackgroundPartitioner(std::size_t k, std::size_t totalUni
       quota_(k),
       policy_(k),
       tracker_(options.convergenceWindow),
-      rng_(options.seed) {
+      draws_(options.seed, options.willingness) {
   if (options_.hotspotAware) hotspot_.emplace(k, options_.hotspot);
 }
 
 std::vector<std::pair<graph::VertexId, graph::PartitionId>>
 BackgroundPartitioner::announce(const graph::DynamicGraph& g,
                                 const core::PartitionState& state) {
+  const std::size_t superstep = ++superstep_;
   std::vector<std::pair<graph::VertexId, graph::PartitionId>> announcements;
   const bool edgeBalance = options_.balanceMode == core::BalanceMode::kEdges;
   const auto& loads = edgeBalance ? state.degreeLoads() : state.loads();
@@ -29,10 +30,13 @@ BackgroundPartitioner::announce(const graph::DynamicGraph& g,
   const std::size_t bound = g.idBound();
   for (graph::VertexId v = 0; v < bound; ++v) {
     if (!g.hasVertex(v)) continue;
-    if (!rng_.bernoulli(options_.willingness)) continue;
+    // Willingness gates the announcement, not the desire (see header): the
+    // draw is independent of the O(deg) evaluation, so an unwilling vertex
+    // can skip it outright — identical announcements, ~s of the cost.
+    if (!draws_.willing(superstep, v)) continue;
     const graph::PartitionId current = state.partitionOf(v);
-    const graph::PartitionId target =
-        policy_.target(g.neighbors(v), state.assignment(), current, rng_.next());
+    const graph::PartitionId target = policy_.target(
+        g.neighbors(v), state.assignment(), current, draws_.tieBreak(superstep, v));
     if (target == graph::kNoPartition) continue;
     const std::size_t units = edgeBalance ? g.degree(v) : 1;
     if (options_.enforceQuota && !quota_.tryAdmit(current, target, units)) continue;

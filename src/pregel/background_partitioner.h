@@ -7,12 +7,12 @@
 
 #include "core/capacity.h"
 #include "core/convergence.h"
+#include "core/draws.h"
 #include "core/hotspot.h"
 #include "core/migration_policy.h"
 #include "core/partition_state.h"
 #include "core/quota_ledger.h"
 #include "graph/dynamic_graph.h"
-#include "util/rng.h"
 
 namespace xdgp::pregel {
 
@@ -23,6 +23,13 @@ namespace xdgp::pregel {
 /// and produces migration *announcements* using the paper's greedy heuristic
 /// gated by willingness s and the worst-case quotas. The engine turns the
 /// announcements into deferred migrations (§3).
+///
+/// Like the core engine, draws are stateless per (superstep, vertex)
+/// (core::StatelessDraws) and willingness gates the announcement, not the
+/// evaluation: a vertex's desire is a pure function of its neighbourhood
+/// snapshot, every worker can verify any peer's decision without a
+/// coordinated RNG, and the walk could be sharded across threads or workers
+/// without changing a single announcement.
 ///
 /// Capacity staleness: the paper's workers gossip predicted capacities
 /// C_{t+1}(i) = C_t(i) − V_out + V_in one superstep ahead. Because the
@@ -93,7 +100,8 @@ class BackgroundPartitioner {
   core::MigrationPolicy policy_;
   core::ConvergenceTracker tracker_;
   std::optional<core::HotspotModel> hotspot_;
-  util::Rng rng_;
+  core::StatelessDraws draws_;
+  std::size_t superstep_ = 0;  ///< draw key; advanced by each announce()
 };
 
 }  // namespace xdgp::pregel

@@ -327,10 +327,21 @@ TEST(HotspotModel, UnprimedIsIdentity) {
   EXPECT_EQ(model.effectiveCapacities(base), base.capacities());
 }
 
+/// Worker 0 is a permanent hotspot: hosting any vertex there costs 10x the
+/// compute of every other worker (an overloaded machine, not a heavy app).
+struct WorkerSkewProgram {
+  using VertexValue = std::uint8_t;
+  using MessageValue = std::uint8_t;
+  template <typename Ctx>
+  void compute(Ctx& ctx, VertexValue&, std::span<const MessageValue>) {
+    ctx.addComputeUnits(ctx.worker() == 0 ? 10.0 : 1.0);
+  }
+};
+
 TEST(HotspotAware, HotPartitionShedsLoad) {
-  // A graph whose heavy-compute vertices all start on worker 0: with the
-  // hotspot extension the partitioner drains that worker harder than the
-  // plain version does.
+  // With the §6 extension, worker 0's sustained heat derates its effective
+  // capacity, the inbound quotas dry up, and normal greedy departures drain
+  // it; the plain version keeps feeding it.
   const DynamicGraph g = gen::mesh3d(10, 10, 10);
   const auto initial = initialAssignment(g, "HSH", 9);
   const auto runWith = [&](bool hotspotAware) {
@@ -339,15 +350,14 @@ TEST(HotspotAware, HotPartitionShedsLoad) {
     options.adaptive = true;
     options.partitioner.hotspotAware = hotspotAware;
     options.partitioner.hotspot.maxShrink = 0.3;
-    apps::PageRankProgram app;
-    app.setNumVertices(g.numVertices());
-    pregel::Engine<apps::PageRankProgram> engine(g, initial, options, app);
+    pregel::Engine<WorkerSkewProgram> engine(g, initial, options);
     for (int i = 0; i < 120; ++i) engine.runSuperstep();
     return engine.state().load(0);
   };
-  // Statistical: the derated capacity must not *grow* worker 0's load; in
-  // practice it sheds a visible share.
-  EXPECT_LE(runWith(true), runWith(false) + 5);
+  // Direction is forced by the mechanism (probed stable across seeds:
+  // hotspot-aware lands 66-79 vertices vs 88-116 plain); the margin only
+  // absorbs draw-stream wobble.
+  EXPECT_LT(runWith(true), runWith(false));
 }
 
 // ------------------------------------------------------- new generators

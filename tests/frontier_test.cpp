@@ -1,0 +1,249 @@
+// Frontier equivalence suite: AdaptiveOptions::frontier must be a pure
+// performance knob. For every registered initial strategy, several graph
+// families, both balance modes, threaded evaluation, and adversarial update
+// streams, a frontier-on engine and a frontier-off engine stepped in
+// lockstep must report identical migrations, identical incremental cuts,
+// and identical assignments at every single iteration. A second group pins
+// the point of the frontier: once converged, step() evaluates (almost) no
+// vertices.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "api/partitioner_registry.h"
+#include "core/adaptive_engine.h"
+#include "gen/erdos_renyi.h"
+#include "gen/mesh2d.h"
+#include "gen/mesh3d.h"
+#include "gen/powerlaw_cluster.h"
+#include "gen/watts_strogatz.h"
+#include "graph/update_stream.h"
+#include "util/rng.h"
+
+namespace xdgp::core {
+namespace {
+
+using graph::DynamicGraph;
+using graph::UpdateEvent;
+using graph::VertexId;
+
+DynamicGraph makeFamily(const std::string& family) {
+  util::Rng rng(7);
+  if (family == "mesh2d") return gen::mesh2d(16, 16);
+  if (family == "mesh3d") return gen::mesh3d(6, 6, 6);
+  if (family == "plaw") return gen::powerlawCluster(500, 6, 0.15, rng);
+  if (family == "smallworld") return gen::wattsStrogatz(400, 6, 0.1, rng);
+  return gen::erdosRenyi(400, 1'400, rng);
+}
+
+/// Twin engines over the same graph/initial/options, differing only in the
+/// frontier flag (and optionally the thread count, which must not matter).
+struct Twins {
+  AdaptiveEngine on;
+  AdaptiveEngine off;
+
+  Twins(const DynamicGraph& g, const metrics::Assignment& initial,
+        AdaptiveOptions options, std::size_t frontierThreads = 1)
+      : on(DynamicGraph(g), initial, withFrontier(options, true, frontierThreads)),
+        off(DynamicGraph(g), initial, withFrontier(options, false, 1)) {}
+
+  static AdaptiveOptions withFrontier(AdaptiveOptions options, bool frontier,
+                                      std::size_t threads) {
+    options.frontier = frontier;
+    options.threads = threads;
+    return options;
+  }
+
+  /// One lockstep iteration; asserts every observable matches.
+  void stepBoth(const std::string& context, int iter) {
+    const std::size_t migrationsOn = on.step();
+    const std::size_t migrationsOff = off.step();
+    ASSERT_EQ(migrationsOn, migrationsOff) << context << " iter " << iter;
+    ASSERT_EQ(on.state().cutEdges(), off.state().cutEdges())
+        << context << " iter " << iter;
+    ASSERT_EQ(on.state().assignment(), off.state().assignment())
+        << context << " iter " << iter;
+    ASSERT_EQ(on.state().loads(), off.state().loads()) << context << " iter " << iter;
+  }
+};
+
+std::vector<UpdateEvent> churnBatch(const DynamicGraph& g, util::Rng& rng,
+                                    std::size_t count) {
+  std::vector<UpdateEvent> events;
+  const std::size_t idSpace = g.idBound() + 6;
+  for (std::size_t e = 0; e < count; ++e) {
+    const auto u = static_cast<VertexId>(rng.index(idSpace));
+    const auto v = static_cast<VertexId>(rng.index(idSpace));
+    switch (rng.below(6)) {
+      case 0:
+        events.push_back(UpdateEvent::addVertex(u));
+        break;
+      case 1:
+        if (g.numVertices() > 60) events.push_back(UpdateEvent::removeVertex(u));
+        break;
+      case 2:
+      case 3:
+        events.push_back(UpdateEvent::addEdge(u, v));
+        break;
+      default:
+        events.push_back(UpdateEvent::removeEdge(u, v));
+        break;
+    }
+  }
+  return events;
+}
+
+// --------------------------------------------- strategies x families
+
+class FrontierEquivalence
+    : public testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+TEST_P(FrontierEquivalence, LockstepTrajectoriesIdenticalUnderChurn) {
+  const auto& [code, family] = GetParam();
+  const DynamicGraph g = makeFamily(family);
+  const metrics::Assignment initial = api::initialAssignment(g, code, 6, 1.1, 11);
+  AdaptiveOptions options;
+  options.k = 6;
+  options.seed = 29;
+  Twins twins(g, initial, options);
+
+  const std::string context = code + "/" + family;
+  util::Rng churn(59);
+  int iter = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      twins.stepBoth(context, iter++);
+      if (testing::Test::HasFatalFailure()) return;
+    }
+    // Identical fuzzed structural churn hits both engines between rounds.
+    const auto events = churnBatch(twins.on.graph(), churn, 18);
+    ASSERT_EQ(twins.on.applyUpdates(events), twins.off.applyUpdates(events));
+    twins.on.rescaleCapacity();
+    twins.off.rescaleCapacity();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegistryStrategies, FrontierEquivalence,
+    testing::Combine(testing::ValuesIn(api::PartitionerRegistry::instance().codes()),
+                     testing::Values("mesh2d", "plaw")),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+// --------------------------------------------- modes and threading
+
+TEST(FrontierEquivalence, HoldsInEdgeBalanceMode) {
+  const DynamicGraph g = makeFamily("smallworld");
+  const metrics::Assignment initial = api::initialAssignment(g, "RND", 5, 1.1, 13);
+  AdaptiveOptions options;
+  options.k = 5;
+  options.balanceMode = BalanceMode::kEdges;
+  Twins twins(g, initial, options);
+  for (int iter = 0; iter < 40; ++iter) {
+    twins.stepBoth("edge-balance", iter);
+    if (testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(FrontierEquivalence, HoldsWithoutQuotaEnforcement) {
+  const DynamicGraph g = makeFamily("er");
+  const metrics::Assignment initial = api::initialAssignment(g, "HSH", 4, 1.1, 17);
+  AdaptiveOptions options;
+  options.k = 4;
+  options.enforceQuota = false;
+  Twins twins(g, initial, options);
+  for (int iter = 0; iter < 40; ++iter) {
+    twins.stepBoth("no-quota", iter);
+    if (testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(FrontierEquivalence, ShardedFrontierMatchesSerialFullScan) {
+  const DynamicGraph g = makeFamily("mesh3d");
+  const metrics::Assignment initial = api::initialAssignment(g, "HSH", 9, 1.1, 19);
+  AdaptiveOptions options;
+  options.k = 9;
+  Twins twins(g, initial, options, /*frontierThreads=*/4);
+  for (int iter = 0; iter < 50; ++iter) {
+    twins.stepBoth("threads", iter);
+    if (testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(FrontierEquivalence, ExtremeWillingnessValues) {
+  for (const double s : {0.0, 1.0}) {
+    const DynamicGraph g = makeFamily("mesh2d");
+    const metrics::Assignment initial = api::initialAssignment(g, "RND", 3, 1.1, 23);
+    AdaptiveOptions options;
+    options.k = 3;
+    options.willingness = s;
+    Twins twins(g, initial, options);
+    for (int iter = 0; iter < 20; ++iter) {
+      twins.stepBoth("s=" + std::to_string(s), iter);
+      if (testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// --------------------------------------------- the point of the frontier
+
+TEST(FrontierCost, ConvergedStepsEvaluateAlmostNothing) {
+  AdaptiveOptions options;
+  options.k = 9;
+  const DynamicGraph g = gen::mesh3d(8, 8, 8);
+  AdaptiveEngine engine(DynamicGraph(g), api::initialAssignment(g, "HSH", 9, 1.1, 3),
+                        options);
+  ASSERT_TRUE(engine.runToConvergence(5'000).converged);
+  engine.step();
+  // Converged means 30 quiet iterations: the frontier has drained to at most
+  // a handful of permanently quota-starved desires (usually none).
+  EXPECT_LE(engine.lastEvaluatedCount(), engine.graph().numVertices() / 100);
+}
+
+TEST(FrontierCost, FullScanEvaluatesEverythingForever) {
+  AdaptiveOptions options;
+  options.k = 9;
+  options.frontier = false;
+  const DynamicGraph g = gen::mesh3d(6, 6, 6);
+  AdaptiveEngine engine(DynamicGraph(g), api::initialAssignment(g, "HSH", 9, 1.1, 3),
+                        options);
+  ASSERT_TRUE(engine.runToConvergence(5'000).converged);
+  engine.step();
+  EXPECT_EQ(engine.lastEvaluatedCount(), engine.graph().numVertices());
+}
+
+TEST(FrontierCost, ChurnReactivatesOnlyTheNeighbourhood) {
+  AdaptiveOptions options;
+  options.k = 4;
+  const DynamicGraph g = gen::mesh2d(20, 20);
+  AdaptiveEngine engine(DynamicGraph(g), api::initialAssignment(g, "HSH", 4, 1.1, 5),
+                        options);
+  ASSERT_TRUE(engine.runToConvergence(5'000).converged);
+  engine.step();
+  const std::size_t quiescent = engine.lastEvaluatedCount();
+  // One edge flips: the next step examines its endpoints and re-tries any
+  // parked quota-starved desires (the degree loads shifted), not the whole
+  // 400-vertex mesh.
+  const std::size_t parked = engine.parkedCount();
+  engine.applyUpdates({UpdateEvent::addEdge(0, 399)});
+  engine.step();
+  EXPECT_LE(engine.lastEvaluatedCount(), quiescent + parked + 2);
+  EXPECT_GE(engine.lastEvaluatedCount(), 2u);
+}
+
+TEST(FrontierCost, FirstIterationSweepsEveryVertex) {
+  AdaptiveOptions options;
+  options.k = 5;
+  const DynamicGraph g = gen::mesh2d(10, 10);
+  AdaptiveEngine engine(DynamicGraph(g), api::initialAssignment(g, "RND", 5, 1.1, 7),
+                        options);
+  engine.step();
+  EXPECT_EQ(engine.lastEvaluatedCount(), engine.graph().numVertices());
+}
+
+}  // namespace
+}  // namespace xdgp::core

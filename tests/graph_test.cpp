@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <set>
 
+#include "graph/adjacency_pool.h"
 #include "graph/csr.h"
 #include "graph/dynamic_graph.h"
 #include "graph/id_mapper.h"
@@ -177,6 +178,82 @@ TEST(DynamicGraph, RandomMutationFuzzKeepsInvariants) {
     }
   }
   expectInvariants(g);
+}
+
+TEST(DynamicGraph, BulkRemoveThenReaddRecyclesWithoutScans) {
+  // The remove-then-readd stream that made the old eager free-list filter
+  // quadratic: every readd via ensureVertex leaves a stale entry that
+  // addVertex must skip, exactly once, and fresh ids never collide.
+  DynamicGraph g(100);
+  for (VertexId v = 0; v < 100; v += 2) g.removeVertex(v);
+  for (VertexId v = 0; v < 100; v += 2) g.ensureVertex(v);  // all stale now
+  EXPECT_EQ(g.numVertices(), 100u);
+  const VertexId fresh = g.addVertex();  // pops 50 stale entries, then grows
+  EXPECT_EQ(fresh, 100u);
+  g.removeVertex(7);
+  EXPECT_EQ(g.addVertex(), 7u);  // genuine free entries still recycle
+  expectInvariants(g);
+}
+
+// ------------------------------------------------------------ AdjacencyPool
+
+TEST(AdjacencyPool, GrowsBlocksByDoublingWithinOneArena) {
+  AdjacencyPool pool(2);
+  for (VertexId x = 0; x < 9; ++x) pool.push(0, x);
+  EXPECT_EQ(pool.size(0), 9u);
+  EXPECT_EQ(pool.capacity(0), 16u);  // 4 -> 8 -> 16
+  const auto view = pool.view(0);
+  for (VertexId x = 0; x < 9; ++x) EXPECT_EQ(view[x], x);
+  // The outgrown 4- and 8-blocks are parked for reuse, not leaked.
+  EXPECT_EQ(pool.freeSlots(), 4u + 8u);
+  EXPECT_EQ(pool.arenaSlots(), 4u + 8u + 16u);
+}
+
+TEST(AdjacencyPool, RecyclesFreedBlocksBeforeGrowingArena) {
+  AdjacencyPool pool(3);
+  for (VertexId x = 0; x < 4; ++x) pool.push(0, x);
+  const std::size_t arenaAfterFirst = pool.arenaSlots();
+  pool.clear(0);
+  EXPECT_EQ(pool.freeSlots(), 4u);
+  for (VertexId x = 0; x < 4; ++x) pool.push(1, x);  // reuses list 0's block
+  EXPECT_EQ(pool.arenaSlots(), arenaAfterFirst);
+  EXPECT_EQ(pool.freeSlots(), 0u);
+}
+
+TEST(AdjacencyPool, EraseUnorderedKeepsRemainderIntact) {
+  AdjacencyPool pool(1);
+  for (VertexId x = 10; x < 15; ++x) pool.push(0, x);
+  EXPECT_TRUE(pool.eraseUnordered(0, 11));
+  EXPECT_FALSE(pool.eraseUnordered(0, 11));
+  EXPECT_EQ(pool.size(0), 4u);
+  const auto view = pool.view(0);
+  const std::set<VertexId> remaining(view.begin(), view.end());
+  EXPECT_EQ(remaining, (std::set<VertexId>{10, 12, 13, 14}));
+}
+
+TEST(AdjacencyPool, ArenaStaysBoundedUnderChurn) {
+  // Steady-state add/remove cycles must recycle blocks rather than grow the
+  // arena without bound.
+  DynamicGraph g(64);
+  util::Rng rng(5);
+  for (int warm = 0; warm < 2'000; ++warm) {
+    g.addEdge(static_cast<VertexId>(rng.index(64)),
+              static_cast<VertexId>(rng.index(64)));
+  }
+  const std::size_t warmSlots = g.adjacencyPool().arenaSlots();
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    for (VertexId v = 0; v < 64; ++v) {
+      if (rng.bernoulli(0.3)) g.removeVertex(v);
+    }
+    for (int e = 0; e < 500; ++e) {
+      g.addEdge(static_cast<VertexId>(rng.index(64)),
+                static_cast<VertexId>(rng.index(64)));
+    }
+  }
+  expectInvariants(g);
+  // Loose bound: churn may fragment across size classes, but must not grow
+  // the arena linearly with the number of cycles.
+  EXPECT_LE(g.adjacencyPool().arenaSlots(), 4 * warmSlots + 1'024);
 }
 
 // ------------------------------------------------------------ CSR
