@@ -6,6 +6,7 @@
 
 #include "api/partitioner_registry.h"
 #include "api/pipeline.h"
+#include "api/workload_registry.h"
 #include "core/adaptive_engine.h"
 #include "gen/dataset_catalog.h"
 #include "metrics/cuts.h"

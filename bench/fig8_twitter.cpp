@@ -4,9 +4,10 @@
 //
 // Two systems consume the identical synthetic mention stream (docs/DESIGN.md §2):
 // one with static hash partitioning, one with the adaptive algorithm,
-// running TunkRank continuously. Mentions older than a sliding window expire
-// (real-time influence tracks *recent* mentions, which keeps the live graph
-// following the diurnal load as in the paper's day-long plot). A worker
+// running TunkRank continuously. The TWEET workload comes from
+// api::WorkloadRegistry and the 10-minute bucketing + sliding mention-window
+// expiry from api::Streamer (graph::EdgeExpiryWindow) — this driver only
+// interleaves the application supersteps and the fault injection. A worker
 // failure is injected mid-afternoon, reproducing the paper's sudden drop in
 // throughput and superstep time.
 //
@@ -15,83 +16,39 @@
 // static system's day average.
 
 #include <algorithm>
-#include <deque>
 #include <iostream>
-#include <unordered_map>
 
 #include "apps/tunkrank.h"
 #include "bench_common.h"
-#include "gen/tweet_stream.h"
-#include "graph/update_stream.h"
+#include "graph/edge_expiry_window.h"
 #include "pregel/engine.h"
 #include "util/csv.h"
 
 using namespace xdgp;
 
-namespace {
-
-/// Sliding-window maintainer for the mention graph: an edge expires when its
-/// most recent observation falls out of the window.
-class MentionWindow {
- public:
-  explicit MentionWindow(double windowSec) : windowSec_(windowSec) {}
-
-  /// Folds a batch of AddEdge events in and returns it extended with the
-  /// RemoveEdge events that expired as of `now`.
-  std::vector<graph::UpdateEvent> advance(std::vector<graph::UpdateEvent> adds,
-                                          double now) {
-    for (const auto& e : adds) {
-      lastSeen_[key(e.u, e.v)] = e.timestamp;
-      fifo_.push_back(e);
-    }
-    std::vector<graph::UpdateEvent> batch = std::move(adds);
-    while (!fifo_.empty() && fifo_.front().timestamp < now - windowSec_) {
-      const graph::UpdateEvent e = fifo_.front();
-      fifo_.pop_front();
-      const auto it = lastSeen_.find(key(e.u, e.v));
-      // Only expire if the edge was not re-observed inside the window.
-      if (it != lastSeen_.end() && it->second == e.timestamp) {
-        batch.push_back(graph::UpdateEvent::removeEdge(e.u, e.v, now));
-        lastSeen_.erase(it);
-      }
-    }
-    return batch;
-  }
-
- private:
-  static std::uint64_t key(graph::VertexId u, graph::VertexId v) {
-    const auto [a, b] = std::minmax(u, v);
-    return (static_cast<std::uint64_t>(a) << 32) | b;
-  }
-  double windowSec_;
-  std::deque<graph::UpdateEvent> fifo_;
-  std::unordered_map<std::uint64_t, double> lastSeen_;
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
-  const auto users = static_cast<std::size_t>(flags.getInt("users", 20'000));
-  const double meanRate = flags.getDouble("rate", 8.0);
-  const double hours = flags.getDouble("hours", 24.0);
-  const double windowHours = flags.getDouble("window-hours", 6.0);
+  const double hours = flags.getDouble("hours", 24.0);  // the measured day
   const auto workers = static_cast<std::size_t>(flags.getInt("workers", 9));
   const auto stepsPerBucket = static_cast<std::size_t>(flags.getInt("steps", 3));
-  const std::uint64_t seed = flags.getUint64("seed", 42);
+  api::WorkloadConfig config = api::workloadConfigFromFlags(
+      flags, api::WorkloadRegistry::instance().info("TWEET"));
   flags.finish();
+  const std::uint64_t seed = config.seed;
 
-  // The measured day plus a warm-up day: the paper's system had run
-  // continuously for 4 days, so the recurrent mention structure is in place.
-  gen::TweetStreamParams streamParams;
-  streamParams.users = users;
-  streamParams.meanRate = meanRate;
-  streamParams.hours = 24.0 + hours;
-  const auto allEvents =
-      gen::TweetStreamGenerator(streamParams, util::Rng(seed)).generate();
+  // Fig-8 scale when the flags do not say otherwise (the registry defaults
+  // to an example-sized stream), and a warm-up day in front of the measured
+  // one: the paper's system had run continuously for 4 days, so the
+  // recurrent mention structure is in place.
+  config.overrides.try_emplace("users", 20'000.0);
+  config.overrides.try_emplace("rate", 8.0);
+  config.overrides["hours"] = 24.0 + hours;
+  api::Workload workload = api::WorkloadRegistry::instance().make("TWEET", config);
 
-  graph::DynamicGraph base;
-  for (graph::VertexId v = 0; v < users; ++v) base.ensureVertex(v);
+  const std::size_t users = workload.initial.numVertices();
+  const double meanRate = config.overrides.at("rate");
+  const double windowHours = workload.suggested.expirySpan / 3600.0;
+  const double bucketSec = workload.suggested.windowSpan;
 
   pregel::EngineOptions staticOptions;
   staticOptions.numWorkers = workers;
@@ -100,31 +57,41 @@ int main(int argc, char** argv) {
   adaptiveOptions.partitioner.seed = seed;
 
   pregel::Engine<apps::TunkRankProgram> staticEngine(
-      base, bench::initialAssignment(base, "HSH", workers, 1.1, seed),
+      workload.initial, bench::initialAssignment(workload.initial, "HSH", workers,
+                                                 1.1, seed),
       staticOptions);
   pregel::Engine<apps::TunkRankProgram> adaptiveEngine(
-      base, bench::initialAssignment(base, "HSH", workers, 1.1, seed),
+      workload.initial, bench::initialAssignment(workload.initial, "HSH", workers,
+                                                 1.1, seed),
       adaptiveOptions);
 
-  const double bucketSec = 600.0;
-  MentionWindow window(windowHours * 3600.0);
-  graph::UpdateStream feed(allEvents);
+  const auto warmupBuckets = static_cast<std::size_t>(24.0 * 3600.0 / bucketSec);
+  const auto buckets = static_cast<std::size_t>(hours * 3600.0 / bucketSec);
+  api::StreamOptions streamOptions = workload.suggested;
+  streamOptions.maxWindows = warmupBuckets + buckets;
+  // The mention window is applied here rather than via StreamOptions: the
+  // fault injection below must drop a failed bucket's mentions *before* the
+  // expiry tracker sees them (a lost mention must not reset an edge's
+  // expiry clock), so expiry runs after the drop.
+  streamOptions.expirySpan = 0.0;
+  graph::EdgeExpiryWindow mentionWindow(workload.suggested.expirySpan);
+  api::Streamer streamer(std::move(workload.stream), streamOptions);
 
   // --- Warm-up day: same pipeline, unmeasured; a couple of supersteps per
   // bucket keep the adaptive partitioner tracking the graph.
   std::cerr << "[fig8] warming up over one simulated day...\n";
-  for (double now = bucketSec; now <= 24.0 * 3600.0; now += bucketSec) {
-    const auto batch = window.advance(feed.drainUntil(now), now);
-    staticEngine.ingest(batch);
-    adaptiveEngine.ingest(batch);
+  while (streamer.windowsEmitted() < warmupBuckets) {
+    auto batch = streamer.next();
+    if (!batch) break;
+    const auto events = mentionWindow.advance(std::move(batch->events), batch->end);
+    staticEngine.ingest(events);
+    adaptiveEngine.ingest(events);
     staticEngine.runSupersteps(2);
     adaptiveEngine.runSupersteps(2);
   }
 
   // --- The measured day, in 10-minute buckets.
-  const auto buckets = static_cast<std::size_t>(hours * 3600.0 / bucketSec);
   const std::size_t failureBucket = buckets * 5 / 8;  // mid-afternoon failure
-  const double dayStart = 24.0 * 3600.0;
 
   struct Bucket {
     double hour;
@@ -136,17 +103,18 @@ int main(int argc, char** argv) {
   double staticSum = 0.0, adaptiveSum = 0.0;
   util::RunningStat staticSpread, adaptiveSpread;
 
-  for (std::size_t b = 0; b < buckets; ++b) {
-    const double now = dayStart + static_cast<double>(b + 1) * bucketSec;
-    auto incoming = feed.drainUntil(now);
-    double throughput = static_cast<double>(incoming.size()) / bucketSec;
+  while (auto batch = streamer.next()) {
+    const std::size_t b = batch->index - warmupBuckets;
+    double throughput = static_cast<double>(batch->drained) / bucketSec;
 
     double recoveryPenalty = 0.0;
     if (b == failureBucket || b == failureBucket + 1) {
-      // Worker failure: ingestion stalls; the recovery superstep re-loads
-      // the failed worker's partition (one vertex transfer per hosted
-      // vertex, in cost-model terms).
-      incoming.clear();
+      // Worker failure: ingestion stalls — the bucket's fresh mentions are
+      // dropped before the mention window tracks them, which keeps sliding
+      // while the worker is down. The recovery superstep re-loads the
+      // failed worker's partition (one vertex transfer per hosted vertex,
+      // in cost-model terms).
+      batch->events.clear();
       throughput = 0.0;
       if (b == failureBucket) {
         recoveryPenalty =
@@ -154,9 +122,9 @@ int main(int argc, char** argv) {
             static_cast<double>(staticEngine.graph().numVertices() / workers);
       }
     }
-    const auto batch = window.advance(std::move(incoming), now);
-    staticEngine.ingest(batch);
-    adaptiveEngine.ingest(batch);
+    const auto events = mentionWindow.advance(std::move(batch->events), batch->end);
+    staticEngine.ingest(events);
+    adaptiveEngine.ingest(events);
 
     double staticTime = 0.0, adaptiveTime = 0.0;
     for (std::size_t s = 0; s < stepsPerBucket; ++s) {
@@ -176,7 +144,7 @@ int main(int argc, char** argv) {
   }
 
   // Normalise to the static system's day average, as the figure's scale.
-  const double norm = staticSum / static_cast<double>(buckets);
+  const double norm = staticSum / static_cast<double>(series.size());
   util::CsvWriter csv(bench::resultsDir() + "/fig8_twitter.csv",
                       {"hour", "tweets_per_sec", "hash_superstep_time",
                        "iter_superstep_time"});

@@ -3,8 +3,9 @@
 // weeks of available data", mobile-call-graph clique mining, dynamic
 // (adaptive) vs static partitioning.
 //
-// The CDR stream reproduces the paper's churn exactly (8% weekly additions,
-// 4% deletions); the clique workload freezes the topology during each
+// The CDR workload comes from api::WorkloadRegistry (weekly churn matching
+// the paper: 8% additions, 4% deletions) and the buffered-batch windowing
+// from api::Streamer; the clique workload freezes the topology during each
 // computation and the buffered changes land in batches, as §4.3 requires.
 // Subscribers are scaled from the paper's 21M (docs/DESIGN.md §2).
 //
@@ -16,7 +17,6 @@
 
 #include "apps/max_clique.h"
 #include "bench_common.h"
-#include "gen/cdr_stream.h"
 #include "pregel/engine.h"
 #include "util/csv.h"
 
@@ -24,19 +24,17 @@ using namespace xdgp;
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
-  const auto subscribers =
-      static_cast<std::size_t>(flags.getInt("subscribers", 20'000));
   const auto workers = static_cast<std::size_t>(flags.getInt("workers", 5));
   const auto batchesPerWeek =
       static_cast<std::size_t>(flags.getInt("batches", 5));
   const auto roundsPerBatch = static_cast<std::size_t>(flags.getInt("rounds", 3));
-  const std::uint64_t seed = flags.getUint64("seed", 42);
+  api::WorkloadConfig config = api::workloadConfigFromFlags(
+      flags, api::WorkloadRegistry::instance().info("CDR"));
   flags.finish();
+  const std::uint64_t seed = config.seed;
 
-  gen::CdrStreamParams params;
-  params.initialSubscribers = subscribers;
-  gen::CdrStreamGenerator cdr(params, util::Rng(seed));
-  const graph::DynamicGraph& base = cdr.initialGraph();
+  api::Workload workload = api::WorkloadRegistry::instance().make("CDR", config);
+  const graph::DynamicGraph& base = workload.initial;
 
   std::cout << "Figure 9: mobile CDR clique mining, " << base.numVertices()
             << " subscribers (paper: 21M, scaled), mean degree "
@@ -73,30 +71,35 @@ int main(int argc, char** argv) {
   util::TablePrinter table({"week", "cuts static", "cuts dynamic", "time static",
                             "time dynamic", "max clique"});
 
-  for (std::size_t week = 0; week < 4; ++week) {
-    const gen::CdrWeek batch = cdr.nextWeek();
-    // Split the week's events into batches, mimicking the x15 speed-up
-    // buffering: each computation round sees a sizeable buffered batch.
-    std::vector<std::vector<graph::UpdateEvent>> slices(batchesPerWeek);
-    for (std::size_t i = 0; i < batch.events.size(); ++i) {
-      slices[i * batchesPerWeek / batch.events.size()].push_back(batch.events[i]);
-    }
+  // One window per buffered batch, mimicking the x15 speed-up buffering:
+  // each computation round sees a sizeable batch of the week's churn.
+  api::StreamOptions streamOptions = workload.suggested;
+  streamOptions.windowSpan = 1.0 / static_cast<double>(batchesPerWeek);
+  api::Streamer streamer(std::move(workload.stream), streamOptions);
 
-    util::RunningStat staticTime, adaptiveTime;
-    for (std::size_t slice = 0; slice < batchesPerWeek; ++slice) {
-      staticEngine.freezeTopology();
-      adaptiveEngine.freezeTopology();
-      staticEngine.ingest(slices[slice]);
-      adaptiveEngine.ingest(slices[slice]);
-      for (std::size_t step = 0; step < 2 * roundsPerBatch; ++step) {
-        staticTime.add(staticEngine.runSuperstep().modeledTime);
-        adaptiveTime.add(adaptiveEngine.runSuperstep().modeledTime);
-      }
-      staticEngine.thawTopology();
-      adaptiveEngine.thawTopology();
-      adaptiveEngine.rescalePartitionerCapacity();  // +4% net growth per week
+  util::RunningStat staticTime, adaptiveTime;
+  std::size_t weekAdds = 0, weekRemoves = 0;
+  while (auto batch = streamer.next()) {
+    for (const graph::UpdateEvent& e : batch->events) {
+      weekAdds += e.kind == graph::UpdateEvent::Kind::kAddVertex ? 1 : 0;
+      weekRemoves += e.kind == graph::UpdateEvent::Kind::kRemoveVertex ? 1 : 0;
     }
+    staticEngine.freezeTopology();
+    adaptiveEngine.freezeTopology();
+    staticEngine.ingest(batch->events);
+    adaptiveEngine.ingest(batch->events);
+    for (std::size_t step = 0; step < 2 * roundsPerBatch; ++step) {
+      staticTime.add(staticEngine.runSuperstep().modeledTime);
+      adaptiveTime.add(adaptiveEngine.runSuperstep().modeledTime);
+    }
+    staticEngine.thawTopology();
+    adaptiveEngine.thawTopology();
+    adaptiveEngine.rescalePartitionerCapacity();  // +4% net growth per week
 
+    const bool weekClosed = (batch->index + 1) % batchesPerWeek == 0;
+    if (!weekClosed && !batch->streamExhausted) continue;
+
+    const std::size_t week = batch->index / batchesPerWeek;
     if (week == 0) timeNorm = staticTime.mean();
     const std::size_t maxClique = adaptiveEngine.reduceValues(
         std::size_t{0},
@@ -114,8 +117,11 @@ int main(int argc, char** argv) {
                 util::fmt(staticTime.mean() / timeNorm, 4),
                 util::fmt(adaptiveTime.mean() / timeNorm, 4),
                 std::to_string(maxClique)});
-    std::cerr << "[fig9] " << weekName << " done (+" << batch.verticesAdded
-              << "/-" << batch.verticesRemoved << " vertices)\n";
+    std::cerr << "[fig9] " << weekName << " done (+" << weekAdds << "/-"
+              << weekRemoves << " vertices)\n";
+    staticTime = util::RunningStat{};
+    adaptiveTime = util::RunningStat{};
+    weekAdds = weekRemoves = 0;
   }
   table.print(std::cout);
   std::cout << "\n(times normalised to the static system's week-1 average;\n"

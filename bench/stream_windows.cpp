@@ -1,0 +1,75 @@
+// Streaming micro-harness: runs every generated workload in
+// api::WorkloadRegistry through Session::stream at a small, fixed scale and
+// emits one per-window JSONL series per workload into XDGP_BENCH_DIR
+// (stream_<code>.jsonl) — the CI artifact that tracks windowed cut ratio,
+// migrations, and wall time per window across commits, the way
+// micro_kernels' BENCH_*.json tracks kernel times.
+//
+//   build/bench/stream_windows [--k=9] [--seed=42] [--strategy=HSH]
+
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace xdgp;
+
+namespace {
+
+/// Small-scale overrides so the sweep stays a CI-sized smoke, not a bench.
+api::WorkloadConfig smallConfig(const std::string& code, std::uint64_t seed) {
+  api::WorkloadConfig config;
+  config.seed = seed;
+  if (code == "TWEET") {
+    config.overrides = {{"users", 2'000}, {"rate", 2.0}, {"hours", 2.0}};
+  } else if (code == "CDR") {
+    config.overrides = {{"subscribers", 4'000}, {"weeks", 2}};
+  } else if (code == "FFIRE") {
+    config.overrides = {{"side", 32}, {"batches", 6}, {"burst", 60}};
+  } else if (code == "CHURN") {
+    config.overrides = {{"vertices", 1'500}, {"ticks", 6}, {"rate", 150}};
+  }
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto k = static_cast<std::size_t>(flags.getInt("k", 9));
+  const std::string strategy = flags.getString("strategy", "HSH");
+  const std::uint64_t seed = flags.getUint64("seed", 42);
+  flags.finish();
+
+  util::TablePrinter table({"workload", "windows", "events", "cut first",
+                            "cut last", "migrations", "jsonl"});
+  for (const api::WorkloadInfo* info : api::WorkloadRegistry::instance().infos()) {
+    if (info->needsEventsPath) continue;  // REPLAY has no generator to sweep
+    api::Workload workload = api::WorkloadRegistry::instance().make(
+        info->code, smallConfig(info->code, seed));
+    api::Session session = api::Pipeline::fromGraph(std::move(workload.initial))
+                               .initial(strategy)
+                               .k(k)
+                               .seed(seed)
+                               .adaptive()
+                               .start();
+    api::TimelineReport timeline =
+        session.stream(std::move(workload.stream), workload.suggested);
+    timeline.workload = workload.code;
+
+    const std::string path =
+        bench::resultsDir() + "/stream_" + workload.code + ".jsonl";
+    std::ofstream out(path);
+    timeline.renderJsonl(out);
+
+    std::size_t migrations = 0;
+    for (const api::WindowReport& w : timeline.windows) migrations += w.migrations;
+    table.addRow({workload.code, std::to_string(timeline.windows.size()),
+                  std::to_string(timeline.totalApplied()),
+                  util::fmt(timeline.front().cutRatio, 3),
+                  util::fmt(timeline.back().cutRatio, 3),
+                  std::to_string(migrations), path});
+  }
+  table.print(std::cout);
+  return 0;
+}

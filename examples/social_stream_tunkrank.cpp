@@ -1,6 +1,8 @@
 // Online social network analysis (§4.3, Fig. 8 workload): TunkRank influence
 // over a live tweet-mention stream, on the Pregel-like engine with the
-// adaptive partitioner running in the background.
+// adaptive partitioner running in the background. The stream comes from
+// api::WorkloadRegistry ("TWEET") and the 30-minute bucketing from
+// api::Streamer — this example only runs the supersteps per window.
 //
 //   build/examples/social_stream_tunkrank
 
@@ -9,42 +11,41 @@
 #include <vector>
 
 #include "api/partitioner_registry.h"
+#include "api/stream.h"
+#include "api/workload_registry.h"
 #include "apps/tunkrank.h"
-#include "gen/tweet_stream.h"
-#include "graph/update_stream.h"
 #include "pregel/engine.h"
 #include "util/table.h"
 
 int main() {
   using namespace xdgp;
 
-  // A morning of tweets over a 5k-user universe.
-  gen::TweetStreamParams params;
-  params.users = 5'000;
-  params.meanRate = 5.0;
-  params.hours = 6.0;
-  gen::TweetStreamGenerator generator(params, util::Rng(42));
-  graph::UpdateStream stream(generator.generate());
-  std::cout << "streaming " << stream.size() << " mentions over "
-            << params.hours << " simulated hours\n\n";
+  // A morning of tweets over a 5k-user universe (the registry's defaults).
+  api::Workload workload = api::WorkloadRegistry::instance().make("TWEET", {});
+  std::cout << "streaming " << workload.stream.size() << " mentions over "
+            << workload.stream.events().back().timestamp / 3600.0
+            << " simulated hours\n\n";
 
   // Engine: 9 workers, adaptive partitioning on.
-  graph::DynamicGraph base;
-  for (graph::VertexId v = 0; v < params.users; ++v) base.ensureVertex(v);
   pregel::EngineOptions options;
   options.numWorkers = 9;
   options.adaptive = true;
   pregel::Engine<apps::TunkRankProgram> engine(
-      base, api::initialAssignment(base, "HSH", 9, 1.1, /*seed=*/1), options);
+      workload.initial,
+      api::initialAssignment(workload.initial, "HSH", 9, 1.1, /*seed=*/1),
+      options);
 
   // Consume the stream in 30-minute buckets, a few supersteps per bucket —
-  // the influence ranking follows the graph as it grows.
-  const double bucket = 1'800.0;
-  for (double now = bucket; now <= params.hours * 3600.0; now += bucket) {
-    engine.ingest(stream.drainUntil(now));
+  // the influence ranking follows the graph as it grows. (No expiry here:
+  // the example ranks the whole morning, not a sliding window.)
+  api::StreamOptions streamOptions;
+  streamOptions.windowSpan = 1'800.0;
+  api::Streamer streamer(std::move(workload.stream), streamOptions);
+  while (auto batch = streamer.next()) {
+    engine.ingest(batch->events);
     engine.runSupersteps(4);
     const auto& stats = engine.history().back();
-    std::cout << "t=" << util::fmt(now / 3600.0, 1) << "h  edges="
+    std::cout << "t=" << util::fmt(batch->end / 3600.0, 1) << "h  edges="
               << engine.graph().numEdges() << "  cut ratio="
               << util::fmt(engine.cutRatio(), 3) << "  superstep time="
               << util::fmt(stats.modeledTime, 0) << " units"

@@ -1,6 +1,7 @@
 # CTest smoke script: drive the xdgp_cli generate → partition → adapt
-# pipeline end-to-end, so the api::Pipeline facade behind every subcommand is
-# exercised on each CI run. Invoked by the example_cli_roundtrip test:
+# pipeline end-to-end plus a windowed stream run, so the api::Pipeline and
+# Session::stream facades behind every subcommand are exercised on each CI
+# run. Invoked by the example_cli_roundtrip test:
 #   cmake -DXDGP_CLI=<path> -DWORK_DIR=<scratch dir> -P cli_roundtrip.cmake
 
 if(NOT DEFINED XDGP_CLI OR NOT DEFINED WORK_DIR)
@@ -28,11 +29,22 @@ run_cli("partition" --cmd=partition --graph=graph.el --strategy=DGR --k=9
 run_cli("adapt" --cmd=adapt --graph=graph.el --assignment=initial.part --s=0.5
         --out=final.part)
 
-foreach(artifact graph.el initial.part final.part)
+run_cli("stream" --cmd=stream --workload=CDR --subscribers=2000 --weeks=2
+        --k=4 --window=0.5 --csv=timeline.csv --jsonl=timeline.jsonl)
+
+foreach(artifact graph.el initial.part final.part timeline.csv timeline.jsonl)
   if(NOT EXISTS "${WORK_DIR}/${artifact}")
     message(FATAL_ERROR "round trip left no ${artifact}")
   endif()
 endforeach()
+
+# The streamed timeline must cover at least 2 windows (header + 2 rows).
+file(STRINGS "${WORK_DIR}/timeline.csv" timeline_rows)
+list(LENGTH timeline_rows timeline_row_count)
+if(timeline_row_count LESS 3)
+  message(FATAL_ERROR
+          "stream produced fewer than 2 windows (${timeline_row_count} CSV rows)")
+endif()
 
 # Regression guard for the k-mismatch satellite: a --k that disagrees with
 # the assignment file must fail loudly, not be silently overwritten.

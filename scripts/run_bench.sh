@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Builds Release and runs the micro-kernel suite, writing google-benchmark
-# JSON to BENCH_<label>.json so perf trajectories accumulate across commits.
+# JSON to BENCH_<label>.json, plus the streaming sweep (stream_windows),
+# writing per-window JSONL series (stream_<workload>.jsonl) — both into
+# XDGP_BENCH_DIR so perf and windowed-quality trajectories accumulate
+# across commits.
 #
 # Usage: scripts/run_bench.sh [label] [extra benchmark args...]
 #   label        tag for the output file (default: current git short SHA)
@@ -16,6 +19,12 @@ build_dir="${BUILD_DIR:-build-bench}"
 out_dir="${XDGP_BENCH_DIR:-bench_results}"
 
 cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+mkdir -p "$out_dir"
+
+# The streaming sweep has no external dependency: always runs.
+cmake --build "$build_dir" -j --target stream_windows
+XDGP_BENCH_DIR="$out_dir" "$build_dir/bench/stream_windows"
+
 # Absent target (Google Benchmark not installed) is a graceful no-op; an
 # actual build failure must fail the job, not masquerade as "unavailable".
 # find_package(benchmark) is config-mode, so the cache records whether it
@@ -23,12 +32,11 @@ cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 # target.
 if grep -E '^benchmark_DIR:PATH=.*-NOTFOUND$' "$build_dir/CMakeCache.txt" >/dev/null; then
   echo "run_bench: micro_kernels target not configured (Google Benchmark" \
-       "not found) — nothing to run." >&2
+       "not found) — skipping the kernel suite." >&2
   exit 0
 fi
 cmake --build "$build_dir" -j --target micro_kernels
 
-mkdir -p "$out_dir"
 out_file="$out_dir/BENCH_${label}.json"
 "$build_dir/bench/micro_kernels" \
   --benchmark_format=json \

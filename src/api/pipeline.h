@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "api/stream.h"
 #include "core/adaptive_engine.h"
 #include "graph/dynamic_graph.h"
 #include "metrics/balance.h"
@@ -137,6 +138,13 @@ class Session {
 
   /// Forwards to the engine, re-arming convergence tracking.
   std::size_t applyUpdates(const std::vector<graph::UpdateEvent>& events);
+
+  /// Drives the windowed drain -> apply -> converge loop over `events` and
+  /// returns the per-window timeline (see api/stream.h). Windowing, edge
+  /// expiry, per-window rescaling, and the static (adapt=false) baseline
+  /// all come from `options`; the session's report() keeps accumulating
+  /// across the run as if the caller had driven each window by hand.
+  TimelineReport stream(graph::UpdateStream events, const StreamOptions& options);
 
   /// Re-provisions capacities after growth (see AdaptiveEngine).
   void rescaleCapacity();

@@ -1,0 +1,217 @@
+#include "api/stream.h"
+
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "api/pipeline.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace xdgp::api {
+
+// -------------------------------------------------------------- Streamer
+
+Streamer::Streamer(graph::UpdateStream stream, StreamOptions options)
+    : stream_(std::move(stream)), options_(options) {
+  const bool byTime = options_.windowSpan > 0.0;
+  const bool byCount = options_.windowEvents > 0;
+  if (byTime == byCount) {
+    throw std::invalid_argument(
+        "Streamer: exactly one of windowSpan and windowEvents must be set");
+  }
+  if (options_.expirySpan > 0.0) expiry_.emplace(options_.expirySpan);
+  if (byTime && !stream_.exhausted()) {
+    // Anchor at the first pending event's window, keeping boundaries at
+    // multiples of the span: a stream stamped in epoch seconds must not
+    // emit millions of empty windows before its first event.
+    const double first =
+        stream_.events()[stream_.size() - stream_.remaining()].timestamp;
+    origin_ = std::floor(first / options_.windowSpan) * options_.windowSpan;
+  }
+}
+
+std::optional<WindowBatch> Streamer::next() {
+  if (options_.maxWindows > 0 && index_ >= options_.maxWindows) return std::nullopt;
+  if (stream_.exhausted()) {
+    // Time mode with an explicit horizon: quiet tail windows still happen —
+    // real time passes and expiry keeps advancing. Without a horizon (or in
+    // count mode, where an empty window is meaningless) the run ends here.
+    if (options_.windowSpan <= 0.0 || options_.maxWindows == 0) {
+      return std::nullopt;
+    }
+  }
+
+  WindowBatch batch;
+  batch.index = index_;
+  std::vector<graph::UpdateEvent> drained;
+  if (options_.windowSpan > 0.0) {
+    batch.start = origin_ + static_cast<double>(index_) * options_.windowSpan;
+    batch.end = origin_ + static_cast<double>(index_ + 1) * options_.windowSpan;
+    drained = stream_.drainUntil(batch.end);
+  } else {
+    drained = stream_.drainCount(options_.windowEvents);
+    batch.start = lastEnd_;
+    batch.end = drained.empty() ? lastEnd_ : drained.back().timestamp;
+  }
+  lastEnd_ = batch.end;
+  batch.drained = drained.size();
+  if (expiry_) {
+    batch.events = expiry_->advance(std::move(drained), batch.end);
+    batch.expired = batch.events.size() - batch.drained;
+  } else {
+    batch.events = std::move(drained);
+  }
+  ++index_;
+  batch.streamExhausted =
+      stream_.exhausted() &&
+      (options_.windowSpan <= 0.0 || options_.maxWindows == 0 ||
+       index_ >= options_.maxWindows);
+  return batch;
+}
+
+// ---------------------------------------------------------- WindowReport
+
+const std::vector<std::string>& WindowReport::csvHeader() {
+  static const std::vector<std::string> header{
+      "window",     "start",   "end",        "drained",   "expired",
+      "applied",    "vertices", "edges",     "iterations", "converged",
+      "migrations", "cut_ratio", "cut_edges", "imbalance",  "wall_s"};
+  return header;
+}
+
+std::vector<std::string> WindowReport::csvRow() const {
+  return {std::to_string(index),
+          util::fmt(start, 4),
+          util::fmt(end, 4),
+          std::to_string(eventsDrained),
+          std::to_string(eventsExpired),
+          std::to_string(eventsApplied),
+          std::to_string(vertices),
+          std::to_string(edges),
+          std::to_string(iterations),
+          converged ? "1" : "0",
+          std::to_string(migrations),
+          util::fmt(cutRatio, 4),
+          std::to_string(cutEdges),
+          util::fmt(balance.imbalance, 4),
+          util::fmt(wallSeconds, 4)};
+}
+
+void WindowReport::renderJson(std::ostream& out) const {
+  out << "{\"window\":" << index << ",\"start\":" << util::fmt(start, 4)
+      << ",\"end\":" << util::fmt(end, 4) << ",\"drained\":" << eventsDrained
+      << ",\"expired\":" << eventsExpired << ",\"applied\":" << eventsApplied
+      << ",\"vertices\":" << vertices << ",\"edges\":" << edges
+      << ",\"iterations\":" << iterations
+      << ",\"converged\":" << (converged ? "true" : "false")
+      << ",\"migrations\":" << migrations
+      << ",\"cut_ratio\":" << util::fmt(cutRatio, 4)
+      << ",\"cut_edges\":" << cutEdges
+      << ",\"imbalance\":" << util::fmt(balance.imbalance, 4)
+      << ",\"wall_s\":" << util::fmt(wallSeconds, 6) << "}";
+}
+
+// -------------------------------------------------------- TimelineReport
+
+std::size_t TimelineReport::totalApplied() const noexcept {
+  std::size_t total = 0;
+  for (const WindowReport& w : windows) total += w.eventsApplied;
+  return total;
+}
+
+void TimelineReport::renderText(std::ostream& out) const {
+  out << workload << ": " << windows.size() << " windows, strategy " << strategy
+      << ", k=" << k << "\n";
+  if (windows.empty()) return;
+  util::TablePrinter table({"window", "t", "applied", "|V|", "|E|", "iters",
+                            "migrations", "cut ratio", "imbalance"});
+  for (const WindowReport& w : windows) {
+    table.addRow({std::to_string(w.index), util::fmt(w.end, 2),
+                  std::to_string(w.eventsApplied), std::to_string(w.vertices),
+                  std::to_string(w.edges), std::to_string(w.iterations),
+                  std::to_string(w.migrations), util::fmt(w.cutRatio, 3),
+                  util::fmt(w.balance.imbalance, 3)});
+  }
+  table.print(out);
+  std::size_t convergedWindows = 0;
+  for (const WindowReport& w : windows) convergedWindows += w.converged ? 1 : 0;
+  out << windows.size() << " windows, " << totalApplied()
+      << " events applied; cut ratio " << util::fmt(front().cutRatio, 3)
+      << " -> " << util::fmt(back().cutRatio, 3) << "; converged in "
+      << convergedWindows << "/" << windows.size() << " windows\n";
+}
+
+void TimelineReport::renderCsv(std::ostream& out) const {
+  const auto& header = WindowReport::csvHeader();
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    out << (i ? "," : "") << header[i];
+  }
+  out << "\n";
+  for (const WindowReport& w : windows) {
+    const auto row = w.csvRow();
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << (i ? "," : "") << row[i];
+    }
+    out << "\n";
+  }
+}
+
+void TimelineReport::renderJsonl(std::ostream& out) const {
+  for (const WindowReport& w : windows) {
+    w.renderJson(out);
+    out << "\n";
+  }
+}
+
+// ------------------------------------------------------- Session::stream
+
+TimelineReport Session::stream(graph::UpdateStream events,
+                               const StreamOptions& options) {
+  TimelineReport timeline;
+  timeline.workload = "<custom>";
+  timeline.strategy = base_.strategy;
+  timeline.k = base_.k;
+  const std::size_t iterationCap = options.maxIterationsPerWindow > 0
+                                       ? options.maxIterationsPerWindow
+                                       : maxIterations_;
+  Streamer streamer(std::move(events), options);
+  while (std::optional<WindowBatch> batch = streamer.next()) {
+    const util::WallTimer timer;
+    WindowReport window;
+    window.index = batch->index;
+    window.start = batch->start;
+    window.end = batch->end;
+    window.eventsDrained = batch->drained;
+    window.eventsExpired = batch->expired;
+    const std::size_t migrationsBefore = engine_->totalMigrations();
+    window.eventsApplied = applyUpdates(batch->events);
+    if (options.rescaleEachWindow) engine_->rescaleCapacity();
+    if (options.adapt) {
+      // Only the convergence run counts towards the report's adaptSeconds,
+      // exactly as when the caller hand-drives runToConvergence per window.
+      const util::WallTimer convergeTimer;
+      const core::ConvergenceResult result = engine_->runToConvergence(iterationCap);
+      adaptSeconds_ += convergeTimer.seconds();
+      iterationsRun_ += result.iterationsRun;
+      ranToConvergence_ = true;
+      converged_ = result.converged;
+      window.iterations = result.iterationsRun;
+      window.converged = result.converged;
+    } else {
+      window.converged = false;  // the static arm never adapts
+    }
+    window.migrations = engine_->totalMigrations() - migrationsBefore;
+    window.vertices = engine_->graph().numVertices();
+    window.edges = engine_->graph().numEdges();
+    window.cutEdges = engine_->state().cutEdges();
+    window.cutRatio = engine_->cutRatio();
+    window.balance = metrics::balanceReport(engine_->state().assignment(), base_.k);
+    window.wallSeconds = timer.seconds();
+    timeline.windows.push_back(std::move(window));
+  }
+  return timeline;
+}
+
+}  // namespace xdgp::api

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/edge_expiry_window.h"
+#include "graph/update_stream.h"
+#include "metrics/balance.h"
+
+namespace xdgp::api {
+
+/// How a Session (or any other consumer) windows an update stream.
+///
+/// Exactly one of windowSpan / windowEvents must be positive: windows are
+/// cut either by stream time — window i covers (origin + i·span,
+/// origin + (i+1)·span] in the stream's own time unit (seconds for tweets,
+/// weeks for CDR, batch index for synthetic growth), with the origin
+/// anchored at the first pending event's window boundary (a multiple of
+/// span, so epoch-stamped streams do not pay for an empty prefix) — or by
+/// event count.
+struct StreamOptions {
+  double windowSpan = 0.0;        ///< time-windowing: span per window
+  std::size_t windowEvents = 0;   ///< count-windowing: events per window
+  std::size_t maxWindows = 0;     ///< 0 = run until the stream is exhausted
+  /// > 0: sliding-window edge expiry — an edge not re-observed for this
+  /// long is removed (graph::EdgeExpiryWindow), the Fig. 8 mention-graph
+  /// semantics. Expiry removals are folded into each window's batch.
+  double expirySpan = 0.0;
+  /// false: apply updates but never converge — the static baseline whose
+  /// partitioning erodes as the graph churns (Figs. 8/9's comparison arm).
+  bool adapt = true;
+  /// Re-provision capacities each window before converging, so growth never
+  /// wedges the quota system (AdaptiveEngine::rescaleCapacity).
+  bool rescaleEachWindow = true;
+  /// Per-window convergence cap; 0 = the session's maxIterations.
+  std::size_t maxIterationsPerWindow = 0;
+};
+
+/// One window's worth of stream, ready to ingest: the drained events plus
+/// any expiry removals, with the window's position in stream time.
+struct WindowBatch {
+  std::size_t index = 0;
+  double start = 0.0;  ///< exclusive, in stream time
+  double end = 0.0;    ///< inclusive, in stream time
+  std::vector<graph::UpdateEvent> events;  ///< drained + expiry removals
+  std::size_t drained = 0;  ///< events that came from the stream itself
+  std::size_t expired = 0;  ///< RemoveEdge events appended by expiry
+  bool streamExhausted = false;  ///< no further windows will follow
+};
+
+/// The one ingest loop: windows an UpdateStream by time or event count and
+/// folds sliding-window edge expiry into each batch. Every streaming
+/// consumer — Session::stream(), the CLI `stream` subcommand, and the
+/// pregel-based figure drivers that interleave application supersteps —
+/// pulls windows from here instead of hand-wiring drain/expiry loops.
+class Streamer {
+ public:
+  /// Throws std::invalid_argument unless exactly one windowing mode is set.
+  Streamer(graph::UpdateStream stream, StreamOptions options);
+
+  /// The next window, or nullopt when the run is over: the maxWindows cap
+  /// is reached, or the stream is exhausted. Time-windowed streams emit
+  /// empty windows across event gaps — real time passes, and expiry still
+  /// advances — and, when maxWindows sets an explicit horizon, across the
+  /// quiet tail after the last event too (fig8's fixed bucket count). In
+  /// count mode an empty window is meaningless, so exhaustion always ends
+  /// the run.
+  [[nodiscard]] std::optional<WindowBatch> next();
+
+  [[nodiscard]] const StreamOptions& options() const noexcept { return options_; }
+  [[nodiscard]] std::size_t windowsEmitted() const noexcept { return index_; }
+
+ private:
+  graph::UpdateStream stream_;
+  StreamOptions options_;
+  std::optional<graph::EdgeExpiryWindow> expiry_;
+  std::size_t index_ = 0;
+  double origin_ = 0.0;  ///< time mode: first window's start boundary
+  double lastEnd_ = 0.0;
+};
+
+/// One row of a TimelineReport: the partitioning's state at the close of a
+/// stream window, mirroring RunReport's vocabulary per window.
+struct WindowReport {
+  std::size_t index = 0;
+  double start = 0.0;
+  double end = 0.0;
+  std::size_t eventsDrained = 0;
+  std::size_t eventsExpired = 0;
+  std::size_t eventsApplied = 0;  ///< events that changed the graph
+  std::size_t vertices = 0;
+  std::size_t edges = 0;
+  std::size_t iterations = 0;     ///< adaptive iterations run this window
+  bool converged = true;
+  std::size_t migrations = 0;     ///< migrations executed this window
+  double cutRatio = 0.0;
+  std::size_t cutEdges = 0;
+  metrics::BalanceReport balance;
+  double wallSeconds = 0.0;       ///< whole window: apply + converge + metrics
+
+  /// CSV rendering, aligned with csvHeader().
+  [[nodiscard]] static const std::vector<std::string>& csvHeader();
+  [[nodiscard]] std::vector<std::string> csvRow() const;
+
+  /// One JSON object (single line, no trailing newline).
+  void renderJson(std::ostream& out) const;
+};
+
+/// Structured outcome of one streamed run: everything `xdgp stream` prints,
+/// the stream benches aggregate, and the tests assert — the streaming
+/// counterpart of RunReport, one row per window.
+struct TimelineReport {
+  std::string workload;  ///< workload registry code, or "<custom>"
+  std::string strategy;  ///< initial-partitioning strategy (from the session)
+  std::size_t k = 0;
+  std::vector<WindowReport> windows;
+
+  [[nodiscard]] bool empty() const noexcept { return windows.empty(); }
+  [[nodiscard]] const WindowReport& front() const { return windows.front(); }
+  [[nodiscard]] const WindowReport& back() const { return windows.back(); }
+
+  /// Sum of eventsApplied over all windows.
+  [[nodiscard]] std::size_t totalApplied() const noexcept;
+
+  /// Human rendering: the per-window table plus a summary line.
+  void renderText(std::ostream& out) const;
+
+  /// CSV rendering (header + one row per window), WindowReport::csvHeader.
+  void renderCsv(std::ostream& out) const;
+
+  /// JSONL rendering: one JSON object per window per line.
+  void renderJsonl(std::ostream& out) const;
+};
+
+}  // namespace xdgp::api

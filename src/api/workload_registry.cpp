@@ -1,0 +1,294 @@
+#include "api/workload_registry.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "gen/cdr_stream.h"
+#include "gen/forest_fire.h"
+#include "gen/mesh2d.h"
+#include "gen/powerlaw_cluster.h"
+#include "gen/tweet_stream.h"
+#include "graph/io.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+namespace xdgp::api {
+
+// -------------------------------------------------------- WorkloadParams
+
+double WorkloadParams::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    throw std::invalid_argument("workload factory read undeclared param '" +
+                                name + "'");
+  }
+  return it->second;
+}
+
+std::size_t WorkloadParams::count(const std::string& name) const {
+  const double value = get(name);
+  if (value < 0.0) {
+    throw std::invalid_argument("workload param '" + name +
+                                "' must be non-negative");
+  }
+  return static_cast<std::size_t>(std::llround(value));
+}
+
+// ---------------------------------------------------- built-in workloads
+
+namespace {
+
+Workload makeTweet(const WorkloadConfig& config, const WorkloadParams& params) {
+  gen::TweetStreamParams streamParams;
+  streamParams.users = params.count("users");
+  streamParams.meanRate = params.get("rate");
+  streamParams.hours = params.get("hours");
+  Workload workload;
+  workload.initial = graph::DynamicGraph(streamParams.users);
+  workload.stream = graph::UpdateStream(
+      gen::TweetStreamGenerator(streamParams, util::Rng(config.seed)).generate());
+  workload.suggested.windowSpan = 600.0;  // the paper's 10-minute buckets
+  workload.suggested.expirySpan = params.get("expiry-hours") * 3600.0;
+  return workload;
+}
+
+Workload makeCdr(const WorkloadConfig& config, const WorkloadParams& params) {
+  gen::CdrStreamParams streamParams;
+  streamParams.initialSubscribers = params.count("subscribers");
+  streamParams.meanDegree = params.get("degree");
+  streamParams.weeks = params.count("weeks");
+  gen::CdrStreamGenerator generator(streamParams, util::Rng(config.seed));
+  Workload workload;
+  workload.initial = generator.initialGraph();
+  std::vector<graph::UpdateEvent> events;
+  for (std::size_t week = 0; week < streamParams.weeks; ++week) {
+    gen::CdrWeek batch = generator.nextWeek();
+    events.insert(events.end(), batch.events.begin(), batch.events.end());
+  }
+  workload.stream = graph::UpdateStream(std::move(events));
+  workload.suggested.windowSpan = 0.2;  // five buffered batches per week
+  return workload;
+}
+
+Workload makeForestFire(const WorkloadConfig& config,
+                        const WorkloadParams& params) {
+  const std::size_t side = params.count("side");
+  const std::size_t batches = params.count("batches");
+  const std::size_t burst = params.count("burst");
+  gen::ForestFireParams fireParams;
+  fireParams.forward = params.get("forward");
+  Workload workload;
+  workload.initial = gen::mesh2d(side, side);
+  graph::DynamicGraph future = workload.initial;
+  util::Rng rng(config.seed);
+  std::vector<graph::UpdateEvent> events;
+  for (std::size_t i = 0; i < batches; ++i) {
+    // Mid-window timestamps so integer windows capture one burst each.
+    const auto burstEvents = gen::forestFireExtension(
+        future, burst, fireParams, rng, static_cast<double>(i) + 0.5);
+    events.insert(events.end(), burstEvents.begin(), burstEvents.end());
+  }
+  workload.stream = graph::UpdateStream(std::move(events));
+  workload.suggested.windowSpan = 1.0;  // one burst per window
+  return workload;
+}
+
+Workload makeChurn(const WorkloadConfig& config, const WorkloadParams& params) {
+  const std::size_t vertices = params.count("vertices");
+  const std::size_t attach = params.count("attach");
+  const std::size_t ticks = params.count("ticks");
+  const std::size_t rate = params.count("rate");
+  const double removeFraction = params.get("remove-frac");
+  util::Rng rng(config.seed);
+  Workload workload;
+  workload.initial = gen::powerlawCluster(vertices, attach, 0.1, rng);
+  // Removals draw from the edges known to exist at generation time (initial
+  // edges plus this stream's own additions), so most RemoveEdge events hit.
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> edges;
+  workload.initial.forEachEdge(
+      [&](graph::VertexId u, graph::VertexId v) { edges.emplace_back(u, v); });
+  std::vector<graph::UpdateEvent> events;
+  events.reserve(ticks * rate);
+  for (std::size_t tick = 0; tick < ticks; ++tick) {
+    for (std::size_t j = 0; j < rate; ++j) {
+      const double t = static_cast<double>(tick) +
+                       (static_cast<double>(j) + 0.5) / static_cast<double>(rate);
+      if (!edges.empty() && rng.bernoulli(removeFraction)) {
+        const std::size_t pick = rng.index(edges.size());
+        const auto [u, v] = edges[pick];
+        events.push_back(graph::UpdateEvent::removeEdge(u, v, t));
+        edges[pick] = edges.back();
+        edges.pop_back();
+      } else {
+        const auto u = static_cast<graph::VertexId>(rng.index(vertices));
+        const auto v = static_cast<graph::VertexId>(rng.index(vertices));
+        if (u == v) continue;
+        events.push_back(graph::UpdateEvent::addEdge(u, v, t));
+        edges.emplace_back(u, v);
+      }
+    }
+  }
+  workload.stream = graph::UpdateStream(std::move(events));
+  workload.suggested.windowSpan = 1.0;  // one tick per window
+  return workload;
+}
+
+Workload makeReplay(const WorkloadConfig& config, const WorkloadParams&) {
+  Workload workload;
+  if (!config.graphPath.empty()) {
+    workload.initial = graph::readEdgeList(config.graphPath);
+  }
+  workload.stream = graph::UpdateStream(graph::readEvents(config.eventsPath));
+  // The file's time scale is unknown; count windows are always well-formed.
+  workload.suggested.windowEvents =
+      workload.stream.size() > 8 ? workload.stream.size() / 8 : 1;
+  return workload;
+}
+
+}  // namespace
+
+// ------------------------------------------------------ WorkloadRegistry
+
+WorkloadRegistry::WorkloadRegistry() {
+  add({.code = "TWEET",
+       .summary = "diurnal London mention stream (Fig. 8): Zipf popularity, "
+                  "community locality, AddEdge only",
+       .params = {{"users", "user universe size", 5'000},
+                  {"rate", "mean tweets per second over the day", 5.0},
+                  {"hours", "stream duration in hours", 6.0},
+                  {"expiry-hours", "sliding mention window (suggested expiry)",
+                   6.0}},
+       .make = makeTweet});
+  add({.code = "CDR",
+       .summary = "mobile call-graph churn (Fig. 9): +8%/-4% weekly "
+                  "subscribers, triadic new ties; time unit = weeks",
+       .params = {{"subscribers", "initial subscriber count", 20'000},
+                  {"degree", "mean call-graph degree", 10.1},
+                  {"weeks", "weeks of churn to generate", 4}},
+       .make = makeCdr});
+  add({.code = "FFIRE",
+       .summary = "forest-fire growth bursts over a 2-D FEM mesh (Fig. 7b "
+                  "style); time unit = burst index",
+       .params = {{"side", "initial mesh side (side x side vertices)", 64},
+                  {"batches", "number of growth bursts", 8},
+                  {"burst", "vertices added per burst", 170},
+                  {"forward", "forest-fire forward burning probability", 0.40}},
+       .make = makeForestFire});
+  add({.code = "CHURN",
+       .summary = "synthetic edge churn over a power-law cluster graph: "
+                  "random adds vs removals of known edges",
+       .params = {{"vertices", "vertex count of the base graph", 2'000},
+                  {"attach", "edges per vertex in the base graph", 4},
+                  {"ticks", "number of churn ticks", 8},
+                  {"rate", "events per tick", 300},
+                  {"remove-frac", "probability an event removes an edge", 0.35}},
+       .make = makeChurn});
+  add({.code = "REPLAY",
+       .summary = "replay a saved event file (graph::writeEvents) over an "
+                  "optional initial edge list",
+       .params = {},
+       .needsEventsPath = true,
+       .make = makeReplay});
+}
+
+WorkloadRegistry& WorkloadRegistry::instance() {
+  static WorkloadRegistry registry;
+  return registry;
+}
+
+void WorkloadRegistry::add(WorkloadInfo info) {
+  if (info.code.empty() || !info.make) {
+    throw std::invalid_argument(
+        "WorkloadRegistry: a workload needs a code and a factory");
+  }
+  for (std::size_t i = 0; i < info.params.size(); ++i) {
+    for (std::size_t j = i + 1; j < info.params.size(); ++j) {
+      if (info.params[i].name == info.params[j].name) {
+        throw std::invalid_argument("WorkloadRegistry: workload " + info.code +
+                                    " declares param '" + info.params[i].name +
+                                    "' twice");
+      }
+    }
+  }
+  const auto [it, inserted] = workloads_.emplace(info.code, std::move(info));
+  if (!inserted) {
+    throw std::invalid_argument("WorkloadRegistry: duplicate workload code " +
+                                it->first);
+  }
+}
+
+bool WorkloadRegistry::has(const std::string& code) const {
+  return workloads_.count(code) > 0;
+}
+
+const WorkloadInfo& WorkloadRegistry::info(const std::string& code) const {
+  const auto it = workloads_.find(code);
+  if (it == workloads_.end()) {
+    std::string known;
+    for (const auto& [key, entry] : workloads_) {
+      known += (known.empty() ? "" : ", ") + key;
+    }
+    throw std::invalid_argument("unknown workload '" + code +
+                                "' (known: " + known + ")");
+  }
+  return it->second;
+}
+
+Workload WorkloadRegistry::make(const std::string& code,
+                                const WorkloadConfig& config) const {
+  const WorkloadInfo& entry = info(code);
+  if (entry.needsEventsPath && config.eventsPath.empty()) {
+    throw std::invalid_argument("workload " + code +
+                                " needs an event file (config.eventsPath)");
+  }
+  std::map<std::string, double> values;
+  for (const WorkloadParamSpec& spec : entry.params) {
+    values[spec.name] = spec.defaultValue;
+  }
+  for (const auto& [name, value] : config.overrides) {
+    const auto it = values.find(name);
+    if (it == values.end()) {
+      std::string known;
+      for (const WorkloadParamSpec& spec : entry.params) {
+        known += (known.empty() ? "" : ", ") + spec.name;
+      }
+      throw std::invalid_argument(
+          "workload " + code + " has no param '" + name + "'" +
+          (known.empty() ? std::string(" (it takes none)")
+                         : " (known: " + known + ")"));
+    }
+    it->second = value;
+  }
+  Workload workload = entry.make(config, WorkloadParams(std::move(values)));
+  workload.code = entry.code;
+  return workload;
+}
+
+std::vector<std::string> WorkloadRegistry::codes() const {
+  std::vector<std::string> result;
+  result.reserve(workloads_.size());
+  for (const auto& [code, entry] : workloads_) result.push_back(code);
+  return result;
+}
+
+std::vector<const WorkloadInfo*> WorkloadRegistry::infos() const {
+  std::vector<const WorkloadInfo*> result;
+  result.reserve(workloads_.size());
+  for (const auto& [code, entry] : workloads_) result.push_back(&entry);
+  return result;
+}
+
+WorkloadConfig workloadConfigFromFlags(util::Flags& flags,
+                                       const WorkloadInfo& info) {
+  WorkloadConfig config;
+  config.seed = flags.getUint64("seed", 42);
+  for (const WorkloadParamSpec& spec : info.params) {
+    if (flags.has(spec.name)) {
+      config.overrides[spec.name] = flags.getDouble(spec.name, spec.defaultValue);
+    }
+  }
+  return config;
+}
+
+}  // namespace xdgp::api

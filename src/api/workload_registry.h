@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/stream.h"
+#include "graph/dynamic_graph.h"
+#include "graph/update_stream.h"
+
+namespace xdgp::util {
+class Flags;
+}
+
+namespace xdgp::api {
+
+/// One numeric knob of a workload: the metadata the CLI help, the bench
+/// flag helpers, and the registry-driven property tests all read.
+struct WorkloadParamSpec {
+  std::string name;     ///< flag-style key, e.g. "users", "subscribers"
+  std::string summary;  ///< one-line human description
+  double defaultValue = 0.0;
+};
+
+/// Instantiation inputs for WorkloadRegistry::make. Overrides are validated
+/// against the workload's declared params — a typo fails loudly with the
+/// menu in hand, exactly like an unknown strategy code.
+struct WorkloadConfig {
+  std::uint64_t seed = 42;
+  std::string eventsPath;  ///< REPLAY: the event file to replay (required)
+  std::string graphPath;   ///< REPLAY: optional initial edge list
+  std::map<std::string, double> overrides;  ///< by WorkloadParamSpec name
+};
+
+/// Resolved parameter view handed to workload factories: every declared
+/// param, defaults merged with the config's overrides.
+class WorkloadParams {
+ public:
+  explicit WorkloadParams(std::map<std::string, double> values)
+      : values_(std::move(values)) {}
+
+  /// Throws std::invalid_argument on a name the workload never declared —
+  /// factories cannot silently read knobs that are invisible to the CLI.
+  [[nodiscard]] double get(const std::string& name) const;
+
+  /// get() rounded to a non-negative integer (sizes and counts).
+  [[nodiscard]] std::size_t count(const std::string& name) const;
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+/// A made workload: the initial graph, the update stream that churns it,
+/// and the windowing defaults that suit the source's time scale.
+struct Workload {
+  std::string code;
+  graph::DynamicGraph initial;
+  graph::UpdateStream stream;
+  /// Per-source windowing/expiry defaults (window span in the stream's own
+  /// time unit; Fig. 8-style expiry for the mention graph). Callers start
+  /// from these and override what they need.
+  StreamOptions suggested;
+};
+
+/// Catalog entry for one stream source: metadata plus the factory.
+struct WorkloadInfo {
+  std::string code;     ///< stable lookup key, e.g. "TWEET", "CDR"
+  std::string summary;  ///< one-line human description for --help output
+  std::vector<WorkloadParamSpec> params;
+  /// True when the same seed (and params) yields the identical initial
+  /// graph and event stream — every built-in; a future workload wrapping a
+  /// live feed would opt out, which exempts it from the determinism
+  /// property test.
+  bool deterministicGivenSeed = true;
+  /// True when config.eventsPath is required (REPLAY).
+  bool needsEventsPath = false;
+  std::function<Workload(const WorkloadConfig&, const WorkloadParams&)> make;
+};
+
+/// The process-wide catalog of streaming workloads, mirroring
+/// PartitionerRegistry: built-ins (TWEET, CDR, FFIRE, CHURN, REPLAY)
+/// register on first access, extensions self-register through
+/// WorkloadRegistration, and the registry-driven suite in
+/// tests/workload_test.cpp picks every newcomer up for free.
+class WorkloadRegistry {
+ public:
+  static WorkloadRegistry& instance();
+
+  /// Adds a workload; throws std::invalid_argument on duplicate codes, a
+  /// missing factory, or duplicate param names.
+  void add(WorkloadInfo info);
+
+  [[nodiscard]] bool has(const std::string& code) const;
+
+  /// Metadata lookup; throws std::invalid_argument naming the known codes
+  /// when `code` is not registered.
+  [[nodiscard]] const WorkloadInfo& info(const std::string& code) const;
+
+  /// Instantiates the workload behind `code`: validates the config's
+  /// overrides against the declared params (and eventsPath where required),
+  /// then calls the factory with the merged parameter view.
+  [[nodiscard]] Workload make(const std::string& code,
+                              const WorkloadConfig& config = {}) const;
+
+  /// All registered codes, sorted.
+  [[nodiscard]] std::vector<std::string> codes() const;
+
+  /// All entries, sorted by code (stable pointers into the registry).
+  [[nodiscard]] std::vector<const WorkloadInfo*> infos() const;
+
+ private:
+  WorkloadRegistry();
+
+  std::map<std::string, WorkloadInfo> workloads_;
+};
+
+/// Static-initialisation hook for self-registering workloads:
+///   namespace { const api::WorkloadRegistration reg{{.code = "XYZ", ...}}; }
+struct WorkloadRegistration {
+  explicit WorkloadRegistration(WorkloadInfo info) {
+    WorkloadRegistry::instance().add(std::move(info));
+  }
+};
+
+/// The shared Flags -> WorkloadConfig translation: reads `--seed` plus a
+/// `--<param>=` override for every knob the workload declares, so the CLI
+/// and the bench drivers expose identical registry-driven flag surfaces (a
+/// new workload param becomes a flag everywhere, with no other change).
+[[nodiscard]] WorkloadConfig workloadConfigFromFlags(util::Flags& flags,
+                                                     const WorkloadInfo& info);
+
+}  // namespace xdgp::api

@@ -147,6 +147,7 @@ std::size_t AdaptiveEngine::step() {
   }
 
   const std::size_t migrations = pendingMoves_.size();
+  totalMigrations_ += migrations;
   // Any executed move shifts loads, hence next iteration's quotas: every
   // parked denial must be retried. (A quiet iteration consumed nothing, so
   // parked outcomes are provably unchanged and stay parked.)

@@ -118,6 +118,12 @@ class AdaptiveEngine {
     return lastActive_;
   }
 
+  /// Migrations executed over the engine's whole lifetime — the per-window
+  /// deltas api::Session::stream reports, independent of recordSeries.
+  [[nodiscard]] std::size_t totalMigrations() const noexcept {
+    return totalMigrations_;
+  }
+
   /// Vertices whose decision was (re)computed by the last step() — the
   /// alive frontier in frontier mode, every alive vertex otherwise. The §2
   /// lightweight-heuristic claim in numbers: this drops towards 0 as the
@@ -176,6 +182,7 @@ class AdaptiveEngine {
   std::size_t iteration_ = 0;
   std::size_t lastActive_ = 0;
   std::size_t lastEvaluated_ = 0;
+  std::size_t totalMigrations_ = 0;
 };
 
 }  // namespace xdgp::core

@@ -1,0 +1,35 @@
+#include "graph/edge_expiry_window.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace xdgp::graph {
+
+std::uint64_t EdgeExpiryWindow::key(VertexId u, VertexId v) noexcept {
+  const auto [a, b] = std::minmax(u, v);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+std::vector<UpdateEvent> EdgeExpiryWindow::advance(std::vector<UpdateEvent> batch,
+                                                   double now) {
+  for (const UpdateEvent& e : batch) {
+    if (e.kind != UpdateEvent::Kind::kAddEdge) continue;
+    lastSeen_[key(e.u, e.v)] = e.timestamp;
+    fifo_.push_back(e);
+  }
+  std::vector<UpdateEvent> extended = std::move(batch);
+  while (!fifo_.empty() && fifo_.front().timestamp < now - span_) {
+    const UpdateEvent e = fifo_.front();
+    fifo_.pop_front();
+    const auto it = lastSeen_.find(key(e.u, e.v));
+    // Only expire when the edge was not re-observed inside the window: a
+    // newer observation leaves its own fifo entry to carry the expiry.
+    if (it != lastSeen_.end() && it->second == e.timestamp) {
+      extended.push_back(UpdateEvent::removeEdge(e.u, e.v, now));
+      lastSeen_.erase(it);
+    }
+  }
+  return extended;
+}
+
+}  // namespace xdgp::graph

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/update_stream.h"
+
+namespace xdgp::graph {
+
+/// Sliding-window maintainer for streams whose edges decay: an AddEdge
+/// observation keeps the undirected edge alive for `span` time units, and an
+/// edge whose *most recent* observation falls out of the window is expired
+/// with a RemoveEdge stamped at drain time. Re-observing an edge inside the
+/// window resets its clock, so a recurrent tie (the Fig. 8 mention graph's
+/// "recent influence" semantics) never expires while it keeps recurring.
+///
+/// Only AddEdge events are tracked; every other event kind passes through
+/// advance() untouched (a stream that removes vertices explicitly is its own
+/// authority on those). Expiring an edge the consumer already removed is
+/// harmless: RemoveEdge on a missing edge is a no-op for every ingestor.
+class EdgeExpiryWindow {
+ public:
+  explicit EdgeExpiryWindow(double span) : span_(span) {}
+
+  /// Folds a batch of events in and returns it extended with the RemoveEdge
+  /// events (timestamped `now`) that expired as of `now`. Batches must be
+  /// presented in non-decreasing `now` order.
+  std::vector<UpdateEvent> advance(std::vector<UpdateEvent> batch, double now);
+
+  /// Undirected edges currently inside the window.
+  [[nodiscard]] std::size_t tracked() const noexcept { return lastSeen_.size(); }
+
+  [[nodiscard]] double span() const noexcept { return span_; }
+
+ private:
+  static std::uint64_t key(VertexId u, VertexId v) noexcept;
+
+  double span_;
+  std::deque<UpdateEvent> fifo_;                    ///< observations, by time
+  std::unordered_map<std::uint64_t, double> lastSeen_;  ///< edge -> newest obs
+};
+
+}  // namespace xdgp::graph

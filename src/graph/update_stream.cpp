@@ -1,6 +1,9 @@
 #include "graph/update_stream.h"
 
 #include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
 #include <stdexcept>
 
 namespace xdgp::graph {
@@ -56,6 +59,85 @@ std::vector<UpdateEvent> UpdateStream::drainUntil(double t) {
     ++cursor_;
   }
   return batch;
+}
+
+std::vector<UpdateEvent> UpdateStream::drainCount(std::size_t n) {
+  std::vector<UpdateEvent> batch;
+  while (cursor_ < events_.size() && batch.size() < n) {
+    batch.push_back(events_[cursor_]);
+    ++cursor_;
+  }
+  return batch;
+}
+
+namespace {
+
+constexpr const char* kindCode(UpdateEvent::Kind kind) noexcept {
+  switch (kind) {
+    case UpdateEvent::Kind::kAddVertex: return "AV";
+    case UpdateEvent::Kind::kRemoveVertex: return "RV";
+    case UpdateEvent::Kind::kAddEdge: return "AE";
+    case UpdateEvent::Kind::kRemoveEdge: return "RE";
+  }
+  return "??";
+}
+
+}  // namespace
+
+void writeEvents(const std::vector<UpdateEvent>& events, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("writeEvents: cannot open " + path);
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "# xdgp-events " << events.size() << "\n";
+  for (const UpdateEvent& e : events) {
+    out << kindCode(e.kind) << ' ' << e.u << ' ' << e.v << ' ' << e.timestamp
+        << '\n';
+  }
+  if (!out) throw std::runtime_error("writeEvents: write failed for " + path);
+}
+
+std::vector<UpdateEvent> readEvents(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("readEvents: cannot open " + path);
+  std::vector<UpdateEvent> events;
+  std::string line;
+  std::size_t lineNo = 0;
+  std::size_t declared = 0;
+  bool haveHeader = false;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.rfind("# xdgp-events ", 0) == 0) {
+      // The count exists to catch truncated files; remember it.
+      std::istringstream header(line.substr(14));
+      haveHeader = static_cast<bool>(header >> declared);
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string kind;
+    UpdateEvent e;
+    if (!(fields >> kind >> e.u >> e.v >> e.timestamp)) {
+      throw std::runtime_error("readEvents: malformed line " +
+                               std::to_string(lineNo) + " in " + path);
+    }
+    if (kind == "AV") e.kind = UpdateEvent::Kind::kAddVertex;
+    else if (kind == "RV") e.kind = UpdateEvent::Kind::kRemoveVertex;
+    else if (kind == "AE") e.kind = UpdateEvent::Kind::kAddEdge;
+    else if (kind == "RE") e.kind = UpdateEvent::Kind::kRemoveEdge;
+    else {
+      throw std::runtime_error("readEvents: unknown event kind '" + kind +
+                               "' at line " + std::to_string(lineNo) + " in " +
+                               path);
+    }
+    events.push_back(e);
+  }
+  if (haveHeader && events.size() != declared) {
+    throw std::runtime_error(
+        "readEvents: " + path + " declares " + std::to_string(declared) +
+        " events but contains " + std::to_string(events.size()) +
+        " (truncated or corrupted file)");
+  }
+  return events;
 }
 
 }  // namespace xdgp::graph

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/dynamic_graph.h"
@@ -32,6 +33,8 @@ struct UpdateEvent {
   static UpdateEvent removeEdge(VertexId u, VertexId v, double t = 0.0) {
     return {Kind::kRemoveEdge, u, v, t};
   }
+
+  friend bool operator==(const UpdateEvent&, const UpdateEvent&) = default;
 };
 
 /// Applies a batch of events to a graph, in order. Returns the number of
@@ -46,11 +49,20 @@ class UpdateStream {
   UpdateStream() = default;
   explicit UpdateStream(std::vector<UpdateEvent> events);
 
-  /// Appends events; they must not be older than already-drained time.
+  /// Appends an event, stamping on arrival like a real ingestion queue: a
+  /// late event (older than the current tail timestamp) is *clamped* to the
+  /// tail timestamp so global order is preserved. An event arriving after
+  /// its window has already been drained is therefore never lost or
+  /// re-ordered behind the cursor — it is delivered, clamped, in the next
+  /// drain whose `t` reaches the tail timestamp (still exactly once).
   void push(UpdateEvent event);
 
   /// Events with timestamp <= t that have not been drained yet.
   [[nodiscard]] std::vector<UpdateEvent> drainUntil(double t);
+
+  /// The next `n` events (fewer at the tail) regardless of timestamp — the
+  /// count-windowed consumption mode of api::Streamer.
+  [[nodiscard]] std::vector<UpdateEvent> drainCount(std::size_t n);
 
   [[nodiscard]] bool exhausted() const noexcept { return cursor_ >= events_.size(); }
   [[nodiscard]] std::size_t remaining() const noexcept {
@@ -58,9 +70,24 @@ class UpdateStream {
   }
   [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
 
+  /// The full backing sequence (drained and pending), in delivery order.
+  [[nodiscard]] const std::vector<UpdateEvent>& events() const noexcept {
+    return events_;
+  }
+
  private:
   std::vector<UpdateEvent> events_;
   std::size_t cursor_ = 0;
 };
+
+/// Writes events as a replayable text file: a "# xdgp-events <count>" header
+/// line, then one "<kind> <u> <v> <timestamp>" line per event (kind in
+/// {AV, RV, AE, RE}); timestamps round-trip bit-exactly. Throws
+/// std::runtime_error on IO failure.
+void writeEvents(const std::vector<UpdateEvent>& events, const std::string& path);
+
+/// Reads a file produced by writeEvents. Throws std::runtime_error on IO
+/// failure or malformed lines.
+[[nodiscard]] std::vector<UpdateEvent> readEvents(const std::string& path);
 
 }  // namespace xdgp::graph

@@ -1,0 +1,340 @@
+// The streaming substrate: UpdateStream's push-after-drain contract, the
+// event-file round trip behind the REPLAY workload, the EdgeExpiryWindow
+// promoted from fig8's MentionWindow, and the api::Streamer windowing loop.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "api/stream.h"
+#include "graph/edge_expiry_window.h"
+#include "graph/update_stream.h"
+
+namespace xdgp {
+namespace {
+
+using graph::EdgeExpiryWindow;
+using graph::UpdateEvent;
+using graph::UpdateStream;
+
+// ---------------------------------------------------- UpdateStream::push
+
+TEST(UpdateStreamPush, InOrderPushKeepsTimestamp) {
+  UpdateStream stream;
+  stream.push(UpdateEvent::addEdge(0, 1, 1.0));
+  stream.push(UpdateEvent::addEdge(1, 2, 2.0));
+  const auto batch = stream.drainUntil(2.0);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_DOUBLE_EQ(batch[0].timestamp, 1.0);
+  EXPECT_DOUBLE_EQ(batch[1].timestamp, 2.0);
+}
+
+TEST(UpdateStreamPush, LateEventIsClampedToTheTailTimestamp) {
+  // The documented stamp-on-arrival behaviour: a late event adopts the tail
+  // timestamp so global order is preserved.
+  UpdateStream stream;
+  stream.push(UpdateEvent::addEdge(0, 1, 5.0));
+  stream.push(UpdateEvent::addEdge(2, 3, 1.0));  // late by 4 time units
+  const auto batch = stream.drainUntil(10.0);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_DOUBLE_EQ(batch[1].timestamp, 5.0);  // clamped, not 1.0
+  EXPECT_EQ(batch[1].u, 2u);
+}
+
+TEST(UpdateStreamPush, PushAfterDrainDeliversExactlyOnceInOrder) {
+  UpdateStream stream;
+  stream.push(UpdateEvent::addEdge(0, 1, 1.0));
+  stream.push(UpdateEvent::addEdge(1, 2, 3.0));
+  ASSERT_EQ(stream.drainUntil(3.0).size(), 2u);
+  ASSERT_TRUE(stream.exhausted());
+
+  // An event arriving after its window was drained: clamped to the tail
+  // timestamp (3.0), delivered by the next drain that reaches it — never
+  // lost behind the cursor, never re-ordered, never delivered twice.
+  stream.push(UpdateEvent::addEdge(4, 5, 0.5));
+  EXPECT_FALSE(stream.exhausted());
+  EXPECT_TRUE(stream.drainUntil(2.0).empty());  // still ahead of the cursor
+  const auto late = stream.drainUntil(3.0);
+  ASSERT_EQ(late.size(), 1u);
+  EXPECT_EQ(late[0].u, 4u);
+  EXPECT_DOUBLE_EQ(late[0].timestamp, 3.0);
+  EXPECT_TRUE(stream.drainUntil(100.0).empty());
+  EXPECT_TRUE(stream.exhausted());
+}
+
+TEST(UpdateStreamPush, PushOntoEmptyStreamKeepsItsTimestamp) {
+  UpdateStream stream;
+  stream.push(UpdateEvent::addVertex(7, 2.5));
+  const auto batch = stream.drainUntil(3.0);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_DOUBLE_EQ(batch[0].timestamp, 2.5);
+}
+
+TEST(UpdateStream, DrainCountTakesEventsRegardlessOfTimestamp) {
+  UpdateStream stream({UpdateEvent::addEdge(0, 1, 1.0),
+                       UpdateEvent::addEdge(1, 2, 2.0),
+                       UpdateEvent::addEdge(2, 3, 9.0)});
+  EXPECT_EQ(stream.drainCount(2).size(), 2u);
+  const auto tail = stream.drainCount(5);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_DOUBLE_EQ(tail[0].timestamp, 9.0);
+  EXPECT_TRUE(stream.exhausted());
+}
+
+// -------------------------------------------------------- event-file IO
+
+TEST(EventIo, RoundTripsEveryKindBitExactly) {
+  const std::vector<UpdateEvent> events{
+      UpdateEvent::addVertex(7, 0.0),
+      UpdateEvent::removeVertex(3, 1.25),
+      UpdateEvent::addEdge(1, 2, 2.000000001),
+      UpdateEvent::removeEdge(2, 1, 1e9 + 0.5),
+  };
+  const std::string path = testing::TempDir() + "stream_test_events.txt";
+  graph::writeEvents(events, path);
+  const auto loaded = graph::readEvents(path);
+  EXPECT_EQ(loaded, events);
+}
+
+TEST(EventIo, TruncatedFileIsRejectedByTheHeaderCount) {
+  const std::vector<UpdateEvent> events{UpdateEvent::addEdge(0, 1, 1.0),
+                                        UpdateEvent::addEdge(1, 2, 2.0),
+                                        UpdateEvent::addEdge(2, 3, 3.0)};
+  const std::string path = testing::TempDir() + "stream_test_truncated.txt";
+  graph::writeEvents(events, path);
+  // Chop the last line off, as an interrupted copy would.
+  std::string contents;
+  {
+    std::ifstream in(path);
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line)) lines.push_back(line);
+    for (std::size_t i = 0; i + 1 < lines.size(); ++i) contents += lines[i] + "\n";
+  }
+  {
+    std::ofstream out(path);
+    out << contents;
+  }
+  EXPECT_THROW((void)graph::readEvents(path), std::runtime_error);
+}
+
+TEST(EventIo, MissingFileAndMalformedLinesThrow) {
+  EXPECT_THROW((void)graph::readEvents("/no/such/dir/events.txt"),
+               std::runtime_error);
+  const std::string path = testing::TempDir() + "stream_test_bad_events.txt";
+  {
+    std::ofstream out(path);
+    out << "AE 1 not-a-number 3\n";
+  }
+  EXPECT_THROW((void)graph::readEvents(path), std::runtime_error);
+}
+
+// ------------------------------------------------------ EdgeExpiryWindow
+
+TEST(EdgeExpiryWindow, ExpiresAnEdgeAfterTheWindowStampedAtDrainTime) {
+  EdgeExpiryWindow window(10.0);
+  auto batch = window.advance({UpdateEvent::addEdge(0, 1, 0.0)}, 0.0);
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(window.tracked(), 1u);
+
+  batch = window.advance({}, 9.0);  // still inside the window
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(window.tracked(), 1u);
+
+  batch = window.advance({}, 11.0);  // 0.0 < 11.0 - 10.0: expired
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].kind, UpdateEvent::Kind::kRemoveEdge);
+  EXPECT_EQ(batch[0].u, 0u);
+  EXPECT_EQ(batch[0].v, 1u);
+  EXPECT_DOUBLE_EQ(batch[0].timestamp, 11.0);  // stamped at drain time
+  EXPECT_EQ(window.tracked(), 0u);
+}
+
+TEST(EdgeExpiryWindow, ReObservationInsideTheWindowPreventsExpiry) {
+  EdgeExpiryWindow window(10.0);
+  (void)window.advance({UpdateEvent::addEdge(0, 1, 0.0)}, 0.0);
+  (void)window.advance({UpdateEvent::addEdge(0, 1, 5.0)}, 5.0);
+
+  // The first observation leaves the window, but the edge was re-observed
+  // at t=5: no removal yet.
+  auto batch = window.advance({}, 11.0);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(window.tracked(), 1u);
+
+  // The re-observation's own clock runs out at 5 + 10.
+  batch = window.advance({}, 16.0);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].kind, UpdateEvent::Kind::kRemoveEdge);
+  EXPECT_DOUBLE_EQ(batch[0].timestamp, 16.0);
+}
+
+TEST(EdgeExpiryWindow, EndpointOrderDoesNotSplitTheEdge) {
+  EdgeExpiryWindow window(10.0);
+  (void)window.advance({UpdateEvent::addEdge(0, 1, 0.0)}, 0.0);
+  (void)window.advance({UpdateEvent::addEdge(1, 0, 5.0)}, 5.0);  // same edge
+  EXPECT_EQ(window.tracked(), 1u);
+  EXPECT_TRUE(window.advance({}, 11.0).empty());  // re-observed as {1,0}
+}
+
+TEST(EdgeExpiryWindow, NonEdgeEventsPassThroughUntracked) {
+  EdgeExpiryWindow window(10.0);
+  const std::vector<UpdateEvent> batch{UpdateEvent::addVertex(3, 0.0),
+                                       UpdateEvent::removeVertex(4, 0.0)};
+  EXPECT_EQ(window.advance(batch, 0.0), batch);
+  EXPECT_EQ(window.tracked(), 0u);
+}
+
+// --------------------------------------------------------- api::Streamer
+
+std::vector<UpdateEvent> eventsAt(std::initializer_list<double> times) {
+  std::vector<UpdateEvent> events;
+  graph::VertexId next = 0;
+  for (const double t : times) {
+    events.push_back(UpdateEvent::addEdge(next, next + 1, t));
+    ++next;
+  }
+  return events;
+}
+
+TEST(Streamer, RequiresExactlyOneWindowingMode) {
+  EXPECT_THROW(api::Streamer(UpdateStream{}, api::StreamOptions{}),
+               std::invalid_argument);
+  api::StreamOptions both;
+  both.windowSpan = 1.0;
+  both.windowEvents = 5;
+  EXPECT_THROW(api::Streamer(UpdateStream{}, both), std::invalid_argument);
+}
+
+TEST(Streamer, TimeWindowsPartitionTheStream) {
+  api::StreamOptions options;
+  options.windowSpan = 1.0;
+  api::Streamer streamer(UpdateStream(eventsAt({0.5, 1.5, 2.5})), options);
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto batch = streamer.next();
+    ASSERT_TRUE(batch.has_value()) << i;
+    EXPECT_EQ(batch->index, i);
+    EXPECT_DOUBLE_EQ(batch->start, static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(batch->end, static_cast<double>(i + 1));
+    EXPECT_EQ(batch->events.size(), 1u);
+    EXPECT_EQ(batch->drained, 1u);
+  }
+  EXPECT_FALSE(streamer.next().has_value());
+}
+
+TEST(Streamer, TimeWindowsAnchorAtTheFirstEventsWindow) {
+  // Epoch-style timestamps must not pay for an empty prefix of windows;
+  // boundaries stay at multiples of the span.
+  api::StreamOptions options;
+  options.windowSpan = 1.0;
+  api::Streamer streamer(UpdateStream({UpdateEvent::addEdge(0, 1, 1000.3),
+                                       UpdateEvent::addEdge(1, 2, 1000.8)}),
+                         options);
+  const auto batch = streamer.next();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_DOUBLE_EQ(batch->start, 1000.0);
+  EXPECT_DOUBLE_EQ(batch->end, 1001.0);
+  EXPECT_EQ(batch->events.size(), 2u);
+  EXPECT_FALSE(streamer.next().has_value());
+}
+
+TEST(Streamer, EmptyWindowsAreEmittedAcrossTimeGaps) {
+  api::StreamOptions options;
+  options.windowSpan = 1.0;
+  api::Streamer streamer(UpdateStream(eventsAt({0.5, 3.5})), options);
+  std::vector<std::size_t> sizes;
+  while (const auto batch = streamer.next()) sizes.push_back(batch->events.size());
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1, 0, 0, 1}));
+}
+
+TEST(Streamer, CountWindowsChunkTheStream) {
+  api::StreamOptions options;
+  options.windowEvents = 2;
+  api::Streamer streamer(UpdateStream(eventsAt({0.1, 0.2, 0.3, 0.4, 0.5})),
+                         options);
+  std::vector<std::size_t> sizes;
+  double lastEnd = 0.0;
+  while (const auto batch = streamer.next()) {
+    sizes.push_back(batch->events.size());
+    EXPECT_GE(batch->end, lastEnd);
+    lastEnd = batch->end;
+  }
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{2, 2, 1}));
+  EXPECT_DOUBLE_EQ(lastEnd, 0.5);
+}
+
+TEST(Streamer, TrailingEmptyWindowsRunToTheMaxWindowsHorizon) {
+  // Time mode with an explicit horizon: the quiet tail after the last event
+  // still produces (empty) windows — fig8's fixed bucket count.
+  api::StreamOptions options;
+  options.windowSpan = 1.0;
+  options.maxWindows = 3;
+  api::Streamer streamer(UpdateStream(eventsAt({0.5})), options);
+  std::vector<std::size_t> sizes;
+  std::vector<bool> exhausted;
+  while (const auto batch = streamer.next()) {
+    sizes.push_back(batch->events.size());
+    exhausted.push_back(batch->streamExhausted);
+  }
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1, 0, 0}));
+  EXPECT_EQ(exhausted, (std::vector<bool>{false, false, true}));
+}
+
+TEST(Streamer, ExpiryStillFiresInTrailingEmptyWindows) {
+  api::StreamOptions options;
+  options.windowSpan = 1.0;
+  options.maxWindows = 4;
+  options.expirySpan = 1.0;
+  api::Streamer streamer(
+      UpdateStream({UpdateEvent::addEdge(0, 1, 0.5)}), options);
+  std::vector<UpdateEvent> removals;
+  while (const auto batch = streamer.next()) {
+    for (const UpdateEvent& e : batch->events) {
+      if (e.kind == UpdateEvent::Kind::kRemoveEdge) removals.push_back(e);
+    }
+  }
+  // 0.5 leaves the 1.0-wide window as of the window ending at t=2.
+  ASSERT_EQ(removals.size(), 1u);
+  EXPECT_DOUBLE_EQ(removals[0].timestamp, 2.0);
+}
+
+TEST(Streamer, MaxWindowsCapsTheRun) {
+  api::StreamOptions options;
+  options.windowSpan = 1.0;
+  options.maxWindows = 2;
+  api::Streamer streamer(UpdateStream(eventsAt({0.5, 1.5, 2.5, 3.5})), options);
+  EXPECT_TRUE(streamer.next().has_value());
+  EXPECT_TRUE(streamer.next().has_value());
+  EXPECT_FALSE(streamer.next().has_value());
+  EXPECT_EQ(streamer.windowsEmitted(), 2u);
+}
+
+TEST(Streamer, ExpiryRemovalsAreFoldedIntoLaterWindows) {
+  api::StreamOptions options;
+  options.windowSpan = 1.0;
+  options.expirySpan = 1.5;
+  // Edge {0,1} observed at 0.5 only; edge {10,11} re-observed every window.
+  std::vector<UpdateEvent> events{UpdateEvent::addEdge(0, 1, 0.5),
+                                  UpdateEvent::addEdge(10, 11, 0.6),
+                                  UpdateEvent::addEdge(10, 11, 1.6),
+                                  UpdateEvent::addEdge(10, 11, 2.6),
+                                  UpdateEvent::addEdge(10, 11, 3.6)};
+  api::Streamer streamer(UpdateStream(std::move(events)), options);
+
+  std::vector<UpdateEvent> removals;
+  while (const auto batch = streamer.next()) {
+    for (const UpdateEvent& e : batch->events) {
+      if (e.kind == UpdateEvent::Kind::kRemoveEdge) removals.push_back(e);
+    }
+    EXPECT_EQ(batch->expired,
+              static_cast<std::size_t>(batch->events.size() - batch->drained));
+  }
+  // Only the one-shot edge expires; the recurrent one never does.
+  ASSERT_EQ(removals.size(), 1u);
+  EXPECT_EQ(removals[0].u, 0u);
+  EXPECT_EQ(removals[0].v, 1u);
+  EXPECT_DOUBLE_EQ(removals[0].timestamp, 3.0);  // drained at window end
+}
+
+}  // namespace
+}  // namespace xdgp

@@ -1,0 +1,357 @@
+// The streaming workload layer: WorkloadRegistry metadata + the
+// registry-driven property suite (every registered workload is tested for
+// free), the REPLAY round trip through the event-file format, and the
+// Session::stream lockstep against the hand-driven drain/apply/converge
+// sequence it replaces.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "api/partitioner_registry.h"
+#include "api/pipeline.h"
+#include "api/workload_registry.h"
+#include "graph/io.h"
+
+namespace xdgp::api {
+namespace {
+
+/// Small-scale overrides so the whole suite stays fast.
+WorkloadConfig smallConfig(const std::string& code) {
+  WorkloadConfig config;
+  config.seed = 7;
+  if (code == "TWEET") {
+    config.overrides = {{"users", 800}, {"rate", 1.0}, {"hours", 1.0}};
+  } else if (code == "CDR") {
+    config.overrides = {{"subscribers", 1'500}, {"weeks", 2}};
+  } else if (code == "FFIRE") {
+    config.overrides = {{"side", 20}, {"batches", 4}, {"burst", 40}};
+  } else if (code == "CHURN") {
+    config.overrides = {{"vertices", 600}, {"ticks", 4}, {"rate", 120}};
+  } else if (code == "REPLAY") {
+    // REPLAY is file-driven: a canned CHURN run provides the fixture.
+    static const std::string eventsPath =
+        testing::TempDir() + "workload_test_replay_events.txt";
+    static const std::string graphPath =
+        testing::TempDir() + "workload_test_replay_graph.el";
+    static const bool written = [] {
+      const Workload seed =
+          WorkloadRegistry::instance().make("CHURN", smallConfig("CHURN"));
+      graph::writeEvents(seed.stream.events(), eventsPath);
+      graph::writeEdgeList(seed.initial, graphPath);
+      return true;
+    }();
+    (void)written;
+    config.eventsPath = eventsPath;
+    config.graphPath = graphPath;
+  }
+  return config;
+}
+
+std::vector<std::pair<graph::VertexId, graph::VertexId>> edgesOf(
+    const graph::DynamicGraph& g) {
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> edges;
+  g.forEachEdge([&](graph::VertexId u, graph::VertexId v) {
+    edges.emplace_back(u, v);
+  });
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(WorkloadRegistry, CatalogListsAllBuiltins) {
+  const auto codes = WorkloadRegistry::instance().codes();
+  EXPECT_GE(codes.size(), 5u);
+  for (const std::string expected : {"TWEET", "CDR", "FFIRE", "CHURN", "REPLAY"}) {
+    EXPECT_TRUE(WorkloadRegistry::instance().has(expected)) << expected;
+  }
+  EXPECT_TRUE(std::is_sorted(codes.begin(), codes.end()));
+}
+
+TEST(WorkloadRegistry, UnknownCodeFailsWithTheMenu) {
+  try {
+    (void)WorkloadRegistry::instance().make("XYZ");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("XYZ"), std::string::npos);
+    EXPECT_NE(what.find("CDR"), std::string::npos);  // menu is in the message
+  }
+}
+
+TEST(WorkloadRegistry, UnknownParamOverrideFailsWithTheParamMenu) {
+  WorkloadConfig config;
+  config.overrides["user"] = 10.0;  // typo for "users"
+  try {
+    (void)WorkloadRegistry::instance().make("TWEET", config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("user"), std::string::npos);
+    EXPECT_NE(what.find("users"), std::string::npos);  // the real knob
+  }
+}
+
+TEST(WorkloadRegistry, ReplayWithoutAnEventFileIsRejected) {
+  EXPECT_THROW((void)WorkloadRegistry::instance().make("REPLAY"),
+               std::invalid_argument);
+}
+
+TEST(WorkloadRegistry, RejectsDuplicatesAndIncompleteEntries) {
+  const auto nullFactory = [](const WorkloadConfig&, const WorkloadParams&) {
+    return Workload{};
+  };
+  WorkloadInfo duplicate;
+  duplicate.code = "TWEET";
+  duplicate.summary = "dup";
+  duplicate.make = nullFactory;
+  EXPECT_THROW(WorkloadRegistry::instance().add(duplicate), std::invalid_argument);
+
+  WorkloadInfo noFactory;
+  noFactory.code = "NOFACTORY";
+  noFactory.summary = "x";
+  EXPECT_THROW(WorkloadRegistry::instance().add(noFactory), std::invalid_argument);
+
+  WorkloadInfo dupParam;
+  dupParam.code = "DUPPARAM";
+  dupParam.summary = "x";
+  dupParam.params = {{"n", "a", 1}, {"n", "b", 2}};
+  dupParam.make = nullFactory;
+  EXPECT_THROW(WorkloadRegistry::instance().add(dupParam), std::invalid_argument);
+}
+
+TEST(WorkloadRegistry, FactoriesCannotReadUndeclaredParams) {
+  const WorkloadParams params({{"declared", 1.0}});
+  EXPECT_DOUBLE_EQ(params.get("declared"), 1.0);
+  EXPECT_THROW((void)params.get("undeclared"), std::invalid_argument);
+}
+
+// ---------------------------------------- registry-driven property suite
+//
+// Every registered workload — present and future — must uphold the stream
+// source contract. New registrations get these tests for free.
+
+class RegisteredWorkloadTest : public testing::TestWithParam<std::string> {
+ protected:
+  [[nodiscard]] static const WorkloadInfo& info() {
+    return WorkloadRegistry::instance().info(GetParam());
+  }
+  [[nodiscard]] static Workload make() {
+    return WorkloadRegistry::instance().make(GetParam(), smallConfig(GetParam()));
+  }
+};
+
+TEST_P(RegisteredWorkloadTest, HasMetadataAndANonEmptyStream) {
+  EXPECT_FALSE(info().summary.empty());
+  Workload workload = make();
+  EXPECT_EQ(workload.code, GetParam());
+  EXPECT_GT(workload.stream.size(), 0u);
+}
+
+TEST_P(RegisteredWorkloadTest, StreamIsTimeOrdered) {
+  const Workload workload = make();
+  const auto& events = workload.stream.events();
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    ASSERT_LE(events[i - 1].timestamp, events[i].timestamp) << "at event " << i;
+  }
+}
+
+TEST_P(RegisteredWorkloadTest, SameSeedSameWorkloadWherePromised) {
+  if (!info().deterministicGivenSeed) GTEST_SKIP();
+  const Workload a = make();
+  const Workload b = make();
+  EXPECT_EQ(a.stream.events(), b.stream.events());
+  EXPECT_EQ(a.initial.numVertices(), b.initial.numVertices());
+  EXPECT_EQ(edgesOf(a.initial), edgesOf(b.initial));
+}
+
+TEST_P(RegisteredWorkloadTest, InitialGraphAndStreamAreConsistent) {
+  Workload workload = make();
+  graph::DynamicGraph g = workload.initial;
+  const std::size_t applied = graph::applyUpdates(g, workload.stream.events());
+  EXPECT_GT(applied, 0u);
+  EXPECT_GT(g.numVertices(), 0u);
+  // The stream must talk about the same id universe as the initial graph:
+  // every surviving endpoint is a real vertex.
+  g.forEachEdge([&](graph::VertexId u, graph::VertexId v) {
+    ASSERT_TRUE(g.hasVertex(u));
+    ASSERT_TRUE(g.hasVertex(v));
+  });
+}
+
+TEST_P(RegisteredWorkloadTest, SuggestedOptionsSelectExactlyOneWindowMode) {
+  const Workload workload = make();
+  const bool byTime = workload.suggested.windowSpan > 0.0;
+  const bool byCount = workload.suggested.windowEvents > 0;
+  EXPECT_NE(byTime, byCount);
+}
+
+TEST_P(RegisteredWorkloadTest, SuggestedWindowingYieldsAtLeastTwoWindows) {
+  Workload workload = make();
+  Streamer streamer(std::move(workload.stream), workload.suggested);
+  std::size_t windows = 0;
+  std::size_t delivered = 0;
+  while (const auto batch = streamer.next()) {
+    ++windows;
+    delivered += batch->drained;
+  }
+  EXPECT_GE(windows, 2u);
+  EXPECT_EQ(delivered, make().stream.size());  // every event lands somewhere
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegistered, RegisteredWorkloadTest,
+                         testing::ValuesIn(WorkloadRegistry::instance().codes()),
+                         [](const auto& param_info) { return param_info.param; });
+
+// ------------------------------------------------------- REPLAY round trip
+
+TEST(Replay, RoundTripsAWorkloadThroughTheEventFile) {
+  const Workload original =
+      WorkloadRegistry::instance().make("TWEET", smallConfig("TWEET"));
+
+  const std::string eventsPath = testing::TempDir() + "replay_roundtrip_events.txt";
+  const std::string graphPath = testing::TempDir() + "replay_roundtrip_graph.el";
+  graph::writeEvents(original.stream.events(), eventsPath);
+  graph::writeEdgeList(original.initial, graphPath);
+
+  WorkloadConfig config;
+  config.eventsPath = eventsPath;
+  config.graphPath = graphPath;
+  const Workload replayed = WorkloadRegistry::instance().make("REPLAY", config);
+
+  EXPECT_EQ(replayed.stream.events(), original.stream.events());
+  EXPECT_EQ(replayed.initial.numVertices(), original.initial.numVertices());
+  EXPECT_EQ(edgesOf(replayed.initial), edgesOf(original.initial));
+}
+
+// --------------------------------------------------- Session::stream
+
+/// Session::stream on one window must equal the hand-driven sequence it
+/// replaced: drainUntil + applyUpdates + rescale + runToConvergence.
+TEST(SessionStream, LockstepWithManualDrainApplyConverge) {
+  const std::size_t k = 4;
+  const std::uint64_t seed = 9;
+  Workload forSession = WorkloadRegistry::instance().make("CHURN", smallConfig("CHURN"));
+  Workload forManual = WorkloadRegistry::instance().make("CHURN", smallConfig("CHURN"));
+
+  // Manual arm: exactly what repartition_live used to hand-wire.
+  core::AdaptiveOptions manualOptions;
+  manualOptions.k = k;
+  manualOptions.seed = seed;
+  core::AdaptiveEngine manual(
+      forManual.initial,
+      initialAssignment(forManual.initial, "HSH", k, 1.1, seed), manualOptions);
+  const auto batch = forManual.stream.drainUntil(1.0);
+  (void)manual.applyUpdates(batch);
+  manual.rescaleCapacity();
+  const core::ConvergenceResult manualResult = manual.runToConvergence(20'000);
+
+  // API arm: one time window of the same span.
+  Session session = Pipeline::fromGraph(std::move(forSession.initial))
+                        .initial("HSH")
+                        .k(k)
+                        .seed(seed)
+                        .adaptive()
+                        .start();
+  StreamOptions options;
+  options.windowSpan = 1.0;
+  options.maxWindows = 1;
+  const TimelineReport timeline =
+      session.stream(std::move(forSession.stream), options);
+
+  ASSERT_EQ(timeline.windows.size(), 1u);
+  const WindowReport& window = timeline.windows.front();
+  EXPECT_EQ(window.eventsDrained, batch.size());
+  EXPECT_EQ(window.iterations, manualResult.iterationsRun);
+  EXPECT_EQ(window.converged, manualResult.converged);
+  EXPECT_EQ(window.migrations, manual.totalMigrations());
+  EXPECT_EQ(window.cutEdges, manual.state().cutEdges());
+  EXPECT_DOUBLE_EQ(window.cutRatio, manual.cutRatio());
+  EXPECT_EQ(session.engine().state().assignment(), manual.state().assignment());
+}
+
+TEST(SessionStream, TimelineCoversTheWholeStreamAndImprovesTheCut) {
+  Workload workload = WorkloadRegistry::instance().make("FFIRE", smallConfig("FFIRE"));
+  Session session = Pipeline::fromGraph(std::move(workload.initial))
+                        .initial("HSH")
+                        .k(4)
+                        .seed(3)
+                        .adaptive()
+                        .start();
+  const double initialCut = session.cutRatio();
+  const TimelineReport timeline =
+      session.stream(std::move(workload.stream), workload.suggested);
+
+  ASSERT_GE(timeline.windows.size(), 2u);
+  for (std::size_t i = 0; i < timeline.windows.size(); ++i) {
+    EXPECT_EQ(timeline.windows[i].index, i);
+    EXPECT_GE(timeline.windows[i].cutRatio, 0.0);
+    EXPECT_LE(timeline.windows[i].cutRatio, 1.0);
+  }
+  EXPECT_GT(timeline.totalApplied(), 0u);
+  EXPECT_LT(timeline.back().cutRatio, 0.6 * initialCut);
+  // The session's cumulative report reflects the streamed run.
+  const RunReport report = session.report();
+  EXPECT_TRUE(report.adapted);
+  EXPECT_DOUBLE_EQ(report.finalCutRatio, timeline.back().cutRatio);
+}
+
+TEST(SessionStream, StaticArmAppliesButNeverAdapts) {
+  Workload workload = WorkloadRegistry::instance().make("CHURN", smallConfig("CHURN"));
+  Session session = Pipeline::fromGraph(std::move(workload.initial))
+                        .initial("HSH")
+                        .k(4)
+                        .seed(3)
+                        .adaptive()
+                        .start();
+  StreamOptions options = workload.suggested;
+  options.adapt = false;
+  const TimelineReport timeline =
+      session.stream(std::move(workload.stream), options);
+  ASSERT_GE(timeline.windows.size(), 2u);
+  for (const WindowReport& window : timeline.windows) {
+    EXPECT_EQ(window.iterations, 0u);
+    EXPECT_EQ(window.migrations, 0u);
+    EXPECT_FALSE(window.converged);
+  }
+}
+
+// ------------------------------------------------------- TimelineReport
+
+TEST(TimelineReport, RenderersAgreeWithTheHeaderAndTheWindows) {
+  Workload workload = WorkloadRegistry::instance().make("CHURN", smallConfig("CHURN"));
+  Session session = Pipeline::fromGraph(std::move(workload.initial))
+                        .initial("HSH")
+                        .k(3)
+                        .seed(1)
+                        .adaptive()
+                        .start();
+  TimelineReport timeline =
+      session.stream(std::move(workload.stream), workload.suggested);
+  timeline.workload = "CHURN";
+
+  for (const WindowReport& window : timeline.windows) {
+    EXPECT_EQ(window.csvRow().size(), WindowReport::csvHeader().size());
+  }
+
+  std::ostringstream csv;
+  timeline.renderCsv(csv);
+  std::ostringstream jsonl;
+  timeline.renderJsonl(jsonl);
+  std::ostringstream text;
+  timeline.renderText(text);
+
+  const auto lines = [](const std::string& s) {
+    return static_cast<std::size_t>(std::count(s.begin(), s.end(), '\n'));
+  };
+  EXPECT_EQ(lines(csv.str()), timeline.windows.size() + 1);  // header + rows
+  EXPECT_EQ(lines(jsonl.str()), timeline.windows.size());
+  EXPECT_NE(text.str().find("CHURN"), std::string::npos);
+  EXPECT_NE(jsonl.str().find("\"cut_ratio\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xdgp::api

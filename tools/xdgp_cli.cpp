@@ -1,10 +1,13 @@
 // xdgp command-line tool: generate Table-1 datasets, partition edge-list
-// files with any registered strategy, and run the adaptive algorithm to
-// convergence — the downstream-user entry point that needs no C++.
+// files with any registered strategy, run the adaptive algorithm to
+// convergence, and stream a registered workload through the windowed
+// drain -> apply -> converge loop — the downstream-user entry point that
+// needs no C++.
 //
-// The partition/adapt subcommands are thin shells over api::Pipeline, and
-// the strategy menu is printed straight from api::PartitionerRegistry — the
-// CLI learns new strategies the moment they are registered.
+// The partition/adapt/stream subcommands are thin shells over api::Pipeline
+// and Session::stream; the strategy and workload menus are printed straight
+// from api::PartitionerRegistry and api::WorkloadRegistry — the CLI learns
+// new strategies and workloads the moment they are registered.
 //
 // Usage:
 //   xdgp_cli --cmd=generate --dataset=64kcube --out=mesh.txt
@@ -13,11 +16,16 @@
 //   xdgp_cli --cmd=adapt --graph=mesh.txt --assignment=initial.part
 //            --out=final.part --s=0.5
 //   xdgp_cli --cmd=adapt --graph=mesh.txt --strategy=HSH --k=9 --out=final.part
+//   xdgp_cli --cmd=stream --workload=CDR --k=5 --csv=timeline.csv
+//   xdgp_cli --cmd=stream --workload=TWEET --users=10000 --hours=12
+//            --jsonl=windows.jsonl
 
+#include <fstream>
 #include <iostream>
 
 #include "api/partitioner_registry.h"
 #include "api/pipeline.h"
+#include "api/workload_registry.h"
 #include "gen/dataset_catalog.h"
 #include "graph/io.h"
 #include "partition/assignment_io.h"
@@ -112,21 +120,97 @@ int adaptCmd(util::Flags& flags) {
   return report.converged ? 0 : 2;
 }
 
+int streamCmd(util::Flags& flags) {
+  const std::string code = flags.getString("workload", "CDR");
+  const api::WorkloadInfo& info = api::WorkloadRegistry::instance().info(code);
+
+  // Every param the workload declares is a flag: --users, --subscribers, ...
+  api::WorkloadConfig config = api::workloadConfigFromFlags(flags, info);
+  config.eventsPath = flags.getString("events", "");
+  config.graphPath = flags.getString("graph", "");
+  api::Workload workload = api::WorkloadRegistry::instance().make(code, config);
+
+  api::StreamOptions options = workload.suggested;
+  if (flags.has("window")) {
+    options.windowSpan = flags.getDouble("window", options.windowSpan);
+    options.windowEvents = 0;
+  }
+  if (flags.has("window-events")) {
+    options.windowEvents = static_cast<std::size_t>(
+        flags.getInt("window-events", 0));
+    options.windowSpan = 0.0;
+  }
+  options.expirySpan = flags.getDouble("expiry", options.expirySpan);
+  options.maxWindows =
+      static_cast<std::size_t>(flags.getInt("max-windows", 0));
+  options.adapt = !flags.getBool("static", false);
+
+  const std::string strategy = flags.getString("strategy", "HSH");
+  const auto k = static_cast<std::size_t>(flags.getInt("k", 9));
+  const double capacity = flags.getDouble("capacity", 1.1);
+  core::AdaptiveOptions adaptiveOptions;
+  adaptiveOptions.willingness = flags.getDouble("s", 0.5);
+  adaptiveOptions.threads = static_cast<std::size_t>(flags.getInt("threads", 1));
+  const std::string csvPath = flags.getString("csv", "");
+  const std::string jsonlPath = flags.getString("jsonl", "");
+  flags.finish();
+
+  api::Session session = api::Pipeline::fromGraph(std::move(workload.initial))
+                             .initial(strategy)
+                             .k(k)
+                             .capacityFactor(capacity)
+                             .seed(config.seed)
+                             .adaptive(adaptiveOptions)
+                             .start();
+  api::TimelineReport timeline =
+      session.stream(std::move(workload.stream), options);
+  timeline.workload = code;
+  timeline.renderText(std::cout);
+
+  const auto writeTo = [&](const std::string& path, auto render) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("stream: cannot open " + path);
+    render(out);
+    std::cout << "  written to " << path << "\n";
+  };
+  if (!csvPath.empty()) {
+    writeTo(csvPath, [&](std::ostream& out) { timeline.renderCsv(out); });
+  }
+  if (!jsonlPath.empty()) {
+    writeTo(jsonlPath, [&](std::ostream& out) { timeline.renderJsonl(out); });
+  }
+  return timeline.empty() ? 2 : 0;
+}
+
 void printUsage() {
-  std::cerr << "usage: xdgp_cli --cmd=generate|partition|adapt [options]\n"
+  std::cerr << "usage: xdgp_cli --cmd=generate|partition|adapt|stream [options]\n"
                "  generate:  --dataset=<table1 name> --out=<edge list>\n"
                "  partition: --graph=<edge list> --strategy=<code> --k=9"
                " --out=<part file>\n"
                "  adapt:     --graph=<edge list> [--assignment=<part file> |"
                " --strategy=<code> --k=9] --s=0.5 [--balance=edges] --out=<part"
                " file>\n"
+               "  stream:    --workload=<code> [--<param>=... per workload]"
+               " [--strategy=HSH --k=9 --s=0.5]\n"
+               "             [--window=<span> | --window-events=<n>]"
+               " [--expiry=<span>] [--max-windows=<n>]\n"
+               "             [--static] [--csv=<file>] [--jsonl=<file>]"
+               " (REPLAY: --events=<file> [--graph=<edge list>])\n"
                "strategies:\n";
   for (const api::StrategyInfo* info :
        api::PartitionerRegistry::instance().infos()) {
     std::cerr << "  " << info->code << (info->respectsCapacity ? "  " : " ~")
               << " " << info->summary << "\n";
   }
-  std::cerr << "  (~ = balance is statistical, not capacity-guaranteed)\n";
+  std::cerr << "  (~ = balance is statistical, not capacity-guaranteed)\n"
+               "workloads:\n";
+  for (const api::WorkloadInfo* info : api::WorkloadRegistry::instance().infos()) {
+    std::cerr << "  " << info->code << "  " << info->summary << "\n";
+    for (const api::WorkloadParamSpec& spec : info->params) {
+      std::cerr << "      --" << spec.name << "=" << util::fmt(spec.defaultValue, 2)
+                << "  " << spec.summary << "\n";
+    }
+  }
 }
 
 }  // namespace
@@ -138,6 +222,7 @@ int main(int argc, char** argv) {
     if (cmd == "generate") return generateCmd(flags);
     if (cmd == "partition") return partitionCmd(flags);
     if (cmd == "adapt") return adaptCmd(flags);
+    if (cmd == "stream") return streamCmd(flags);
     printUsage();
     return 1;
   } catch (const std::exception& error) {
