@@ -56,7 +56,8 @@ void quotaAblation(std::uint64_t seed, util::CsvWriter& csv) {
   std::cout << "(quota off densifies: imbalance grows past the 1.1 cap)\n\n";
 }
 
-void deferredAblation(std::uint64_t seed, util::CsvWriter& csv) {
+void deferredAblation(std::uint64_t seed, std::size_t threads,
+                      util::CsvWriter& csv) {
   std::cout << "2) Deferred vs instant migration (mesh 16^3, DegreeCount probe)\n";
   util::TablePrinter table(
       {"migration", "lost messages", "migrations", "delivery errors"});
@@ -67,6 +68,7 @@ void deferredAblation(std::uint64_t seed, util::CsvWriter& csv) {
     options.adaptive = true;
     options.deferredMigration = deferred;
     options.partitioner.seed = seed;
+    options.threads = threads;
     pregel::Engine<apps::DegreeCountProgram> engine(
         g, bench::initialAssignment(g, "HSH", 9, 1.1, seed), options);
     std::size_t lost = 0, migrations = 0, wrongCounts = 0;
@@ -169,7 +171,8 @@ void balanceModeAblation(std::uint64_t seed, util::CsvWriter& csv) {
                "graphs)\n\n";
 }
 
-void hotspotAblation(std::uint64_t seed, util::CsvWriter& csv) {
+void hotspotAblation(std::uint64_t seed, std::size_t threads,
+                     util::CsvWriter& csv) {
   std::cout << "6) Hotspot-aware capacity derating (mesh 10^3, PageRank; paper §6 #2)\n";
   util::TablePrinter table(
       {"hotspot awareness", "max worker compute", "mean worker compute", "cut ratio"});
@@ -182,6 +185,7 @@ void hotspotAblation(std::uint64_t seed, util::CsvWriter& csv) {
     options.adaptive = true;
     options.partitioner.hotspotAware = aware;
     options.partitioner.seed = seed;
+    options.threads = threads;
     apps::PageRankProgram app;
     app.setNumVertices(g.numVertices());
     pregel::Engine<apps::PageRankProgram> engine(g, initial, options, app);
@@ -236,17 +240,21 @@ void localityAblation(std::uint64_t seed, util::CsvWriter& csv) {
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   const std::uint64_t seed = flags.getUint64("seed", 42);
+  // Compute-phase threads for the pregel-backed ablations (2 and 6); the
+  // sharded runtime's trajectory is thread-count-invariant, so this cannot
+  // change any ablation outcome — only its wall time.
+  const auto threads = static_cast<std::size_t>(flags.getInt("threads", 1));
   flags.finish();
 
   std::cout << "Design-choice ablations (docs/DESIGN.md §5)\n\n";
   util::CsvWriter csv(bench::resultsDir() + "/ablation_design_choices.csv",
                       {"ablation", "setting", "metric1", "metric2"});
   quotaAblation(seed, csv);
-  deferredAblation(seed, csv);
+  deferredAblation(seed, threads, csv);
   windowAblation(seed, csv);
   headroomAblation(seed, csv);
   balanceModeAblation(seed, csv);
-  hotspotAblation(seed, csv);
+  hotspotAblation(seed, threads, csv);
   localityAblation(seed, csv);
   std::cout << "CSV: " << bench::resultsDir() << "/ablation_design_choices.csv\n";
   return 0;

@@ -75,6 +75,9 @@ int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   const auto vertices = static_cast<std::size_t>(flags.getInt("vertices", 1'000'000));
   const auto workers = static_cast<std::size_t>(flags.getInt("workers", 63));
+  // Compute-phase threads for the sharded runtime; any value produces the
+  // identical trajectory, so the figure is threads-invariant by construction.
+  const auto threads = static_cast<std::size_t>(flags.getInt("threads", 1));
   const auto printEvery = static_cast<std::size_t>(flags.getInt("print-every", 25));
   const auto maxSupersteps =
       static_cast<std::size_t>(flags.getInt("max-supersteps", 1'000));
@@ -91,6 +94,7 @@ int main(int argc, char** argv) {
   options.numWorkers = workers;
   options.adaptive = true;
   options.partitioner.seed = seed;
+  options.threads = threads;
   pregel::Engine<apps::CardiacProgram> engine(
       mesh, bench::initialAssignment(mesh, "HSH", workers, 1.1, seed), options);
 

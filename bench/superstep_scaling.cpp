@@ -1,0 +1,93 @@
+// Sharded-runtime scaling micro-harness: PageRank supersteps on a >=100k-
+// vertex mesh at increasing EngineOptions::threads, reporting measured
+// compute-phase wall seconds per superstep (Runtime::lastPhaseSeconds). The
+// trajectory is bit-identical at every thread count — the lockstep suite
+// asserts it, this bench quantifies the wall-clock payoff — and the JSONL
+// series accumulates in XDGP_BENCH_DIR across commits the way
+// stream_windows' per-window files do (wired into scripts/run_bench.sh).
+//
+//   build/bench/superstep_scaling [--vertices=120000] [--workers=16]
+//                                 [--supersteps=6] [--max-threads=8]
+
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "apps/pagerank.h"
+#include "bench_common.h"
+#include "gen/mesh3d.h"
+#include "pregel/engine.h"
+#include "util/csv.h"
+
+using namespace xdgp;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto vertices = static_cast<std::size_t>(flags.getInt("vertices", 120'000));
+  const auto workers = static_cast<std::size_t>(flags.getInt("workers", 16));
+  const auto supersteps = static_cast<std::size_t>(flags.getInt("supersteps", 6));
+  const auto maxThreads = static_cast<std::size_t>(flags.getInt(
+      "max-threads",
+      std::max<std::size_t>(4, std::thread::hardware_concurrency())));
+  const std::uint64_t seed = flags.getUint64("seed", 42);
+  flags.finish();
+
+  const graph::DynamicGraph mesh = gen::mesh3dApprox(vertices);
+  const metrics::Assignment initial =
+      bench::initialAssignment(mesh, "HSH", workers, 1.1, seed);
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::cout << "superstep scaling: PageRank, |V|=" << mesh.numVertices()
+            << " |E|=" << mesh.numEdges() << ", " << workers << " workers, "
+            << supersteps << " supersteps per point, host concurrency "
+            << cores << "\n";
+  if (cores <= 1) {
+    std::cout << "(single-core host: thread counts > 1 cannot speed the "
+                 "barrier up here — the series still records the overhead)\n";
+  }
+  std::cout << "\n";
+
+  std::ofstream jsonl(bench::resultsDir() + "/superstep_scaling.jsonl");
+  util::TablePrinter table({"threads", "compute s/superstep", "superstep s",
+                            "compute speedup", "cut ratio"});
+
+  double computeBaseline = 0.0;
+  for (std::size_t threads = 1; threads <= maxThreads; threads *= 2) {
+    pregel::EngineOptions options;
+    options.numWorkers = workers;
+    options.adaptive = true;
+    options.partitioner.seed = seed;
+    options.threads = threads;
+    apps::PageRankProgram program;
+    program.setNumVertices(mesh.numVertices());
+    pregel::Engine<apps::PageRankProgram> engine(mesh, initial, options, program);
+
+    engine.runSuperstep();  // warm-up: first touch of lanes and inboxes
+    double computeSeconds = 0.0, totalSeconds = 0.0;
+    for (std::size_t s = 0; s < supersteps; ++s) {
+      engine.runSuperstep();
+      const pregel::Runtime::PhaseSeconds& phases =
+          engine.runtime().lastPhaseSeconds();
+      computeSeconds += phases.compute;
+      totalSeconds += phases.total();
+    }
+    const double perStep = computeSeconds / static_cast<double>(supersteps);
+    if (threads == 1) computeBaseline = perStep;
+    const double speedup = computeBaseline > 0.0 ? computeBaseline / perStep : 0.0;
+
+    table.addRow({std::to_string(threads), util::fmt(perStep, 5),
+                  util::fmt(totalSeconds / static_cast<double>(supersteps), 5),
+                  util::fmt(speedup, 2) + "x", util::fmt(engine.cutRatio(), 3)});
+    jsonl << "{\"threads\":" << threads << ",\"vertices\":" << mesh.numVertices()
+          << ",\"edges\":" << mesh.numEdges() << ",\"workers\":" << workers
+          << ",\"supersteps\":" << supersteps
+          << ",\"compute_s_per_superstep\":" << util::fmt(perStep, 6)
+          << ",\"superstep_s\":"
+          << util::fmt(totalSeconds / static_cast<double>(supersteps), 6)
+          << ",\"compute_speedup\":" << util::fmt(speedup, 3) << "}\n";
+  }
+  table.print(std::cout);
+  std::cout << "\nJSONL: " << bench::resultsDir() << "/superstep_scaling.jsonl\n"
+            << "(trajectories are bit-identical across thread counts; "
+               "tests/pregel_shard_test.cpp asserts it)\n";
+  return 0;
+}

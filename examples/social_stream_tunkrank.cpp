@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <iostream>
+#include <thread>
 #include <vector>
 
 #include "api/partitioner_registry.h"
@@ -26,10 +27,12 @@ int main() {
             << workload.stream.events().back().timestamp / 3600.0
             << " simulated hours\n\n";
 
-  // Engine: 9 workers, adaptive partitioning on.
+  // Engine: 9 workers, adaptive partitioning on, compute phase sharded over
+  // the host's cores (the ranking is bit-identical at any thread count).
   pregel::EngineOptions options;
   options.numWorkers = 9;
   options.adaptive = true;
+  options.threads = std::max(1u, std::thread::hardware_concurrency());
   pregel::Engine<apps::TunkRankProgram> engine(
       workload.initial,
       api::initialAssignment(workload.initial, "HSH", 9, 1.1, /*seed=*/1),

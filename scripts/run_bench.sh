@@ -25,6 +25,12 @@ mkdir -p "$out_dir"
 cmake --build "$build_dir" -j --target stream_windows
 XDGP_BENCH_DIR="$out_dir" "$build_dir/bench/stream_windows"
 
+# Sharded-runtime scaling: threads-vs-wall-seconds for the pregel compute
+# phase (superstep_scaling.jsonl), CI-sized like the streaming sweep.
+cmake --build "$build_dir" -j --target superstep_scaling
+XDGP_BENCH_DIR="$out_dir" "$build_dir/bench/superstep_scaling" \
+  --vertices=120000 --supersteps=4
+
 # Absent target (Google Benchmark not installed) is a graceful no-op; an
 # actual build failure must fail the job, not masquerade as "unavailable".
 # find_package(benchmark) is config-mode, so the cache records whether it

@@ -75,9 +75,10 @@ std::optional<WindowBatch> Streamer::next() {
 
 const std::vector<std::string>& WindowReport::csvHeader() {
   static const std::vector<std::string> header{
-      "window",     "start",   "end",        "drained",   "expired",
-      "applied",    "vertices", "edges",     "iterations", "converged",
-      "migrations", "cut_ratio", "cut_edges", "imbalance",  "wall_s"};
+      "window",     "start",        "end",       "drained",   "expired",
+      "applied",    "vertices",     "edges",     "iterations", "converged",
+      "migrations", "lost_messages", "cut_ratio", "cut_edges", "imbalance",
+      "wall_s"};
   return header;
 }
 
@@ -93,6 +94,7 @@ std::vector<std::string> WindowReport::csvRow() const {
           std::to_string(iterations),
           converged ? "1" : "0",
           std::to_string(migrations),
+          std::to_string(lostMessages),
           util::fmt(cutRatio, 4),
           std::to_string(cutEdges),
           util::fmt(balance.imbalance, 4),
@@ -107,10 +109,38 @@ void WindowReport::renderJson(std::ostream& out) const {
       << ",\"iterations\":" << iterations
       << ",\"converged\":" << (converged ? "true" : "false")
       << ",\"migrations\":" << migrations
+      << ",\"lost_messages\":" << lostMessages
       << ",\"cut_ratio\":" << util::fmt(cutRatio, 4)
       << ",\"cut_edges\":" << cutEdges
       << ",\"imbalance\":" << util::fmt(balance.imbalance, 4)
       << ",\"wall_s\":" << util::fmt(wallSeconds, 6) << "}";
+}
+
+WindowReport windowReportFromSupersteps(
+    const WindowBatch& batch, std::size_t eventsApplied,
+    std::span<const pregel::SuperstepStats> supersteps,
+    const graph::DynamicGraph& g, const core::PartitionState& state,
+    std::size_t k, bool converged, double wallSeconds) {
+  WindowReport window;
+  window.index = batch.index;
+  window.start = batch.start;
+  window.end = batch.end;
+  window.eventsDrained = batch.drained;
+  window.eventsExpired = batch.expired;
+  window.eventsApplied = eventsApplied;
+  window.iterations = supersteps.size();
+  for (const pregel::SuperstepStats& s : supersteps) {
+    window.migrations += s.migrationsExecuted;
+    window.lostMessages += s.lostMessages;
+  }
+  window.converged = converged;
+  window.vertices = g.numVertices();
+  window.edges = g.numEdges();
+  window.cutEdges = state.cutEdges();
+  window.cutRatio = state.cutRatio(g);
+  window.balance = metrics::balanceReport(state.assignment(), k);
+  window.wallSeconds = wallSeconds;
+  return window;
 }
 
 // -------------------------------------------------------- TimelineReport
@@ -125,14 +155,27 @@ void TimelineReport::renderText(std::ostream& out) const {
   out << workload << ": " << windows.size() << " windows, strategy " << strategy
       << ", k=" << k << "\n";
   if (windows.empty()) return;
-  util::TablePrinter table({"window", "t", "applied", "|V|", "|E|", "iters",
-                            "migrations", "cut ratio", "imbalance"});
+  // The lost-message column only appears when a window actually lost some
+  // (pregel-backed drivers with failures or instant migration); the
+  // algorithm-only engine would show a constant 0.
+  bool anyLost = false;
+  for (const WindowReport& w : windows) anyLost = anyLost || w.lostMessages > 0;
+  std::vector<std::string> head{"window", "t",          "applied",   "|V|",
+                                "|E|",    "iters",      "migrations", "cut ratio",
+                                "imbalance"};
+  if (anyLost) head.insert(head.begin() + 7, "lost");
+  util::TablePrinter table(head);
   for (const WindowReport& w : windows) {
-    table.addRow({std::to_string(w.index), util::fmt(w.end, 2),
-                  std::to_string(w.eventsApplied), std::to_string(w.vertices),
-                  std::to_string(w.edges), std::to_string(w.iterations),
-                  std::to_string(w.migrations), util::fmt(w.cutRatio, 3),
-                  util::fmt(w.balance.imbalance, 3)});
+    std::vector<std::string> row{std::to_string(w.index), util::fmt(w.end, 2),
+                                 std::to_string(w.eventsApplied),
+                                 std::to_string(w.vertices),
+                                 std::to_string(w.edges),
+                                 std::to_string(w.iterations),
+                                 std::to_string(w.migrations),
+                                 util::fmt(w.cutRatio, 3),
+                                 util::fmt(w.balance.imbalance, 3)};
+    if (anyLost) row.insert(row.begin() + 7, std::to_string(w.lostMessages));
+    table.addRow(row);
   }
   table.print(out);
   std::size_t convergedWindows = 0;

@@ -3,12 +3,15 @@
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "core/partition_state.h"
 #include "graph/edge_expiry_window.h"
 #include "graph/update_stream.h"
 #include "metrics/balance.h"
+#include "pregel/types.h"
 
 namespace xdgp::api {
 
@@ -96,6 +99,11 @@ struct WindowReport {
   std::size_t iterations = 0;     ///< adaptive iterations run this window
   bool converged = true;
   std::size_t migrations = 0;     ///< migrations executed this window
+  /// Messages lost during the window's supersteps: 0 for the algorithm-only
+  /// AdaptiveEngine (it exchanges no messages) and under the deferred
+  /// protocol; non-zero when a pregel-backed driver injects failures or runs
+  /// the instant-migration ablation (Fig. 8 / Fig. 3 top).
+  std::size_t lostMessages = 0;
   double cutRatio = 0.0;
   std::size_t cutEdges = 0;
   metrics::BalanceReport balance;
@@ -134,5 +142,18 @@ struct TimelineReport {
   /// JSONL rendering: one JSON object per window per line.
   void renderJsonl(std::ostream& out) const;
 };
+
+/// Builds the WindowReport row for a pregel-backed window: the batch's
+/// drain/expiry counts plus the superstep stats recorded while the window
+/// was current, so migrationsExecuted and lostMessages reach the
+/// timeline/CSV output instead of staying buried in Engine::history().
+/// `supersteps` is the history slice the window ran (its length becomes the
+/// row's iteration count); graph metrics are read from the engine's current
+/// graph and partition state.
+[[nodiscard]] WindowReport windowReportFromSupersteps(
+    const WindowBatch& batch, std::size_t eventsApplied,
+    std::span<const pregel::SuperstepStats> supersteps,
+    const graph::DynamicGraph& g, const core::PartitionState& state,
+    std::size_t k, bool converged, double wallSeconds);
 
 }  // namespace xdgp::api

@@ -11,26 +11,19 @@ namespace xdgp::core {
 AdaptiveEngine::AdaptiveEngine(graph::DynamicGraph g, metrics::Assignment initial,
                                AdaptiveOptions options)
     : options_(options),
-      graph_(std::move(g)),
-      state_(graph_, std::move(initial), options.k),
-      capacity_(options.balanceMode == BalanceMode::kVertices
-                    ? graph_.numVertices()
-                    : 2 * graph_.numEdges(),
-                options.k, options.capacityFactor),
+      runtime_(std::move(g), std::move(initial), options.k),
+      capacity_(runtime_.totalLoadUnits(options.balanceMode), options.k,
+                options.capacityFactor),
       quota_(options.k),
       policy_(options.k),
       tracker_(options.convergenceWindow),
       draws_(options.seed, options.willingness) {
-  const std::size_t k = options_.k;
-  placement_ = [k](graph::VertexId v) {
-    return static_cast<graph::PartitionId>(util::Rng::splitmix64(v) % k);
-  };
   if (options_.frontier) {
     // Every vertex is unexamined at the start: the first iteration is a full
     // sweep, after which the frontier tracks change.
-    inNextFrontier_.assign(graph_.idBound(), 0);
-    nextFrontier_.reserve(graph_.numVertices());
-    graph_.forEachVertex([this](graph::VertexId v) { markDirty(v); });
+    inNextFrontier_.assign(graph().idBound(), 0);
+    nextFrontier_.reserve(graph().numVertices());
+    graph().forEachVertex([this](graph::VertexId v) { markDirty(v); });
   }
 }
 
@@ -68,10 +61,10 @@ void AdaptiveEngine::admit(graph::VertexId v, bool edgeBalance) {
     markDirty(v);
     return;
   }
-  const graph::PartitionId current = state_.partitionOf(v);
+  const graph::PartitionId current = state().partitionOf(v);
   // In edge-balance mode a migrating vertex consumes its degree's worth of
   // the destination quota.
-  const std::size_t units = edgeBalance ? graph_.degree(v) : 1;
+  const std::size_t units = edgeBalance ? graph().degree(v) : 1;
   if (options_.enforceQuota && !quota_.tryAdmit(current, target, units)) {
     // Quota-starved. Parking is sound only if no future draw could be
     // admitted while loads stay frozen: in a zero-migration iteration
@@ -109,7 +102,7 @@ std::size_t AdaptiveEngine::step() {
   ++iteration_;
   const bool edgeBalance = options_.balanceMode == BalanceMode::kEdges;
   quota_.beginIteration(capacity_,
-                        edgeBalance ? state_.degreeLoads() : state_.loads());
+                        edgeBalance ? state().degreeLoads() : state().loads());
   pendingMoves_.clear();
 
   if (options_.frontier) {
@@ -131,7 +124,7 @@ std::size_t AdaptiveEngine::step() {
   if (options_.frontier) {
     for (const graph::VertexId v : frontier_) admit(v, edgeBalance);
   } else {
-    const std::size_t bound = graph_.idBound();
+    const std::size_t bound = graph().idBound();
     for (graph::VertexId v = 0; v < bound; ++v) admit(v, edgeBalance);
   }
 
@@ -140,14 +133,13 @@ std::size_t AdaptiveEngine::step() {
   // the distributed implementation. Each executed move invalidates the
   // cached "stay" of its whole neighbourhood.
   for (const auto& [v, target] : pendingMoves_) {
-    if (state_.moveVertex(graph_, v, target)) {
+    if (runtime_.executeMove(v, target)) {
       markDirty(v);
-      for (const graph::VertexId nbr : graph_.neighbors(v)) markDirty(nbr);
+      for (const graph::VertexId nbr : graph().neighbors(v)) markDirty(nbr);
     }
   }
 
   const std::size_t migrations = pendingMoves_.size();
-  totalMigrations_ += migrations;
   // Any executed move shifts loads, hence next iteration's quotas: every
   // parked denial must be retried. (A quiet iteration consumed nothing, so
   // parked outcomes are provably unchanged and stay parked.)
@@ -155,16 +147,17 @@ std::size_t AdaptiveEngine::step() {
   tracker_.record(migrations);
   if (migrations > 0) lastActive_ = iteration_;
   if (options_.recordSeries) {
-    series_.add({iteration_, state_.cutEdges(), migrations, timer.seconds()});
+    series_.add({iteration_, state().cutEdges(), migrations, timer.seconds()});
   }
   return migrations;
 }
 
 void AdaptiveEngine::evaluateDecisions() {
-  const std::size_t bound = graph_.idBound();
-  const auto evaluateOne = [this](graph::VertexId v, MigrationPolicy& policy) {
-    const graph::PartitionId current = state_.partitionOf(v);
-    desires_[v] = policy.target(graph_.neighbors(v), state_.assignment(), current,
+  const graph::DynamicGraph& g = graph();
+  const std::size_t bound = g.idBound();
+  const auto evaluateOne = [this, &g](graph::VertexId v, MigrationPolicy& policy) {
+    const graph::PartitionId current = state().partitionOf(v);
+    desires_[v] = policy.target(g.neighbors(v), state().assignment(), current,
                                 draws_.tieBreak(iteration_, v), &desireTiedMask_[v]);
   };
 
@@ -176,13 +169,13 @@ void AdaptiveEngine::evaluateDecisions() {
       desireTiedMask_.resize(bound, 0);
     }
     std::atomic<std::size_t> evaluated{0};
-    const auto evaluateSlice = [this, &evaluateOne, &evaluated](
+    const auto evaluateSlice = [this, &g, &evaluateOne, &evaluated](
                                    std::size_t begin, std::size_t end,
                                    MigrationPolicy& policy) {
       std::size_t alive = 0;
       for (std::size_t i = begin; i < end; ++i) {
         const graph::VertexId v = frontier_[i];
-        if (!graph_.hasVertex(v)) {
+        if (!g.hasVertex(v)) {
           desires_[v] = graph::kNoPartition;  // died since it was marked
           continue;
         }
@@ -213,11 +206,11 @@ void AdaptiveEngine::evaluateDecisions() {
 
   desires_.assign(bound, graph::kNoPartition);
   desireTiedMask_.assign(bound, 0);
-  lastEvaluated_ = graph_.numVertices();
-  const auto evaluateRange = [this, &evaluateOne](std::size_t begin, std::size_t end,
-                                                  MigrationPolicy& policy) {
+  lastEvaluated_ = g.numVertices();
+  const auto evaluateRange = [&g, &evaluateOne](std::size_t begin, std::size_t end,
+                                                MigrationPolicy& policy) {
     for (auto v = static_cast<graph::VertexId>(begin); v < end; ++v) {
-      if (!graph_.hasVertex(v)) continue;
+      if (!g.hasVertex(v)) continue;
       evaluateOne(v, policy);
     }
   };
@@ -251,67 +244,16 @@ ConvergenceResult AdaptiveEngine::runToConvergence(std::size_t maxIterations) {
 }
 
 std::size_t AdaptiveEngine::applyUpdates(const std::vector<graph::UpdateEvent>& events) {
-  std::size_t applied = 0;
-  for (const graph::UpdateEvent& e : events) {
-    switch (e.kind) {
-      case graph::UpdateEvent::Kind::kAddVertex:
-        if (!graph_.hasVertex(e.u)) {
-          graph_.ensureVertex(e.u);
-          state_.onVertexAdded(e.u, placement_(e.u));
-          markDirty(e.u);
-          ++applied;
-        }
-        break;
-      case graph::UpdateEvent::Kind::kRemoveVertex:
-        if (graph_.hasVertex(e.u)) {
-          // The survivors lose a neighbour; their cached decisions expire.
-          for (const graph::VertexId nbr : graph_.neighbors(e.u)) markDirty(nbr);
-          state_.onVertexRemoving(graph_, e.u);
-          graph_.removeVertex(e.u);
-          ++applied;
-        }
-        break;
-      case graph::UpdateEvent::Kind::kAddEdge: {
-        bool changed = false;
-        for (const graph::VertexId endpoint : {e.u, e.v}) {
-          if (!graph_.hasVertex(endpoint)) {
-            graph_.ensureVertex(endpoint);
-            state_.onVertexAdded(endpoint, placement_(endpoint));
-            markDirty(endpoint);
-            changed = true;  // loads shifted even if the edge is rejected
-          }
-        }
-        if (graph_.addEdge(e.u, e.v)) {
-          state_.onEdgeAdded(e.u, e.v);
-          markDirty(e.u);
-          markDirty(e.v);
-          changed = true;
-        }
-        if (changed) ++applied;
-        break;
-      }
-      case graph::UpdateEvent::Kind::kRemoveEdge:
-        if (graph_.removeEdge(e.u, e.v)) {
-          state_.onEdgeRemoved(e.u, e.v);
-          markDirty(e.u);
-          markDirty(e.v);
-          ++applied;
-        }
-        break;
-    }
-  }
+  DirtyHooks hooks(*this);
+  const std::size_t applied = runtime_.applyEvents(events, hooks, &tracker_);
   if (applied > 0) {
-    tracker_.reset();  // topology changed: adaptation resumes
-    unparkAll();       // loads (and degree loads) may have shifted
+    unparkAll();  // loads (and degree loads) may have shifted
   }
   return applied;
 }
 
 void AdaptiveEngine::rescaleCapacity() {
-  const std::size_t totalUnits = options_.balanceMode == BalanceMode::kVertices
-                                     ? graph_.numVertices()
-                                     : 2 * graph_.numEdges();
-  capacity_.rescale(totalUnits, options_.capacityFactor);
+  runtime_.rescaleCapacity(capacity_, options_.balanceMode, options_.capacityFactor);
   unparkAll();  // grown capacities can admit previously starved desires
 }
 

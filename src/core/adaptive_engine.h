@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -11,11 +10,11 @@
 #include "core/draws.h"
 #include "core/migration_policy.h"
 #include "core/partition_state.h"
+#include "core/partitioned_runtime.h"
 #include "core/quota_ledger.h"
 #include "graph/dynamic_graph.h"
 #include "graph/update_stream.h"
 #include "metrics/series.h"
-#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace xdgp::core {
@@ -63,7 +62,9 @@ struct ConvergenceResult {
 /// the logical equivalent of the distributed implementation's one-iteration
 /// migration deferral (§3). The distributed realisation with real message
 /// routing lives in pregel::Engine; this engine is the fast path for the
-/// algorithm-quality experiments (Figs. 1, 4, 5, 6).
+/// algorithm-quality experiments (Figs. 1, 4, 5, 6). Both stand on the same
+/// core::PartitionedRuntime, which owns the graph, the partition state, and
+/// structural-update application.
 ///
 /// The greedy desire is a pure function of a vertex's neighbourhood
 /// snapshot (willingness gates *migration*, not evaluation), which is what
@@ -77,9 +78,10 @@ struct ConvergenceResult {
 /// iterative process adapts from there.
 class AdaptiveEngine {
  public:
-  using PlacementFn = std::function<graph::PartitionId(graph::VertexId)>;
+  using PlacementFn = PartitionedRuntime::PlacementFn;
 
-  /// Takes ownership of the graph; `initial` assigns every alive vertex.
+  /// Takes ownership of the graph; `initial` must assign every alive vertex
+  /// to a partition in [0, options.k) (PartitionedRuntime validates).
   AdaptiveEngine(graph::DynamicGraph g, metrics::Assignment initial,
                  AdaptiveOptions options);
 
@@ -94,7 +96,9 @@ class AdaptiveEngine {
   std::size_t applyUpdates(const std::vector<graph::UpdateEvent>& events);
 
   /// Replaces the default hash placement for stream-injected vertices.
-  void setPlacement(PlacementFn placement) { placement_ = std::move(placement); }
+  void setPlacement(PlacementFn placement) {
+    runtime_.setPlacement(std::move(placement));
+  }
 
   /// Grows capacities to options.capacityFactor headroom over the current
   /// balanced load (in the configured balance mode); never shrinks an
@@ -102,15 +106,21 @@ class AdaptiveEngine {
   /// provisioning should be revised.
   void rescaleCapacity();
 
-  [[nodiscard]] const graph::DynamicGraph& graph() const noexcept { return graph_; }
-  [[nodiscard]] const PartitionState& state() const noexcept { return state_; }
+  [[nodiscard]] const graph::DynamicGraph& graph() const noexcept {
+    return runtime_.graph();
+  }
+  [[nodiscard]] const PartitionState& state() const noexcept {
+    return runtime_.state();
+  }
   [[nodiscard]] const CapacityModel& capacity() const noexcept { return capacity_; }
   [[nodiscard]] const metrics::IterationSeries& series() const noexcept {
     return series_;
   }
   [[nodiscard]] std::size_t iteration() const noexcept { return iteration_; }
   [[nodiscard]] bool converged() const noexcept { return tracker_.converged(); }
-  [[nodiscard]] double cutRatio() const noexcept { return state_.cutRatio(graph_); }
+  [[nodiscard]] double cutRatio() const noexcept {
+    return state().cutRatio(graph());
+  }
   [[nodiscard]] const AdaptiveOptions& options() const noexcept { return options_; }
 
   /// Last iteration index that executed at least one migration.
@@ -121,7 +131,7 @@ class AdaptiveEngine {
   /// Migrations executed over the engine's whole lifetime — the per-window
   /// deltas api::Session::stream reports, independent of recordSeries.
   [[nodiscard]] std::size_t totalMigrations() const noexcept {
-    return totalMigrations_;
+    return runtime_.totalMigrations();
   }
 
   /// Vertices whose decision was (re)computed by the last step() — the
@@ -137,6 +147,31 @@ class AdaptiveEngine {
   [[nodiscard]] std::size_t parkedCount() const noexcept { return parked_.size(); }
 
  private:
+  /// Frontier maintenance on structural updates (PartitionedRuntime hooks):
+  /// every vertex whose cached decision could have changed is re-queued.
+  class DirtyHooks final : public PartitionedRuntime::MutationHooks {
+   public:
+    explicit DirtyHooks(AdaptiveEngine& engine) noexcept : engine_(engine) {}
+    void onVertexLoaded(graph::VertexId v) override { engine_.markDirty(v); }
+    void onVertexRemoving(graph::VertexId v) override {
+      // The survivors lose a neighbour; their cached decisions expire.
+      for (const graph::VertexId nbr : engine_.graph().neighbors(v)) {
+        engine_.markDirty(nbr);
+      }
+    }
+    void onEdgeAdded(graph::VertexId u, graph::VertexId v) override {
+      engine_.markDirty(u);
+      engine_.markDirty(v);
+    }
+    void onEdgeRemoved(graph::VertexId u, graph::VertexId v) override {
+      engine_.markDirty(u);
+      engine_.markDirty(v);
+    }
+
+   private:
+    AdaptiveEngine& engine_;
+  };
+
   /// Decision phase: fills desires_ (kNoPartition = stay) for the frontier
   /// (or all of [0, idBound) in full-scan mode).
   void evaluateDecisions();
@@ -156,14 +191,12 @@ class AdaptiveEngine {
   void unparkAll();
 
   AdaptiveOptions options_;
-  graph::DynamicGraph graph_;
-  PartitionState state_;
+  PartitionedRuntime runtime_;
   CapacityModel capacity_;
   QuotaLedger quota_;
   MigrationPolicy policy_;
   ConvergenceTracker tracker_;
   StatelessDraws draws_;
-  PlacementFn placement_;
   metrics::IterationSeries series_;
   std::vector<graph::PartitionId> desires_;
   /// MigrationPolicy tie masks per desire: a tied target rotates with the
@@ -182,7 +215,6 @@ class AdaptiveEngine {
   std::size_t iteration_ = 0;
   std::size_t lastActive_ = 0;
   std::size_t lastEvaluated_ = 0;
-  std::size_t totalMigrations_ = 0;
 };
 
 }  // namespace xdgp::core

@@ -1,0 +1,89 @@
+#include "core/partitioned_runtime.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.h"
+
+namespace xdgp::core {
+
+PartitionedRuntime::PartitionedRuntime(graph::DynamicGraph g,
+                                       metrics::Assignment initial, std::size_t k)
+    : graph_(std::move(g)), k_(k) {
+  graph_.forEachVertex([&](graph::VertexId v) {
+    const graph::PartitionId p = v < initial.size() ? initial[v] : graph::kNoPartition;
+    if (p >= k_) {
+      throw std::invalid_argument(
+          "initial assignment places vertex " + std::to_string(v) +
+          " on partition " + std::to_string(p) + " but only " +
+          std::to_string(k_) + " partitions exist");
+    }
+  });
+  state_ = PartitionState(graph_, std::move(initial), k_);
+  placement_ = [k](graph::VertexId v) {
+    return static_cast<graph::PartitionId>(util::Rng::splitmix64(v) % k);
+  };
+}
+
+void PartitionedRuntime::loadVertex(graph::VertexId v, MutationHooks& hooks) {
+  graph_.ensureVertex(v);
+  state_.onVertexAdded(v, placement_(v));
+  hooks.onVertexLoaded(v);
+}
+
+std::size_t PartitionedRuntime::applyEvents(
+    const std::vector<graph::UpdateEvent>& events, MutationHooks& hooks,
+    ConvergenceTracker* rearm) {
+  std::size_t applied = 0;
+  for (const graph::UpdateEvent& e : events) {
+    switch (e.kind) {
+      case graph::UpdateEvent::Kind::kAddVertex:
+        if (!graph_.hasVertex(e.u)) {
+          loadVertex(e.u, hooks);
+          ++applied;
+        }
+        break;
+      case graph::UpdateEvent::Kind::kRemoveVertex:
+        if (graph_.hasVertex(e.u)) {
+          hooks.onVertexRemoving(e.u);
+          state_.onVertexRemoving(graph_, e.u);
+          graph_.removeVertex(e.u);
+          ++applied;
+        }
+        break;
+      case graph::UpdateEvent::Kind::kAddEdge: {
+        bool changed = false;
+        for (const graph::VertexId endpoint : {e.u, e.v}) {
+          if (!graph_.hasVertex(endpoint)) {
+            loadVertex(endpoint, hooks);
+            changed = true;  // loads shifted even if the edge is rejected
+          }
+        }
+        if (graph_.addEdge(e.u, e.v)) {
+          state_.onEdgeAdded(e.u, e.v);
+          hooks.onEdgeAdded(e.u, e.v);
+          changed = true;
+        }
+        if (changed) ++applied;
+        break;
+      }
+      case graph::UpdateEvent::Kind::kRemoveEdge:
+        if (graph_.removeEdge(e.u, e.v)) {
+          state_.onEdgeRemoved(e.u, e.v);
+          hooks.onEdgeRemoved(e.u, e.v);
+          ++applied;
+        }
+        break;
+    }
+  }
+  if (applied > 0 && rearm != nullptr) rearm->reset();
+  return applied;
+}
+
+bool PartitionedRuntime::executeMove(graph::VertexId v, graph::PartitionId to) {
+  if (!state_.moveVertex(graph_, v, to)) return false;
+  ++totalMigrations_;
+  return true;
+}
+
+}  // namespace xdgp::core

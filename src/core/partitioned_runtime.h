@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/capacity.h"
+#include "core/convergence.h"
+#include "core/partition_state.h"
+#include "graph/dynamic_graph.h"
+#include "graph/update_stream.h"
+
+namespace xdgp::core {
+
+/// The substrate both BSP realisations stand on: the graph, the partition
+/// state, stream-vertex placement, structural-update application, load
+/// accounting in either balance mode, and the executed-migration counter.
+///
+/// Before this class existed, core::AdaptiveEngine (the algorithm-quality
+/// fast path) and pregel::Engine (the distributed realisation with real
+/// message routing) each carried a private copy of this logic, and the two
+/// copies had drifted — different `applied` counting for edge insertions
+/// that create endpoints, and a silently-accepted out-of-range initial
+/// assignment on the pregel side. It now exists once; the engines differ
+/// only in what they layer on top (frontier iteration vs. mailboxes and
+/// supersteps).
+class PartitionedRuntime {
+ public:
+  using PlacementFn = std::function<graph::PartitionId(graph::VertexId)>;
+
+  /// Engine-specific reactions to structural updates. Every hook fires while
+  /// the graph and partition state are consistent with the described moment.
+  class MutationHooks {
+   public:
+    virtual ~MutationHooks() = default;
+    /// v just became alive and was assigned its placement partition; the id
+    /// space (graph.idBound()) may have grown.
+    virtual void onVertexLoaded(graph::VertexId /*v*/) {}
+    /// v is about to be removed; its adjacency is still intact.
+    virtual void onVertexRemoving(graph::VertexId /*v*/) {}
+    virtual void onEdgeAdded(graph::VertexId /*u*/, graph::VertexId /*v*/) {}
+    virtual void onEdgeRemoved(graph::VertexId /*u*/, graph::VertexId /*v*/) {}
+  };
+
+  /// Takes ownership of the graph. `initial` must assign every alive vertex
+  /// to a partition in [0, k); an assignment referencing a partition >= k is
+  /// a hard std::invalid_argument (it used to index per-worker arrays
+  /// in-range only by luck on the pregel side — the mirror of the CLI's
+  /// `--k` vs assignment mismatch error).
+  PartitionedRuntime(graph::DynamicGraph g, metrics::Assignment initial,
+                     std::size_t k);
+
+  /// Applies a batch of structural updates: vertices enter via the placement
+  /// function, the partition state tracks every change, and `hooks` lets the
+  /// owning engine maintain its own per-vertex structures. Returns the
+  /// number of events that changed the graph (an edge insertion that only
+  /// created its endpoints still counts — loads shifted). When `rearm` is
+  /// given and anything changed, the tracker resets: topology changes always
+  /// re-open adaptation.
+  std::size_t applyEvents(const std::vector<graph::UpdateEvent>& events,
+                          MutationHooks& hooks, ConvergenceTracker* rearm);
+
+  /// Moves v to partition `to`, counting it in totalMigrations(). Returns
+  /// false for a self-move (nothing changed, nothing counted).
+  bool executeMove(graph::VertexId v, graph::PartitionId to);
+
+  /// Total load in the given balance mode: |V| for vertex balancing, 2|E|
+  /// for the §6 edge-balanced extension — the `n` CapacityModel provisioning
+  /// and rescaling is defined over.
+  [[nodiscard]] std::size_t totalLoadUnits(BalanceMode mode) const noexcept {
+    return mode == BalanceMode::kVertices ? graph_.numVertices()
+                                          : 2 * graph_.numEdges();
+  }
+
+  /// Grows `capacity` to `capacityFactor` headroom over the current total
+  /// load — the re-provisioning step both engines expose after large
+  /// injections.
+  void rescaleCapacity(CapacityModel& capacity, BalanceMode mode,
+                       double capacityFactor) const {
+    capacity.rescale(totalLoadUnits(mode), capacityFactor);
+  }
+
+  /// Replaces the default hash placement for stream-injected vertices.
+  void setPlacement(PlacementFn placement) { placement_ = std::move(placement); }
+  [[nodiscard]] const PlacementFn& placement() const noexcept { return placement_; }
+
+  [[nodiscard]] const graph::DynamicGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const PartitionState& state() const noexcept { return state_; }
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+
+  /// Migrations executed over the runtime's whole lifetime.
+  [[nodiscard]] std::size_t totalMigrations() const noexcept {
+    return totalMigrations_;
+  }
+
+ private:
+  /// Loads a streamed-in vertex: placement (hash by default, the system
+  /// default the paper adapts away from) plus partition-state registration.
+  void loadVertex(graph::VertexId v, MutationHooks& hooks);
+
+  graph::DynamicGraph graph_;
+  PartitionState state_;
+  PlacementFn placement_;
+  std::size_t k_;
+  std::size_t totalMigrations_ = 0;
+};
+
+}  // namespace xdgp::core

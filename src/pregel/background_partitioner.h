@@ -93,6 +93,11 @@ class BackgroundPartitioner {
     return capacity_;
   }
 
+  /// The convergence tracker itself — PartitionedRuntime::applyEvents
+  /// re-arms it directly, so the "topology changed ⇒ adaptation resumes"
+  /// rule exists once for both engines.
+  [[nodiscard]] core::ConvergenceTracker& convergence() noexcept { return tracker_; }
+
  private:
   Options options_;
   core::CapacityModel capacity_;

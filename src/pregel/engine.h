@@ -1,6 +1,5 @@
 #pragma once
 
-#include <algorithm>
 #include <optional>
 #include <span>
 #include <utility>
@@ -10,25 +9,10 @@
 #include "graph/dynamic_graph.h"
 #include "graph/update_stream.h"
 #include "metrics/cuts.h"
-#include "pregel/background_partitioner.h"
-#include "pregel/cost_model.h"
+#include "pregel/runtime.h"
 #include "pregel/types.h"
-#include "util/rng.h"
 
 namespace xdgp::pregel {
-
-/// Engine configuration (Fig. 2's layered system).
-struct EngineOptions {
-  std::size_t numWorkers = 9;       ///< k workers, one partition each
-  double capacityFactor = 1.1;      ///< partition capacity headroom
-  bool adaptive = false;            ///< run the background partitioner
-  BackgroundPartitioner::Options partitioner;
-  /// Deferred (one-superstep-delayed) vertex migration per §3. Turning this
-  /// off reproduces Fig. 3 (top): in-flight messages chase departed vertices
-  /// and are lost — the ablation quantifying why deferral is required.
-  bool deferredMigration = true;
-  CostParams cost;
-};
 
 /// Pregel-inspired BSP engine with continuous computation and streaming
 /// graph mutations (§3): compute runs superstep after superstep; vertices
@@ -45,11 +29,22 @@ struct EngineOptions {
 ///                  std::span<const MessageValue> inbox);
 ///   };
 ///
+/// `compute` may run concurrently for vertices on different workers
+/// (EngineOptions::threads): it must only write the vertex's own `value` and
+/// read shared program configuration, which every shipped app already obeys.
+///
 /// Messages sent during superstep t are consumed at t+1. Migration follows
 /// the paper's deferred protocol: an announcement at the end of t redirects
 /// messages produced during t+1 to the new worker, and the vertex itself
 /// moves at the t+1 → t+2 boundary, so no message is ever lost (the
 /// `lostMessages` counter stays zero; the test suite asserts it).
+///
+/// This class is only the typed compute shell: per-vertex values, message
+/// payloads, and the Program live here; worker shards, mailbox-lane
+/// bookkeeping, the migration ledger, superstep stats, freezing, and the
+/// background partitioner all live in the non-template pregel::Runtime
+/// (pregel/runtime.h), which in turn shares the graph/state/update substrate
+/// with core::AdaptiveEngine via core::PartitionedRuntime.
 template <typename Program>
 class Engine {
  public:
@@ -59,246 +54,171 @@ class Engine {
   /// Per-vertex view handed to Program::compute.
   class Context {
    public:
-    Context(Engine& engine, graph::VertexId v) noexcept
-        : engine_(engine), v_(v) {}
+    Context(Engine& engine, graph::VertexId v, WorkerId worker,
+            Runtime::WorkerTally& tally) noexcept
+        : engine_(engine), v_(v), worker_(worker), tally_(tally) {}
 
     [[nodiscard]] graph::VertexId id() const noexcept { return v_; }
     [[nodiscard]] std::size_t superstep() const noexcept {
-      return engine_.superstep_;
+      return engine_.runtime_.superstepIndex();
     }
     [[nodiscard]] std::span<const graph::VertexId> neighbors() const noexcept {
-      return engine_.graph_.neighbors(v_);
+      return engine_.graph().neighbors(v_);
     }
     [[nodiscard]] std::size_t degree() const noexcept {
-      return engine_.graph_.degree(v_);
+      return engine_.graph().degree(v_);
     }
-    [[nodiscard]] WorkerId worker() const noexcept {
-      return engine_.state_.partitionOf(v_);
-    }
+    [[nodiscard]] WorkerId worker() const noexcept { return worker_; }
     [[nodiscard]] const graph::DynamicGraph& graph() const noexcept {
-      return engine_.graph_;
+      return engine_.graph();
     }
 
     /// Queues a message for delivery at the next superstep.
     void send(graph::VertexId target, MValue message) {
-      engine_.routeMessage(v_, target, std::move(message));
+      engine_.routeMessage(worker_, target, std::move(message), tally_);
     }
 
     void sendToNeighbors(const MValue& message) {
       for (const graph::VertexId nbr : neighbors()) {
-        engine_.routeMessage(v_, nbr, message);
+        engine_.routeMessage(worker_, nbr, message, tally_);
       }
     }
 
     /// Accounts app compute so the cost model sees the BSP barrier.
-    void addComputeUnits(double units) noexcept {
-      engine_.workerCompute_[worker()] += units;
-      engine_.currentStats_->computeUnits += units;
-    }
+    void addComputeUnits(double units) noexcept { tally_.computeUnits += units; }
 
     /// Pregel sum-aggregator: contributions from all vertices during
     /// superstep t are summed and visible to every vertex at t+1 via
     /// previousAggregate() — the standard global-signal channel (e.g. the
-    /// total rank delta that tells PageRank it has converged).
-    void aggregate(double value) noexcept {
-      engine_.aggregateAccumulator_ += value;
-    }
+    /// total rank delta that tells PageRank it has converged). Summation is
+    /// per-worker in vertex order, reduced in worker order at the barrier,
+    /// so the float result is identical at every thread count.
+    void aggregate(double value) noexcept { tally_.aggregate += value; }
 
     /// Last superstep's aggregated sum (0 at superstep 0).
     [[nodiscard]] double previousAggregate() const noexcept {
-      return engine_.lastAggregate_;
+      return engine_.runtime_.lastAggregate();
     }
 
    private:
     Engine& engine_;
     graph::VertexId v_;
+    WorkerId worker_;
+    Runtime::WorkerTally& tally_;
   };
 
   Engine(graph::DynamicGraph g, metrics::Assignment initial, EngineOptions options,
          Program program = Program{})
-      : options_(options),
-        program_(std::move(program)),
-        graph_(std::move(g)),
-        state_(graph_, std::move(initial), options.numWorkers),
-        workerCompute_(options.numWorkers, 0.0) {
-    const std::size_t bound = graph_.idBound();
+      : program_(std::move(program)),
+        runtime_(std::move(g), std::move(initial), options) {
+    const std::size_t bound = graph().idBound();
     values_.resize(bound);
     inbox_.resize(bound);
-    outbox_.resize(bound);
-    announced_.assign(bound, graph::kNoPartition);
-    if (options_.adaptive) {
-      partitioner_.emplace(options_.numWorkers, totalLoadUnits(),
-                           options_.capacityFactor, options_.partitioner);
-    }
+    lanePayloads_.resize(runtime_.k() * runtime_.k());
+    runtime_.setVertexHooks(
+        [this](graph::VertexId v) { onVertexLoaded(v); },
+        [this](graph::VertexId v) { inbox_[v].clear(); });
   }
+
+  // The runtime holds callbacks into this shell; relocating it would leave
+  // them dangling.
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   /// Runs one BSP superstep; returns its statistics (also appended to
   /// history()).
   SuperstepStats runSuperstep() {
-    SuperstepStats stats;
-    stats.superstep = superstep_;
-    stats.mutationsApplied = std::exchange(pendingMutations_, 0);
-    std::fill(workerCompute_.begin(), workerCompute_.end(), 0.0);
-    aggregateAccumulator_ = 0.0;
-    currentStats_ = &stats;
-
-    // --- Compute phase: deliver inboxes and run the vertex program.
-    const std::size_t bound = graph_.idBound();
-    for (graph::VertexId v = 0; v < bound; ++v) {
-      if (!graph_.hasVertex(v)) continue;
-      messageScratch_.clear();
-      for (Envelope& env : inbox_[v]) {
-        if (env.addressedTo == state_.partitionOf(v)) {
-          messageScratch_.push_back(std::move(env.value));
-        } else {
-          ++stats.lostMessages;  // Fig. 3 top: the vertex has moved away
-        }
-      }
-      Context ctx(*this, v);
-      program_.compute(ctx, values_[v],
-                       std::span<const MValue>(messageScratch_));
-      ++stats.activeVertices;
-    }
-
-    // --- Message hand-over: this superstep's outboxes become next inboxes.
-    for (const graph::VertexId v : inboxTouched_) inbox_[v].clear();
-    inboxTouched_.clear();
-    std::swap(inbox_, outbox_);
-    std::swap(inboxTouched_, outboxTouched_);
-
-    // --- Migration phase 1: execute moves announced last superstep. The
-    // messages produced above were already routed to the new homes.
-    for (const graph::VertexId v : announcedVertices_) {
-      if (!graph_.hasVertex(v)) continue;  // removed while migrating
-      const graph::PartitionId target = announced_[v];
-      if (target == graph::kNoPartition) continue;
-      state_.moveVertex(graph_, v, target);
-      announced_[v] = graph::kNoPartition;
-      ++stats.migrationsExecuted;
-    }
-    announcedVertices_.clear();
-
-    // --- Migration phase 2: the background partitioning algorithm decides
-    // and announces the next wave (deferred), or applies it at once in the
-    // instant-migration ablation.
-    if (partitioner_) {
-      // Runtime statistics for the §6 hotspot extension: this superstep's
-      // per-worker compute units are the activity signal.
-      partitioner_->observeActivity(workerCompute_);
-      auto announcements = partitioner_->announce(graph_, state_);
-      stats.migrationsAnnounced = announcements.size();
-      partitioner_->recordMigrations(announcements.size());
-      if (options_.deferredMigration) {
-        for (const auto& [v, target] : announcements) {
-          announced_[v] = target;
-          announcedVertices_.push_back(v);
-        }
-      } else {
-        for (const auto& [v, target] : announcements) {
-          state_.moveVertex(graph_, v, target);
-          ++stats.migrationsExecuted;
-        }
-      }
-    }
-
-    stats.cutEdges = state_.cutEdges();
-    stats.maxWorkerComputeUnits =
-        *std::max_element(workerCompute_.begin(), workerCompute_.end());
-    lastAggregate_ = aggregateAccumulator_;
-    stats.aggregatedValue = lastAggregate_;
-    stats.modeledTime = options_.cost.timeFor(stats);
-    currentStats_ = nullptr;
-    history_.push_back(stats);
-    ++superstep_;
-    return stats;
+    runtime_.beginSuperstep();
+    // Compute phase: one task per worker shard; reads are frozen, writes are
+    // worker-private (values, tallies, outbound lanes).
+    runtime_.forEachWorker([this](WorkerId w) { computeShard(w); });
+    runtime_.reduceTallies();
+    // Mailbox barrier: each destination worker merges its inbound lanes in
+    // source order — delivery order is thread-count-invariant.
+    runtime_.forEachWorker([this](WorkerId w) { deliverTo(w); });
+    runtime_.executeAnnouncedMoves();
+    runtime_.announceNextWave();
+    return runtime_.finishSuperstep();
   }
 
-  /// Runs `n` supersteps; returns the last one's stats.
-  SuperstepStats runSupersteps(std::size_t n) {
-    SuperstepStats last;
+  /// Runs `n` supersteps; returns the last one's stats, or std::nullopt when
+  /// n == 0 — there is no "last superstep", and a default-constructed row
+  /// (superstep 0, all zeros) would masquerade as real data.
+  std::optional<SuperstepStats> runSupersteps(std::size_t n) {
+    std::optional<SuperstepStats> last;
     for (std::size_t i = 0; i < n; ++i) last = runSuperstep();
     return last;
   }
 
   /// Applies structural updates between supersteps, or buffers them while
-  /// the topology is frozen (the §4.3 clique workload "requires freezing the
-  /// graph topology until a result is obtained"). Returns events applied now.
+  /// the topology is frozen (see Runtime::ingest). Returns events applied now.
   std::size_t ingest(const std::vector<graph::UpdateEvent>& events) {
-    if (frozen_) {
-      frozenBuffer_.insert(frozenBuffer_.end(), events.begin(), events.end());
-      return 0;
-    }
-    return applyEvents(events);
+    return runtime_.ingest(events);
   }
 
-  void freezeTopology() noexcept { frozen_ = true; }
-
-  /// Thaws the topology and applies everything buffered while frozen —
-  /// "every iteration will trigger the adaptation to a batch set of
-  /// changes". Returns the number of events applied.
-  std::size_t thawTopology() {
-    frozen_ = false;
-    const std::size_t applied = applyEvents(frozenBuffer_);
-    frozenBuffer_.clear();
-    return applied;
-  }
-
-  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+  void freezeTopology() noexcept { runtime_.freezeTopology(); }
+  std::size_t thawTopology() { return runtime_.thawTopology(); }
+  [[nodiscard]] bool frozen() const noexcept { return runtime_.frozen(); }
   [[nodiscard]] std::size_t bufferedEvents() const noexcept {
-    return frozenBuffer_.size();
+    return runtime_.bufferedEvents();
   }
 
-  [[nodiscard]] const graph::DynamicGraph& graph() const noexcept { return graph_; }
-  [[nodiscard]] const core::PartitionState& state() const noexcept { return state_; }
-  [[nodiscard]] std::size_t superstepIndex() const noexcept { return superstep_; }
-  [[nodiscard]] const std::vector<SuperstepStats>& history() const noexcept {
-    return history_;
+  [[nodiscard]] const graph::DynamicGraph& graph() const noexcept {
+    return runtime_.graph();
   }
+  [[nodiscard]] const core::PartitionState& state() const noexcept {
+    return runtime_.state();
+  }
+  [[nodiscard]] std::size_t superstepIndex() const noexcept {
+    return runtime_.superstepIndex();
+  }
+  [[nodiscard]] const std::vector<SuperstepStats>& history() const noexcept {
+    return runtime_.history();
+  }
+
+  /// The untyped runtime underneath (shards, ledger, stats, partitioner).
+  [[nodiscard]] const Runtime& runtime() const noexcept { return runtime_; }
 
   [[nodiscard]] VValue& value(graph::VertexId v) { return values_[v]; }
   [[nodiscard]] const VValue& value(graph::VertexId v) const { return values_[v]; }
 
   /// Last completed superstep's aggregated sum.
-  [[nodiscard]] double lastAggregate() const noexcept { return lastAggregate_; }
+  [[nodiscard]] double lastAggregate() const noexcept {
+    return runtime_.lastAggregate();
+  }
 
   [[nodiscard]] Program& program() noexcept { return program_; }
   [[nodiscard]] const Program& program() const noexcept { return program_; }
 
   [[nodiscard]] bool partitionerConverged() const noexcept {
-    return partitioner_ ? partitioner_->converged() : true;
+    return runtime_.partitionerConverged();
   }
 
   /// Re-provisions partition capacities for the current graph size; call
   /// after large injections (see BackgroundPartitioner::rescaleCapacity).
-  void rescalePartitionerCapacity() {
-    if (partitioner_) {
-      partitioner_->rescaleCapacity(totalLoadUnits(), options_.capacityFactor);
-    }
-  }
+  void rescalePartitionerCapacity() { runtime_.rescalePartitionerCapacity(); }
 
   /// Total load in the configured balance mode (|V| or 2|E|).
   [[nodiscard]] std::size_t totalLoadUnits() const noexcept {
-    return options_.partitioner.balanceMode == core::BalanceMode::kVertices
-               ? graph_.numVertices()
-               : 2 * graph_.numEdges();
+    return runtime_.totalLoadUnits();
   }
 
-  [[nodiscard]] double cutRatio() const noexcept { return state_.cutRatio(graph_); }
+  /// Migrations executed over the engine's whole lifetime.
+  [[nodiscard]] std::size_t totalMigrations() const noexcept {
+    return runtime_.totalMigrations();
+  }
+
+  [[nodiscard]] double cutRatio() const noexcept { return runtime_.cutRatio(); }
 
   /// Folds every alive vertex value: fn(acc, id, value) -> acc.
   template <typename T, typename Fn>
   [[nodiscard]] T reduceValues(T init, Fn&& fn) const {
-    graph_.forEachVertex(
+    graph().forEachVertex(
         [&](graph::VertexId v) { init = fn(std::move(init), v, values_[v]); });
     return init;
   }
 
  private:
-  struct Envelope {
-    MValue value;
-    WorkerId addressedTo;
-  };
-
   friend class Context;
 
   /// Payload weight of one message: programs carrying variable-size
@@ -312,123 +232,85 @@ class Engine {
     }
   }
 
-  void routeMessage(graph::VertexId sender, graph::VertexId target, MValue message) {
-    if (!graph_.hasVertex(target)) {
+  /// Compute task for one worker shard: deliver the inbox (or count it lost
+  /// when the vertex migrated away from the addressed worker — Fig. 3 top),
+  /// run the vertex program, and recycle the consumed inbox.
+  void computeShard(WorkerId w) {
+    Runtime::WorkerTally& tally = runtime_.tally(w);
+    for (const graph::VertexId v : runtime_.shard(w)) {
+      std::vector<MValue>& inbox = inbox_[v];
+      std::span<const MValue> view;
+      if (!inbox.empty()) {
+        if (runtime_.inboxAddressedTo(v) == w) {
+          view = inbox;
+        } else {
+          tally.lostMessages += inbox.size();  // the vertex has moved away
+        }
+      }
+      Context ctx(*this, v, w, tally);
+      program_.compute(ctx, values_[v], view);
+      ++tally.activeVertices;
+      inbox.clear();
+      runtime_.clearInboxAddressedTo(v);
+    }
+  }
+
+  /// Delivery task for one destination worker: merge the inbound lanes in
+  /// source-worker order into the target inboxes.
+  void deliverTo(WorkerId dst) {
+    const auto workers = static_cast<WorkerId>(runtime_.k());
+    for (WorkerId src = 0; src < workers; ++src) {
+      std::vector<graph::VertexId>& targets = runtime_.laneTargets(src, dst);
+      std::vector<MValue>& payloads = lanePayloads_[src * workers + dst];
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        const graph::VertexId t = targets[i];
+        runtime_.setInboxAddressedTo(t, dst);
+        inbox_[t].push_back(std::move(payloads[i]));
+      }
+      targets.clear();
+      payloads.clear();
+    }
+  }
+
+  void routeMessage(WorkerId srcWorker, graph::VertexId target, MValue message,
+                    Runtime::WorkerTally& tally) {
+    if (!graph().hasVertex(target)) {
       // Receiver left the graph (stream removal): the message expires.
-      ++currentStats_->lostMessages;
+      ++tally.lostMessages;
       return;
     }
     // Deferred protocol: senders were notified of upcoming migrations at the
     // start of this superstep, so they address the vertex's *next* home.
-    const graph::PartitionId announcedTarget = announced_[target];
-    const WorkerId dest = announcedTarget != graph::kNoPartition
-                              ? announcedTarget
-                              : state_.partitionOf(target);
-    const WorkerId src = state_.partitionOf(sender);
+    const WorkerId dest = runtime_.destinationOf(target);
     const std::size_t units = unitsOf(message);
-    if (dest == src) {
-      ++currentStats_->localMessages;
-      currentStats_->localMessageUnits += units;
+    if (dest == srcWorker) {
+      ++tally.localMessages;
+      tally.localMessageUnits += units;
     } else {
-      ++currentStats_->remoteMessages;
-      currentStats_->remoteMessageUnits += units;
+      ++tally.remoteMessages;
+      tally.remoteMessageUnits += units;
     }
-    if (outbox_[target].empty()) outboxTouched_.push_back(target);
-    outbox_[target].push_back(Envelope{std::move(message), dest});
+    runtime_.laneTargets(srcWorker, dest).push_back(target);
+    lanePayloads_[srcWorker * runtime_.k() + dest].push_back(std::move(message));
   }
 
-  std::size_t applyEvents(const std::vector<graph::UpdateEvent>& events) {
-    std::size_t applied = 0;
-    for (const graph::UpdateEvent& e : events) {
-      switch (e.kind) {
-        case graph::UpdateEvent::Kind::kAddVertex:
-          applied += ensureVertexLoaded(e.u) ? 1 : 0;
-          break;
-        case graph::UpdateEvent::Kind::kRemoveVertex:
-          if (graph_.hasVertex(e.u)) {
-            dropVertex(e.u);
-            ++applied;
-          }
-          break;
-        case graph::UpdateEvent::Kind::kAddEdge:
-          ensureVertexLoaded(e.u);
-          ensureVertexLoaded(e.v);
-          if (graph_.addEdge(e.u, e.v)) {
-            state_.onEdgeAdded(e.u, e.v);
-            ++applied;
-          }
-          break;
-        case graph::UpdateEvent::Kind::kRemoveEdge:
-          if (graph_.removeEdge(e.u, e.v)) {
-            state_.onEdgeRemoved(e.u, e.v);
-            ++applied;
-          }
-          break;
-      }
-    }
-    pendingMutations_ += applied;
-    if (applied > 0 && partitioner_) partitioner_->notifyTopologyChanged();
-    return applied;
-  }
-
-  /// Loads a streamed-in vertex: hash placement (the system default the
-  /// paper adapts away from) plus per-vertex engine state.
-  bool ensureVertexLoaded(graph::VertexId v) {
-    if (graph_.hasVertex(v)) return false;
-    graph_.ensureVertex(v);
-    const std::size_t bound = graph_.idBound();
-    if (bound > values_.size()) {
+  /// A streamed-in vertex (possibly a recycled id): fresh value, empty inbox.
+  void onVertexLoaded(graph::VertexId v) {
+    const std::size_t bound = graph().idBound();
+    if (values_.size() < bound) {
       values_.resize(bound);
       inbox_.resize(bound);
-      outbox_.resize(bound);
-      announced_.resize(bound, graph::kNoPartition);
     }
-    const auto home = static_cast<graph::PartitionId>(
-        util::Rng::splitmix64(v) % options_.numWorkers);
-    state_.onVertexAdded(v, home);
     values_[v] = VValue{};
     inbox_[v].clear();
-    outbox_[v].clear();
-    announced_[v] = graph::kNoPartition;
-    return true;
   }
 
-  void dropVertex(graph::VertexId v) {
-    state_.onVertexRemoving(graph_, v);
-    graph_.removeVertex(v);
-    announced_[v] = graph::kNoPartition;
-    inbox_[v].clear();
-    // A queued outbox_[v] entry would deliver to a recycled id; clear it and
-    // let routeMessage's liveness check expire racing senders.
-    outbox_[v].clear();
-  }
-
-  EngineOptions options_;
   Program program_;
-  graph::DynamicGraph graph_;
-  core::PartitionState state_;
-  std::optional<BackgroundPartitioner> partitioner_;
-
+  Runtime runtime_;
   std::vector<VValue> values_;
-  std::vector<std::vector<Envelope>> inbox_;
-  std::vector<std::vector<Envelope>> outbox_;
-  std::vector<graph::VertexId> inboxTouched_;
-  std::vector<graph::VertexId> outboxTouched_;
-  std::vector<MValue> messageScratch_;
-
-  std::vector<graph::PartitionId> announced_;
-  std::vector<graph::VertexId> announcedVertices_;
-
-  std::vector<double> workerCompute_;
-  double aggregateAccumulator_ = 0.0;
-  double lastAggregate_ = 0.0;
-  std::vector<SuperstepStats> history_;
-  SuperstepStats* currentStats_ = nullptr;
-
-  std::vector<graph::UpdateEvent> frozenBuffer_;
-  bool frozen_ = false;
-  std::size_t superstep_ = 0;
-  std::size_t pendingMutations_ = 0;
+  std::vector<std::vector<MValue>> inbox_;   ///< per-vertex payloads
+  std::vector<std::vector<MValue>> lanePayloads_;  ///< k × k, parallel to
+                                                   ///< Runtime::laneTargets
 };
 
 }  // namespace xdgp::pregel

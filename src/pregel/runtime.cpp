@@ -1,0 +1,185 @@
+#include "pregel/runtime.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace xdgp::pregel {
+
+void ShardIndex::normalize() {
+  for (WorkerId w = 0; w < members_.size(); ++w) {
+    if (!dirty_[w]) continue;
+    std::vector<graph::VertexId>& shard = members_[w];
+    std::sort(shard.begin(), shard.end());
+    for (std::size_t i = 0; i < shard.size(); ++i) slot_[shard[i]] = i;
+    dirty_[w] = 0;
+  }
+}
+
+Runtime::Runtime(graph::DynamicGraph g, metrics::Assignment initial,
+                 EngineOptions options)
+    : options_(options),
+      core_(std::move(g), std::move(initial), options.numWorkers) {
+  const std::size_t bound = graph().idBound();
+  const std::size_t workers = k();
+  shards_.init(workers);
+  shards_.ensureCapacity(bound);
+  graph().forEachVertex(
+      [this](graph::VertexId v) { shards_.add(v, state().partitionOf(v)); });
+  announced_.assign(bound, graph::kNoPartition);
+  inboxAddressedTo_.assign(bound, graph::kNoPartition);
+  laneTargets_.resize(workers * workers);
+  tallies_.resize(workers);
+  workerCompute_.assign(workers, 0.0);
+  if (options_.adaptive) {
+    partitioner_.emplace(workers, totalLoadUnits(), options_.capacityFactor,
+                         options_.partitioner);
+  }
+}
+
+void Runtime::beginSuperstep() {
+  current_ = SuperstepStats{};
+  current_.superstep = superstep_;
+  current_.mutationsApplied = std::exchange(pendingMutations_, 0);
+  std::fill(tallies_.begin(), tallies_.end(), WorkerTally{});
+  aggregateAccumulator_ = 0.0;
+  // Migrations and ingest may have disturbed shard order since the last
+  // superstep; compute must walk each shard in ascending id order.
+  shards_.normalize();
+  phaseSeconds_ = PhaseSeconds{};
+  phaseTimer_.reset();
+}
+
+void Runtime::forEachWorker(const std::function<void(WorkerId)>& fn) {
+  const auto workers = static_cast<WorkerId>(k());
+  if (options_.threads <= 1 || workers == 1) {
+    for (WorkerId w = 0; w < workers; ++w) fn(w);
+    return;
+  }
+  if (!pool_) {
+    pool_ = std::make_unique<util::ThreadPool>(
+        std::min<std::size_t>(options_.threads, workers));
+  }
+  for (WorkerId w = 0; w < workers; ++w) {
+    pool_->submit([&fn, w] { fn(w); });
+  }
+  pool_->wait();
+}
+
+void Runtime::reduceTallies() {
+  phaseSeconds_.compute = phaseTimer_.seconds();  // the barrier just closed
+  phaseTimer_.reset();
+  // Fixed worker order: the float sums (computeUnits, aggregate) come out
+  // bit-identical no matter how the compute tasks interleaved.
+  for (std::size_t w = 0; w < tallies_.size(); ++w) {
+    const WorkerTally& t = tallies_[w];
+    current_.activeVertices += t.activeVertices;
+    current_.localMessages += t.localMessages;
+    current_.remoteMessages += t.remoteMessages;
+    current_.localMessageUnits += t.localMessageUnits;
+    current_.remoteMessageUnits += t.remoteMessageUnits;
+    current_.lostMessages += t.lostMessages;
+    current_.computeUnits += t.computeUnits;
+    aggregateAccumulator_ += t.aggregate;
+    workerCompute_[w] = t.computeUnits;
+  }
+  current_.maxWorkerComputeUnits =
+      *std::max_element(workerCompute_.begin(), workerCompute_.end());
+}
+
+void Runtime::moveNow(graph::VertexId v, graph::PartitionId target) {
+  const graph::PartitionId from = state().partitionOf(v);
+  if (core_.executeMove(v, target)) {
+    shards_.move(v, from, target);
+    ++current_.migrationsExecuted;
+  }
+}
+
+void Runtime::executeAnnouncedMoves() {
+  phaseSeconds_.delivery = phaseTimer_.seconds();
+  phaseTimer_.reset();
+  for (const graph::VertexId v : announcedVertices_) {
+    if (!graph().hasVertex(v)) continue;  // removed while migrating
+    const graph::PartitionId target = announced_[v];
+    if (target == graph::kNoPartition) continue;
+    moveNow(v, target);
+    announced_[v] = graph::kNoPartition;
+  }
+  announcedVertices_.clear();
+}
+
+void Runtime::announceNextWave() {
+  if (!partitioner_) return;
+  // Runtime statistics for the §6 hotspot extension: this superstep's
+  // per-worker compute units are the activity signal.
+  partitioner_->observeActivity(workerCompute_);
+  const auto announcements = partitioner_->announce(graph(), state());
+  current_.migrationsAnnounced = announcements.size();
+  partitioner_->recordMigrations(announcements.size());
+  if (options_.deferredMigration) {
+    for (const auto& [v, target] : announcements) {
+      announced_[v] = target;
+      announcedVertices_.push_back(v);
+    }
+  } else {
+    for (const auto& [v, target] : announcements) moveNow(v, target);
+  }
+}
+
+SuperstepStats Runtime::finishSuperstep() {
+  phaseSeconds_.rest = phaseTimer_.seconds();
+  current_.cutEdges = state().cutEdges();
+  lastAggregate_ = aggregateAccumulator_;
+  current_.aggregatedValue = lastAggregate_;
+  current_.modeledTime = options_.cost.timeFor(current_);
+  history_.push_back(current_);
+  ++superstep_;
+  return current_;
+}
+
+void Runtime::VertexHooks::onVertexLoaded(graph::VertexId v) {
+  const std::size_t bound = runtime_.graph().idBound();
+  if (runtime_.announced_.size() < bound) {
+    runtime_.announced_.resize(bound, graph::kNoPartition);
+    runtime_.inboxAddressedTo_.resize(bound, graph::kNoPartition);
+  }
+  runtime_.shards_.ensureCapacity(bound);
+  // The id may be recycled: reset whatever the previous owner left behind.
+  runtime_.announced_[v] = graph::kNoPartition;
+  runtime_.inboxAddressedTo_[v] = graph::kNoPartition;
+  runtime_.shards_.add(v, runtime_.state().partitionOf(v));
+  if (runtime_.shellLoaded_) runtime_.shellLoaded_(v);
+}
+
+void Runtime::VertexHooks::onVertexRemoving(graph::VertexId v) {
+  runtime_.shards_.remove(v, runtime_.state().partitionOf(v));
+  // A pending announcement for a removed vertex must never execute; queued
+  // messages towards it die with the inbox (the shell clears payloads).
+  runtime_.announced_[v] = graph::kNoPartition;
+  runtime_.inboxAddressedTo_[v] = graph::kNoPartition;
+  if (runtime_.shellDropping_) runtime_.shellDropping_(v);
+}
+
+std::size_t Runtime::applyNow(const std::vector<graph::UpdateEvent>& events) {
+  VertexHooks hooks(*this);
+  const std::size_t applied = core_.applyEvents(
+      events, hooks, partitioner_ ? &partitioner_->convergence() : nullptr);
+  pendingMutations_ += applied;
+  return applied;
+}
+
+std::size_t Runtime::ingest(const std::vector<graph::UpdateEvent>& events) {
+  if (frozen_) {
+    frozenBuffer_.insert(frozenBuffer_.end(), events.begin(), events.end());
+    return 0;
+  }
+  return applyNow(events);
+}
+
+std::size_t Runtime::thawTopology() {
+  frozen_ = false;
+  const std::size_t applied = applyNow(frozenBuffer_);
+  frozenBuffer_.clear();
+  return applied;
+}
+
+}  // namespace xdgp::pregel

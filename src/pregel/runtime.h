@@ -1,0 +1,329 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/partitioned_runtime.h"
+#include "pregel/background_partitioner.h"
+#include "pregel/cost_model.h"
+#include "pregel/types.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace xdgp::pregel {
+
+/// Engine configuration (Fig. 2's layered system).
+struct EngineOptions {
+  std::size_t numWorkers = 9;       ///< k workers, one partition each
+  double capacityFactor = 1.1;      ///< partition capacity headroom
+  bool adaptive = false;            ///< run the background partitioner
+  BackgroundPartitioner::Options partitioner;
+  /// Deferred (one-superstep-delayed) vertex migration per §3. Turning this
+  /// off reproduces Fig. 3 (top): in-flight messages chase departed vertices
+  /// and are lost — the ablation quantifying why deferral is required.
+  bool deferredMigration = true;
+  CostParams cost;
+  /// Threads for the compute and delivery phases (mirrors
+  /// AdaptiveOptions::threads). Worker shards are independent and the
+  /// per-worker mailbox lanes merge in fixed worker order at the barrier,
+  /// so every thread count produces the bit-identical superstep trajectory
+  /// (stats history, assignments, aggregates) — asserted by the lockstep
+  /// suite in tests/pregel_shard_test.cpp. <= 1 runs serially.
+  std::size_t threads = 1;
+};
+
+/// Per-worker vertex shards: worker w owns exactly the vertices currently
+/// assigned to partition w, iterated in ascending id order. Membership is
+/// maintained incrementally (O(1) add/remove via swap-remove); shards whose
+/// order was disturbed re-sort lazily at the next superstep start, so the
+/// compute phase always walks each shard in the same order the serial
+/// engine would.
+class ShardIndex {
+ public:
+  void init(std::size_t k) { members_.assign(k, {}); dirty_.assign(k, 0); }
+
+  void ensureCapacity(std::size_t idBound) {
+    if (slot_.size() < idBound) slot_.resize(idBound, 0);
+  }
+
+  void add(graph::VertexId v, WorkerId w) {
+    std::vector<graph::VertexId>& shard = members_[w];
+    if (!shard.empty() && v < shard.back()) dirty_[w] = 1;
+    slot_[v] = shard.size();
+    shard.push_back(v);
+  }
+
+  void remove(graph::VertexId v, WorkerId w) {
+    std::vector<graph::VertexId>& shard = members_[w];
+    const std::size_t at = slot_[v];
+    const graph::VertexId last = shard.back();
+    shard[at] = last;
+    slot_[last] = at;
+    shard.pop_back();
+    if (last != v) dirty_[w] = 1;  // swap-remove broke the ascending order
+  }
+
+  void move(graph::VertexId v, WorkerId from, WorkerId to) {
+    remove(v, from);
+    add(v, to);
+  }
+
+  /// Re-sorts every disturbed shard; call once per superstep before compute.
+  void normalize();
+
+  [[nodiscard]] std::span<const graph::VertexId> members(WorkerId w) const noexcept {
+    return members_[w];
+  }
+
+ private:
+  std::vector<std::vector<graph::VertexId>> members_;
+  std::vector<std::size_t> slot_;   ///< index of v inside its shard
+  std::vector<std::uint8_t> dirty_;
+};
+
+/// The non-template core of the sharded Pregel engine: per-worker vertex
+/// shards, per-worker mailbox-lane bookkeeping, the deferred-migration
+/// ledger, superstep statistics, the background partitioner, and the
+/// freeze/thaw mutation buffer — everything Fig. 2's runtime does that does
+/// not depend on the user program's value/message types. `Engine<Program>`
+/// (pregel/engine.h) is a thin templated compute shell over this class: it
+/// owns only the typed per-vertex values and message payloads and calls the
+/// orchestration hooks below in a fixed superstep order.
+///
+/// Threading model: the compute phase runs one task per worker shard on a
+/// util::ThreadPool (EngineOptions::threads). During compute the graph, the
+/// partition state, and the announcement ledger are frozen (reads only);
+/// each task writes exclusively its own worker's tally and outbound lanes.
+/// At the barrier, tallies reduce in worker order 0..k-1 and each
+/// destination worker merges its inbound lanes in source order 0..k-1, so
+/// message delivery order — and with it every stat and every float sum — is
+/// invariant to the thread count.
+class Runtime {
+ public:
+  /// Per-worker superstep tally, accumulated privately by the worker's
+  /// compute task and reduced at the barrier in worker order. Cache-line
+  /// sized so neighbouring workers do not false-share.
+  struct alignas(64) WorkerTally {
+    std::size_t activeVertices = 0;
+    std::size_t localMessages = 0;
+    std::size_t remoteMessages = 0;
+    std::size_t localMessageUnits = 0;
+    std::size_t remoteMessageUnits = 0;
+    std::size_t lostMessages = 0;
+    double computeUnits = 0.0;
+    double aggregate = 0.0;
+  };
+
+  /// Measured wall seconds of the last superstep's phases (the bench
+  /// observability behind bench/superstep_scaling; experiment *results* use
+  /// the deterministic cost model, never this clock). `rest` covers the
+  /// serial tail: migration execution, the partitioner walk, and the frame
+  /// close.
+  struct PhaseSeconds {
+    double compute = 0.0;
+    double delivery = 0.0;
+    double rest = 0.0;
+    [[nodiscard]] double total() const noexcept {
+      return compute + delivery + rest;
+    }
+  };
+
+  /// Takes ownership of the graph; `initial` must assign every alive vertex
+  /// to a partition in [0, numWorkers) — an out-of-range assignment is a
+  /// hard std::invalid_argument (PartitionedRuntime validates).
+  Runtime(graph::DynamicGraph g, metrics::Assignment initial, EngineOptions options);
+
+  /// Registers the shell's typed per-vertex maintenance: `loaded` fires when
+  /// a vertex (re)enters the graph (the id space may have grown — resize and
+  /// default-initialise), `dropping` just before one leaves (clear queued
+  /// payloads). Must be called once before any ingest.
+  void setVertexHooks(std::function<void(graph::VertexId)> loaded,
+                      std::function<void(graph::VertexId)> dropping) {
+    shellLoaded_ = std::move(loaded);
+    shellDropping_ = std::move(dropping);
+  }
+
+  // ---- superstep orchestration, called by Engine<Program> in this order --
+
+  /// Opens the superstep frame: stats row, mutation count, tally reset, and
+  /// shard-order normalisation.
+  void beginSuperstep();
+
+  /// Runs fn(w) for every worker, on the pool when threads > 1. Returns
+  /// after all workers finished (the BSP barrier).
+  void forEachWorker(const std::function<void(WorkerId)>& fn);
+
+  /// Reduces the per-worker tallies into the current stats row, in worker
+  /// order (float sums stay thread-count-invariant), and feeds the activity
+  /// signal the hotspot extension consumes.
+  void reduceTallies();
+
+  /// Migration phase 1: executes the moves announced last superstep (their
+  /// messages were already routed to the new homes), updating the shards.
+  void executeAnnouncedMoves();
+
+  /// Migration phase 2: the background partitioner decides and announces
+  /// the next wave (deferred), or applies it at once in the
+  /// instant-migration ablation.
+  void announceNextWave();
+
+  /// Closes the frame: cut edges, aggregate hand-over, modeled time, history
+  /// append. Returns the finished row.
+  SuperstepStats finishSuperstep();
+
+  // ---- compute-phase services (thread-safe under the model above) --------
+
+  [[nodiscard]] std::span<const graph::VertexId> shard(WorkerId w) const noexcept {
+    return shards_.members(w);
+  }
+
+  [[nodiscard]] WorkerTally& tally(WorkerId w) noexcept { return tallies_[w]; }
+
+  /// Where a message to `target` must be sent: the announced next home when
+  /// a migration is pending (the §3 deferred protocol — senders were
+  /// notified at the start of the superstep), the current home otherwise.
+  [[nodiscard]] WorkerId destinationOf(graph::VertexId target) const noexcept {
+    const graph::PartitionId announcedTarget = announced_[target];
+    return announcedTarget != graph::kNoPartition
+               ? announcedTarget
+               : core_.state().partitionOf(target);
+  }
+
+  /// The outbound lane src → dst: targets only; the shell keeps the payload
+  /// vector parallel to it. Each compute task writes only its own src row.
+  [[nodiscard]] std::vector<graph::VertexId>& laneTargets(WorkerId src,
+                                                          WorkerId dst) noexcept {
+    return laneTargets_[src * k() + dst];
+  }
+
+  /// Which worker this superstep's inbox of v was addressed to. All of a
+  /// vertex's messages in one superstep carry the same destination (the
+  /// routing rule is a pure function of the frozen ledger and state), so one
+  /// label per vertex replaces the per-envelope tag; kNoPartition = empty.
+  [[nodiscard]] WorkerId inboxAddressedTo(graph::VertexId v) const noexcept {
+    return inboxAddressedTo_[v];
+  }
+  void setInboxAddressedTo(graph::VertexId v, WorkerId w) noexcept {
+    inboxAddressedTo_[v] = w;
+  }
+  void clearInboxAddressedTo(graph::VertexId v) noexcept {
+    inboxAddressedTo_[v] = graph::kNoPartition;
+  }
+
+  // ---- streaming mutations ----------------------------------------------
+
+  /// Applies structural updates between supersteps, or buffers them while
+  /// the topology is frozen (the §4.3 clique workload "requires freezing the
+  /// graph topology until a result is obtained"). Returns events applied now.
+  std::size_t ingest(const std::vector<graph::UpdateEvent>& events);
+
+  void freezeTopology() noexcept { frozen_ = true; }
+
+  /// Thaws the topology and applies everything buffered while frozen —
+  /// "every iteration will trigger the adaptation to a batch set of
+  /// changes". Returns the number of events applied.
+  std::size_t thawTopology();
+
+  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+  [[nodiscard]] std::size_t bufferedEvents() const noexcept {
+    return frozenBuffer_.size();
+  }
+
+  // ---- accessors ---------------------------------------------------------
+
+  [[nodiscard]] const graph::DynamicGraph& graph() const noexcept {
+    return core_.graph();
+  }
+  [[nodiscard]] const core::PartitionState& state() const noexcept {
+    return core_.state();
+  }
+  [[nodiscard]] std::size_t k() const noexcept { return options_.numWorkers; }
+  [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
+  [[nodiscard]] std::size_t superstepIndex() const noexcept { return superstep_; }
+  [[nodiscard]] const std::vector<SuperstepStats>& history() const noexcept {
+    return history_;
+  }
+  [[nodiscard]] double lastAggregate() const noexcept { return lastAggregate_; }
+  [[nodiscard]] double cutRatio() const noexcept {
+    return state().cutRatio(graph());
+  }
+  [[nodiscard]] std::size_t totalMigrations() const noexcept {
+    return core_.totalMigrations();
+  }
+
+  [[nodiscard]] bool partitionerConverged() const noexcept {
+    return partitioner_ ? partitioner_->converged() : true;
+  }
+
+  /// Re-provisions partition capacities for the current graph size; call
+  /// after large injections (see BackgroundPartitioner::rescaleCapacity).
+  void rescalePartitionerCapacity() {
+    if (partitioner_) {
+      partitioner_->rescaleCapacity(totalLoadUnits(), options_.capacityFactor);
+    }
+  }
+
+  /// Total load in the configured balance mode (|V| or 2|E|).
+  [[nodiscard]] std::size_t totalLoadUnits() const noexcept {
+    return core_.totalLoadUnits(options_.partitioner.balanceMode);
+  }
+
+  [[nodiscard]] const PhaseSeconds& lastPhaseSeconds() const noexcept {
+    return phaseSeconds_;
+  }
+
+ private:
+  /// Shard / ledger / shell maintenance on structural updates
+  /// (PartitionedRuntime hooks).
+  class VertexHooks final : public core::PartitionedRuntime::MutationHooks {
+   public:
+    explicit VertexHooks(Runtime& runtime) noexcept : runtime_(runtime) {}
+    void onVertexLoaded(graph::VertexId v) override;
+    void onVertexRemoving(graph::VertexId v) override;
+
+   private:
+    Runtime& runtime_;
+  };
+
+  std::size_t applyNow(const std::vector<graph::UpdateEvent>& events);
+
+  /// Executes one migration now: partition state, shard index, stats.
+  void moveNow(graph::VertexId v, graph::PartitionId target);
+
+  EngineOptions options_;
+  core::PartitionedRuntime core_;
+  ShardIndex shards_;
+  std::optional<BackgroundPartitioner> partitioner_;
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  std::vector<std::vector<graph::VertexId>> laneTargets_;  ///< k × k rows
+  std::vector<WorkerId> inboxAddressedTo_;                 ///< per vertex
+  std::vector<WorkerTally> tallies_;
+  std::vector<double> workerCompute_;  ///< per-worker units (hotspot signal)
+
+  /// Deferred-migration ledger: announced_[v] is v's next home (or
+  /// kNoPartition), announcedVertices_ the execution order.
+  std::vector<graph::PartitionId> announced_;
+  std::vector<graph::VertexId> announcedVertices_;
+
+  std::function<void(graph::VertexId)> shellLoaded_;
+  std::function<void(graph::VertexId)> shellDropping_;
+
+  SuperstepStats current_;
+  PhaseSeconds phaseSeconds_;
+  util::WallTimer phaseTimer_;
+  double aggregateAccumulator_ = 0.0;
+  double lastAggregate_ = 0.0;
+  std::vector<SuperstepStats> history_;
+
+  std::vector<graph::UpdateEvent> frozenBuffer_;
+  bool frozen_ = false;
+  std::size_t superstep_ = 0;
+  std::size_t pendingMutations_ = 0;
+};
+
+}  // namespace xdgp::pregel

@@ -49,6 +49,11 @@ struct SuperstepStats {
   /// Cost-model time for the superstep (arbitrary units; figures normalise
   /// to the static-hash baseline as the paper does).
   double modeledTime = 0.0;
+
+  /// Field-wise equality, doubles compared exactly: the thread-invariance
+  /// suite asserts that a run at any thread count produces *bit-identical*
+  /// stats rows, so an approximate comparison would defeat its purpose.
+  friend bool operator==(const SuperstepStats&, const SuperstepStats&) = default;
 };
 
 }  // namespace xdgp::pregel

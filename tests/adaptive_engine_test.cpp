@@ -36,6 +36,20 @@ AdaptiveEngine makeEngine(DynamicGraph g, const std::string& code,
 
 // ------------------------------------------------------------ basics
 
+TEST(AdaptiveEngine, OutOfRangeInitialAssignmentThrows) {
+  // PartitionedRuntime validates for both engines: an assignment referencing
+  // a partition >= k must be rejected at construction, not index per-worker
+  // arrays in-range only by luck.
+  DynamicGraph g = gen::mesh2d(4, 4);
+  metrics::Assignment bad = initialAssignment(g, "HSH", 4, 1);
+  bad[3] = 9;
+  AdaptiveOptions options;
+  options.k = 4;
+  EXPECT_THROW(AdaptiveEngine(DynamicGraph(g), bad, options), std::invalid_argument);
+  bad[3] = 2;
+  EXPECT_NO_THROW(AdaptiveEngine(std::move(g), bad, options));
+}
+
 TEST(AdaptiveEngine, ImprovesHashPartitioningOnMesh) {
   AdaptiveOptions options;
   options.k = 9;

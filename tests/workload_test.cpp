@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <sstream>
 #include <utility>
@@ -31,11 +33,15 @@ WorkloadConfig smallConfig(const std::string& code) {
   } else if (code == "CHURN") {
     config.overrides = {{"vertices", 600}, {"ticks", 4}, {"rate", 120}};
   } else if (code == "REPLAY") {
-    // REPLAY is file-driven: a canned CHURN run provides the fixture.
+    // REPLAY is file-driven: a canned CHURN run provides the fixture. The
+    // paths are per-process: ctest runs each test of this binary as its own
+    // process, and siblings truncating/rewriting a shared path while another
+    // reads it is a race (it surfaced as a parallel-ctest flake).
+    static const std::string suffix = std::to_string(::getpid());
     static const std::string eventsPath =
-        testing::TempDir() + "workload_test_replay_events.txt";
+        testing::TempDir() + "workload_test_replay_events." + suffix + ".txt";
     static const std::string graphPath =
-        testing::TempDir() + "workload_test_replay_graph.el";
+        testing::TempDir() + "workload_test_replay_graph." + suffix + ".el";
     static const bool written = [] {
       const Workload seed =
           WorkloadRegistry::instance().make("CHURN", smallConfig("CHURN"));
