@@ -1,0 +1,164 @@
+// Serving-layer latency harness: one PartitionService ingests CHURN windows
+// (churn + convergence + snapshot swaps) while N query threads hammer the
+// published AssignmentSnapshot, timing every query. Reports p50/p99/max
+// query latency and aggregate throughput, and writes one JSON object for
+// the CI bench artifact (BENCH_serve.json at the repo root comes from
+// scripts/run_bench.sh invoking this with --out).
+//
+//   build/bench/serve_latency [--vertices=2000] [--ticks=8] [--rate=300]
+//                             [--k=9] [--query-threads=4] [--seed=42]
+//                             [--out=<json path>]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/service.h"
+
+using namespace xdgp;
+
+namespace {
+
+/// Per-thread query log: latencies in nanoseconds (capped so a fast machine
+/// cannot eat memory; counting continues past the cap) plus the total count.
+struct QueryLog {
+  std::vector<double> latenciesNs;
+  std::size_t queries = 0;
+  std::uint64_t sink = 0;  ///< defeats dead-code elimination
+};
+
+constexpr std::size_t kMaxSamplesPerThread = 1'000'000;
+
+/// The same deterministic id walk xdgp_serve's readers run, with each
+/// four-query bundle timed individually.
+void queryLoop(const serve::SnapshotBoard& board, const std::atomic<bool>& stop,
+               QueryLog& log) {
+  using Clock = std::chrono::steady_clock;
+  log.latenciesNs.reserve(1 << 16);
+  std::uint64_t local = 0;
+  graph::VertexId v = 0;
+  while (!stop.load(std::memory_order_acquire)) {
+    const auto begin = Clock::now();
+    const serve::SnapshotBoard::Ref snap = board.current();
+    if (!snap || snap->idBound() == 0) continue;
+    const auto bound = static_cast<graph::VertexId>(snap->idBound());
+    v = static_cast<graph::VertexId>((v + 1) % bound);
+    const graph::VertexId u = static_cast<graph::VertexId>((v * 7 + 3) % bound);
+    local += snap->partitionOf(v);
+    local += static_cast<std::uint64_t>(snap->routeCost(u, v) + 1);
+    local += snap->cutDegree(v);
+    for (const graph::VertexId nbr : snap->neighbors(v)) local += nbr;
+    const auto end = Clock::now();
+    log.queries += 4;
+    if (log.latenciesNs.size() < kMaxSamplesPerThread) {
+      // One sample per bundle: the per-query cost is the bundle over four.
+      log.latenciesNs.push_back(
+          std::chrono::duration<double, std::nano>(end - begin).count() / 4.0);
+    }
+  }
+  log.sink = local;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto vertices = static_cast<std::size_t>(flags.getInt("vertices", 2'000));
+  const auto ticks = static_cast<std::size_t>(flags.getInt("ticks", 8));
+  const auto rate = static_cast<std::size_t>(flags.getInt("rate", 300));
+  const auto k = static_cast<std::size_t>(flags.getInt("k", 9));
+  const auto queryThreads =
+      static_cast<std::size_t>(flags.getInt("query-threads", 4));
+  const std::uint64_t seed = flags.getUint64("seed", 42);
+  const std::string outPath =
+      flags.getString("out", bench::resultsDir() + "/serve_latency.json");
+  flags.finish();
+
+  api::WorkloadConfig config;
+  config.seed = seed;
+  config.overrides = {{"vertices", static_cast<double>(vertices)},
+                      {"ticks", static_cast<double>(ticks)},
+                      {"rate", static_cast<double>(rate)}};
+  api::Workload workload =
+      api::WorkloadRegistry::instance().make("CHURN", config);
+  serve::ServeOptions options;
+  options.stream = workload.suggested;
+  core::AdaptiveOptions adaptive;
+  adaptive.k = k;
+  adaptive.seed = seed;
+  serve::PartitionService service(std::move(workload), "HSH", adaptive,
+                                  std::move(options));
+
+  std::atomic<bool> stop{false};
+  std::vector<QueryLog> logs(queryThreads);
+  std::vector<std::thread> readers;
+  readers.reserve(queryThreads);
+  for (std::size_t t = 0; t < queryThreads; ++t) {
+    readers.emplace_back(
+        [&, t] { queryLoop(service.board(), stop, logs[t]); });
+  }
+
+  const util::WallTimer timer;
+  const api::TimelineReport& timeline = service.run();
+  const double ingestSeconds = timer.seconds();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  std::vector<double> samples;
+  std::size_t totalQueries = 0;
+  for (const QueryLog& log : logs) {
+    samples.insert(samples.end(), log.latenciesNs.begin(),
+                   log.latenciesNs.end());
+    totalQueries += log.queries;
+  }
+  std::sort(samples.begin(), samples.end());
+  const double p50 = percentile(samples, 0.50);
+  const double p99 = percentile(samples, 0.99);
+  const double maxNs = samples.empty() ? 0.0 : samples.back();
+  const double qps =
+      ingestSeconds > 0.0 ? static_cast<double>(totalQueries) / ingestSeconds : 0.0;
+  std::size_t migrations = 0;
+  for (const api::WindowReport& w : timeline.windows) migrations += w.migrations;
+
+  util::TablePrinter table({"windows", "migrations", "queries", "qps",
+                            "p50 ns", "p99 ns", "max ns"});
+  table.addRow({std::to_string(timeline.windows.size()),
+                std::to_string(migrations), std::to_string(totalQueries),
+                util::fmt(qps, 0), util::fmt(p50, 0), util::fmt(p99, 0),
+                util::fmt(maxNs, 0)});
+  table.print(std::cout);
+
+  std::ofstream out(outPath);
+  if (!out) {
+    std::cerr << "serve_latency: cannot open " << outPath << "\n";
+    return 1;
+  }
+  out << "{\"bench\": \"serve_latency\", \"workload\": \"CHURN\""
+      << ", \"vertices\": " << vertices << ", \"ticks\": " << ticks
+      << ", \"rate\": " << rate << ", \"k\": " << k
+      << ", \"query_threads\": " << queryThreads
+      << ", \"windows\": " << timeline.windows.size()
+      << ", \"migrations\": " << migrations
+      << ", \"final_cut_ratio\": " << util::fmt(timeline.back().cutRatio, 6)
+      << ", \"ingest_seconds\": " << util::fmt(ingestSeconds, 6)
+      << ", \"queries\": " << totalQueries << ", \"qps\": " << util::fmt(qps, 1)
+      << ", \"latency_ns\": {\"p50\": " << util::fmt(p50, 1)
+      << ", \"p99\": " << util::fmt(p99, 1)
+      << ", \"max\": " << util::fmt(maxNs, 1)
+      << ", \"samples\": " << samples.size() << "}}\n";
+  std::cout << "serve_latency: wrote " << outPath << "\n";
+  return timeline.empty() ? 2 : 0;
+}

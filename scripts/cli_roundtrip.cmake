@@ -57,3 +57,41 @@ execute_process(
 if(status EQUAL 0)
   message(FATAL_ERROR "k mismatch against the assignment file was not rejected")
 endif()
+
+# ---- serving-layer smoke: serve, crash, restore, verify recovery ----------
+# xdgp_serve on CHURN: an unfaulted run records the reference assignment; a
+# checkpointing run with an injected crash must die with exit code 3 and
+# leave a restorable checkpoint; --restore must finish the stream and land
+# on the bit-identical assignment.
+if(DEFINED XDGP_SERVE)
+  function(run_serve step expect_status)
+    execute_process(
+      COMMAND ${XDGP_SERVE} ${ARGN}
+      WORKING_DIRECTORY "${WORK_DIR}"
+      RESULT_VARIABLE status
+      OUTPUT_VARIABLE output
+      ERROR_VARIABLE output)
+    message(STATUS "${step}:\n${output}")
+    if(NOT status EQUAL ${expect_status})
+      message(FATAL_ERROR "${step} exited ${status}, expected ${expect_status}")
+    endif()
+  endfunction()
+
+  set(serve_flags --workload=CHURN --vertices=400 --ticks=4 --rate=40 --k=4
+      --query-threads=2)
+  run_serve("serve (unfaulted)" 0 ${serve_flags} --out=serve_ref.part)
+  run_serve("serve (crash@window=2)" 3 ${serve_flags} --checkpoint-dir=serve_ckpt
+            "--fault=crash@window=2")
+  if(NOT EXISTS "${WORK_DIR}/serve_ckpt/MANIFEST")
+    message(FATAL_ERROR "crashed serve run left no committed checkpoint")
+  endif()
+  run_serve("serve (restore)" 0 --restore=serve_ckpt --out=serve_rec.part)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${WORK_DIR}/serve_ref.part" "${WORK_DIR}/serve_rec.part"
+    RESULT_VARIABLE assignments_differ)
+  if(NOT assignments_differ EQUAL 0)
+    message(FATAL_ERROR
+            "recovered assignment differs from the unfaulted run's")
+  endif()
+endif()

@@ -31,6 +31,13 @@ cmake --build "$build_dir" -j --target superstep_scaling
 XDGP_BENCH_DIR="$out_dir" "$build_dir/bench/superstep_scaling" \
   --vertices=120000 --supersteps=4
 
+# Serving-layer latency: query p50/p99 against the published snapshot while
+# the service ingests churn. BENCH_serve.json at the repo root is the
+# committed baseline; a labelled copy accumulates in $out_dir like the rest.
+cmake --build "$build_dir" -j --target serve_latency
+"$build_dir/bench/serve_latency" --out=BENCH_serve.json
+cp BENCH_serve.json "$out_dir/BENCH_serve_${label}.json"
+
 # Absent target (Google Benchmark not installed) is a graceful no-op; an
 # actual build failure must fail the job, not masquerade as "unavailable".
 # find_package(benchmark) is config-mode, so the cache records whether it

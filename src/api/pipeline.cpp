@@ -99,6 +99,13 @@ Pipeline& Pipeline::initialFromFile(std::string path) {
   return *this;
 }
 
+Pipeline& Pipeline::initialFromAssignment(metrics::Assignment assignment,
+                                          std::size_t k) {
+  assignmentValue_ = std::move(assignment);
+  assignmentValueK_ = k;
+  return *this;
+}
+
 Pipeline& Pipeline::k(std::size_t partitions) {
   k_ = partitions;
   kSet_ = true;
@@ -140,10 +147,13 @@ graph::DynamicGraph Pipeline::buildGraph() {
 }
 
 Pipeline::Prepared Pipeline::prepare() {
-  if (strategySet_ && !assignmentPath_.empty()) {
+  const int initialSources = (strategySet_ ? 1 : 0) +
+                             (assignmentPath_.empty() ? 0 : 1) +
+                             (assignmentValue_ ? 1 : 0);
+  if (initialSources > 1) {
     throw std::invalid_argument(
-        "Pipeline: initial(strategy) and initialFromFile(path) are mutually "
-        "exclusive");
+        "Pipeline: initial(strategy), initialFromFile(path), and "
+        "initialFromAssignment(...) are mutually exclusive");
   }
 
   Prepared prepared;
@@ -160,22 +170,31 @@ Pipeline::Prepared Pipeline::prepare() {
   if (k_ == 0) throw std::invalid_argument("Pipeline: k must be positive");
 
   util::WallTimer partitionTimer;
-  if (!assignmentPath_.empty()) {
-    partition::LoadedAssignment loaded = partition::readAssignment(assignmentPath_);
+  if (!assignmentPath_.empty() || assignmentValue_) {
+    partition::LoadedAssignment loaded;
+    std::string origin;
+    if (assignmentValue_) {
+      loaded.assignment = std::move(*assignmentValue_);
+      loaded.k = assignmentValueK_;
+      origin = "<in-memory assignment>";
+    } else {
+      loaded = partition::readAssignment(assignmentPath_);
+      origin = assignmentPath_;
+    }
     if (kSet_ && k_ != loaded.k) {
       throw std::invalid_argument(
           "Pipeline: requested k=" + std::to_string(k_) + " but assignment '" +
-          assignmentPath_ + "' was written with k=" + std::to_string(loaded.k) +
+          origin + "' was written with k=" + std::to_string(loaded.k) +
           " — drop the explicit k or re-partition with the requested one");
     }
     if (loaded.k == 0) {
-      throw std::invalid_argument("Pipeline: assignment '" + assignmentPath_ +
+      throw std::invalid_argument("Pipeline: assignment '" + origin +
                                   "' declares k=0");
     }
     k_ = loaded.k;
     prepared.initial = std::move(loaded.assignment);
     prepared.initial.resize(prepared.graph.idBound(), graph::kNoPartition);
-    report.strategy = assignmentPath_;
+    report.strategy = origin;
   } else {
     util::Rng rng(seed_);
     prepared.initial = PartitionerRegistry::instance().create(strategy_)->partition(

@@ -78,6 +78,12 @@ class Pipeline {
   /// the file is a hard error at run time — never silently overridden.
   Pipeline& initialFromFile(std::string path);
 
+  /// Initial partitioning from an in-memory assignment with its partition
+  /// count — the checkpoint-restore path (serve::PartitionService), which
+  /// holds the deserialized assignment and must not round-trip it through a
+  /// temp file. Same k-mismatch rules as initialFromFile.
+  Pipeline& initialFromAssignment(metrics::Assignment assignment, std::size_t k);
+
   Pipeline& k(std::size_t partitions);
   Pipeline& capacityFactor(double factor);
   Pipeline& seed(std::uint64_t value);
@@ -117,6 +123,8 @@ class Pipeline {
   std::string strategy_ = "HSH";
   bool strategySet_ = false;
   std::string assignmentPath_;
+  std::optional<metrics::Assignment> assignmentValue_;
+  std::size_t assignmentValueK_ = 0;
 
   std::size_t k_ = 9;
   bool kSet_ = false;
@@ -145,6 +153,13 @@ class Session {
   /// all come from `options`; the session's report() keeps accumulating
   /// across the run as if the caller had driven each window by hand.
   TimelineReport stream(graph::UpdateStream events, const StreamOptions& options);
+
+  /// One window of the stream() loop: applies the batch's events, optionally
+  /// rescales capacities and converges, and returns the finished report row.
+  /// stream() is exactly a Streamer loop over this; the serving layer
+  /// (serve::PartitionService) calls it per window between snapshot swaps,
+  /// so serving and batch streaming share one code path by construction.
+  WindowReport streamWindow(const WindowBatch& batch, const StreamOptions& options);
 
   /// Re-provisions capacities after growth (see AdaptiveEngine).
   void rescaleCapacity();

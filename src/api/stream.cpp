@@ -210,49 +210,54 @@ void TimelineReport::renderJsonl(std::ostream& out) const {
 
 // ------------------------------------------------------- Session::stream
 
+WindowReport Session::streamWindow(const WindowBatch& batch,
+                                   const StreamOptions& options) {
+  const util::WallTimer timer;
+  const std::size_t iterationCap = options.maxIterationsPerWindow > 0
+                                       ? options.maxIterationsPerWindow
+                                       : maxIterations_;
+  WindowReport window;
+  window.index = batch.index;
+  window.start = batch.start;
+  window.end = batch.end;
+  window.eventsDrained = batch.drained;
+  window.eventsExpired = batch.expired;
+  const std::size_t migrationsBefore = engine_->totalMigrations();
+  window.eventsApplied = applyUpdates(batch.events);
+  if (options.rescaleEachWindow) engine_->rescaleCapacity();
+  if (options.adapt) {
+    // Only the convergence run counts towards the report's adaptSeconds,
+    // exactly as when the caller hand-drives runToConvergence per window.
+    const util::WallTimer convergeTimer;
+    const core::ConvergenceResult result = engine_->runToConvergence(iterationCap);
+    adaptSeconds_ += convergeTimer.seconds();
+    iterationsRun_ += result.iterationsRun;
+    ranToConvergence_ = true;
+    converged_ = result.converged;
+    window.iterations = result.iterationsRun;
+    window.converged = result.converged;
+  } else {
+    window.converged = false;  // the static arm never adapts
+  }
+  window.migrations = engine_->totalMigrations() - migrationsBefore;
+  window.vertices = engine_->graph().numVertices();
+  window.edges = engine_->graph().numEdges();
+  window.cutEdges = engine_->state().cutEdges();
+  window.cutRatio = engine_->cutRatio();
+  window.balance = metrics::balanceReport(engine_->state().assignment(), base_.k);
+  window.wallSeconds = timer.seconds();
+  return window;
+}
+
 TimelineReport Session::stream(graph::UpdateStream events,
                                const StreamOptions& options) {
   TimelineReport timeline;
   timeline.workload = "<custom>";
   timeline.strategy = base_.strategy;
   timeline.k = base_.k;
-  const std::size_t iterationCap = options.maxIterationsPerWindow > 0
-                                       ? options.maxIterationsPerWindow
-                                       : maxIterations_;
   Streamer streamer(std::move(events), options);
   while (std::optional<WindowBatch> batch = streamer.next()) {
-    const util::WallTimer timer;
-    WindowReport window;
-    window.index = batch->index;
-    window.start = batch->start;
-    window.end = batch->end;
-    window.eventsDrained = batch->drained;
-    window.eventsExpired = batch->expired;
-    const std::size_t migrationsBefore = engine_->totalMigrations();
-    window.eventsApplied = applyUpdates(batch->events);
-    if (options.rescaleEachWindow) engine_->rescaleCapacity();
-    if (options.adapt) {
-      // Only the convergence run counts towards the report's adaptSeconds,
-      // exactly as when the caller hand-drives runToConvergence per window.
-      const util::WallTimer convergeTimer;
-      const core::ConvergenceResult result = engine_->runToConvergence(iterationCap);
-      adaptSeconds_ += convergeTimer.seconds();
-      iterationsRun_ += result.iterationsRun;
-      ranToConvergence_ = true;
-      converged_ = result.converged;
-      window.iterations = result.iterationsRun;
-      window.converged = result.converged;
-    } else {
-      window.converged = false;  // the static arm never adapts
-    }
-    window.migrations = engine_->totalMigrations() - migrationsBefore;
-    window.vertices = engine_->graph().numVertices();
-    window.edges = engine_->graph().numEdges();
-    window.cutEdges = engine_->state().cutEdges();
-    window.cutRatio = engine_->cutRatio();
-    window.balance = metrics::balanceReport(engine_->state().assignment(), base_.k);
-    window.wallSeconds = timer.seconds();
-    timeline.windows.push_back(std::move(window));
+    timeline.windows.push_back(streamWindow(*batch, options));
   }
   return timeline;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <stdexcept>
 
 #include "util/timer.h"
 
@@ -250,6 +251,21 @@ std::size_t AdaptiveEngine::applyUpdates(const std::vector<graph::UpdateEvent>& 
     unparkAll();  // loads (and degree loads) may have shifted
   }
   return applied;
+}
+
+void AdaptiveEngine::restoreCheckpoint(std::size_t iteration,
+                                       std::vector<std::size_t> capacities,
+                                       std::size_t quietIterations,
+                                       std::size_t lastActiveIteration) {
+  if (capacities.size() != options_.k) {
+    throw std::invalid_argument(
+        "restoreCheckpoint: " + std::to_string(capacities.size()) +
+        " capacities for k=" + std::to_string(options_.k));
+  }
+  iteration_ = iteration;
+  lastActive_ = lastActiveIteration;
+  capacity_ = CapacityModel(std::move(capacities));
+  tracker_.restoreQuiet(quietIterations);
 }
 
 void AdaptiveEngine::rescaleCapacity() {

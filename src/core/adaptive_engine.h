@@ -106,6 +106,26 @@ class AdaptiveEngine {
   /// provisioning should be revised.
   void rescaleCapacity();
 
+  /// Checkpoint restore (serve layer): adopts a previous engine's
+  /// deterministic trajectory state so a freshly constructed engine over the
+  /// checkpointed graph + assignment continues bit-identically. Three pieces
+  /// cannot be re-derived and must carry over: the iteration counter (the
+  /// stateless draws are keyed by (seed, iteration, vertex)), the capacities
+  /// (rescale never shrinks, so they are history-dependent), and the quiet
+  /// streak (an empty window after restore must converge instantly).
+  /// Frontier/parked state is intentionally NOT restored: the fresh
+  /// all-dirty frontier is a superset of the live engine's, and frontier
+  /// membership never changes the trajectory (the equivalence suite asserts
+  /// it). Throws std::invalid_argument when capacities.size() != k.
+  void restoreCheckpoint(std::size_t iteration, std::vector<std::size_t> capacities,
+                         std::size_t quietIterations,
+                         std::size_t lastActiveIteration);
+
+  /// Consecutive zero-migration iterations so far (checkpoint state).
+  [[nodiscard]] std::size_t quietIterations() const noexcept {
+    return tracker_.quietIterations();
+  }
+
   [[nodiscard]] const graph::DynamicGraph& graph() const noexcept {
     return runtime_.graph();
   }

@@ -25,6 +25,12 @@ class ConvergenceTracker {
 
   void reset() noexcept { quiet_ = 0; }
 
+  /// Checkpoint restore (serve layer): adopts a previously recorded quiet
+  /// streak, so a freshly constructed tracker resumes exactly where the
+  /// checkpointed one stopped — a restored run facing an empty window must
+  /// converge instantly, not re-earn `window` quiet iterations.
+  void restoreQuiet(std::size_t quiet) noexcept { quiet_ = quiet; }
+
  private:
   std::size_t window_;
   std::size_t quiet_ = 0;

@@ -31,6 +31,11 @@ graph::PartitionId MigrationPolicy::target(std::span<const graph::VertexId> neig
     for (const graph::PartitionId p : touched_) {
       if (counts_[p] == bestCount) best_.push_back(p);
     }
+    // touched_ order is neighbour iteration order — a property of the
+    // graph's memory layout, not of the abstract graph (a checkpoint-
+    // restored graph enumerates the same neighbours in a different order).
+    // Canonicalise so the tie draw lands on the same partition either way.
+    std::sort(best_.begin(), best_.end());
     result = best_.size() == 1 ? best_.front() : best_[tieBreaker % best_.size()];
     if (tiedMask != nullptr && best_.size() > 1) {
       std::uint64_t mask = 0;

@@ -237,6 +237,19 @@ class Engine {
   /// run the vertex program, and recycle the consumed inbox.
   void computeShard(WorkerId w) {
     Runtime::WorkerTally& tally = runtime_.tally(w);
+    if (runtime_.workerKilled(w)) {
+      // Injected failure (EngineOptions::faults): the worker misses this
+      // superstep entirely. Its inboxes die unread — counted lost, exactly
+      // like the migrated-away case below — and its vertices neither
+      // compute nor send. The shard, values, and partition state survive,
+      // so the worker resumes cleanly next superstep.
+      for (const graph::VertexId v : runtime_.shard(w)) {
+        tally.lostMessages += inbox_[v].size();
+        inbox_[v].clear();
+        runtime_.clearInboxAddressedTo(v);
+      }
+      return;
+    }
     for (const graph::VertexId v : runtime_.shard(w)) {
       std::vector<MValue>& inbox = inbox_[v];
       std::span<const MValue> view;
@@ -262,6 +275,15 @@ class Engine {
     for (WorkerId src = 0; src < workers; ++src) {
       std::vector<graph::VertexId>& targets = runtime_.laneTargets(src, dst);
       std::vector<MValue>& payloads = lanePayloads_[src * workers + dst];
+      if (!targets.empty() && runtime_.laneDropped(src, dst)) {
+        // Injected network fault: the whole lane is discarded this
+        // superstep. The tallies were already reduced, so the losses ride
+        // the per-destination delivery counter into the stats row.
+        runtime_.countDeliveryLost(dst, targets.size());
+        targets.clear();
+        payloads.clear();
+        continue;
+      }
       for (std::size_t i = 0; i < targets.size(); ++i) {
         const graph::VertexId t = targets[i];
         runtime_.setInboxAddressedTo(t, dst);

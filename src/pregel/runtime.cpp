@@ -30,6 +30,7 @@ Runtime::Runtime(graph::DynamicGraph g, metrics::Assignment initial,
   laneTargets_.resize(workers * workers);
   tallies_.resize(workers);
   workerCompute_.assign(workers, 0.0);
+  deliveryLost_.assign(workers, 0);
   if (options_.adaptive) {
     partitioner_.emplace(workers, totalLoadUnits(), options_.capacityFactor,
                          options_.partitioner);
@@ -41,6 +42,7 @@ void Runtime::beginSuperstep() {
   current_.superstep = superstep_;
   current_.mutationsApplied = std::exchange(pendingMutations_, 0);
   std::fill(tallies_.begin(), tallies_.end(), WorkerTally{});
+  std::fill(deliveryLost_.begin(), deliveryLost_.end(), 0);
   aggregateAccumulator_ = 0.0;
   // Migrations and ingest may have disturbed shard order since the last
   // superstep; compute must walk each shard in ascending id order.
@@ -127,6 +129,9 @@ void Runtime::announceNextWave() {
 
 SuperstepStats Runtime::finishSuperstep() {
   phaseSeconds_.rest = phaseTimer_.seconds();
+  // Lane-drop losses happen after the tally reduction; fold them in here,
+  // in worker order, so the stats row stays thread-count-invariant.
+  for (const std::size_t lost : deliveryLost_) current_.lostMessages += lost;
   current_.cutEdges = state().cutEdges();
   lastAggregate_ = aggregateAccumulator_;
   current_.aggregatedValue = lastAggregate_;

@@ -27,6 +27,19 @@ struct EngineOptions {
   /// and are lost — the ablation quantifying why deferral is required.
   bool deferredMigration = true;
   CostParams cost;
+  /// Deterministic failure injection (serve::FaultPlan adapts to these).
+  /// Both hooks are consulted with the current superstep index; empty
+  /// functions mean no faults and cost nothing on the hot path beyond a
+  /// bool test. killWorker(w, s) true: worker w misses superstep s entirely
+  /// — its inboxes are counted lost and its vertices neither compute nor
+  /// send (the shard itself survives; partition state is untouched).
+  /// dropLane(src, dst, s) true: every message on mailbox lane src→dst is
+  /// discarded at superstep s's delivery barrier and counted lost.
+  struct FaultHooks {
+    std::function<bool(WorkerId worker, std::size_t superstep)> killWorker;
+    std::function<bool(WorkerId src, WorkerId dst, std::size_t superstep)> dropLane;
+  };
+  FaultHooks faults;
   /// Threads for the compute and delivery phases (mirrors
   /// AdaptiveOptions::threads). Worker shards are independent and the
   /// per-worker mailbox lanes merge in fixed worker order at the barrier,
@@ -214,6 +227,27 @@ class Runtime {
     inboxAddressedTo_[v] = graph::kNoPartition;
   }
 
+  // ---- failure injection (EngineOptions::faults) -------------------------
+
+  /// Whether worker w is down for the current superstep.
+  [[nodiscard]] bool workerKilled(WorkerId w) const {
+    return options_.faults.killWorker && options_.faults.killWorker(w, superstep_);
+  }
+
+  /// Whether mailbox lane src→dst is faulted for the current superstep.
+  [[nodiscard]] bool laneDropped(WorkerId src, WorkerId dst) const {
+    return options_.faults.dropLane && options_.faults.dropLane(src, dst, superstep_);
+  }
+
+  /// Losses discovered during the delivery phase (dropped lanes): the
+  /// tallies are already reduced by then, so these accumulate per
+  /// destination worker — dst-private during delivery, hence race-free and
+  /// thread-count-invariant — and fold into the stats row at
+  /// finishSuperstep.
+  void countDeliveryLost(WorkerId dst, std::size_t n) noexcept {
+    deliveryLost_[dst] += n;
+  }
+
   // ---- streaming mutations ----------------------------------------------
 
   /// Applies structural updates between supersteps, or buffers them while
@@ -304,6 +338,7 @@ class Runtime {
   std::vector<WorkerId> inboxAddressedTo_;                 ///< per vertex
   std::vector<WorkerTally> tallies_;
   std::vector<double> workerCompute_;  ///< per-worker units (hotspot signal)
+  std::vector<std::size_t> deliveryLost_;  ///< per-dst lane-drop losses
 
   /// Deferred-migration ledger: announced_[v] is v's next home (or
   /// kNoPartition), announcedVertices_ the execution order.

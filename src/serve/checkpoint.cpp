@@ -1,0 +1,394 @@
+#include "serve/checkpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "metrics/balance.h"
+#include "partition/assignment_io.h"
+
+namespace xdgp::serve {
+
+namespace {
+
+/// Lossless double rendering: %.17g survives a text round-trip bit-exactly
+/// (util::fmt is display-precision and must not leak into checkpoints).
+std::string fullPrecision(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", x);
+  return buf;
+}
+
+double parseDouble(const std::string& text, const std::string& what) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    throw CheckpointError("malformed number '" + text + "' for " + what);
+  }
+  return value;
+}
+
+/// FNV-1a over a file's raw bytes — the integrity stamp the manifest keeps
+/// per payload file, so corruption and truncation fail the read loudly.
+std::uint64_t fnv1aFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw CheckpointError("cannot read " + path);
+  std::uint64_t hash = 1469598103934665603ULL;
+  char buf[1 << 16];
+  while (in.read(buf, sizeof buf) || in.gcount() > 0) {
+    const std::streamsize n = in.gcount();
+    for (std::streamsize i = 0; i < n; ++i) {
+      hash ^= static_cast<unsigned char>(buf[i]);
+      hash *= 1099511628211ULL;
+    }
+    if (!in) break;
+  }
+  return hash;
+}
+
+std::string hex64(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(value));
+  return buf;
+}
+
+/// The graph as a replayable event file: AddVertex per alive vertex, then
+/// AddEdge per edge. Explicit ids reconstruct the exact id space — interior
+/// dead ids stay dead because no event revives them (an edge list cannot
+/// express that).
+std::vector<graph::UpdateEvent> graphAsEvents(const graph::DynamicGraph& g) {
+  std::vector<graph::UpdateEvent> events;
+  events.reserve(g.numVertices() + g.numEdges());
+  g.forEachVertex([&events](graph::VertexId v) {
+    events.push_back(graph::UpdateEvent::addVertex(v));
+  });
+  g.forEachEdge([&events](graph::VertexId u, graph::VertexId v) {
+    events.push_back(graph::UpdateEvent::addEdge(u, v));
+  });
+  return events;
+}
+
+constexpr const char* kGraphFile = "graph.evt";
+constexpr const char* kAssignmentFile = "assignment.part";
+constexpr const char* kEventsFile = "events.evt";
+constexpr const char* kTimelineFile = "timeline.tsv";
+
+void writeTimeline(const std::vector<api::WindowReport>& timeline,
+                   const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw CheckpointError("cannot open " + path);
+  for (const api::WindowReport& w : timeline) {
+    out << w.index << ' ' << fullPrecision(w.start) << ' ' << fullPrecision(w.end)
+        << ' ' << w.eventsDrained << ' ' << w.eventsExpired << ' '
+        << w.eventsApplied << ' ' << w.vertices << ' ' << w.edges << ' '
+        << w.iterations << ' ' << (w.converged ? 1 : 0) << ' ' << w.migrations
+        << ' ' << w.lostMessages << ' ' << fullPrecision(w.cutRatio) << ' '
+        << w.cutEdges << ' ' << w.balance.k << ' ' << w.balance.totalVertices
+        << ' ' << w.balance.minLoad << ' ' << w.balance.maxLoad << ' '
+        << fullPrecision(w.balance.imbalance) << ' '
+        << fullPrecision(w.balance.densification) << ' '
+        << fullPrecision(w.wallSeconds) << '\n';
+  }
+  if (!out) throw CheckpointError("write failed for " + path);
+}
+
+std::vector<api::WindowReport> readTimeline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw CheckpointError("cannot open " + path);
+  std::vector<api::WindowReport> timeline;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    api::WindowReport w;
+    int converged = 0;
+    if (!(fields >> w.index >> w.start >> w.end >> w.eventsDrained >>
+          w.eventsExpired >> w.eventsApplied >> w.vertices >> w.edges >>
+          w.iterations >> converged >> w.migrations >> w.lostMessages >>
+          w.cutRatio >> w.cutEdges >> w.balance.k >> w.balance.totalVertices >>
+          w.balance.minLoad >> w.balance.maxLoad >> w.balance.imbalance >>
+          w.balance.densification >> w.wallSeconds)) {
+      throw CheckpointError("malformed timeline row at line " +
+                            std::to_string(lineNo) + " of " + path);
+    }
+    w.converged = converged != 0;
+    timeline.push_back(w);
+  }
+  return timeline;
+}
+
+/// Key/value view of the MANIFEST: every lookup failure is a versioned
+/// CheckpointError naming the missing or malformed key.
+class Manifest {
+ public:
+  explicit Manifest(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw CheckpointError("missing manifest at " + path);
+    std::string line;
+    const std::string expected =
+        "# xdgp-checkpoint v" + std::to_string(kCheckpointVersion);
+    if (!std::getline(in, line) || line != expected) {
+      throw CheckpointError("unsupported manifest header '" + line + "' in " +
+                            path + " (expected '" + expected + "')");
+    }
+    bool ended = false;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      if (ended) throw CheckpointError("content after 'end' sentinel in " + path);
+      if (line == "end") {
+        ended = true;
+        continue;
+      }
+      const std::size_t space = line.find(' ');
+      if (space == std::string::npos) {
+        throw CheckpointError("malformed manifest line '" + line + "' in " + path);
+      }
+      values_[line.substr(0, space)] = line.substr(space + 1);
+    }
+    if (!ended) {
+      throw CheckpointError("manifest " + path +
+                            " is truncated (missing 'end' sentinel)");
+    }
+  }
+
+  [[nodiscard]] const std::string& get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) throw CheckpointError("manifest missing key '" + key + "'");
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t count(const std::string& key) const {
+    return static_cast<std::size_t>(std::strtoull(get(key).c_str(), nullptr, 10));
+  }
+
+  [[nodiscard]] std::uint64_t u64(const std::string& key) const {
+    return std::strtoull(get(key).c_str(), nullptr, 10);
+  }
+
+  [[nodiscard]] double real(const std::string& key) const {
+    return parseDouble(get(key), "manifest key '" + key + "'");
+  }
+
+  [[nodiscard]] bool flag(const std::string& key) const { return get(key) == "1"; }
+
+  [[nodiscard]] std::uint64_t hex(const std::string& key) const {
+    return std::strtoull(get(key).c_str(), nullptr, 16);
+  }
+
+  [[nodiscard]] std::vector<std::size_t> list(const std::string& key) const {
+    std::istringstream in(get(key));
+    std::vector<std::size_t> values;
+    std::size_t value = 0;
+    while (in >> value) values.push_back(value);
+    return values;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+void verifyChecksum(const std::string& dir, const char* file,
+                    std::uint64_t expected) {
+  const std::uint64_t actual = fnv1aFile(dir + "/" + file);
+  if (actual != expected) {
+    throw CheckpointError(std::string(file) + " is corrupt or truncated (FNV " +
+                          hex64(actual) + ", manifest says " + hex64(expected) +
+                          ")");
+  }
+}
+
+}  // namespace
+
+void writeCheckpoint(const Checkpoint& checkpoint, const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    throw CheckpointError("cannot create directory " + dir + ": " + ec.message());
+  }
+
+  // Payloads first; the manifest lands last via a rename, so a MANIFEST on
+  // disk certifies that every payload beneath it is complete.
+  try {
+    graph::writeEvents(graphAsEvents(checkpoint.graph), dir + "/" + kGraphFile);
+    partition::writeAssignment(checkpoint.assignment, checkpoint.k,
+                               dir + "/" + kAssignmentFile);
+    graph::writeEvents(checkpoint.events, dir + "/" + kEventsFile);
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const std::exception& error) {
+    throw CheckpointError(std::string("payload write failed: ") + error.what());
+  }
+  writeTimeline(checkpoint.timeline, dir + "/" + kTimelineFile);
+
+  const std::string tmpPath = dir + "/MANIFEST.tmp";
+  {
+    std::ofstream out(tmpPath);
+    if (!out) throw CheckpointError("cannot open " + tmpPath);
+    out << "# xdgp-checkpoint v" << kCheckpointVersion << "\n";
+    out << "workload " << checkpoint.workload << "\n";
+    out << "strategy " << checkpoint.strategy << "\n";
+    out << "k " << checkpoint.k << "\n";
+    out << "seed " << checkpoint.seed << "\n";
+    out << "capacity-factor " << fullPrecision(checkpoint.capacityFactor) << "\n";
+    out << "willingness " << fullPrecision(checkpoint.willingness) << "\n";
+    out << "convergence-window " << checkpoint.convergenceWindow << "\n";
+    out << "enforce-quota " << (checkpoint.enforceQuota ? 1 : 0) << "\n";
+    out << "balance "
+        << (checkpoint.balanceMode == core::BalanceMode::kEdges ? "edges"
+                                                                : "vertices")
+        << "\n";
+    out << "max-iterations " << checkpoint.maxIterations << "\n";
+    out << "window-span " << fullPrecision(checkpoint.stream.windowSpan) << "\n";
+    out << "window-events " << checkpoint.stream.windowEvents << "\n";
+    out << "max-windows " << checkpoint.stream.maxWindows << "\n";
+    out << "expiry-span " << fullPrecision(checkpoint.stream.expirySpan) << "\n";
+    out << "adapt " << (checkpoint.stream.adapt ? 1 : 0) << "\n";
+    out << "rescale-each-window " << (checkpoint.stream.rescaleEachWindow ? 1 : 0)
+        << "\n";
+    out << "max-iterations-per-window " << checkpoint.stream.maxIterationsPerWindow
+        << "\n";
+    out << "next-window " << checkpoint.nextWindow << "\n";
+    out << "iteration " << checkpoint.engineIteration << "\n";
+    out << "quiet " << checkpoint.engineQuiet << "\n";
+    out << "last-active " << checkpoint.engineLastActive << "\n";
+    out << "capacities";
+    for (const std::size_t c : checkpoint.capacities) out << ' ' << c;
+    out << "\n";
+    out << "graph-vertices " << checkpoint.graph.numVertices() << "\n";
+    out << "graph-edges " << checkpoint.graph.numEdges() << "\n";
+    out << "graph-id-bound " << checkpoint.graph.idBound() << "\n";
+    out << "events " << checkpoint.events.size() << "\n";
+    out << "timeline-rows " << checkpoint.timeline.size() << "\n";
+    out << "checksum-graph " << hex64(fnv1aFile(dir + "/" + kGraphFile)) << "\n";
+    out << "checksum-assignment " << hex64(fnv1aFile(dir + "/" + kAssignmentFile))
+        << "\n";
+    out << "checksum-events " << hex64(fnv1aFile(dir + "/" + kEventsFile)) << "\n";
+    out << "checksum-timeline " << hex64(fnv1aFile(dir + "/" + kTimelineFile))
+        << "\n";
+    out << "end\n";
+    if (!out) throw CheckpointError("write failed for " + tmpPath);
+  }
+  fs::rename(tmpPath, dir + "/MANIFEST", ec);
+  if (ec) {
+    throw CheckpointError("cannot commit manifest in " + dir + ": " + ec.message());
+  }
+}
+
+Checkpoint readCheckpoint(const std::string& dir) {
+  const Manifest manifest(dir + "/MANIFEST");
+
+  verifyChecksum(dir, kGraphFile, manifest.hex("checksum-graph"));
+  verifyChecksum(dir, kAssignmentFile, manifest.hex("checksum-assignment"));
+  verifyChecksum(dir, kEventsFile, manifest.hex("checksum-events"));
+  verifyChecksum(dir, kTimelineFile, manifest.hex("checksum-timeline"));
+
+  Checkpoint checkpoint;
+  checkpoint.workload = manifest.get("workload");
+  checkpoint.strategy = manifest.get("strategy");
+  checkpoint.k = manifest.count("k");
+  checkpoint.seed = manifest.u64("seed");
+  checkpoint.capacityFactor = manifest.real("capacity-factor");
+  checkpoint.willingness = manifest.real("willingness");
+  checkpoint.convergenceWindow = manifest.count("convergence-window");
+  checkpoint.enforceQuota = manifest.flag("enforce-quota");
+  const std::string& balance = manifest.get("balance");
+  if (balance == "edges") {
+    checkpoint.balanceMode = core::BalanceMode::kEdges;
+  } else if (balance == "vertices") {
+    checkpoint.balanceMode = core::BalanceMode::kVertices;
+  } else {
+    throw CheckpointError("unknown balance mode '" + balance + "'");
+  }
+  checkpoint.maxIterations = manifest.count("max-iterations");
+  checkpoint.stream.windowSpan = manifest.real("window-span");
+  checkpoint.stream.windowEvents = manifest.count("window-events");
+  checkpoint.stream.maxWindows = manifest.count("max-windows");
+  checkpoint.stream.expirySpan = manifest.real("expiry-span");
+  checkpoint.stream.adapt = manifest.flag("adapt");
+  checkpoint.stream.rescaleEachWindow = manifest.flag("rescale-each-window");
+  checkpoint.stream.maxIterationsPerWindow =
+      manifest.count("max-iterations-per-window");
+  checkpoint.nextWindow = manifest.count("next-window");
+  checkpoint.engineIteration = manifest.count("iteration");
+  checkpoint.engineQuiet = manifest.count("quiet");
+  checkpoint.engineLastActive = manifest.count("last-active");
+  checkpoint.capacities = manifest.list("capacities");
+  if (checkpoint.capacities.size() != checkpoint.k) {
+    throw CheckpointError("manifest lists " +
+                          std::to_string(checkpoint.capacities.size()) +
+                          " capacities for k=" + std::to_string(checkpoint.k));
+  }
+
+  try {
+    checkpoint.events = graph::readEvents(dir + "/" + kEventsFile);
+    const std::vector<graph::UpdateEvent> graphEvents =
+        graph::readEvents(dir + "/" + kGraphFile);
+    graph::applyUpdates(checkpoint.graph, graphEvents);
+  } catch (const std::exception& error) {
+    throw CheckpointError(std::string("payload read failed: ") + error.what());
+  }
+  if (checkpoint.events.size() != manifest.count("events")) {
+    throw CheckpointError("events.evt holds " +
+                          std::to_string(checkpoint.events.size()) +
+                          " events, manifest says " +
+                          std::to_string(manifest.count("events")));
+  }
+
+  // Trailing dead ids carry no events; re-grow the id space to the recorded
+  // bound (create-then-remove leaves the id dead, exactly as checkpointed).
+  const std::size_t idBound = manifest.count("graph-id-bound");
+  if (checkpoint.graph.idBound() < idBound) {
+    checkpoint.graph.ensureVertex(static_cast<graph::VertexId>(idBound - 1));
+    checkpoint.graph.removeVertex(static_cast<graph::VertexId>(idBound - 1));
+  }
+  if (checkpoint.graph.numVertices() != manifest.count("graph-vertices") ||
+      checkpoint.graph.numEdges() != manifest.count("graph-edges") ||
+      checkpoint.graph.idBound() != idBound) {
+    throw CheckpointError(
+        "reconstructed graph disagrees with the manifest (|V|=" +
+        std::to_string(checkpoint.graph.numVertices()) +
+        ", |E|=" + std::to_string(checkpoint.graph.numEdges()) +
+        ", idBound=" + std::to_string(checkpoint.graph.idBound()) + ")");
+  }
+
+  partition::LoadedAssignment loaded;
+  try {
+    loaded = partition::readAssignment(dir + "/" + kAssignmentFile);
+  } catch (const std::exception& error) {
+    throw CheckpointError(std::string("assignment read failed: ") + error.what());
+  }
+  if (loaded.k != checkpoint.k) {
+    throw CheckpointError("assignment declares k=" + std::to_string(loaded.k) +
+                          ", manifest says k=" + std::to_string(checkpoint.k));
+  }
+  checkpoint.assignment = std::move(loaded.assignment);
+  checkpoint.assignment.resize(checkpoint.graph.idBound(), graph::kNoPartition);
+  std::size_t assigned = 0;
+  for (const graph::PartitionId p : checkpoint.assignment) {
+    if (p != graph::kNoPartition) ++assigned;
+  }
+  if (assigned != checkpoint.graph.numVertices()) {
+    throw CheckpointError("assignment covers " + std::to_string(assigned) +
+                          " vertices, graph has " +
+                          std::to_string(checkpoint.graph.numVertices()));
+  }
+
+  checkpoint.timeline = readTimeline(dir + "/" + kTimelineFile);
+  if (checkpoint.timeline.size() != manifest.count("timeline-rows")) {
+    throw CheckpointError("timeline.tsv holds " +
+                          std::to_string(checkpoint.timeline.size()) +
+                          " rows, manifest says " +
+                          std::to_string(manifest.count("timeline-rows")));
+  }
+
+  return checkpoint;
+}
+
+}  // namespace xdgp::serve

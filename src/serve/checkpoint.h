@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/stream.h"
+#include "core/capacity.h"
+#include "graph/dynamic_graph.h"
+#include "graph/update_stream.h"
+#include "metrics/cuts.h"
+
+namespace xdgp::serve {
+
+/// Format version of the on-disk checkpoint directory. Bumped whenever the
+/// manifest keys or payload formats change incompatibly; readers reject any
+/// other version loudly.
+inline constexpr int kCheckpointVersion = 1;
+
+/// Every checkpoint failure — missing files, version mismatch, corruption,
+/// truncation, count/checksum disagreement — surfaces as this one typed,
+/// versioned error, never as silently wrong state.
+class CheckpointError : public std::runtime_error {
+ public:
+  explicit CheckpointError(const std::string& what)
+      : std::runtime_error("checkpoint v" + std::to_string(kCheckpointVersion) +
+                           ": " + what) {}
+};
+
+/// Everything a serving run needs to resume bit-identically, in one value.
+///
+/// On disk this is a directory of five files:
+///   MANIFEST         versioned key/value header: configuration, progress,
+///                    engine trajectory state, payload counts + FNV-1a
+///                    checksums; written last (via a temp-file rename), so
+///                    its presence certifies a complete checkpoint
+///   graph.evt        the graph as a replayable event file (one AddVertex
+///                    per alive vertex, one AddEdge per edge) — unlike an
+///                    edge list this reconstructs the exact id space,
+///                    dead ids included, which the per-vertex state arrays
+///                    and the stateless draws depend on
+///   assignment.part  partition::writeAssignment format
+///   events.evt       the FULL backing update stream (graph::writeEvents);
+///                    restore re-windows it from the top and discards
+///                    windows before nextWindow, which rebuilds the edge
+///                    expiry bookkeeping bit-exactly without serializing it
+///   timeline.tsv     one lossless row per completed window, so the
+///                    restored TimelineReport equals the uninterrupted one
+///
+/// Trajectory state beyond graph + assignment: the engine's iteration
+/// counter (stateless draws are keyed by it), capacities (rescale never
+/// shrinks — history-dependent), the quiet streak, and the last active
+/// iteration. Thread count and frontier mode are intentionally absent:
+/// both are trajectory-invariant (asserted by the equivalence suites), so
+/// the restoring side may choose them freely.
+struct Checkpoint {
+  // --- identity / configuration ------------------------------------------
+  std::string workload = "<custom>";  ///< registry code, for reporting
+  std::string strategy = "<restored>";
+  std::size_t k = 0;
+  std::uint64_t seed = 42;
+  double capacityFactor = 1.1;
+  double willingness = 0.5;
+  std::size_t convergenceWindow = 30;
+  bool enforceQuota = true;
+  core::BalanceMode balanceMode = core::BalanceMode::kVertices;
+  std::size_t maxIterations = 20'000;
+  api::StreamOptions stream;
+
+  // --- progress -----------------------------------------------------------
+  std::size_t nextWindow = 0;  ///< first window not yet applied
+
+  // --- state --------------------------------------------------------------
+  graph::DynamicGraph graph;
+  metrics::Assignment assignment;
+  std::size_t engineIteration = 0;
+  std::size_t engineQuiet = 0;
+  std::size_t engineLastActive = 0;
+  std::vector<std::size_t> capacities;
+  std::vector<graph::UpdateEvent> events;   ///< the FULL backing stream
+  std::vector<api::WindowReport> timeline;  ///< windows [0, nextWindow)
+};
+
+/// Writes `checkpoint` into directory `dir` (created if missing; existing
+/// files overwritten — checkpointing into the same directory repeatedly is
+/// the normal serving cadence). Throws CheckpointError on any IO failure.
+void writeCheckpoint(const Checkpoint& checkpoint, const std::string& dir);
+
+/// Reads a checkpoint directory back, verifying version, per-file FNV-1a
+/// checksums, and payload counts against the manifest. Throws
+/// CheckpointError on anything suspicious.
+[[nodiscard]] Checkpoint readCheckpoint(const std::string& dir);
+
+}  // namespace xdgp::serve

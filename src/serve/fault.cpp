@@ -1,0 +1,147 @@
+#include "serve/fault.h"
+
+#include <charconv>
+#include <string_view>
+#include <utility>
+
+namespace xdgp::serve {
+
+InjectedCrash::InjectedCrash(std::size_t window)
+    : std::runtime_error("injected crash before the snapshot swap of window " +
+                         std::to_string(window)),
+      window_(window) {}
+
+namespace {
+
+[[noreturn]] void badSpec(const std::string& clause, const std::string& why) {
+  throw std::invalid_argument("FaultPlan: bad clause '" + clause + "': " + why);
+}
+
+std::size_t parseNumber(const std::string& clause, std::string_view text) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    badSpec(clause, "'" + std::string(text) + "' is not a number");
+  }
+  return value;
+}
+
+/// One clause: "<kind>@<key>=<value>[,<key>=<value>...]".
+FaultSpec parseClause(const std::string& clause) {
+  const std::size_t at = clause.find('@');
+  if (at == std::string::npos) badSpec(clause, "missing '@'");
+  const std::string kind = clause.substr(0, at);
+
+  FaultSpec fault;
+  bool laneSeen = false;
+  bool superstepSeen = false;
+  bool windowSeen = false;
+  bool workerSeen = false;
+  std::size_t pos = at + 1;
+  while (pos < clause.size()) {
+    std::size_t comma = clause.find(',', pos);
+    if (comma == std::string::npos) comma = clause.size();
+    const std::string pair = clause.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) badSpec(clause, "expected key=value, got '" + pair + "'");
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    if (key == "worker") {
+      fault.worker = static_cast<pregel::WorkerId>(parseNumber(clause, value));
+      workerSeen = true;
+    } else if (key == "superstep") {
+      fault.superstep = parseNumber(clause, value);
+      superstepSeen = true;
+    } else if (key == "window") {
+      fault.window = parseNumber(clause, value);
+      windowSeen = true;
+    } else if (key == "lane") {
+      const std::size_t colon = value.find(':');
+      if (colon == std::string::npos) badSpec(clause, "lane wants src:dst");
+      fault.src = static_cast<pregel::WorkerId>(
+          parseNumber(clause, std::string_view(value).substr(0, colon)));
+      fault.dst = static_cast<pregel::WorkerId>(
+          parseNumber(clause, std::string_view(value).substr(colon + 1)));
+      laneSeen = true;
+    } else {
+      badSpec(clause, "unknown key '" + key + "'");
+    }
+  }
+
+  if (kind == "kill") {
+    if (!workerSeen || !superstepSeen) badSpec(clause, "kill wants worker= and superstep=");
+    fault.kind = FaultSpec::Kind::kKillWorker;
+  } else if (kind == "drop") {
+    if (!laneSeen || !superstepSeen) badSpec(clause, "drop wants lane= and superstep=");
+    fault.kind = FaultSpec::Kind::kDropLane;
+  } else if (kind == "crash") {
+    if (!windowSeen) badSpec(clause, "crash wants window=");
+    fault.kind = FaultSpec::Kind::kCrashBeforeSwap;
+  } else {
+    badSpec(clause, "unknown kind '" + kind + "' (kill|drop|crash)");
+  }
+  return fault;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t semi = spec.find(';', pos);
+    if (semi == std::string::npos) semi = spec.size();
+    const std::string clause = spec.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (clause.empty()) continue;
+    plan.add(parseClause(clause));
+  }
+  return plan;
+}
+
+bool FaultPlan::killsWorker(pregel::WorkerId worker,
+                            std::size_t superstep) const noexcept {
+  for (const FaultSpec& f : faults_) {
+    if (f.kind == FaultSpec::Kind::kKillWorker && f.worker == worker &&
+        f.superstep == superstep) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::dropsLane(pregel::WorkerId src, pregel::WorkerId dst,
+                          std::size_t superstep) const noexcept {
+  for (const FaultSpec& f : faults_) {
+    if (f.kind == FaultSpec::Kind::kDropLane && f.src == src && f.dst == dst &&
+        f.superstep == superstep) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::crashesBeforeSwap(std::size_t window) const noexcept {
+  for (const FaultSpec& f : faults_) {
+    if (f.kind == FaultSpec::Kind::kCrashBeforeSwap && f.window == window) {
+      return true;
+    }
+  }
+  return false;
+}
+
+pregel::EngineOptions::FaultHooks pregelFaultHooks(FaultPlan plan) {
+  pregel::EngineOptions::FaultHooks hooks;
+  hooks.killWorker = [plan](pregel::WorkerId worker, std::size_t superstep) {
+    return plan.killsWorker(worker, superstep);
+  };
+  hooks.dropLane = [plan](pregel::WorkerId src, pregel::WorkerId dst,
+                          std::size_t superstep) {
+    return plan.dropsLane(src, dst, superstep);
+  };
+  return hooks;
+}
+
+}  // namespace xdgp::serve

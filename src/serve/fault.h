@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pregel/runtime.h"
+
+namespace xdgp::serve {
+
+/// One injected failure. Faults are deterministic coordinates — (worker,
+/// superstep), (lane, superstep), or (window) — not probabilities: the same
+/// plan replays the same failure, which is what lets the recovery suite
+/// assert bit-identical trajectories.
+struct FaultSpec {
+  enum class Kind : std::uint8_t {
+    /// Worker `worker` misses superstep `superstep` entirely: inboxes are
+    /// counted lost, nothing computes or sends (pregel runtime injection).
+    kKillWorker,
+    /// Mailbox lane src→dst is discarded at superstep `superstep`'s
+    /// delivery barrier, messages counted lost (pregel runtime injection).
+    kDropLane,
+    /// The serving process dies after window `window`'s work but before the
+    /// snapshot swap and checkpoint — the torn-window crash whose recovery
+    /// must replay the window from the previous checkpoint
+    /// (PartitionService throws InjectedCrash).
+    kCrashBeforeSwap,
+  };
+
+  Kind kind = Kind::kCrashBeforeSwap;
+  pregel::WorkerId worker = 0;  ///< kKillWorker
+  pregel::WorkerId src = 0;     ///< kDropLane
+  pregel::WorkerId dst = 0;     ///< kDropLane
+  std::size_t superstep = 0;    ///< kKillWorker / kDropLane
+  std::size_t window = 0;       ///< kCrashBeforeSwap
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
+};
+
+/// Thrown by PartitionService::run when a kCrashBeforeSwap fault fires: the
+/// deterministic stand-in for `kill -9` at the worst moment. The service's
+/// last checkpoint is intact on disk; the crashed window's work is lost, as
+/// it would be in a real crash.
+class InjectedCrash : public std::runtime_error {
+ public:
+  explicit InjectedCrash(std::size_t window);
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
+
+ private:
+  std::size_t window_;
+};
+
+/// A deterministic failure schedule: any number of FaultSpecs, queried by
+/// the injection points. Parsable from a CLI-friendly spec string so
+/// `xdgp_serve --fault=...` and the recovery smoke in CI drive the same
+/// machinery as the test matrix.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  void add(FaultSpec fault) { faults_.push_back(fault); }
+
+  /// Parses a semicolon-separated plan, one clause per fault:
+  ///   kill@worker=1,superstep=3
+  ///   drop@lane=0:2,superstep=4
+  ///   crash@window=2
+  /// e.g. "kill@worker=1,superstep=3;crash@window=2". Empty string → empty
+  /// plan. Throws std::invalid_argument on unknown kinds or keys.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+
+  [[nodiscard]] bool empty() const noexcept { return faults_.empty(); }
+  [[nodiscard]] const std::vector<FaultSpec>& faults() const noexcept {
+    return faults_;
+  }
+
+  [[nodiscard]] bool killsWorker(pregel::WorkerId worker,
+                                 std::size_t superstep) const noexcept;
+  [[nodiscard]] bool dropsLane(pregel::WorkerId src, pregel::WorkerId dst,
+                               std::size_t superstep) const noexcept;
+  [[nodiscard]] bool crashesBeforeSwap(std::size_t window) const noexcept;
+
+ private:
+  std::vector<FaultSpec> faults_;
+};
+
+/// Adapter to the pregel runtime's injection points: hooks that answer from
+/// a copy of `plan` (safe to outlive it). Assign to
+/// pregel::EngineOptions::faults before constructing the engine.
+[[nodiscard]] pregel::EngineOptions::FaultHooks pregelFaultHooks(FaultPlan plan);
+
+}  // namespace xdgp::serve

@@ -1,0 +1,167 @@
+#include "serve/service.h"
+
+#include <utility>
+
+#include "metrics/balance.h"
+
+namespace xdgp::serve {
+
+namespace {
+
+/// Rebuilds a live Session from checkpointed state: the pipeline seeds the
+/// engine with the saved graph + assignment, then restoreCheckpoint adopts
+/// the non-derivable trajectory state (iteration counter, capacities, quiet
+/// streak, last active iteration).
+api::Session restoredSession(Checkpoint& checkpoint, std::size_t threads) {
+  core::AdaptiveOptions adaptive;
+  adaptive.k = checkpoint.k;
+  adaptive.capacityFactor = checkpoint.capacityFactor;
+  adaptive.willingness = checkpoint.willingness;
+  adaptive.convergenceWindow = checkpoint.convergenceWindow;
+  adaptive.enforceQuota = checkpoint.enforceQuota;
+  adaptive.balanceMode = checkpoint.balanceMode;
+  adaptive.threads = threads;
+  adaptive.seed = checkpoint.seed;
+  api::Session session =
+      api::Pipeline::fromGraph(std::move(checkpoint.graph))
+          .initialFromAssignment(std::move(checkpoint.assignment), checkpoint.k)
+          .k(checkpoint.k)
+          .capacityFactor(checkpoint.capacityFactor)
+          .seed(checkpoint.seed)
+          .adaptive(adaptive)
+          .maxIterations(checkpoint.maxIterations)
+          .start();
+  session.engine().restoreCheckpoint(
+      checkpoint.engineIteration, std::move(checkpoint.capacities),
+      checkpoint.engineQuiet, checkpoint.engineLastActive);
+  return session;
+}
+
+}  // namespace
+
+PartitionService::PartitionService(api::Workload workload,
+                                   const std::string& strategy,
+                                   core::AdaptiveOptions adaptive,
+                                   ServeOptions options)
+    : options_(std::move(options)),
+      workloadCode_(workload.code),
+      strategy_(strategy),
+      events_(workload.stream.events()),
+      session_(api::Pipeline::fromGraph(std::move(workload.initial))
+                   .initial(strategy)
+                   .k(adaptive.k)
+                   .capacityFactor(adaptive.capacityFactor)
+                   .seed(adaptive.seed)
+                   .adaptive(adaptive)
+                   .maxIterations(options_.maxIterations)
+                   .start()) {
+  timeline_.workload = workloadCode_;
+  timeline_.strategy = strategy_;
+  timeline_.k = adaptive.k;
+  publishCurrent(nullptr);
+}
+
+PartitionService::PartitionService(Checkpoint checkpoint, const std::string& dir,
+                                   std::size_t threads)
+    : options_(),
+      workloadCode_(checkpoint.workload),
+      strategy_(checkpoint.strategy),
+      events_(std::move(checkpoint.events)),
+      session_(restoredSession(checkpoint, threads)),
+      nextWindow_(checkpoint.nextWindow) {
+  options_.stream = checkpoint.stream;
+  options_.checkpointDir = dir;
+  options_.maxIterations = checkpoint.maxIterations;
+  timeline_.workload = workloadCode_;
+  timeline_.strategy = strategy_;
+  timeline_.k = checkpoint.k;
+  timeline_.windows = std::move(checkpoint.timeline);
+  publishCurrent(nullptr);
+}
+
+PartitionService PartitionService::restore(const std::string& dir,
+                                           std::size_t threads) {
+  return PartitionService(readCheckpoint(dir), dir, threads);
+}
+
+const api::TimelineReport& PartitionService::run() {
+  // Windows below this were applied before a crash/restore (or by an
+  // earlier run() call); the Streamer still consumes their events so the
+  // edge-expiry bookkeeping replays bit-exactly, but the engine must not
+  // see them twice.
+  const std::size_t skipBefore = nextWindow_;
+  api::Streamer streamer(graph::UpdateStream(events_), options_.stream);
+  while (std::optional<api::WindowBatch> batch = streamer.next()) {
+    if (batch->index < skipBefore) continue;
+    const api::WindowReport window = session_.streamWindow(*batch, options_.stream);
+    // The crash point: the window's work happened (engine mutated), but the
+    // swap, the timeline row, and the checkpoint never do — recovery must
+    // replay this window from the previous checkpoint.
+    if (options_.faults.crashesBeforeSwap(batch->index)) {
+      throw InjectedCrash(batch->index);
+    }
+    timeline_.windows.push_back(window);
+    nextWindow_ = batch->index + 1;
+    publishCurrent(&window);
+    if (!options_.checkpointDir.empty() && options_.checkpointEvery > 0 &&
+        nextWindow_ % options_.checkpointEvery == 0) {
+      writeCheckpoint(makeCheckpoint(), options_.checkpointDir);
+    }
+  }
+  if (!options_.checkpointDir.empty()) {
+    writeCheckpoint(makeCheckpoint(), options_.checkpointDir);
+  }
+  return timeline_;
+}
+
+void PartitionService::publishCurrent(const api::WindowReport* window) {
+  const core::AdaptiveEngine& engine = session_.engine();
+  SnapshotStats stats;
+  stats.window = nextWindow_;
+  stats.vertices = engine.graph().numVertices();
+  stats.edges = engine.graph().numEdges();
+  stats.cutEdges = engine.state().cutEdges();
+  stats.cutRatio = engine.cutRatio();
+  stats.imbalance =
+      metrics::balanceReport(engine.state().assignment(), engine.options().k)
+          .imbalance;
+  if (window != nullptr) {
+    stats.migrations = window->migrations;
+    stats.eventsApplied = window->eventsApplied;
+    stats.converged = window->converged;
+  } else {
+    stats.converged = engine.converged();
+  }
+  board_.publish(AssignmentSnapshot(++epoch_, engine.graph(),
+                                    engine.state().assignment(),
+                                    engine.options().k, stats));
+}
+
+Checkpoint PartitionService::makeCheckpoint() const {
+  const core::AdaptiveEngine& engine = session_.engine();
+  const core::AdaptiveOptions& adaptive = engine.options();
+  Checkpoint checkpoint;
+  checkpoint.workload = workloadCode_;
+  checkpoint.strategy = strategy_;
+  checkpoint.k = adaptive.k;
+  checkpoint.seed = adaptive.seed;
+  checkpoint.capacityFactor = adaptive.capacityFactor;
+  checkpoint.willingness = adaptive.willingness;
+  checkpoint.convergenceWindow = adaptive.convergenceWindow;
+  checkpoint.enforceQuota = adaptive.enforceQuota;
+  checkpoint.balanceMode = adaptive.balanceMode;
+  checkpoint.maxIterations = options_.maxIterations;
+  checkpoint.stream = options_.stream;
+  checkpoint.nextWindow = nextWindow_;
+  checkpoint.graph = engine.graph();
+  checkpoint.assignment = engine.state().assignment();
+  checkpoint.engineIteration = engine.iteration();
+  checkpoint.engineQuiet = engine.quietIterations();
+  checkpoint.engineLastActive = engine.lastActiveIteration();
+  checkpoint.capacities = engine.capacity().capacities();
+  checkpoint.events = events_;
+  checkpoint.timeline = timeline_.windows;
+  return checkpoint;
+}
+
+}  // namespace xdgp::serve

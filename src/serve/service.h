@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/pipeline.h"
+#include "api/stream.h"
+#include "api/workload_registry.h"
+#include "core/adaptive_engine.h"
+#include "serve/checkpoint.h"
+#include "serve/fault.h"
+#include "serve/snapshot.h"
+
+namespace xdgp::serve {
+
+/// Serving-side configuration, layered over the streaming options the
+/// Session already understands.
+struct ServeOptions {
+  api::StreamOptions stream;
+
+  /// Directory to checkpoint into; empty disables checkpointing.
+  std::string checkpointDir;
+
+  /// Checkpoint after every N applied windows (1 = every window). 0 writes
+  /// only the final checkpoint when the stream ends.
+  std::size_t checkpointEvery = 1;
+
+  /// Deterministic failure schedule. The service itself consumes the
+  /// kCrashBeforeSwap clauses (run() throws InjectedCrash at the scheduled
+  /// window); kill/drop clauses target the pregel runtime's supersteps —
+  /// wire them into a pregel::Engine via pregelFaultHooks().
+  FaultPlan faults;
+
+  /// Session-wide convergence cap (api::Pipeline::maxIterations).
+  std::size_t maxIterations = 20'000;
+};
+
+/// The long-lived partition service of the serving tentpole: one ingest
+/// loop that pulls stream windows through Session::streamWindow — the same
+/// code path batch streaming uses, by construction — and, after each
+/// window, publishes an immutable AssignmentSnapshot for the query threads
+/// and (optionally) checkpoints the full trajectory state to disk.
+///
+/// Threading contract: run() is the single writer. Any number of reader
+/// threads may call board().current() / snapshot() concurrently with
+/// run() — publication is one atomic shared_ptr swap, readers are never
+/// blocked and never see a half-built snapshot. Everything else
+/// (timeline(), session(), makeCheckpoint(), ...) belongs to the ingest
+/// thread, or to any thread once run() has returned.
+///
+/// Crash/recovery: writeCheckpoint commits via a MANIFEST rename, so a
+/// process death at any moment — including the injected kCrashBeforeSwap,
+/// which fires after a window's work but before its snapshot swap and
+/// checkpoint — leaves the last completed checkpoint intact. restore()
+/// rebuilds the service from it and run() replays the event tail; the
+/// recovered trajectory is bit-identical to an unfaulted run (the serve
+/// test suite asserts it window by window).
+class PartitionService {
+ public:
+  /// Fresh service over a made workload: the initial graph is partitioned
+  /// with `strategy`, the adaptive engine is configured from `adaptive`
+  /// (its k / capacityFactor / seed become the pipeline's), and the
+  /// workload's update stream becomes the backing event sequence run()
+  /// windows through `options.stream`.
+  PartitionService(api::Workload workload, const std::string& strategy,
+                   core::AdaptiveOptions adaptive, ServeOptions options);
+
+  /// Resurrects a service from a checkpoint directory: graph, assignment,
+  /// engine trajectory state, completed timeline, and the full backing
+  /// stream all come from disk; run() continues at the first window the
+  /// checkpoint had not applied. `threads` picks the decision-phase thread
+  /// count freely — it is trajectory-invariant. The restored service
+  /// checkpoints back into `dir` with no faults scheduled.
+  /// Throws CheckpointError on a missing, corrupt, or truncated checkpoint.
+  [[nodiscard]] static PartitionService restore(const std::string& dir,
+                                                std::size_t threads = 1);
+
+  /// The ingest loop: re-windows the backing stream from the top (which
+  /// rebuilds edge-expiry bookkeeping bit-exactly), skips windows already
+  /// applied, and for each remaining window applies + converges, publishes
+  /// a snapshot, and checkpoints per ServeOptions. Returns the accumulated
+  /// timeline (windows from before a restore included). Throws
+  /// InjectedCrash when a kCrashBeforeSwap fault fires — the crashed
+  /// window's work is lost, exactly like a real crash after the last
+  /// checkpoint. Calling run() again resumes where the previous call
+  /// stopped.
+  const api::TimelineReport& run();
+
+  /// The publication point to hand to query threads.
+  [[nodiscard]] const SnapshotBoard& board() const noexcept { return board_; }
+
+  /// Shorthand for board().current(). Non-null from construction on: both
+  /// constructors publish an epoch-1 snapshot of the starting state.
+  [[nodiscard]] SnapshotBoard::Ref snapshot() const noexcept {
+    return board_.current();
+  }
+
+  [[nodiscard]] const api::TimelineReport& timeline() const noexcept {
+    return timeline_;
+  }
+
+  /// First window index run() has not applied yet.
+  [[nodiscard]] std::size_t nextWindow() const noexcept { return nextWindow_; }
+
+  [[nodiscard]] const ServeOptions& options() const noexcept { return options_; }
+
+  [[nodiscard]] api::Session& session() noexcept { return session_; }
+  [[nodiscard]] const api::Session& session() const noexcept { return session_; }
+
+  /// The full resume state as a value — what run() writes at each
+  /// checkpoint cadence. Exposed so tests can checkpoint at arbitrary
+  /// points and tools can save on demand.
+  [[nodiscard]] Checkpoint makeCheckpoint() const;
+
+ private:
+  PartitionService(Checkpoint checkpoint, const std::string& dir,
+                   std::size_t threads);
+
+  /// Publishes a snapshot of the engine's current state (next epoch).
+  void publishCurrent(const api::WindowReport* window);
+
+  ServeOptions options_;
+  std::string workloadCode_;
+  std::string strategy_;
+  std::vector<graph::UpdateEvent> events_;  ///< the FULL backing stream
+  api::Session session_;
+  api::TimelineReport timeline_;
+  std::size_t nextWindow_ = 0;
+  std::uint64_t epoch_ = 0;
+  SnapshotBoard board_;
+};
+
+}  // namespace xdgp::serve

@@ -1,0 +1,46 @@
+#include "serve/snapshot.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace xdgp::serve {
+
+AssignmentSnapshot::AssignmentSnapshot(std::uint64_t epoch,
+                                       const graph::DynamicGraph& g,
+                                       metrics::Assignment assignment,
+                                       std::size_t k, SnapshotStats stats)
+    : epochHead_(epoch),
+      k_(k),
+      stats_(stats),
+      assignment_(std::move(assignment)),
+      adjacency_(graph::CsrGraph::fromGraph(g)),
+      epochTail_(epoch) {}
+
+std::size_t AssignmentSnapshot::cutDegree(graph::VertexId v) const noexcept {
+  const graph::PartitionId home = partitionOf(v);
+  if (home == graph::kNoPartition) return 0;
+  std::size_t cut = 0;
+  for (const graph::VertexId nbr : adjacency_.neighbors(v)) {
+    if (partitionOf(nbr) != home) ++cut;
+  }
+  return cut;
+}
+
+void SnapshotBoard::publish(AssignmentSnapshot next) {
+  const std::uint64_t epoch = next.epoch();
+  if (current_.load(std::memory_order_relaxed) != nullptr &&
+      epoch <= epoch_.load(std::memory_order_relaxed)) {
+    throw std::logic_error("SnapshotBoard: epoch " + std::to_string(epoch) +
+                           " does not advance past " +
+                           std::to_string(epoch_.load(std::memory_order_relaxed)));
+  }
+  Ref fresh = std::make_shared<const AssignmentSnapshot>(std::move(next));
+  // The swap: readers loading concurrently get either the old or the new
+  // snapshot, both fully built. The displaced snapshot parks in retired_
+  // (plus whatever refs readers still hold), so no buffer dies under a
+  // reader.
+  retired_ = current_.exchange(std::move(fresh), std::memory_order_acq_rel);
+  epoch_.store(epoch, std::memory_order_release);
+}
+
+}  // namespace xdgp::serve

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "graph/csr.h"
+#include "graph/dynamic_graph.h"
+#include "metrics/cuts.h"
+
+namespace xdgp::serve {
+
+/// Window statistics stamped onto every published snapshot, so a reader can
+/// tell not just *where* a vertex lives but *how fresh and how good* the
+/// partitioning behind the answer is.
+struct SnapshotStats {
+  std::size_t window = 0;  ///< stream windows applied when the snapshot was cut
+  std::size_t vertices = 0;
+  std::size_t edges = 0;
+  std::size_t cutEdges = 0;
+  double cutRatio = 0.0;
+  double imbalance = 0.0;
+  std::size_t migrations = 0;    ///< executed during the closing window
+  std::size_t eventsApplied = 0; ///< applied during the closing window
+  bool converged = true;
+
+  friend bool operator==(const SnapshotStats&, const SnapshotStats&) = default;
+};
+
+/// Immutable point-in-time view of the partitioned graph: the per-vertex
+/// assignment plus a CSR adjacency snapshot, answering the serving queries
+/// (partition lookup, neighbours, route cost) without touching the live
+/// engine. Published through SnapshotBoard; readers hold it by shared_ptr
+/// and never observe a half-built state.
+///
+/// The epoch is stamped twice — first member and last member — so a
+/// hypothetically torn read would show epoch() != epochTail(); the
+/// concurrent-reader suite hammers torn() across swaps to certify the
+/// publication path.
+class AssignmentSnapshot {
+ public:
+  /// routeCost answers, in remote hops under the paper's cost model.
+  static constexpr int kRouteUnknown = -1;
+  static constexpr int kRouteLocal = 0;
+  static constexpr int kRouteRemote = 1;
+
+  AssignmentSnapshot() = default;
+  AssignmentSnapshot(std::uint64_t epoch, const graph::DynamicGraph& g,
+                     metrics::Assignment assignment, std::size_t k,
+                     SnapshotStats stats);
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epochHead_; }
+  [[nodiscard]] std::uint64_t epochTail() const noexcept { return epochTail_; }
+  [[nodiscard]] bool torn() const noexcept { return epochHead_ != epochTail_; }
+
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  [[nodiscard]] const SnapshotStats& stats() const noexcept { return stats_; }
+
+  /// Exclusive upper bound of the id space (dead ids included) — the range
+  /// load generators draw query ids from.
+  [[nodiscard]] std::size_t idBound() const noexcept { return adjacency_.idBound(); }
+
+  [[nodiscard]] bool hasVertex(graph::VertexId v) const noexcept {
+    return adjacency_.alive(v);
+  }
+
+  /// The partition hosting v, or graph::kNoPartition when v is unknown.
+  [[nodiscard]] graph::PartitionId partitionOf(graph::VertexId v) const noexcept {
+    return v < assignment_.size() ? assignment_[v] : graph::kNoPartition;
+  }
+
+  [[nodiscard]] std::span<const graph::VertexId> neighbors(
+      graph::VertexId v) const noexcept {
+    return adjacency_.neighbors(v);
+  }
+
+  [[nodiscard]] std::size_t degree(graph::VertexId v) const noexcept {
+    return adjacency_.degree(v);
+  }
+
+  /// Hops a message u→v pays: 0 when co-located, 1 when their partitions
+  /// differ, -1 when either endpoint is unknown to this snapshot.
+  [[nodiscard]] int routeCost(graph::VertexId u, graph::VertexId v) const noexcept {
+    const graph::PartitionId pu = partitionOf(u);
+    const graph::PartitionId pv = partitionOf(v);
+    if (pu == graph::kNoPartition || pv == graph::kNoPartition) return kRouteUnknown;
+    return pu == pv ? kRouteLocal : kRouteRemote;
+  }
+
+  /// Neighbours of v hosted on foreign partitions — v's contribution to the
+  /// cut, the per-vertex locality answer a router would cache.
+  [[nodiscard]] std::size_t cutDegree(graph::VertexId v) const noexcept;
+
+ private:
+  std::uint64_t epochHead_ = 0;  ///< first member: stamped before the payload
+  std::size_t k_ = 0;
+  SnapshotStats stats_;
+  metrics::Assignment assignment_;
+  graph::CsrGraph adjacency_;
+  std::uint64_t epochTail_ = 0;  ///< last member: stamped after the payload
+};
+
+/// The lock-free publication point between the ingest thread and the query
+/// threads: the writer swaps in one fresh snapshot per window, readers load
+/// the current one with a single atomic shared_ptr operation — never
+/// blocked, never torn.
+///
+/// Double buffering falls out of the ownership rules: the board keeps the
+/// previous snapshot alive (`retired_`, writer-only) so in steady state two
+/// buffers cycle — the current one serving reads and the retired one
+/// awaiting the next swap. A reader that still holds an older snapshot
+/// simply extends that buffer's life until it lets go; nothing is ever
+/// freed under a reader.
+class SnapshotBoard {
+ public:
+  using Ref = std::shared_ptr<const AssignmentSnapshot>;
+
+  SnapshotBoard() = default;
+  SnapshotBoard(const SnapshotBoard&) = delete;
+  SnapshotBoard& operator=(const SnapshotBoard&) = delete;
+
+  /// Publishes `next` as the current snapshot. Epochs must increase
+  /// strictly (std::logic_error otherwise) — readers use them to reason
+  /// about freshness, so a regressing epoch would be a serving bug.
+  void publish(AssignmentSnapshot next);
+
+  /// The latest published snapshot, or nullptr before the first publish.
+  [[nodiscard]] Ref current() const noexcept {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Epoch of the latest publish (0 before the first).
+  [[nodiscard]] std::uint64_t publishedEpoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const AssignmentSnapshot>> current_{};
+  Ref retired_;  ///< writer-only: the previous snapshot (the second buffer)
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace xdgp::serve

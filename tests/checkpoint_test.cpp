@@ -1,0 +1,316 @@
+// Checkpoint/restore property suite.
+//
+// Round-trip over every registered workload: run a service to completion,
+// re-run it with checkpointing plus a mid-stream injected crash, restore
+// from disk, finish, and require the final TimelineReport, assignment, and
+// engine trajectory state to equal the uninterrupted run's bit-exactly.
+// (wallSeconds is the one legitimately nondeterministic field — excluded
+// from cross-run comparison, but asserted lossless across write/read.)
+//
+// Corruption suite: a flipped payload byte, a truncated payload, a missing
+// MANIFEST, a missing end sentinel, and a wrong version line must each
+// surface as a versioned CheckpointError — never as silently wrong state.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/workload_registry.h"
+#include "graph/io.h"
+#include "graph/update_stream.h"
+#include "serve/checkpoint.h"
+#include "serve/service.h"
+
+namespace xdgp::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string freshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Small-footprint configs per workload, sized so every case streams at
+/// least two windows but the whole matrix stays fast.
+api::WorkloadConfig caseConfig(const std::string& code) {
+  api::WorkloadConfig config;
+  if (code == "TWEET") {
+    config.overrides = {{"users", 500}, {"rate", 2}, {"hours", 1}};
+  } else if (code == "CDR") {
+    config.overrides = {{"subscribers", 800}, {"weeks", 2}};
+  } else if (code == "FFIRE") {
+    config.overrides = {{"side", 16}, {"batches", 4}, {"burst", 30}};
+  } else if (code == "CHURN") {
+    config.overrides = {{"vertices", 400}, {"ticks", 4}, {"rate", 40}};
+  } else if (code == "REPLAY") {
+    // Replay a saved CHURN stream: events + initial graph via the same file
+    // formats the checkpoint itself uses.
+    const api::Workload source = api::WorkloadRegistry::instance().make(
+        "CHURN", caseConfig("CHURN"));
+    const std::string eventsPath = testing::TempDir() + "replay_case.evt";
+    const std::string graphPath = testing::TempDir() + "replay_case.el";
+    graph::writeEvents(source.stream.events(), eventsPath);
+    graph::writeEdgeList(source.initial, graphPath);
+    config.eventsPath = eventsPath;
+    config.graphPath = graphPath;
+  }
+  return config;
+}
+
+PartitionService makeService(const std::string& code, ServeOptions options = {}) {
+  api::Workload workload =
+      api::WorkloadRegistry::instance().make(code, caseConfig(code));
+  options.stream = workload.suggested;
+  core::AdaptiveOptions adaptive;
+  adaptive.k = 4;
+  return PartitionService(std::move(workload), "HSH", adaptive,
+                          std::move(options));
+}
+
+void expectWindowEq(const api::WindowReport& a, const api::WindowReport& b,
+                    const std::string& where, bool includeWall = false) {
+  EXPECT_EQ(a.index, b.index) << where;
+  EXPECT_EQ(a.start, b.start) << where;
+  EXPECT_EQ(a.end, b.end) << where;
+  EXPECT_EQ(a.eventsDrained, b.eventsDrained) << where;
+  EXPECT_EQ(a.eventsExpired, b.eventsExpired) << where;
+  EXPECT_EQ(a.eventsApplied, b.eventsApplied) << where;
+  EXPECT_EQ(a.vertices, b.vertices) << where;
+  EXPECT_EQ(a.edges, b.edges) << where;
+  EXPECT_EQ(a.iterations, b.iterations) << where;
+  EXPECT_EQ(a.converged, b.converged) << where;
+  EXPECT_EQ(a.migrations, b.migrations) << where;
+  EXPECT_EQ(a.lostMessages, b.lostMessages) << where;
+  EXPECT_EQ(a.cutRatio, b.cutRatio) << where;
+  EXPECT_EQ(a.cutEdges, b.cutEdges) << where;
+  EXPECT_EQ(a.balance.k, b.balance.k) << where;
+  EXPECT_EQ(a.balance.totalVertices, b.balance.totalVertices) << where;
+  EXPECT_EQ(a.balance.minLoad, b.balance.minLoad) << where;
+  EXPECT_EQ(a.balance.maxLoad, b.balance.maxLoad) << where;
+  EXPECT_EQ(a.balance.imbalance, b.balance.imbalance) << where;
+  EXPECT_EQ(a.balance.densification, b.balance.densification) << where;
+  if (includeWall) {
+    EXPECT_EQ(a.wallSeconds, b.wallSeconds) << where;
+  }
+}
+
+void expectTimelineEq(const api::TimelineReport& a, const api::TimelineReport& b) {
+  ASSERT_EQ(a.windows.size(), b.windows.size());
+  for (std::size_t i = 0; i < a.windows.size(); ++i) {
+    expectWindowEq(a.windows[i], b.windows[i], "window " + std::to_string(i));
+  }
+}
+
+// -------------------------------------------- round-trip over workloads
+
+class CheckpointRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CheckpointRoundTrip, CrashRestoreFinishMatchesUninterruptedRun) {
+  const std::string code = GetParam();
+  const std::string dir = freshDir("ckpt_rt_" + code);
+
+  PartitionService reference = makeService(code);
+  reference.run();
+  const std::size_t totalWindows = reference.timeline().windows.size();
+  ASSERT_GE(totalWindows, 2u) << code << " config streams too few windows";
+  const std::size_t crashAt = std::max<std::size_t>(1, totalWindows / 2);
+
+  ServeOptions options;
+  options.checkpointDir = dir;
+  options.faults =
+      FaultPlan::parse("crash@window=" + std::to_string(crashAt));
+  PartitionService faulted = makeService(code, std::move(options));
+  EXPECT_THROW(faulted.run(), InjectedCrash);
+  EXPECT_EQ(faulted.nextWindow(), crashAt);
+
+  PartitionService recovered = PartitionService::restore(dir);
+  EXPECT_EQ(recovered.nextWindow(), crashAt);
+  recovered.run();
+
+  expectTimelineEq(recovered.timeline(), reference.timeline());
+  EXPECT_EQ(recovered.session().engine().state().assignment(),
+            reference.session().engine().state().assignment());
+  EXPECT_EQ(recovered.session().engine().iteration(),
+            reference.session().engine().iteration());
+  EXPECT_EQ(recovered.session().engine().quietIterations(),
+            reference.session().engine().quietIterations());
+  EXPECT_EQ(recovered.session().engine().lastActiveIteration(),
+            reference.session().engine().lastActiveIteration());
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, CheckpointRoundTrip,
+                         ::testing::Values("TWEET", "CDR", "FFIRE", "CHURN",
+                                           "REPLAY"));
+
+// ------------------------------------------------- value-level round-trip
+
+TEST(Checkpoint, WriteReadRoundTripsEveryField) {
+  const std::string dir = freshDir("ckpt_value");
+  PartitionService service = makeService("CHURN");
+  service.run();
+  const Checkpoint written = service.makeCheckpoint();
+  writeCheckpoint(written, dir);
+  const Checkpoint read = readCheckpoint(dir);
+
+  EXPECT_EQ(read.workload, written.workload);
+  EXPECT_EQ(read.strategy, written.strategy);
+  EXPECT_EQ(read.k, written.k);
+  EXPECT_EQ(read.seed, written.seed);
+  EXPECT_EQ(read.capacityFactor, written.capacityFactor);
+  EXPECT_EQ(read.willingness, written.willingness);
+  EXPECT_EQ(read.convergenceWindow, written.convergenceWindow);
+  EXPECT_EQ(read.enforceQuota, written.enforceQuota);
+  EXPECT_EQ(read.balanceMode, written.balanceMode);
+  EXPECT_EQ(read.maxIterations, written.maxIterations);
+  EXPECT_EQ(read.stream.windowSpan, written.stream.windowSpan);
+  EXPECT_EQ(read.stream.windowEvents, written.stream.windowEvents);
+  EXPECT_EQ(read.stream.maxWindows, written.stream.maxWindows);
+  EXPECT_EQ(read.stream.expirySpan, written.stream.expirySpan);
+  EXPECT_EQ(read.stream.adapt, written.stream.adapt);
+  EXPECT_EQ(read.stream.rescaleEachWindow, written.stream.rescaleEachWindow);
+  EXPECT_EQ(read.stream.maxIterationsPerWindow,
+            written.stream.maxIterationsPerWindow);
+  EXPECT_EQ(read.nextWindow, written.nextWindow);
+  EXPECT_EQ(read.engineIteration, written.engineIteration);
+  EXPECT_EQ(read.engineQuiet, written.engineQuiet);
+  EXPECT_EQ(read.engineLastActive, written.engineLastActive);
+  EXPECT_EQ(read.capacities, written.capacities);
+  EXPECT_EQ(read.assignment, written.assignment);
+  EXPECT_EQ(read.events, written.events);  // timestamps must be lossless
+
+  EXPECT_EQ(read.graph.numVertices(), written.graph.numVertices());
+  EXPECT_EQ(read.graph.numEdges(), written.graph.numEdges());
+  EXPECT_EQ(read.graph.idBound(), written.graph.idBound());
+  written.graph.forEachVertex([&](graph::VertexId v) {
+    EXPECT_TRUE(read.graph.hasVertex(v));
+    EXPECT_EQ(read.graph.degree(v), written.graph.degree(v));
+  });
+
+  ASSERT_EQ(read.timeline.size(), written.timeline.size());
+  for (std::size_t i = 0; i < read.timeline.size(); ++i) {
+    // timeline.tsv stores wallSeconds losslessly, so the read-back rows
+    // match including the wall column.
+    expectWindowEq(read.timeline[i], written.timeline[i],
+                   "window " + std::to_string(i), /*includeWall=*/true);
+  }
+}
+
+// ------------------------------------------------------ corruption suite
+
+/// A valid checkpoint directory to vandalise, one per test.
+std::string vandalTarget(const std::string& name) {
+  const std::string dir = freshDir("ckpt_bad_" + name);
+  PartitionService service = makeService("CHURN");
+  service.run();
+  writeCheckpoint(service.makeCheckpoint(), dir);
+  return dir;
+}
+
+void expectCheckpointError(const std::string& dir) {
+  try {
+    const Checkpoint checkpoint = readCheckpoint(dir);
+    FAIL() << "readCheckpoint accepted a damaged checkpoint (nextWindow="
+           << checkpoint.nextWindow << ")";
+  } catch (const CheckpointError& error) {
+    // Every rejection names the format version it was validating against.
+    EXPECT_NE(std::string(error.what()).find("checkpoint v1"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+void flipByteInMiddle(const std::string& path) {
+  std::fstream file(path,
+                    std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file) << path;
+  file.seekg(0, std::ios::end);
+  const std::streamoff size = file.tellg();
+  ASSERT_GT(size, 0);
+  const std::streamoff at = size / 2;
+  file.seekg(at);
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x20);
+  file.seekp(at);
+  file.write(&byte, 1);
+}
+
+TEST(CheckpointCorruption, MissingDirectory) {
+  expectCheckpointError(testing::TempDir() + "ckpt_never_written");
+}
+
+TEST(CheckpointCorruption, MissingManifestMeansNoCheckpoint) {
+  // The MANIFEST is the commit point: without it the payload files are an
+  // incomplete write, not a checkpoint.
+  const std::string dir = vandalTarget("nomanifest");
+  fs::remove(dir + "/MANIFEST");
+  expectCheckpointError(dir);
+}
+
+TEST(CheckpointCorruption, FlippedPayloadByteFailsChecksum) {
+  for (const char* file :
+       {"graph.evt", "assignment.part", "events.evt", "timeline.tsv"}) {
+    const std::string dir = vandalTarget(std::string("flip_") + file);
+    flipByteInMiddle(dir + "/" + file);
+    expectCheckpointError(dir);
+  }
+}
+
+TEST(CheckpointCorruption, TruncatedPayloadFailsChecksum) {
+  const std::string dir = vandalTarget("truncate");
+  const std::string path = dir + "/events.evt";
+  const auto size = static_cast<std::uintmax_t>(fs::file_size(path));
+  ASSERT_GT(size, 16u);
+  fs::resize_file(path, size / 2);
+  expectCheckpointError(dir);
+}
+
+TEST(CheckpointCorruption, ManifestWithoutEndSentinelIsTorn) {
+  // A manifest that stops mid-file (torn write without the rename commit)
+  // must not pass, even if every present key parses.
+  const std::string dir = vandalTarget("noend");
+  const std::string path = dir + "/MANIFEST";
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_GT(lines.size(), 1u);
+  ASSERT_EQ(lines.back(), "end");
+  lines.pop_back();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    for (const std::string& line : lines) out << line << "\n";
+  }
+  expectCheckpointError(dir);
+}
+
+TEST(CheckpointCorruption, WrongVersionLineIsRejected) {
+  const std::string dir = vandalTarget("version");
+  const std::string path = dir + "/MANIFEST";
+  std::string contents;
+  {
+    std::ifstream in(path);
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+      contents += first ? "# xdgp-checkpoint v999" : line;
+      contents += "\n";
+      first = false;
+    }
+  }
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << contents;
+  }
+  expectCheckpointError(dir);
+}
+
+}  // namespace
+}  // namespace xdgp::serve

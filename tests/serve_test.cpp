@@ -1,0 +1,461 @@
+// Serving-layer suite: deterministic fault injection and recovery.
+//
+// The fault matrix covers every FaultPlan kind at thread counts {1, 2, 8}:
+//   - kill@worker/superstep and drop@lane/superstep target the pregel
+//     runtime's injection points: losses land in lostMessages with exact
+//     accounting, the faulted trajectory is thread-invariant, and a clean
+//     replay from the same inputs (= restart-from-checkpoint recovery) is
+//     bit-identical to a run that never faulted;
+//   - crash@window targets the serving loop: PartitionService::run throws
+//     InjectedCrash after the window's work but before the snapshot swap
+//     and checkpoint, and restore() + run() must reproduce the unfaulted
+//     timeline and assignment bit-exactly.
+//
+// The concurrent-reader tests hammer SnapshotBoard::current across swaps
+// from 8 threads (the TSan CI job runs this suite), asserting no torn
+// epoch and monotone freshness.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/workload_registry.h"
+#include "apps/degree_count.h"
+#include "gen/mesh2d.h"
+#include "graph/csr.h"
+#include "partition/partitioner.h"
+#include "pregel/engine.h"
+#include "serve/fault.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+
+namespace xdgp::serve {
+namespace {
+
+using apps::DegreeCountProgram;
+using graph::DynamicGraph;
+using graph::VertexId;
+
+constexpr std::size_t kThreadMatrix[] = {1, 2, 8};
+
+metrics::Assignment hashAssign(const DynamicGraph& g, std::size_t k) {
+  util::Rng rng(1);
+  return partition::makePartitioner("HSH")->partition(graph::CsrGraph::fromGraph(g),
+                                                      k, 1.1, rng);
+}
+
+// ------------------------------------------------------------- FaultPlan
+
+TEST(FaultPlan, ParsesEveryKind) {
+  const FaultPlan plan = FaultPlan::parse(
+      "kill@worker=1,superstep=3;drop@lane=0:2,superstep=4;crash@window=2");
+  ASSERT_EQ(plan.faults().size(), 3u);
+  EXPECT_TRUE(plan.killsWorker(1, 3));
+  EXPECT_FALSE(plan.killsWorker(1, 2));
+  EXPECT_FALSE(plan.killsWorker(0, 3));
+  EXPECT_TRUE(plan.dropsLane(0, 2, 4));
+  EXPECT_FALSE(plan.dropsLane(2, 0, 4));  // lanes are directed
+  EXPECT_FALSE(plan.dropsLane(0, 2, 3));
+  EXPECT_TRUE(plan.crashesBeforeSwap(2));
+  EXPECT_FALSE(plan.crashesBeforeSwap(3));
+}
+
+TEST(FaultPlan, EmptySpecIsEmptyPlan) {
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+  EXPECT_FALSE(FaultPlan::parse("crash@window=0").empty());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("explode@window=1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("kill@worker=1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("drop@lane=0,superstep=1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("crash@worker=1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("kill@worker=x,superstep=1"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("kill"), std::invalid_argument);
+}
+
+// --------------------------------------- pregel faults: kill / drop matrix
+
+pregel::EngineOptions workerOptions(std::size_t k, std::size_t threads,
+                                    const FaultPlan& plan) {
+  pregel::EngineOptions options;
+  options.numWorkers = k;
+  options.threads = threads;
+  options.faults = pregelFaultHooks(plan);
+  return options;
+}
+
+std::vector<pregel::SuperstepStats> runDegreeCount(std::size_t threads,
+                                                   const FaultPlan& plan) {
+  const DynamicGraph g = gen::mesh2d(8, 8);
+  pregel::Engine<DegreeCountProgram> engine(g, hashAssign(g, 4),
+                                            workerOptions(4, threads, plan));
+  engine.runSupersteps(4);
+  return engine.history();
+}
+
+std::size_t totalLost(const std::vector<pregel::SuperstepStats>& history) {
+  std::size_t lost = 0;
+  for (const pregel::SuperstepStats& s : history) lost += s.lostMessages;
+  return lost;
+}
+
+class PregelFaultMatrix : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PregelFaultMatrix, LossesAccountedAndRecoveryIsCleanReplay) {
+  const FaultPlan plan = FaultPlan::parse(GetParam());
+  const std::vector<pregel::SuperstepStats> unfaulted =
+      runDegreeCount(1, FaultPlan{});
+  ASSERT_EQ(totalLost(unfaulted), 0u);
+  const std::vector<pregel::SuperstepStats> faultedRef = runDegreeCount(1, plan);
+  EXPECT_GT(totalLost(faultedRef), 0u) << "fault '" << GetParam() << "' was a no-op";
+
+  for (const std::size_t threads : kThreadMatrix) {
+    // The faulted trajectory is deterministic and thread-invariant: the
+    // injected failure is a function of its coordinate, not a race.
+    const std::vector<pregel::SuperstepStats> faulted = runDegreeCount(threads, plan);
+    ASSERT_EQ(faulted.size(), faultedRef.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < faulted.size(); ++i) {
+      EXPECT_EQ(faulted[i], faultedRef[i])
+          << "threads=" << threads << " superstep " << i;
+    }
+    // Recovery = restart from the same inputs with no fault scheduled: the
+    // replay must be bit-identical to the run that never faulted.
+    const std::vector<pregel::SuperstepStats> replay =
+        runDegreeCount(threads, FaultPlan{});
+    ASSERT_EQ(replay.size(), unfaulted.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < replay.size(); ++i) {
+      EXPECT_EQ(replay[i], unfaulted[i])
+          << "threads=" << threads << " superstep " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KillAndDrop, PregelFaultMatrix,
+                         ::testing::Values("kill@worker=1,superstep=1",
+                                           "drop@lane=0:1,superstep=0"),
+                         [](const auto& info) {
+                           return std::string(info.param).substr(0, 4);
+                         });
+
+TEST(PregelFaults, KilledWorkerLosesItsWholeInbox) {
+  const DynamicGraph g = gen::mesh2d(8, 8);
+  const metrics::Assignment assignment = hashAssign(g, 4);
+  // Superstep 0 pings every neighbour; killing worker 1 at superstep 1
+  // forfeits exactly the messages addressed to its vertices.
+  std::size_t expected = 0;
+  g.forEachVertex([&](VertexId v) {
+    if (assignment[v] == 1) expected += g.degree(v);
+  });
+  ASSERT_GT(expected, 0u);
+  const FaultPlan plan = FaultPlan::parse("kill@worker=1,superstep=1");
+  pregel::Engine<DegreeCountProgram> engine(g, assignment,
+                                            workerOptions(4, 1, plan));
+  engine.runSupersteps(2);
+  EXPECT_EQ(engine.history()[1].lostMessages, expected);
+}
+
+TEST(PregelFaults, DroppedLaneLosesExactlyItsTraffic) {
+  const DynamicGraph g = gen::mesh2d(8, 8);
+  const metrics::Assignment assignment = hashAssign(g, 4);
+  // Pings cross the 0→1 lane once per cut edge between those partitions
+  // (the 1-side endpoint's reply rides the untouched 1→0 lane).
+  std::size_t laneTraffic = 0;
+  g.forEachEdge([&](VertexId u, VertexId v) {
+    if (assignment[u] == 0 && assignment[v] == 1) ++laneTraffic;
+    if (assignment[v] == 0 && assignment[u] == 1) ++laneTraffic;
+  });
+  ASSERT_GT(laneTraffic, 0u);
+  const FaultPlan plan = FaultPlan::parse("drop@lane=0:1,superstep=0");
+  pregel::Engine<DegreeCountProgram> engine(g, assignment,
+                                            workerOptions(4, 1, plan));
+  const pregel::SuperstepStats stats = engine.runSuperstep();
+  EXPECT_EQ(stats.lostMessages, laneTraffic);
+}
+
+// ------------------------------------------- serving: crash/recover matrix
+
+api::Workload churnWorkload() {
+  api::WorkloadConfig config;
+  config.overrides = {{"vertices", 400}, {"ticks", 4}, {"rate", 40}};
+  return api::WorkloadRegistry::instance().make("CHURN", config);
+}
+
+core::AdaptiveOptions churnAdaptive(std::size_t threads) {
+  core::AdaptiveOptions adaptive;
+  adaptive.k = 4;
+  adaptive.threads = threads;
+  return adaptive;
+}
+
+/// A service over the small CHURN workload, windowed per the workload's
+/// suggestion. PartitionService is immovable (the board's atomics), so the
+/// return relies on guaranteed copy elision end to end.
+PartitionService churnService(std::size_t threads, ServeOptions options = {}) {
+  api::Workload workload = churnWorkload();
+  options.stream = workload.suggested;
+  return PartitionService(std::move(workload), "HSH", churnAdaptive(threads),
+                          std::move(options));
+}
+
+void expectWindowEq(const api::WindowReport& a, const api::WindowReport& b,
+                    const std::string& where) {
+  EXPECT_EQ(a.index, b.index) << where;
+  EXPECT_EQ(a.start, b.start) << where;
+  EXPECT_EQ(a.end, b.end) << where;
+  EXPECT_EQ(a.eventsDrained, b.eventsDrained) << where;
+  EXPECT_EQ(a.eventsExpired, b.eventsExpired) << where;
+  EXPECT_EQ(a.eventsApplied, b.eventsApplied) << where;
+  EXPECT_EQ(a.vertices, b.vertices) << where;
+  EXPECT_EQ(a.edges, b.edges) << where;
+  EXPECT_EQ(a.iterations, b.iterations) << where;
+  EXPECT_EQ(a.converged, b.converged) << where;
+  EXPECT_EQ(a.migrations, b.migrations) << where;
+  EXPECT_EQ(a.lostMessages, b.lostMessages) << where;
+  EXPECT_EQ(a.cutRatio, b.cutRatio) << where;
+  EXPECT_EQ(a.cutEdges, b.cutEdges) << where;
+  EXPECT_EQ(a.balance.k, b.balance.k) << where;
+  EXPECT_EQ(a.balance.totalVertices, b.balance.totalVertices) << where;
+  EXPECT_EQ(a.balance.minLoad, b.balance.minLoad) << where;
+  EXPECT_EQ(a.balance.maxLoad, b.balance.maxLoad) << where;
+  EXPECT_EQ(a.balance.imbalance, b.balance.imbalance) << where;
+  EXPECT_EQ(a.balance.densification, b.balance.densification) << where;
+  // wallSeconds is real time and legitimately differs between runs.
+}
+
+void expectTimelineEq(const api::TimelineReport& a, const api::TimelineReport& b) {
+  ASSERT_EQ(a.windows.size(), b.windows.size());
+  for (std::size_t i = 0; i < a.windows.size(); ++i) {
+    expectWindowEq(a.windows[i], b.windows[i], "window " + std::to_string(i));
+  }
+}
+
+std::string freshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+class CrashRecoverMatrix : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CrashRecoverMatrix, RecoveredRunMatchesUnfaultedBitExactly) {
+  const std::size_t threads = GetParam();
+  const std::string dir = freshDir("serve_crash_t" + std::to_string(threads));
+
+  PartitionService reference = churnService(1);
+  reference.run();
+
+  ServeOptions faultedOptions;
+  faultedOptions.checkpointDir = dir;
+  faultedOptions.faults = FaultPlan::parse("crash@window=2");
+  PartitionService faulted = churnService(1, std::move(faultedOptions));
+  EXPECT_THROW(faulted.run(), InjectedCrash);
+  // The crash lost window 2's work: the checkpoint stops before it.
+  EXPECT_EQ(faulted.nextWindow(), 2u);
+
+  // The decision-phase thread count is trajectory-invariant, so the
+  // restored service may converge on any number of threads.
+  PartitionService recovered = PartitionService::restore(dir, threads);
+  EXPECT_EQ(recovered.nextWindow(), 2u);
+  const api::TimelineReport& timeline = recovered.run();
+
+  expectTimelineEq(timeline, reference.timeline());
+  EXPECT_EQ(recovered.session().engine().state().assignment(),
+            reference.session().engine().state().assignment());
+  EXPECT_EQ(recovered.session().engine().iteration(),
+            reference.session().engine().iteration());
+  EXPECT_EQ(recovered.session().engine().quietIterations(),
+            reference.session().engine().quietIterations());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, CrashRecoverMatrix,
+                         ::testing::ValuesIn(kThreadMatrix));
+
+TEST(CrashRecover, CrashAtEveryWindowRecovers) {
+  PartitionService reference = churnService(1);
+  reference.run();
+  const std::size_t totalWindows = reference.timeline().windows.size();
+  ASSERT_GE(totalWindows, 3u);
+  // Window 0's crash has no prior checkpoint to restore from (the service
+  // checkpoints after each applied window), so the matrix starts at 1.
+  for (std::size_t window = 1; window < totalWindows; ++window) {
+    const std::string dir = freshDir("serve_crash_w" + std::to_string(window));
+    ServeOptions options;
+    options.checkpointDir = dir;
+    options.faults = FaultPlan::parse("crash@window=" + std::to_string(window));
+    PartitionService faulted = churnService(1, std::move(options));
+    EXPECT_THROW(faulted.run(), InjectedCrash);
+    EXPECT_EQ(faulted.nextWindow(), window);
+    PartitionService recovered = PartitionService::restore(dir);
+    recovered.run();
+    expectTimelineEq(recovered.timeline(), reference.timeline());
+    EXPECT_EQ(recovered.session().engine().state().assignment(),
+              reference.session().engine().state().assignment())
+        << "crash at window " << window;
+  }
+}
+
+// -------------------------------------------------- lockstep equivalence
+
+TEST(Serving, ServiceTimelineEqualsSessionStream) {
+  // Serving enabled (snapshots published every window) must not perturb the
+  // trajectory: PartitionService::run is Session::stream plus publication.
+  PartitionService service = churnService(1);
+  const api::TimelineReport& served = service.run();
+  ASSERT_FALSE(served.empty());
+
+  api::Workload workload = churnWorkload();
+  const api::StreamOptions stream = workload.suggested;
+  api::Session session = api::Pipeline::fromGraph(std::move(workload.initial))
+                             .initial("HSH")
+                             .k(4)
+                             .adaptive(churnAdaptive(1))
+                             .start();
+  const api::TimelineReport batch =
+      session.stream(std::move(workload.stream), stream);
+
+  expectTimelineEq(served, batch);
+  EXPECT_EQ(service.session().engine().state().assignment(),
+            session.engine().state().assignment());
+  // One snapshot per window plus the construction epoch.
+  EXPECT_EQ(service.board().publishedEpoch(), served.windows.size() + 1);
+}
+
+// ---------------------------------------------- snapshot queries & board
+
+AssignmentSnapshot meshSnapshot(std::uint64_t epoch, std::size_t k) {
+  const DynamicGraph g = gen::mesh2d(4, 4);
+  return AssignmentSnapshot(epoch, g, hashAssign(g, k), k, SnapshotStats{});
+}
+
+TEST(Snapshot, AnswersQueriesAgainstItsFrozenState) {
+  const DynamicGraph g = gen::mesh2d(4, 4);
+  const metrics::Assignment assignment = hashAssign(g, 2);
+  const AssignmentSnapshot snap(1, g, assignment, 2, SnapshotStats{});
+  EXPECT_EQ(snap.epoch(), 1u);
+  EXPECT_FALSE(snap.torn());
+  EXPECT_EQ(snap.k(), 2u);
+  EXPECT_EQ(snap.idBound(), g.idBound());
+  g.forEachVertex([&](VertexId v) {
+    EXPECT_TRUE(snap.hasVertex(v));
+    EXPECT_EQ(snap.partitionOf(v), assignment[v]);
+    EXPECT_EQ(snap.degree(v), g.degree(v));
+    std::size_t cut = 0;
+    for (const VertexId nbr : snap.neighbors(v)) {
+      if (assignment[nbr] != assignment[v]) ++cut;
+    }
+    EXPECT_EQ(snap.cutDegree(v), cut);
+  });
+  g.forEachEdge([&](VertexId u, VertexId v) {
+    EXPECT_EQ(snap.routeCost(u, v), assignment[u] == assignment[v]
+                                        ? AssignmentSnapshot::kRouteLocal
+                                        : AssignmentSnapshot::kRouteRemote);
+  });
+  const auto unknown = static_cast<VertexId>(g.idBound() + 7);
+  EXPECT_EQ(snap.partitionOf(unknown), graph::kNoPartition);
+  EXPECT_EQ(snap.routeCost(0, unknown), AssignmentSnapshot::kRouteUnknown);
+}
+
+TEST(SnapshotBoardTest, RejectsNonAdvancingEpochs) {
+  SnapshotBoard board;
+  EXPECT_EQ(board.current(), nullptr);
+  EXPECT_EQ(board.publishedEpoch(), 0u);
+  board.publish(meshSnapshot(3, 2));
+  EXPECT_EQ(board.publishedEpoch(), 3u);
+  EXPECT_THROW(board.publish(meshSnapshot(3, 2)), std::logic_error);
+  EXPECT_THROW(board.publish(meshSnapshot(2, 2)), std::logic_error);
+  board.publish(meshSnapshot(4, 2));
+  EXPECT_EQ(board.current()->epoch(), 4u);
+}
+
+TEST(SnapshotBoardTest, EightReadersAcrossSwapsSeeNoTornEpochs) {
+  // The concurrent-publication contract, hammered: 8 readers spin on
+  // current() while the writer swaps hundreds of epochs. Every observed
+  // snapshot must be internally consistent (head epoch == tail epoch,
+  // payload matching the epoch's assignment) and epochs must never regress
+  // within a reader. The TSan CI job runs this test for the memory-order
+  // proof; the assertions here catch logical tearing on any build.
+  const DynamicGraph g = gen::mesh2d(8, 8);
+  constexpr std::size_t kReaders = 8;
+  constexpr std::uint64_t kEpochs = 400;
+
+  SnapshotBoard board;
+  // Seed epoch 1 with partition 1 so the seed itself satisfies the
+  // payload-matches-epoch invariant the readers assert below.
+  board.publish(AssignmentSnapshot(1, g, metrics::Assignment(g.idBound(), 1), 2,
+                                   SnapshotStats{}));
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t lastSeen = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const SnapshotBoard::Ref snap = board.current();
+        if (!snap) continue;
+        const bool torn = snap->torn();
+        const bool regressed = snap->epoch() < lastSeen;
+        // Epoch e published assignment (e % 2) everywhere: the payload must
+        // match the stamp, or the reader caught a half-built snapshot.
+        const bool mismatched =
+            snap->partitionOf(0) !=
+            static_cast<graph::PartitionId>(snap->epoch() % 2);
+        if (torn || regressed || mismatched) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        lastSeen = snap->epoch();
+      }
+    });
+  }
+  for (std::uint64_t epoch = 2; epoch <= kEpochs; ++epoch) {
+    board.publish(AssignmentSnapshot(
+        epoch, g,
+        metrics::Assignment(g.idBound(),
+                            static_cast<graph::PartitionId>(epoch % 2)),
+        2, SnapshotStats{}));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(board.publishedEpoch(), kEpochs);
+}
+
+TEST(Serving, QueriesDuringLiveIngestMatchTheFinalState) {
+  // End-to-end concurrency: 8 readers query while the service ingests and
+  // swaps. Afterwards the last snapshot must agree with the engine.
+  PartitionService service = churnService(1);
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> tornSeen{0};
+  std::vector<std::thread> readers;
+  readers.reserve(8);
+  for (std::size_t r = 0; r < 8; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const SnapshotBoard::Ref snap = service.board().current();
+        if (snap && snap->torn()) tornSeen.fetch_add(1);
+      }
+    });
+  }
+  service.run();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(tornSeen.load(), 0u);
+
+  const SnapshotBoard::Ref last = service.snapshot();
+  ASSERT_NE(last, nullptr);
+  const metrics::Assignment& assignment =
+      service.session().engine().state().assignment();
+  for (VertexId v = 0; v < assignment.size(); ++v) {
+    EXPECT_EQ(last->partitionOf(v), assignment[v]);
+  }
+  EXPECT_EQ(last->stats().window, service.nextWindow());
+}
+
+}  // namespace
+}  // namespace xdgp::serve

@@ -1,0 +1,204 @@
+// xdgp_serve: the long-lived partition service as a binary. One ingest
+// thread streams a workload's churn through the adaptive engine window by
+// window; N query threads concurrently answer partition-lookup / neighbour /
+// route-cost queries against the latest published AssignmentSnapshot —
+// lock-free, never blocked by ingest. Optionally checkpoints every window
+// and restores from a checkpoint directory, and can inject deterministic
+// faults (serve::FaultPlan) to rehearse crash/recovery:
+//
+//   xdgp_serve --workload=CHURN --k=5 --checkpoint-dir=ckpt
+//   xdgp_serve --workload=CHURN --k=5 --checkpoint-dir=ckpt
+//              --fault="crash@window=3"        # dies with exit code 3
+//   xdgp_serve --restore=ckpt --out=final.part # recovers and finishes
+//
+// Exit codes: 0 success, 1 error, 2 empty timeline, 3 injected crash
+// (checkpoint intact on disk — restart with --restore to recover).
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/workload_registry.h"
+#include "partition/assignment_io.h"
+#include "serve/service.h"
+#include "util/flags.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace xdgp;
+
+namespace {
+
+/// Query load: a deterministic id walk over the snapshot's id space, mixing
+/// the four read paths. Returns the number of queries answered; `sink`
+/// defeats dead-code elimination.
+std::size_t queryLoop(const serve::SnapshotBoard& board,
+                      const std::atomic<bool>& stop, std::uint64_t& sink) {
+  std::size_t queries = 0;
+  std::uint64_t local = 0;
+  graph::VertexId v = 0;
+  while (!stop.load(std::memory_order_acquire)) {
+    const serve::SnapshotBoard::Ref snap = board.current();
+    if (!snap || snap->torn() || snap->idBound() == 0) continue;
+    const auto bound = static_cast<graph::VertexId>(snap->idBound());
+    v = static_cast<graph::VertexId>((v + 1) % bound);
+    const graph::VertexId u = static_cast<graph::VertexId>((v * 7 + 3) % bound);
+    local += snap->partitionOf(v);
+    local += static_cast<std::uint64_t>(snap->routeCost(u, v) + 1);
+    local += snap->cutDegree(v);
+    for (const graph::VertexId nbr : snap->neighbors(v)) local += nbr;
+    queries += 4;
+  }
+  sink = local;
+  return queries;
+}
+
+int serveMain(util::Flags& flags) {
+  const std::string restoreDir = flags.getString("restore", "");
+  const auto queryThreads =
+      static_cast<std::size_t>(flags.getInt("query-threads", 2));
+  const auto engineThreads = static_cast<std::size_t>(flags.getInt("threads", 1));
+  const std::string outPath = flags.getString("out", "");
+  const std::string jsonlPath = flags.getString("jsonl", "");
+
+  // PartitionService is pinned in place (the SnapshotBoard's atomics make it
+  // immovable), so it lives behind a unique_ptr; `new T(prvalue)` constructs
+  // it directly via guaranteed copy elision.
+  std::unique_ptr<serve::PartitionService> service;
+  if (!restoreDir.empty()) {
+    flags.finish();
+    service.reset(new serve::PartitionService(
+        serve::PartitionService::restore(restoreDir, engineThreads)));
+    std::cout << "restored from " << restoreDir << " at window "
+              << service->nextWindow() << "\n";
+  } else {
+    const std::string code = flags.getString("workload", "CHURN");
+    const api::WorkloadInfo& info = api::WorkloadRegistry::instance().info(code);
+    api::WorkloadConfig config = api::workloadConfigFromFlags(flags, info);
+    config.eventsPath = flags.getString("events", "");
+    config.graphPath = flags.getString("graph", "");
+    api::Workload workload = api::WorkloadRegistry::instance().make(code, config);
+
+    serve::ServeOptions options;
+    options.stream = workload.suggested;
+    if (flags.has("window")) {
+      options.stream.windowSpan = flags.getDouble("window", 0.0);
+      options.stream.windowEvents = 0;
+    }
+    if (flags.has("window-events")) {
+      options.stream.windowEvents =
+          static_cast<std::size_t>(flags.getInt("window-events", 0));
+      options.stream.windowSpan = 0.0;
+    }
+    options.stream.expirySpan =
+        flags.getDouble("expiry", options.stream.expirySpan);
+    options.stream.maxWindows =
+        static_cast<std::size_t>(flags.getInt("max-windows", 0));
+    options.checkpointDir = flags.getString("checkpoint-dir", "");
+    options.checkpointEvery =
+        static_cast<std::size_t>(flags.getInt("checkpoint-every", 1));
+    options.faults = serve::FaultPlan::parse(flags.getString("fault", ""));
+
+    const std::string strategy = flags.getString("strategy", "HSH");
+    core::AdaptiveOptions adaptive;
+    adaptive.k = static_cast<std::size_t>(flags.getInt("k", 9));
+    adaptive.capacityFactor = flags.getDouble("capacity", 1.1);
+    adaptive.willingness = flags.getDouble("s", 0.5);
+    adaptive.threads = engineThreads;
+    adaptive.seed = config.seed;
+    flags.finish();
+
+    service.reset(new serve::PartitionService(std::move(workload), strategy,
+                                              adaptive, options));
+  }
+
+  // Query threads hammer the board for the whole ingest run; the board is
+  // the only thing they share with the ingest thread.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  std::vector<std::size_t> answered(queryThreads, 0);
+  std::vector<std::uint64_t> sinks(queryThreads, 0);
+  readers.reserve(queryThreads);
+  for (std::size_t t = 0; t < queryThreads; ++t) {
+    readers.emplace_back([&, t] {
+      answered[t] = queryLoop(service->board(), stop, sinks[t]);
+    });
+  }
+
+  const util::WallTimer timer;
+  int exitCode = 0;
+  try {
+    service->run();
+  } catch (const serve::InjectedCrash& crash) {
+    exitCode = 3;
+    std::cerr << "xdgp_serve: " << crash.what() << "\n";
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  if (exitCode == 3) return exitCode;  // checkpoint intact; timeline is moot
+
+  const api::TimelineReport& timeline = service->timeline();
+  timeline.renderText(std::cout);
+  std::size_t totalQueries = 0;
+  for (const std::size_t n : answered) totalQueries += n;
+  const serve::SnapshotBoard::Ref snap = service->snapshot();
+  std::cout << totalQueries << " queries answered by " << queryThreads
+            << " reader(s) over " << util::fmt(timer.seconds(), 2)
+            << "s; final snapshot epoch " << (snap ? snap->epoch() : 0)
+            << ", cut ratio "
+            << util::fmt(snap ? snap->stats().cutRatio : 0.0, 3) << "\n";
+
+  if (!outPath.empty()) {
+    const core::AdaptiveEngine& engine = service->session().engine();
+    partition::writeAssignment(engine.state().assignment(), engine.options().k,
+                               outPath);
+    std::cout << "  assignment written to " << outPath << "\n";
+  }
+  if (!jsonlPath.empty()) {
+    std::ofstream out(jsonlPath);
+    if (!out) throw std::runtime_error("serve: cannot open " + jsonlPath);
+    timeline.renderJsonl(out);
+    std::cout << "  timeline written to " << jsonlPath << "\n";
+  }
+  return timeline.empty() ? 2 : exitCode;
+}
+
+void printUsage() {
+  std::cerr
+      << "usage: xdgp_serve --workload=<code> [--<param>=... per workload]\n"
+         "                  [--strategy=HSH --k=9 --s=0.5 --capacity=1.1]\n"
+         "                  [--window=<span> | --window-events=<n>]"
+         " [--expiry=<span>] [--max-windows=<n>]\n"
+         "                  [--threads=<engine>] [--query-threads=<readers>]\n"
+         "                  [--checkpoint-dir=<dir>] [--checkpoint-every=<n>]\n"
+         "                  [--fault=\"kill@worker=1,superstep=3;"
+         "drop@lane=0:2,superstep=4;crash@window=2\"]\n"
+         "                  [--out=<part file>] [--jsonl=<file>]\n"
+         "       xdgp_serve --restore=<dir> [--threads=..."
+         " --query-threads=... --out=... --jsonl=...]\n"
+         "workloads:\n";
+  for (const api::WorkloadInfo* info : api::WorkloadRegistry::instance().infos()) {
+    std::cerr << "  " << info->code << "  " << info->summary << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::Flags flags(argc, argv);
+    if (flags.has("help")) {
+      printUsage();
+      return 0;
+    }
+    return serveMain(flags);
+  } catch (const std::exception& error) {
+    std::cerr << "xdgp_serve: " << error.what() << "\n";
+    return 1;
+  }
+}
