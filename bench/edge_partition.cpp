@@ -1,0 +1,169 @@
+// Cut-vs-replication bench axis: runs every registered edge-partitioning
+// strategy plus the HSH *vertex* baseline over the paper's three workload
+// families (TWEET mention graph, CDR call graph, RMAT/Graph500 synthetic)
+// and reports replication factor, vertex-cut ratio, and both balance axes
+// side by side — the vertex-cut numbers the edge-cut figures never show.
+// The vertex baseline is bridged through EdgeAssignment::fromVertexAssignment
+// so its replication factor is measured by the same code path, and its
+// classic edge-cut ratio is printed alongside for the cut-vs-replication
+// comparison. Writes one JSON object for the CI bench artifact
+// (BENCH_partition.json at the repo root comes from scripts/run_bench.sh
+// invoking this with --out).
+//
+//   build/bench/edge_partition [--k=8] [--balance-cap=1.05] [--seed=42]
+//                              [--out=<json path>]
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/edge_partitioner_registry.h"
+#include "bench_common.h"
+#include "epartition/edge_assignment.h"
+#include "gen/cdr_stream.h"
+#include "gen/rmat.h"
+#include "gen/tweet_stream.h"
+#include "graph/csr.h"
+#include "metrics/replication.h"
+#include "util/csv.h"
+
+using namespace xdgp;
+
+namespace {
+
+/// CI-sized stand-ins for the paper's workload families (§4.3): each is a
+/// static snapshot of the corresponding stream, big enough for the strategy
+/// ordering to be stable and small enough for the bench to run per commit.
+graph::DynamicGraph tweetGraph(std::uint64_t seed) {
+  gen::TweetStreamParams params;
+  params.users = 20'000;
+  params.hours = 1.5;
+  gen::TweetStreamGenerator generator(params, util::Rng(seed));
+  graph::DynamicGraph g(params.users);
+  for (const graph::UpdateEvent& e : generator.generate()) {
+    if (e.kind == graph::UpdateEvent::Kind::kAddEdge) g.addEdge(e.u, e.v);
+  }
+  return g;
+}
+
+graph::DynamicGraph cdrGraph(std::uint64_t seed) {
+  gen::CdrStreamParams params;
+  params.initialSubscribers = 20'000;
+  gen::CdrStreamGenerator generator(params, util::Rng(seed));
+  return generator.initialGraph();
+}
+
+graph::DynamicGraph rmatGraph(std::uint64_t seed) {
+  gen::RmatParams params;
+  params.scale = 12;
+  params.edgeFactor = 8;
+  util::Rng rng(seed);
+  return gen::rmat(params, rng);
+}
+
+std::string fmtRow(double value) { return util::fmt(value, 3); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto k = static_cast<std::size_t>(flags.getInt("k", 8));
+  const double balanceCap = flags.getDouble("balance-cap", 1.05);
+  const std::uint64_t seed = flags.getUint64("seed", 42);
+  const std::string outPath =
+      flags.getString("out", bench::resultsDir() + "/edge_partition.json");
+  flags.finish();
+
+  const std::vector<std::pair<std::string, graph::DynamicGraph>> graphs = [&] {
+    std::vector<std::pair<std::string, graph::DynamicGraph>> result;
+    result.emplace_back("TWEET", tweetGraph(seed));
+    result.emplace_back("CDR", cdrGraph(seed + 1));
+    result.emplace_back("RMAT", rmatGraph(seed + 2));
+    return result;
+  }();
+
+  std::cout << "Edge partitioning: cut vs replication (k = " << k
+            << ", balance cap = " << balanceCap << ")\n\n";
+  util::CsvWriter csv(bench::resultsDir() + "/edge_partition.csv",
+                      {"graph", "strategy", "replication_factor",
+                       "vertex_cut_ratio", "edge_imbalance", "copy_imbalance"});
+
+  std::ofstream out(outPath);
+  if (!out) {
+    std::cerr << "edge_partition: cannot open " << outPath << "\n";
+    return 1;
+  }
+  out << "{\"bench\": \"edge_partition\", \"k\": " << k
+      << ", \"balance_cap\": " << util::fmt(balanceCap, 3)
+      << ", \"seed\": " << seed << ", \"graphs\": [";
+
+  bool firstGraph = true;
+  for (const auto& [name, dyn] : graphs) {
+    const graph::CsrGraph csr = graph::CsrGraph::fromGraph(dyn);
+    util::TablePrinter table({"graph", "strategy", "RF", "vertex cut",
+                              "edge imb", "copy imb"});
+
+    out << (firstGraph ? "" : ", ") << "{\"graph\": \"" << name
+        << "\", \"vertices\": " << csr.numVertices()
+        << ", \"edges\": " << csr.numEdges() << ", \"strategies\": [";
+    firstGraph = false;
+
+    // The vertex-partitioning baseline the rest of the system serves from:
+    // HSH vertex assignment, edges following their first endpoint. Its
+    // edge-cut ratio is the number the paper's figures track; its induced
+    // replication factor is what the native edge strategies compete with.
+    const metrics::Assignment vertexParts =
+        api::initialAssignment(dyn, "HSH", k, 1.1, seed);
+    const auto induced =
+        epartition::EdgeAssignment::fromVertexAssignment(csr, vertexParts, k);
+    const auto inducedReport = metrics::replicationReport(induced);
+    const double edgeCut = metrics::cutRatio(csr, vertexParts);
+    table.addRow({name, "HSH(v)", fmtRow(inducedReport.replicationFactor),
+                  fmtRow(inducedReport.vertexCutRatio),
+                  fmtRow(inducedReport.edgeImbalance),
+                  fmtRow(inducedReport.copyImbalance)});
+    csv.addRow({name, "HSH(v)", fmtRow(inducedReport.replicationFactor),
+                fmtRow(inducedReport.vertexCutRatio),
+                fmtRow(inducedReport.edgeImbalance),
+                fmtRow(inducedReport.copyImbalance)});
+    out << "{\"strategy\": \"HSH(v)\", \"kind\": \"vertex\""
+        << ", \"cut_ratio\": " << util::fmt(edgeCut, 6)
+        << ", \"replication_factor\": "
+        << util::fmt(inducedReport.replicationFactor, 6)
+        << ", \"vertex_cut_ratio\": "
+        << util::fmt(inducedReport.vertexCutRatio, 6)
+        << ", \"edge_imbalance\": " << util::fmt(inducedReport.edgeImbalance, 6)
+        << ", \"copy_imbalance\": " << util::fmt(inducedReport.copyImbalance, 6)
+        << "}";
+
+    for (const std::string& code :
+         api::EdgePartitionerRegistry::instance().codes()) {
+      const auto assignment = api::edgePartition(dyn, code, k, balanceCap, seed);
+      const auto report = metrics::replicationReport(assignment);
+      table.addRow({name, code, fmtRow(report.replicationFactor),
+                    fmtRow(report.vertexCutRatio), fmtRow(report.edgeImbalance),
+                    fmtRow(report.copyImbalance)});
+      csv.addRow({name, code, fmtRow(report.replicationFactor),
+                  fmtRow(report.vertexCutRatio), fmtRow(report.edgeImbalance),
+                  fmtRow(report.copyImbalance)});
+      out << ", {\"strategy\": \"" << code << "\", \"kind\": \"edge\""
+          << ", \"replication_factor\": "
+          << util::fmt(report.replicationFactor, 6)
+          << ", \"vertex_cut_ratio\": " << util::fmt(report.vertexCutRatio, 6)
+          << ", \"edge_imbalance\": " << util::fmt(report.edgeImbalance, 6)
+          << ", \"copy_imbalance\": " << util::fmt(report.copyImbalance, 6)
+          << ", \"max_edge_load\": " << report.maxEdgeLoad << "}";
+    }
+    out << "]}";
+    table.print(std::cout);
+    std::cout << "  (HSH(v) edge-cut ratio: " << util::fmt(edgeCut, 3)
+              << " — the cost axis the edge strategies trade for RF)\n\n";
+  }
+  out << "]}\n";
+
+  std::cout << "edge_partition: wrote " << outPath << "\n"
+            << "CSV: " << bench::resultsDir() << "/edge_partition.csv\n";
+  return 0;
+}

@@ -21,6 +21,8 @@ function(run_cli step)
   if(NOT status EQUAL 0)
     message(FATAL_ERROR "${step} failed with exit code ${status}")
   endif()
+  # Exposed so callers can assert on the report a step printed.
+  set(cli_output "${output}" PARENT_SCOPE)
 endfunction()
 
 run_cli("generate" --cmd=generate --dataset=3elt --out=graph.el)
@@ -32,7 +34,28 @@ run_cli("adapt" --cmd=adapt --graph=graph.el --assignment=initial.part --s=0.5
 run_cli("stream" --cmd=stream --workload=CDR --subscribers=2000 --weeks=2
         --k=4 --window=0.5 --csv=timeline.csv --jsonl=timeline.jsonl)
 
-foreach(artifact graph.el initial.part final.part timeline.csv timeline.jsonl)
+# Edge-partitioning (vertex-cut) smoke: generate → epartition → emetrics.
+# Both steps must print a parseable replication-factor report, and the
+# persisted .epart file must survive the re-read with the same numbers.
+run_cli("epartition" --cmd=epartition --graph=graph.el --strategy=HDRF --k=4
+        --out=edges.epart)
+if(NOT cli_output MATCHES "replication_factor=[0-9]+\\.[0-9]+")
+  message(FATAL_ERROR "epartition printed no parseable replication factor")
+endif()
+string(REGEX MATCH "replication_factor=[0-9]+\\.[0-9]+" epart_rf "${cli_output}")
+run_cli("emetrics" --cmd=emetrics --epart=edges.epart --graph=graph.el)
+if(NOT cli_output MATCHES "replication_factor=[0-9]+\\.[0-9]+")
+  message(FATAL_ERROR "emetrics printed no parseable replication factor")
+endif()
+string(REGEX MATCH "replication_factor=[0-9]+\\.[0-9]+" emetrics_rf "${cli_output}")
+if(NOT epart_rf STREQUAL emetrics_rf)
+  message(FATAL_ERROR
+          "replication factor changed across the epart round trip "
+          "(${epart_rf} vs ${emetrics_rf})")
+endif()
+
+foreach(artifact graph.el initial.part final.part timeline.csv timeline.jsonl
+        edges.epart)
   if(NOT EXISTS "${WORK_DIR}/${artifact}")
     message(FATAL_ERROR "round trip left no ${artifact}")
   endif()

@@ -38,6 +38,14 @@ cmake --build "$build_dir" -j --target serve_latency
 "$build_dir/bench/serve_latency" --out=BENCH_serve.json
 cp BENCH_serve.json "$out_dir/BENCH_serve_${label}.json"
 
+# Edge-partitioning quality: replication factor / vertex-cut / balance for
+# every registered edge strategy next to the HSH vertex baseline on the
+# TWEET/CDR/RMAT families. BENCH_partition.json at the repo root is the
+# committed baseline, same convention as BENCH_serve.json.
+cmake --build "$build_dir" -j --target edge_partition
+"$build_dir/bench/edge_partition" --out=BENCH_partition.json
+cp BENCH_partition.json "$out_dir/BENCH_partition_${label}.json"
+
 # Absent target (Google Benchmark not installed) is a graceful no-op; an
 # actual build failure must fail the job, not masquerade as "unavailable".
 # find_package(benchmark) is config-mode, so the cache records whether it

@@ -1,0 +1,118 @@
+#include "api/edge_partitioner_registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "epartition/dbh_partitioner.h"
+#include "epartition/hdrf_partitioner.h"
+#include "epartition/ne_partitioner.h"
+
+namespace xdgp::api {
+
+namespace {
+
+template <typename Strategy>
+std::function<std::unique_ptr<epartition::EdgePartitioner>()> factoryOf() {
+  return [] { return std::make_unique<Strategy>(); };
+}
+
+}  // namespace
+
+EdgePartitionerRegistry::EdgePartitionerRegistry() {
+  add({.code = "HSH",
+       .summary = "uncoordinated edge hash — the replication-factor worst "
+                  "case every strategy is measured against",
+       .respectsBalanceCap = false,
+       .deterministicGivenSeed = true,
+       .make = factoryOf<epartition::HashEdgePartitioner>()});
+  add({.code = "DBH",
+       .summary = "degree-based hashing (NIPS'14) — edges follow their "
+                  "lower-degree endpoint, hubs replicate",
+       .respectsBalanceCap = false,
+       .deterministicGivenSeed = true,
+       .make = factoryOf<epartition::DbhPartitioner>()});
+  add({.code = "HDRF",
+       .summary = "highest-degree replicated first stream (CIKM'15), "
+                  "lambda balance knob + hard cap",
+       .respectsBalanceCap = true,
+       .deterministicGivenSeed = true,
+       .make = factoryOf<epartition::HdrfPartitioner>()});
+  add({.code = "NE",
+       .summary = "neighbour expansion (KDD'17) — grows dense cores one "
+                  "partition at a time, best RF offline",
+       .respectsBalanceCap = true,
+       .deterministicGivenSeed = true,
+       .make = factoryOf<epartition::NePartitioner>()});
+  add({.code = "SNE",
+       .summary = "streaming neighbour expansion under a 2|V|-edge memory "
+                  "budget; HDRF places the overflow",
+       .respectsBalanceCap = true,
+       .deterministicGivenSeed = true,
+       .make = factoryOf<epartition::SnePartitioner>()});
+}
+
+EdgePartitionerRegistry& EdgePartitionerRegistry::instance() {
+  static EdgePartitionerRegistry registry;
+  return registry;
+}
+
+void EdgePartitionerRegistry::add(EdgeStrategyInfo info) {
+  if (info.code.empty() || !info.make) {
+    throw std::invalid_argument(
+        "EdgePartitionerRegistry: a strategy needs a code and a factory");
+  }
+  const auto [it, inserted] = strategies_.emplace(info.code, std::move(info));
+  if (!inserted) {
+    throw std::invalid_argument(
+        "EdgePartitionerRegistry: duplicate strategy code " + it->first);
+  }
+}
+
+bool EdgePartitionerRegistry::has(const std::string& code) const {
+  return strategies_.count(code) > 0;
+}
+
+const EdgeStrategyInfo& EdgePartitionerRegistry::info(
+    const std::string& code) const {
+  const auto it = strategies_.find(code);
+  if (it == strategies_.end()) {
+    std::string known;
+    for (const auto& [key, entry] : strategies_) {
+      known += (known.empty() ? "" : ", ") + key;
+    }
+    throw std::invalid_argument("unknown edge-partitioning strategy '" + code +
+                                "' (known: " + known + ")");
+  }
+  return it->second;
+}
+
+std::unique_ptr<epartition::EdgePartitioner> EdgePartitionerRegistry::create(
+    const std::string& code) const {
+  return info(code).make();
+}
+
+std::vector<std::string> EdgePartitionerRegistry::codes() const {
+  std::vector<std::string> result;
+  result.reserve(strategies_.size());
+  for (const auto& [code, entry] : strategies_) result.push_back(code);
+  return result;
+}
+
+std::vector<const EdgeStrategyInfo*> EdgePartitionerRegistry::infos() const {
+  std::vector<const EdgeStrategyInfo*> result;
+  result.reserve(strategies_.size());
+  for (const auto& [code, entry] : strategies_) result.push_back(&entry);
+  return result;
+}
+
+epartition::EdgeAssignment edgePartition(const graph::DynamicGraph& g,
+                                         const std::string& code, std::size_t k,
+                                         double balanceFactor,
+                                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  const graph::CsrGraph csr = graph::CsrGraph::fromGraph(g);
+  return EdgePartitionerRegistry::instance().create(code)->partition(
+      epartition::EdgePartitionRequest{csr, k, balanceFactor, rng});
+}
+
+}  // namespace xdgp::api

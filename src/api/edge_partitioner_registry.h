@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "epartition/edge_partitioner.h"
+#include "graph/dynamic_graph.h"
+
+namespace xdgp::api {
+
+/// Catalog entry for one edge-partitioning strategy: the metadata every
+/// front end (CLI help, the edge-partition bench, the registry-driven
+/// property tests in tests/epartition_test.cpp) reads, plus the factory.
+/// The edge-side sibling of StrategyInfo.
+struct EdgeStrategyInfo {
+  std::string code;     ///< stable lookup key, e.g. "DBH", "HDRF"
+  std::string summary;  ///< one-line human description for --help output
+  /// True when the strategy guarantees every partition's edge load stays
+  /// within edgeCapacity(|E|, k, balanceFactor); false for hashing
+  /// strategies (HSH, DBH) whose balance is statistical. The epartition
+  /// property suite enforces whichever is promised.
+  bool respectsBalanceCap = false;
+  /// True when the same seed yields the identical assignment (all current
+  /// strategies; opting out exempts a strategy from the determinism
+  /// property test).
+  bool deterministicGivenSeed = true;
+  std::function<std::unique_ptr<epartition::EdgePartitioner>()> make;
+};
+
+/// The process-wide catalog of edge-partitioning strategies, mirroring
+/// PartitionerRegistry (the PR 2 pattern): built-ins (HSH, DBH, HDRF, NE,
+/// SNE) register on first access, extensions self-register through
+/// EdgeStrategyRegistration, and the registry-driven suite picks every
+/// newcomer up for free. Kept separate from the vertex registry — the two
+/// families return different representations (Assignment vs
+/// EdgeAssignment) and report different quality metrics (cut ratio vs
+/// replication factor) — so codes like "HSH" can name the analogous
+/// baseline on both sides without colliding.
+class EdgePartitionerRegistry {
+ public:
+  static EdgePartitionerRegistry& instance();
+
+  /// Adds a strategy; throws std::invalid_argument on duplicate codes or a
+  /// missing factory.
+  void add(EdgeStrategyInfo info);
+
+  [[nodiscard]] bool has(const std::string& code) const;
+
+  /// Metadata lookup; throws std::invalid_argument naming the known codes
+  /// when `code` is not registered (typos fail with the menu in hand).
+  [[nodiscard]] const EdgeStrategyInfo& info(const std::string& code) const;
+
+  /// Instantiates the strategy behind `code` (throws like info()).
+  [[nodiscard]] std::unique_ptr<epartition::EdgePartitioner> create(
+      const std::string& code) const;
+
+  /// All registered codes, sorted.
+  [[nodiscard]] std::vector<std::string> codes() const;
+
+  /// All entries, sorted by code (stable pointers into the registry).
+  [[nodiscard]] std::vector<const EdgeStrategyInfo*> infos() const;
+
+ private:
+  EdgePartitionerRegistry();
+
+  std::map<std::string, EdgeStrategyInfo> strategies_;
+};
+
+/// Static-initialisation hook for self-registering edge strategies:
+///   namespace { const api::EdgeStrategyRegistration reg{{.code = "XYZ", ...}}; }
+struct EdgeStrategyRegistration {
+  explicit EdgeStrategyRegistration(EdgeStrategyInfo info) {
+    EdgePartitionerRegistry::instance().add(std::move(info));
+  }
+};
+
+/// One-call edge partitioning over a dynamic graph, registry-routed — the
+/// edge-side sibling of initialAssignment.
+[[nodiscard]] epartition::EdgeAssignment edgePartition(
+    const graph::DynamicGraph& g, const std::string& code, std::size_t k,
+    double balanceFactor, std::uint64_t seed);
+
+}  // namespace xdgp::api

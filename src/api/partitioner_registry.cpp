@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "partition/fennel_partitioner.h"
 #include "partition/hash_partitioner.h"
 #include "partition/ldg_partitioner.h"
 #include "partition/mnn_partitioner.h"
@@ -40,6 +41,12 @@ PartitionerRegistry::PartitionerRegistry() {
        .respectsCapacity = true,
        .deterministicGivenSeed = true,
        .make = factoryOf<partition::LdgPartitioner>()});
+  add({.code = "FNL",
+       .summary = "Fennel stream (Tsourakakis) — neighbour affinity minus "
+                  "the marginal convex load cost, gamma = 1.5",
+       .respectsCapacity = true,
+       .deterministicGivenSeed = true,
+       .make = factoryOf<partition::FennelPartitioner>()});
   add({.code = "MNN",
        .summary = "minimum-number-of-neighbours stream (Grace) — scatters "
                   "neighbourhoods, a hard starting point",

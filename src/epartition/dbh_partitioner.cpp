@@ -1,0 +1,24 @@
+#include "epartition/dbh_partitioner.h"
+
+namespace xdgp::epartition {
+
+EdgeAssignment DbhPartitioner::partition(
+    const EdgePartitionRequest& request) const {
+  const graph::CsrGraph& g = request.csr;
+  EdgeAssignment assignment(g.idBound(), request.k);
+  const std::uint64_t salt = request.rng.next64();
+  g.forEachEdge([&](graph::VertexId u, graph::VertexId v) {
+    const std::size_t du = g.degree(u);
+    const std::size_t dv = g.degree(v);
+    // Hash the endpoint with the smaller degree; u < v canonically, so the
+    // tie goes to the lower id.
+    const graph::VertexId anchor = du <= dv ? u : v;
+    const std::uint64_t hash =
+        util::Rng::splitmix64(static_cast<std::uint64_t>(anchor) ^ salt);
+    assignment.assign({u, v},
+                      static_cast<graph::PartitionId>(hash % request.k));
+  });
+  return assignment;
+}
+
+}  // namespace xdgp::epartition

@@ -1,0 +1,75 @@
+#include "epartition/edge_assignment.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace xdgp::epartition {
+
+EdgeAssignment::EdgeAssignment(std::size_t idBound, std::size_t k)
+    : idBound_(idBound), k_(k), words_((k + 63) / 64) {
+  if (k == 0) {
+    throw std::invalid_argument("EdgeAssignment: k must be positive");
+  }
+  edgeLoads_.assign(k_, 0);
+  bits_.assign(idBound_ * words_, 0);
+  replicaCounts_.assign(idBound_, 0);
+}
+
+void EdgeAssignment::assign(graph::Edge e, graph::PartitionId p) {
+  e = e.canonical();
+  if (p >= k_) {
+    throw std::invalid_argument("EdgeAssignment: partition " + std::to_string(p) +
+                                " out of range (k=" + std::to_string(k_) + ")");
+  }
+  if (e.v >= idBound_) {
+    throw std::invalid_argument("EdgeAssignment: endpoint " + std::to_string(e.v) +
+                                " out of range (idBound=" +
+                                std::to_string(idBound_) + ")");
+  }
+  edges_.push_back(e);
+  parts_.push_back(p);
+  ++edgeLoads_[p];
+  for (const graph::VertexId v : {e.u, e.v}) {
+    std::uint64_t& word = bits_[static_cast<std::size_t>(v) * words_ + p / 64];
+    const std::uint64_t mask = 1ULL << (p % 64);
+    if ((word & mask) == 0) {
+      word |= mask;
+      if (replicaCounts_[v]++ == 0) ++coveredVertices_;
+      ++totalReplicas_;
+    }
+  }
+}
+
+EdgeAssignment EdgeAssignment::fromVertexAssignment(
+    const graph::CsrGraph& g, const metrics::Assignment& assignment,
+    std::size_t k) {
+  EdgeAssignment result(g.idBound(), k);
+  g.forEachEdge([&](graph::VertexId u, graph::VertexId v) {
+    const graph::PartitionId p =
+        u < assignment.size() ? assignment[u] : graph::kNoPartition;
+    if (p != graph::kNoPartition) result.assign({u, v}, p);
+  });
+  return result;
+}
+
+std::vector<graph::PartitionId> EdgeAssignment::replicaSet(
+    graph::VertexId v) const {
+  std::vector<graph::PartitionId> set;
+  set.reserve(replicaCounts_[v]);
+  for (graph::PartitionId p = 0; p < k_; ++p) {
+    if (hasReplica(v, p)) set.push_back(p);
+  }
+  return set;
+}
+
+std::vector<std::size_t> EdgeAssignment::copyLoads() const {
+  std::vector<std::size_t> loads(k_, 0);
+  for (graph::VertexId v = 0; v < idBound_; ++v) {
+    for (graph::PartitionId p = 0; p < k_; ++p) {
+      if (hasReplica(v, p)) ++loads[p];
+    }
+  }
+  return loads;
+}
+
+}  // namespace xdgp::epartition

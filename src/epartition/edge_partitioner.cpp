@@ -1,0 +1,35 @@
+#include "epartition/edge_partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace xdgp::epartition {
+
+std::size_t edgeCapacity(std::size_t numEdges, std::size_t k,
+                         double balanceFactor) {
+  if (k == 0) throw std::invalid_argument("edgeCapacity: k must be positive");
+  const double balanced = static_cast<double>(numEdges) / static_cast<double>(k);
+  const auto cap =
+      static_cast<std::size_t>(std::ceil(balanced * balanceFactor - 1e-9));
+  return std::max<std::size_t>(cap, 1);
+}
+
+EdgeAssignment HashEdgePartitioner::partition(
+    const EdgePartitionRequest& request) const {
+  const graph::CsrGraph& g = request.csr;
+  EdgeAssignment assignment(g.idBound(), request.k);
+  // One salt per run: the same seed replays the same placement, different
+  // seeds re-deal every edge.
+  const std::uint64_t salt = request.rng.next64();
+  g.forEachEdge([&](graph::VertexId u, graph::VertexId v) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint64_t>(v);
+    const std::uint64_t hash = util::Rng::splitmix64(key ^ salt);
+    assignment.assign({u, v},
+                      static_cast<graph::PartitionId>(hash % request.k));
+  });
+  return assignment;
+}
+
+}  // namespace xdgp::epartition

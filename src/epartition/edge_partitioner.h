@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "epartition/edge_assignment.h"
+#include "graph/csr.h"
+#include "util/rng.h"
+
+namespace xdgp::epartition {
+
+/// Per-partition *edge* capacity: the balance cap a bounded edge
+/// partitioner may not exceed, ceil(balanceFactor * |E| / k) and at least 1.
+/// Mirrors partition::makeCapacities for vertices (same ceil-with-epsilon
+/// guard against floating-point dust on exact products).
+[[nodiscard]] std::size_t edgeCapacity(std::size_t numEdges, std::size_t k,
+                                       double balanceFactor);
+
+/// Everything an edge-partitioning strategy needs for one run, mirroring
+/// partition::PartitionRequest — future knobs extend this struct instead of
+/// rippling through every implementation's signature.
+struct EdgePartitionRequest {
+  const graph::CsrGraph& csr;  ///< load-time snapshot being partitioned
+  std::size_t k = 8;           ///< number of partitions
+  /// Edge-balance headroom: strategies whose registry metadata promises
+  /// `respectsBalanceCap` keep every partition's edge load within
+  /// edgeCapacity(|E|, k, balanceFactor). 1.05 is the customary cap of the
+  /// HDRF/NE literature (edge counts within 5% of the average).
+  double balanceFactor = 1.05;
+  util::Rng& rng;              ///< seeded stream for stochastic strategies
+};
+
+/// Strategy interface for edge partitioning: assigns every edge of the
+/// snapshot to one of k partitions.
+///
+/// Implementations must return an assignment that (a) covers every edge of
+/// the request's graph exactly once and (b) uses only partitions [0, k).
+/// Strategies whose registry metadata promises `respectsBalanceCap` must
+/// keep every edge load within edgeCapacity(|E|, k, balanceFactor); HSH and
+/// DBH hash and therefore only balance statistically. The registry-driven
+/// suite in tests/epartition_test.cpp enforces these properties for every
+/// registered strategy.
+class EdgePartitioner {
+ public:
+  virtual ~EdgePartitioner() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] virtual EdgeAssignment partition(
+      const EdgePartitionRequest& request) const = 0;
+
+  /// Convenience wrapper building the request in place. Derived classes
+  /// re-expose it with `using EdgePartitioner::partition;`.
+  [[nodiscard]] EdgeAssignment partition(const graph::CsrGraph& g, std::size_t k,
+                                         double balanceFactor,
+                                         util::Rng& rng) const {
+    return partition(EdgePartitionRequest{g, k, balanceFactor, rng});
+  }
+};
+
+/// HSH — uncoordinated random edge assignment: each edge hashes to a
+/// partition independently of everything else. The replication-factor
+/// worst case every published strategy is measured against (a vertex of
+/// degree d lands in ~min(k, d) partitions), and the edge-side analogue of
+/// the vertex registry's HSH baseline.
+class HashEdgePartitioner final : public EdgePartitioner {
+ public:
+  using EdgePartitioner::partition;
+
+  [[nodiscard]] std::string name() const override { return "HSH"; }
+
+  [[nodiscard]] EdgeAssignment partition(
+      const EdgePartitionRequest& request) const override;
+};
+
+}  // namespace xdgp::epartition

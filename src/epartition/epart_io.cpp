@@ -1,0 +1,64 @@
+#include "epartition/epart_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace xdgp::epartition {
+
+void writeEdgeAssignment(const EdgeAssignment& assignment,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("writeEdgeAssignment: cannot open " + path);
+  }
+  out << "# " << assignment.k() << ' ' << assignment.idBound() << '\n';
+  for (std::size_t i = 0; i < assignment.numEdges(); ++i) {
+    const graph::Edge& e = assignment.edges()[i];
+    out << e.u << ' ' << e.v << ' ' << assignment.parts()[i] << '\n';
+  }
+  if (!out) {
+    throw std::runtime_error("writeEdgeAssignment: write failed for " + path);
+  }
+}
+
+EdgeAssignment readEdgeAssignment(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("readEdgeAssignment: cannot open " + path);
+  std::string line;
+  std::size_t k = 0;
+  std::size_t idBound = 0;
+  // The header must come first: the replica bitmap is sized from it.
+  while (std::getline(in, line) && line.empty()) {
+  }
+  if (line.empty() || line[0] != '#') {
+    throw std::runtime_error("readEdgeAssignment: missing header in " + path);
+  }
+  {
+    std::istringstream hs(line.substr(1));
+    if (!(hs >> k >> idBound) || k == 0) {
+      throw std::runtime_error("readEdgeAssignment: bad header in " + path);
+    }
+  }
+  EdgeAssignment assignment(idBound, k);
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    graph::VertexId u = 0;
+    graph::VertexId v = 0;
+    graph::PartitionId p = 0;
+    if (!(ls >> u >> v >> p)) {
+      throw std::runtime_error("readEdgeAssignment: malformed line in " + path +
+                               ": " + line);
+    }
+    try {
+      assignment.assign({u, v}, p);
+    } catch (const std::invalid_argument& error) {
+      throw std::runtime_error("readEdgeAssignment: " + path + ": " +
+                               error.what());
+    }
+  }
+  return assignment;
+}
+
+}  // namespace xdgp::epartition

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "epartition/edge_assignment.h"
+
+namespace xdgp::epartition {
+
+/// Persists an edge assignment as "u v partition" lines under a
+/// "# k idBound" header — the edge-side sibling of
+/// partition::writeAssignment, so an edge partitioning computed once can be
+/// re-inspected (xdgp_cli --cmd=emetrics) or seed a later experiment.
+/// Throws std::runtime_error on IO failure.
+void writeEdgeAssignment(const EdgeAssignment& assignment,
+                         const std::string& path);
+
+/// Reads the writeEdgeAssignment format, rebuilding the replica sets as the
+/// edges stream back in. Throws std::runtime_error on IO failure, a missing
+/// or malformed header, malformed lines, or out-of-range ids.
+[[nodiscard]] EdgeAssignment readEdgeAssignment(const std::string& path);
+
+}  // namespace xdgp::epartition

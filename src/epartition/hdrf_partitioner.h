@@ -1,0 +1,55 @@
+#pragma once
+
+#include "epartition/edge_partitioner.h"
+
+namespace xdgp::epartition {
+
+/// One HDRF placement decision for edge (u, v) given the replica sets and
+/// edge loads accumulated in `assignment` so far: maximises
+///     C_REP(p) + λ · C_BAL(p)
+/// where C_REP rewards partitions already holding a replica of u or v —
+/// weighted so the *lower*-degree endpoint dominates, i.e. the high-degree
+/// endpoint is the one that gets replicated — and C_BAL rewards lightly
+/// loaded partitions. Partitions at `cap` edges are skipped (there is
+/// always a feasible one while total assigned < k·cap); ties break to the
+/// lighter then lower-indexed partition, keeping the rule deterministic.
+/// `degU`/`degV` are whatever degree estimate the caller streams with
+/// (HDRF proper uses partial degrees observed so far).
+///
+/// Shared between HdrfPartitioner and the streaming tail of SNE.
+[[nodiscard]] graph::PartitionId hdrfChoose(const EdgeAssignment& assignment,
+                                            graph::VertexId u, graph::VertexId v,
+                                            double degU, double degV,
+                                            double lambda, std::size_t cap);
+
+/// HDRF — highest-degree replicated first (Petroni et al., CIKM 2015).
+///
+/// A one-pass streaming partitioner that keeps *low*-degree vertices whole
+/// and replicates the hubs: for each edge it prefers partitions that
+/// already hold the edge's endpoints, discounted so the contribution of the
+/// high-degree endpoint counts less (its replicas are cheap relative to its
+/// degree), plus a load-balance term weighted by λ. Degrees are the partial
+/// counts observed so far in the stream, as in the original algorithm — no
+/// global pass needed. λ trades replication for balance: λ → 0 is pure
+/// greedy co-location, large λ approaches round-robin. On top of the soft
+/// C_BAL term this implementation enforces the request's hard balance cap,
+/// so the registry promises respectsBalanceCap.
+class HdrfPartitioner final : public EdgePartitioner {
+ public:
+  using EdgePartitioner::partition;
+
+  /// λ defaults to the literature's customary 1.1 (mild balance pressure).
+  explicit HdrfPartitioner(double lambda = 1.1) : lambda_(lambda) {}
+
+  [[nodiscard]] std::string name() const override { return "HDRF"; }
+
+  [[nodiscard]] double lambda() const noexcept { return lambda_; }
+
+  [[nodiscard]] EdgeAssignment partition(
+      const EdgePartitionRequest& request) const override;
+
+ private:
+  double lambda_;
+};
+
+}  // namespace xdgp::epartition

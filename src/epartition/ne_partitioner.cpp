@@ -1,0 +1,271 @@
+#include "epartition/ne_partitioner.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "epartition/hdrf_partitioner.h"
+
+namespace xdgp::epartition {
+
+namespace {
+
+/// The neighbour-expansion engine NE and SNE share: owns an edge subset
+/// (all edges for NE, the buffered prefix for SNE), the per-vertex incident
+/// lists over that subset, and the core/boundary machinery of one
+/// partition-filling pass. Both heaps are lazy: entries are pushed on every
+/// score change and validated against the current score on pop, so stale
+/// entries cost one pop instead of a decrease-key structure.
+class Expander {
+ public:
+  Expander(std::size_t idBound, std::vector<graph::Edge> edges,
+           EdgeAssignment& sink)
+      : edges_(std::move(edges)),
+        sink_(sink),
+        assigned_(edges_.size(), 0),
+        unassignedDeg_(idBound, 0),
+        setEpoch_(idBound, 0),
+        coreEpoch_(idBound, 0),
+        extDeg_(idBound, 0) {
+    unassignedTotal_ = edges_.size();
+    std::vector<std::size_t> offsets(idBound + 1, 0);
+    for (const graph::Edge& e : edges_) {
+      ++offsets[e.u + 1];
+      ++offsets[e.v + 1];
+      ++unassignedDeg_[e.u];
+      ++unassignedDeg_[e.v];
+    }
+    for (std::size_t v = 0; v < idBound; ++v) offsets[v + 1] += offsets[v];
+    incOff_ = offsets;  // offsets[] is consumed as a cursor below
+    incEdge_.resize(edges_.size() * 2);
+    for (std::uint32_t e = 0; e < edges_.size(); ++e) {
+      incEdge_[offsets[edges_[e].u]++] = e;
+      incEdge_[offsets[edges_[e].v]++] = e;
+    }
+    for (graph::VertexId v = 0; v < idBound; ++v) {
+      if (unassignedDeg_[v] > 0) seedHeap_.emplace(unassignedDeg_[v], v);
+    }
+  }
+
+  [[nodiscard]] std::size_t unassigned() const noexcept {
+    return unassignedTotal_;
+  }
+
+  /// Grows partition `p` until it owns `cap` of this expander's edges (or
+  /// the edges run out). Expansion invariant: while the pass is below cap,
+  /// every unassigned edge has at least one endpoint outside C ∪ S, because
+  /// a vertex entering the set immediately claims its edges into the set.
+  void fill(graph::PartitionId p, std::size_t cap) {
+    ++epoch_;
+    part_ = p;
+    cap_ = cap;
+    count_ = 0;
+    boundaryHeap_ = {};
+    while (count_ < cap_ && unassignedTotal_ > 0) {
+      const graph::VertexId x = popBoundary();
+      if (x == graph::kInvalidVertex) {
+        // Boundary exhausted (fresh pass or the component ran dry): restart
+        // from the unassigned vertex with the fewest unassigned edges.
+        addToBoundary(popSeed());
+        continue;
+      }
+      coreEpoch_[x] = epoch_;
+      for (std::size_t i = incOff_[x]; i < incOff_[x + 1]; ++i) {
+        if (count_ >= cap_) break;
+        const std::uint32_t e = incEdge_[i];
+        if (assigned_[e]) continue;
+        const graph::VertexId y = otherEnd(e, x);
+        if (setEpoch_[y] != epoch_) addToBoundary(y);
+      }
+    }
+  }
+
+  /// Hands every still-unassigned edge to `p` — the final-partition sweep.
+  void sweepRemainder(graph::PartitionId p) {
+    for (std::uint32_t e = 0; e < edges_.size(); ++e) {
+      if (!assigned_[e]) assignEdge(e, p);
+    }
+  }
+
+  /// Visits every still-unassigned edge without assigning it — SNE hands
+  /// these stragglers to its streaming rule instead of a fixed partition.
+  template <typename Fn>
+  void forEachUnassigned(Fn&& fn) const {
+    for (std::uint32_t e = 0; e < edges_.size(); ++e) {
+      if (!assigned_[e]) fn(edges_[e]);
+    }
+  }
+
+ private:
+  [[nodiscard]] graph::VertexId otherEnd(std::uint32_t e,
+                                         graph::VertexId v) const noexcept {
+    return edges_[e].u == v ? edges_[e].v : edges_[e].u;
+  }
+
+  void assignEdge(std::uint32_t e, graph::PartitionId p) {
+    assigned_[e] = 1;
+    --unassignedTotal_;
+    sink_.assign(edges_[e], p);
+    for (const graph::VertexId v : {edges_[e].u, edges_[e].v}) {
+      if (--unassignedDeg_[v] > 0) seedHeap_.emplace(unassignedDeg_[v], v);
+    }
+  }
+
+  /// Pulls y into C ∪ S: claims every unassigned edge from y into the set
+  /// (the AllocEdges step), fixes the ext-degrees those claims invalidate,
+  /// then scores y itself.
+  void addToBoundary(graph::VertexId y) {
+    setEpoch_[y] = epoch_;
+    for (std::size_t i = incOff_[y]; i < incOff_[y + 1]; ++i) {
+      const std::uint32_t e = incEdge_[i];
+      if (assigned_[e]) continue;
+      const graph::VertexId z = otherEnd(e, y);
+      if (setEpoch_[z] != epoch_) continue;
+      assignEdge(e, part_);
+      ++count_;
+      // z counted y as an external neighbour until now.
+      if (coreEpoch_[z] != epoch_ && extDeg_[z] > 0) {
+        boundaryHeap_.emplace(--extDeg_[z], z);
+      }
+      if (count_ >= cap_) return;
+    }
+    std::uint32_t ext = 0;
+    for (std::size_t i = incOff_[y]; i < incOff_[y + 1]; ++i) {
+      const std::uint32_t e = incEdge_[i];
+      if (!assigned_[e] && setEpoch_[otherEnd(e, y)] != epoch_) ++ext;
+    }
+    extDeg_[y] = ext;
+    boundaryHeap_.emplace(ext, y);
+  }
+
+  [[nodiscard]] graph::VertexId popBoundary() {
+    while (!boundaryHeap_.empty()) {
+      const auto [score, v] = boundaryHeap_.top();
+      boundaryHeap_.pop();
+      if (setEpoch_[v] == epoch_ && coreEpoch_[v] != epoch_ &&
+          extDeg_[v] == score) {
+        return v;
+      }
+    }
+    return graph::kInvalidVertex;
+  }
+
+  /// Valid while unassignedTotal_ > 0: the expansion invariant guarantees
+  /// some unassigned edge endpoint sits outside the set, and every
+  /// unassigned-degree change pushed a fresh heap entry, so the rebuild
+  /// fallback is unreachable in practice but keeps the contract airtight.
+  [[nodiscard]] graph::VertexId popSeed() {
+    for (;;) {
+      while (!seedHeap_.empty()) {
+        const auto [deg, v] = seedHeap_.top();
+        seedHeap_.pop();
+        if (unassignedDeg_[v] == deg && deg > 0 && setEpoch_[v] != epoch_) {
+          return v;
+        }
+      }
+      for (graph::VertexId v = 0; v < unassignedDeg_.size(); ++v) {
+        if (unassignedDeg_[v] > 0 && setEpoch_[v] != epoch_) {
+          seedHeap_.emplace(unassignedDeg_[v], v);
+        }
+      }
+    }
+  }
+
+  using HeapEntry = std::pair<std::uint32_t, graph::VertexId>;
+  using MinHeap =
+      std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+  std::vector<graph::Edge> edges_;
+  EdgeAssignment& sink_;
+  std::vector<std::uint8_t> assigned_;
+  std::vector<std::uint32_t> unassignedDeg_;
+  std::size_t unassignedTotal_ = 0;
+  std::vector<std::size_t> incOff_;
+  std::vector<std::uint32_t> incEdge_;
+
+  std::uint32_t epoch_ = 0;  ///< current pass; stamps setEpoch_/coreEpoch_
+  std::vector<std::uint32_t> setEpoch_;   ///< v ∈ C ∪ S this pass
+  std::vector<std::uint32_t> coreEpoch_;  ///< v ∈ C this pass
+  std::vector<std::uint32_t> extDeg_;     ///< |unassigned edges leaving C ∪ S|
+  MinHeap boundaryHeap_;
+  MinHeap seedHeap_;
+  graph::PartitionId part_ = 0;
+  std::size_t cap_ = 0;
+  std::size_t count_ = 0;
+};
+
+std::vector<graph::Edge> collectEdges(const graph::CsrGraph& g,
+                                      std::size_t limit) {
+  std::vector<graph::Edge> edges;
+  edges.reserve(std::min(limit, g.numEdges()));
+  g.forEachEdge([&](graph::VertexId u, graph::VertexId v) {
+    if (edges.size() < limit) edges.push_back({u, v});
+  });
+  return edges;
+}
+
+}  // namespace
+
+EdgeAssignment NePartitioner::partition(
+    const EdgePartitionRequest& request) const {
+  const graph::CsrGraph& g = request.csr;
+  EdgeAssignment assignment(g.idBound(), request.k);
+  Expander expander(g.idBound(), collectEdges(g, g.numEdges()), assignment);
+  // Adaptive caps: each partition takes balanceFactor headroom over the
+  // *remaining* per-partition share. The share is non-increasing in p, so
+  // every cap (and the final sweep) stays within the global
+  // edgeCapacity(|E|, k, balanceFactor) bound the registry promises.
+  for (graph::PartitionId p = 0; p + 1 < request.k; ++p) {
+    expander.fill(p, edgeCapacity(expander.unassigned(), request.k - p,
+                                  request.balanceFactor));
+  }
+  expander.sweepRemainder(static_cast<graph::PartitionId>(request.k - 1));
+  return assignment;
+}
+
+EdgeAssignment SnePartitioner::partition(
+    const EdgePartitionRequest& request) const {
+  const graph::CsrGraph& g = request.csr;
+  EdgeAssignment assignment(g.idBound(), request.k);
+  const std::size_t budget =
+      maxBufferedEdges_ > 0
+          ? maxBufferedEdges_
+          : std::max<std::size_t>(2 * g.numVertices(), request.k);
+  const std::size_t globalCap =
+      edgeCapacity(g.numEdges(), request.k, request.balanceFactor);
+
+  const auto streamEdge = [&](graph::VertexId u, graph::VertexId v) {
+    const graph::PartitionId p =
+        hdrfChoose(assignment, u, v, static_cast<double>(g.degree(u)),
+                   static_cast<double>(g.degree(v)), 1.1, globalCap);
+    assignment.assign({u, v}, p);
+  };
+
+  // Phase 1: grow all k cores from the buffered prefix, caps scaled to the
+  // buffer so every partition gets a neighbourhood to anchor phase 2.
+  Expander expander(g.idBound(), collectEdges(g, budget), assignment);
+  for (graph::PartitionId p = 0; p < request.k; ++p) {
+    const std::size_t cap = std::min(
+        edgeCapacity(expander.unassigned(), request.k - p,
+                     request.balanceFactor),
+        globalCap - std::min(globalCap, assignment.edgeLoads()[p]));
+    expander.fill(p, cap);
+  }
+  // Buffered stragglers (only possible when a cap above clamped to the
+  // global bound) fall through to the streaming rule.
+  expander.forEachUnassigned(
+      [&](const graph::Edge& e) { streamEdge(e.u, e.v); });
+
+  // Phase 2: everything past the budget streams one edge at a time against
+  // the replica sets the cores established. Degrees are exact (the CSR is
+  // in hand); only edge storage is budget-bounded.
+  std::size_t index = 0;
+  g.forEachEdge([&](graph::VertexId u, graph::VertexId v) {
+    if (index++ < budget) return;
+    streamEdge(u, v);
+  });
+  return assignment;
+}
+
+}  // namespace xdgp::epartition

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+
+#include "epartition/edge_partitioner.h"
+
+namespace xdgp::epartition {
+
+/// NE — neighbour expansion (Zhang et al., KDD 2017, "Graph Edge
+/// Partitioning via Neighborhood Heuristic").
+///
+/// Fills partitions one at a time by growing a core set C and its boundary
+/// S: repeatedly promote the boundary vertex with the fewest unassigned
+/// neighbours *outside* C ∪ S into the core, pull its neighbours onto the
+/// boundary, and claim every unassigned edge that falls inside C ∪ S. Edges
+/// claimed this way share endpoints by construction, so each partition is a
+/// dense neighbourhood and vertices straddle few partitions — the best
+/// replication factors of the published offline heuristics. Per-partition
+/// caps adapt to the unassigned remainder (ceil(balanceFactor · U / (k −
+/// p))), which keeps every load within edgeCapacity(|E|, k, balanceFactor);
+/// the last partition sweeps what is left, which the adaptive caps bound by
+/// the same limit. Entirely deterministic: boundary and seed ties break to
+/// the lower vertex id.
+class NePartitioner final : public EdgePartitioner {
+ public:
+  using EdgePartitioner::partition;
+
+  [[nodiscard]] std::string name() const override { return "NE"; }
+
+  [[nodiscard]] EdgeAssignment partition(
+      const EdgePartitionRequest& request) const override;
+};
+
+/// SNE — streaming neighbour expansion under a memory budget (Appendix B of
+/// the NE paper, adapted): only the first `maxBufferedEdges` edges of the
+/// stream are buffered and partitioned by the NE expansion (growing all k
+/// cores from the sample); every edge past the budget is placed one at a
+/// time by the HDRF rule against the replica sets those cores established,
+/// under the same hard balance cap. budget = 0 (the default) means 2·|V|
+/// buffered edges, the CacheSize = 2|V| configuration of the paper's
+/// evaluation. Sits between HDRF and NE in replication factor while keeping
+/// memory proportional to the budget, not to |E|.
+class SnePartitioner final : public EdgePartitioner {
+ public:
+  using EdgePartitioner::partition;
+
+  explicit SnePartitioner(std::size_t maxBufferedEdges = 0)
+      : maxBufferedEdges_(maxBufferedEdges) {}
+
+  [[nodiscard]] std::string name() const override { return "SNE"; }
+
+  [[nodiscard]] std::size_t maxBufferedEdges() const noexcept {
+    return maxBufferedEdges_;
+  }
+
+  [[nodiscard]] EdgeAssignment partition(
+      const EdgePartitionRequest& request) const override;
+
+ private:
+  std::size_t maxBufferedEdges_;
+};
+
+}  // namespace xdgp::epartition

@@ -1,0 +1,48 @@
+#include "metrics/replication.h"
+
+#include <algorithm>
+
+namespace xdgp::metrics {
+
+ReplicationReport replicationReport(
+    const epartition::EdgeAssignment& assignment) {
+  ReplicationReport report;
+  report.k = assignment.k();
+  report.numEdges = assignment.numEdges();
+  report.coveredVertices = assignment.coveredVertices();
+  report.totalReplicas = assignment.totalReplicas();
+  if (report.coveredVertices > 0) {
+    report.replicationFactor = static_cast<double>(report.totalReplicas) /
+                               static_cast<double>(report.coveredVertices);
+    std::size_t cut = 0;
+    for (graph::VertexId v = 0; v < assignment.idBound(); ++v) {
+      cut += assignment.replicaCount(v) > 1;
+    }
+    report.vertexCutRatio =
+        static_cast<double>(cut) / static_cast<double>(report.coveredVertices);
+  }
+  const std::vector<std::size_t>& loads = assignment.edgeLoads();
+  const auto [minIt, maxIt] = std::minmax_element(loads.begin(), loads.end());
+  report.minEdgeLoad = *minIt;
+  report.maxEdgeLoad = *maxIt;
+  if (report.numEdges > 0) {
+    const double balanced = static_cast<double>(report.numEdges) /
+                            static_cast<double>(report.k);
+    report.edgeImbalance = static_cast<double>(report.maxEdgeLoad) / balanced;
+  }
+  if (report.totalReplicas > 0) {
+    const std::vector<std::size_t> copies = assignment.copyLoads();
+    const double balanced = static_cast<double>(report.totalReplicas) /
+                            static_cast<double>(report.k);
+    report.copyImbalance =
+        static_cast<double>(*std::max_element(copies.begin(), copies.end())) /
+        balanced;
+  }
+  return report;
+}
+
+double replicationFactor(const epartition::EdgeAssignment& assignment) {
+  return replicationReport(assignment).replicationFactor;
+}
+
+}  // namespace xdgp::metrics

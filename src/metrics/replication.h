@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+
+#include "epartition/edge_assignment.h"
+
+namespace xdgp::metrics {
+
+/// Quality summary of an edge partitioning (vertex cut), mirroring
+/// BalanceReport for the vertex side. The headline number is the
+/// replication factor — the metric the vertex-cut literature (PowerGraph,
+/// DBH, HDRF, NE) reports where the edge-cut literature reports cut ratio:
+/// with every edge local to one partition, cross-partition cost is incurred
+/// per vertex *replica* (each extra copy must be synchronised every
+/// superstep), so RF is the direct analogue of the paper's |Ec|/|E|.
+struct ReplicationReport {
+  std::size_t k = 0;
+  std::size_t numEdges = 0;
+  /// Vertices with >= 1 incident edge assigned (the RF denominator).
+  std::size_t coveredVertices = 0;
+  std::size_t totalReplicas = 0;
+  /// Σ_v |A(v)| / |{v : A(v) ≠ ∅}| — mean copies per covered vertex.
+  /// 1.0 is perfect (no vertex straddles partitions); k is the worst case.
+  double replicationFactor = 0.0;
+  /// Fraction of covered vertices with more than one replica — the
+  /// vertex-cut analogue of the cut ratio (a "cut vertex" is one that has
+  /// been split across partitions).
+  double vertexCutRatio = 0.0;
+  /// max edge load / (|E| / k): 1.0 is perfectly balanced; strategies that
+  /// promise respectsBalanceCap keep this <= balanceFactor (+ ceil slack).
+  double edgeImbalance = 0.0;
+  /// max vertex-copy load / (totalReplicas / k) — whether the replicas
+  /// themselves (i.e. per-partition vertex state) are spread evenly.
+  double copyImbalance = 0.0;
+  std::size_t minEdgeLoad = 0;
+  std::size_t maxEdgeLoad = 0;
+};
+
+[[nodiscard]] ReplicationReport replicationReport(
+    const epartition::EdgeAssignment& assignment);
+
+/// Shorthand for replicationReport(assignment).replicationFactor.
+[[nodiscard]] double replicationFactor(
+    const epartition::EdgeAssignment& assignment);
+
+}  // namespace xdgp::metrics

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "partition/partitioner.h"
+
+namespace xdgp::partition {
+
+/// FNL — Fennel one-pass streaming partitioner (Tsourakakis et al., WSDM
+/// 2014), the interpolation between LDG's load-damped affinity and pure
+/// modularity-style greedy.
+///
+/// Vertices arrive in id order and each is placed in the partition
+/// maximising
+///     |N(v) ∩ P_i| − α · ((|P_i| + 1)^γ − |P_i|^γ)
+/// i.e. neighbour affinity minus the *marginal* increase of the convex load
+/// cost α · |P|^γ. The standard setting γ = 1.5 with
+/// α = √k · |E| / |V|^1.5 makes the total load cost comparable to the
+/// expected edge cut, so the penalty bites exactly when a partition grows
+/// past its fair share. Partitions at their C(i) capacity are skipped
+/// (Fennel's ν-balance constraint, realised with the paper's capacity
+/// vector), so the capacity promise in the registry metadata is hard; ties
+/// break to the lighter then lower-indexed partition.
+class FennelPartitioner final : public InitialPartitioner {
+ public:
+  using InitialPartitioner::partition;
+
+  [[nodiscard]] std::string name() const override { return "FNL"; }
+
+  [[nodiscard]] Assignment partition(const PartitionRequest& request) const override;
+};
+
+}  // namespace xdgp::partition

@@ -34,8 +34,9 @@ CsrGraph plawCsr() {
 
 TEST(Registry, CatalogListsAllBuiltins) {
   const auto codes = PartitionerRegistry::instance().codes();
-  EXPECT_GE(codes.size(), 6u);
-  for (const std::string expected : {"HSH", "RND", "DGR", "MNN", "METIS", "RGR"}) {
+  EXPECT_GE(codes.size(), 7u);
+  for (const std::string expected :
+       {"HSH", "RND", "DGR", "MNN", "METIS", "RGR", "FNL"}) {
     EXPECT_TRUE(PartitionerRegistry::instance().has(expected)) << expected;
   }
   EXPECT_TRUE(std::is_sorted(codes.begin(), codes.end()));

@@ -9,6 +9,7 @@
 #include "gen/powerlaw_cluster.h"
 #include "metrics/balance.h"
 #include "metrics/cuts.h"
+#include "partition/fennel_partitioner.h"
 #include "partition/hash_partitioner.h"
 #include "partition/partitioner.h"
 
@@ -168,6 +169,31 @@ TEST(MnnPartitioner, ScattersNeighboursByDesign) {
   const double mnn = cutRatio(g, makePartitioner("MNN")->partition(g, 9, 1.1, rng));
   const double rnd = cutRatio(g, makePartitioner("RND")->partition(g, 9, 1.1, rng));
   EXPECT_GE(mnn, 0.9 * rnd);
+}
+
+TEST(FennelPartitioner, BeatsHashOnMeshLocality) {
+  // Fennel's convex load penalty only bites past the fair share, so on a
+  // mesh it keeps neighbourhoods together like LDG and cuts far fewer
+  // edges than uncoordinated hashing.
+  const CsrGraph g = meshCsr();
+  util::Rng rngA(6), rngB(6);
+  const double fnl =
+      cutRatio(g, partition::FennelPartitioner().partition(g, 9, 1.1, rngA));
+  const double hsh = cutRatio(g, makePartitioner("HSH")->partition(g, 9, 1.1, rngB));
+  EXPECT_LT(fnl, 0.6 * hsh);
+}
+
+TEST(FennelPartitioner, CapacityBindsOnSkewedGraphs) {
+  // The γ = 1.5 cost alone is only soft pressure; the registry promises the
+  // hard C(i) cap, which must hold even on a power-law graph whose hubs
+  // drag their neighbourhoods toward one partition.
+  util::Rng seedRng(1);
+  const CsrGraph g =
+      CsrGraph::fromGraph(gen::powerlawCluster(2'000, 8, 0.1, seedRng));
+  util::Rng rng(2);
+  const auto assignment = partition::FennelPartitioner().partition(g, 9, 1.1, rng);
+  EXPECT_TRUE(metrics::respectsCapacities(
+      assignment, makeCapacities(g.numVertices(), 9, 1.1)));
 }
 
 TEST(Partitioners, HandleGraphWithDeadIds) {

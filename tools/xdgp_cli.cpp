@@ -1,12 +1,13 @@
 // xdgp command-line tool: generate Table-1 datasets, partition edge-list
-// files with any registered strategy, run the adaptive algorithm to
-// convergence, and stream a registered workload through the windowed
-// drain -> apply -> converge loop — the downstream-user entry point that
-// needs no C++.
+// files with any registered strategy (vertex or edge side), run the
+// adaptive algorithm to convergence, and stream a registered workload
+// through the windowed drain -> apply -> converge loop — the
+// downstream-user entry point that needs no C++.
 //
-// The partition/adapt/stream subcommands are thin shells over api::Pipeline
-// and Session::stream; the strategy and workload menus are printed straight
-// from api::PartitionerRegistry and api::WorkloadRegistry — the CLI learns
+// The partition/adapt/stream/epartition subcommands are thin shells over
+// api::Pipeline, Session::stream, and api::edgePartition; the strategy and
+// workload menus are printed straight from api::PartitionerRegistry,
+// api::EdgePartitionerRegistry, and api::WorkloadRegistry — the CLI learns
 // new strategies and workloads the moment they are registered.
 //
 // Usage:
@@ -16,6 +17,9 @@
 //   xdgp_cli --cmd=adapt --graph=mesh.txt --assignment=initial.part
 //            --out=final.part --s=0.5
 //   xdgp_cli --cmd=adapt --graph=mesh.txt --strategy=HSH --k=9 --out=final.part
+//   xdgp_cli --cmd=epartition --graph=mesh.txt --strategy=HDRF --k=8
+//            --out=mesh.epart
+//   xdgp_cli --cmd=emetrics --epart=mesh.epart --graph=mesh.txt
 //   xdgp_cli --cmd=stream --workload=CDR --k=5 --csv=timeline.csv
 //   xdgp_cli --cmd=stream --workload=TWEET --users=10000 --hours=12
 //            --jsonl=windows.jsonl
@@ -23,11 +27,14 @@
 #include <fstream>
 #include <iostream>
 
+#include "api/edge_partitioner_registry.h"
 #include "api/partitioner_registry.h"
 #include "api/pipeline.h"
 #include "api/workload_registry.h"
+#include "epartition/epart_io.h"
 #include "gen/dataset_catalog.h"
 #include "graph/io.h"
+#include "metrics/replication.h"
 #include "partition/assignment_io.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -120,6 +127,67 @@ int adaptCmd(util::Flags& flags) {
   return report.converged ? 0 : 2;
 }
 
+/// The replication-factor report both edge subcommands print: key=value
+/// lines so the CI round-trip smoke (and any script) can parse it.
+void printReplicationReport(const metrics::ReplicationReport& report) {
+  std::cout << "  replication_factor=" << util::fmt(report.replicationFactor, 4)
+            << "\n  vertex_cut_ratio=" << util::fmt(report.vertexCutRatio, 4)
+            << "\n  edge_imbalance=" << util::fmt(report.edgeImbalance, 4)
+            << "\n  copy_imbalance=" << util::fmt(report.copyImbalance, 4)
+            << "\n  edge_loads=[" << report.minEdgeLoad << ", "
+            << report.maxEdgeLoad << "]\n";
+}
+
+int epartitionCmd(util::Flags& flags) {
+  const std::string graphPath = flags.getString("graph", "");
+  const std::string strategy = flags.getString("strategy", "DBH");
+  const auto k = static_cast<std::size_t>(flags.getInt("k", 8));
+  const double balanceCap = flags.getDouble("balance-cap", 1.05);
+  const std::string out = flags.getString("out", "assignment.epart");
+  const std::uint64_t seed = flags.getUint64("seed", 42);
+  flags.finish();
+  if (graphPath.empty()) throw std::runtime_error("epartition: --graph required");
+
+  const graph::DynamicGraph g = graph::readEdgeList(graphPath);
+  util::WallTimer timer;
+  const epartition::EdgeAssignment assignment =
+      api::edgePartition(g, strategy, k, balanceCap, seed);
+  const metrics::ReplicationReport report = metrics::replicationReport(assignment);
+  std::cout << "epartition " << strategy << " (k=" << k << "): |V|="
+            << g.numVertices() << " |E|=" << assignment.numEdges() << " ("
+            << util::fmt(timer.seconds(), 2) << "s)\n";
+  printReplicationReport(report);
+  epartition::writeEdgeAssignment(assignment, out);
+  std::cout << "  written to " << out << "\n";
+  return 0;
+}
+
+int emetricsCmd(util::Flags& flags) {
+  const std::string epartPath = flags.getString("epart", "");
+  const std::string graphPath = flags.getString("graph", "");
+  flags.finish();
+  if (epartPath.empty()) throw std::runtime_error("emetrics: --epart required");
+
+  const epartition::EdgeAssignment assignment =
+      epartition::readEdgeAssignment(epartPath);
+  if (!graphPath.empty()) {
+    // Cross-check against the source graph: the file must cover its edges
+    // exactly (count equality is enough once every line parsed in range —
+    // writeEdgeAssignment emits each edge once).
+    const graph::DynamicGraph g = graph::readEdgeList(graphPath);
+    if (g.numEdges() != assignment.numEdges()) {
+      throw std::runtime_error(
+          "emetrics: " + epartPath + " covers " +
+          std::to_string(assignment.numEdges()) + " edges but " + graphPath +
+          " has " + std::to_string(g.numEdges()));
+    }
+  }
+  std::cout << "emetrics " << epartPath << " (k=" << assignment.k()
+            << "): |E|=" << assignment.numEdges() << "\n";
+  printReplicationReport(metrics::replicationReport(assignment));
+  return 0;
+}
+
 int streamCmd(util::Flags& flags) {
   const std::string code = flags.getString("workload", "CDR");
   const api::WorkloadInfo& info = api::WorkloadRegistry::instance().info(code);
@@ -183,26 +251,38 @@ int streamCmd(util::Flags& flags) {
 }
 
 void printUsage() {
-  std::cerr << "usage: xdgp_cli --cmd=generate|partition|adapt|stream [options]\n"
-               "  generate:  --dataset=<table1 name> --out=<edge list>\n"
-               "  partition: --graph=<edge list> --strategy=<code> --k=9"
+  std::cerr << "usage: xdgp_cli"
+               " --cmd=generate|partition|adapt|epartition|emetrics|stream"
+               " [options]\n"
+               "  generate:   --dataset=<table1 name> --out=<edge list>\n"
+               "  partition:  --graph=<edge list> --strategy=<code> --k=9"
                " --out=<part file>\n"
-               "  adapt:     --graph=<edge list> [--assignment=<part file> |"
+               "  adapt:      --graph=<edge list> [--assignment=<part file> |"
                " --strategy=<code> --k=9] --s=0.5 [--balance=edges] --out=<part"
                " file>\n"
-               "  stream:    --workload=<code> [--<param>=... per workload]"
+               "  epartition: --graph=<edge list> --strategy=<edge code> --k=8"
+               " [--balance-cap=1.05] --out=<epart file>\n"
+               "  emetrics:   --epart=<epart file> [--graph=<edge list>]\n"
+               "  stream:     --workload=<code> [--<param>=... per workload]"
                " [--strategy=HSH --k=9 --s=0.5]\n"
-               "             [--window=<span> | --window-events=<n>]"
+               "              [--window=<span> | --window-events=<n>]"
                " [--expiry=<span>] [--max-windows=<n>]\n"
-               "             [--static] [--csv=<file>] [--jsonl=<file>]"
+               "              [--static] [--csv=<file>] [--jsonl=<file>]"
                " (REPLAY: --events=<file> [--graph=<edge list>])\n"
-               "strategies:\n";
+               "vertex strategies:\n";
   for (const api::StrategyInfo* info :
        api::PartitionerRegistry::instance().infos()) {
     std::cerr << "  " << info->code << (info->respectsCapacity ? "  " : " ~")
               << " " << info->summary << "\n";
   }
   std::cerr << "  (~ = balance is statistical, not capacity-guaranteed)\n"
+               "edge strategies (epartition):\n";
+  for (const api::EdgeStrategyInfo* info :
+       api::EdgePartitionerRegistry::instance().infos()) {
+    std::cerr << "  " << info->code << (info->respectsBalanceCap ? "  " : " ~")
+              << " " << info->summary << "\n";
+  }
+  std::cerr << "  (~ = edge balance is statistical, no hard cap)\n"
                "workloads:\n";
   for (const api::WorkloadInfo* info : api::WorkloadRegistry::instance().infos()) {
     std::cerr << "  " << info->code << "  " << info->summary << "\n";
@@ -222,6 +302,8 @@ int main(int argc, char** argv) {
     if (cmd == "generate") return generateCmd(flags);
     if (cmd == "partition") return partitionCmd(flags);
     if (cmd == "adapt") return adaptCmd(flags);
+    if (cmd == "epartition") return epartitionCmd(flags);
+    if (cmd == "emetrics") return emetricsCmd(flags);
     if (cmd == "stream") return streamCmd(flags);
     printUsage();
     return 1;
