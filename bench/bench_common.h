@@ -2,7 +2,14 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
+
+#if __has_include(<sys/resource.h>)
+#include <sys/resource.h>
+#define XDGP_BENCH_HAS_RUSAGE 1
+#endif
 
 #include "api/partitioner_registry.h"
 #include "api/pipeline.h"
@@ -26,6 +33,35 @@ inline std::string resultsDir() {
       (override != nullptr && *override != '\0') ? override : "bench_results";
   std::filesystem::create_directories(dir);
   return dir.string();
+}
+
+/// Peak resident set size of this process in bytes, for the memory columns
+/// of the scale and serving benches (one shared helper — not a per-bench
+/// copy). Primary source is VmHWM from /proc/self/status (Linux); the
+/// portable fallback is getrusage's ru_maxrss (kilobytes on Linux, bytes on
+/// macOS). Returns 0 when neither source is available.
+inline std::size_t PeakRss() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream fields(line.substr(6));
+      std::size_t kb = 0;
+      fields >> kb;
+      return kb * 1024;
+    }
+  }
+#ifdef XDGP_BENCH_HAS_RUSAGE
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+#ifdef __APPLE__
+    return static_cast<std::size_t>(usage.ru_maxrss);
+#else
+    return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+#endif
+  }
+#endif
+  return 0;
 }
 
 /// Initial assignment by registry strategy code over a dynamic graph.

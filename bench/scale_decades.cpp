@@ -1,0 +1,279 @@
+// Decade-scaling harness: the 10M-vertex scale pass in one committed
+// trajectory. Walks the vertex ladder 10k -> 100k -> 1M -> 10M (capped by
+// --max-vertices) and, per decade, records
+//   - generation wall-seconds through the parallel generators (plus a
+//     threads=1 reference run up to --serial-compare-max, so the
+//     multi-threaded speedup is visible in the output),
+//   - initial-partition and convergence wall-seconds through the
+//     api::Pipeline front door (HSH initial, the adaptive engine's frontier
+//     mode, iteration-capped by --converge-iters),
+//   - steady-state churn throughput: remove/re-add edge events pushed
+//     through Session::stream after convergence, in events/second,
+//   - memory: the engine's core::MemoryReport (adjacency arena live/slack/
+//     free, graph bookkeeping, partition state, engine scratch) next to the
+//     process peak RSS (bench::PeakRss).
+//
+// scripts/run_bench.sh runs this with a small cap for CI and copies the
+// JSON to BENCH_scale.json at the repo root — the committed baseline comes
+// from a full --max-vertices=10000000 run, so scale regressions are visible
+// PR-over-PR. A decade above the cap is logged as skipped, never silently
+// dropped.
+//
+//   build/bench/scale_decades [--family=plawp|mesh|er|rmat]
+//                             [--max-vertices=1000000] [--k=9] [--seed=42]
+//                             [--threads=0] [--converge-iters=200]
+//                             [--serial-compare-max=1000000]
+//                             [--churn-events=100000] [--churn-window=10000]
+//                             [--out=<json path>]
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/parallel.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace xdgp;
+
+namespace {
+
+struct DecadeRow {
+  std::size_t requestedVertices = 0;
+  std::size_t vertices = 0;
+  std::size_t edges = 0;
+  double genSeconds = 0.0;
+  double genSerialSeconds = 0.0;  ///< 0 when the reference run was skipped
+  double partitionSeconds = 0.0;
+  double convergeSeconds = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+  double cutRatio = 0.0;
+  std::size_t churnEvents = 0;
+  double churnSeconds = 0.0;
+  double churnEventsPerSec = 0.0;
+  core::MemoryReport memory;
+  std::size_t peakRssBytes = 0;  ///< process-cumulative at row end
+};
+
+graph::DynamicGraph makeGraph(const std::string& family, std::size_t n,
+                              std::uint64_t seed, std::size_t threads) {
+  if (family == "mesh") return gen::mesh3dApproxParallel(n, threads);
+  if (family == "er") return gen::erdosRenyiParallel(n, 8 * n, seed, threads);
+  if (family == "rmat") {
+    gen::RmatParams params;
+    params.scale = static_cast<std::size_t>(
+        std::llround(std::log2(static_cast<double>(n))));
+    return gen::rmatParallel(params, seed, threads);
+  }
+  // plawp: the paper's power-law parameterisation (D = log2 |V|, m = D/2,
+  // p = 0.1) through the stateless copy-model generator.
+  const auto m = static_cast<std::size_t>(
+      std::max(2.0, std::round(std::log2(static_cast<double>(n)) / 2.0)));
+  return gen::powerlawClusterParallel(n, m, 0.1, seed, threads);
+}
+
+/// Steady-state churn: remove a live edge, then re-add it — every event does
+/// real structural work through applyEvents + frontier re-convergence.
+graph::UpdateStream makeChurn(const graph::DynamicGraph& g, std::size_t events,
+                              std::uint64_t seed) {
+  graph::UpdateStream stream;
+  const std::size_t bound = g.idBound();
+  double ts = 0.0;
+  std::size_t emitted = 0;
+  for (std::uint64_t i = 0; emitted + 1 < events; ++i) {
+    const auto u = static_cast<graph::VertexId>(
+        util::Rng::splitmix64(seed ^ (0x51ed2701afed6a3bULL + i)) % bound);
+    const auto nbrs = g.neighbors(u);
+    if (nbrs.empty()) continue;
+    const graph::VertexId v =
+        nbrs[util::Rng::splitmix64(seed ^ (0xd6e8feb86659fd93ULL + i)) %
+             nbrs.size()];
+    stream.push(graph::UpdateEvent::removeEdge(u, v, ts));
+    ts += 1.0;
+    stream.push(graph::UpdateEvent::addEdge(u, v, ts));
+    ts += 1.0;
+    emitted += 2;
+  }
+  return stream;
+}
+
+void appendJson(std::ostringstream& out, const DecadeRow& row) {
+  const core::MemoryReport& m = row.memory;
+  out << "{\"requested_vertices\": " << row.requestedVertices
+      << ", \"vertices\": " << row.vertices << ", \"edges\": " << row.edges
+      << ", \"gen_seconds\": " << util::fmt(row.genSeconds, 3)
+      << ", \"gen_serial_seconds\": " << util::fmt(row.genSerialSeconds, 3)
+      << ", \"partition_seconds\": " << util::fmt(row.partitionSeconds, 3)
+      << ", \"converge_seconds\": " << util::fmt(row.convergeSeconds, 3)
+      << ", \"iterations\": " << row.iterations
+      << ", \"converged\": " << (row.converged ? "true" : "false")
+      << ", \"cut_ratio\": " << util::fmt(row.cutRatio, 6)
+      << ", \"churn_events\": " << row.churnEvents
+      << ", \"churn_seconds\": " << util::fmt(row.churnSeconds, 3)
+      << ", \"churn_events_per_sec\": " << util::fmt(row.churnEventsPerSec, 1)
+      << ", \"memory\": {\"adjacency_arena_bytes\": " << m.adjacencyArenaBytes
+      << ", \"adjacency_live_bytes\": " << m.adjacencyLiveBytes
+      << ", \"adjacency_slack_bytes\": " << m.adjacencySlackBytes
+      << ", \"adjacency_free_bytes\": " << m.adjacencyFreeBytes
+      << ", \"adjacency_meta_bytes\": " << m.adjacencyMetaBytes
+      << ", \"graph_bookkeeping_bytes\": " << m.graphBookkeepingBytes
+      << ", \"partition_state_bytes\": " << m.partitionStateBytes
+      << ", \"engine_bytes\": " << m.engineBytes
+      << ", \"total_bytes\": " << m.totalBytes()
+      << "}, \"peak_rss_bytes\": " << row.peakRssBytes << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::string family = flags.getString("family", "plawp");
+  const auto maxVertices =
+      static_cast<std::size_t>(flags.getInt("max-vertices", 1'000'000));
+  const auto k = static_cast<std::size_t>(flags.getInt("k", 9));
+  const std::uint64_t seed = flags.getUint64("seed", 42);
+  const std::size_t threads =
+      gen::resolveThreads(static_cast<std::size_t>(flags.getInt("threads", 0)));
+  const auto convergeIters =
+      static_cast<std::size_t>(flags.getInt("converge-iters", 200));
+  const auto serialCompareMax =
+      static_cast<std::size_t>(flags.getInt("serial-compare-max", 1'000'000));
+  const auto churnEvents =
+      static_cast<std::size_t>(flags.getInt("churn-events", 100'000));
+  const auto churnWindow =
+      static_cast<std::size_t>(flags.getInt("churn-window", 10'000));
+  const std::string outPath =
+      flags.getString("out", bench::resultsDir() + "/BENCH_scale.json");
+  flags.finish();
+
+  const std::vector<std::size_t> decades{10'000, 100'000, 1'000'000, 10'000'000};
+
+  std::cout << "scale_decades: family=" << family << " k=" << k
+            << " threads=" << threads << " converge-iters=" << convergeIters
+            << "\n";
+  if (threads == 1) {
+    std::cout << "note: 1 hardware thread visible — parallel and serial "
+                 "generation timings will coincide on this host.\n";
+  }
+
+  std::vector<DecadeRow> rows;
+  std::vector<std::size_t> skipped;
+  util::TablePrinter table({"|V| req", "|V|", "|E|", "gen s", "gen s (1T)",
+                            "part s", "conv s", "iters", "cut", "churn ev/s",
+                            "mem MB", "rss MB"});
+
+  for (const std::size_t n : decades) {
+    if (n > maxVertices) {
+      skipped.push_back(n);
+      std::cerr << "[scale] n=" << n << " skipped (--max-vertices="
+                << maxVertices << ")\n";
+      continue;
+    }
+    DecadeRow row;
+    row.requestedVertices = n;
+
+    util::WallTimer genTimer;
+    graph::DynamicGraph g = makeGraph(family, n, seed, threads);
+    row.genSeconds = genTimer.seconds();
+    row.vertices = g.numVertices();
+    row.edges = g.numEdges();
+    if (threads > 1 && n <= serialCompareMax) {
+      util::WallTimer serialTimer;
+      const graph::DynamicGraph reference = makeGraph(family, n, seed, 1);
+      row.genSerialSeconds = serialTimer.seconds();
+      if (reference.numEdges() != row.edges) {
+        std::cerr << "[scale] WARNING: serial/parallel generation diverged at n="
+                  << n << " (" << reference.numEdges() << " vs " << row.edges
+                  << " edges)\n";
+      }
+    } else if (threads == 1) {
+      row.genSerialSeconds = row.genSeconds;  // same run, by definition
+    }
+
+    core::AdaptiveOptions options;
+    options.k = k;
+    options.seed = seed;
+    options.recordSeries = false;  // the bench keeps its own series
+    util::WallTimer partitionTimer;
+    api::Session session = api::Pipeline::fromGraph(std::move(g))
+                               .initial("HSH")
+                               .k(k)
+                               .seed(seed)
+                               .adaptive(options)
+                               .maxIterations(convergeIters)
+                               .start();
+    row.partitionSeconds = partitionTimer.seconds();
+
+    util::WallTimer convergeTimer;
+    const core::ConvergenceResult result = session.runToConvergence();
+    row.convergeSeconds = convergeTimer.seconds();
+    row.iterations = result.iterationsRun;
+    row.converged = result.converged;
+    row.cutRatio = session.cutRatio();
+
+    graph::UpdateStream churn =
+        makeChurn(session.engine().graph(), churnEvents, seed);
+    api::StreamOptions streamOptions;
+    streamOptions.windowEvents = churnWindow;
+    streamOptions.maxIterationsPerWindow = 50;
+    util::WallTimer churnTimer;
+    const api::TimelineReport timeline =
+        session.stream(std::move(churn), streamOptions);
+    row.churnSeconds = churnTimer.seconds();
+    for (const api::WindowReport& w : timeline.windows) {
+      row.churnEvents += w.eventsDrained;
+    }
+    row.churnEventsPerSec = row.churnSeconds > 0.0
+                                ? static_cast<double>(row.churnEvents) /
+                                      row.churnSeconds
+                                : 0.0;
+
+    row.memory = session.engine().memoryReport();
+    row.peakRssBytes = bench::PeakRss();
+    rows.push_back(row);
+
+    table.addRow({std::to_string(n), std::to_string(row.vertices),
+                  std::to_string(row.edges), util::fmt(row.genSeconds, 2),
+                  util::fmt(row.genSerialSeconds, 2),
+                  util::fmt(row.partitionSeconds, 2),
+                  util::fmt(row.convergeSeconds, 2),
+                  std::to_string(row.iterations), util::fmt(row.cutRatio, 3),
+                  util::fmt(row.churnEventsPerSec, 0),
+                  util::fmt(static_cast<double>(row.memory.totalBytes()) / 1e6, 1),
+                  util::fmt(static_cast<double>(row.peakRssBytes) / 1e6, 1)});
+    std::cerr << "[scale] n=" << n << " done: gen=" << util::fmt(row.genSeconds, 2)
+              << "s converge=" << util::fmt(row.convergeSeconds, 2)
+              << "s churn=" << util::fmt(row.churnEventsPerSec, 0) << " ev/s\n";
+  }
+  table.print(std::cout);
+
+  std::ostringstream json;
+  json << "{\"bench\": \"scale_decades\", \"family\": \"" << family
+       << "\", \"k\": " << k << ", \"seed\": " << seed
+       << ", \"threads\": " << threads
+       << ", \"converge_iters\": " << convergeIters
+       << ", \"max_vertices\": " << maxVertices << ", \"skipped_decades\": [";
+  for (std::size_t i = 0; i < skipped.size(); ++i) {
+    json << (i ? ", " : "") << skipped[i];
+  }
+  json << "], \"decades\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i) json << ", ";
+    appendJson(json, rows[i]);
+  }
+  json << "]}";
+
+  std::ofstream out(outPath);
+  if (!out) {
+    std::cerr << "scale_decades: cannot open " << outPath << "\n";
+    return 1;
+  }
+  out << json.str() << "\n";
+  std::cout << "scale_decades: wrote " << outPath << "\n";
+  return rows.empty() ? 2 : 0;
+}

@@ -158,7 +158,8 @@ int main(int argc, char** argv) {
       << ", \"latency_ns\": {\"p50\": " << util::fmt(p50, 1)
       << ", \"p99\": " << util::fmt(p99, 1)
       << ", \"max\": " << util::fmt(maxNs, 1)
-      << ", \"samples\": " << samples.size() << "}}\n";
+      << ", \"samples\": " << samples.size()
+      << "}, \"peak_rss_bytes\": " << bench::PeakRss() << "}\n";
   std::cout << "serve_latency: wrote " << outPath << "\n";
   return timeline.empty() ? 2 : 0;
 }

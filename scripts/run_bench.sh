@@ -38,6 +38,15 @@ cmake --build "$build_dir" -j --target serve_latency
 "$build_dir/bench/serve_latency" --out=BENCH_serve.json
 cp BENCH_serve.json "$out_dir/BENCH_serve_${label}.json"
 
+# Decade-scaling trajectory: gen/partition/converge wall-seconds, churn
+# throughput, MemoryReport bytes, and peak RSS per vertex decade. CI runs a
+# small cap (override with SCALE_MAX_VERTICES); the committed BENCH_scale.json
+# at the repo root comes from a full --max-vertices=10000000 run.
+cmake --build "$build_dir" -j --target scale_decades
+"$build_dir/bench/scale_decades" \
+  --max-vertices="${SCALE_MAX_VERTICES:-100000}" --out=BENCH_scale.json
+cp BENCH_scale.json "$out_dir/BENCH_scale_${label}.json"
+
 # Edge-partitioning quality: replication factor / vertex-cut / balance for
 # every registered edge strategy next to the HSH vertex baseline on the
 # TWEET/CDR/RMAT families. BENCH_partition.json at the repo root is the

@@ -273,4 +273,19 @@ void AdaptiveEngine::rescaleCapacity() {
   unparkAll();  // grown capacities can admit previously starved desires
 }
 
+MemoryReport AdaptiveEngine::memoryReport() const noexcept {
+  MemoryReport report = runtime_.memoryReport();
+  report.engineBytes =
+      desires_.capacity() * sizeof(graph::PartitionId) +
+      desireTiedMask_.capacity() * sizeof(std::uint64_t) +
+      pendingMoves_.capacity() * sizeof(pendingMoves_[0]) +
+      frontier_.capacity() * sizeof(graph::VertexId) +
+      nextFrontier_.capacity() * sizeof(graph::VertexId) +
+      inNextFrontier_.capacity() * sizeof(std::uint8_t) +
+      parked_.capacity() * sizeof(graph::VertexId) +
+      isParked_.capacity() * sizeof(std::uint8_t) +
+      series_.points().capacity() * sizeof(metrics::IterationPoint);
+  return report;
+}
+
 }  // namespace xdgp::core

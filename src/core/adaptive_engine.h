@@ -166,6 +166,12 @@ class AdaptiveEngine {
   /// until any load or capacity shifts (0 in full-scan mode).
   [[nodiscard]] std::size_t parkedCount() const noexcept { return parked_.size(); }
 
+  /// Heap footprint of the runtime substrate plus this engine's per-vertex
+  /// scratch (desires, tie masks, frontier double-buffer, parked flags, the
+  /// recorded iteration series) — the MemoryReport the scale bench publishes
+  /// next to peak RSS.
+  [[nodiscard]] MemoryReport memoryReport() const noexcept;
+
  private:
   /// Frontier maintenance on structural updates (PartitionedRuntime hooks):
   /// every vertex whose cached decision could have changed is re-queued.

@@ -86,4 +86,20 @@ bool PartitionedRuntime::executeMove(graph::VertexId v, graph::PartitionId to) {
   return true;
 }
 
+MemoryReport PartitionedRuntime::memoryReport() const noexcept {
+  MemoryReport report;
+  const graph::AdjacencyPool::ArenaStats pool = graph_.adjacencyPool().stats();
+  report.adjacencyArenaBytes = pool.arenaSlots * sizeof(graph::VertexId);
+  report.adjacencyLiveBytes = pool.liveSlots * sizeof(graph::VertexId);
+  report.adjacencySlackBytes = pool.slackSlots * sizeof(graph::VertexId);
+  report.adjacencyFreeBytes = pool.freeSlots * sizeof(graph::VertexId);
+  report.adjacencyMetaBytes = pool.metaBytes;
+  report.graphBookkeepingBytes = graph_.bookkeepingBytes();
+  report.partitionStateBytes =
+      state_.assignment().capacity() * sizeof(graph::PartitionId) +
+      state_.loads().capacity() * sizeof(std::size_t) +
+      state_.degreeLoads().capacity() * sizeof(std::size_t);
+  return report;
+}
+
 }  // namespace xdgp::core

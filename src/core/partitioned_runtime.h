@@ -12,6 +12,33 @@
 
 namespace xdgp::core {
 
+/// Heap-footprint breakdown of a partitioned runtime, in bytes — the
+/// memory-budget half of the 10M-vertex scale pass. Every field is measured
+/// from container capacities (what the allocator actually holds), not
+/// element counts, so the report tracks real reservation including growth
+/// slack. The adjacency terms decompose the AdjacencyPool arena exactly:
+///   adjacencyArenaBytes == adjacencyLiveBytes + adjacencySlackBytes
+///                          + adjacencyFreeBytes
+/// (the pool's slot invariant, scaled by sizeof(VertexId)); reserved-over-
+/// carved vector headroom is NOT in arena bytes and shows up only through
+/// AdjacencyPool::ArenaStats::reservedBytes if a caller wants it.
+struct MemoryReport {
+  std::size_t adjacencyArenaBytes = 0;  ///< slots carved out of the arena
+  std::size_t adjacencyLiveBytes = 0;   ///< occupied neighbour slots
+  std::size_t adjacencySlackBytes = 0;  ///< power-of-two rounding in blocks
+  std::size_t adjacencyFreeBytes = 0;   ///< parked blocks awaiting reuse
+  std::size_t adjacencyMetaBytes = 0;   ///< per-list table + free lists
+  std::size_t graphBookkeepingBytes = 0;  ///< alive flags + free-id list
+  std::size_t partitionStateBytes = 0;  ///< assignment + load/degree arrays
+  std::size_t engineBytes = 0;  ///< engine scratch (frontier, desires, ...)
+
+  /// Sum of every term (arena sub-terms counted once, via arena bytes).
+  [[nodiscard]] std::size_t totalBytes() const noexcept {
+    return adjacencyArenaBytes + adjacencyMetaBytes + graphBookkeepingBytes +
+           partitionStateBytes + engineBytes;
+  }
+};
+
 /// The substrate both BSP realisations stand on: the graph, the partition
 /// state, stream-vertex placement, structural-update application, load
 /// accounting in either balance mode, and the executed-migration counter.
@@ -92,6 +119,10 @@ class PartitionedRuntime {
   [[nodiscard]] std::size_t totalMigrations() const noexcept {
     return totalMigrations_;
   }
+
+  /// Measures the substrate's heap footprint (engineBytes left 0 for the
+  /// owning engine to fill in — AdaptiveEngine::memoryReport does).
+  [[nodiscard]] MemoryReport memoryReport() const noexcept;
 
  private:
   /// Loads a streamed-in vertex: placement (hash by default, the system

@@ -1,0 +1,221 @@
+#include "gen/parallel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "gen/mesh3d.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace xdgp::gen {
+
+namespace {
+
+using graph::Edge;
+using graph::VertexId;
+
+/// Fixed chunk granularity. Chunks are the unit of determinism: their
+/// boundaries must never depend on the thread count, only on the item count.
+constexpr std::size_t kChunkItems = std::size_t{1} << 16;
+
+/// Stateless (seed, a, b) -> 64-bit draw, the core/draws.h mixing chain.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t salt, std::uint64_t a,
+                  std::uint64_t b = 0) noexcept {
+  std::uint64_t x = seed ^ salt;
+  x = util::Rng::splitmix64(x + 0x9e3779b97f4a7c15ULL * (a + 1));
+  x = util::Rng::splitmix64(x ^ (0xff51afd7ed558ccdULL * (b + 1)));
+  return x;
+}
+
+/// Runs fill(lo, hi, out) over [0, items) in kChunkItems-sized chunks,
+/// fanned out across `threads` workers, and concatenates the per-chunk edge
+/// vectors in chunk order. Each chunk's content is a pure function of its
+/// range, so the concatenation is thread-count-invariant.
+template <typename FillFn>
+std::vector<Edge> generateChunked(std::size_t items, std::size_t threads,
+                                  FillFn&& fill) {
+  const std::size_t numChunks = (items + kChunkItems - 1) / kChunkItems;
+  std::vector<std::vector<Edge>> chunks(numChunks);
+  const auto runChunk = [&](std::size_t c) {
+    const std::size_t lo = c * kChunkItems;
+    const std::size_t hi = std::min(items, lo + kChunkItems);
+    fill(lo, hi, chunks[c]);
+  };
+  if (threads <= 1 || numChunks <= 1) {
+    for (std::size_t c = 0; c < numChunks; ++c) runChunk(c);
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallelFor(numChunks, runChunk);
+  }
+  std::size_t total = 0;
+  for (const auto& chunk : chunks) total += chunk.size();
+  std::vector<Edge> edges;
+  edges.reserve(total);
+  for (auto& chunk : chunks) {
+    edges.insert(edges.end(), chunk.begin(), chunk.end());
+    // Release eagerly: at 100M+ edges, holding both the chunks and the
+    // concatenation doubles the transient footprint.
+    std::vector<Edge>().swap(chunk);
+  }
+  return edges;
+}
+
+// --------------------------------------------------------- power-law copy
+
+constexpr std::size_t kMaxCopyDepth = 64;  ///< belt over the proven descent
+
+/// Out-slot count of vertex v in the copy model.
+std::size_t outSlots(VertexId v, std::size_t m) noexcept {
+  return std::min<std::size_t>(v, m);
+}
+
+/// Target of out-slot j of vertex v — a pure function of (seed, m, p, v, j).
+/// Descends strictly to smaller vertex ids (a copy target w < v; the triad
+/// pivot t < v), so the recursion provably terminates; the depth cap is a
+/// deterministic backstop only.
+VertexId slotTarget(std::uint64_t seed, std::size_t m, double p, VertexId v,
+                    std::size_t j, std::size_t depth = 0) {
+  util::Rng rng(mix(seed, 0x8f1b5a2cd9e47301ULL, v, j));
+  // Triad step (Holme–Kim clustering knob): close a triangle through the
+  // previous slot's target t by attaching to one of t's own out-edges. Only
+  // odd slots may triad — the even slot below is then always a pure copy
+  // step, so triad hops cannot chain within a vertex. (Unrestricted chaining
+  // turns high p into a descending hub walk: degree mass concentrates on the
+  // lowest ids and the wedge count grows faster than the triangles, which
+  // *lowers* transitivity as p rises.)
+  if (j % 2 == 1 && depth < kMaxCopyDepth && rng.bernoulli(p)) {
+    const VertexId t = slotTarget(seed, m, p, v, j - 1, depth + 1);
+    if (t >= 1) {
+      // Close through one of t's own even slots — pure copy steps, so the
+      // hop count stays bounded across vertices too.
+      const std::size_t evenSlots = (outSlots(t, m) + 1) / 2;
+      const std::size_t jt = 2 * rng.index(evenSlots);
+      return slotTarget(seed, m, p, t, jt, depth + 1);
+    }
+  }
+  // Random-copy preferential attachment: pick an earlier vertex w; keep it
+  // with probability 1/2, otherwise adopt the target of one of w's slots.
+  const auto w = static_cast<VertexId>(rng.index(v));
+  if (w == 0 || depth >= kMaxCopyDepth || rng.bernoulli(0.5)) return w;
+  const std::size_t jw = rng.index(outSlots(w, m));
+  return slotTarget(seed, m, p, w, jw, depth + 1);
+}
+
+}  // namespace
+
+std::size_t resolveThreads(std::size_t threads) noexcept {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+graph::DynamicGraph mesh3dParallel(std::size_t nx, std::size_t ny, std::size_t nz,
+                                   std::size_t threads) {
+  const std::size_t n = nx * ny * nz;
+  auto edges = generateChunked(
+      n, resolveThreads(threads),
+      [&](std::size_t lo, std::size_t hi, std::vector<Edge>& out) {
+        out.reserve(3 * (hi - lo));
+        for (std::size_t id = lo; id < hi; ++id) {
+          const std::size_t x = id % nx;
+          const std::size_t y = (id / nx) % ny;
+          const std::size_t z = id / (nx * ny);
+          const auto u = static_cast<VertexId>(id);
+          if (x + 1 < nx) out.push_back({u, mesh3dId(nx, ny, x + 1, y, z)});
+          if (y + 1 < ny) out.push_back({u, mesh3dId(nx, ny, x, y + 1, z)});
+          if (z + 1 < nz) out.push_back({u, mesh3dId(nx, ny, x, y, z + 1)});
+        }
+      });
+  return graph::DynamicGraph::fromEdges(n, edges);
+}
+
+graph::DynamicGraph mesh3dApproxParallel(std::size_t n, std::size_t threads) {
+  auto side =
+      static_cast<std::size_t>(std::llround(std::cbrt(static_cast<double>(n))));
+  if (side == 0) side = 1;
+  const std::size_t nz = (n + side * side - 1) / (side * side);
+  return mesh3dParallel(side, side, nz, threads);
+}
+
+graph::DynamicGraph erdosRenyiParallel(std::size_t n, std::size_t targetEdges,
+                                       std::uint64_t seed, std::size_t threads) {
+  if (n < 2) return graph::DynamicGraph(n);
+  const std::size_t maxEdges = n * (n - 1) / 2;
+  const std::size_t target = std::min(targetEdges, maxEdges);
+  auto edges = generateChunked(
+      target, resolveThreads(threads),
+      [&](std::size_t lo, std::size_t hi, std::vector<Edge>& out) {
+        out.reserve(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i) {
+          util::Rng rng(mix(seed, 0xa24baed4963ee407ULL, i));
+          const auto u = static_cast<VertexId>(rng.index(n));
+          const auto v = static_cast<VertexId>(rng.index(n));
+          if (u != v) out.push_back({u, v});
+        }
+      });
+  return graph::DynamicGraph::fromEdges(n, edges);
+}
+
+graph::DynamicGraph rmatParallel(const RmatParams& params, std::uint64_t seed,
+                                 std::size_t threads) {
+  const std::size_t n = std::size_t{1} << params.scale;
+  const std::size_t target = params.edgeFactor * n;
+  const double ab = params.a + params.b;
+  const double abc = ab + params.c;
+  auto edges = generateChunked(
+      target, resolveThreads(threads),
+      [&](std::size_t lo, std::size_t hi, std::vector<Edge>& out) {
+        out.reserve(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i) {
+          util::Rng rng(mix(seed, 0xc3d6512fe93a70b5ULL, i));
+          std::size_t rowLo = 0, rowHi = n, colLo = 0, colHi = n;
+          for (std::size_t level = 0; level < params.scale; ++level) {
+            const double u = rng.uniform();
+            const std::size_t rowMid = (rowLo + rowHi) / 2;
+            const std::size_t colMid = (colLo + colHi) / 2;
+            if (u < params.a) {
+              rowHi = rowMid;
+              colHi = colMid;
+            } else if (u < ab) {
+              rowHi = rowMid;
+              colLo = colMid;
+            } else if (u < abc) {
+              rowLo = rowMid;
+              colHi = colMid;
+            } else {
+              rowLo = rowMid;
+              colLo = colMid;
+            }
+          }
+          if (rowLo != colLo) {
+            out.push_back({static_cast<VertexId>(rowLo),
+                           static_cast<VertexId>(colLo)});
+          }
+        }
+      });
+  return graph::DynamicGraph::fromEdges(n, edges);
+}
+
+graph::DynamicGraph powerlawClusterParallel(std::size_t n, std::size_t m, double p,
+                                            std::uint64_t seed,
+                                            std::size_t threads) {
+  if (n == 0) return graph::DynamicGraph(0);
+  m = std::max<std::size_t>(1, std::min(m, n > 1 ? n - 1 : 1));
+  auto edges = generateChunked(
+      n, resolveThreads(threads),
+      [&](std::size_t lo, std::size_t hi, std::vector<Edge>& out) {
+        out.reserve(m * (hi - lo));
+        for (std::size_t id = std::max<std::size_t>(lo, 1); id < hi; ++id) {
+          const auto v = static_cast<VertexId>(id);
+          const std::size_t slots = outSlots(v, m);
+          for (std::size_t j = 0; j < slots; ++j) {
+            out.push_back({v, slotTarget(seed, m, p, v, j)});
+          }
+        }
+      });
+  return graph::DynamicGraph::fromEdges(n, edges);
+}
+
+}  // namespace xdgp::gen

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gen/rmat.h"
+#include "graph/dynamic_graph.h"
+
+namespace xdgp::gen {
+
+/// Parallel, deterministic construction for the scale-relevant families.
+///
+/// Every generator here follows one scheme: the work range (vertices or edge
+/// indices) is cut into fixed-size chunks — the chunk grid never depends on
+/// the thread count — and each chunk's edges are a pure function of
+/// (seed, item index) through stateless per-item RNG streams (the
+/// core/draws.h pattern). Chunks are concatenated in index order and
+/// bulk-loaded via DynamicGraph::fromEdges, so the resulting graph is
+/// bit-identical at any thread count: threads only decide who computes a
+/// chunk, never what it contains (tests/gen_test.cpp locksteps
+/// threads ∈ {1, 2, 8}).
+///
+/// These are the 10M-vertex scale pass work-horses; the serial generators
+/// (mesh3d, powerlawCluster, erdosRenyi, rmat) remain the paper-faithful
+/// reference for the figure reproductions at their original sizes.
+///
+/// `threads = 0` means std::thread::hardware_concurrency().
+
+/// Resolves a thread-count argument: 0 => hardware concurrency, floor 1.
+[[nodiscard]] std::size_t resolveThreads(std::size_t threads) noexcept;
+
+/// The mesh3d lattice (identical vertex/edge set to gen::mesh3d — no RNG),
+/// built chunk-parallel over the id range with batched ingest.
+[[nodiscard]] graph::DynamicGraph mesh3dParallel(std::size_t nx, std::size_t ny,
+                                                 std::size_t nz,
+                                                 std::size_t threads = 0);
+
+/// mesh3dApprox's near-cubic box, through the parallel path.
+[[nodiscard]] graph::DynamicGraph mesh3dApproxParallel(std::size_t n,
+                                                       std::size_t threads = 0);
+
+/// Erdős–Rényi by stateless ball-dropping: exactly `targetEdges` endpoint
+/// pairs are drawn (pair i a pure function of (seed, i)); self-loops and
+/// collisions are dropped at ingest, so |E| lands slightly under the target
+/// (the collision mass is ~|E|²/n² — negligible for sparse graphs). The
+/// serial gen::erdosRenyi redraw loop stays the exact-count reference.
+[[nodiscard]] graph::DynamicGraph erdosRenyiParallel(std::size_t n,
+                                                     std::size_t targetEdges,
+                                                     std::uint64_t seed,
+                                                     std::size_t threads = 0);
+
+/// R-MAT with stateless per-edge-index quadrant descent. Unlike the serial
+/// gen::rmat (which re-draws duplicates until the count is exact), dropped
+/// self-loops/duplicates simply shrink |E| below edgeFactor · 2^scale — at
+/// Graph500 skew that is a few percent.
+[[nodiscard]] graph::DynamicGraph rmatParallel(const RmatParams& params,
+                                               std::uint64_t seed,
+                                               std::size_t threads = 0);
+
+/// Scale-oriented power-law family with tunable clustering: the random-copy
+/// model (Kumar et al. 2000), whose attachment step — copy a uniformly
+/// chosen earlier vertex's edge target with probability 1/2 — reproduces
+/// preferential attachment's k^-3 tail without the serial Holme–Kim pool.
+/// Vertex v creates min(v, m) out-edges; out-slot j of v resolves its target
+/// by a stateless recursion that only ever descends to smaller vertex ids,
+/// so any thread can recompute any earlier vertex's edges on the fly.
+/// With probability `p` a slot instead closes a triangle through the
+/// previous slot's target (the Holme–Kim triad step), which raises the
+/// clustering coefficient exactly like the serial generator's knob.
+/// Duplicate targets are dropped at ingest, so |E| lands slightly under
+/// n·m — the same slack Table 1 shows for the networkX graphs.
+[[nodiscard]] graph::DynamicGraph powerlawClusterParallel(std::size_t n,
+                                                          std::size_t m, double p,
+                                                          std::uint64_t seed,
+                                                          std::size_t threads = 0);
+
+}  // namespace xdgp::gen

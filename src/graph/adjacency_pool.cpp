@@ -1,6 +1,8 @@
 #include "graph/adjacency_pool.h"
 
 #include <algorithm>
+#include <bit>
+#include <stdexcept>
 
 namespace xdgp::graph {
 
@@ -54,6 +56,49 @@ void AdjacencyPool::clear(std::size_t list) noexcept {
   Meta& m = meta_[list];
   if (m.capLog != kNoBlock) release(m.offset, m.capLog);
   m = Meta{};
+}
+
+void AdjacencyPool::bulkReserve(std::span<const std::uint32_t> counts) {
+  if (!arena_.empty()) {
+    throw std::logic_error("AdjacencyPool::bulkReserve: pool already has blocks");
+  }
+  growLists(counts.size());
+  std::size_t total = 0;
+  for (const std::uint32_t count : counts) {
+    if (count == 0) continue;
+    const auto log = static_cast<std::uint8_t>(
+        std::max<int>(kMinLog, std::bit_width(std::uint32_t{count} - 1)));
+    total += std::size_t{1} << log;
+  }
+  arena_.resize(total);
+  std::size_t offset = 0;
+  for (std::size_t list = 0; list < counts.size(); ++list) {
+    if (counts[list] == 0) continue;
+    const auto log = static_cast<std::uint8_t>(
+        std::max<int>(kMinLog, std::bit_width(counts[list] - 1)));
+    meta_[list].offset = offset;
+    meta_[list].capLog = log;
+    offset += std::size_t{1} << log;
+  }
+}
+
+AdjacencyPool::ArenaStats AdjacencyPool::stats() const noexcept {
+  ArenaStats s;
+  s.arenaSlots = arena_.size();
+  s.freeSlots = freeSlots();
+  for (const Meta& m : meta_) {
+    s.liveSlots += m.size;
+    if (m.capLog != kNoBlock) {
+      s.slackSlots += (std::size_t{1} << m.capLog) - m.size;
+    }
+  }
+  s.reservedBytes = arena_.capacity() * sizeof(VertexId);
+  s.metaBytes = meta_.capacity() * sizeof(Meta) +
+                freeLists_.capacity() * sizeof(std::vector<std::size_t>);
+  for (const auto& freeList : freeLists_) {
+    s.metaBytes += freeList.capacity() * sizeof(std::size_t);
+  }
+  return s;
 }
 
 std::size_t AdjacencyPool::freeSlots() const noexcept {

@@ -49,6 +49,13 @@ class AdjacencyPool {
     return {arena_.data() + m.offset, m.size};
   }
 
+  /// Mutable slot view for bulk construction (sort + dedup in place). Valid
+  /// under the same rules as view().
+  [[nodiscard]] std::span<VertexId> mutableView(std::size_t list) noexcept {
+    const Meta& m = meta_[list];
+    return {arena_.data() + m.offset, m.size};
+  }
+
   [[nodiscard]] std::size_t size(std::size_t list) const noexcept {
     return meta_[list].size;
   }
@@ -70,7 +77,42 @@ class AdjacencyPool {
   /// Empties the list and parks its block on the free list.
   void clear(std::size_t list) noexcept;
 
+  // --- bulk construction (the generators' batched-ingest path) ---
+
+  /// Carves one block per list, sized for counts[i] slots (rounded up to the
+  /// power-of-two size class), in id order with a single arena resize — no
+  /// per-push relocations, no free-list churn. Lists with count 0 get no
+  /// block. Precondition: the pool is fresh (nothing pushed yet); throws
+  /// std::logic_error otherwise. Grows the list table to counts.size().
+  void bulkReserve(std::span<const std::uint32_t> counts);
+
+  /// Unchecked append into a block carved by bulkReserve (or any block with
+  /// spare capacity). The caller guarantees size < capacity — the O(E) fill
+  /// loop of DynamicGraph::fromEdges, with the relocation branch hoisted out.
+  void pushWithinCapacity(std::size_t list, VertexId value) noexcept {
+    Meta& m = meta_[list];
+    arena_[m.offset + m.size++] = value;
+  }
+
+  /// Shrinks `list` to its first `size` slots (size <= current size); the
+  /// bulk path's dedup truncation. Freed slots become block slack.
+  void truncate(std::size_t list, std::uint32_t size) noexcept {
+    meta_[list].size = size;
+  }
+
   // --- introspection (tests, memory accounting) ---
+
+  /// Arena accounting snapshot. Invariant (asserted by the test suite):
+  ///   arenaSlots == liveSlots + slackSlots + freeSlots.
+  struct ArenaStats {
+    std::size_t arenaSlots = 0;  ///< total slots ever carved out of the arena
+    std::size_t liveSlots = 0;   ///< occupied by neighbour entries
+    std::size_t slackSlots = 0;  ///< power-of-two rounding inside live blocks
+    std::size_t freeSlots = 0;   ///< parked on free lists awaiting reuse
+    std::size_t reservedBytes = 0;  ///< arena heap reservation (capacity)
+    std::size_t metaBytes = 0;      ///< list table + free-list bookkeeping
+  };
+  [[nodiscard]] ArenaStats stats() const noexcept;
 
   /// Total slots ever carved out of the arena.
   [[nodiscard]] std::size_t arenaSlots() const noexcept { return arena_.size(); }

@@ -1,10 +1,49 @@
 #include "graph/dynamic_graph.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace xdgp::graph {
 
 DynamicGraph::DynamicGraph(std::size_t n) : adj_(n), alive_(n, 1), numVertices_(n) {}
+
+DynamicGraph DynamicGraph::fromEdges(std::size_t n, std::span<const Edge> edges) {
+  DynamicGraph g(n);
+  // Pass 1: endpoint occurrence counts (duplicates included — the block is
+  // sized for the pre-dedup fill; the excess becomes measured slack).
+  std::vector<std::uint32_t> counts(n, 0);
+  for (const Edge& e : edges) {
+    if (e.u >= n || e.v >= n) {
+      throw std::invalid_argument("DynamicGraph::fromEdges: endpoint out of range");
+    }
+    if (e.u == e.v) continue;
+    ++counts[e.u];
+    ++counts[e.v];
+  }
+  g.adj_.bulkReserve(counts);
+  // Pass 2: fill. Every block was carved with enough capacity, so the
+  // relocation branch of push() is hoisted out of the loop entirely.
+  for (const Edge& e : edges) {
+    if (e.u == e.v) continue;
+    g.adj_.pushWithinCapacity(e.u, e.v);
+    g.adj_.pushWithinCapacity(e.v, e.u);
+  }
+  // Pass 3: canonicalise + dedup each list in place. A duplicate undirected
+  // edge contributed duplicates to both endpoint lists, so the truncation is
+  // symmetric and degree sums stay even.
+  std::size_t endpointSum = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const std::span<VertexId> list = g.adj_.mutableView(v);
+    if (list.size() > 1) {
+      std::sort(list.begin(), list.end());
+      const auto last = std::unique(list.begin(), list.end());
+      g.adj_.truncate(v, static_cast<std::uint32_t>(last - list.begin()));
+    }
+    endpointSum += g.adj_.size(v);
+  }
+  g.numEdges_ = endpointSum / 2;
+  return g;
+}
 
 VertexId DynamicGraph::addVertex() {
   // Entries revived by ensureVertex() are left in the list as stale (alive)
@@ -95,6 +134,7 @@ std::vector<VertexId> DynamicGraph::vertices() const {
 void DynamicGraph::reserveVertices(std::size_t n) {
   adj_.reserveLists(n);
   alive_.reserve(n);
+  freeIds_.reserve(std::min<std::size_t>(n, 1024));
 }
 
 }  // namespace xdgp::graph

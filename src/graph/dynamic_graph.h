@@ -34,6 +34,18 @@ class DynamicGraph {
   /// Pre-creates `n` alive vertices with ids [0, n).
   explicit DynamicGraph(std::size_t n);
 
+  /// Bulk construction over ids [0, n): counts endpoint occurrences, carves
+  /// every adjacency block in one arena allocation (AdjacencyPool::
+  /// bulkReserve), fills, then sorts + dedups each neighbour list in place.
+  /// Self-loops and duplicate edges in `edges` are dropped; endpoints >= n
+  /// throw std::invalid_argument. O(E · log maxDeg) total — the per-edge
+  /// addEdge path is O(deg(u)) per insertion (its duplicate scan), which
+  /// turns hub-heavy power-law construction quadratic-ish at 10M vertices.
+  /// Adjacency comes out sorted ascending (a canonical order independent of
+  /// input edge order).
+  [[nodiscard]] static DynamicGraph fromEdges(std::size_t n,
+                                              std::span<const Edge> edges);
+
   /// Adds a vertex, recycling a freed id when available; returns its id.
   VertexId addVertex();
 
@@ -103,7 +115,16 @@ class DynamicGraph {
                         : 0.0;
   }
 
+  /// Pre-sizes the list table, alive flags, and free-list reservation for
+  /// `n` vertices so incremental growth to that size reallocates nothing.
   void reserveVertices(std::size_t n);
+
+  /// Heap bytes of the graph's own bookkeeping outside the adjacency arena
+  /// (alive flags + free-id list) — one term of core::MemoryReport.
+  [[nodiscard]] std::size_t bookkeepingBytes() const noexcept {
+    return alive_.capacity() * sizeof(std::uint8_t) +
+           freeIds_.capacity() * sizeof(VertexId);
+  }
 
   /// The adjacency arena (memory accounting, pool-layout tests).
   [[nodiscard]] const AdjacencyPool& adjacencyPool() const noexcept { return adj_; }

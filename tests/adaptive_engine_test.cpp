@@ -329,5 +329,62 @@ INSTANTIATE_TEST_SUITE_P(
       return std::get<0>(info.param) + "_" + std::get<1>(info.param);
     });
 
+// ------------------------------------------------------- memory report
+
+TEST(MemoryReport, TotalSumsTheTopLevelTerms) {
+  AdaptiveOptions options;
+  options.k = 4;
+  AdaptiveEngine engine = makeEngine(gen::mesh3d(8, 8, 8), "HSH", options);
+  const MemoryReport report = engine.memoryReport();
+  EXPECT_EQ(report.totalBytes(),
+            report.adjacencyArenaBytes + report.adjacencyMetaBytes +
+                report.graphBookkeepingBytes + report.partitionStateBytes +
+                report.engineBytes);
+}
+
+TEST(MemoryReport, ArenaBytesDecomposeExactly) {
+  // The arena-level mirror of the AdjacencyPool slot invariant: every carved
+  // byte is live, slack, or free.
+  AdaptiveOptions options;
+  options.k = 4;
+  AdaptiveEngine engine = makeEngine(gen::mesh3d(8, 8, 8), "HSH", options);
+  const MemoryReport report = engine.memoryReport();
+  EXPECT_GT(report.adjacencyArenaBytes, 0u);
+  EXPECT_EQ(report.adjacencyArenaBytes,
+            report.adjacencyLiveBytes + report.adjacencySlackBytes +
+                report.adjacencyFreeBytes);
+  EXPECT_EQ(report.adjacencyLiveBytes,
+            2 * engine.graph().numEdges() * sizeof(graph::VertexId));
+}
+
+TEST(MemoryReport, EngineScratchAppearsAfterRunning) {
+  AdaptiveOptions options;
+  options.k = 4;
+  AdaptiveEngine engine = makeEngine(gen::mesh2d(12, 12), "HSH", options);
+  // Frontier mode seeds every vertex dirty at construction, so scratch is
+  // non-zero immediately and only grows once iterations run.
+  const std::size_t before = engine.memoryReport().engineBytes;
+  EXPECT_GT(before, 0u);
+  engine.runToConvergence(200);
+  const MemoryReport after = engine.memoryReport();
+  EXPECT_GE(after.engineBytes, before);
+  EXPECT_GT(after.partitionStateBytes, 0u);
+  EXPECT_GT(after.graphBookkeepingBytes, 0u);
+}
+
+TEST(MemoryReport, TracksStructuralGrowth) {
+  AdaptiveOptions options;
+  options.k = 2;
+  AdaptiveEngine engine = makeEngine(gen::mesh2d(6, 6), "HSH", options);
+  const std::size_t before = engine.memoryReport().totalBytes();
+  std::vector<UpdateEvent> events;
+  for (VertexId v = 36; v < 360; ++v) {
+    events.push_back(UpdateEvent::addVertex(v));
+    events.push_back(UpdateEvent::addEdge(v, v - 36));
+  }
+  engine.applyUpdates(events);
+  EXPECT_GT(engine.memoryReport().totalBytes(), before);
+}
+
 }  // namespace
 }  // namespace xdgp::core

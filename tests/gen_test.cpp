@@ -9,7 +9,9 @@
 #include "gen/forest_fire.h"
 #include "gen/mesh2d.h"
 #include "gen/mesh3d.h"
+#include "gen/parallel.h"
 #include "gen/powerlaw_cluster.h"
+#include "gen/rmat.h"
 #include "gen/tweet_stream.h"
 #include "graph/update_stream.h"
 
@@ -355,6 +357,131 @@ TEST(CdrStream, TimestampsLieInsideWeek) {
     EXPECT_GE(e.timestamp, 1.0);
     EXPECT_LT(e.timestamp, 2.0);
   }
+}
+
+// ------------------------------------------------------------ parallel
+
+/// Bit-identical: same id space, same counts, same per-vertex adjacency in
+/// the same order. This is the determinism contract of gen/parallel.h —
+/// threads decide who computes a chunk, never what it contains.
+void expectBitIdentical(const DynamicGraph& a, const DynamicGraph& b) {
+  ASSERT_EQ(a.idBound(), b.idBound());
+  ASSERT_EQ(a.numVertices(), b.numVertices());
+  ASSERT_EQ(a.numEdges(), b.numEdges());
+  for (VertexId v = 0; v < a.idBound(); ++v) {
+    ASSERT_EQ(a.hasVertex(v), b.hasVertex(v)) << "vertex " << v;
+    if (!a.hasVertex(v)) continue;
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size()) << "degree of " << v;
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      ASSERT_EQ(na[i], nb[i]) << "slot " << i << " of vertex " << v;
+    }
+  }
+}
+
+TEST(ParallelGen, LockstepAcrossThreadCounts) {
+  for (const std::uint64_t seed : {42ULL, 7ULL}) {
+    const DynamicGraph mesh1 = mesh3dParallel(12, 13, 14, 1);
+    const DynamicGraph er1 = erdosRenyiParallel(4'000, 20'000, seed, 1);
+    RmatParams rp;
+    rp.scale = 12;
+    const DynamicGraph rmat1 = rmatParallel(rp, seed, 1);
+    const DynamicGraph plc1 = powerlawClusterParallel(5'000, 6, 0.1, seed, 1);
+    for (const std::size_t threads : {2u, 8u}) {
+      expectBitIdentical(mesh1, mesh3dParallel(12, 13, 14, threads));
+      expectBitIdentical(er1, erdosRenyiParallel(4'000, 20'000, seed, threads));
+      expectBitIdentical(rmat1, rmatParallel(rp, seed, threads));
+      expectBitIdentical(plc1,
+                         powerlawClusterParallel(5'000, 6, 0.1, seed, threads));
+    }
+  }
+}
+
+TEST(ParallelGen, Mesh3dMatchesSerialLattice) {
+  // The lattice has no RNG: the parallel build must reproduce the serial
+  // vertex/edge set exactly (adjacency order may differ — fromEdges sorts).
+  const DynamicGraph serial = mesh3d(9, 10, 11);
+  const DynamicGraph parallel = mesh3dParallel(9, 10, 11, 8);
+  ASSERT_EQ(parallel.numVertices(), serial.numVertices());
+  ASSERT_EQ(parallel.numEdges(), serial.numEdges());
+  serial.forEachEdge(
+      [&](VertexId u, VertexId v) { EXPECT_TRUE(parallel.hasEdge(u, v)); });
+}
+
+TEST(ParallelGen, Mesh3dApproxHitsTarget) {
+  const DynamicGraph g = mesh3dApproxParallel(29'700, 4);
+  EXPECT_NEAR(static_cast<double>(g.numVertices()), 29'700.0, 0.05 * 29'700.0);
+}
+
+TEST(ParallelGen, ErdosRenyiLandsNearTarget) {
+  // Ball-dropping drops collisions/self-loops: |E| lands slightly under the
+  // target, by about the collision mass (~|E|²/n² relative).
+  const DynamicGraph g = erdosRenyiParallel(10'000, 50'000, 42, 4);
+  EXPECT_EQ(g.numVertices(), 10'000u);
+  EXPECT_LE(g.numEdges(), 50'000u);
+  EXPECT_GE(g.numEdges(), 48'500u);
+}
+
+TEST(ParallelGen, RmatIsSkewedAndNearTarget) {
+  RmatParams rp;
+  rp.scale = 13;
+  const DynamicGraph g = rmatParallel(rp, 42, 4);
+  EXPECT_EQ(g.numVertices(), std::size_t{1} << 13);
+  const std::size_t target = rp.edgeFactor << rp.scale;
+  EXPECT_LE(g.numEdges(), target);
+  EXPECT_GE(g.numEdges(), target * 8 / 10);  // Graph500 skew: a few % dupes
+  std::size_t maxDeg = 0;
+  g.forEachVertex([&](VertexId v) { maxDeg = std::max(maxDeg, g.degree(v)); });
+  EXPECT_GT(maxDeg, 100u);  // quadrant skew concentrates mass on low ids
+}
+
+TEST(ParallelGen, PowerlawIsSkewedWithBoundedEdgeLoss) {
+  const DynamicGraph g = powerlawClusterParallel(10'000, 7, 0.1, 42, 4);
+  EXPECT_EQ(g.numVertices(), 10'000u);
+  // Each vertex v contributes min(v, m) out-slots; duplicates shrink |E|.
+  EXPECT_LE(g.numEdges(), 7u * 10'000u);
+  EXPECT_GE(g.numEdges(), 6u * 10'000u);
+  std::size_t maxDeg = 0;
+  g.forEachVertex([&](VertexId v) { maxDeg = std::max(maxDeg, g.degree(v)); });
+  EXPECT_GT(maxDeg, 60u);  // copy-model tail, like the Holme–Kim reference
+}
+
+TEST(ParallelGen, PowerlawTriadKnobRaisesClustering) {
+  const DynamicGraph clustered = powerlawClusterParallel(1'500, 5, 0.9, 3, 4);
+  const DynamicGraph plain = powerlawClusterParallel(1'500, 5, 0.0, 3, 4);
+  // The triad knob multiplies the triangle count severalfold; global
+  // transitivity rises more modestly than the serial Holme–Kim's because the
+  // copy model's wedge count also grows with p (triad targets are one copy
+  // level deeper, i.e. more hub-biased).
+  std::size_t triClustered = 0, triPlain = 0;
+  const auto countTriangles = [](const DynamicGraph& g, std::size_t& out) {
+    g.forEachVertex([&](VertexId v) {
+      const auto nbrs = g.neighbors(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+          if (g.hasEdge(nbrs[i], nbrs[j])) ++out;
+        }
+      }
+    });
+  };
+  countTriangles(clustered, triClustered);
+  countTriangles(plain, triPlain);
+  EXPECT_GT(triClustered, 2 * triPlain);
+  EXPECT_GT(clusteringCoefficient(clustered), clusteringCoefficient(plain) * 1.1);
+}
+
+TEST(ParallelGen, SeedChangesTheGraph) {
+  const DynamicGraph a = powerlawClusterParallel(2'000, 5, 0.1, 1, 2);
+  const DynamicGraph b = powerlawClusterParallel(2'000, 5, 0.1, 2, 2);
+  std::size_t differing = 0;
+  a.forEachEdge([&](VertexId u, VertexId v) { differing += !b.hasEdge(u, v); });
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(ParallelGen, ResolveThreads) {
+  EXPECT_GE(resolveThreads(0), 1u);
+  EXPECT_EQ(resolveThreads(5), 5u);
 }
 
 // ------------------------------------------------------------ catalog

@@ -256,6 +256,138 @@ TEST(AdjacencyPool, ArenaStaysBoundedUnderChurn) {
   EXPECT_LE(g.adjacencyPool().arenaSlots(), 4 * warmSlots + 1'024);
 }
 
+// ------------------------------------------------------------ bulk ingest
+
+TEST(DynamicGraphBulk, FromEdgesMatchesIncrementalBuild) {
+  util::Rng rng(23);
+  std::vector<Edge> edges;
+  for (int i = 0; i < 2'000; ++i) {
+    edges.push_back({static_cast<VertexId>(rng.index(300)),
+                     static_cast<VertexId>(rng.index(300))});
+  }
+  // Replays and self-loops must be dropped exactly like addEdge drops them.
+  edges.push_back(edges.front());
+  edges.push_back({7, 7});
+
+  const DynamicGraph bulk = DynamicGraph::fromEdges(300, edges);
+  DynamicGraph incremental(300);
+  for (const Edge& e : edges) incremental.addEdge(e.u, e.v);
+
+  expectInvariants(bulk);
+  EXPECT_EQ(bulk.numVertices(), incremental.numVertices());
+  EXPECT_EQ(bulk.numEdges(), incremental.numEdges());
+  incremental.forEachEdge(
+      [&](VertexId u, VertexId v) { EXPECT_TRUE(bulk.hasEdge(u, v)); });
+}
+
+TEST(DynamicGraphBulk, FromEdgesSortsAdjacency) {
+  const std::vector<Edge> edges{{4, 1}, {4, 3}, {4, 0}, {4, 2}, {2, 0}};
+  const DynamicGraph g = DynamicGraph::fromEdges(5, edges);
+  const auto nbrs = g.neighbors(4);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 4u);
+}
+
+TEST(DynamicGraphBulk, FromEdgesRejectsOutOfRangeEndpoints) {
+  const std::vector<Edge> edges{{0, 5}};
+  EXPECT_THROW((void)DynamicGraph::fromEdges(5, edges), std::invalid_argument);
+}
+
+TEST(DynamicGraphBulk, FromEdgesEmptyAndIsolated) {
+  const DynamicGraph g = DynamicGraph::fromEdges(10, {});
+  EXPECT_EQ(g.numVertices(), 10u);
+  EXPECT_EQ(g.numEdges(), 0u);
+  expectInvariants(g);
+}
+
+TEST(DynamicGraphBulk, FromEdgesGraphStaysMutable) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}};
+  DynamicGraph g = DynamicGraph::fromEdges(4, edges);
+  g.addEdge(2, 3);
+  g.removeEdge(0, 1);
+  EXPECT_EQ(g.numEdges(), 2u);
+  expectInvariants(g);
+}
+
+// ----------------------------------------------------- arena accounting
+
+/// The documented ArenaStats invariant: every carved slot is live, slack,
+/// or parked on a free list — nothing leaks, nothing is double-counted.
+void expectStatsInvariant(const AdjacencyPool& pool) {
+  const AdjacencyPool::ArenaStats s = pool.stats();
+  EXPECT_EQ(s.arenaSlots, s.liveSlots + s.slackSlots + s.freeSlots);
+  EXPECT_EQ(s.arenaSlots, pool.arenaSlots());
+  EXPECT_GE(s.reservedBytes, s.arenaSlots * sizeof(VertexId));
+  EXPECT_GT(s.metaBytes, 0u);
+}
+
+TEST(AdjacencyPoolStats, FreshPoolIsAllZeros) {
+  const AdjacencyPool pool(8);
+  const AdjacencyPool::ArenaStats s = pool.stats();
+  EXPECT_EQ(s.arenaSlots, 0u);
+  EXPECT_EQ(s.liveSlots, 0u);
+  EXPECT_EQ(s.slackSlots, 0u);
+  EXPECT_EQ(s.freeSlots, 0u);
+  expectStatsInvariant(pool);
+}
+
+TEST(AdjacencyPoolStats, BulkReserveAccountsLiveAndSlack) {
+  AdjacencyPool pool;
+  const std::vector<std::uint32_t> counts{3, 0, 5, 1};
+  pool.bulkReserve(counts);
+  // Blocks are power-of-two sized with a 1 << kMinLog floor: 4 + 0 + 8 + 4.
+  EXPECT_EQ(pool.arenaSlots(), 16u);
+  for (std::size_t list = 0; list < counts.size(); ++list) {
+    for (std::uint32_t i = 0; i < counts[list]; ++i) {
+      pool.pushWithinCapacity(list, static_cast<VertexId>(i));
+    }
+  }
+  AdjacencyPool::ArenaStats s = pool.stats();
+  EXPECT_EQ(s.liveSlots, 9u);
+  EXPECT_EQ(s.slackSlots, 7u);
+  EXPECT_EQ(s.freeSlots, 0u);
+  expectStatsInvariant(pool);
+
+  // Dedup truncation converts live slots into slack, never loses them.
+  pool.truncate(2, 2);
+  s = pool.stats();
+  EXPECT_EQ(s.liveSlots, 6u);
+  EXPECT_EQ(s.slackSlots, 10u);
+  expectStatsInvariant(pool);
+}
+
+TEST(AdjacencyPoolStats, BulkReserveRequiresFreshPool) {
+  AdjacencyPool pool(2);
+  pool.push(0, 9);
+  const std::vector<std::uint32_t> counts{4, 4};
+  EXPECT_THROW(pool.bulkReserve(counts), std::logic_error);
+}
+
+TEST(AdjacencyPoolStats, InvariantHoldsAcrossMutation) {
+  DynamicGraph g(64);
+  util::Rng rng(29);
+  for (int i = 0; i < 1'500; ++i) {
+    g.addEdge(static_cast<VertexId>(rng.index(64)),
+              static_cast<VertexId>(rng.index(64)));
+    if (i % 7 == 0) g.removeVertex(static_cast<VertexId>(rng.index(64)));
+    expectStatsInvariant(g.adjacencyPool());
+  }
+  // Clearing lists parks their blocks: slots migrate live -> free.
+  const std::size_t before = g.adjacencyPool().stats().freeSlots;
+  for (VertexId v = 0; v < 64; ++v) g.removeVertex(v);
+  const AdjacencyPool::ArenaStats s = g.adjacencyPool().stats();
+  EXPECT_EQ(s.liveSlots, 0u);
+  EXPECT_GE(s.freeSlots, before);
+  expectStatsInvariant(g.adjacencyPool());
+}
+
+TEST(AdjacencyPoolStats, BulkGraphAccountsBookkeeping) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 3}};
+  const DynamicGraph g = DynamicGraph::fromEdges(4, edges);
+  EXPECT_GE(g.bookkeepingBytes(), g.idBound() * sizeof(std::uint8_t));
+  expectStatsInvariant(g.adjacencyPool());
+}
+
 // ------------------------------------------------------------ CSR
 
 TEST(CsrGraph, MirrorsDynamicGraph) {
