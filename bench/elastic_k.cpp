@@ -1,0 +1,314 @@
+// Elastic-k benchmark: the Spinner-style LPA engine resizing its partition
+// set live, mid-stream. A CHURN workload streams window by window; at 1/3
+// of the windows the partition set grows k -> grow_to, at 2/3 it shrinks
+// grow_to -> shrink_to (retiring the top ids), all under a bounded
+// per-window migration budget. Per-window rows record k, activeK,
+// migrations, cut ratio, imbalance, and the residual load still stranded on
+// retired partitions; fresh-partitioning baselines (a from-scratch LPA run
+// at the target k over the same graph state) anchor the recovery claim —
+// the elastic trajectory's cut ratio should land within ~10% of fresh.
+//
+// A second phase runs the greedy engine and LPA head-to-head over the full
+// CDR and TWEET streams, same seed and knobs, for the quality comparison
+// the committed BENCH_lpa.json carries.
+//
+//   build/bench/elastic_k [--vertices=4000] [--ticks=12] [--rate=400]
+//                         [--k=8] [--grow-to=12] [--shrink-to=6]
+//                         [--budget=800] [--threads=1] [--seed=42]
+//                         [--cdr-subscribers=3000] [--cdr-weeks=2]
+//                         [--tweet-users=2000] [--tweet-hours=2]
+//                         [--out=<json path>]
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/stream.h"
+#include "bench_common.h"
+#include "lpa/lpa_engine.h"
+#include "util/timer.h"
+
+using namespace xdgp;
+
+namespace {
+
+/// One streamed window of the elastic phase, as recorded for the JSON rows.
+struct WindowRow {
+  std::size_t index = 0;
+  std::size_t k = 0;        ///< total partition ids (retired included)
+  std::size_t activeK = 0;  ///< live partitions
+  std::size_t migrations = 0;
+  double cutRatio = 0.0;
+  double imbalance = 0.0;
+  std::size_t residual = 0;  ///< load still stranded on retired partitions
+};
+
+/// Residual load on the engine's retired partitions (0 once drained).
+std::size_t retiredResidual(const core::Engine& engine) {
+  std::size_t residual = 0;
+  for (const graph::PartitionId p : engine.retiredPartitions()) {
+    residual += engine.state().load(p);
+  }
+  return residual;
+}
+
+/// Fresh-partitioning baseline: a from-scratch LPA run at `k` over a copy
+/// of `g`, same seed/knobs as the elastic run. Returns the converged cut
+/// ratio — the quality an operator would get by re-partitioning instead of
+/// resizing in place.
+double freshCutRatio(const graph::DynamicGraph& g, std::size_t k,
+                     const core::AdaptiveOptions& knobs) {
+  core::AdaptiveOptions options = knobs;
+  options.k = k;
+  options.lpaMigrationBudget = 0;  // convergence quality, not churn cost
+  return bench::runAdaptive(g, "HSH", options).finalCutRatio;
+}
+
+/// One full-stream run for the head-to-head phase.
+struct HeadToHead {
+  std::string workload;
+  std::string engine;
+  std::size_t windows = 0;
+  std::size_t migrations = 0;
+  double finalCutRatio = 0.0;
+  double imbalance = 0.0;
+  double seconds = 0.0;
+};
+
+HeadToHead runHeadToHead(const std::string& code, core::EngineKind kind,
+                         const api::WorkloadConfig& config,
+                         const core::AdaptiveOptions& knobs) {
+  api::Workload workload = api::WorkloadRegistry::instance().make(code, config);
+  core::AdaptiveOptions options = knobs;
+  options.engine = kind;
+  const util::WallTimer timer;
+  api::Session session = api::Pipeline::fromGraph(std::move(workload.initial))
+                             .initial("HSH")
+                             .k(options.k)
+                             .capacityFactor(options.capacityFactor)
+                             .seed(options.seed)
+                             .adaptive(options)
+                             .start();
+  const api::TimelineReport timeline =
+      session.stream(std::move(workload.stream), workload.suggested);
+  HeadToHead row;
+  row.workload = code;
+  row.engine = core::engineKindCode(kind);
+  row.windows = timeline.windows.size();
+  for (const api::WindowReport& w : timeline.windows) row.migrations += w.migrations;
+  row.finalCutRatio = timeline.back().cutRatio;
+  row.imbalance = timeline.back().balance.imbalance;
+  row.seconds = timer.seconds();
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto vertices = static_cast<std::size_t>(flags.getInt("vertices", 4'000));
+  const auto ticks = static_cast<std::size_t>(flags.getInt("ticks", 12));
+  const auto rate = static_cast<std::size_t>(flags.getInt("rate", 400));
+  const auto k = static_cast<std::size_t>(flags.getInt("k", 8));
+  const auto growTo = static_cast<std::size_t>(flags.getInt("grow-to", 12));
+  const auto shrinkTo = static_cast<std::size_t>(flags.getInt("shrink-to", 6));
+  const auto budget = static_cast<std::size_t>(flags.getInt("budget", 800));
+  const auto threads = static_cast<std::size_t>(flags.getInt("threads", 1));
+  const std::uint64_t seed = flags.getUint64("seed", 42);
+  const auto cdrSubscribers =
+      static_cast<std::size_t>(flags.getInt("cdr-subscribers", 3'000));
+  const auto cdrWeeks = static_cast<std::size_t>(flags.getInt("cdr-weeks", 2));
+  const auto tweetUsers =
+      static_cast<std::size_t>(flags.getInt("tweet-users", 2'000));
+  const double tweetHours = flags.getDouble("tweet-hours", 2.0);
+  const std::string outPath =
+      flags.getString("out", bench::resultsDir() + "/elastic_k.json");
+  flags.finish();
+  if (growTo <= k || shrinkTo >= growTo || shrinkTo == 0) {
+    std::cerr << "elastic_k: need shrink-to < k < grow-to (and shrink-to > 0)\n";
+    return 1;
+  }
+
+  // ----------------------------------------------------- elastic phase
+  api::WorkloadConfig churn;
+  churn.seed = seed;
+  churn.overrides = {{"vertices", static_cast<double>(vertices)},
+                     {"ticks", static_cast<double>(ticks)},
+                     {"rate", static_cast<double>(rate)}};
+  api::Workload workload = api::WorkloadRegistry::instance().make("CHURN", churn);
+  const api::StreamOptions stream = workload.suggested;
+
+  // Count the windows up front so the grow/shrink points land at 1/3 and
+  // 2/3 regardless of the windowing mode the workload suggested.
+  std::size_t totalWindows = 0;
+  {
+    api::Streamer counter(graph::UpdateStream(workload.stream.events()), stream);
+    while (counter.next()) ++totalWindows;
+  }
+  if (totalWindows < 3) {
+    std::cerr << "elastic_k: stream too short (" << totalWindows << " windows)\n";
+    return 2;
+  }
+  const std::size_t growWindow = totalWindows / 3;
+  const std::size_t shrinkWindow = 2 * totalWindows / 3;
+
+  core::AdaptiveOptions knobs;
+  knobs.k = k;
+  knobs.seed = seed;
+  knobs.threads = threads;
+  knobs.engine = core::EngineKind::kLpa;
+  knobs.lpaMigrationBudget = budget;
+
+  api::Session session = api::Pipeline::fromGraph(workload.initial)
+                             .initial("HSH")
+                             .k(k)
+                             .capacityFactor(knobs.capacityFactor)
+                             .seed(seed)
+                             .adaptive(knobs)
+                             .start();
+
+  std::vector<graph::PartitionId> retire;
+  for (std::size_t p = shrinkTo; p < growTo; ++p) {
+    retire.push_back(static_cast<graph::PartitionId>(p));
+  }
+
+  std::vector<WindowRow> rows;
+  double cutAtPeakEnd = 0.0;  ///< cut ratio just before the shrink fires
+  graph::DynamicGraph graphAtPeakEnd;
+  api::Streamer streamer(graph::UpdateStream(workload.stream.events()), stream);
+  while (std::optional<api::WindowBatch> batch = streamer.next()) {
+    if (batch->index == growWindow) session.engine().growPartitions(growTo - k);
+    if (batch->index == shrinkWindow) {
+      cutAtPeakEnd = session.engine().cutRatio();
+      graphAtPeakEnd = session.engine().graph();
+      session.engine().shrinkPartitions(retire);
+    }
+    const api::WindowReport window = session.streamWindow(*batch, stream);
+    WindowRow row;
+    row.index = window.index;
+    row.k = session.engine().k();
+    row.activeK = session.engine().activeK();
+    row.migrations = window.migrations;
+    row.cutRatio = window.cutRatio;
+    row.imbalance = window.balance.imbalance;
+    row.residual = retiredResidual(session.engine());
+    rows.push_back(row);
+  }
+
+  // Recovery metrics. Fresh baselines re-partition the same graph state
+  // from scratch at the target k; the drain count is how many windows the
+  // retired partitions needed to empty under the migration budget.
+  const double freshAtGrown = freshCutRatio(graphAtPeakEnd, growTo, knobs);
+  const double freshAtFinal =
+      freshCutRatio(session.engine().graph(), shrinkTo, knobs);
+  const double finalCut = rows.back().cutRatio;
+  std::size_t windowsToDrain = 0;
+  for (const WindowRow& row : rows) {
+    if (row.index < shrinkWindow) continue;
+    windowsToDrain = row.index - shrinkWindow + 1;
+    if (row.residual == 0) break;
+  }
+  // Max per-window migration bill, excluding window 0: the warmup window
+  // converges the initial HSH partitioning from scratch and would dwarf the
+  // resize costs this bench is actually about.
+  std::size_t maxMigrations = 0;
+  std::size_t totalMigrations = 0;
+  for (const WindowRow& row : rows) {
+    if (row.index > 0) maxMigrations = std::max(maxMigrations, row.migrations);
+    totalMigrations += row.migrations;
+  }
+
+  util::TablePrinter table(
+      {"window", "k", "activeK", "migr", "cut", "imbal", "residual"});
+  for (const WindowRow& row : rows) {
+    table.addRow({std::to_string(row.index), std::to_string(row.k),
+                  std::to_string(row.activeK), std::to_string(row.migrations),
+                  util::fmt(row.cutRatio, 3), util::fmt(row.imbalance, 3),
+                  std::to_string(row.residual)});
+  }
+  table.print(std::cout);
+  std::cout << "grow@" << growWindow << " " << k << "->" << growTo
+            << ", shrink@" << shrinkWindow << " " << growTo << "->" << shrinkTo
+            << "; cut before shrink " << util::fmt(cutAtPeakEnd, 3)
+            << " (fresh k=" << growTo << ": " << util::fmt(freshAtGrown, 3)
+            << "), final " << util::fmt(finalCut, 3) << " (fresh k=" << shrinkTo
+            << ": " << util::fmt(freshAtFinal, 3) << "), drained in "
+            << windowsToDrain << " window(s), max migrations/window (post-warmup) "
+            << maxMigrations << "\n";
+
+  // ------------------------------------------------ head-to-head phase
+  core::AdaptiveOptions hh;
+  hh.k = k;
+  hh.seed = seed;
+  hh.threads = threads;
+  std::vector<HeadToHead> headToHead;
+  api::WorkloadConfig cdr;
+  cdr.seed = seed;
+  cdr.overrides = {{"subscribers", static_cast<double>(cdrSubscribers)},
+                   {"weeks", static_cast<double>(cdrWeeks)}};
+  api::WorkloadConfig tweet;
+  tweet.seed = seed;
+  tweet.overrides = {{"users", static_cast<double>(tweetUsers)},
+                     {"hours", tweetHours}};
+  for (const core::EngineKind kind :
+       {core::EngineKind::kGreedy, core::EngineKind::kLpa}) {
+    headToHead.push_back(runHeadToHead("CDR", kind, cdr, hh));
+    headToHead.push_back(runHeadToHead("TWEET", kind, tweet, hh));
+  }
+  util::TablePrinter hhTable(
+      {"workload", "engine", "windows", "migr", "cut", "imbal", "seconds"});
+  for (const HeadToHead& row : headToHead) {
+    hhTable.addRow({row.workload, row.engine, std::to_string(row.windows),
+                    std::to_string(row.migrations),
+                    util::fmt(row.finalCutRatio, 3), util::fmt(row.imbalance, 3),
+                    util::fmt(row.seconds, 2)});
+  }
+  hhTable.print(std::cout);
+
+  std::ofstream out(outPath);
+  if (!out) {
+    std::cerr << "elastic_k: cannot open " << outPath << "\n";
+    return 1;
+  }
+  out << "{\"bench\": \"elastic_k\", \"workload\": \"CHURN\""
+      << ", \"vertices\": " << vertices << ", \"ticks\": " << ticks
+      << ", \"rate\": " << rate << ", \"seed\": " << seed
+      << ", \"k\": " << k << ", \"grow_to\": " << growTo
+      << ", \"shrink_to\": " << shrinkTo << ", \"budget\": " << budget
+      << ", \"grow_window\": " << growWindow
+      << ", \"shrink_window\": " << shrinkWindow
+      << ", \"windows\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const WindowRow& row = rows[i];
+    out << (i ? ", " : "") << "{\"window\": " << row.index
+        << ", \"k\": " << row.k << ", \"active_k\": " << row.activeK
+        << ", \"migrations\": " << row.migrations
+        << ", \"cut_ratio\": " << util::fmt(row.cutRatio, 6)
+        << ", \"imbalance\": " << util::fmt(row.imbalance, 6)
+        << ", \"retired_residual\": " << row.residual << "}";
+  }
+  out << "], \"cut_before_shrink\": " << util::fmt(cutAtPeakEnd, 6)
+      << ", \"fresh_cut_at_grow_k\": " << util::fmt(freshAtGrown, 6)
+      << ", \"final_cut_ratio\": " << util::fmt(finalCut, 6)
+      << ", \"fresh_cut_at_shrink_k\": " << util::fmt(freshAtFinal, 6)
+      << ", \"windows_to_drain\": " << windowsToDrain
+      << ", \"max_migrations_per_window\": " << maxMigrations
+      << ", \"total_migrations\": " << totalMigrations
+      << ", \"head_to_head\": [";
+  for (std::size_t i = 0; i < headToHead.size(); ++i) {
+    const HeadToHead& row = headToHead[i];
+    out << (i ? ", " : "") << "{\"workload\": \"" << row.workload
+        << "\", \"engine\": \"" << row.engine
+        << "\", \"windows\": " << row.windows
+        << ", \"migrations\": " << row.migrations
+        << ", \"final_cut_ratio\": " << util::fmt(row.finalCutRatio, 6)
+        << ", \"imbalance\": " << util::fmt(row.imbalance, 6)
+        << ", \"seconds\": " << util::fmt(row.seconds, 3) << "}";
+  }
+  out << "], \"peak_rss_bytes\": " << bench::PeakRss() << "}\n";
+  std::cout << "elastic_k: wrote " << outPath << "\n";
+  return 0;
+}

@@ -34,6 +34,12 @@ run_cli("adapt" --cmd=adapt --graph=graph.el --assignment=initial.part --s=0.5
 run_cli("stream" --cmd=stream --workload=CDR --subscribers=2000 --weeks=2
         --k=4 --window=0.5 --csv=timeline.csv --jsonl=timeline.jsonl)
 
+# Label-propagation smoke: the same adapt run through --engine=lpa must
+# converge and leave an assignment (quality is the bench's concern; the CLI
+# contract is that the selector reaches the registry and produces output).
+run_cli("adapt (lpa)" --cmd=adapt --graph=graph.el --assignment=initial.part
+        --engine=lpa --lpa-budget=2000 --out=lpa.part)
+
 # Edge-partitioning (vertex-cut) smoke: generate → epartition → emetrics.
 # Both steps must print a parseable replication-factor report, and the
 # persisted .epart file must survive the re-read with the same numbers.
@@ -54,8 +60,8 @@ if(NOT epart_rf STREQUAL emetrics_rf)
           "(${epart_rf} vs ${emetrics_rf})")
 endif()
 
-foreach(artifact graph.el initial.part final.part timeline.csv timeline.jsonl
-        edges.epart)
+foreach(artifact graph.el initial.part final.part lpa.part timeline.csv
+        timeline.jsonl edges.epart)
   if(NOT EXISTS "${WORK_DIR}/${artifact}")
     message(FATAL_ERROR "round trip left no ${artifact}")
   endif()
@@ -116,5 +122,30 @@ if(DEFINED XDGP_SERVE)
   if(NOT assignments_differ EQUAL 0)
     message(FATAL_ERROR
             "recovered assignment differs from the unfaulted run's")
+  endif()
+
+  # LPA + elastic k through the serving CLI: grow 4 -> 6 at window 1, retire
+  # the grown pair at window 2, crash at window 3, restore from the v2
+  # checkpoint (which must carry the engine selector, the live k, and the
+  # retired set) and land on the bit-identical final assignment.
+  # ',' separates the resize ops (';' would split the CMake list).
+  set(lpa_serve_flags ${serve_flags} --engine=lpa
+      --resize=grow@1:2,shrink@2:4+5)
+  run_serve("serve lpa elastic (unfaulted)" 0 ${lpa_serve_flags}
+            --out=lpa_serve_ref.part)
+  run_serve("serve lpa elastic (crash@window=3)" 3 ${lpa_serve_flags}
+            --checkpoint-dir=lpa_serve_ckpt "--fault=crash@window=3")
+  if(NOT EXISTS "${WORK_DIR}/lpa_serve_ckpt/MANIFEST")
+    message(FATAL_ERROR "crashed lpa serve run left no committed checkpoint")
+  endif()
+  run_serve("serve lpa elastic (restore)" 0 --restore=lpa_serve_ckpt
+            --out=lpa_serve_rec.part)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${WORK_DIR}/lpa_serve_ref.part" "${WORK_DIR}/lpa_serve_rec.part"
+    RESULT_VARIABLE lpa_assignments_differ)
+  if(NOT lpa_assignments_differ EQUAL 0)
+    message(FATAL_ERROR
+            "recovered lpa elastic assignment differs from the unfaulted run's")
   endif()
 endif()

@@ -47,6 +47,16 @@ cmake --build "$build_dir" -j --target scale_decades
   --max-vertices="${SCALE_MAX_VERTICES:-100000}" --out=BENCH_scale.json
 cp BENCH_scale.json "$out_dir/BENCH_scale_${label}.json"
 
+# Elastic-k trajectory: the LPA engine grows 8 -> 12 and shrinks 12 -> 6
+# mid-stream under a migration budget, recording per-window migration cost,
+# windows-to-drain, and cut-ratio recovery against fresh k-sized runs, plus
+# the greedy-vs-LPA head-to-head. CI runs small (override via ELASTIC_ARGS);
+# the committed BENCH_lpa.json at the repo root comes from full defaults.
+cmake --build "$build_dir" -j --target elastic_k
+# shellcheck disable=SC2086 — ELASTIC_ARGS is intentionally word-split.
+"$build_dir/bench/elastic_k" ${ELASTIC_ARGS:-} --out=BENCH_lpa.json
+cp BENCH_lpa.json "$out_dir/BENCH_lpa_${label}.json"
+
 # Edge-partitioning quality: replication factor / vertex-cut / balance for
 # every registered edge strategy next to the HSH vertex baseline on the
 # TWEET/CDR/RMAT families. BENCH_partition.json at the repo root is the

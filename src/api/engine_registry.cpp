@@ -1,0 +1,68 @@
+#include "api/engine_registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace xdgp::api {
+
+EngineRegistry& EngineRegistry::instance() {
+  static EngineRegistry registry;
+  return registry;
+}
+
+EngineRegistry::EngineRegistry() {
+  add({.code = core::engineKindCode(core::EngineKind::kGreedy),
+       .summary = "the paper's greedy neighbour-majority heuristic "
+                  "(quota-capped, frontier-driven)",
+       .kind = core::EngineKind::kGreedy,
+       .elasticK = false});
+  add({.code = core::engineKindCode(core::EngineKind::kLpa),
+       .summary = "Spinner-style weighted label propagation "
+                  "(balance-penalised scores; live grow/shrink of k)",
+       .kind = core::EngineKind::kLpa,
+       .elasticK = true});
+}
+
+void EngineRegistry::add(EngineInfo info) {
+  if (info.code.empty()) {
+    throw std::invalid_argument("EngineRegistry: empty engine code");
+  }
+  if (engines_.contains(info.code)) {
+    throw std::invalid_argument("EngineRegistry: duplicate engine code '" +
+                                info.code + "'");
+  }
+  engines_.emplace(info.code, std::move(info));
+}
+
+bool EngineRegistry::has(const std::string& code) const {
+  return engines_.contains(code);
+}
+
+const EngineInfo& EngineRegistry::info(const std::string& code) const {
+  const auto it = engines_.find(code);
+  if (it == engines_.end()) {
+    std::string known;
+    for (const auto& [key, value] : engines_) {
+      known += (known.empty() ? "" : ", ") + key;
+    }
+    throw std::invalid_argument("unknown engine '" + code +
+                                "' (known: " + known + ")");
+  }
+  return it->second;
+}
+
+std::vector<std::string> EngineRegistry::codes() const {
+  std::vector<std::string> codes;
+  codes.reserve(engines_.size());
+  for (const auto& [code, info] : engines_) codes.push_back(code);
+  return codes;
+}
+
+std::vector<const EngineInfo*> EngineRegistry::infos() const {
+  std::vector<const EngineInfo*> infos;
+  infos.reserve(engines_.size());
+  for (const auto& [code, info] : engines_) infos.push_back(&info);
+  return infos;
+}
+
+}  // namespace xdgp::api

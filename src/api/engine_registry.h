@@ -1,0 +1,64 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace xdgp::api {
+
+/// Catalog entry for one adaptive engine: the self-describing metadata the
+/// CLI help menus, the serve driver, and the registry-driven tests read —
+/// the same pattern as PartitionerRegistry / WorkloadRegistry. Construction
+/// itself goes through core::makeEngine (the registry resolves a code to an
+/// EngineKind; the options struct carries it from there).
+struct EngineInfo {
+  std::string code;     ///< stable lookup key, "greedy" or "lpa"
+  std::string summary;  ///< one-line human description for --help output
+  core::EngineKind kind = core::EngineKind::kGreedy;
+  /// True when the engine supports growPartitions/shrinkPartitions on a
+  /// running session (LPA); false means those calls throw (greedy).
+  bool elasticK = false;
+  /// True when the same seed yields the identical trajectory at any thread
+  /// count — both built-ins, via core::StatelessDraws.
+  bool deterministicGivenSeed = true;
+};
+
+/// The process-wide catalog of adaptive engines. Built-ins register on
+/// first access; extensions self-register through EngineRegistration and
+/// the CLI menus and engine property tests pick them up for free.
+class EngineRegistry {
+ public:
+  static EngineRegistry& instance();
+
+  /// Adds an engine; throws std::invalid_argument on duplicate codes.
+  void add(EngineInfo info);
+
+  [[nodiscard]] bool has(const std::string& code) const;
+
+  /// Metadata lookup; throws std::invalid_argument naming the known codes
+  /// when `code` is not registered (typo-proof --engine flags).
+  [[nodiscard]] const EngineInfo& info(const std::string& code) const;
+
+  /// All registered codes, sorted.
+  [[nodiscard]] std::vector<std::string> codes() const;
+
+  /// All entries, sorted by code (stable pointers into the registry).
+  [[nodiscard]] std::vector<const EngineInfo*> infos() const;
+
+ private:
+  EngineRegistry();
+
+  std::map<std::string, EngineInfo> engines_;
+};
+
+/// Static-initialisation hook for self-registering engines:
+///   namespace { const api::EngineRegistration reg{{.code = "xyz", ...}}; }
+struct EngineRegistration {
+  explicit EngineRegistration(EngineInfo info) {
+    EngineRegistry::instance().add(std::move(info));
+  }
+};
+
+}  // namespace xdgp::api

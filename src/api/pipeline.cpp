@@ -232,32 +232,32 @@ RunReport Pipeline::run() {
   core::AdaptiveOptions options = engineOptions();
   options.recordSeries = false;  // run() reports aggregates, not the series
   util::WallTimer adaptTimer;
-  core::AdaptiveEngine engine(std::move(prepared.graph), std::move(prepared.initial),
-                              options);
-  const core::ConvergenceResult result = engine.runToConvergence(maxIterations_);
+  const std::unique_ptr<core::Engine> engine = core::makeEngine(
+      std::move(prepared.graph), std::move(prepared.initial), options);
+  const core::ConvergenceResult result = engine->runToConvergence(maxIterations_);
   report.adaptSeconds = adaptTimer.seconds();
 
   report.adapted = true;
   report.iterationsRun = result.iterationsRun;
   report.convergenceIteration = result.convergenceIteration;
   report.converged = result.converged;
-  report.assignment = engine.state().assignment();
-  report.finalCutEdges = engine.state().cutEdges();
-  report.finalCutRatio = engine.cutRatio();
+  report.assignment = engine->state().assignment();
+  report.finalCutEdges = engine->state().cutEdges();
+  report.finalCutRatio = engine->cutRatio();
   report.finalBalance = metrics::balanceReport(report.assignment, k_);
   return report;
 }
 
 Session Pipeline::start() {
   Prepared prepared = prepare();
-  auto engine = std::make_unique<core::AdaptiveEngine>(
-      std::move(prepared.graph), std::move(prepared.initial), engineOptions());
+  auto engine = core::makeEngine(std::move(prepared.graph),
+                                 std::move(prepared.initial), engineOptions());
   return Session(std::move(engine), std::move(prepared.report), maxIterations_);
 }
 
 // --------------------------------------------------------------- Session
 
-Session::Session(std::unique_ptr<core::AdaptiveEngine> engine, RunReport base,
+Session::Session(std::unique_ptr<core::Engine> engine, RunReport base,
                  std::size_t maxIterations)
     : engine_(std::move(engine)), base_(std::move(base)),
       maxIterations_(maxIterations) {}
@@ -288,6 +288,7 @@ RunReport Session::report() const {
   RunReport report = base_;
   report.vertices = engine_->graph().numVertices();
   report.edges = engine_->graph().numEdges();
+  report.k = engine_->k();  // live: elastic resizes move it off base_.k
   report.adapted = ranToConvergence_ || engine_->iteration() > 0;
   report.iterationsRun = iterationsRun_ > 0 ? iterationsRun_ : engine_->iteration();
   report.convergenceIteration = engine_->lastActiveIteration();
@@ -296,7 +297,8 @@ RunReport Session::report() const {
   report.assignment = engine_->state().assignment();
   report.finalCutEdges = engine_->state().cutEdges();
   report.finalCutRatio = engine_->cutRatio();
-  report.finalBalance = metrics::balanceReport(report.assignment, report.k);
+  report.finalBalance =
+      metrics::balanceReport(report.assignment, engine_->activeMask());
   return report;
 }
 

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "api/stream.h"
-#include "core/adaptive_engine.h"
+#include "core/engine.h"
 #include "graph/dynamic_graph.h"
 #include "metrics/balance.h"
 #include "metrics/cuts.h"
@@ -90,8 +90,9 @@ class Pipeline {
 
   /// Enables the adaptive stage. The options' k / capacityFactor / seed
   /// fields are overwritten from the pipeline (single source of truth);
-  /// everything else (willingness, window, threads, balance mode, ...) is
-  /// taken as given.
+  /// everything else (willingness, window, threads, balance mode, the
+  /// engine selector, ...) is taken as given — options.engine picks the
+  /// greedy engine or the Spinner-style LPA one (core::makeEngine).
   Pipeline& adaptive(core::AdaptiveOptions options = {});
   Pipeline& maxIterations(std::size_t iterations);
 
@@ -161,12 +162,12 @@ class Session {
   /// so serving and batch streaming share one code path by construction.
   WindowReport streamWindow(const WindowBatch& batch, const StreamOptions& options);
 
-  /// Re-provisions capacities after growth (see AdaptiveEngine).
+  /// Re-provisions capacities after growth (see Engine::rescaleCapacity).
   void rescaleCapacity();
 
   [[nodiscard]] double cutRatio() const;
-  [[nodiscard]] core::AdaptiveEngine& engine() noexcept { return *engine_; }
-  [[nodiscard]] const core::AdaptiveEngine& engine() const noexcept {
+  [[nodiscard]] core::Engine& engine() noexcept { return *engine_; }
+  [[nodiscard]] const core::Engine& engine() const noexcept {
     return *engine_;
   }
 
@@ -176,10 +177,10 @@ class Session {
 
  private:
   friend class Pipeline;
-  Session(std::unique_ptr<core::AdaptiveEngine> engine, RunReport base,
+  Session(std::unique_ptr<core::Engine> engine, RunReport base,
           std::size_t maxIterations);
 
-  std::unique_ptr<core::AdaptiveEngine> engine_;
+  std::unique_ptr<core::Engine> engine_;
   RunReport base_;
   std::size_t maxIterations_;
   double adaptSeconds_ = 0.0;

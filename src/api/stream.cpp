@@ -244,7 +244,11 @@ WindowReport Session::streamWindow(const WindowBatch& batch,
   window.edges = engine_->graph().numEdges();
   window.cutEdges = engine_->state().cutEdges();
   window.cutRatio = engine_->cutRatio();
-  window.balance = metrics::balanceReport(engine_->state().assignment(), base_.k);
+  // Balance over the live active partition set: an elastic grow/shrink
+  // mid-stream moves the engine off base_.k, and retired partitions must
+  // not drag the minimum to zero while they drain.
+  window.balance =
+      metrics::balanceReport(engine_->state().assignment(), engine_->activeMask());
   window.wallSeconds = timer.seconds();
   return window;
 }

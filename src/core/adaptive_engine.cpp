@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
-#include <stdexcept>
 
 #include "util/timer.h"
 
@@ -11,14 +10,9 @@ namespace xdgp::core {
 
 AdaptiveEngine::AdaptiveEngine(graph::DynamicGraph g, metrics::Assignment initial,
                                AdaptiveOptions options)
-    : options_(options),
-      runtime_(std::move(g), std::move(initial), options.k),
-      capacity_(runtime_.totalLoadUnits(options.balanceMode), options.k,
-                options.capacityFactor),
+    : Engine(std::move(g), std::move(initial), options),
       quota_(options.k),
-      policy_(options.k),
-      tracker_(options.convergenceWindow),
-      draws_(options.seed, options.willingness) {
+      policy_(options.k) {
   if (options_.frontier) {
     // Every vertex is unexamined at the start: the first iteration is a full
     // sweep, after which the frontier tracks change.
@@ -232,18 +226,6 @@ void AdaptiveEngine::evaluateDecisions() {
   pool_->wait();
 }
 
-ConvergenceResult AdaptiveEngine::runToConvergence(std::size_t maxIterations) {
-  ConvergenceResult result;
-  const std::size_t start = iteration_;
-  while (!tracker_.converged() && iteration_ - start < maxIterations) {
-    step();
-  }
-  result.iterationsRun = iteration_ - start;
-  result.convergenceIteration = lastActive_;
-  result.converged = tracker_.converged();
-  return result;
-}
-
 std::size_t AdaptiveEngine::applyUpdates(const std::vector<graph::UpdateEvent>& events) {
   DirtyHooks hooks(*this);
   const std::size_t applied = runtime_.applyEvents(events, hooks, &tracker_);
@@ -251,21 +233,6 @@ std::size_t AdaptiveEngine::applyUpdates(const std::vector<graph::UpdateEvent>& 
     unparkAll();  // loads (and degree loads) may have shifted
   }
   return applied;
-}
-
-void AdaptiveEngine::restoreCheckpoint(std::size_t iteration,
-                                       std::vector<std::size_t> capacities,
-                                       std::size_t quietIterations,
-                                       std::size_t lastActiveIteration) {
-  if (capacities.size() != options_.k) {
-    throw std::invalid_argument(
-        "restoreCheckpoint: " + std::to_string(capacities.size()) +
-        " capacities for k=" + std::to_string(options_.k));
-  }
-  iteration_ = iteration;
-  lastActive_ = lastActiveIteration;
-  capacity_ = CapacityModel(std::move(capacities));
-  tracker_.restoreQuiet(quietIterations);
 }
 
 void AdaptiveEngine::rescaleCapacity() {

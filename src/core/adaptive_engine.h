@@ -5,52 +5,12 @@
 #include <utility>
 #include <vector>
 
-#include "core/capacity.h"
-#include "core/convergence.h"
-#include "core/draws.h"
+#include "core/engine.h"
 #include "core/migration_policy.h"
-#include "core/partition_state.h"
-#include "core/partitioned_runtime.h"
 #include "core/quota_ledger.h"
-#include "graph/dynamic_graph.h"
-#include "graph/update_stream.h"
-#include "metrics/series.h"
 #include "util/thread_pool.h"
 
 namespace xdgp::core {
-
-/// Tunables of the adaptive iterative partitioning algorithm (§2).
-struct AdaptiveOptions {
-  std::size_t k = 9;              ///< partitions (the paper's lab default)
-  double capacityFactor = 1.1;    ///< C(i) = 110% of the balanced load
-  double willingness = 0.5;       ///< s, the §2.3 migration probability
-  std::size_t convergenceWindow = 30;  ///< quiet iterations to declare done
-  bool enforceQuota = true;       ///< ablation: disable §2.2 quotas
-  bool recordSeries = true;       ///< keep the per-iteration Fig. 7 series
-  /// Frontier-driven iteration: evaluate only vertices whose decision could
-  /// have changed — last iteration's movers and their neighbours, vertices
-  /// whose desired move was gated (unwilling or quota-denied), and the
-  /// endpoints of structural updates. Produces the identical trajectory as
-  /// the full scan (the equivalence test suite asserts it) but the cost of
-  /// step() scales with the amount of change, not with |V|. Fixed at
-  /// construction; false restores the full O(idBound) scan.
-  bool frontier = true;
-  /// Load measure: the paper's vertex counts, or the §6 edge-balanced
-  /// extension (capacities and quotas in degree units).
-  BalanceMode balanceMode = BalanceMode::kVertices;
-  /// Worker threads for the decision phase. Decisions are pure functions of
-  /// the iteration-start snapshot plus stateless draws (core/draws.h), so
-  /// any thread count produces the identical run for the same seed.
-  std::size_t threads = 1;
-  std::uint64_t seed = 42;
-};
-
-/// Result of a run-to-convergence call.
-struct ConvergenceResult {
-  std::size_t iterationsRun = 0;       ///< total iterations executed
-  std::size_t convergenceIteration = 0;  ///< last iteration that migrated
-  bool converged = false;
-};
 
 /// Single-process execution of the paper's adaptive iterative partitioning
 /// (§2): synchronous iterations in which every vertex, with probability s,
@@ -63,8 +23,8 @@ struct ConvergenceResult {
 /// migration deferral (§3). The distributed realisation with real message
 /// routing lives in pregel::Engine; this engine is the fast path for the
 /// algorithm-quality experiments (Figs. 1, 4, 5, 6). Both stand on the same
-/// core::PartitionedRuntime, which owns the graph, the partition state, and
-/// structural-update application.
+/// core::PartitionedRuntime; the Spinner-style label-propagation alternative
+/// (lpa::LpaEngine) shares the same substrate through the core::Engine base.
 ///
 /// The greedy desire is a pure function of a vertex's neighbourhood
 /// snapshot (willingness gates *migration*, not evaluation), which is what
@@ -76,82 +36,33 @@ struct ConvergenceResult {
 /// iterations; new vertices enter via the placement function (hash
 /// partitioning by default, like the systems the paper targets), and the
 /// iterative process adapts from there.
-class AdaptiveEngine {
+///
+/// Elastic k is NOT supported here: the quota ledger and migration policy
+/// are sized at construction, and the paper's algorithm has no notion of a
+/// draining partition — growPartitions/shrinkPartitions throw (base class).
+/// Use the LPA engine for live resizes.
+class AdaptiveEngine final : public Engine {
  public:
-  using PlacementFn = PartitionedRuntime::PlacementFn;
-
   /// Takes ownership of the graph; `initial` must assign every alive vertex
   /// to a partition in [0, options.k) (PartitionedRuntime validates).
   AdaptiveEngine(graph::DynamicGraph g, metrics::Assignment initial,
                  AdaptiveOptions options);
 
   /// Runs one iteration; returns the number of executed migrations.
-  std::size_t step();
-
-  /// Steps until the convergence window closes or maxIterations elapse.
-  ConvergenceResult runToConvergence(std::size_t maxIterations = 20'000);
+  std::size_t step() override;
 
   /// Applies a batch of structural updates and re-arms convergence tracking.
   /// Returns the number of events that changed the graph.
-  std::size_t applyUpdates(const std::vector<graph::UpdateEvent>& events);
-
-  /// Replaces the default hash placement for stream-injected vertices.
-  void setPlacement(PlacementFn placement) {
-    runtime_.setPlacement(std::move(placement));
-  }
+  std::size_t applyUpdates(const std::vector<graph::UpdateEvent>& events) override;
 
   /// Grows capacities to options.capacityFactor headroom over the current
   /// balanced load (in the configured balance mode); never shrinks an
   /// existing capacity. Call after large injections when the original
   /// provisioning should be revised.
-  void rescaleCapacity();
+  void rescaleCapacity() override;
 
-  /// Checkpoint restore (serve layer): adopts a previous engine's
-  /// deterministic trajectory state so a freshly constructed engine over the
-  /// checkpointed graph + assignment continues bit-identically. Three pieces
-  /// cannot be re-derived and must carry over: the iteration counter (the
-  /// stateless draws are keyed by (seed, iteration, vertex)), the capacities
-  /// (rescale never shrinks, so they are history-dependent), and the quiet
-  /// streak (an empty window after restore must converge instantly).
-  /// Frontier/parked state is intentionally NOT restored: the fresh
-  /// all-dirty frontier is a superset of the live engine's, and frontier
-  /// membership never changes the trajectory (the equivalence suite asserts
-  /// it). Throws std::invalid_argument when capacities.size() != k.
-  void restoreCheckpoint(std::size_t iteration, std::vector<std::size_t> capacities,
-                         std::size_t quietIterations,
-                         std::size_t lastActiveIteration);
-
-  /// Consecutive zero-migration iterations so far (checkpoint state).
-  [[nodiscard]] std::size_t quietIterations() const noexcept {
-    return tracker_.quietIterations();
-  }
-
-  [[nodiscard]] const graph::DynamicGraph& graph() const noexcept {
-    return runtime_.graph();
-  }
-  [[nodiscard]] const PartitionState& state() const noexcept {
-    return runtime_.state();
-  }
-  [[nodiscard]] const CapacityModel& capacity() const noexcept { return capacity_; }
-  [[nodiscard]] const metrics::IterationSeries& series() const noexcept {
-    return series_;
-  }
-  [[nodiscard]] std::size_t iteration() const noexcept { return iteration_; }
-  [[nodiscard]] bool converged() const noexcept { return tracker_.converged(); }
-  [[nodiscard]] double cutRatio() const noexcept {
-    return state().cutRatio(graph());
-  }
-  [[nodiscard]] const AdaptiveOptions& options() const noexcept { return options_; }
-
-  /// Last iteration index that executed at least one migration.
-  [[nodiscard]] std::size_t lastActiveIteration() const noexcept {
-    return lastActive_;
-  }
-
-  /// Migrations executed over the engine's whole lifetime — the per-window
-  /// deltas api::Session::stream reports, independent of recordSeries.
-  [[nodiscard]] std::size_t totalMigrations() const noexcept {
-    return runtime_.totalMigrations();
+  [[nodiscard]] EngineKind kind() const noexcept override {
+    return EngineKind::kGreedy;
   }
 
   /// Vertices whose decision was (re)computed by the last step() — the
@@ -170,7 +81,7 @@ class AdaptiveEngine {
   /// scratch (desires, tie masks, frontier double-buffer, parked flags, the
   /// recorded iteration series) — the MemoryReport the scale bench publishes
   /// next to peak RSS.
-  [[nodiscard]] MemoryReport memoryReport() const noexcept;
+  [[nodiscard]] MemoryReport memoryReport() const noexcept override;
 
  private:
   /// Frontier maintenance on structural updates (PartitionedRuntime hooks):
@@ -216,14 +127,8 @@ class AdaptiveEngine {
   void park(graph::VertexId v);
   void unparkAll();
 
-  AdaptiveOptions options_;
-  PartitionedRuntime runtime_;
-  CapacityModel capacity_;
   QuotaLedger quota_;
   MigrationPolicy policy_;
-  ConvergenceTracker tracker_;
-  StatelessDraws draws_;
-  metrics::IterationSeries series_;
   std::vector<graph::PartitionId> desires_;
   /// MigrationPolicy tie masks per desire: a tied target rotates with the
   /// per-iteration draw, so a starved tied desire may only park when every
@@ -238,8 +143,6 @@ class AdaptiveEngine {
   std::vector<graph::VertexId> parked_;
   std::vector<std::uint8_t> isParked_;
   std::unique_ptr<util::ThreadPool> pool_;
-  std::size_t iteration_ = 0;
-  std::size_t lastActive_ = 0;
   std::size_t lastEvaluated_ = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace xdgp::core {
 
@@ -32,6 +33,28 @@ void CapacityModel::rescale(std::size_t n, double capacityFactor) {
   const auto cap =
       static_cast<std::size_t>(std::ceil(balanced * capacityFactor - 1e-9));
   for (auto& c : capacities_) c = std::max({c, cap, std::size_t{1}});
+}
+
+void CapacityModel::rescaleActive(std::size_t n, double capacityFactor,
+                                  const std::vector<std::uint8_t>& activeMask,
+                                  std::size_t activeCount) {
+  if (activeMask.size() != capacities_.size()) {
+    throw std::invalid_argument("rescaleActive: mask covers " +
+                                std::to_string(activeMask.size()) +
+                                " partitions, model has " +
+                                std::to_string(capacities_.size()));
+  }
+  if (activeCount == 0) {
+    throw std::invalid_argument("rescaleActive: no active partitions");
+  }
+  const double balanced =
+      static_cast<double>(n) / static_cast<double>(activeCount);
+  const auto cap =
+      static_cast<std::size_t>(std::ceil(balanced * capacityFactor - 1e-9));
+  for (std::size_t i = 0; i < capacities_.size(); ++i) {
+    capacities_[i] =
+        activeMask[i] != 0 ? std::max({capacities_[i], cap, std::size_t{1}}) : 0;
+  }
 }
 
 }  // namespace xdgp::core

@@ -61,6 +61,20 @@ class CapacityModel {
   /// re-provisioned the same way).
   void rescale(std::size_t n, double capacityFactor);
 
+  /// Elastic k: appends `n` zero-capacity slots for freshly grown
+  /// partitions; a follow-up rescaleActive provisions them.
+  void addPartitions(std::size_t n) { capacities_.resize(capacities_.size() + n, 0); }
+
+  /// Retire-aware re-provisioning: every *active* partition (activeMask[i]
+  /// != 0) grows to ceil(capacityFactor · n / activeCount) — never shrinks —
+  /// while every retired partition is forced to capacity 0, so nothing can
+  /// migrate into it while its vertices drain out. The active target is
+  /// derived from the active count, not capacities_.size(): the survivors
+  /// of a shrink absorb the displaced load.
+  void rescaleActive(std::size_t n, double capacityFactor,
+                     const std::vector<std::uint8_t>& activeMask,
+                     std::size_t activeCount);
+
   [[nodiscard]] const std::vector<std::size_t>& capacities() const noexcept {
     return capacities_;
   }

@@ -1,0 +1,70 @@
+#include "core/engine.h"
+
+#include <stdexcept>
+
+namespace xdgp::core {
+
+const char* engineKindCode(EngineKind kind) noexcept {
+  return kind == EngineKind::kLpa ? "lpa" : "greedy";
+}
+
+EngineKind engineKindFromCode(const std::string& code) {
+  if (code == "greedy") return EngineKind::kGreedy;
+  if (code == "lpa") return EngineKind::kLpa;
+  throw std::invalid_argument("unknown engine '" + code +
+                              "' (known: greedy, lpa)");
+}
+
+Engine::Engine(graph::DynamicGraph g, metrics::Assignment initial,
+               const AdaptiveOptions& options)
+    : options_(options),
+      runtime_(std::move(g), std::move(initial), options.k),
+      capacity_(runtime_.totalLoadUnits(options.balanceMode), options.k,
+                options.capacityFactor),
+      tracker_(options.convergenceWindow),
+      draws_(options.seed, options.willingness) {}
+
+ConvergenceResult Engine::runToConvergence(std::size_t maxIterations) {
+  ConvergenceResult result;
+  const std::size_t start = iteration_;
+  while (!tracker_.converged() && iteration_ - start < maxIterations) {
+    step();
+  }
+  result.iterationsRun = iteration_ - start;
+  result.convergenceIteration = lastActive_;
+  result.converged = tracker_.converged();
+  return result;
+}
+
+void Engine::restoreCheckpoint(std::size_t iteration,
+                               std::vector<std::size_t> capacities,
+                               std::size_t quietIterations,
+                               std::size_t lastActiveIteration) {
+  if (capacities.size() != k()) {
+    throw std::invalid_argument(
+        "restoreCheckpoint: " + std::to_string(capacities.size()) +
+        " capacities for k=" + std::to_string(k()));
+  }
+  iteration_ = iteration;
+  lastActive_ = lastActiveIteration;
+  capacity_ = CapacityModel(std::move(capacities));
+  tracker_.restoreQuiet(quietIterations);
+}
+
+void Engine::restoreRetired(std::span<const graph::PartitionId> ids) {
+  if (ids.empty()) return;
+  throw std::logic_error(std::string(engineKindCode(kind())) +
+                         " engine cannot restore retired partitions");
+}
+
+std::size_t Engine::growPartitions(std::size_t /*n*/) {
+  throw std::logic_error(std::string(engineKindCode(kind())) +
+                         " engine does not support elastic k (growPartitions)");
+}
+
+std::size_t Engine::shrinkPartitions(std::span<const graph::PartitionId> /*ids*/) {
+  throw std::logic_error(std::string(engineKindCode(kind())) +
+                         " engine does not support elastic k (shrinkPartitions)");
+}
+
+}  // namespace xdgp::core

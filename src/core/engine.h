@@ -1,0 +1,239 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/capacity.h"
+#include "core/convergence.h"
+#include "core/draws.h"
+#include "core/partition_state.h"
+#include "core/partitioned_runtime.h"
+#include "graph/dynamic_graph.h"
+#include "graph/update_stream.h"
+#include "metrics/series.h"
+
+namespace xdgp::core {
+
+/// Which adaptive repartitioner drives a session. kGreedy is the paper's
+/// neighbour-majority heuristic (AdaptiveEngine); kLpa is the Spinner-style
+/// weighted label propagation (lpa::LpaEngine), the successor algorithm that
+/// natively absorbs partitions being added or removed at run time.
+enum class EngineKind { kGreedy, kLpa };
+
+/// Stable on-disk / CLI code for an engine kind ("greedy" / "lpa").
+[[nodiscard]] const char* engineKindCode(EngineKind kind) noexcept;
+
+/// Inverse of engineKindCode; throws std::invalid_argument naming the known
+/// codes (checkpoint manifests and --engine flags fail loudly on typos).
+[[nodiscard]] EngineKind engineKindFromCode(const std::string& code);
+
+/// Tunables of the adaptive repartitioning engines. The first block is the
+/// paper's §2 algorithm; the lpa* block parameterises the Spinner-style
+/// label-propagation engine and is ignored by the greedy one.
+struct AdaptiveOptions {
+  std::size_t k = 9;              ///< partitions (the paper's lab default)
+  double capacityFactor = 1.1;    ///< C(i) = 110% of the balanced load
+  double willingness = 0.5;       ///< s, the §2.3 migration probability
+  std::size_t convergenceWindow = 30;  ///< quiet iterations to declare done
+  bool enforceQuota = true;       ///< ablation: disable §2.2 quotas
+  bool recordSeries = true;       ///< keep the per-iteration Fig. 7 series
+  /// Frontier-driven iteration: evaluate only vertices whose decision could
+  /// have changed — last iteration's movers and their neighbours, vertices
+  /// whose desired move was gated (unwilling or quota-denied), and the
+  /// endpoints of structural updates. Produces the identical trajectory as
+  /// the full scan (the equivalence test suite asserts it) but the cost of
+  /// step() scales with the amount of change, not with |V|. Fixed at
+  /// construction; false restores the full O(idBound) scan. Greedy-only:
+  /// the LPA score depends on global loads, so LPA always full-scans.
+  bool frontier = true;
+  /// Load measure: the paper's vertex counts, or the §6 edge-balanced
+  /// extension (capacities and quotas in degree units).
+  BalanceMode balanceMode = BalanceMode::kVertices;
+  /// Worker threads for the decision phase. Decisions are pure functions of
+  /// the iteration-start snapshot plus stateless draws (core/draws.h), so
+  /// any thread count produces the identical run for the same seed.
+  std::size_t threads = 1;
+  std::uint64_t seed = 42;
+
+  /// Which engine a Session / makeEngine builds over these options.
+  EngineKind engine = EngineKind::kGreedy;
+  /// LPA: weight c of the balance penalty in the per-label score
+  ///   score(v, l) = |N(v) ∩ P(l)| / deg(v) − c · load(l) / capacity(l).
+  double lpaBalanceFactor = 1.0;
+  /// LPA: minimum score improvement for a migration to be worth executing —
+  /// the "score-improvement quiescence" convergence knob. Larger values
+  /// converge faster with a slightly coarser final cut. The default sits
+  /// above the per-iteration jitter of the balance-penalty term (one
+  /// migration shifts a label's penalty by factor/capacity, and tens of
+  /// units move per iteration) but below the affinity quantum 1/deg of
+  /// typical vertices, so load noise cannot keep the engine oscillating
+  /// while genuine affinity gains still migrate.
+  double lpaScoreEpsilon = 0.02;
+  /// LPA: cap on migrations admitted per iteration (0 = unbounded). With
+  /// StreamOptions::maxIterationsPerWindow this bounds per-window migration
+  /// cost while the engine drains displaced vertices after a shrink.
+  std::size_t lpaMigrationBudget = 0;
+};
+
+/// Result of a run-to-convergence call.
+struct ConvergenceResult {
+  std::size_t iterationsRun = 0;       ///< total iterations executed
+  std::size_t convergenceIteration = 0;  ///< last iteration that migrated
+  bool converged = false;
+};
+
+/// The common shape of an adaptive repartitioning engine, and the owner of
+/// the state every engine shares: the PartitionedRuntime substrate (graph,
+/// partition state, placement, migration accounting), the capacity model,
+/// the convergence tracker, the stateless draws, and the recorded iteration
+/// series. Subclasses implement one synchronous (BSP) step() plus the
+/// engine-specific update and capacity hooks.
+///
+/// Elastic k: growPartitions / shrinkPartitions resize the partition set of
+/// a *running* engine. The base class rejects them (the greedy engine's
+/// per-partition machinery is sized at construction); engines that can
+/// drain displaced vertices (LPA) override them. k() is the size of the
+/// partition id space (grown ids included); activeK() excludes retired
+/// partitions — ids stay stable across a shrink, production-style, so a
+/// retired id is never reused for a different partition.
+class Engine {
+ public:
+  using PlacementFn = PartitionedRuntime::PlacementFn;
+
+  virtual ~Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs one iteration; returns the number of executed migrations.
+  virtual std::size_t step() = 0;
+
+  /// Steps until the convergence window closes or maxIterations elapse.
+  ConvergenceResult runToConvergence(std::size_t maxIterations = 20'000);
+
+  /// Applies a batch of structural updates and re-arms convergence tracking.
+  /// Returns the number of events that changed the graph.
+  virtual std::size_t applyUpdates(const std::vector<graph::UpdateEvent>& events) = 0;
+
+  /// Re-provisions capacities to capacityFactor headroom over the current
+  /// total load; never shrinks an active partition's capacity.
+  virtual void rescaleCapacity() = 0;
+
+  /// Replaces the default hash placement for stream-injected vertices.
+  void setPlacement(PlacementFn placement) {
+    runtime_.setPlacement(std::move(placement));
+  }
+
+  /// Checkpoint restore (serve layer): adopts a previous engine's
+  /// deterministic trajectory state so a freshly constructed engine over the
+  /// checkpointed graph + assignment continues bit-identically. Three pieces
+  /// cannot be re-derived and must carry over: the iteration counter (the
+  /// stateless draws are keyed by (seed, iteration, vertex)), the capacities
+  /// (rescale never shrinks, so they are history-dependent), and the quiet
+  /// streak. Throws std::invalid_argument when capacities.size() != k() —
+  /// the *runtime* k, so a checkpoint taken after elastic growth restores
+  /// against the grown partition set. Call restoreRetired() first when the
+  /// checkpoint carries retired partitions.
+  virtual void restoreCheckpoint(std::size_t iteration,
+                                 std::vector<std::size_t> capacities,
+                                 std::size_t quietIterations,
+                                 std::size_t lastActiveIteration);
+
+  /// Checkpoint restore of the retired-partition set (before
+  /// restoreCheckpoint, which then overwrites capacities wholesale). The
+  /// base class accepts only an empty set; elastic engines override.
+  virtual void restoreRetired(std::span<const graph::PartitionId> ids);
+
+  /// Elastic k: appends `n` fresh empty partitions and returns the new k.
+  /// Base class: throws std::logic_error (engine does not support elastic k).
+  virtual std::size_t growPartitions(std::size_t n);
+
+  /// Elastic k: retires the given partitions; the engine drains their
+  /// vertices over subsequent iterations. Returns the new activeK().
+  /// Base class: throws std::logic_error.
+  virtual std::size_t shrinkPartitions(std::span<const graph::PartitionId> ids);
+
+  [[nodiscard]] virtual EngineKind kind() const noexcept = 0;
+
+  /// Heap footprint of the runtime substrate plus engine scratch.
+  [[nodiscard]] virtual MemoryReport memoryReport() const noexcept = 0;
+
+  [[nodiscard]] const AdaptiveOptions& options() const noexcept { return options_; }
+  [[nodiscard]] const graph::DynamicGraph& graph() const noexcept {
+    return runtime_.graph();
+  }
+  [[nodiscard]] const PartitionState& state() const noexcept {
+    return runtime_.state();
+  }
+  [[nodiscard]] const CapacityModel& capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const metrics::IterationSeries& series() const noexcept {
+    return series_;
+  }
+  [[nodiscard]] std::size_t iteration() const noexcept { return iteration_; }
+  [[nodiscard]] bool converged() const noexcept { return tracker_.converged(); }
+  [[nodiscard]] double cutRatio() const noexcept {
+    return state().cutRatio(graph());
+  }
+
+  /// Consecutive zero-migration iterations so far (checkpoint state).
+  [[nodiscard]] std::size_t quietIterations() const noexcept {
+    return tracker_.quietIterations();
+  }
+
+  /// Last iteration index that executed at least one migration.
+  [[nodiscard]] std::size_t lastActiveIteration() const noexcept {
+    return lastActive_;
+  }
+
+  /// Migrations executed over the engine's whole lifetime — the per-window
+  /// deltas api::Session::stream reports, independent of recordSeries.
+  [[nodiscard]] std::size_t totalMigrations() const noexcept {
+    return runtime_.totalMigrations();
+  }
+
+  /// Size of the partition id space — options().k plus elastic growth.
+  [[nodiscard]] std::size_t k() const noexcept { return runtime_.k(); }
+
+  /// Partitions still accepting vertices (k() minus the retired set).
+  [[nodiscard]] std::size_t activeK() const noexcept { return runtime_.activeK(); }
+
+  [[nodiscard]] bool isActive(graph::PartitionId p) const noexcept {
+    return runtime_.isActive(p);
+  }
+
+  /// One byte per partition id, 1 = active — the mask metrics take to
+  /// compute balance over the surviving partitions only.
+  [[nodiscard]] const std::vector<std::uint8_t>& activeMask() const noexcept {
+    return runtime_.activeMask();
+  }
+
+  [[nodiscard]] std::vector<graph::PartitionId> retiredPartitions() const {
+    return runtime_.retiredPartitions();
+  }
+
+ protected:
+  /// Takes ownership of the graph; `initial` must assign every alive vertex
+  /// to a partition in [0, options.k) (PartitionedRuntime validates).
+  Engine(graph::DynamicGraph g, metrics::Assignment initial,
+         const AdaptiveOptions& options);
+
+  AdaptiveOptions options_;
+  PartitionedRuntime runtime_;
+  CapacityModel capacity_;
+  ConvergenceTracker tracker_;
+  StatelessDraws draws_;
+  metrics::IterationSeries series_;
+  std::size_t iteration_ = 0;
+  std::size_t lastActive_ = 0;
+};
+
+/// Constructs the engine options.engine selects — the single front door
+/// api::Pipeline and every driver build through. Defined next to LpaEngine
+/// (src/lpa/lpa_engine.cpp) so core/engine.cpp stays subclass-agnostic.
+[[nodiscard]] std::unique_ptr<Engine> makeEngine(graph::DynamicGraph g,
+                                                 metrics::Assignment initial,
+                                                 const AdaptiveOptions& options);
+
+}  // namespace xdgp::core

@@ -78,6 +78,13 @@ class PartitionState {
   /// Registers an edge removal; call after (or instead of) the graph change.
   void onEdgeRemoved(graph::VertexId u, graph::VertexId v);
 
+  /// Elastic k: appends `n` empty partitions (zero load, zero degree load).
+  /// Existing assignments are untouched — partition ids are stable.
+  void growK(std::size_t n) {
+    loads_.resize(loads_.size() + n, 0);
+    degreeLoads_.resize(degreeLoads_.size() + n, 0);
+  }
+
  private:
   metrics::Assignment assignment_;
   std::vector<std::size_t> loads_;

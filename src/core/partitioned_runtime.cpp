@@ -20,9 +20,74 @@ PartitionedRuntime::PartitionedRuntime(graph::DynamicGraph g,
     }
   });
   state_ = PartitionState(graph_, std::move(initial), k_);
-  placement_ = [k](graph::VertexId v) {
-    return static_cast<graph::PartitionId>(util::Rng::splitmix64(v) % k);
+  active_.assign(k_, 1);
+  activeK_ = k_;
+  refreshDefaultPlacement();
+}
+
+void PartitionedRuntime::refreshDefaultPlacement() {
+  if (customPlacement_) return;
+  std::vector<graph::PartitionId> ids;
+  ids.reserve(activeK_);
+  for (std::size_t p = 0; p < active_.size(); ++p) {
+    if (active_[p] != 0) ids.push_back(static_cast<graph::PartitionId>(p));
+  }
+  // With every partition active, ids[h % k] == h % k: bit-identical to the
+  // historical splitmix64(v) % k default.
+  placement_ = [ids = std::move(ids)](graph::VertexId v) {
+    return ids[util::Rng::splitmix64(v) % ids.size()];
   };
+}
+
+std::size_t PartitionedRuntime::growPartitions(std::size_t n) {
+  if (n == 0) return k_;
+  k_ += n;
+  active_.resize(k_, 1);
+  activeK_ += n;
+  state_.growK(n);
+  ++kEpoch_;
+  refreshDefaultPlacement();
+  return k_;
+}
+
+void PartitionedRuntime::retirePartitions(std::span<const graph::PartitionId> ids) {
+  if (ids.empty()) return;
+  // Validate the whole batch before flipping anything: a throw mid-batch
+  // must not leave a half-retired partition set.
+  std::vector<std::uint8_t> seen(k_, 0);
+  for (const graph::PartitionId p : ids) {
+    if (p >= k_) {
+      throw std::invalid_argument("retirePartitions: partition " +
+                                  std::to_string(p) + " does not exist (k=" +
+                                  std::to_string(k_) + ")");
+    }
+    if (active_[p] == 0) {
+      throw std::invalid_argument("retirePartitions: partition " +
+                                  std::to_string(p) + " is already retired");
+    }
+    if (seen[p] != 0) {
+      throw std::invalid_argument("retirePartitions: partition " +
+                                  std::to_string(p) + " listed twice");
+    }
+    seen[p] = 1;
+  }
+  if (ids.size() >= activeK_) {
+    throw std::invalid_argument(
+        "retirePartitions: cannot retire all " + std::to_string(activeK_) +
+        " active partitions");
+  }
+  for (const graph::PartitionId p : ids) active_[p] = 0;
+  activeK_ -= ids.size();
+  ++kEpoch_;
+  refreshDefaultPlacement();
+}
+
+std::vector<graph::PartitionId> PartitionedRuntime::retiredPartitions() const {
+  std::vector<graph::PartitionId> retired;
+  for (std::size_t p = 0; p < active_.size(); ++p) {
+    if (active_[p] == 0) retired.push_back(static_cast<graph::PartitionId>(p));
+  }
+  return retired;
 }
 
 void PartitionedRuntime::loadVertex(graph::VertexId v, MutationHooks& hooks) {

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "core/capacity.h"
@@ -107,9 +109,47 @@ class PartitionedRuntime {
     capacity.rescale(totalLoadUnits(mode), capacityFactor);
   }
 
-  /// Replaces the default hash placement for stream-injected vertices.
-  void setPlacement(PlacementFn placement) { placement_ = std::move(placement); }
+  /// Replaces the default hash placement for stream-injected vertices. A
+  /// custom placement is the caller's contract from then on: elastic resizes
+  /// no longer rebuild it (the default hash placement IS rebuilt, so it only
+  /// ever targets active partitions).
+  void setPlacement(PlacementFn placement) {
+    placement_ = std::move(placement);
+    customPlacement_ = true;
+  }
   [[nodiscard]] const PlacementFn& placement() const noexcept { return placement_; }
+
+  // --- elastic k ----------------------------------------------------------
+  // The partition id space only ever grows; a shrink *retires* ids instead
+  // of compacting them (stable ids, production-style). Retired partitions
+  // keep their loads until the owning engine drains their vertices — the
+  // runtime only flips the mask and re-targets default placement.
+
+  /// Appends `n` fresh empty partitions (ids k .. k+n-1); returns the new k.
+  std::size_t growPartitions(std::size_t n);
+
+  /// Marks the given partitions retired. Validates first (unknown id,
+  /// duplicate, already retired, or retiring every active partition are all
+  /// std::invalid_argument) and applies atomically — a throw changes
+  /// nothing. Vertices stay where they are; draining them is engine policy.
+  void retirePartitions(std::span<const graph::PartitionId> ids);
+
+  [[nodiscard]] bool isActive(graph::PartitionId p) const noexcept {
+    return p < active_.size() && active_[p] != 0;
+  }
+  [[nodiscard]] std::size_t activeK() const noexcept { return activeK_; }
+
+  /// One byte per partition id, 1 = active.
+  [[nodiscard]] const std::vector<std::uint8_t>& activeMask() const noexcept {
+    return active_;
+  }
+
+  /// Retired partition ids, ascending (empty until the first shrink).
+  [[nodiscard]] std::vector<graph::PartitionId> retiredPartitions() const;
+
+  /// Bumped by every growPartitions / retirePartitions — snapshot consumers
+  /// use it to notice a resize between observations.
+  [[nodiscard]] std::uint64_t kEpoch() const noexcept { return kEpoch_; }
 
   [[nodiscard]] const graph::DynamicGraph& graph() const noexcept { return graph_; }
   [[nodiscard]] const PartitionState& state() const noexcept { return state_; }
@@ -129,11 +169,20 @@ class PartitionedRuntime {
   /// default the paper adapts away from) plus partition-state registration.
   void loadVertex(graph::VertexId v, MutationHooks& hooks);
 
+  /// Rebuilds the default hash placement over the current active partitions
+  /// (no-op once a custom placement was set). With every partition active
+  /// this is exactly splitmix64(v) % k — the historical default.
+  void refreshDefaultPlacement();
+
   graph::DynamicGraph graph_;
   PartitionState state_;
   PlacementFn placement_;
   std::size_t k_;
   std::size_t totalMigrations_ = 0;
+  std::vector<std::uint8_t> active_;  ///< per partition id, 1 = active
+  std::size_t activeK_ = 0;
+  std::uint64_t kEpoch_ = 0;
+  bool customPlacement_ = false;
 };
 
 }  // namespace xdgp::core

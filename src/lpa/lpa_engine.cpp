@@ -1,0 +1,297 @@
+#include "lpa/lpa_engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/adaptive_engine.h"
+#include "util/timer.h"
+
+namespace xdgp::lpa {
+
+LpaEngine::LpaEngine(graph::DynamicGraph g, metrics::Assignment initial,
+                     core::AdaptiveOptions options)
+    : Engine(std::move(g), std::move(initial), options) {}
+
+namespace {
+
+/// Per-task scratch for the parallel decision phase: neighbour-label counts
+/// over the full partition id space, reset between vertices via the touched
+/// list (O(distinct labels), not O(k)).
+struct Scorer {
+  explicit Scorer(std::size_t k) : counts(k, 0) {}
+  std::vector<std::size_t> counts;
+  std::vector<graph::PartitionId> touched;
+  std::vector<graph::PartitionId> ties;
+};
+
+}  // namespace
+
+void LpaEngine::evaluateDecisions() {
+  const graph::DynamicGraph& g = graph();
+  const std::size_t bound = g.idBound();
+  desires_.assign(bound, graph::kNoPartition);
+
+  const bool edgeBalance = options_.balanceMode == core::BalanceMode::kEdges;
+  const std::vector<std::size_t>& loads =
+      edgeBalance ? state().degreeLoads() : state().loads();
+  const double factor = options_.lpaBalanceFactor;
+  const double epsilon = options_.lpaScoreEpsilon;
+
+  // Balance penalty of label l at the iteration-start snapshot. Retired
+  // labels never reach this (they are filtered as candidates, and a
+  // displaced vertex never scores its own retired label).
+  const auto penalty = [this, &loads, factor](graph::PartitionId l) {
+    return factor * static_cast<double>(loads[l]) /
+           static_cast<double>(capacity_.capacity(l));
+  };
+
+  const auto evaluateOne = [this, &g, &penalty, epsilon](graph::VertexId v,
+                                                         Scorer& scorer) {
+    const std::span<const graph::VertexId> nbrs = g.neighbors(v);
+    if (nbrs.empty()) return;  // nothing attracts it; displaced handled at admit
+    for (const graph::VertexId nbr : nbrs) {
+      const graph::PartitionId p = state().partitionOf(nbr);
+      if (scorer.counts[p]++ == 0) scorer.touched.push_back(p);
+    }
+    const double invDeg = 1.0 / static_cast<double>(nbrs.size());
+    const graph::PartitionId current = state().partitionOf(v);
+
+    double bestScore = -std::numeric_limits<double>::infinity();
+    scorer.ties.clear();
+    for (const graph::PartitionId l : scorer.touched) {
+      if (l == current || !runtime_.isActive(l)) continue;
+      const double score =
+          static_cast<double>(scorer.counts[l]) * invDeg - penalty(l);
+      if (score > bestScore) {
+        bestScore = score;
+        scorer.ties.clear();
+        scorer.ties.push_back(l);
+      } else if (score == bestScore) {
+        scorer.ties.push_back(l);
+      }
+    }
+
+    graph::PartitionId desire = graph::kNoPartition;
+    if (!scorer.ties.empty()) {
+      const graph::PartitionId pick =
+          scorer.ties[draws_.tieBreak(iteration_, v) % scorer.ties.size()];
+      if (!runtime_.isActive(current)) {
+        // Displaced: must leave its retired label — any active target beats
+        // staying, no improvement test.
+        desire = pick;
+      } else {
+        const double currentScore =
+            static_cast<double>(scorer.counts[current]) * invDeg -
+            penalty(current);
+        if (bestScore > currentScore + epsilon) desire = pick;
+      }
+    }
+    desires_[v] = desire;
+
+    for (const graph::PartitionId l : scorer.touched) scorer.counts[l] = 0;
+    scorer.touched.clear();
+  };
+
+  const auto evaluateRange = [&g, &evaluateOne](std::size_t begin,
+                                                std::size_t end, Scorer& scorer) {
+    for (auto v = static_cast<graph::VertexId>(begin); v < end; ++v) {
+      if (!g.hasVertex(v)) continue;
+      evaluateOne(v, scorer);
+    }
+  };
+
+  if (options_.threads <= 1) {
+    Scorer scorer(k());
+    evaluateRange(0, bound, scorer);
+    return;
+  }
+  if (!pool_) pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+  const std::size_t chunks = options_.threads * 4;
+  const std::size_t step = (bound + chunks - 1) / chunks;
+  for (std::size_t begin = 0; begin < bound; begin += step) {
+    const std::size_t end = std::min(bound, begin + step);
+    pool_->submit([this, begin, end, &evaluateRange] {
+      Scorer scorer(k());  // per-task scratch
+      evaluateRange(begin, end, scorer);
+    });
+  }
+  pool_->wait();
+}
+
+void LpaEngine::admit(graph::VertexId v, bool edgeBalance) {
+  const graph::PartitionId current = state().partitionOf(v);
+  const bool displaced = !runtime_.isActive(current);
+  graph::PartitionId target = desires_[v];
+  if (!displaced) {
+    // Settled vertex: the score-improvement verdict is already in desires_;
+    // the willingness draw is Spinner's migration dampening.
+    if (target == graph::kNoPartition) return;
+    if (!draws_.willing(iteration_, v)) return;
+  }
+  const std::size_t units = edgeBalance ? graph().degree(v) : 1;
+  const auto fits = [this, units](graph::PartitionId p) {
+    return state().load(p) + pendingLoad_[p] + units <= capacity_.capacity(p);
+  };
+  if (displaced && (target == graph::kNoPartition || !fits(target))) {
+    // Drain fallback: the roomiest active partition that can hold it (ties
+    // to the lowest id). The desired label may be full, or the vertex may
+    // have no active neighbour labels at all (e.g. zero degree).
+    graph::PartitionId best = graph::kNoPartition;
+    std::size_t bestRoom = 0;
+    for (std::size_t p = 0; p < k(); ++p) {
+      if (!runtime_.isActive(static_cast<graph::PartitionId>(p))) continue;
+      const std::size_t used = state().load(p) + pendingLoad_[p];
+      const std::size_t room =
+          used >= capacity_.capacity(p) ? 0 : capacity_.capacity(p) - used;
+      if (room >= units && room > bestRoom) {
+        bestRoom = room;
+        best = static_cast<graph::PartitionId>(p);
+      }
+    }
+    if (best == graph::kNoPartition) return;  // no headroom: retry next iteration
+    target = best;
+  } else if (!fits(target)) {
+    return;  // full this iteration; the desire is re-derived next scan
+  }
+  pendingLoad_[target] += units;
+  pendingMoves_.emplace_back(v, target);
+}
+
+std::size_t LpaEngine::step() {
+  const util::WallTimer timer;
+  ++iteration_;
+  const bool edgeBalance = options_.balanceMode == core::BalanceMode::kEdges;
+  pendingMoves_.clear();
+  pendingLoad_.assign(k(), 0);
+
+  // Decision phase: pure function of the iteration-start snapshot.
+  evaluateDecisions();
+
+  // Admission phase, serial in id order: capacity consumption is first-come,
+  // and the optional budget caps this iteration's migration bill. Displaced
+  // vertices (on retired partitions) admit first — under a tight budget the
+  // settled movers' ordinary churn must never starve the drain, or a shrink
+  // could strand vertices on retired partitions indefinitely.
+  const std::size_t budget = options_.lpaMigrationBudget;
+  const std::size_t bound = graph().idBound();
+  const auto admitPass = [this, budget, bound, edgeBalance](bool wantDisplaced) {
+    for (graph::VertexId v = 0; v < bound; ++v) {
+      if (budget > 0 && pendingMoves_.size() >= budget) break;
+      if (!graph().hasVertex(v)) continue;
+      const bool displaced = !runtime_.isActive(state().partitionOf(v));
+      if (displaced != wantDisplaced) continue;
+      admit(v, edgeBalance);
+    }
+  };
+  if (runtime_.activeK() < k()) admitPass(true);  // only after a shrink
+  admitPass(false);
+
+  // Synchronous application: all admitted moves saw the iteration-start
+  // assignment and land together (BSP).
+  for (const auto& [v, target] : pendingMoves_) runtime_.executeMove(v, target);
+
+  const std::size_t migrations = pendingMoves_.size();
+  tracker_.record(migrations);
+  if (migrations > 0) lastActive_ = iteration_;
+  if (options_.recordSeries) {
+    series_.add({iteration_, state().cutEdges(), migrations, timer.seconds()});
+  }
+  return migrations;
+}
+
+std::size_t LpaEngine::applyUpdates(const std::vector<graph::UpdateEvent>& events) {
+  // No per-vertex caches to maintain: every iteration is a full scan, so the
+  // default hooks suffice.
+  core::PartitionedRuntime::MutationHooks hooks;
+  return runtime_.applyEvents(events, hooks, &tracker_);
+}
+
+void LpaEngine::rescaleActive() {
+  capacity_.rescaleActive(runtime_.totalLoadUnits(options_.balanceMode),
+                          options_.capacityFactor, runtime_.activeMask(),
+                          runtime_.activeK());
+}
+
+void LpaEngine::rescaleCapacity() { rescaleActive(); }
+
+std::size_t LpaEngine::growPartitions(std::size_t n) {
+  if (n == 0) return k();
+  const std::size_t oldK = k();
+  runtime_.growPartitions(n);
+  capacity_.addPartitions(n);
+  rescaleActive();
+
+  // Seed the new partitions, as Spinner does on elasticity events: label
+  // propagation only ever scores labels its neighbours hold, so an empty
+  // partition would never attract a single vertex. Each alive vertex jumps
+  // to a uniformly chosen new partition with probability n / k' (the new
+  // partitions' fair share), gated by capacity; propagation then refines
+  // the seeded boundary over the following iterations. The draw is the
+  // stateless per-(iteration, vertex) hash, so seeding is reproducible and
+  // thread-count invariant like every other decision.
+  const bool edgeBalance = options_.balanceMode == core::BalanceMode::kEdges;
+  const std::size_t newK = k();
+  const std::size_t bound = graph().idBound();
+  for (graph::VertexId v = 0; v < bound; ++v) {
+    if (!graph().hasVertex(v)) continue;
+    const std::uint32_t r = draws_.tieBreak(iteration_, v);
+    if (r % newK >= n) continue;
+    const auto target =
+        static_cast<graph::PartitionId>(oldK + (r / newK) % n);
+    const std::size_t units = edgeBalance ? graph().degree(v) : 1;
+    if (state().load(target) + units > capacity_.capacity(target)) continue;
+    runtime_.executeMove(v, target);
+  }
+
+  tracker_.reset();  // fresh labels re-open adaptation
+  return k();
+}
+
+std::size_t LpaEngine::shrinkPartitions(std::span<const graph::PartitionId> ids) {
+  runtime_.retirePartitions(ids);  // validates atomically; throws on bad ids
+  rescaleActive();  // zeroes retired capacities, grows survivors for the drain
+  tracker_.reset();
+  return activeK();
+}
+
+void LpaEngine::restoreRetired(std::span<const graph::PartitionId> ids) {
+  if (ids.empty()) return;
+  // Capacities are not re-derived here: restoreCheckpoint() follows and
+  // overwrites them wholesale with the checkpointed values (retired = 0).
+  runtime_.retirePartitions(ids);
+}
+
+std::size_t LpaEngine::displacedCount() const noexcept {
+  std::size_t displaced = 0;
+  graph().forEachVertex([this, &displaced](graph::VertexId v) {
+    if (!runtime_.isActive(state().partitionOf(v))) ++displaced;
+  });
+  return displaced;
+}
+
+core::MemoryReport LpaEngine::memoryReport() const noexcept {
+  core::MemoryReport report = runtime_.memoryReport();
+  report.engineBytes =
+      desires_.capacity() * sizeof(graph::PartitionId) +
+      pendingMoves_.capacity() * sizeof(pendingMoves_[0]) +
+      pendingLoad_.capacity() * sizeof(std::size_t) +
+      series_.points().capacity() * sizeof(metrics::IterationPoint);
+  return report;
+}
+
+}  // namespace xdgp::lpa
+
+namespace xdgp::core {
+
+std::unique_ptr<Engine> makeEngine(graph::DynamicGraph g,
+                                   metrics::Assignment initial,
+                                   const AdaptiveOptions& options) {
+  if (options.engine == EngineKind::kLpa) {
+    return std::make_unique<lpa::LpaEngine>(std::move(g), std::move(initial),
+                                            options);
+  }
+  return std::make_unique<AdaptiveEngine>(std::move(g), std::move(initial),
+                                          options);
+}
+
+}  // namespace xdgp::core

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/thread_pool.h"
+
+namespace xdgp::lpa {
+
+/// Spinner-style weighted label propagation (Martella et al., "Spinner:
+/// Scalable Graph Partitioning in the Cloud") over the same
+/// core::PartitionedRuntime substrate as the paper's greedy engine — the
+/// successor algorithm the repo's head-to-head benches compare against.
+///
+/// Per iteration, every vertex scores each *active* label l held by a
+/// neighbour:
+///
+///   score(v, l) = |N(v) ∩ P(l)| / deg(v)
+///               − lpaBalanceFactor · load(l) / capacity(l)
+///
+/// (loads and capacities in the configured balance mode's units). The first
+/// term is the normalized neighbour-label affinity; the second penalises
+/// crowded partitions, which is what keeps plain label propagation from
+/// collapsing everything into one giant part. A vertex desires the argmax
+/// label, ties broken by the stateless per-(iteration, vertex) draw, and the
+/// move is worth executing only when the best score beats its current
+/// label's score by more than lpaScoreEpsilon — convergence is
+/// score-improvement quiescence (ConvergenceTracker sees zero-migration
+/// iterations), not label stability.
+///
+/// Migration dampening is probabilistic, as in Spinner: a desiring vertex
+/// executes its move only when the willingness draw admits it this
+/// iteration, so the assignment relaxes instead of oscillating. Decisions
+/// are a pure function of the iteration-start snapshot plus stateless draws,
+/// so any thread count reproduces the identical run for a given seed (the
+/// same invariant the greedy engine's parallel decision phase relies on).
+///
+/// Elastic k is native here (the reason this engine exists):
+///  - growPartitions(n) appends n empty partitions; their penalty term is
+///    minimal (zero load), so propagation pulls boundary vertices into them
+///    over the following iterations.
+///  - shrinkPartitions(ids) retires partitions in place. Retired labels are
+///    never candidates and their capacity is forced to 0; their now
+///    *displaced* vertices bypass both the score-improvement test and the
+///    willingness gate (they must leave), draining onto active partitions
+///    under the per-iteration migration budget. Active capacities re-derive
+///    from the active count (CapacityModel::rescaleActive), so in vertex
+///    balance mode the survivors always have room and the drain terminates;
+///    in edge-balance mode a single vertex whose degree exceeds every
+///    partition's remaining headroom can stay displaced — the known
+///    limitation of per-unit capacity admission.
+///
+/// Unlike the greedy engine there is no frontier: the balance penalty
+/// depends on global loads, so any migration anywhere can flip a remote
+/// vertex's argmax. Every iteration is a full scan (parallelised over
+/// options.threads).
+class LpaEngine final : public core::Engine {
+ public:
+  /// Takes ownership of the graph; `initial` must assign every alive vertex
+  /// to a partition in [0, options.k) (PartitionedRuntime validates).
+  LpaEngine(graph::DynamicGraph g, metrics::Assignment initial,
+            core::AdaptiveOptions options);
+
+  /// Runs one iteration; returns the number of executed migrations.
+  std::size_t step() override;
+
+  /// Applies a batch of structural updates and re-arms convergence tracking.
+  std::size_t applyUpdates(const std::vector<graph::UpdateEvent>& events) override;
+
+  /// Re-provisions every *active* capacity to capacityFactor headroom over
+  /// the current total load; retired capacities stay 0.
+  void rescaleCapacity() override;
+
+  /// Appends `n` fresh empty partitions, provisions them via rescaleActive,
+  /// and re-arms convergence (the new labels re-open adaptation). Returns
+  /// the new k.
+  std::size_t growPartitions(std::size_t n) override;
+
+  /// Retires the given partitions (validated atomically by the runtime),
+  /// zeroes their capacities, re-provisions the survivors from the active
+  /// count, and re-arms convergence. The retired partitions' vertices drain
+  /// over subsequent step()s. Returns the new activeK().
+  std::size_t shrinkPartitions(std::span<const graph::PartitionId> ids) override;
+
+  /// Checkpoint restore: re-retires the checkpointed partition set on a
+  /// freshly constructed engine. Call before restoreCheckpoint(), which then
+  /// overwrites the capacities wholesale (including the retired zeros).
+  void restoreRetired(std::span<const graph::PartitionId> ids) override;
+
+  [[nodiscard]] core::EngineKind kind() const noexcept override {
+    return core::EngineKind::kLpa;
+  }
+
+  /// Vertices currently assigned to a retired partition, i.e. still awaiting
+  /// drain after a shrink. O(idBound) scan — diagnostic, not per-iteration.
+  [[nodiscard]] std::size_t displacedCount() const noexcept;
+
+  /// Heap footprint of the runtime substrate plus this engine's scratch.
+  [[nodiscard]] core::MemoryReport memoryReport() const noexcept override;
+
+ private:
+  /// Decision phase: fills desires_ (kNoPartition = stay) for every alive
+  /// vertex in [0, idBound) from the iteration-start snapshot.
+  void evaluateDecisions();
+
+  /// Admission for one vertex, serial in id order: willingness and the
+  /// score-improvement verdict were already folded into desires_ for
+  /// settled vertices; displaced vertices bypass both and fall back to the
+  /// roomiest active partition when their desired label has no headroom.
+  void admit(graph::VertexId v, bool edgeBalance);
+
+  /// Active capacities from the live active set (retired forced to 0).
+  void rescaleActive();
+
+  std::vector<graph::PartitionId> desires_;
+  std::vector<std::pair<graph::VertexId, graph::PartitionId>> pendingMoves_;
+  /// Units already committed to each partition by this iteration's admitted
+  /// moves — admission tests load + pending ≤ capacity so one iteration
+  /// cannot overshoot a target it can see filling up.
+  std::vector<std::size_t> pendingLoad_;
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace xdgp::lpa

@@ -27,6 +27,40 @@ BalanceReport balanceReport(const Assignment& assignment, std::size_t k) {
   return report;
 }
 
+BalanceReport balanceReport(const Assignment& assignment,
+                            const std::vector<std::uint8_t>& activeMask) {
+  BalanceReport report;
+  report.k = activeMask.size();
+  const std::vector<std::size_t> loads =
+      partitionLoads(assignment, activeMask.size());
+  std::size_t activeCount = 0;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    report.totalVertices += loads[i];  // residual retired loads still count
+    if (activeMask[i] != 0) ++activeCount;
+  }
+  if (activeCount == 0 || report.totalVertices == 0) return report;
+
+  report.minLoad = report.totalVertices;  // over-high sentinel; min over active
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    if (activeMask[i] == 0) continue;
+    report.minLoad = std::min(report.minLoad, loads[i]);
+    report.maxLoad = std::max(report.maxLoad, loads[i]);
+  }
+  const double balanced = static_cast<double>(report.totalVertices) /
+                          static_cast<double>(activeCount);
+  report.imbalance = static_cast<double>(report.maxLoad) / balanced;
+
+  double sumSq = 0.0;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    if (activeMask[i] == 0) continue;
+    const double d = static_cast<double>(loads[i]) - balanced;
+    sumSq += d * d;
+  }
+  report.densification =
+      std::sqrt(sumSq / static_cast<double>(activeCount)) / balanced;
+  return report;
+}
+
 bool respectsCapacities(const Assignment& assignment,
                         const std::vector<std::size_t>& capacities) {
   const std::vector<std::size_t> loads =

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "metrics/cuts.h"
@@ -24,6 +25,16 @@ struct BalanceReport {
 };
 
 [[nodiscard]] BalanceReport balanceReport(const Assignment& assignment, std::size_t k);
+
+/// Elastic-k variant: balance over the *active* partitions only. The mask is
+/// one byte per partition id (1 = active, mask.size() = the full id space);
+/// min/max/imbalance/densification consider active entries and the balanced
+/// load divides by the active count. Retired partitions mid-drain still
+/// contribute their residual loads to totalVertices (every vertex counts),
+/// so imbalance transiently understates until the drain completes. With all
+/// partitions active this is exactly balanceReport(assignment, mask.size()).
+[[nodiscard]] BalanceReport balanceReport(const Assignment& assignment,
+                                          const std::vector<std::uint8_t>& activeMask);
 
 /// True when every partition load respects its capacity.
 [[nodiscard]] bool respectsCapacities(const Assignment& assignment,

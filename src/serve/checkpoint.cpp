@@ -235,6 +235,7 @@ void writeCheckpoint(const Checkpoint& checkpoint, const std::string& dir) {
     out << "workload " << checkpoint.workload << "\n";
     out << "strategy " << checkpoint.strategy << "\n";
     out << "k " << checkpoint.k << "\n";
+    out << "engine " << core::engineKindCode(checkpoint.engine) << "\n";
     out << "seed " << checkpoint.seed << "\n";
     out << "capacity-factor " << fullPrecision(checkpoint.capacityFactor) << "\n";
     out << "willingness " << fullPrecision(checkpoint.willingness) << "\n";
@@ -244,6 +245,11 @@ void writeCheckpoint(const Checkpoint& checkpoint, const std::string& dir) {
         << (checkpoint.balanceMode == core::BalanceMode::kEdges ? "edges"
                                                                 : "vertices")
         << "\n";
+    out << "lpa-balance-factor " << fullPrecision(checkpoint.lpaBalanceFactor)
+        << "\n";
+    out << "lpa-score-epsilon " << fullPrecision(checkpoint.lpaScoreEpsilon)
+        << "\n";
+    out << "lpa-migration-budget " << checkpoint.lpaMigrationBudget << "\n";
     out << "max-iterations " << checkpoint.maxIterations << "\n";
     out << "window-span " << fullPrecision(checkpoint.stream.windowSpan) << "\n";
     out << "window-events " << checkpoint.stream.windowEvents << "\n";
@@ -260,6 +266,13 @@ void writeCheckpoint(const Checkpoint& checkpoint, const std::string& dir) {
     out << "last-active " << checkpoint.engineLastActive << "\n";
     out << "capacities";
     for (const std::size_t c : checkpoint.capacities) out << ' ' << c;
+    out << "\n";
+    // Trailing space keeps the line well-formed when the set is empty (the
+    // manifest grammar is `key<space>value`, value possibly empty).
+    out << "retired ";
+    for (std::size_t i = 0; i < checkpoint.retired.size(); ++i) {
+      out << (i ? " " : "") << checkpoint.retired[i];
+    }
     out << "\n";
     out << "graph-vertices " << checkpoint.graph.numVertices() << "\n";
     out << "graph-edges " << checkpoint.graph.numEdges() << "\n";
@@ -293,6 +306,11 @@ Checkpoint readCheckpoint(const std::string& dir) {
   checkpoint.workload = manifest.get("workload");
   checkpoint.strategy = manifest.get("strategy");
   checkpoint.k = manifest.count("k");
+  try {
+    checkpoint.engine = core::engineKindFromCode(manifest.get("engine"));
+  } catch (const std::invalid_argument& error) {
+    throw CheckpointError(error.what());
+  }
   checkpoint.seed = manifest.u64("seed");
   checkpoint.capacityFactor = manifest.real("capacity-factor");
   checkpoint.willingness = manifest.real("willingness");
@@ -306,6 +324,9 @@ Checkpoint readCheckpoint(const std::string& dir) {
   } else {
     throw CheckpointError("unknown balance mode '" + balance + "'");
   }
+  checkpoint.lpaBalanceFactor = manifest.real("lpa-balance-factor");
+  checkpoint.lpaScoreEpsilon = manifest.real("lpa-score-epsilon");
+  checkpoint.lpaMigrationBudget = manifest.count("lpa-migration-budget");
   checkpoint.maxIterations = manifest.count("max-iterations");
   checkpoint.stream.windowSpan = manifest.real("window-span");
   checkpoint.stream.windowEvents = manifest.count("window-events");
@@ -324,6 +345,24 @@ Checkpoint readCheckpoint(const std::string& dir) {
     throw CheckpointError("manifest lists " +
                           std::to_string(checkpoint.capacities.size()) +
                           " capacities for k=" + std::to_string(checkpoint.k));
+  }
+  for (const std::size_t id : manifest.list("retired")) {
+    if (id >= checkpoint.k) {
+      throw CheckpointError("retired partition " + std::to_string(id) +
+                            " is outside k=" + std::to_string(checkpoint.k));
+    }
+    checkpoint.retired.push_back(static_cast<graph::PartitionId>(id));
+  }
+  if (!checkpoint.retired.empty() &&
+      checkpoint.engine == core::EngineKind::kGreedy) {
+    throw CheckpointError(
+        "manifest retires partitions under the greedy engine, which cannot "
+        "hold a resized partition set");
+  }
+  if (checkpoint.retired.size() >= checkpoint.k) {
+    throw CheckpointError("manifest retires all " +
+                          std::to_string(checkpoint.retired.size()) +
+                          " partitions");
   }
 
   try {

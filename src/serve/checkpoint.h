@@ -7,6 +7,7 @@
 
 #include "api/stream.h"
 #include "core/capacity.h"
+#include "core/engine.h"
 #include "graph/dynamic_graph.h"
 #include "graph/update_stream.h"
 #include "metrics/cuts.h"
@@ -16,7 +17,11 @@ namespace xdgp::serve {
 /// Format version of the on-disk checkpoint directory. Bumped whenever the
 /// manifest keys or payload formats change incompatibly; readers reject any
 /// other version loudly.
-inline constexpr int kCheckpointVersion = 1;
+/// v2 added the engine selector, the LPA knobs, and the retired-partition
+/// set (elastic k); v1 directories are rejected — pre-elastic checkpoints
+/// cannot express a resized partition set, so silently upgrading them would
+/// guess at state the format never recorded.
+inline constexpr int kCheckpointVersion = 2;
 
 /// Every checkpoint failure — missing files, version mismatch, corruption,
 /// truncation, count/checksum disagreement — surfaces as this one typed,
@@ -58,13 +63,19 @@ struct Checkpoint {
   // --- identity / configuration ------------------------------------------
   std::string workload = "<custom>";  ///< registry code, for reporting
   std::string strategy = "<restored>";
+  /// The session's *live* k at checkpoint time (elastic growth included) —
+  /// the id space the assignment, capacities, and retired set index into.
   std::size_t k = 0;
+  core::EngineKind engine = core::EngineKind::kGreedy;
   std::uint64_t seed = 42;
   double capacityFactor = 1.1;
   double willingness = 0.5;
   std::size_t convergenceWindow = 30;
   bool enforceQuota = true;
   core::BalanceMode balanceMode = core::BalanceMode::kVertices;
+  double lpaBalanceFactor = 1.0;
+  double lpaScoreEpsilon = 0.02;
+  std::size_t lpaMigrationBudget = 0;
   std::size_t maxIterations = 20'000;
   api::StreamOptions stream;
 
@@ -78,6 +89,9 @@ struct Checkpoint {
   std::size_t engineQuiet = 0;
   std::size_t engineLastActive = 0;
   std::vector<std::size_t> capacities;
+  /// Retired partition ids (ascending; empty unless an elastic shrink
+  /// happened). Restore re-retires them before adopting the capacities.
+  std::vector<graph::PartitionId> retired;
   std::vector<graph::UpdateEvent> events;   ///< the FULL backing stream
   std::vector<api::WindowReport> timeline;  ///< windows [0, nextWindow)
 };

@@ -1,5 +1,6 @@
 #include "serve/service.h"
 
+#include <stdexcept>
 #include <utility>
 
 #include "metrics/balance.h"
@@ -9,9 +10,10 @@ namespace xdgp::serve {
 namespace {
 
 /// Rebuilds a live Session from checkpointed state: the pipeline seeds the
-/// engine with the saved graph + assignment, then restoreCheckpoint adopts
-/// the non-derivable trajectory state (iteration counter, capacities, quiet
-/// streak, last active iteration).
+/// engine with the saved graph + assignment, then restoreRetired re-retires
+/// the checkpointed partition set (elastic shrinks are part of the
+/// trajectory), then restoreCheckpoint adopts the non-derivable state
+/// (iteration counter, capacities, quiet streak, last active iteration).
 api::Session restoredSession(Checkpoint& checkpoint, std::size_t threads) {
   core::AdaptiveOptions adaptive;
   adaptive.k = checkpoint.k;
@@ -22,6 +24,10 @@ api::Session restoredSession(Checkpoint& checkpoint, std::size_t threads) {
   adaptive.balanceMode = checkpoint.balanceMode;
   adaptive.threads = threads;
   adaptive.seed = checkpoint.seed;
+  adaptive.engine = checkpoint.engine;
+  adaptive.lpaBalanceFactor = checkpoint.lpaBalanceFactor;
+  adaptive.lpaScoreEpsilon = checkpoint.lpaScoreEpsilon;
+  adaptive.lpaMigrationBudget = checkpoint.lpaMigrationBudget;
   api::Session session =
       api::Pipeline::fromGraph(std::move(checkpoint.graph))
           .initialFromAssignment(std::move(checkpoint.assignment), checkpoint.k)
@@ -31,6 +37,7 @@ api::Session restoredSession(Checkpoint& checkpoint, std::size_t threads) {
           .adaptive(adaptive)
           .maxIterations(checkpoint.maxIterations)
           .start();
+  session.engine().restoreRetired(checkpoint.retired);
   session.engine().restoreCheckpoint(
       checkpoint.engineIteration, std::move(checkpoint.capacities),
       checkpoint.engineQuiet, checkpoint.engineLastActive);
@@ -38,6 +45,56 @@ api::Session restoredSession(Checkpoint& checkpoint, std::size_t threads) {
 }
 
 }  // namespace
+
+std::vector<ServeOptions::ResizeOp> parseResizePlan(const std::string& plan) {
+  std::vector<ServeOptions::ResizeOp> ops;
+  std::size_t begin = 0;
+  while (begin <= plan.size()) {
+    // ';' and ',' both separate clauses: ';' reads naturally but needs
+    // escaping in shells and splits CMake lists, so scripted callers use ','.
+    const std::size_t end =
+        std::min({plan.find(';', begin), plan.find(',', begin), plan.size()});
+    const std::string clause = plan.substr(begin, end - begin);
+    begin = end + 1;
+    if (clause.empty()) continue;
+    const auto fail = [&clause](const std::string& why) -> std::size_t {
+      throw std::invalid_argument("bad resize clause '" + clause + "': " + why +
+                                  " (expected grow@W:N or shrink@W:I+J+...)");
+    };
+    const std::size_t at = clause.find('@');
+    const std::size_t colon = clause.find(':', at == std::string::npos ? 0 : at);
+    if (at == std::string::npos || colon == std::string::npos) {
+      fail("missing '@' or ':'");
+    }
+    const std::string verb = clause.substr(0, at);
+    const auto number = [&fail](const std::string& text) {
+      if (text.empty() ||
+          text.find_first_not_of("0123456789") != std::string::npos) {
+        return fail("'" + text + "' is not a number");
+      }
+      return static_cast<std::size_t>(std::stoull(text));
+    };
+    ServeOptions::ResizeOp op;
+    op.window = number(clause.substr(at + 1, colon - at - 1));
+    const std::string arg = clause.substr(colon + 1);
+    if (verb == "grow") {
+      op.grow = number(arg);
+      if (op.grow == 0) fail("grow count must be positive");
+    } else if (verb == "shrink") {
+      std::size_t idBegin = 0;
+      while (idBegin <= arg.size()) {
+        const std::size_t idEnd = std::min(arg.find('+', idBegin), arg.size());
+        op.shrink.push_back(
+            static_cast<graph::PartitionId>(number(arg.substr(idBegin, idEnd - idBegin))));
+        idBegin = idEnd + 1;
+      }
+    } else {
+      fail("unknown verb '" + verb + "'");
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
 
 PartitionService::PartitionService(api::Workload workload,
                                    const std::string& strategy,
@@ -90,9 +147,22 @@ const api::TimelineReport& PartitionService::run() {
   // edge-expiry bookkeeping replays bit-exactly, but the engine must not
   // see them twice.
   const std::size_t skipBefore = nextWindow_;
+  if (resizeApplied_.size() < options_.resizes.size()) {
+    resizeApplied_.resize(options_.resizes.size(), 0);
+  }
   api::Streamer streamer(graph::UpdateStream(events_), options_.stream);
   while (std::optional<api::WindowBatch> batch = streamer.next()) {
     if (batch->index < skipBefore) continue;
+    // Scheduled elastic resizes fire at the start of their window, before
+    // its events apply (grow before shrink within one op). Each op fires at
+    // most once, even if a crash forces this window to be reprocessed.
+    for (std::size_t i = 0; i < options_.resizes.size(); ++i) {
+      const ServeOptions::ResizeOp& op = options_.resizes[i];
+      if (op.window != batch->index || resizeApplied_[i] != 0) continue;
+      resizeApplied_[i] = 1;
+      if (op.grow > 0) session_.engine().growPartitions(op.grow);
+      if (!op.shrink.empty()) session_.engine().shrinkPartitions(op.shrink);
+    }
     const api::WindowReport window = session_.streamWindow(*batch, options_.stream);
     // The crash point: the window's work happened (engine mutated), but the
     // swap, the timeline row, and the checkpoint never do — recovery must
@@ -115,15 +185,19 @@ const api::TimelineReport& PartitionService::run() {
 }
 
 void PartitionService::publishCurrent(const api::WindowReport* window) {
-  const core::AdaptiveEngine& engine = session_.engine();
+  const core::Engine& engine = session_.engine();
   SnapshotStats stats;
   stats.window = nextWindow_;
+  // Live partition-set shape, NOT engine.options().k: the options value is
+  // frozen at construction, so after an elastic resize it would stamp every
+  // snapshot with a stale k (and compute balance over the wrong id space).
+  stats.activeK = engine.activeK();
   stats.vertices = engine.graph().numVertices();
   stats.edges = engine.graph().numEdges();
   stats.cutEdges = engine.state().cutEdges();
   stats.cutRatio = engine.cutRatio();
   stats.imbalance =
-      metrics::balanceReport(engine.state().assignment(), engine.options().k)
+      metrics::balanceReport(engine.state().assignment(), engine.activeMask())
           .imbalance;
   if (window != nullptr) {
     stats.migrations = window->migrations;
@@ -133,17 +207,22 @@ void PartitionService::publishCurrent(const api::WindowReport* window) {
     stats.converged = engine.converged();
   }
   board_.publish(AssignmentSnapshot(++epoch_, engine.graph(),
-                                    engine.state().assignment(),
-                                    engine.options().k, stats));
+                                    engine.state().assignment(), engine.k(),
+                                    stats));
 }
 
 Checkpoint PartitionService::makeCheckpoint() const {
-  const core::AdaptiveEngine& engine = session_.engine();
+  const core::Engine& engine = session_.engine();
   const core::AdaptiveOptions& adaptive = engine.options();
   Checkpoint checkpoint;
   checkpoint.workload = workloadCode_;
   checkpoint.strategy = strategy_;
-  checkpoint.k = adaptive.k;
+  checkpoint.k = engine.k();  // live: includes elastic growth
+  checkpoint.engine = engine.kind();
+  checkpoint.retired = engine.retiredPartitions();
+  checkpoint.lpaBalanceFactor = adaptive.lpaBalanceFactor;
+  checkpoint.lpaScoreEpsilon = adaptive.lpaScoreEpsilon;
+  checkpoint.lpaMigrationBudget = adaptive.lpaMigrationBudget;
   checkpoint.seed = adaptive.seed;
   checkpoint.capacityFactor = adaptive.capacityFactor;
   checkpoint.willingness = adaptive.willingness;

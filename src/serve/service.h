@@ -7,7 +7,7 @@
 #include "api/pipeline.h"
 #include "api/stream.h"
 #include "api/workload_registry.h"
-#include "core/adaptive_engine.h"
+#include "core/engine.h"
 #include "serve/checkpoint.h"
 #include "serve/fault.h"
 #include "serve/snapshot.h"
@@ -18,6 +18,21 @@ namespace xdgp::serve {
 /// Session already understands.
 struct ServeOptions {
   api::StreamOptions stream;
+
+  /// One scheduled elastic resize: at the start of window `window` (before
+  /// its events apply), grow the partition set by `grow` and/or retire the
+  /// `shrink` ids. Requires an engine with elastic-k support (LPA) — the
+  /// greedy engine throws on the first scheduled op, by design.
+  struct ResizeOp {
+    std::size_t window = 0;
+    std::size_t grow = 0;
+    std::vector<graph::PartitionId> shrink;
+  };
+
+  /// Elastic-k schedule, applied by run() as each window index comes up.
+  /// A restored service does not re-apply a schedule: the resized partition
+  /// set is part of the checkpoint.
+  std::vector<ResizeOp> resizes;
 
   /// Directory to checkpoint into; empty disables checkpointing.
   std::string checkpointDir;
@@ -56,6 +71,15 @@ struct ServeOptions {
 /// rebuilds the service from it and run() replays the event tail; the
 /// recovered trajectory is bit-identical to an unfaulted run (the serve
 /// test suite asserts it window by window).
+/// Parses an `--resize` plan string into a schedule:
+///   "grow@2:4;shrink@4:6+7"  — at window 2 grow by 4 partitions; at window
+/// 4 retire partitions 6 and 7. Ops separated by ';' (or ',', for callers
+/// where ';' needs escaping — shells, CMake lists), ids by '+'; several
+/// ops may share a window (grows apply before shrinks at the same index).
+/// Throws std::invalid_argument on malformed plans, naming the bad clause.
+[[nodiscard]] std::vector<ServeOptions::ResizeOp> parseResizePlan(
+    const std::string& plan);
+
 class PartitionService {
  public:
   /// Fresh service over a made workload: the initial graph is partitioned
@@ -126,6 +150,9 @@ class PartitionService {
   std::vector<graph::UpdateEvent> events_;  ///< the FULL backing stream
   api::Session session_;
   api::TimelineReport timeline_;
+  /// Per ResizeOp: fired already (ops must not re-fire when a crash forces
+  /// their window to be reprocessed by a later run() call).
+  std::vector<std::uint8_t> resizeApplied_;
   std::size_t nextWindow_ = 0;
   std::uint64_t epoch_ = 0;
   SnapshotBoard board_;

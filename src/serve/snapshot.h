@@ -16,6 +16,10 @@ namespace xdgp::serve {
 /// partitioning behind the answer is.
 struct SnapshotStats {
   std::size_t window = 0;  ///< stream windows applied when the snapshot was cut
+  /// Partitions still accepting vertices when the snapshot was cut. Equals
+  /// the snapshot's k() until an elastic shrink retires some — then readers
+  /// see activeK < k while the retired partitions drain.
+  std::size_t activeK = 0;
   std::size_t vertices = 0;
   std::size_t edges = 0;
   std::size_t cutEdges = 0;

@@ -147,6 +147,88 @@ INSTANTIATE_TEST_SUITE_P(Workloads, CheckpointRoundTrip,
                          ::testing::Values("TWEET", "CDR", "FFIRE", "CHURN",
                                            "REPLAY"));
 
+// ------------------------------------ LPA + elastic-k crash round-trip
+
+PartitionService makeLpaService(ServeOptions options) {
+  api::Workload workload =
+      api::WorkloadRegistry::instance().make("CHURN", caseConfig("CHURN"));
+  options.stream = workload.suggested;
+  core::AdaptiveOptions adaptive;
+  adaptive.k = 8;
+  adaptive.engine = core::EngineKind::kLpa;
+  adaptive.lpaMigrationBudget = 50;
+  return PartitionService(std::move(workload), "HSH", adaptive,
+                          std::move(options));
+}
+
+TEST(CheckpointElastic, LpaResizedServiceRestoresBitIdentically) {
+  // An LPA session that grows 8 -> 10 at window 1 and retires the two grown
+  // partitions at window 2, checkpointed every window, crashed at window 3:
+  // the restored service must resume over the *resized* partition set (v2
+  // manifests carry engine kind, lpa knobs, live k, and the retired set)
+  // and finish bit-identically to the uninterrupted run.
+  const std::string dir = freshDir("ckpt_lpa_elastic");
+  const std::vector<ServeOptions::ResizeOp> resizes =
+      parseResizePlan("grow@1:2;shrink@2:8+9");
+  const std::vector<graph::PartitionId> retired = {8, 9};
+
+  ServeOptions refOptions;
+  refOptions.resizes = resizes;
+  PartitionService reference = makeLpaService(std::move(refOptions));
+  reference.run();
+  ASSERT_GE(reference.timeline().windows.size(), 4u);
+  ASSERT_EQ(reference.session().engine().k(), 10u);
+  ASSERT_EQ(reference.session().engine().activeK(), 8u);
+
+  ServeOptions options;
+  options.resizes = resizes;
+  options.checkpointDir = dir;
+  options.faults = FaultPlan::parse("crash@window=3");
+  PartitionService faulted = makeLpaService(std::move(options));
+  EXPECT_THROW(faulted.run(), InjectedCrash);
+  EXPECT_EQ(faulted.nextWindow(), 3u);
+
+  PartitionService recovered = PartitionService::restore(dir);
+  EXPECT_EQ(recovered.session().engine().kind(), core::EngineKind::kLpa);
+  EXPECT_EQ(recovered.session().engine().k(), 10u);
+  EXPECT_EQ(recovered.session().engine().activeK(), 8u);
+  EXPECT_EQ(recovered.session().engine().retiredPartitions(), retired);
+  recovered.run();
+
+  expectTimelineEq(recovered.timeline(), reference.timeline());
+  EXPECT_EQ(recovered.session().engine().state().assignment(),
+            reference.session().engine().state().assignment());
+  EXPECT_EQ(recovered.session().engine().iteration(),
+            reference.session().engine().iteration());
+  EXPECT_EQ(recovered.session().engine().quietIterations(),
+            reference.session().engine().quietIterations());
+  EXPECT_EQ(recovered.session().engine().capacity().capacities(),
+            reference.session().engine().capacity().capacities());
+
+  // The elastic fields themselves survive a write/read round trip.
+  const Checkpoint checkpoint = recovered.makeCheckpoint();
+  writeCheckpoint(checkpoint, dir);
+  const Checkpoint read = readCheckpoint(dir);
+  EXPECT_EQ(read.engine, core::EngineKind::kLpa);
+  EXPECT_EQ(read.k, 10u);
+  EXPECT_EQ(read.retired, retired);
+  EXPECT_EQ(read.lpaBalanceFactor, checkpoint.lpaBalanceFactor);
+  EXPECT_EQ(read.lpaScoreEpsilon, checkpoint.lpaScoreEpsilon);
+  EXPECT_EQ(read.lpaMigrationBudget, 50u);
+}
+
+TEST(CheckpointElastic, GreedyManifestWithRetiredPartitionsIsRejected) {
+  // A retired set only makes sense for an elastic engine: hand-editing a
+  // greedy manifest to carry one must fail loudly, not half-restore.
+  const std::string dir = freshDir("ckpt_greedy_retired");
+  PartitionService service = makeService("CHURN");
+  service.run();
+  Checkpoint checkpoint = service.makeCheckpoint();
+  checkpoint.retired = {1};
+  writeCheckpoint(checkpoint, dir);
+  EXPECT_THROW((void)readCheckpoint(dir), CheckpointError);
+}
+
 // ------------------------------------------------- value-level round-trip
 
 TEST(Checkpoint, WriteReadRoundTripsEveryField) {
@@ -218,7 +300,8 @@ void expectCheckpointError(const std::string& dir) {
            << checkpoint.nextWindow << ")";
   } catch (const CheckpointError& error) {
     // Every rejection names the format version it was validating against.
-    EXPECT_NE(std::string(error.what()).find("checkpoint v1"),
+    EXPECT_NE(std::string(error.what())
+                  .find("checkpoint v" + std::to_string(kCheckpointVersion)),
               std::string::npos)
         << error.what();
   }

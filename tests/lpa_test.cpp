@@ -1,0 +1,333 @@
+// The Spinner-style label-propagation engine and its elastic-k surface:
+// seed determinism, thread-count lockstep, convergence quality next to the
+// greedy engine, live grow/shrink invariants (drain, capacities, masks),
+// the migration budget, the makeEngine front door, and a churn fuzz with
+// brute-force cut cross-checks.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adaptive_engine.h"
+#include "gen/mesh2d.h"
+#include "gen/powerlaw_cluster.h"
+#include "graph/csr.h"
+#include "lpa/lpa_engine.h"
+#include "metrics/balance.h"
+#include "metrics/cuts.h"
+#include "partition/partitioner.h"
+
+namespace xdgp::lpa {
+namespace {
+
+using graph::DynamicGraph;
+using graph::PartitionId;
+using graph::UpdateEvent;
+using graph::VertexId;
+
+metrics::Assignment initialAssignment(const DynamicGraph& g,
+                                      const std::string& code, std::size_t k,
+                                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  return partition::makePartitioner(code)->partition(
+      graph::CsrGraph::fromGraph(g), k, 1.1, rng);
+}
+
+LpaEngine makeLpa(DynamicGraph g, core::AdaptiveOptions options,
+                  const std::string& code = "HSH") {
+  options.engine = core::EngineKind::kLpa;
+  metrics::Assignment a = initialAssignment(g, code, options.k, options.seed);
+  return LpaEngine(std::move(g), std::move(a), options);
+}
+
+/// Heap variant for containers: Engine is pinned (non-copyable, non-movable).
+std::unique_ptr<LpaEngine> makeLpaPtr(DynamicGraph g,
+                                      core::AdaptiveOptions options,
+                                      const std::string& code = "HSH") {
+  options.engine = core::EngineKind::kLpa;
+  metrics::Assignment a = initialAssignment(g, code, options.k, options.seed);
+  return std::make_unique<LpaEngine>(std::move(g), std::move(a), options);
+}
+
+DynamicGraph plc2000(std::uint64_t seed = 3) {
+  util::Rng rng(seed);
+  return gen::powerlawCluster(2'000, 8, 0.1, rng);
+}
+
+/// Every alive vertex sits on an *active* partition < k; retired partitions
+/// hold exactly `residual` load in vertex mode.
+void expectAssignmentSane(const LpaEngine& engine) {
+  const metrics::Assignment& assignment = engine.state().assignment();
+  std::vector<std::size_t> loads(engine.k(), 0);
+  engine.graph().forEachVertex([&](VertexId v) {
+    ASSERT_LT(assignment[v], engine.k());
+    ++loads[assignment[v]];
+  });
+  for (std::size_t p = 0; p < engine.k(); ++p) {
+    EXPECT_EQ(loads[p], engine.state().load(p)) << "partition " << p;
+  }
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(LpaEngine, SeedsAreReproducible) {
+  core::AdaptiveOptions options;
+  options.k = 6;
+  options.seed = 99;
+  LpaEngine a = makeLpa(plc2000(), options);
+  LpaEngine b = makeLpa(plc2000(), options);
+  a.runToConvergence(500);
+  b.runToConvergence(500);
+  EXPECT_EQ(a.state().assignment(), b.state().assignment());
+  EXPECT_EQ(a.iteration(), b.iteration());
+}
+
+TEST(LpaEngine, ThreadCountIsTrajectoryInvariant) {
+  // Decisions are pure functions of the iteration-start snapshot plus the
+  // stateless draws, so 1, 2, and 8 threads must produce the identical
+  // assignment after every single step — not just at convergence.
+  core::AdaptiveOptions base;
+  base.k = 7;
+  base.seed = 11;
+  std::vector<std::unique_ptr<LpaEngine>> engines;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    core::AdaptiveOptions options = base;
+    options.threads = threads;
+    engines.push_back(makeLpaPtr(plc2000(), options));
+  }
+  for (int i = 0; i < 25; ++i) {
+    const std::size_t moved = engines[0]->step();
+    for (std::size_t e = 1; e < engines.size(); ++e) {
+      ASSERT_EQ(engines[e]->step(), moved) << "iteration " << i;
+      ASSERT_EQ(engines[e]->state().assignment(),
+                engines[0]->state().assignment())
+          << "iteration " << i;
+    }
+  }
+}
+
+// ------------------------------------------------------------ quality
+
+TEST(LpaEngine, ImprovesHashPartitioningAndConverges) {
+  core::AdaptiveOptions options;
+  options.k = 8;
+  LpaEngine engine = makeLpa(plc2000(), options);
+  const double before = engine.cutRatio();
+  const core::ConvergenceResult result = engine.runToConvergence(3'000);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(engine.cutRatio(), before);
+  expectAssignmentSane(engine);
+}
+
+TEST(LpaEngine, LandsInTheGreedyEnginesQualityBand) {
+  // Head-to-head on the same graph, initial partitioning, and seed: LPA is
+  // a different heuristic, not a worse one — its converged cut must land
+  // within striking distance of greedy's (generous 1.5x band; the benches
+  // track the real margin).
+  core::AdaptiveOptions options;
+  options.k = 8;
+  options.seed = 5;
+  LpaEngine spinner = makeLpa(plc2000(), options);
+  metrics::Assignment a = initialAssignment(plc2000(), "HSH", options.k, options.seed);
+  core::AdaptiveEngine greedy(plc2000(), std::move(a), options);
+  spinner.runToConvergence(3'000);
+  greedy.runToConvergence(3'000);
+  EXPECT_LT(spinner.cutRatio(), greedy.cutRatio() * 1.5 + 0.05);
+}
+
+TEST(LpaEngine, IncrementalCutsMatchBruteForceAtEveryStage) {
+  core::AdaptiveOptions options;
+  options.k = 4;
+  LpaEngine engine = makeLpa(gen::mesh2d(10, 10), options, "RND");
+  for (int i = 0; i < 30; ++i) {
+    engine.step();
+    ASSERT_EQ(engine.state().cutEdges(),
+              metrics::cutEdges(engine.graph(), engine.state().assignment()));
+  }
+}
+
+// ------------------------------------------------------------ elastic k
+
+TEST(LpaEngine, GrowAddsEmptyProvisionedPartitions) {
+  core::AdaptiveOptions options;
+  options.k = 4;
+  LpaEngine engine = makeLpa(plc2000(), options);
+  engine.runToConvergence(500);
+  ASSERT_EQ(engine.growPartitions(3), 7u);
+  EXPECT_EQ(engine.k(), 7u);
+  EXPECT_EQ(engine.activeK(), 7u);
+  EXPECT_FALSE(engine.converged());  // growth re-opens adaptation
+  // Grow seeds the fresh partitions Spinner-style (label propagation never
+  // scores a label no neighbour holds, so empty partitions would stay
+  // empty): each gets roughly its fair share, within its capacity.
+  for (std::size_t p = 4; p < 7; ++p) {
+    EXPECT_GT(engine.state().load(p), 0u) << "unseeded partition";
+    EXPECT_LE(engine.state().load(p), engine.capacity().capacity(p));
+  }
+  // Propagation then refines the seeded boundary and the grown partitions
+  // keep holding real load at the new convergence point.
+  engine.runToConvergence(2'000);
+  std::size_t grownLoad = 0;
+  for (std::size_t p = 4; p < 7; ++p) grownLoad += engine.state().load(p);
+  EXPECT_GT(grownLoad, 0u);
+  expectAssignmentSane(engine);
+}
+
+TEST(LpaEngine, ShrinkDrainsRetiredPartitionsCompletely) {
+  core::AdaptiveOptions options;
+  options.k = 8;
+  LpaEngine engine = makeLpa(plc2000(), options);
+  engine.runToConvergence(500);
+  const std::vector<PartitionId> retire = {5, 6, 7};
+  ASSERT_EQ(engine.shrinkPartitions(retire), 5u);
+  EXPECT_EQ(engine.k(), 8u);  // ids stay stable
+  EXPECT_EQ(engine.activeK(), 5u);
+  EXPECT_EQ(engine.retiredPartitions(), retire);
+  for (const PartitionId p : retire) {
+    EXPECT_FALSE(engine.isActive(p));
+    EXPECT_EQ(engine.capacity().capacity(p), 0u);
+  }
+  engine.runToConvergence(2'000);
+  EXPECT_EQ(engine.displacedCount(), 0u);
+  for (const PartitionId p : retire) EXPECT_EQ(engine.state().load(p), 0u);
+  // Survivors carry everything, within their re-derived capacities.
+  for (std::size_t p = 0; p < 5; ++p) {
+    EXPECT_LE(engine.state().load(p), engine.capacity().capacity(p));
+  }
+  expectAssignmentSane(engine);
+}
+
+TEST(LpaEngine, ElasticBalanceReportCoversActivePartitionsOnly) {
+  core::AdaptiveOptions options;
+  options.k = 6;
+  LpaEngine engine = makeLpa(plc2000(), options);
+  engine.runToConvergence(500);
+  engine.shrinkPartitions(std::vector<PartitionId>{4, 5});
+  engine.runToConvergence(2'000);
+  const metrics::BalanceReport report =
+      metrics::balanceReport(engine.state().assignment(), engine.activeMask());
+  EXPECT_EQ(report.k, 6u);
+  EXPECT_GT(report.minLoad, 0u);  // drained zeros must not drag the minimum
+  EXPECT_GE(report.imbalance, 1.0);
+}
+
+TEST(LpaEngine, ShrinkValidationIsAtomic) {
+  core::AdaptiveOptions options;
+  options.k = 4;
+  LpaEngine engine = makeLpa(gen::mesh2d(8, 8), options);
+  // Unknown id, duplicate id, retire-everything: all rejected atomically —
+  // the active set is untouched afterwards.
+  EXPECT_THROW(engine.shrinkPartitions(std::vector<PartitionId>{9}),
+               std::invalid_argument);
+  EXPECT_THROW(engine.shrinkPartitions(std::vector<PartitionId>{1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(engine.shrinkPartitions(std::vector<PartitionId>{0, 1, 2, 3}),
+               std::invalid_argument);
+  EXPECT_EQ(engine.activeK(), 4u);
+  engine.shrinkPartitions(std::vector<PartitionId>{3});
+  EXPECT_THROW(engine.shrinkPartitions(std::vector<PartitionId>{3}),
+               std::invalid_argument);  // already retired
+  EXPECT_EQ(engine.activeK(), 3u);
+}
+
+TEST(LpaEngine, GreedyEngineRejectsElasticOps) {
+  core::AdaptiveOptions options;
+  options.k = 4;
+  DynamicGraph g = gen::mesh2d(8, 8);
+  metrics::Assignment a = initialAssignment(g, "HSH", options.k, options.seed);
+  core::AdaptiveEngine greedy(std::move(g), std::move(a), options);
+  EXPECT_THROW(greedy.growPartitions(2), std::logic_error);
+  EXPECT_THROW(greedy.shrinkPartitions(std::vector<PartitionId>{1}),
+               std::logic_error);
+  EXPECT_THROW(greedy.restoreRetired(std::vector<PartitionId>{1}),
+               std::logic_error);
+  EXPECT_NO_THROW(greedy.restoreRetired(std::vector<PartitionId>{}));
+}
+
+TEST(LpaEngine, MigrationBudgetBoundsEveryStep) {
+  core::AdaptiveOptions options;
+  options.k = 8;
+  options.lpaMigrationBudget = 25;
+  LpaEngine engine = makeLpa(plc2000(), options);
+  engine.shrinkPartitions(std::vector<PartitionId>{6, 7});
+  std::size_t total = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t moved = engine.step();
+    ASSERT_LE(moved, 25u) << "iteration " << i;
+    total += moved;
+    if (engine.displacedCount() == 0 && moved == 0) break;
+  }
+  EXPECT_EQ(engine.displacedCount(), 0u);  // bounded, but the drain finishes
+  EXPECT_GT(total, 0u);
+}
+
+// ------------------------------------------------------------ front door
+
+TEST(LpaEngine, MakeEngineSelectsByOptions) {
+  DynamicGraph g = gen::mesh2d(8, 8);
+  core::AdaptiveOptions options;
+  options.k = 4;
+  metrics::Assignment a = initialAssignment(g, "HSH", options.k, options.seed);
+  options.engine = core::EngineKind::kLpa;
+  const auto spinner = core::makeEngine(DynamicGraph(g), a, options);
+  EXPECT_EQ(spinner->kind(), core::EngineKind::kLpa);
+  options.engine = core::EngineKind::kGreedy;
+  const auto greedy = core::makeEngine(std::move(g), std::move(a), options);
+  EXPECT_EQ(greedy->kind(), core::EngineKind::kGreedy);
+}
+
+TEST(LpaEngine, EngineKindCodesRoundTrip) {
+  EXPECT_STREQ(core::engineKindCode(core::EngineKind::kGreedy), "greedy");
+  EXPECT_STREQ(core::engineKindCode(core::EngineKind::kLpa), "lpa");
+  EXPECT_EQ(core::engineKindFromCode("lpa"), core::EngineKind::kLpa);
+  EXPECT_EQ(core::engineKindFromCode("greedy"), core::EngineKind::kGreedy);
+  try {
+    (void)core::engineKindFromCode("spinner");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("spinner"), std::string::npos);
+    EXPECT_NE(what.find("lpa"), std::string::npos);  // the menu
+  }
+}
+
+// ------------------------------------------------------------ churn fuzz
+
+TEST(LpaEngine, FuzzChurnWithElasticResizesKeepsEveryInvariant) {
+  core::AdaptiveOptions options;
+  options.k = 6;
+  options.seed = 1234;
+  LpaEngine engine = makeLpa(gen::mesh2d(12, 12), options);
+  util::Rng rng(777);
+  for (int round = 0; round < 40; ++round) {
+    // A burst of random structural churn over a slowly growing id space.
+    std::vector<UpdateEvent> events;
+    const auto bound = static_cast<VertexId>(150 + round * 2);
+    for (int i = 0; i < 12; ++i) {
+      const auto u = static_cast<VertexId>(rng.below(bound));
+      const auto v = static_cast<VertexId>(rng.below(bound));
+      if (u == v) continue;
+      events.push_back(rng.bernoulli(0.7) ? UpdateEvent::addEdge(u, v)
+                                          : UpdateEvent::removeEdge(u, v));
+    }
+    engine.applyUpdates(events);
+    if (round == 12) engine.growPartitions(3);     // 6 -> 9
+    if (round == 26) {
+      engine.shrinkPartitions(std::vector<PartitionId>{7, 8});  // 9 -> 7
+    }
+    for (int s = 0; s < 3; ++s) engine.step();
+    ASSERT_EQ(engine.state().cutEdges(),
+              metrics::cutEdges(engine.graph(), engine.state().assignment()))
+        << "round " << round;
+    expectAssignmentSane(engine);
+  }
+  engine.runToConvergence(2'000);
+  EXPECT_EQ(engine.displacedCount(), 0u);
+  expectAssignmentSane(engine);
+}
+
+}  // namespace
+}  // namespace xdgp::lpa

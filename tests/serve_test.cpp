@@ -326,6 +326,56 @@ TEST(Serving, ServiceTimelineEqualsSessionStream) {
   EXPECT_EQ(service.board().publishedEpoch(), served.windows.size() + 1);
 }
 
+TEST(Serving, SnapshotsTrackLiveKAcrossElasticResizes) {
+  // An LPA service that grows 4 -> 6 at window 1 and retires the two grown
+  // partitions at window 2. Snapshots must surface the LIVE partition-set
+  // shape — k() is the id space (grown, never shrunk back), stats().activeK
+  // the serving set — and the board's epoch must keep strictly advancing
+  // across both resizes (publish() throws on any regression, so a completed
+  // run is itself the monotonicity proof; the counts pin it exactly).
+  api::Workload workload = churnWorkload();
+  ServeOptions options;
+  options.stream = workload.suggested;
+  options.resizes = parseResizePlan("grow@1:2;shrink@2:4+5");
+  core::AdaptiveOptions adaptive = churnAdaptive(1);
+  adaptive.engine = core::EngineKind::kLpa;
+  PartitionService service(std::move(workload), "HSH", adaptive,
+                           std::move(options));
+
+  // Construction epoch: the pre-resize shape.
+  const SnapshotBoard::Ref before = service.snapshot();
+  ASSERT_NE(before, nullptr);
+  EXPECT_EQ(before->epoch(), 1u);
+  EXPECT_EQ(before->k(), 4u);
+  EXPECT_EQ(before->stats().activeK, 4u);
+
+  const api::TimelineReport& report = service.run();
+  ASSERT_FALSE(report.empty());
+
+  const core::Engine& engine = service.session().engine();
+  EXPECT_EQ(engine.k(), 6u);
+  EXPECT_EQ(engine.activeK(), 4u);
+
+  const SnapshotBoard::Ref after = service.snapshot();
+  ASSERT_NE(after, nullptr);
+  // Epochs advanced strictly through the grow and shrink windows: one
+  // publication per window on top of the construction epoch.
+  EXPECT_EQ(after->epoch(), report.windows.size() + 1);
+  EXPECT_EQ(service.board().publishedEpoch(), report.windows.size() + 1);
+  EXPECT_GT(after->epoch(), before->epoch());
+  // The snapshot mirrors the live engine, not the frozen options.
+  EXPECT_EQ(after->k(), engine.k());
+  EXPECT_EQ(after->stats().activeK, engine.activeK());
+  EXPECT_EQ(after->stats().window, report.windows.size());
+  // No vertex is served from a retired partition once the drain completed.
+  const metrics::Assignment& assignment = engine.state().assignment();
+  for (VertexId v = 0; v < assignment.size(); ++v) {
+    if (!engine.graph().hasVertex(v)) continue;
+    EXPECT_EQ(after->partitionOf(v), assignment[v]);
+    EXPECT_LT(assignment[v], 4u) << "vertex " << v << " on retired partition";
+  }
+}
+
 // ---------------------------------------------- snapshot queries & board
 
 AssignmentSnapshot meshSnapshot(std::uint64_t epoch, std::size_t k) {

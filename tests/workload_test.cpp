@@ -15,6 +15,7 @@
 #include "api/partitioner_registry.h"
 #include "api/pipeline.h"
 #include "api/workload_registry.h"
+#include "core/adaptive_engine.h"
 #include "graph/io.h"
 
 namespace xdgp::api {

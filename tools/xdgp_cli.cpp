@@ -28,6 +28,7 @@
 #include <iostream>
 
 #include "api/edge_partitioner_registry.h"
+#include "api/engine_registry.h"
 #include "api/partitioner_registry.h"
 #include "api/pipeline.h"
 #include "api/workload_registry.h"
@@ -80,6 +81,17 @@ int partitionCmd(util::Flags& flags) {
   return 0;
 }
 
+/// Reads the engine-selection flags shared by adapt and stream into
+/// `options`. The --engine code is validated against the EngineRegistry, so
+/// an unknown code fails with the full menu in the message.
+void engineFromFlags(util::Flags& flags, core::AdaptiveOptions& options) {
+  const std::string code = flags.getString("engine", "greedy");
+  options.engine = api::EngineRegistry::instance().info(code).kind;
+  options.lpaBalanceFactor = flags.getDouble("lpa-balance", 1.0);
+  options.lpaMigrationBudget =
+      static_cast<std::size_t>(flags.getInt("lpa-budget", 0));
+}
+
 int adaptCmd(util::Flags& flags) {
   const std::string graphPath = flags.getString("graph", "");
   const std::string assignmentPath = flags.getString("assignment", "");
@@ -95,6 +107,7 @@ int adaptCmd(util::Flags& flags) {
   options.convergenceWindow =
       static_cast<std::size_t>(flags.getInt("window", 30));
   options.threads = static_cast<std::size_t>(flags.getInt("threads", 1));
+  engineFromFlags(flags, options);
   const std::uint64_t seed = flags.getUint64("seed", 42);
   const auto maxIterations =
       static_cast<std::size_t>(flags.getInt("max-iterations", 20'000));
@@ -219,6 +232,7 @@ int streamCmd(util::Flags& flags) {
   core::AdaptiveOptions adaptiveOptions;
   adaptiveOptions.willingness = flags.getDouble("s", 0.5);
   adaptiveOptions.threads = static_cast<std::size_t>(flags.getInt("threads", 1));
+  engineFromFlags(flags, adaptiveOptions);
   const std::string csvPath = flags.getString("csv", "");
   const std::string jsonlPath = flags.getString("jsonl", "");
   flags.finish();
@@ -258,13 +272,16 @@ void printUsage() {
                "  partition:  --graph=<edge list> --strategy=<code> --k=9"
                " --out=<part file>\n"
                "  adapt:      --graph=<edge list> [--assignment=<part file> |"
-               " --strategy=<code> --k=9] --s=0.5 [--balance=edges] --out=<part"
-               " file>\n"
+               " --strategy=<code> --k=9] --s=0.5 [--balance=edges]\n"
+               "              [--engine=greedy|lpa --lpa-balance=1.0"
+               " --lpa-budget=0] --out=<part file>\n"
                "  epartition: --graph=<edge list> --strategy=<edge code> --k=8"
                " [--balance-cap=1.05] --out=<epart file>\n"
                "  emetrics:   --epart=<epart file> [--graph=<edge list>]\n"
                "  stream:     --workload=<code> [--<param>=... per workload]"
                " [--strategy=HSH --k=9 --s=0.5]\n"
+               "              [--engine=greedy|lpa --lpa-balance=1.0"
+               " --lpa-budget=0]\n"
                "              [--window=<span> | --window-events=<n>]"
                " [--expiry=<span>] [--max-windows=<n>]\n"
                "              [--static] [--csv=<file>] [--jsonl=<file>]"
@@ -283,6 +300,13 @@ void printUsage() {
               << " " << info->summary << "\n";
   }
   std::cerr << "  (~ = edge balance is statistical, no hard cap)\n"
+               "engines (adapt, stream):\n";
+  for (const api::EngineInfo* info : api::EngineRegistry::instance().infos()) {
+    std::cerr << "  " << info->code << (info->elasticK ? " +" : "  ") << " "
+              << info->summary << "\n";
+  }
+  std::cerr << "  (+ = supports elastic k: live grow/shrink of the partition"
+               " set)\n"
                "workloads:\n";
   for (const api::WorkloadInfo* info : api::WorkloadRegistry::instance().infos()) {
     std::cerr << "  " << info->code << "  " << info->summary << "\n";

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/engine_registry.h"
 #include "api/workload_registry.h"
 #include "partition/assignment_io.h"
 #include "serve/service.h"
@@ -102,6 +103,7 @@ int serveMain(util::Flags& flags) {
     options.checkpointEvery =
         static_cast<std::size_t>(flags.getInt("checkpoint-every", 1));
     options.faults = serve::FaultPlan::parse(flags.getString("fault", ""));
+    options.resizes = serve::parseResizePlan(flags.getString("resize", ""));
 
     const std::string strategy = flags.getString("strategy", "HSH");
     core::AdaptiveOptions adaptive;
@@ -110,6 +112,12 @@ int serveMain(util::Flags& flags) {
     adaptive.willingness = flags.getDouble("s", 0.5);
     adaptive.threads = engineThreads;
     adaptive.seed = config.seed;
+    adaptive.engine =
+        api::EngineRegistry::instance().info(flags.getString("engine", "greedy"))
+            .kind;
+    adaptive.lpaBalanceFactor = flags.getDouble("lpa-balance", 1.0);
+    adaptive.lpaMigrationBudget =
+        static_cast<std::size_t>(flags.getInt("lpa-budget", 0));
     flags.finish();
 
     service.reset(new serve::PartitionService(std::move(workload), strategy,
@@ -154,8 +162,10 @@ int serveMain(util::Flags& flags) {
             << util::fmt(snap ? snap->stats().cutRatio : 0.0, 3) << "\n";
 
   if (!outPath.empty()) {
-    const core::AdaptiveEngine& engine = service->session().engine();
-    partition::writeAssignment(engine.state().assignment(), engine.options().k,
+    const core::Engine& engine = service->session().engine();
+    // Live k, not options().k: elastic resizes leave the frozen options
+    // value stale, and the assignment indexes the grown id space.
+    partition::writeAssignment(engine.state().assignment(), engine.k(),
                                outPath);
     std::cout << "  assignment written to " << outPath << "\n";
   }
@@ -172,6 +182,9 @@ void printUsage() {
   std::cerr
       << "usage: xdgp_serve --workload=<code> [--<param>=... per workload]\n"
          "                  [--strategy=HSH --k=9 --s=0.5 --capacity=1.1]\n"
+         "                  [--engine=greedy|lpa --lpa-balance=1.0"
+         " --lpa-budget=0]\n"
+         "                  [--resize=\"grow@2:4;shrink@4:6+7\"]  (lpa only)\n"
          "                  [--window=<span> | --window-events=<n>]"
          " [--expiry=<span>] [--max-windows=<n>]\n"
          "                  [--threads=<engine>] [--query-threads=<readers>]\n"
@@ -183,6 +196,10 @@ void printUsage() {
          " --query-threads=... --out=... --jsonl=...]\n"
          "workloads:\n";
   for (const api::WorkloadInfo* info : api::WorkloadRegistry::instance().infos()) {
+    std::cerr << "  " << info->code << "  " << info->summary << "\n";
+  }
+  std::cerr << "engines:\n";
+  for (const api::EngineInfo* info : api::EngineRegistry::instance().infos()) {
     std::cerr << "  " << info->code << "  " << info->summary << "\n";
   }
 }
