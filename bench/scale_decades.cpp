@@ -8,7 +8,13 @@
 //     api::Pipeline front door (HSH initial, the adaptive engine's frontier
 //     mode, iteration-capped by --converge-iters),
 //   - steady-state churn throughput: remove/re-add edge events pushed
-//     through Session::stream after convergence, in events/second,
+//     through Session::streamWindow after convergence, in events/second,
+//   - publication cost per window, both paths timed back-to-back over the
+//     same engine state: the delta path (serve::SnapshotBuilder — shared
+//     base CSR + O(changed) overlay) vs the full-rebuild path (the
+//     five-argument AssignmentSnapshot constructor). publish_seconds is the
+//     steady-state (non-compacting) per-window mean; compaction epochs are
+//     counted and reported separately plus folded into the amortised mean,
 //   - memory: the engine's core::MemoryReport (adjacency arena live/slack/
 //     free, graph bookkeeping, partition state, engine scratch) next to the
 //     process peak RSS (bench::PeakRss).
@@ -34,7 +40,9 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/touch_tracker.h"
 #include "gen/parallel.h"
+#include "serve/snapshot_builder.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -56,6 +64,11 @@ struct DecadeRow {
   std::size_t churnEvents = 0;
   double churnSeconds = 0.0;
   double churnEventsPerSec = 0.0;
+  std::size_t publishWindows = 0;     ///< churn windows published (both paths)
+  std::size_t publishCompactions = 0; ///< delta builds that compacted
+  double publishDeltaTotal = 0.0;     ///< Σ delta publish, non-compacting
+  double publishCompactTotal = 0.0;   ///< Σ delta publish, compaction epochs
+  double publishFullTotal = 0.0;      ///< Σ full-rebuild publish
   core::MemoryReport memory;
   std::size_t peakRssBytes = 0;  ///< process-cumulative at row end
 };
@@ -102,8 +115,34 @@ graph::UpdateStream makeChurn(const graph::DynamicGraph& g, std::size_t events,
   return stream;
 }
 
+/// Amortised per-window delta publish (compaction epochs folded in).
+double amortizedPublishSeconds(const DecadeRow& row) {
+  return row.publishWindows > 0
+             ? (row.publishDeltaTotal + row.publishCompactTotal) /
+                   static_cast<double>(row.publishWindows)
+             : 0.0;
+}
+
+/// Steady-state per-window delta publish: compaction epochs excluded. When
+/// every window compacted (the per-window churn exceeds the overlay
+/// fraction of the whole graph — the small decades under the default 100k
+/// churn events), the amortised mean IS the steady state at that scale.
+double steadyPublishSeconds(const DecadeRow& row) {
+  const std::size_t steady = row.publishWindows - row.publishCompactions;
+  if (steady > 0) return row.publishDeltaTotal / static_cast<double>(steady);
+  return amortizedPublishSeconds(row);
+}
+
+double fullPublishSeconds(const DecadeRow& row) {
+  return row.publishWindows > 0
+             ? row.publishFullTotal / static_cast<double>(row.publishWindows)
+             : 0.0;
+}
+
 void appendJson(std::ostringstream& out, const DecadeRow& row) {
   const core::MemoryReport& m = row.memory;
+  const double steady = steadyPublishSeconds(row);
+  const double full = fullPublishSeconds(row);
   out << "{\"requested_vertices\": " << row.requestedVertices
       << ", \"vertices\": " << row.vertices << ", \"edges\": " << row.edges
       << ", \"gen_seconds\": " << util::fmt(row.genSeconds, 3)
@@ -116,7 +155,15 @@ void appendJson(std::ostringstream& out, const DecadeRow& row) {
       << ", \"churn_events\": " << row.churnEvents
       << ", \"churn_seconds\": " << util::fmt(row.churnSeconds, 3)
       << ", \"churn_events_per_sec\": " << util::fmt(row.churnEventsPerSec, 1)
-      << ", \"memory\": {\"adjacency_arena_bytes\": " << m.adjacencyArenaBytes
+      << ", \"publish_windows\": " << row.publishWindows
+      << ", \"publish_seconds\": " << util::fmt(steady, 6)
+      << ", \"publish_amortized_seconds\": "
+      << util::fmt(amortizedPublishSeconds(row), 6)
+      << ", \"publish_full_seconds\": " << util::fmt(full, 6)
+      << ", \"publish_compactions\": " << row.publishCompactions
+      << ", \"publish_speedup\": "
+      << util::fmt(steady > 0.0 ? full / steady : 0.0, 1)
+      << ", \"memory\":{\"adjacency_arena_bytes\": " << m.adjacencyArenaBytes
       << ", \"adjacency_live_bytes\": " << m.adjacencyLiveBytes
       << ", \"adjacency_slack_bytes\": " << m.adjacencySlackBytes
       << ", \"adjacency_free_bytes\": " << m.adjacencyFreeBytes
@@ -165,7 +212,7 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> skipped;
   util::TablePrinter table({"|V| req", "|V|", "|E|", "gen s", "gen s (1T)",
                             "part s", "conv s", "iters", "cut", "churn ev/s",
-                            "mem MB", "rss MB"});
+                            "pub ms", "full ms", "pub x", "mem MB", "rss MB"});
 
   for (const std::size_t n : decades) {
     if (n > maxVertices) {
@@ -221,12 +268,49 @@ int main(int argc, char** argv) {
     api::StreamOptions streamOptions;
     streamOptions.windowEvents = churnWindow;
     streamOptions.maxIterationsPerWindow = 50;
-    util::WallTimer churnTimer;
-    const api::TimelineReport timeline =
-        session.stream(std::move(churn), streamOptions);
-    row.churnSeconds = churnTimer.seconds();
-    for (const api::WindowReport& w : timeline.windows) {
+    // Publication rides the churn loop: warm the delta builder's base CSR
+    // once (the full rebuild every epoch used to pay), then after each
+    // window time the delta publish and a full-rebuild publish back-to-back
+    // over the same engine state. churnSeconds counts only streamWindow
+    // work, so churn_events_per_sec stays a pure ingest metric.
+    serve::SnapshotBuilder builder;
+    serve::SnapshotBoard board;
+    std::uint64_t epoch = 0;
+    std::uint64_t publishSink = 0;
+    board.publish(builder.build(++epoch, session.engine().graph(),
+                                session.engine().state().assignment(),
+                                session.engine().k(), serve::SnapshotStats{}));
+    api::Streamer streamer(std::move(churn), streamOptions);
+    while (std::optional<api::WindowBatch> batch = streamer.next()) {
+      core::TouchSet touched;
+      const api::WindowReport w =
+          session.streamWindow(*batch, streamOptions, &touched);
+      row.churnSeconds += w.wallSeconds;
       row.churnEvents += w.eventsDrained;
+      builder.note(touched);
+      serve::AssignmentSnapshot delta = builder.build(
+          ++epoch, session.engine().graph(),
+          session.engine().state().assignment(), session.engine().k(),
+          serve::SnapshotStats{});
+      const double deltaSeconds = delta.stats().publishSeconds;
+      if (builder.lastBuildCompacted()) {
+        ++row.publishCompactions;
+        row.publishCompactTotal += deltaSeconds;
+      } else {
+        row.publishDeltaTotal += deltaSeconds;
+      }
+      board.publish(std::move(delta));
+      util::WallTimer fullTimer;
+      const serve::AssignmentSnapshot full(
+          epoch, session.engine().graph(),
+          session.engine().state().assignment(), session.engine().k(),
+          serve::SnapshotStats{});
+      row.publishFullTotal += fullTimer.seconds();
+      publishSink += full.idBound();  // keep the comparison arm observable
+      ++row.publishWindows;
+    }
+    if (publishSink == 0 && row.publishWindows > 0) {
+      std::cerr << "[scale] WARNING: empty full-rebuild snapshots\n";
     }
     row.churnEventsPerSec = row.churnSeconds > 0.0
                                 ? static_cast<double>(row.churnEvents) /
@@ -244,6 +328,12 @@ int main(int argc, char** argv) {
                   util::fmt(row.convergeSeconds, 2),
                   std::to_string(row.iterations), util::fmt(row.cutRatio, 3),
                   util::fmt(row.churnEventsPerSec, 0),
+                  util::fmt(steadyPublishSeconds(row) * 1e3, 2),
+                  util::fmt(fullPublishSeconds(row) * 1e3, 2),
+                  util::fmt(steadyPublishSeconds(row) > 0.0
+                                ? fullPublishSeconds(row) / steadyPublishSeconds(row)
+                                : 0.0,
+                            1),
                   util::fmt(static_cast<double>(row.memory.totalBytes()) / 1e6, 1),
                   util::fmt(static_cast<double>(row.peakRssBytes) / 1e6, 1)});
     std::cerr << "[scale] n=" << n << " done: gen=" << util::fmt(row.genSeconds, 2)

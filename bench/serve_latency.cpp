@@ -132,13 +132,19 @@ int main(int argc, char** argv) {
       ingestSeconds > 0.0 ? static_cast<double>(totalQueries) / ingestSeconds : 0.0;
   std::size_t migrations = 0;
   for (const api::WindowReport& w : timeline.windows) migrations += w.migrations;
+  // Publication cost: construction publish + one per window, all through the
+  // delta path (SnapshotBuilder). residentBytes is the last snapshot's
+  // marginal footprint beyond the shared base CSR.
+  const double publishSeconds = service.totalPublishSeconds();
+  const std::size_t snapshotResidentBytes =
+      service.snapshot() ? service.snapshot()->stats().residentBytes : 0;
 
   util::TablePrinter table({"windows", "migrations", "queries", "qps",
-                            "p50 ns", "p99 ns", "max ns"});
+                            "p50 ns", "p99 ns", "max ns", "publish ms"});
   table.addRow({std::to_string(timeline.windows.size()),
                 std::to_string(migrations), std::to_string(totalQueries),
                 util::fmt(qps, 0), util::fmt(p50, 0), util::fmt(p99, 0),
-                util::fmt(maxNs, 0)});
+                util::fmt(maxNs, 0), util::fmt(publishSeconds * 1e3, 3)});
   table.print(std::cout);
 
   std::ofstream out(outPath);
@@ -154,6 +160,9 @@ int main(int argc, char** argv) {
       << ", \"migrations\": " << migrations
       << ", \"final_cut_ratio\": " << util::fmt(timeline.back().cutRatio, 6)
       << ", \"ingest_seconds\": " << util::fmt(ingestSeconds, 6)
+      << ", \"publish_seconds\": " << util::fmt(publishSeconds, 6)
+      << ", \"publishes\": " << timeline.windows.size() + 1
+      << ", \"snapshot_resident_bytes\": " << snapshotResidentBytes
       << ", \"queries\": " << totalQueries << ", \"qps\": " << util::fmt(qps, 1)
       << ", \"latency_ns\": {\"p50\": " << util::fmt(p50, 1)
       << ", \"p99\": " << util::fmt(p99, 1)

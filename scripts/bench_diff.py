@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Diff two bench JSON files (BENCH_*.json) on their key numeric fields.
+
+Usage:
+    scripts/bench_diff.py BASE.json NEW.json [--fields sub1,sub2,...]
+                                             [--all] [--threshold PCT]
+
+Both files are flattened to dot-separated keys (list entries by index, e.g.
+``decades.2.publish_seconds``); keys whose path matches one of the field
+substrings are compared, printing base value, new value, and % delta. Keys
+present on only one side are reported as added/removed rather than hidden —
+a renamed metric should be visible in the diff, not silently dropped.
+
+The default field set covers the fields the committed baselines gate on:
+throughput (qps, churn_events_per_sec, events/s), tail latency (p50/p99),
+publication cost (publish_seconds, publish_full_seconds, publish_speedup,
+ingest_seconds), and footprint (peak_rss_bytes, snapshot_resident_bytes).
+
+Exit code is 0 unless a file is missing/unparsable, or --threshold is set
+and some compared field regressed by more than PCT percent. CI runs this as
+an advisory step (shared runners are too noisy to gate merges on wall
+times); the threshold mode exists for local A/B runs.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_FIELDS = [
+    "qps",
+    "latency_ns.p50",
+    "latency_ns.p99",
+    "churn_events_per_sec",
+    "events_per_sec",
+    "publish_seconds",
+    "publish_amortized_seconds",
+    "publish_full_seconds",
+    "publish_speedup",
+    "ingest_seconds",
+    "partition_seconds",
+    "converge_seconds",
+    "replication_factor",
+    "cut_ratio",
+    "final_cut_ratio",
+    "peak_rss_bytes",
+    "snapshot_resident_bytes",
+]
+
+# Fields where a LARGER value is better; everything else (seconds, latency,
+# bytes, cut/replication ratios) improves downward.
+HIGHER_IS_BETTER = ("qps", "events_per_sec", "per_sec", "speedup")
+
+
+def flatten(node, prefix=""):
+    """Yields (dot.path, leaf) for every scalar leaf of a JSON tree."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from flatten(value, f"{prefix}{key}." if prefix or key else key)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from flatten(value, f"{prefix}{i}.")
+    else:
+        yield prefix.rstrip("."), node
+
+
+def load_flat(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return dict(flatten(json.load(handle)))
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_diff: cannot read {path}: {err}")
+
+
+def wanted(key, fields):
+    return any(field in key for field in fields)
+
+
+def improved(key, delta_pct):
+    if any(marker in key for marker in HIGHER_IS_BETTER):
+        return delta_pct >= 0
+    return delta_pct <= 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("base", help="baseline JSON (e.g. the committed BENCH_*.json)")
+    parser.add_argument("new", help="fresh JSON from the current run")
+    parser.add_argument(
+        "--fields",
+        default=",".join(DEFAULT_FIELDS),
+        help="comma-separated key substrings to compare (default: the "
+        "committed-baseline field set)",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="compare every numeric field"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit 1 when any compared field regresses by more than PCT%%",
+    )
+    args = parser.parse_args()
+
+    fields = [f for f in args.fields.split(",") if f]
+    base = load_flat(args.base)
+    new = load_flat(args.new)
+
+    keys = sorted(set(base) | set(new))
+    rows = []
+    regressions = []
+    for key in keys:
+        in_base, in_new = key in base, key in new
+        if not args.all and not wanted(key, fields):
+            continue
+        if in_base != in_new:
+            rows.append((key, base.get(key, "—"), new.get(key, "—"), "added" if in_new else "removed"))
+            continue
+        old_value, new_value = base[key], new[key]
+        if not isinstance(old_value, (int, float)) or isinstance(old_value, bool):
+            if old_value != new_value:
+                rows.append((key, old_value, new_value, "changed"))
+            continue
+        if old_value == new_value:
+            continue
+        if old_value == 0:
+            rows.append((key, old_value, new_value, "n/a"))
+            continue
+        delta_pct = 100.0 * (new_value - old_value) / old_value
+        rows.append((key, old_value, new_value, f"{delta_pct:+.1f}%"))
+        if (
+            args.threshold is not None
+            and not improved(key, delta_pct)
+            and abs(delta_pct) > args.threshold
+        ):
+            regressions.append((key, delta_pct))
+
+    if not rows:
+        print(f"bench_diff: {args.base} vs {args.new}: no differences in "
+              f"compared fields")
+        return 0
+
+    width = max(len(row[0]) for row in rows)
+    print(f"bench_diff: {args.base} -> {args.new}")
+    print(f"{'field'.ljust(width)}  {'base':>16}  {'new':>16}  delta")
+    for key, old_value, new_value, delta in rows:
+        print(f"{key.ljust(width)}  {old_value!s:>16}  {new_value!s:>16}  {delta}")
+
+    if regressions:
+        names = ", ".join(f"{key} ({pct:+.1f}%)" for key, pct in regressions)
+        print(f"bench_diff: REGRESSION beyond {args.threshold}%: {names}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

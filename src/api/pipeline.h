@@ -160,7 +160,15 @@ class Session {
   /// stream() is exactly a Streamer loop over this; the serving layer
   /// (serve::PartitionService) calls it per window between snapshot swaps,
   /// so serving and batch streaming share one code path by construction.
-  WindowReport streamWindow(const WindowBatch& batch, const StreamOptions& options);
+  ///
+  /// `touched` (optional) receives the window's per-vertex change log —
+  /// every vertex whose adjacency/liveness or partition value changed, from
+  /// the engine's deduplicated trackers. The trackers are drained every
+  /// window either way (so they never accumulate across windows); passing
+  /// nullptr simply discards the log. Serving uses the sets to cut
+  /// O(changed) snapshot overlays instead of full CSR rebuilds.
+  WindowReport streamWindow(const WindowBatch& batch, const StreamOptions& options,
+                            core::TouchSet* touched = nullptr);
 
   /// Re-provisions capacities after growth (see Engine::rescaleCapacity).
   void rescaleCapacity();

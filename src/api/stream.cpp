@@ -211,7 +211,8 @@ void TimelineReport::renderJsonl(std::ostream& out) const {
 // ------------------------------------------------------- Session::stream
 
 WindowReport Session::streamWindow(const WindowBatch& batch,
-                                   const StreamOptions& options) {
+                                   const StreamOptions& options,
+                                   core::TouchSet* touched) {
   const util::WallTimer timer;
   const std::size_t iterationCap = options.maxIterationsPerWindow > 0
                                        ? options.maxIterationsPerWindow
@@ -246,9 +247,13 @@ WindowReport Session::streamWindow(const WindowBatch& batch,
   window.cutRatio = engine_->cutRatio();
   // Balance over the live active partition set: an elastic grow/shrink
   // mid-stream moves the engine off base_.k, and retired partitions must
-  // not drag the minimum to zero while they drain.
-  window.balance =
-      metrics::balanceReport(engine_->state().assignment(), engine_->activeMask());
+  // not drag the minimum to zero while they drain. The O(k) overload reads
+  // the incrementally maintained loads — no per-window O(|V|) scan.
+  window.balance = metrics::balanceReport(engine_->state(), engine_->activeMask());
+  // Drain the change log every window — whether or not the caller wants it —
+  // so the trackers never carry stale entries into the next window's set.
+  core::TouchSet drained = engine_->drainTouched();
+  if (touched != nullptr) *touched = std::move(drained);
   window.wallSeconds = timer.seconds();
   return window;
 }

@@ -193,6 +193,11 @@ class Engine {
     return runtime_.totalMigrations();
   }
 
+  /// Consumes the runtime's per-vertex change log (see
+  /// PartitionedRuntime::drainTouched) — the serving layer's feed for
+  /// O(changed) snapshot publication.
+  [[nodiscard]] TouchSet drainTouched() { return runtime_.drainTouched(); }
+
   /// Size of the partition id space — options().k plus elastic growth.
   [[nodiscard]] std::size_t k() const noexcept { return runtime_.k(); }
 

@@ -93,6 +93,8 @@ std::vector<graph::PartitionId> PartitionedRuntime::retiredPartitions() const {
 void PartitionedRuntime::loadVertex(graph::VertexId v, MutationHooks& hooks) {
   graph_.ensureVertex(v);
   state_.onVertexAdded(v, placement_(v));
+  adjacencyTouched_.touch(v);
+  assignmentTouched_.touch(v);
   hooks.onVertexLoaded(v);
 }
 
@@ -111,6 +113,14 @@ std::size_t PartitionedRuntime::applyEvents(
       case graph::UpdateEvent::Kind::kRemoveVertex:
         if (graph_.hasVertex(e.u)) {
           hooks.onVertexRemoving(e.u);
+          // The surviving neighbours' adjacency lists are about to lose an
+          // entry (swap-remove, so their order may change too) — record
+          // them while the adjacency is still intact.
+          for (const graph::VertexId nbr : graph_.neighbors(e.u)) {
+            adjacencyTouched_.touch(nbr);
+          }
+          adjacencyTouched_.touch(e.u);
+          assignmentTouched_.touch(e.u);
           state_.onVertexRemoving(graph_, e.u);
           graph_.removeVertex(e.u);
           ++applied;
@@ -126,6 +136,8 @@ std::size_t PartitionedRuntime::applyEvents(
         }
         if (graph_.addEdge(e.u, e.v)) {
           state_.onEdgeAdded(e.u, e.v);
+          adjacencyTouched_.touch(e.u);
+          adjacencyTouched_.touch(e.v);
           hooks.onEdgeAdded(e.u, e.v);
           changed = true;
         }
@@ -135,6 +147,8 @@ std::size_t PartitionedRuntime::applyEvents(
       case graph::UpdateEvent::Kind::kRemoveEdge:
         if (graph_.removeEdge(e.u, e.v)) {
           state_.onEdgeRemoved(e.u, e.v);
+          adjacencyTouched_.touch(e.u);
+          adjacencyTouched_.touch(e.v);
           hooks.onEdgeRemoved(e.u, e.v);
           ++applied;
         }
@@ -147,6 +161,7 @@ std::size_t PartitionedRuntime::applyEvents(
 
 bool PartitionedRuntime::executeMove(graph::VertexId v, graph::PartitionId to) {
   if (!state_.moveVertex(graph_, v, to)) return false;
+  assignmentTouched_.touch(v);
   ++totalMigrations_;
   return true;
 }
@@ -163,7 +178,8 @@ MemoryReport PartitionedRuntime::memoryReport() const noexcept {
   report.partitionStateBytes =
       state_.assignment().capacity() * sizeof(graph::PartitionId) +
       state_.loads().capacity() * sizeof(std::size_t) +
-      state_.degreeLoads().capacity() * sizeof(std::size_t);
+      state_.degreeLoads().capacity() * sizeof(std::size_t) +
+      adjacencyTouched_.bytes() + assignmentTouched_.bytes();
   return report;
 }
 

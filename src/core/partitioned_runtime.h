@@ -9,6 +9,7 @@
 #include "core/capacity.h"
 #include "core/convergence.h"
 #include "core/partition_state.h"
+#include "core/touch_tracker.h"
 #include "graph/dynamic_graph.h"
 #include "graph/update_stream.h"
 
@@ -32,6 +33,7 @@ struct MemoryReport {
   std::size_t adjacencyMetaBytes = 0;   ///< per-list table + free lists
   std::size_t graphBookkeepingBytes = 0;  ///< alive flags + free-id list
   std::size_t partitionStateBytes = 0;  ///< assignment + load/degree arrays
+                                        ///< + touched-vertex trackers
   std::size_t engineBytes = 0;  ///< engine scratch (frontier, desires, ...)
 
   /// Sum of every term (arena sub-terms counted once, via arena bytes).
@@ -160,6 +162,15 @@ class PartitionedRuntime {
     return totalMigrations_;
   }
 
+  /// Consumes the per-vertex change log accumulated since the last drain:
+  /// which vertices' adjacency/liveness changed (applyEvents) and which
+  /// vertices' partition value changed (placement, moves, removals). The
+  /// serving layer turns these into O(changed) snapshot overlays; callers
+  /// that don't drain pay at most one deduplicated entry per vertex id.
+  [[nodiscard]] TouchSet drainTouched() {
+    return {adjacencyTouched_.drain(), assignmentTouched_.drain()};
+  }
+
   /// Measures the substrate's heap footprint (engineBytes left 0 for the
   /// owning engine to fill in — AdaptiveEngine::memoryReport does).
   [[nodiscard]] MemoryReport memoryReport() const noexcept;
@@ -183,6 +194,8 @@ class PartitionedRuntime {
   std::size_t activeK_ = 0;
   std::uint64_t kEpoch_ = 0;
   bool customPlacement_ = false;
+  TouchTracker adjacencyTouched_;   ///< neighbour list / liveness changed
+  TouchTracker assignmentTouched_;  ///< partition value changed
 };
 
 }  // namespace xdgp::core

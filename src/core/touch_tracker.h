@@ -1,0 +1,75 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace xdgp::core {
+
+/// Deduplicated log of touched vertex ids: a dense byte mark keeps each id
+/// at most once in the list, so the log is bounded by the id space no matter
+/// how many windows pass between drains. O(1) amortised per touch; drain()
+/// and clear() cost O(touched), never O(idBound).
+class TouchTracker {
+ public:
+  void touch(graph::VertexId v) {
+    if (v >= mark_.size()) {
+      mark_.resize(std::max<std::size_t>(static_cast<std::size_t>(v) + 1,
+                                         mark_.size() * 2),
+                   0);
+    }
+    if (mark_[v] == 0) {
+      mark_[v] = 1;
+      touched_.push_back(v);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return touched_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return touched_.empty(); }
+
+  /// The accumulated ids, insertion-ordered, without consuming them.
+  [[nodiscard]] const std::vector<graph::VertexId>& items() const noexcept {
+    return touched_;
+  }
+
+  /// Consumes the log: returns the accumulated ids and resets the marks.
+  [[nodiscard]] std::vector<graph::VertexId> drain() {
+    for (const graph::VertexId v : touched_) mark_[v] = 0;
+    return std::exchange(touched_, {});
+  }
+
+  void clear() {
+    for (const graph::VertexId v : touched_) mark_[v] = 0;
+    touched_.clear();
+  }
+
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return touched_.capacity() * sizeof(graph::VertexId) + mark_.capacity();
+  }
+
+ private:
+  std::vector<graph::VertexId> touched_;
+  std::vector<std::uint8_t> mark_;  ///< per id: 1 = already in touched_
+};
+
+/// One drain's worth of per-vertex change, split by what a snapshot must
+/// refresh: `adjacency` lists every vertex whose neighbour list or liveness
+/// may differ from the previous drain (edge endpoints, added/removed
+/// vertices, and the surviving neighbours of removed vertices); `assignment`
+/// lists every vertex whose partition value may have changed (loads, moves,
+/// removals). Both are supersets by design — over-approximation only costs
+/// a few redundant overlay entries, never correctness.
+struct TouchSet {
+  std::vector<graph::VertexId> adjacency;
+  std::vector<graph::VertexId> assignment;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return adjacency.empty() && assignment.empty();
+  }
+};
+
+}  // namespace xdgp::core

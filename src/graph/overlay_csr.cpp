@@ -1,0 +1,50 @@
+#include "graph/overlay_csr.h"
+
+#include <utility>
+
+namespace xdgp::graph {
+
+OverlayCsr::OverlayCsr(std::shared_ptr<const CsrGraph> base)
+    : base_(std::move(base)),
+      idBound_(base_->idBound()),
+      numAlive_(base_->numVertices()),
+      numEdges_(base_->numEdges()) {}
+
+OverlayCsr::OverlayCsr(std::shared_ptr<const CsrGraph> base,
+                       std::span<const VertexId> touched,
+                       const DynamicGraph& g)
+    : base_(std::move(base)),
+      idBound_(g.idBound()),
+      numAlive_(g.numVertices()),
+      numEdges_(g.numEdges()) {
+  if (touched.empty()) return;
+  // Power-of-two table at load factor <= 0.5: linear probing stays short.
+  std::size_t cap = 4;
+  while (cap < touched.size() * 2) cap <<= 1;
+  slots_.assign(cap, Slot{});
+  std::size_t totalDegree = 0;
+  for (const VertexId v : touched) totalDegree += g.degree(v);
+  targets_.reserve(totalDegree);
+  for (const VertexId v : touched) {
+    Slot slot;
+    slot.key = v;
+    slot.alive = g.hasVertex(v) ? 1 : 0;
+    slot.offset = static_cast<std::uint32_t>(targets_.size());
+    const std::span<const VertexId> nbrs = g.neighbors(v);
+    targets_.insert(targets_.end(), nbrs.begin(), nbrs.end());
+    slot.length = static_cast<std::uint32_t>(nbrs.size());
+    insert(slot);
+  }
+}
+
+void OverlayCsr::insert(const Slot& slot) noexcept {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(util::Rng::splitmix64(slot.key)) & mask;
+  while (slots_[i].key != kInvalidVertex && slots_[i].key != slot.key) {
+    i = (i + 1) & mask;
+  }
+  if (slots_[i].key == kInvalidVertex) ++overlayCount_;
+  slots_[i] = slot;
+}
+
+}  // namespace xdgp::graph

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace xdgp::graph {
+
+/// Shared-structure CSR view: one immutable base CsrGraph held by
+/// shared_ptr plus a small per-view overlay carrying rebuilt adjacency for
+/// only the vertices whose neighbour list or liveness changed since the
+/// base was cut.
+///
+/// This is the serving layer's O(changed) publication substrate: successive
+/// AssignmentSnapshots share one base (no per-window O(|V|+|E|) rebuild) and
+/// each carries an overlay proportional to the churn since the last
+/// compaction. Reads probe the overlay first (open-addressed table, one
+/// cache line per slot) and fall through to the base; a view with an empty
+/// overlay costs one branch over a plain CsrGraph.
+///
+/// Correctness contract: `touched` must be a superset of every vertex whose
+/// neighbour list or alive flag differs from the base (endpoints of applied
+/// edge events, added/removed vertices, and the neighbours of removed
+/// vertices). Over-approximation is harmless — overlay entries are rebuilt
+/// from the live graph, so an untouched vertex in the set just duplicates
+/// its base adjacency.
+class OverlayCsr {
+ public:
+  OverlayCsr() = default;
+
+  /// Pure base view — the compacted form, no overlay.
+  explicit OverlayCsr(std::shared_ptr<const CsrGraph> base);
+
+  /// Base plus overlay: each vertex in `touched` (deduplicated by the
+  /// caller) gets its liveness and neighbour list re-read from `g`. Ids in
+  /// `touched` may exceed the base id bound (vertices created since the
+  /// base was cut); ids absent from both overlay and base read as dead.
+  OverlayCsr(std::shared_ptr<const CsrGraph> base,
+             std::span<const VertexId> touched, const DynamicGraph& g);
+
+  [[nodiscard]] std::size_t idBound() const noexcept { return idBound_; }
+  [[nodiscard]] std::size_t numVertices() const noexcept { return numAlive_; }
+  [[nodiscard]] std::size_t numEdges() const noexcept { return numEdges_; }
+
+  [[nodiscard]] bool alive(VertexId v) const noexcept {
+    if (const Slot* slot = find(v)) return slot->alive != 0;
+    return base_ != nullptr && base_->alive(v);
+  }
+
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const noexcept {
+    if (const Slot* slot = find(v)) {
+      return {targets_.data() + slot->offset, slot->length};
+    }
+    return base_ != nullptr ? base_->neighbors(v) : std::span<const VertexId>{};
+  }
+
+  [[nodiscard]] std::size_t degree(VertexId v) const noexcept {
+    if (const Slot* slot = find(v)) return slot->length;
+    return base_ != nullptr ? base_->degree(v) : 0;
+  }
+
+  /// The shared base. Views cut from one SnapshotBuilder between two
+  /// compactions return the SAME pointer — the structural-sharing tests pin
+  /// exactly when publication breaks that sharing.
+  [[nodiscard]] const std::shared_ptr<const CsrGraph>& base() const noexcept {
+    return base_;
+  }
+
+  /// Vertices carried by the overlay (0 for a freshly compacted view).
+  [[nodiscard]] std::size_t overlaySize() const noexcept { return overlayCount_; }
+
+  /// Marginal heap bytes of this view on top of the shared base — what one
+  /// more live snapshot actually costs a reader to hold.
+  [[nodiscard]] std::size_t residentBytes() const noexcept {
+    return slots_.capacity() * sizeof(Slot) +
+           targets_.capacity() * sizeof(VertexId);
+  }
+
+ private:
+  /// One overlay entry; 16 bytes so a probe touches a single cache line.
+  struct Slot {
+    VertexId key = kInvalidVertex;  ///< kInvalidVertex marks an empty slot
+    std::uint32_t offset = 0;       ///< begin index into targets_
+    std::uint32_t length = 0;
+    std::uint8_t alive = 0;
+  };
+
+  [[nodiscard]] const Slot* find(VertexId v) const noexcept {
+    if (overlayCount_ == 0) return nullptr;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(util::Rng::splitmix64(v)) & mask;
+    while (slots_[i].key != kInvalidVertex) {
+      if (slots_[i].key == v) return &slots_[i];
+      i = (i + 1) & mask;
+    }
+    return nullptr;
+  }
+
+  void insert(const Slot& slot) noexcept;
+
+  std::shared_ptr<const CsrGraph> base_;
+  std::vector<Slot> slots_;       ///< open-addressed, power-of-two size
+  std::vector<VertexId> targets_; ///< overlay adjacency, densely packed
+  std::size_t overlayCount_ = 0;
+  std::size_t idBound_ = 0;
+  std::size_t numAlive_ = 0;
+  std::size_t numEdges_ = 0;
+};
+
+}  // namespace xdgp::graph

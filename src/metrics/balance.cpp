@@ -2,13 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
+
+#include "core/partition_state.h"
 
 namespace xdgp::metrics {
 
-BalanceReport balanceReport(const Assignment& assignment, std::size_t k) {
+namespace {
+
+/// The shared arithmetic: a report over per-partition loads, k = loads.size().
+/// Both entry points (O(|V|) array scan, O(k) incremental loads) funnel here
+/// so their answers are identical by construction — same loop order, same
+/// double operations.
+BalanceReport reportFromLoads(std::span<const std::size_t> loads) {
   BalanceReport report;
+  const std::size_t k = loads.size();
   report.k = k;
-  const std::vector<std::size_t> loads = partitionLoads(assignment, k);
   for (const std::size_t load : loads) report.totalVertices += load;
   if (k == 0 || report.totalVertices == 0) return report;
 
@@ -27,12 +36,12 @@ BalanceReport balanceReport(const Assignment& assignment, std::size_t k) {
   return report;
 }
 
-BalanceReport balanceReport(const Assignment& assignment,
-                            const std::vector<std::uint8_t>& activeMask) {
+/// Elastic-k arithmetic: min/max/imbalance/densification over active
+/// partitions, totalVertices over all (retired residuals still count).
+BalanceReport reportFromLoads(std::span<const std::size_t> loads,
+                              const std::vector<std::uint8_t>& activeMask) {
   BalanceReport report;
   report.k = activeMask.size();
-  const std::vector<std::size_t> loads =
-      partitionLoads(assignment, activeMask.size());
   std::size_t activeCount = 0;
   for (std::size_t i = 0; i < loads.size(); ++i) {
     report.totalVertices += loads[i];  // residual retired loads still count
@@ -59,6 +68,27 @@ BalanceReport balanceReport(const Assignment& assignment,
   report.densification =
       std::sqrt(sumSq / static_cast<double>(activeCount)) / balanced;
   return report;
+}
+
+}  // namespace
+
+BalanceReport balanceReport(const Assignment& assignment, std::size_t k) {
+  return reportFromLoads(partitionLoads(assignment, k));
+}
+
+BalanceReport balanceReport(const Assignment& assignment,
+                            const std::vector<std::uint8_t>& activeMask) {
+  return reportFromLoads(partitionLoads(assignment, activeMask.size()),
+                         activeMask);
+}
+
+BalanceReport balanceReport(const core::PartitionState& state) {
+  return reportFromLoads(state.loads());
+}
+
+BalanceReport balanceReport(const core::PartitionState& state,
+                            const std::vector<std::uint8_t>& activeMask) {
+  return reportFromLoads(state.loads(), activeMask);
 }
 
 bool respectsCapacities(const Assignment& assignment,

@@ -6,6 +6,10 @@
 
 #include "metrics/cuts.h"
 
+namespace xdgp::core {
+class PartitionState;
+}
+
 namespace xdgp::metrics {
 
 /// Load-balance summary of a k-way assignment. The paper's balance goal is
@@ -34,6 +38,18 @@ struct BalanceReport {
 /// so imbalance transiently understates until the drain completes. With all
 /// partitions active this is exactly balanceReport(assignment, mask.size()).
 [[nodiscard]] BalanceReport balanceReport(const Assignment& assignment,
+                                          const std::vector<std::uint8_t>& activeMask);
+
+/// O(k) overload over the loads a live core::PartitionState maintains
+/// incrementally — no O(|V|) assignment scan. Produces the exact report of
+/// balanceReport(state.assignment(), state.k()): removals park dead ids on
+/// kNoPartition, so the incremental loads match the array scan entry for
+/// entry (the balance unit test cross-checks this after churn).
+[[nodiscard]] BalanceReport balanceReport(const core::PartitionState& state);
+
+/// O(k) elastic-k variant: balance over active partitions only, from the
+/// incrementally maintained loads. activeMask.size() must equal state.k().
+[[nodiscard]] BalanceReport balanceReport(const core::PartitionState& state,
                                           const std::vector<std::uint8_t>& activeMask);
 
 /// True when every partition load respects its capacity.

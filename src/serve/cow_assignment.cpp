@@ -1,0 +1,81 @@
+#include "serve/cow_assignment.h"
+
+#include <algorithm>
+
+namespace xdgp::serve {
+
+namespace {
+
+/// Copies values[begin, begin+kChunkSize) into a fresh chunk, padding past
+/// values.size() with kNoPartition so partial tail chunks read as unknown.
+std::shared_ptr<const CowAssignment::Chunk> copyChunk(
+    const metrics::Assignment& values, std::size_t begin) {
+  auto chunk = std::make_shared<CowAssignment::Chunk>();
+  const std::size_t end =
+      std::min(values.size(), begin + CowAssignment::kChunkSize);
+  std::size_t i = 0;
+  for (std::size_t v = begin; v < end; ++v, ++i) (*chunk)[i] = values[v];
+  for (; i < CowAssignment::kChunkSize; ++i) (*chunk)[i] = graph::kNoPartition;
+  return chunk;
+}
+
+}  // namespace
+
+CowAssignment CowAssignment::full(const metrics::Assignment& values) {
+  CowAssignment out;
+  out.size_ = values.size();
+  const std::size_t numChunks = (values.size() + kChunkSize - 1) / kChunkSize;
+  out.owners_.reserve(numChunks);
+  out.flat_.reserve(numChunks);
+  for (std::size_t c = 0; c < numChunks; ++c) {
+    out.owners_.push_back(copyChunk(values, c * kChunkSize));
+    out.flat_.push_back(out.owners_.back()->data());
+  }
+  return out;
+}
+
+void CowAssignmentBuilder::touch(graph::VertexId v) {
+  const std::size_t chunk = static_cast<std::size_t>(v) >> CowAssignment::kChunkBits;
+  if (chunk >= dirtyMark_.size()) dirtyMark_.resize(chunk + 1, 0);
+  if (dirtyMark_[chunk] == 0) {
+    dirtyMark_[chunk] = 1;
+    dirty_.push_back(chunk);
+  }
+}
+
+CowAssignment CowAssignmentBuilder::build(const metrics::Assignment& values) {
+  const std::size_t numChunks =
+      (values.size() + CowAssignment::kChunkSize - 1) / CowAssignment::kChunkSize;
+  chunks_.resize(numChunks);
+  // Chunks the id space grew into since the last build have no (or stale
+  // partial) payloads: refresh everything from the last covered chunk up.
+  // The live assignment only ever grows, so this is O(new ids), not O(|V|).
+  const std::size_t firstGrown =
+      builtSize_ / CowAssignment::kChunkSize;  // partial tail chunk included
+  if (values.size() > builtSize_) {
+    for (std::size_t c = firstGrown; c < numChunks; ++c) {
+      chunks_[c] = copyChunk(values, c * CowAssignment::kChunkSize);
+    }
+  }
+  for (const std::size_t c : dirty_) {
+    dirtyMark_[c] = 0;
+    // Skip chunks already refreshed by growth (or beyond the id space).
+    if (c >= numChunks || (values.size() > builtSize_ && c >= firstGrown)) {
+      continue;
+    }
+    chunks_[c] = copyChunk(values, c * CowAssignment::kChunkSize);
+  }
+  dirty_.clear();
+  builtSize_ = values.size();
+
+  CowAssignment out;
+  out.size_ = values.size();
+  out.owners_ = chunks_;  // shared_ptr copies: shares every clean chunk
+  out.flat_.reserve(numChunks);
+  for (const std::shared_ptr<const CowAssignment::Chunk>& chunk : chunks_) {
+    out.flat_.push_back(chunk->data());
+  }
+  return out;
+}
+
+}  // namespace xdgp::serve

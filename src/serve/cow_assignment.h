@@ -1,0 +1,92 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "graph/types.h"
+#include "metrics/cuts.h"
+
+namespace xdgp::serve {
+
+/// Chunked copy-on-write view of a per-vertex assignment: the id space is
+/// split into fixed 1024-entry chunks, each held by shared_ptr, so
+/// successive snapshots share every chunk whose vertices did not move and
+/// copy only the touched ones. A flat raw-pointer table keeps the read path
+/// at two dependent loads — `flat_[v >> 10][v & 1023]` — with no shared_ptr
+/// traffic per query.
+///
+/// Out-of-range ids (and dead ids, which the live assignment parks on
+/// graph::kNoPartition) read as kNoPartition, exactly like the dense-vector
+/// snapshot this type replaced.
+class CowAssignment {
+ public:
+  static constexpr std::size_t kChunkBits = 10;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+  using Chunk = std::array<graph::PartitionId, kChunkSize>;
+
+  CowAssignment() = default;
+
+  /// Full copy of `values` into fresh chunks — the compaction/cold path.
+  [[nodiscard]] static CowAssignment full(const metrics::Assignment& values);
+
+  [[nodiscard]] graph::PartitionId at(graph::VertexId v) const noexcept {
+    return v < size_ ? flat_[v >> kChunkBits][v & (kChunkSize - 1)]
+                     : graph::kNoPartition;
+  }
+
+  /// Ids covered by the view (== the live assignment's size at build time).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  [[nodiscard]] std::size_t chunkCount() const noexcept { return owners_.size(); }
+
+  /// Ownership handle of chunk `i` — the structural-sharing tests compare
+  /// these across snapshots to pin which chunks were copied vs shared.
+  [[nodiscard]] const std::shared_ptr<const Chunk>& chunk(std::size_t i) const {
+    return owners_[i];
+  }
+
+  /// Marginal heap bytes on top of chunks shared with other snapshots:
+  /// the pointer tables always, the chunk payloads only where this view is
+  /// the sole owner.
+  [[nodiscard]] std::size_t residentBytes() const noexcept {
+    std::size_t bytes = owners_.capacity() * sizeof(owners_[0]) +
+                        flat_.capacity() * sizeof(flat_[0]);
+    for (const std::shared_ptr<const Chunk>& chunk : owners_) {
+      if (chunk.use_count() == 1) bytes += sizeof(Chunk);
+    }
+    return bytes;
+  }
+
+ private:
+  friend class CowAssignmentBuilder;
+
+  std::vector<std::shared_ptr<const Chunk>> owners_;
+  std::vector<const graph::PartitionId*> flat_;  ///< owners_[i]->data()
+  std::size_t size_ = 0;
+};
+
+/// The writer side: holds the persistent chunk set across epochs, collects
+/// dirty marks (touch(v) = v's value may have changed), and cuts a
+/// CowAssignment per publish by copying only dirty chunks — plus whatever
+/// chunks the id space grew into since the last build. Build cost is
+/// O(dirty chunks + chunk count), never O(|V|).
+class CowAssignmentBuilder {
+ public:
+  /// Marks the chunk containing v dirty for the next build().
+  void touch(graph::VertexId v);
+
+  /// Cuts a view of `values`: dirty and newly covered chunks are copied
+  /// fresh, clean chunks are shared with every previous build. Clears the
+  /// dirty set.
+  [[nodiscard]] CowAssignment build(const metrics::Assignment& values);
+
+ private:
+  std::vector<std::shared_ptr<const CowAssignment::Chunk>> chunks_;
+  std::vector<std::size_t> dirty_;       ///< chunk indices, deduplicated
+  std::vector<std::uint8_t> dirtyMark_;  ///< per chunk index
+  std::size_t builtSize_ = 0;            ///< values.size() at the last build
+};
+
+}  // namespace xdgp::serve

@@ -111,7 +111,8 @@ PartitionService::PartitionService(api::Workload workload,
                    .seed(adaptive.seed)
                    .adaptive(adaptive)
                    .maxIterations(options_.maxIterations)
-                   .start()) {
+                   .start()),
+      builder_(options_.snapshotOverlayFraction) {
   timeline_.workload = workloadCode_;
   timeline_.strategy = strategy_;
   timeline_.k = adaptive.k;
@@ -125,7 +126,8 @@ PartitionService::PartitionService(Checkpoint checkpoint, const std::string& dir
       strategy_(checkpoint.strategy),
       events_(std::move(checkpoint.events)),
       session_(restoredSession(checkpoint, threads)),
-      nextWindow_(checkpoint.nextWindow) {
+      nextWindow_(checkpoint.nextWindow),
+      builder_(options_.snapshotOverlayFraction) {
   options_.stream = checkpoint.stream;
   options_.checkpointDir = dir;
   options_.maxIterations = checkpoint.maxIterations;
@@ -163,7 +165,15 @@ const api::TimelineReport& PartitionService::run() {
       if (op.grow > 0) session_.engine().growPartitions(op.grow);
       if (!op.shrink.empty()) session_.engine().shrinkPartitions(op.shrink);
     }
-    const api::WindowReport window = session_.streamWindow(*batch, options_.stream);
+    core::TouchSet touched;
+    const api::WindowReport window =
+        session_.streamWindow(*batch, options_.stream, &touched);
+    // Fold the window's change log into the pending snapshot delta BEFORE
+    // the crash point: the engine has already mutated, so if this window is
+    // reprocessed after an in-process resume the pending set must still
+    // cover its changes (a superset is always safe — overlay entries are
+    // re-read from the live graph at build time).
+    builder_.note(touched);
     // The crash point: the window's work happened (engine mutated), but the
     // swap, the timeline row, and the checkpoint never do — recovery must
     // replay this window from the previous checkpoint.
@@ -192,23 +202,33 @@ void PartitionService::publishCurrent(const api::WindowReport* window) {
   // frozen at construction, so after an elastic resize it would stamp every
   // snapshot with a stale k (and compute balance over the wrong id space).
   stats.activeK = engine.activeK();
-  stats.vertices = engine.graph().numVertices();
-  stats.edges = engine.graph().numEdges();
-  stats.cutEdges = engine.state().cutEdges();
-  stats.cutRatio = engine.cutRatio();
-  stats.imbalance =
-      metrics::balanceReport(engine.state().assignment(), engine.activeMask())
-          .imbalance;
   if (window != nullptr) {
+    // The closing window's report already carries these — thread them
+    // through instead of recomputing per publish.
+    stats.vertices = window->vertices;
+    stats.edges = window->edges;
+    stats.cutEdges = window->cutEdges;
+    stats.cutRatio = window->cutRatio;
+    stats.imbalance = window->balance.imbalance;
     stats.migrations = window->migrations;
     stats.eventsApplied = window->eventsApplied;
     stats.converged = window->converged;
   } else {
+    // Construction / restore publish: no window closed, read the engine.
+    // The balance overload over PartitionState is O(k), not O(|V|).
+    stats.vertices = engine.graph().numVertices();
+    stats.edges = engine.graph().numEdges();
+    stats.cutEdges = engine.state().cutEdges();
+    stats.cutRatio = engine.cutRatio();
+    stats.imbalance =
+        metrics::balanceReport(engine.state(), engine.activeMask()).imbalance;
     stats.converged = engine.converged();
   }
-  board_.publish(AssignmentSnapshot(++epoch_, engine.graph(),
-                                    engine.state().assignment(), engine.k(),
-                                    stats));
+  AssignmentSnapshot snapshot =
+      builder_.build(++epoch_, engine.graph(), engine.state().assignment(),
+                     engine.k(), stats);
+  publishSeconds_ += snapshot.stats().publishSeconds;
+  board_.publish(std::move(snapshot));
 }
 
 Checkpoint PartitionService::makeCheckpoint() const {

@@ -11,6 +11,7 @@
 #include "serve/checkpoint.h"
 #include "serve/fault.h"
 #include "serve/snapshot.h"
+#include "serve/snapshot_builder.h"
 
 namespace xdgp::serve {
 
@@ -49,6 +50,12 @@ struct ServeOptions {
 
   /// Session-wide convergence cap (api::Pipeline::maxIterations).
   std::size_t maxIterations = 20'000;
+
+  /// Snapshot compaction threshold: a publish whose cumulative touched set
+  /// exceeds this fraction of the id space folds the overlay into a fresh
+  /// base CSR instead (see SnapshotBuilder). Smaller = cheaper reads,
+  /// more frequent full rebuilds.
+  double snapshotOverlayFraction = SnapshotBuilder::kDefaultOverlayFraction;
 };
 
 /// The long-lived partition service of the serving tentpole: one ingest
@@ -137,6 +144,19 @@ class PartitionService {
   /// points and tools can save on demand.
   [[nodiscard]] Checkpoint makeCheckpoint() const;
 
+  /// Wall seconds spent cutting snapshots over the service's lifetime
+  /// (sum of every published SnapshotStats::publishSeconds) — the serve
+  /// bench's aggregate publish-cost answer.
+  [[nodiscard]] double totalPublishSeconds() const noexcept {
+    return publishSeconds_;
+  }
+
+  /// The snapshot factory, exposed for tests that pin the sharing/
+  /// compaction contract (pendingOverlay, lastBuildCompacted).
+  [[nodiscard]] const SnapshotBuilder& snapshotBuilder() const noexcept {
+    return builder_;
+  }
+
  private:
   PartitionService(Checkpoint checkpoint, const std::string& dir,
                    std::size_t threads);
@@ -155,6 +175,8 @@ class PartitionService {
   std::vector<std::uint8_t> resizeApplied_;
   std::size_t nextWindow_ = 0;
   std::uint64_t epoch_ = 0;
+  SnapshotBuilder builder_;
+  double publishSeconds_ = 0.0;
   SnapshotBoard board_;
 };
 

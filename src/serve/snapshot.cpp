@@ -7,13 +7,25 @@ namespace xdgp::serve {
 
 AssignmentSnapshot::AssignmentSnapshot(std::uint64_t epoch,
                                        const graph::DynamicGraph& g,
-                                       metrics::Assignment assignment,
+                                       const metrics::Assignment& assignment,
                                        std::size_t k, SnapshotStats stats)
     : epochHead_(epoch),
       k_(k),
       stats_(stats),
+      assignment_(CowAssignment::full(assignment)),
+      adjacency_(std::make_shared<const graph::CsrGraph>(
+          graph::CsrGraph::fromGraph(g))),
+      epochTail_(epoch) {}
+
+AssignmentSnapshot::AssignmentSnapshot(std::uint64_t epoch,
+                                       graph::OverlayCsr adjacency,
+                                       CowAssignment assignment, std::size_t k,
+                                       SnapshotStats stats)
+    : epochHead_(epoch),
+      k_(k),
+      stats_(stats),
       assignment_(std::move(assignment)),
-      adjacency_(graph::CsrGraph::fromGraph(g)),
+      adjacency_(std::move(adjacency)),
       epochTail_(epoch) {}
 
 std::size_t AssignmentSnapshot::cutDegree(graph::VertexId v) const noexcept {

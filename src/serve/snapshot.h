@@ -7,7 +7,9 @@
 
 #include "graph/csr.h"
 #include "graph/dynamic_graph.h"
+#include "graph/overlay_csr.h"
 #include "metrics/cuts.h"
+#include "serve/cow_assignment.h"
 
 namespace xdgp::serve {
 
@@ -28,15 +30,30 @@ struct SnapshotStats {
   std::size_t migrations = 0;    ///< executed during the closing window
   std::size_t eventsApplied = 0; ///< applied during the closing window
   bool converged = true;
+  /// Wall cost of cutting this snapshot (overlay + chunk copies, or the
+  /// full rebuild on a compaction epoch) — the tentpole's O(changed) claim,
+  /// measured per publish and aggregated by the serve/scale benches.
+  double publishSeconds = 0.0;
+  /// Marginal heap bytes of this snapshot beyond structure shared with its
+  /// siblings (base CSR, clean assignment chunks).
+  std::size_t residentBytes = 0;
 
   friend bool operator==(const SnapshotStats&, const SnapshotStats&) = default;
 };
 
 /// Immutable point-in-time view of the partitioned graph: the per-vertex
-/// assignment plus a CSR adjacency snapshot, answering the serving queries
+/// assignment plus an adjacency snapshot, answering the serving queries
 /// (partition lookup, neighbours, route cost) without touching the live
 /// engine. Published through SnapshotBoard; readers hold it by shared_ptr
 /// and never observe a half-built state.
+///
+/// Successive snapshots are *persistent* data structures: the adjacency is
+/// an OverlayCsr (one shared immutable base CSR + a per-snapshot overlay of
+/// this epoch's touched vertices) and the assignment is chunked
+/// copy-on-write — so publication costs O(changed this window), not
+/// O(|V|+|E|). SnapshotBuilder owns the sharing/compaction policy; the
+/// five-argument constructor below is the full-rebuild path (cold starts,
+/// tests, and the bench's comparison arm).
 ///
 /// The epoch is stamped twice — first member and last member — so a
 /// hypothetically torn read would show epoch() != epochTail(); the
@@ -50,8 +67,15 @@ class AssignmentSnapshot {
   static constexpr int kRouteRemote = 1;
 
   AssignmentSnapshot() = default;
+
+  /// Full rebuild: fresh CSR + fresh assignment chunks, nothing shared.
   AssignmentSnapshot(std::uint64_t epoch, const graph::DynamicGraph& g,
-                     metrics::Assignment assignment, std::size_t k,
+                     const metrics::Assignment& assignment, std::size_t k,
+                     SnapshotStats stats);
+
+  /// Shared-structure snapshot, normally cut by SnapshotBuilder.
+  AssignmentSnapshot(std::uint64_t epoch, graph::OverlayCsr adjacency,
+                     CowAssignment assignment, std::size_t k,
                      SnapshotStats stats);
 
   [[nodiscard]] std::uint64_t epoch() const noexcept { return epochHead_; }
@@ -71,7 +95,7 @@ class AssignmentSnapshot {
 
   /// The partition hosting v, or graph::kNoPartition when v is unknown.
   [[nodiscard]] graph::PartitionId partitionOf(graph::VertexId v) const noexcept {
-    return v < assignment_.size() ? assignment_[v] : graph::kNoPartition;
+    return assignment_.at(v);
   }
 
   [[nodiscard]] std::span<const graph::VertexId> neighbors(
@@ -96,12 +120,22 @@ class AssignmentSnapshot {
   /// cut, the per-vertex locality answer a router would cache.
   [[nodiscard]] std::size_t cutDegree(graph::VertexId v) const noexcept;
 
+  /// Structure-sharing introspection: the tests assert adjacent snapshots
+  /// share adjacency().base() until a compaction, and share assignment()
+  /// chunks outside the touched ones.
+  [[nodiscard]] const graph::OverlayCsr& adjacency() const noexcept {
+    return adjacency_;
+  }
+  [[nodiscard]] const CowAssignment& assignment() const noexcept {
+    return assignment_;
+  }
+
  private:
   std::uint64_t epochHead_ = 0;  ///< first member: stamped before the payload
   std::size_t k_ = 0;
   SnapshotStats stats_;
-  metrics::Assignment assignment_;
-  graph::CsrGraph adjacency_;
+  CowAssignment assignment_;
+  graph::OverlayCsr adjacency_;
   std::uint64_t epochTail_ = 0;  ///< last member: stamped after the payload
 };
 

@@ -1,0 +1,39 @@
+#include "serve/snapshot_builder.h"
+
+#include <utility>
+
+#include "util/timer.h"
+
+namespace xdgp::serve {
+
+void SnapshotBuilder::note(const core::TouchSet& touched) {
+  for (const graph::VertexId v : touched.adjacency) pending_.touch(v);
+  for (const graph::VertexId v : touched.assignment) assignment_.touch(v);
+}
+
+AssignmentSnapshot SnapshotBuilder::build(std::uint64_t epoch,
+                                          const graph::DynamicGraph& g,
+                                          const metrics::Assignment& assignment,
+                                          std::size_t k, SnapshotStats stats) {
+  const util::WallTimer timer;
+  const bool compact =
+      base_ == nullptr ||
+      static_cast<double>(pending_.size()) >
+          maxOverlayFraction_ * static_cast<double>(g.idBound());
+  graph::OverlayCsr adjacency;
+  if (compact) {
+    base_ = std::make_shared<const graph::CsrGraph>(graph::CsrGraph::fromGraph(g));
+    pending_.clear();
+    adjacency = graph::OverlayCsr(base_);
+  } else {
+    adjacency = graph::OverlayCsr(base_, pending_.items(), g);
+  }
+  CowAssignment cow = assignment_.build(assignment);
+  lastCompacted_ = compact;
+  stats.residentBytes = adjacency.residentBytes() + cow.residentBytes();
+  stats.publishSeconds = timer.seconds();
+  return AssignmentSnapshot(epoch, std::move(adjacency), std::move(cow), k,
+                            std::move(stats));
+}
+
+}  // namespace xdgp::serve

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/touch_tracker.h"
+#include "graph/csr.h"
+#include "graph/dynamic_graph.h"
+#include "graph/overlay_csr.h"
+#include "serve/cow_assignment.h"
+#include "serve/snapshot.h"
+
+namespace xdgp::serve {
+
+/// The writer-side factory behind O(changed) publication: accumulates the
+/// per-window touched-vertex sets (note) and cuts shared-structure
+/// AssignmentSnapshots (build) against one immutable base CSR.
+///
+/// Sharing contract, pinned by the structural-sharing tests:
+///   - The first build() after construction compacts (fresh base, empty
+///     overlay) — there is nothing to share yet.
+///   - Subsequent builds share the SAME base shared_ptr and carry an overlay
+///     of every vertex touched since that base was cut, while the pending
+///     set stays <= maxOverlayFraction * g.idBound().
+///   - The build that would exceed the fraction compacts instead: fresh
+///     base, empty overlay, pending set cleared. The rebuild is thereby
+///     amortised over >= fraction * |V| touched vertices.
+///
+/// The pending set is cumulative across builds between compactions (each
+/// snapshot's overlay must cover everything since ITS base), deduplicated,
+/// and survives an injected crash between note() and build() — a superset
+/// pending set is always correct because overlay entries are re-read from
+/// the live graph at build time.
+class SnapshotBuilder {
+ public:
+  static constexpr double kDefaultOverlayFraction = 0.05;
+
+  explicit SnapshotBuilder(double maxOverlayFraction = kDefaultOverlayFraction)
+      : maxOverlayFraction_(maxOverlayFraction) {}
+
+  /// Folds one window's touched sets into the pending delta.
+  void note(const core::TouchSet& touched);
+
+  /// Cuts the next snapshot. Steady state costs O(pending + Σ deg(pending)
+  /// + dirty assignment chunks); compaction epochs pay the full
+  /// O(|V|+|E|) rebuild. Stamps stats.publishSeconds and
+  /// stats.residentBytes before sealing the snapshot.
+  [[nodiscard]] AssignmentSnapshot build(std::uint64_t epoch,
+                                         const graph::DynamicGraph& g,
+                                         const metrics::Assignment& assignment,
+                                         std::size_t k, SnapshotStats stats);
+
+  /// True when the latest build() compacted (fresh base) rather than
+  /// layering an overlay.
+  [[nodiscard]] bool lastBuildCompacted() const noexcept { return lastCompacted_; }
+
+  /// Adjacency-touched vertices accumulated since the current base was cut.
+  [[nodiscard]] std::size_t pendingOverlay() const noexcept {
+    return pending_.size();
+  }
+
+ private:
+  double maxOverlayFraction_;
+  std::shared_ptr<const graph::CsrGraph> base_;
+  core::TouchTracker pending_;  ///< adjacency touches since base_ was cut
+  CowAssignmentBuilder assignment_;
+  bool lastCompacted_ = false;
+};
+
+}  // namespace xdgp::serve

@@ -1,0 +1,372 @@
+// Delta-publication suite: the O(changed) snapshot path must be
+// *observationally identical* to the full-rebuild path it replaced.
+//
+//   - Fuzzed lockstep: random churn (edge add/remove, vertex add/remove,
+//     unknown ids, growth past the initial id bound) streams through a
+//     session while a SnapshotBuilder cuts delta snapshots; after every
+//     window each delta snapshot is compared element-for-element against a
+//     freshly rebuilt AssignmentSnapshot — partitionOf, hasVertex, degree,
+//     neighbour lists, cutDegree — over the whole id space plus a margin of
+//     out-of-range ids. Both the overlay path and the compaction path must
+//     be exercised by the run.
+//   - The same lockstep under LPA elastic resizes (grow mid-run, shrink
+//     mid-run) with a threshold that never compacts after the first build,
+//     so every post-resize window is served through the overlay.
+//   - Crash/restore: a service that crashes mid-stream and restores from
+//     its checkpoint must end up publishing a snapshot element-identical to
+//     an unfaulted reference run AND to a full rebuild of its own engine.
+//   - Structural sharing: adjacent snapshots share the base CSR pointer and
+//     clean assignment chunks; the build that pushes the pending set past
+//     maxOverlayFraction * idBound (strictly) compacts, and older snapshots
+//     keep serving their frozen state (persistence).
+//   - The O(k) balanceReport overloads agree with the O(|V|) array scan
+//     field-for-field (doubles bit-equal) after churn, mask variant included.
+//
+// Registered under the `serve` label so the ThreadSanitizer CI job runs it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/pipeline.h"
+#include "api/stream.h"
+#include "api/workload_registry.h"
+#include "core/engine.h"
+#include "core/touch_tracker.h"
+#include "gen/mesh2d.h"
+#include "graph/update_stream.h"
+#include "metrics/balance.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+#include "serve/snapshot_builder.h"
+#include "util/rng.h"
+
+namespace xdgp::serve {
+namespace {
+
+using graph::DynamicGraph;
+using graph::UpdateEvent;
+using graph::VertexId;
+
+/// Element-for-element equivalence over the id space plus a margin of ids
+/// neither snapshot covers (both must answer "unknown" identically).
+/// `orderedNeighbors` demands identical neighbour-list ORDER too — valid
+/// when both snapshots view the same live graph (a delta view must be
+/// indistinguishable from a full rebuild); across two independently mutated
+/// graphs (e.g. recovered vs reference service) only the neighbour SETS are
+/// specified, so the lists are compared sorted.
+void expectSnapshotsEqual(const AssignmentSnapshot& delta,
+                          const AssignmentSnapshot& full,
+                          const std::string& where,
+                          bool orderedNeighbors = true) {
+  ASSERT_EQ(delta.idBound(), full.idBound()) << where;
+  const auto bound = static_cast<VertexId>(delta.idBound() + 3);
+  for (VertexId v = 0; v < bound; ++v) {
+    ASSERT_EQ(delta.hasVertex(v), full.hasVertex(v)) << where << " v=" << v;
+    ASSERT_EQ(delta.partitionOf(v), full.partitionOf(v)) << where << " v=" << v;
+    ASSERT_EQ(delta.degree(v), full.degree(v)) << where << " v=" << v;
+    std::vector<VertexId> dn(delta.neighbors(v).begin(),
+                             delta.neighbors(v).end());
+    std::vector<VertexId> fn(full.neighbors(v).begin(),
+                             full.neighbors(v).end());
+    if (!orderedNeighbors) {
+      std::sort(dn.begin(), dn.end());
+      std::sort(fn.begin(), fn.end());
+    }
+    ASSERT_EQ(dn, fn) << where << " v=" << v;
+    ASSERT_EQ(delta.cutDegree(v), full.cutDegree(v)) << where << " v=" << v;
+  }
+}
+
+/// Exact (bit-level for the doubles) equality of two balance reports — the
+/// O(k) overloads promise the same arithmetic as the array scan, not an
+/// approximation of it.
+void expectBalanceEq(const metrics::BalanceReport& fast,
+                     const metrics::BalanceReport& scan,
+                     const std::string& where) {
+  EXPECT_EQ(fast.k, scan.k) << where;
+  EXPECT_EQ(fast.totalVertices, scan.totalVertices) << where;
+  EXPECT_EQ(fast.minLoad, scan.minLoad) << where;
+  EXPECT_EQ(fast.maxLoad, scan.maxLoad) << where;
+  EXPECT_EQ(fast.imbalance, scan.imbalance) << where;
+  EXPECT_EQ(fast.densification, scan.densification) << where;
+}
+
+/// Random churn against a bounded id span: edge adds dominate (they also
+/// auto-create unknown endpoints, which is how the stream grows the graph
+/// past its initial id bound), with vertex removals, re-adds, and edge
+/// removals mixed in. Ids are drawn from [0, idSpan), deliberately wider
+/// than the seed graph, so removals of never-seen ids and duplicate adds
+/// (both no-ops) are part of the mix.
+std::vector<UpdateEvent> fuzzEvents(util::Rng& rng, std::size_t count,
+                                    VertexId idSpan) {
+  std::vector<UpdateEvent> events;
+  events.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto u = static_cast<VertexId>(rng.index(idSpan));
+    const auto v = static_cast<VertexId>(rng.index(idSpan));
+    switch (rng.index(8)) {
+      case 0: events.push_back(UpdateEvent::removeVertex(u)); break;
+      case 1: events.push_back(UpdateEvent::addVertex(u)); break;
+      case 2: events.push_back(UpdateEvent::removeEdge(u, v)); break;
+      default: events.push_back(UpdateEvent::addEdge(u, v)); break;
+    }
+  }
+  return events;
+}
+
+api::Session fuzzSession(core::EngineKind kind, std::size_t k) {
+  core::AdaptiveOptions adaptive;
+  adaptive.k = k;
+  adaptive.engine = kind;
+  return api::Pipeline::fromGraph(gen::mesh2d(10, 10))
+      .initial("HSH")
+      .k(k)
+      .adaptive(adaptive)
+      .start();
+}
+
+// ------------------------------------------------------ fuzzed lockstep
+
+TEST(SnapshotDelta, FuzzedChurnMatchesFullRebuildEveryWindow) {
+  api::Session session = fuzzSession(core::EngineKind::kGreedy, 4);
+  const core::Engine& engine = session.engine();
+
+  util::Rng rng(20140707);
+  api::StreamOptions options;
+  options.windowEvents = 15;
+  api::Streamer streamer(graph::UpdateStream(fuzzEvents(rng, 240, 130)),
+                         options);
+
+  // A fraction between "compact every window" and "never compact": the run
+  // must exercise both the overlay path and the compaction path.
+  SnapshotBuilder builder(0.6);
+  std::uint64_t epoch = 0;
+  bool sawOverlay = false;
+  bool sawCompaction = false;
+  while (std::optional<api::WindowBatch> batch = streamer.next()) {
+    core::TouchSet touched;
+    (void)session.streamWindow(*batch, options, &touched);
+    builder.note(touched);
+    const std::string where = "window " + std::to_string(batch->index);
+
+    const AssignmentSnapshot delta = builder.build(
+        ++epoch, engine.graph(), engine.state().assignment(), engine.k(),
+        SnapshotStats{});
+    if (builder.lastBuildCompacted()) {
+      sawCompaction = true;
+      EXPECT_EQ(delta.adjacency().overlaySize(), 0u) << where;
+    } else {
+      sawOverlay = true;
+      EXPECT_GT(delta.adjacency().overlaySize(), 0u) << where;
+    }
+    const AssignmentSnapshot full(epoch, engine.graph(),
+                                  engine.state().assignment(), engine.k(),
+                                  SnapshotStats{});
+    expectSnapshotsEqual(delta, full, where);
+
+    expectBalanceEq(
+        metrics::balanceReport(engine.state()),
+        metrics::balanceReport(engine.state().assignment(), engine.k()), where);
+  }
+  EXPECT_GT(epoch, 10u);
+  EXPECT_TRUE(sawOverlay) << "fuzz run never took the overlay path";
+  EXPECT_TRUE(sawCompaction) << "fuzz run never compacted";
+}
+
+TEST(SnapshotDelta, LpaElasticResizesStayLockstepThroughTheOverlay) {
+  api::Session session = fuzzSession(core::EngineKind::kLpa, 4);
+  core::Engine& engine = session.engine();
+
+  util::Rng rng(19);
+  api::StreamOptions options;
+  options.windowEvents = 12;
+  api::Streamer streamer(graph::UpdateStream(fuzzEvents(rng, 96, 120)),
+                         options);
+
+  // Threshold past any possible pending set: after the first (always
+  // compacting) build every window — including the grow and shrink windows
+  // and the drain that follows the shrink — is served through the overlay.
+  SnapshotBuilder builder(2.0);
+  std::uint64_t epoch = 0;
+  std::shared_ptr<const graph::CsrGraph> sharedBase;
+  while (std::optional<api::WindowBatch> batch = streamer.next()) {
+    if (batch->index == 2) engine.growPartitions(2);
+    if (batch->index == 5) {
+      engine.shrinkPartitions(std::vector<graph::PartitionId>{4, 5});
+    }
+    core::TouchSet touched;
+    (void)session.streamWindow(*batch, options, &touched);
+    builder.note(touched);
+    const std::string where = "window " + std::to_string(batch->index);
+
+    const AssignmentSnapshot delta = builder.build(
+        ++epoch, engine.graph(), engine.state().assignment(), engine.k(),
+        SnapshotStats{});
+    if (epoch == 1) {
+      EXPECT_TRUE(builder.lastBuildCompacted());
+      sharedBase = delta.adjacency().base();
+    } else {
+      EXPECT_FALSE(builder.lastBuildCompacted()) << where;
+      EXPECT_EQ(delta.adjacency().base().get(), sharedBase.get()) << where;
+    }
+    const AssignmentSnapshot full(epoch, engine.graph(),
+                                  engine.state().assignment(), engine.k(),
+                                  SnapshotStats{});
+    expectSnapshotsEqual(delta, full, where);
+
+    // Elastic-k balance: the O(k) masked overload vs the masked array scan.
+    expectBalanceEq(metrics::balanceReport(engine.state(), engine.activeMask()),
+                    metrics::balanceReport(engine.state().assignment(),
+                                           engine.activeMask()),
+                    where);
+  }
+  EXPECT_GT(epoch, 6u);
+  EXPECT_EQ(engine.k(), 6u);
+  EXPECT_EQ(engine.activeK(), 4u);
+}
+
+// ----------------------------------------------------- crash / restore
+
+api::Workload churnWorkload() {
+  api::WorkloadConfig config;
+  config.overrides = {{"vertices", 400}, {"ticks", 4}, {"rate", 40}};
+  return api::WorkloadRegistry::instance().make("CHURN", config);
+}
+
+PartitionService churnService(ServeOptions options = {}) {
+  api::Workload workload = churnWorkload();
+  options.stream = workload.suggested;
+  core::AdaptiveOptions adaptive;
+  adaptive.k = 4;
+  return PartitionService(std::move(workload), "HSH", adaptive,
+                          std::move(options));
+}
+
+TEST(SnapshotDelta, CrashRestorePublishesTheReferenceState) {
+  const std::string dir = testing::TempDir() + "snapshot_delta_crash";
+  std::filesystem::remove_all(dir);
+
+  PartitionService reference = churnService();
+  reference.run();
+
+  ServeOptions faultedOptions;
+  faultedOptions.checkpointDir = dir;
+  faultedOptions.faults = FaultPlan::parse("crash@window=2");
+  PartitionService faulted = churnService(std::move(faultedOptions));
+  EXPECT_THROW(faulted.run(), InjectedCrash);
+
+  // The restored service starts from a fresh builder: its construction
+  // publish must compact (there is no base to share with), then the
+  // replayed tail goes back through the delta path.
+  PartitionService recovered = PartitionService::restore(dir);
+  EXPECT_TRUE(recovered.snapshotBuilder().lastBuildCompacted());
+  recovered.run();
+
+  const SnapshotBoard::Ref recoveredSnap = recovered.snapshot();
+  const SnapshotBoard::Ref referenceSnap = reference.snapshot();
+  ASSERT_NE(recoveredSnap, nullptr);
+  ASSERT_NE(referenceSnap, nullptr);
+  expectSnapshotsEqual(*recoveredSnap, *referenceSnap,
+                       "recovered vs reference", /*orderedNeighbors=*/false);
+
+  // And against a from-scratch rebuild of the recovered engine itself.
+  const core::Engine& engine = recovered.session().engine();
+  const AssignmentSnapshot full(recoveredSnap->epoch(), engine.graph(),
+                                engine.state().assignment(), engine.k(),
+                                SnapshotStats{});
+  expectSnapshotsEqual(*recoveredSnap, full, "recovered vs full rebuild");
+}
+
+// -------------------------------------------------- structural sharing
+
+TEST(SnapshotSharing, BaseIsSharedUntilThePendingSetExceedsTheFraction) {
+  DynamicGraph g = gen::mesh2d(2, 5);  // idBound 10: fraction 0.5 -> threshold 5
+  const metrics::Assignment assignment(g.idBound(), 0);
+  SnapshotBuilder builder(0.5);
+
+  // First build: nothing to share yet — always a compaction.
+  const AssignmentSnapshot s1 =
+      builder.build(1, g, assignment, 2, SnapshotStats{});
+  EXPECT_TRUE(builder.lastBuildCompacted());
+  ASSERT_NE(s1.adjacency().base(), nullptr);
+  EXPECT_EQ(s1.adjacency().overlaySize(), 0u);
+
+  // Mutate the live graph and publish the change through the overlay. The
+  // new snapshot sees the removal; the old snapshot keeps its frozen state.
+  const std::size_t degreeBefore = g.degree(0);
+  const VertexId nbr = g.neighbors(0)[0];
+  ASSERT_TRUE(g.removeEdge(0, nbr));
+  core::TouchSet first;
+  first.adjacency = {0, nbr};
+  first.assignment = {0};
+  builder.note(first);
+  const AssignmentSnapshot s2 =
+      builder.build(2, g, assignment, 2, SnapshotStats{});
+  EXPECT_FALSE(builder.lastBuildCompacted());
+  EXPECT_EQ(s2.adjacency().base().get(), s1.adjacency().base().get());
+  EXPECT_EQ(s2.adjacency().overlaySize(), 2u);
+  EXPECT_EQ(s1.degree(0), degreeBefore);
+  EXPECT_EQ(s2.degree(0), degreeBefore - 1);
+
+  // Pending grows to exactly fraction * idBound: the threshold is strict,
+  // so this build still shares.
+  core::TouchSet second;
+  second.adjacency = {2, 3, 4};  // pending: {0, nbr, 2, 3, 4} = 5 ids
+  builder.note(second);
+  const AssignmentSnapshot s3 =
+      builder.build(3, g, assignment, 2, SnapshotStats{});
+  EXPECT_FALSE(builder.lastBuildCompacted());
+  EXPECT_EQ(builder.pendingOverlay(), 5u);
+  EXPECT_EQ(s3.adjacency().base().get(), s1.adjacency().base().get());
+
+  // One more id crosses the threshold: compaction — fresh base, empty
+  // overlay, pending cleared.
+  core::TouchSet third;
+  third.adjacency = {5};
+  builder.note(third);
+  const AssignmentSnapshot s4 =
+      builder.build(4, g, assignment, 2, SnapshotStats{});
+  EXPECT_TRUE(builder.lastBuildCompacted());
+  EXPECT_NE(s4.adjacency().base().get(), s1.adjacency().base().get());
+  EXPECT_EQ(s4.adjacency().overlaySize(), 0u);
+  EXPECT_EQ(builder.pendingOverlay(), 0u);
+}
+
+TEST(SnapshotSharing, CowAssignmentCopiesOnlyDirtyAndGrownChunks) {
+  metrics::Assignment values(2'500, 1);  // 3 chunks, the last partial
+  CowAssignmentBuilder builder;
+  const CowAssignment a = builder.build(values);
+  ASSERT_EQ(a.chunkCount(), 3u);
+  EXPECT_EQ(a.size(), 2'500u);
+
+  // One touched vertex: its chunk is copied, the other two are shared.
+  values[5] = 3;
+  builder.touch(5);
+  const CowAssignment b = builder.build(values);
+  EXPECT_NE(b.chunk(0).get(), a.chunk(0).get());
+  EXPECT_EQ(b.chunk(1).get(), a.chunk(1).get());
+  EXPECT_EQ(b.chunk(2).get(), a.chunk(2).get());
+  EXPECT_EQ(a.at(5), 1u);  // persistence: the old view is frozen
+  EXPECT_EQ(b.at(5), 3u);
+
+  // Growth with no touches: only chunks the id space grew into are
+  // refreshed — the partial tail chunk plus the brand-new one.
+  values.resize(3'100, 2);
+  const CowAssignment c = builder.build(values);
+  ASSERT_EQ(c.chunkCount(), 4u);
+  EXPECT_EQ(c.chunk(0).get(), b.chunk(0).get());
+  EXPECT_EQ(c.chunk(1).get(), b.chunk(1).get());
+  EXPECT_NE(c.chunk(2).get(), b.chunk(2).get());
+  EXPECT_EQ(c.at(3'099), 2u);
+  EXPECT_EQ(c.at(3'100), graph::kNoPartition);  // past the id space
+  EXPECT_EQ(b.at(2'600), graph::kNoPartition);  // the old view never grew
+}
+
+}  // namespace
+}  // namespace xdgp::serve
